@@ -1,0 +1,209 @@
+//! E1 — Table I analog: the Trilinos package roles PyTrilinos wraps, each
+//! smoke-run against this reproduction's implementation.
+
+use comm::Universe;
+use dlinalg::{Complex64, CsrMatrix, DistVector};
+use dmap::{rebalance_block_map, DistMap};
+use galeri::{laplace_1d, poisson2d_manufactured};
+use solvers::{
+    bicgstab, cg, gmres, lanczos_extreme_eigenvalues, newton_krylov, power_method,
+    AmgPreconditioner, DirectSolver, IdentityPrecond, IluPrecond, JacobiPrecond, KrylovConfig,
+    NewtonConfig, NonlinearProblem, SsorPrecond,
+};
+
+struct TinyNewton;
+impl NonlinearProblem for TinyNewton {
+    fn residual(&self, comm: &comm::Comm, x: &DistVector<f64>) -> DistVector<f64> {
+        let a = laplace_1d(comm, x.n_global());
+        let mut f = a.matvec(comm, x);
+        for (fi, &xi) in f.local_mut().iter_mut().zip(x.local().iter()) {
+            *fi += 0.1 * xi * xi - 1.0;
+        }
+        f
+    }
+    fn jacobian(&self, comm: &comm::Comm, x: &DistVector<f64>) -> CsrMatrix<f64> {
+        let n = x.n_global();
+        let map = x.map().clone();
+        let xl: Vec<f64> = x.local().to_vec();
+        let m2 = map.clone();
+        CsrMatrix::from_row_fn(comm, map.clone(), map, move |g| {
+            let l = m2.global_to_local(g).unwrap();
+            let mut row = Vec::new();
+            if g > 0 {
+                row.push((g - 1, -1.0));
+            }
+            row.push((g, 2.0 + 0.2 * xl[l]));
+            if g + 1 < n {
+                row.push((g + 1, -1.0));
+            }
+            row
+        })
+    }
+}
+
+fn main() {
+    bench::header(
+        "E1",
+        "package coverage (paper Table I)",
+        "PyTrilinos wraps Epetra, EpetraExt, Teuchos, TriUtils, Isorropia, \
+         AztecOO, Galeri, Amesos, Ifpack, Komplex, Anasazi, ML, NOX",
+    );
+    println!(
+        "{:<12} {:<46} {:>8}",
+        "package", "role / reproduction module", "status"
+    );
+    let results = Universe::run(3, |comm| {
+        let mut rows: Vec<(&str, &str, bool)> = Vec::new();
+        let cfg = KrylovConfig {
+            rtol: 1e-8,
+            ..Default::default()
+        };
+
+        // Epetra / Tpetra: maps, vectors, matrices, import/export
+        let prob = poisson2d_manufactured(comm, 8, 8);
+        let y = prob.a.matvec(comm, &prob.x_exact);
+        let mut r = prob.b.clone();
+        r.axpy(-1.0, &y);
+        rows.push((
+            "Epetra",
+            "dmap::DistMap + dlinalg vectors/CSR (matvec)",
+            r.norm2(comm) < 1e-12,
+        ));
+
+        // EpetraExt: transpose + IO
+        let at = prob.a.transpose(comm);
+        rows.push((
+            "EpetraExt",
+            "dlinalg::csr::transpose + io (MatrixMarket)",
+            at.shape() == prob.a.shape(),
+        ));
+
+        // Teuchos: parameter-ish configs + wire utilities
+        let bytes = comm::encode_to_vec(&(1u64, 2.5f64, String::from("tol")));
+        rows.push((
+            "Teuchos",
+            "comm::wire codec + typed configs",
+            comm::decode_from_slice::<(u64, f64, String)>(&bytes).is_ok(),
+        ));
+
+        // TriUtils / Galeri: matrix gallery
+        let a1 = laplace_1d(comm, 16);
+        rows.push((
+            "Galeri",
+            "galeri::matrices (laplace/tridiag/random_spd)",
+            a1.nnz_global(comm) == 46,
+        ));
+
+        // Isorropia: rebalancing
+        let old = DistMap::block(40, comm.size(), comm.rank());
+        let w: Vec<f64> = old
+            .my_gids()
+            .iter()
+            .map(|&g| if g < 10 { 9.0 } else { 1.0 })
+            .collect();
+        let newmap = rebalance_block_map(comm, &old, &w);
+        rows.push((
+            "Isorropia",
+            "dmap::partition::rebalance_block_map",
+            newmap.n_global() == 40,
+        ));
+
+        // AztecOO: CG/BiCGStab/GMRES
+        let mut x = DistVector::zeros(prob.a.domain_map().clone());
+        let st = cg(comm, &prob.a, &prob.b, &mut x, &IdentityPrecond, &cfg);
+        let mut x2 = DistVector::zeros(prob.a.domain_map().clone());
+        let st2 = gmres(comm, &prob.a, &prob.b, &mut x2, &IdentityPrecond, &cfg);
+        let mut x3 = DistVector::zeros(prob.a.domain_map().clone());
+        let st3 = bicgstab(comm, &prob.a, &prob.b, &mut x3, &IdentityPrecond, &cfg);
+        rows.push((
+            "AztecOO",
+            "solvers::krylov (CG, GMRES(m), BiCGStab)",
+            st.converged && st2.converged && st3.converged,
+        ));
+
+        // Amesos: direct
+        let ds = DirectSolver::factor(comm, &a1);
+        let b1 = DistVector::constant(a1.domain_map().clone(), 1.0);
+        let xd = ds.solve(comm, &b1);
+        let rd = {
+            let ax = a1.matvec(comm, &xd);
+            let mut r = b1.clone();
+            r.axpy(-1.0, &ax);
+            r.norm2(comm)
+        };
+        rows.push(("Amesos", "solvers::direct (gather-to-root LU)", rd < 1e-10));
+
+        // Ifpack: preconditioners
+        let okp = {
+            let j = JacobiPrecond::new(&prob.a);
+            let s = SsorPrecond::new(&prob.a, 1.0);
+            let i = IluPrecond::new(&prob.a);
+            let mut xx = DistVector::zeros(prob.a.domain_map().clone());
+            let stj = cg(comm, &prob.a, &prob.b, &mut xx, &j, &cfg);
+            let mut xx2 = DistVector::zeros(prob.a.domain_map().clone());
+            let sts = cg(comm, &prob.a, &prob.b, &mut xx2, &s, &cfg);
+            let mut xx3 = DistVector::zeros(prob.a.domain_map().clone());
+            let sti = cg(comm, &prob.a, &prob.b, &mut xx3, &i, &cfg);
+            stj.converged && sts.converged && sti.converged
+        };
+        rows.push(("Ifpack", "solvers::precond (Jacobi/SSOR/ILU0/Chebyshev)", okp));
+
+        // Komplex: complex scalars
+        let okc = {
+            let m = DistMap::block(8, comm.size(), comm.rank());
+            let a = CsrMatrix::from_row_fn(comm, m.clone(), m, |g| {
+                vec![(g, Complex64::new(3.0, 1.0))]
+            });
+            let b = DistVector::constant(
+                a.domain_map().clone(),
+                Complex64::new(1.0, -1.0),
+            );
+            let mut x = DistVector::zeros(a.domain_map().clone());
+            cg(comm, &a, &b, &mut x, &IdentityPrecond, &cfg).converged
+        };
+        rows.push(("Komplex", "dlinalg::Complex64 scalars end-to-end", okc));
+
+        // Anasazi: eigensolvers
+        let pr = power_method(comm, &a1, 1e-9, 5000);
+        let ritz = lanczos_extreme_eigenvalues(comm, &a1, 12);
+        rows.push((
+            "Anasazi",
+            "solvers::eigen (power, Lanczos+QL)",
+            pr.converged && !ritz.is_empty(),
+        ));
+
+        // ML: multigrid (a 16x16 problem so a real hierarchy forms —
+        // 8x8 = 64 dofs sits exactly at the direct-solve threshold)
+        let prob_big = poisson2d_manufactured(comm, 16, 16);
+        let amg = AmgPreconditioner::new(comm, &prob_big.a, Default::default());
+        let mut xm = DistVector::zeros(prob_big.a.domain_map().clone());
+        let stm = cg(comm, &prob_big.a, &prob_big.b, &mut xm, &amg, &cfg);
+        rows.push((
+            "ML",
+            "solvers::amg (aggregation multigrid)",
+            stm.converged && amg.n_levels() >= 2,
+        ));
+
+        // NOX: nonlinear
+        let map = DistMap::block(12, comm.size(), comm.rank());
+        let mut xn = DistVector::zeros(map);
+        let stn = newton_krylov(comm, &TinyNewton, &mut xn, &NewtonConfig::default());
+        rows.push(("NOX", "solvers::nonlinear (Newton-Krylov)", stn.converged));
+
+        rows.iter()
+            .map(|(p, d, ok)| (p.to_string(), d.to_string(), *ok))
+            .collect::<Vec<_>>()
+    });
+    let rows = &results[0];
+    let mut all_ok = true;
+    for (pkg, desc, ok) in rows {
+        all_ok &= ok;
+        println!("{pkg:<12} {desc:<46} {}", if *ok { "OK" } else { "FAIL" });
+    }
+    println!(
+        "\n{} of {} package roles reproduced and verified",
+        rows.iter().filter(|r| r.2).count(),
+        rows.len()
+    );
+    assert!(all_ok);
+}

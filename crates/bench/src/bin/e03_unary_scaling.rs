@@ -1,0 +1,63 @@
+//! E3 — §III-D: "All of NumPy's unary ufuncs are able to be trivially
+//! parallelized." Measured scaling on this host plus modeled cluster
+//! scaling from the LogGP virtual clock.
+
+use bench::{best_of, fmt_s};
+use comm::{Universe, UniverseConfig};
+use odin::OdinContext;
+
+fn main() {
+    bench::header(
+        "E3",
+        "unary ufunc scaling",
+        "unary ufuncs are trivially parallelized (no communication): \
+         near-linear speedup",
+    );
+    let n = 4_000_000usize;
+
+    // ---- measured on this host (2 physical cores: expect saturation) ---
+    println!("measured wall time, sin(x) elementwise, n = {n}:");
+    println!("{:>8} {:>12} {:>9}", "workers", "time", "speedup");
+    let mut t1 = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let ctx = OdinContext::with_workers(workers);
+        let x = ctx.random(&[n], 1);
+        let t = best_of(3, || {
+            let y = x.sin();
+            ctx.barrier();
+            drop(y);
+        });
+        if workers == 1 {
+            t1 = t;
+        }
+        println!("{workers:>8} {:>12} {:>8.2}x", fmt_s(t), t1 / t);
+    }
+
+    // ---- modeled cluster scaling (LogGP virtual time) -------------------
+    // Each rank applies sin to its n/p elements (≈ 10 flop each with the
+    // libm cost folded in), then a barrier. The master's control message
+    // is charged one latency.
+    println!("\nmodeled cluster makespan (LogGP: 5us latency, 2.5GB/s, 2Gflop/s):");
+    println!("{:>8} {:>12} {:>9} {:>12}", "ranks", "makespan", "speedup", "efficiency");
+    let flops_per_elem = 10.0;
+    let mut m1 = 0.0;
+    for ranks in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let report = Universe::run_report(UniverseConfig::default(), ranks, |comm| {
+            let local = n / comm.size();
+            comm.advance_compute(local as f64 * flops_per_elem);
+            comm.barrier();
+        });
+        if ranks == 1 {
+            m1 = report.makespan_s;
+        }
+        let sp = m1 / report.makespan_s;
+        println!(
+            "{ranks:>8} {:>12} {:>8.2}x {:>11.1}%",
+            fmt_s(report.makespan_s),
+            sp,
+            100.0 * sp / ranks as f64
+        );
+    }
+    println!("\nshape: near-linear until the barrier latency (~log2(P)*5us)");
+    println!("becomes comparable to n/P * flop time — the trivial-parallelism claim.");
+}

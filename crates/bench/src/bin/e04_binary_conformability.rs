@@ -1,0 +1,76 @@
+//! E4 — §III-D: binary ufuncs are free when operands are conformable and
+//! require redistribution when they are not; ODIN picks the strategy but
+//! lets the user override it.
+
+use bench::{best_of, fmt_s};
+use odin::{set_binary_strategy, BinaryStrategy, Dist, OdinContext};
+
+fn main() {
+    bench::header(
+        "E4",
+        "binary ufunc conformability and alignment strategies",
+        "\"Binary ufuncs are trivially parallelizable … when they have the \
+         same distribution pattern. [Otherwise] the ufunc requires \
+         node-level communication … ODIN will choose a strategy that will \
+         minimize communication, while allowing the knowledgeable user to \
+         modify its behavior\"",
+    );
+    let n = 2_000_000usize;
+    let ctx = OdinContext::with_workers(4);
+
+    println!("x + y, n = {n}, 4 workers:");
+    println!("{:>34} {:>12} {:>14}", "layouts", "time", "result layout");
+
+    // conformable: block + block
+    let xb = ctx.random_dist(&[n], 1, Dist::Block);
+    let yb = ctx.random_dist(&[n], 2, Dist::Block);
+    let t = best_of(3, || {
+        let z = &xb + &yb;
+        ctx.barrier();
+        drop(z);
+    });
+    println!("{:>34} {:>12} {:>14}", "block + block (conformable)", fmt_s(t), "block");
+
+    // conformable: cyclic + cyclic
+    let xc = ctx.random_dist(&[n], 3, Dist::Cyclic);
+    let yc = ctx.random_dist(&[n], 4, Dist::Cyclic);
+    let t = best_of(3, || {
+        let z = &xc + &yc;
+        ctx.barrier();
+        drop(z);
+    });
+    println!("{:>34} {:>12} {:>14}", "cyclic + cyclic (conformable)", fmt_s(t), "cyclic");
+
+    // non-conformable under each strategy
+    for (label, strat, expect) in [
+        ("block + cyclic (auto)", BinaryStrategy::Auto, "block"),
+        ("block + cyclic (redist-right)", BinaryStrategy::RedistRight, "block"),
+        ("block + cyclic (redist-left)", BinaryStrategy::RedistLeft, "cyclic"),
+    ] {
+        set_binary_strategy(strat);
+        let t = best_of(3, || {
+            let z = &xb + &yc;
+            ctx.barrier();
+            drop(z);
+        });
+        let z = &xb + &yc;
+        let got = format!("{:?}", z.dist()).to_lowercase();
+        println!("{label:>34} {:>12} {:>14}", fmt_s(t), got);
+        assert!(got.contains(expect));
+        set_binary_strategy(BinaryStrategy::Auto);
+    }
+
+    // correctness across all combinations
+    let serial: Vec<f64> = {
+        let a = xb.to_vec();
+        let b = yc.to_vec();
+        a.iter().zip(b).map(|(x, y)| x + y).collect()
+    };
+    let got = (&xb + &yc).to_vec();
+    assert_eq!(got.len(), serial.len());
+    for (g, s) in got.iter().zip(&serial) {
+        assert_eq!(g, s);
+    }
+    println!("\nnon-conformable operands cost one redistribution (alltoallv of");
+    println!("n/P elements per worker); conformable operands communicate nothing.");
+}

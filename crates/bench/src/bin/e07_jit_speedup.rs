@@ -1,0 +1,114 @@
+//! E7 — §IV-A: "Seamless aims to make node-level Python code as fast as
+//! compiled languages via dynamic compilation." Boxed interpreter vs
+//! typed-VM JIT vs native Rust on the paper's own `sum` example plus two
+//! more kernels.
+
+use bench::{best_of, fmt_s};
+use seamless::{Interpreter, Type, Value};
+
+const SUM_SRC: &str = "
+def sum(it):
+    res = 0.0
+    for i in range(len(it)):
+        res = res + it[i]
+    return res
+";
+
+const DOT_SRC: &str = "
+def dot(a, b):
+    res = 0.0
+    for i in range(len(a)):
+        res = res + a[i] * b[i]
+    return res
+";
+
+const SAXPY_SRC: &str = "
+def saxpy(y, x, a):
+    for i in range(len(y)):
+        y[i] = y[i] + a * x[i]
+";
+
+fn main() {
+    bench::header(
+        "E7",
+        "JIT speedup over the boxed interpreter (the paper's @jit sum)",
+        "node-level Python code becomes 'as fast as compiled languages'; \
+         the realistic shape is interpreter >> typed VM >= native",
+    );
+    let n = 400_000usize;
+    let data: Vec<f64> = (0..n).map(|i| (i % 1000) as f64 * 0.001).collect();
+    let data2: Vec<f64> = (0..n).map(|i| ((i * 7) % 1000) as f64 * 0.002).collect();
+
+    println!(
+        "{:>8} {:>14} {:>12} {:>12} {:>14} {:>12}",
+        "kernel", "interpreter", "typed VM", "native", "interp/VM", "VM/native"
+    );
+
+    // ---- sum -------------------------------------------------------------
+    {
+        let interp = Interpreter::new(SUM_SRC).unwrap();
+        let kernel = seamless::jit(SUM_SRC, "sum", &[Type::ArrF]).unwrap();
+        let ti = best_of(2, || {
+            interp.call("sum", vec![Value::ArrF(data.clone())]).unwrap()
+        });
+        let tv = best_of(3, || kernel.call(vec![Value::ArrF(data.clone())]).unwrap());
+        let tn = best_of(5, || std::hint::black_box(data.iter().sum::<f64>()));
+        // subtract the clone cost? report raw; the clone is identical in
+        // interp and VM paths so the ratio is conservative
+        let iv = interp.call("sum", vec![Value::ArrF(data.clone())]).unwrap().ret;
+        let vv = kernel.call(vec![Value::ArrF(data.clone())]).unwrap().ret;
+        assert_eq!(iv, vv);
+        println!(
+            "{:>8} {:>14} {:>12} {:>12} {:>13.1}x {:>11.1}x",
+            "sum", fmt_s(ti), fmt_s(tv), fmt_s(tn), ti / tv, tv / tn
+        );
+    }
+
+    // ---- dot -------------------------------------------------------------
+    {
+        let interp = Interpreter::new(DOT_SRC).unwrap();
+        let kernel = seamless::jit(DOT_SRC, "dot", &[Type::ArrF, Type::ArrF]).unwrap();
+        let args = || vec![Value::ArrF(data.clone()), Value::ArrF(data2.clone())];
+        let ti = best_of(2, || interp.call("dot", args()).unwrap());
+        let tv = best_of(3, || kernel.call(args()).unwrap());
+        let tn = best_of(5, || {
+            std::hint::black_box(
+                data.iter().zip(&data2).map(|(a, b)| a * b).sum::<f64>(),
+            )
+        });
+        println!(
+            "{:>8} {:>14} {:>12} {:>12} {:>13.1}x {:>11.1}x",
+            "dot", fmt_s(ti), fmt_s(tv), fmt_s(tn), ti / tv, tv / tn
+        );
+    }
+
+    // ---- saxpy (mutating) --------------------------------------------------
+    {
+        let interp = Interpreter::new(SAXPY_SRC).unwrap();
+        let kernel =
+            seamless::jit(SAXPY_SRC, "saxpy", &[Type::ArrF, Type::ArrF, Type::Float]).unwrap();
+        let args = || {
+            vec![
+                Value::ArrF(data.clone()),
+                Value::ArrF(data2.clone()),
+                Value::Float(1.5),
+            ]
+        };
+        let ti = best_of(2, || interp.call("saxpy", args()).unwrap());
+        let tv = best_of(3, || kernel.call(args()).unwrap());
+        let tn = best_of(5, || {
+            let mut y = data.clone();
+            for (yi, xi) in y.iter_mut().zip(&data2) {
+                *yi += 1.5 * xi;
+            }
+            std::hint::black_box(y);
+        });
+        println!(
+            "{:>8} {:>14} {:>12} {:>12} {:>13.1}x {:>11.1}x",
+            "saxpy", fmt_s(ti), fmt_s(tv), fmt_s(tn), ti / tv, tv / tn
+        );
+    }
+    println!("\nshape: the typed VM removes boxing/dispatch for one-to-two orders");
+    println!("of magnitude over the interpreter; a further gap to native remains");
+    println!("(the dispatch loop), which real LLVM codegen would close.");
+}

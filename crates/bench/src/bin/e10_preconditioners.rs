@@ -1,0 +1,73 @@
+//! E10 — the Ifpack/ML rows of Table I matter: preconditioning cuts
+//! iterations and time-to-solution.
+
+use bench::fmt_s;
+use comm::{Universe, UniverseConfig};
+use dlinalg::DistVector;
+use galeri::{anisotropic_laplace_2d, laplace_2d, laplace_3d};
+use solvers::{
+    cg, AmgPreconditioner, ChebyshevPrecond, IdentityPrecond, IluPrecond, JacobiPrecond,
+    KrylovConfig, Preconditioner, SsorPrecond,
+};
+
+fn main() {
+    bench::header(
+        "E10",
+        "preconditioner comparison (Ifpack + ML roles)",
+        "algebraic preconditioners and multigrid reduce iterations and \
+         time-to-solution vs plain CG",
+    );
+    let ranks = 2;
+    let cfg = KrylovConfig {
+        rtol: 1e-8,
+        max_iter: 20_000,
+        ..Default::default()
+    };
+    for (label, which) in [
+        ("2-D Laplace 64x64 (n=4096)", 0usize),
+        ("3-D Laplace 16^3 (n=4096)", 1),
+        ("anisotropic 2-D eps=0.01 48x48", 2),
+    ] {
+        println!("\n{label}, {ranks} ranks, rtol 1e-8:");
+        println!(
+            "{:>10} {:>7} {:>12} {:>12} {:>14}",
+            "precond", "iters", "setup", "solve", "conv.factor"
+        );
+        for name in ["none", "jacobi", "ssor", "chebyshev", "ilu0", "amg"] {
+            let cfg2 = cfg;
+            let report = Universe::run_report(UniverseConfig::default(), ranks, move |comm| {
+                let a = match which {
+                    0 => laplace_2d(comm, 64, 64),
+                    1 => laplace_3d(comm, 16, 16, 16),
+                    _ => anisotropic_laplace_2d(comm, 48, 48, 0.01),
+                };
+                let b = DistVector::from_fn(a.domain_map().clone(), |g| 1.0 + (g % 13) as f64);
+                let t0 = std::time::Instant::now();
+                let m: Box<dyn Preconditioner<f64>> = match name {
+                    "none" => Box::new(IdentityPrecond),
+                    "jacobi" => Box::new(JacobiPrecond::new(&a)),
+                    "ssor" => Box::new(SsorPrecond::new(&a, 1.3)),
+                    "chebyshev" => Box::new(ChebyshevPrecond::new(comm, &a, 4, 15)),
+                    "ilu0" => Box::new(IluPrecond::new(&a)),
+                    _ => Box::new(AmgPreconditioner::new(comm, &a, Default::default())),
+                };
+                let setup = t0.elapsed().as_secs_f64();
+                let mut x = DistVector::zeros(a.domain_map().clone());
+                let t1 = std::time::Instant::now();
+                let st = cg(comm, &a, &b, &mut x, m.as_ref(), &cfg2);
+                let solve = t1.elapsed().as_secs_f64();
+                assert!(st.converged, "{name} failed to converge");
+                (st.iterations, setup, solve, st.convergence_factor())
+            });
+            let (iters, setup, solve, factor) = report.results[0];
+            println!(
+                "{name:>10} {iters:>7} {:>12} {:>12} {:>14.4}",
+                fmt_s(setup),
+                fmt_s(solve),
+                factor
+            );
+        }
+    }
+    println!("\nshape: iterations drop monotonically none > jacobi > ssor/cheby >");
+    println!("ilu0 > amg; AMG trades setup cost for near-O(1) iteration counts.");
+}

@@ -1,0 +1,53 @@
+//! Error type shared by the whole substrate.
+
+use std::fmt;
+
+/// Errors raised by the message-passing substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A payload could not be decoded into the requested type.
+    Decode(String),
+    /// The peer's mailbox is gone (its thread panicked or exited early).
+    Disconnected,
+    /// A rank argument was outside `0..size`.
+    InvalidRank { rank: usize, size: usize },
+    /// A collective was called with inconsistent arguments across ranks
+    /// (detected where cheaply possible, e.g. mismatched scatter lengths).
+    CollectiveMismatch(String),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Decode(msg) => write!(f, "decode error: {msg}"),
+            CommError::Disconnected => write!(f, "peer disconnected"),
+            CommError::InvalidRank { rank, size } => {
+                write!(f, "invalid rank {rank} for communicator of size {size}")
+            }
+            CommError::CollectiveMismatch(msg) => write!(f, "collective mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            CommError::Decode("bad".into()).to_string(),
+            "decode error: bad"
+        );
+        assert_eq!(CommError::Disconnected.to_string(), "peer disconnected");
+        assert_eq!(
+            CommError::InvalidRank { rank: 9, size: 4 }.to_string(),
+            "invalid rank 9 for communicator of size 4"
+        );
+        assert!(CommError::CollectiveMismatch("x".into())
+            .to_string()
+            .contains("x"));
+    }
+}

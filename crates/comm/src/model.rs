@@ -1,0 +1,100 @@
+//! LogGP-style network/compute cost model.
+//!
+//! The reproduction has no cluster (repro band 2/5), so scaling experiments
+//! use a virtual clock per rank. The model is deliberately simple and fully
+//! documented: a point-to-point message of `n` bytes that departs at sender
+//! time `t` becomes visible to the receiver at
+//!
+//! ```text
+//! t_arrive = t + o + L + n * G
+//! ```
+//!
+//! where `o` is CPU send overhead, `L` wire latency, and `G` the inverse
+//! bandwidth (seconds per byte). The `o + n·G` term is charged to the
+//! *sender's* clock (the NIC serializes bytes), so a rank sending many
+//! large messages pays for each; `L` is added on the receiving side.
+//! Compute phases advance a rank's clock by `flops * flop_time`.
+//! Collectives are built from p2p messages, so their modeled cost emerges
+//! from the algorithm actually executed (linear vs tree vs recursive
+//! doubling), which is exactly what experiment E12 ablates.
+
+/// Cost-model constants. Defaults approximate a commodity InfiniBand
+/// cluster circa the paper's era: 5 µs latency, 2.5 GB/s bandwidth, and a
+/// core sustaining 2 Gflop/s on stream-like kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// CPU overhead per send/recv, seconds.
+    pub overhead_s: f64,
+    /// Wire latency per message, seconds.
+    pub latency_s: f64,
+    /// Seconds per byte transferred (inverse bandwidth).
+    pub seconds_per_byte: f64,
+    /// Seconds per floating-point operation for modeled compute.
+    pub seconds_per_flop: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            overhead_s: 0.5e-6,
+            latency_s: 5.0e-6,
+            seconds_per_byte: 1.0 / 2.5e9,
+            seconds_per_flop: 1.0 / 2.0e9,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// A model with zero costs: virtual time stays at zero, useful for
+    /// tests that only check message semantics.
+    pub fn zero() -> Self {
+        NetworkModel {
+            overhead_s: 0.0,
+            latency_s: 0.0,
+            seconds_per_byte: 0.0,
+            seconds_per_flop: 0.0,
+        }
+    }
+
+    /// Modeled one-way transfer time for a message of `bytes` (excluding
+    /// the sender-side overhead, which is charged to the sender's clock).
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.latency_s + bytes as f64 * self.seconds_per_byte
+    }
+
+    /// Modeled time for `flops` floating-point operations.
+    pub fn compute_time(&self, flops: f64) -> f64 {
+        flops * self.seconds_per_flop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_cluster_like() {
+        let m = NetworkModel::default();
+        // 1 MiB message ≈ latency + 1 MiB / 2.5 GB/s ≈ 0.42 ms.
+        let t = m.transfer_time(1 << 20);
+        assert!(t > 4.0e-4 && t < 5.0e-4, "t = {t}");
+        // 1 Mflop at 2 Gflop/s = 0.5 ms.
+        assert!((m.compute_time(1.0e6) - 5.0e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = NetworkModel::zero();
+        assert_eq!(m.transfer_time(1 << 30), 0.0);
+        assert_eq!(m.compute_time(1e12), 0.0);
+    }
+
+    #[test]
+    fn transfer_scales_linearly_in_bytes() {
+        let m = NetworkModel::default();
+        let t1 = m.transfer_time(1000);
+        let t2 = m.transfer_time(2000);
+        let per_byte = t2 - t1;
+        assert!((per_byte - 1000.0 * m.seconds_per_byte).abs() < 1e-15);
+    }
+}

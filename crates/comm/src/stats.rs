@@ -1,0 +1,86 @@
+//! Per-rank communication statistics.
+//!
+//! The paper (§III-J) calls out "instrumentation to help identify
+//! performance bottlenecks associated with different communication
+//! patterns" as a goal of the ODIN prototype; these counters are that
+//! instrumentation, and experiments E2/E4/E12 read them directly.
+
+/// Counters accumulated by one rank over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    /// Point-to-point messages sent (collectives count their constituent
+    /// p2p messages).
+    pub msgs_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Point-to-point messages received.
+    pub msgs_recv: u64,
+    /// Payload bytes received.
+    pub bytes_recv: u64,
+    /// Wall-clock seconds spent blocked in `recv` (measured, not modeled).
+    pub wall_recv_s: f64,
+    /// Modeled seconds this rank's clock advanced due to communication.
+    pub modeled_comm_s: f64,
+    /// Modeled seconds this rank's clock advanced due to compute.
+    pub modeled_compute_s: f64,
+}
+
+impl CommStats {
+    /// Merge another rank's counters into this one (for whole-job totals).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.msgs_sent += other.msgs_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.bytes_recv += other.bytes_recv;
+        self.wall_recv_s += other.wall_recv_s;
+        self.modeled_comm_s += other.modeled_comm_s;
+        self.modeled_compute_s += other.modeled_compute_s;
+    }
+
+    /// Mean payload size of sent messages, or 0.0 if none were sent.
+    pub fn mean_sent_msg_bytes(&self) -> f64 {
+        if self.msgs_sent == 0 {
+            0.0
+        } else {
+            self.bytes_sent as f64 / self.msgs_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = CommStats {
+            msgs_sent: 1,
+            bytes_sent: 10,
+            msgs_recv: 2,
+            bytes_recv: 20,
+            wall_recv_s: 0.5,
+            modeled_comm_s: 0.25,
+            modeled_compute_s: 1.0,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.msgs_sent, 2);
+        assert_eq!(a.bytes_sent, 20);
+        assert_eq!(a.msgs_recv, 4);
+        assert_eq!(a.bytes_recv, 40);
+        assert!((a.wall_recv_s - 1.0).abs() < 1e-12);
+        assert!((a.modeled_comm_s - 0.5).abs() < 1e-12);
+        assert!((a.modeled_compute_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_msg_size_handles_zero() {
+        assert_eq!(CommStats::default().mean_sent_msg_bytes(), 0.0);
+        let s = CommStats {
+            msgs_sent: 4,
+            bytes_sent: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.mean_sent_msg_bytes(), 25.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Job launcher: spawns one thread per rank and collects results.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::unbounded;
+
+use crate::collectives::CollectiveAlgo;
+use crate::comm::{Comm, Envelope};
+use crate::model::NetworkModel;
+use crate::stats::CommStats;
+
+/// Configuration for a run: the cost model and collective algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniverseConfig {
+    /// LogGP constants used by every rank's virtual clock.
+    pub model: NetworkModel,
+    /// Collective algorithm family (ablated in E12).
+    pub algo: CollectiveAlgo,
+}
+
+/// Everything measured about one run.
+#[derive(Debug)]
+pub struct RunReport<R> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank communication counters.
+    pub stats: Vec<CommStats>,
+    /// Modeled cluster makespan: the maximum virtual clock over all ranks.
+    pub makespan_s: f64,
+    /// Measured wall-clock duration of the whole job.
+    pub wall_s: f64,
+}
+
+/// Entry point: `Universe::run(P, |comm| …)` executes the closure on `P`
+/// ranks (threads) and returns their results in rank order.
+pub struct Universe;
+
+impl Universe {
+    /// Run with default configuration, returning only the results.
+    pub fn run<R, F>(size: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        Self::run_report(UniverseConfig::default(), size, f).results
+    }
+
+    /// Run with explicit configuration, returning the full report.
+    pub fn run_report<R, F>(config: UniverseConfig, size: usize, f: F) -> RunReport<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        assert!(size > 0, "a job needs at least one rank");
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded::<Envelope>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let f = &f;
+        let t0 = Instant::now();
+        let mut outcomes: Vec<Option<(R, CommStats, f64)>> = (0..size).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for (rank, rx) in receivers.into_iter().enumerate() {
+                let senders = Arc::clone(&senders);
+                handles.push(scope.spawn(move || {
+                    let mut comm =
+                        Comm::new_world(rank, size, senders, rx, config.model, config.algo);
+                    let result = f(&mut comm);
+                    (result, comm.stats(), comm.virtual_time())
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(out) => outcomes[rank] = Some(out),
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+        });
+        let wall_s = t0.elapsed().as_secs_f64();
+        let mut results = Vec::with_capacity(size);
+        let mut stats = Vec::with_capacity(size);
+        let mut makespan_s: f64 = 0.0;
+        for out in outcomes {
+            let (r, st, clock) = out.expect("every rank must produce a result");
+            results.push(r);
+            stats.push(st);
+            makespan_s = makespan_s.max(clock);
+        }
+        RunReport {
+            results,
+            stats,
+            makespan_s,
+            wall_s,
+        }
+    }
+}
+
+/// A running detached job (see [`Universe::spawn`]).
+pub struct Detached<R> {
+    handles: Vec<std::thread::JoinHandle<(R, CommStats, f64)>>,
+}
+
+impl<R> Detached<R> {
+    /// Wait for every rank and assemble the report.
+    pub fn join(self) -> RunReport<R> {
+        let mut results = Vec::with_capacity(self.handles.len());
+        let mut stats = Vec::with_capacity(self.handles.len());
+        let mut makespan_s: f64 = 0.0;
+        for h in self.handles {
+            match h.join() {
+                Ok((r, st, clock)) => {
+                    results.push(r);
+                    stats.push(st);
+                    makespan_s = makespan_s.max(clock);
+                }
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+        RunReport {
+            results,
+            stats,
+            makespan_s,
+            wall_s: 0.0,
+        }
+    }
+}
+
+impl Universe {
+    /// Spawn a job whose ranks outlive the caller (a persistent worker
+    /// pool — the shape of ODIN's worker processes). The closure receives
+    /// `(comm, rank)`; per-rank inputs should be moved in via `seed_fn`,
+    /// which is called once per rank on the spawning thread.
+    pub fn spawn<R, T, F, G>(config: UniverseConfig, size: usize, seed_fn: G, f: F) -> Detached<R>
+    where
+        R: Send + 'static,
+        T: Send + 'static,
+        F: Fn(&mut Comm, T) -> R + Send + Sync + 'static,
+        G: FnMut(usize) -> T,
+    {
+        assert!(size > 0, "a job needs at least one rank");
+        let mut seed_fn = seed_fn;
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded::<Envelope>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let f = Arc::new(f);
+        let mut handles = Vec::with_capacity(size);
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let senders = Arc::clone(&senders);
+            let f = Arc::clone(&f);
+            let seed = seed_fn(rank);
+            handles.push(std::thread::spawn(move || {
+                let mut comm = Comm::new_world(rank, size, senders, rx, config.model, config.algo);
+                let result = f(&mut comm, seed);
+                (result, comm.stats(), comm.virtual_time())
+            }));
+        }
+        Detached { handles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReduceOp;
+
+    #[test]
+    fn results_come_back_in_rank_order() {
+        let out = Universe::run(6, |comm| comm.rank() * comm.rank());
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let out = Universe::run(1, |comm| {
+            assert_eq!(comm.size(), 1);
+            comm.barrier();
+            comm.allreduce(&5i32, ReduceOp::sum())
+        });
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        Universe::run(0, |_comm| ());
+    }
+
+    #[test]
+    fn report_includes_makespan_and_stats() {
+        let report = Universe::run_report(UniverseConfig::default(), 3, |comm| {
+            comm.advance_compute(1.0e6);
+            comm.barrier();
+        });
+        // Every rank computed 1 Mflop at the default 2 Gflop/s: ≥ 0.5 ms.
+        assert!(report.makespan_s >= 5.0e-4);
+        assert_eq!(report.stats.len(), 3);
+        assert!(report.wall_s > 0.0);
+        // Dissemination barrier on 3 ranks: 2 rounds, 2 sends per rank.
+        assert_eq!(report.stats[0].msgs_sent, 2);
+    }
+
+    #[test]
+    fn rank_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            Universe::run(2, |comm| {
+                if comm.rank() == 1 {
+                    panic!("worker exploded");
+                }
+                // rank 0 returns without waiting on rank 1
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn spawn_runs_detached_pool() {
+        use crossbeam::channel::unbounded as chan;
+        let mut inboxes = Vec::new();
+        let detached = Universe::spawn(
+            UniverseConfig::default(),
+            3,
+            |_rank| {
+                let (tx, rx) = chan::<u64>();
+                inboxes.push(tx);
+                rx
+            },
+            |comm, rx| {
+                // wait for a value from the spawner, then allreduce it
+                let v = rx.recv().unwrap();
+                comm.allreduce(&v, ReduceOp::sum())
+            },
+        );
+        for (i, tx) in inboxes.iter().enumerate() {
+            tx.send(i as u64 + 1).unwrap();
+        }
+        let report = detached.join();
+        assert_eq!(report.results, vec![6, 6, 6]);
+    }
+
+    #[test]
+    fn zero_model_keeps_clock_at_zero() {
+        let cfg = UniverseConfig {
+            model: NetworkModel::zero(),
+            ..Default::default()
+        };
+        let report = Universe::run_report(cfg, 4, |comm| {
+            comm.allreduce(&1u64, ReduceOp::sum());
+        });
+        assert_eq!(report.makespan_s, 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Seamless kernels as node-level functions (§V user story).
+//!
+//! Two compositions from the paper:
+//! * a compiled kernel used as "the node-level function for a distributed
+//!   array computation with ODIN" ([`apply_kernel`]);
+//! * a solver that "calls back to Python to evaluate a model", with
+//!   Seamless converting the callback "into a highly efficient numerical
+//!   kernel" ([`newton_with_pyish_reaction`]).
+
+use std::sync::Arc;
+
+use comm::Comm;
+use dlinalg::{CsrMatrix, DistVector};
+use odin::{DistArray, OdinContext};
+use seamless::{CompiledKernel, Type, Value};
+use solvers::{newton_krylov, NewtonConfig, NonlinearProblem, SolveStatus};
+
+/// Apply a compiled pyish kernel (signature `def f(a): …`, mutating its
+/// array argument) to every worker's segment of a distributed array — the
+/// `@odin.local`-plus-`@jit` composition. Collective.
+pub fn apply_kernel(ctx: &OdinContext, arr: &DistArray<'_>, kernel: &CompiledKernel) {
+    assert_eq!(kernel.arg_types(), &[Type::ArrF], "kernel must take one float array");
+    let kernel = Arc::new(kernel.clone());
+    ctx.run_spmd(&[arr], move |scope, args| {
+        let mut data = match scope.local_mut(args[0]) {
+            odin::Buffer::F64(v) => std::mem::take(v),
+            other => panic!("apply_kernel needs an f64 array, found {:?}", other.dtype()),
+        };
+        kernel
+            .apply_in_place(&mut data)
+            .expect("kernel failed on a worker segment");
+        *scope.local_mut(args[0]) = odin::Buffer::F64(data);
+    });
+}
+
+/// A 1-D reaction–diffusion problem `−u'' − λ·g(u) = 0` (Dirichlet, unit
+/// interval) whose nonlinearity `g` **and its derivative** are specified
+/// in pyish and compiled with Seamless — the paper's model-callback flow.
+pub struct PyishReaction {
+    /// Interior points.
+    pub n: usize,
+    /// Reaction strength λ.
+    pub lambda: f64,
+    /// Compiled `g(u)` kernel (`def g(u: float): …`).
+    pub g: CompiledKernel,
+    /// Compiled `g'(u)` kernel.
+    pub dg: CompiledKernel,
+}
+
+impl PyishReaction {
+    /// Compile both kernels from source.
+    pub fn from_sources(
+        n: usize,
+        lambda: f64,
+        g_src: &str,
+        g_name: &str,
+        dg_src: &str,
+        dg_name: &str,
+    ) -> Result<Self, seamless::SeamlessError> {
+        Ok(PyishReaction {
+            n,
+            lambda,
+            g: seamless::compile_kernel(g_src, g_name, &[Type::Float])?,
+            dg: seamless::compile_kernel(dg_src, dg_name, &[Type::Float])?,
+        })
+    }
+
+    fn h2(&self) -> f64 {
+        let h = 1.0 / (self.n as f64 + 1.0);
+        h * h
+    }
+
+    fn eval(&self, kernel: &CompiledKernel, u: f64) -> f64 {
+        kernel
+            .call(vec![Value::Float(u)])
+            .expect("pyish callback failed")
+            .ret
+            .as_f64()
+            .expect("pyish callback must return a number")
+    }
+}
+
+impl NonlinearProblem for PyishReaction {
+    fn residual(&self, comm: &Comm, x: &DistVector<f64>) -> DistVector<f64> {
+        let n = self.n;
+        let map = x.map().clone();
+        let lap = CsrMatrix::from_row_fn(comm, map.clone(), map, move |g| {
+            let mut row = Vec::with_capacity(3);
+            if g > 0 {
+                row.push((g - 1, -1.0));
+            }
+            row.push((g, 2.0));
+            if g + 1 < n {
+                row.push((g + 1, -1.0));
+            }
+            row
+        });
+        let h2 = self.h2();
+        let mut f = lap.matvec(comm, x);
+        for (fi, &ui) in f.local_mut().iter_mut().zip(x.local().iter()) {
+            *fi = *fi / h2 - self.lambda * self.eval(&self.g, ui);
+        }
+        f
+    }
+
+    fn jacobian(&self, comm: &Comm, x: &DistVector<f64>) -> CsrMatrix<f64> {
+        let n = self.n;
+        let h2 = self.h2();
+        let lam = self.lambda;
+        let map = x.map().clone();
+        let map2 = map.clone();
+        // evaluate the derivative callback once per local point
+        let dg_vals: Vec<f64> = x.local().iter().map(|&u| self.eval(&self.dg, u)).collect();
+        CsrMatrix::from_row_fn(comm, map.clone(), map, move |g| {
+            let l = map2.global_to_local(g).unwrap();
+            let mut row = Vec::with_capacity(3);
+            if g > 0 {
+                row.push((g - 1, -1.0 / h2));
+            }
+            row.push((g, 2.0 / h2 - lam * dg_vals[l]));
+            if g + 1 < n {
+                row.push((g + 1, -1.0 / h2));
+            }
+            row
+        })
+    }
+}
+
+/// Solve the reaction problem with Newton–Krylov on the ODIN worker pool;
+/// returns the solution as an ODIN array plus the Newton history.
+pub fn newton_with_pyish_reaction<'c>(
+    ctx: &'c OdinContext,
+    problem: PyishReaction,
+    cfg: NewtonConfig,
+) -> (DistArray<'c>, SolveStatus) {
+    let x = ctx.zeros(&[problem.n], odin::DType::F64);
+    let status = Arc::new(parking_lot::Mutex::new(None::<SolveStatus>));
+    let status2 = Arc::clone(&status);
+    let problem = Arc::new(problem);
+    ctx.run_spmd(&[&x], move |scope, args| {
+        let mut xv = scope.as_dist_vector(args[0]);
+        let st = newton_krylov(scope.comm, problem.as_ref(), &mut xv, &cfg);
+        scope.store_dist_vector(args[0], &xv);
+        if scope.rank() == 0 {
+            *status2.lock() = Some(st);
+        }
+    });
+    let st = status.lock().take().expect("worker 0 must report");
+    (x, st)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_applied_to_distributed_array() {
+        let ctx = OdinContext::with_workers(3);
+        let src = "
+def clamp01(a):
+    for i in range(len(a)):
+        a[i] = min(max(a[i], 0.0), 1.0)
+";
+        let kernel = seamless::compile_kernel(src, "clamp01", &[Type::ArrF]).unwrap();
+        let x = ctx.arange_f64(-2.0, 0.5, 10, odin::Dist::Block);
+        apply_kernel(&ctx, &x, &kernel);
+        let got = x.to_vec();
+        let expect: Vec<f64> = (0..10)
+            .map(|g| (-2.0 + 0.5 * g as f64).clamp(0.0, 1.0))
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bratu_with_pyish_callbacks() {
+        // g(u) = exp(u), g'(u) = exp(u): the classic Bratu problem with
+        // the nonlinearity specified in pyish.
+        let ctx = OdinContext::with_workers(2);
+        let problem = PyishReaction::from_sources(
+            20,
+            1.5,
+            "def g(u: float):\n    return exp(u)\n",
+            "g",
+            "def dg(u: float):\n    return exp(u)\n",
+            "dg",
+        )
+        .unwrap();
+        let (x, st) = newton_with_pyish_reaction(&ctx, problem, NewtonConfig::default());
+        assert!(st.converged, "history: {:?}", st.history);
+        let full = x.to_vec();
+        assert!(full.iter().all(|&u| u > 0.0));
+        // symmetric peak in the middle
+        let max = full.iter().cloned().fold(0.0f64, f64::max);
+        assert!((full[10] - max).abs() < 1e-8 || (full[9] - max).abs() < 1e-8);
+    }
+
+    #[test]
+    fn linear_reaction_matches_direct_solve() {
+        // g(u) = u (linear): −u''/… reduces to a linear system we can
+        // verify against the residual directly.
+        let ctx = OdinContext::with_workers(2);
+        let problem = PyishReaction::from_sources(
+            12,
+            1.0,
+            "def g(u: float):\n    return u - 1.0\n",
+            "g",
+            "def dg(u: float):\n    return 1.0\n",
+            "dg",
+        )
+        .unwrap();
+        let n = problem.n;
+        let lambda = problem.lambda;
+        let (x, st) = newton_with_pyish_reaction(&ctx, problem, NewtonConfig::default());
+        assert!(st.converged);
+        assert!(st.iterations <= 3, "linear problems converge immediately");
+        // verify residual on the master: (2u_i−u_{i−1}−u_{i+1})/h² = λ(u_i−1)
+        let u = x.to_vec();
+        let h2 = 1.0 / ((n as f64 + 1.0) * (n as f64 + 1.0));
+        for i in 0..n {
+            let mut lap = 2.0 * u[i];
+            if i > 0 {
+                lap -= u[i - 1];
+            }
+            if i + 1 < n {
+                lap -= u[i + 1];
+            }
+            let res = lap / h2 - lambda * (u[i] - 1.0);
+            assert!(res.abs() < 1e-6, "row {i}: {res}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # hpc-core — the framework that ties the three systems together
+//!
+//! The paper's closing vision (§V, Fig. 2): a user "allocates, initializes
+//! and manipulates a large simulation data set using ODIN … devises a
+//! solution approach using PyTrilinos solvers that accept ODIN arrays …
+//! and Seamless is used to convert [the model] callback into a highly
+//! efficient numerical kernel." This crate is that composition layer:
+//!
+//! * [`bridge`] — solve distributed linear systems whose right-hand sides
+//!   are ODIN arrays (§III-E: ODIN arrays "optionally compatible with
+//!   Trilinos … Vectors"), with automatic redistribution when the array
+//!   is not solver-conformable;
+//! * [`callbacks`] — compile pyish sources into kernels and use them as
+//!   node-level functions: elementwise maps over distributed arrays, and
+//!   model callbacks inside Newton–Krylov solves;
+//! * [`session`] — one-call setup of the whole stack.
+
+pub mod bridge;
+pub mod callbacks;
+pub mod session;
+
+pub use bridge::{solve_with_odin_rhs, BridgeReport, SolveMethod};
+pub use callbacks::{apply_kernel, newton_with_pyish_reaction, PyishReaction};
+pub use session::Session;

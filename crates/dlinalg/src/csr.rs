@@ -1,0 +1,500 @@
+//! Distributed compressed-sparse-row matrices (Tpetra `CrsMatrix` analog).
+//!
+//! Rows are distributed by a *row map*; the input vector of `y = A·x` is
+//! distributed by a *domain map*. A precomputed [`CommPlan`] gathers the
+//! needed `x` entries — owned and ghost alike — into a contiguous
+//! workspace before each local SpMV, which is exactly Tpetra's
+//! Import-based halo exchange.
+
+use std::collections::HashMap;
+
+use comm::Comm;
+use dmap::{CommPlan, Directory, DistMap};
+
+use crate::scalar::Scalar;
+use crate::vector::DistVector;
+
+/// A distributed sparse matrix in CSR layout.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix<S: Scalar> {
+    row_map: DistMap,
+    domain_map: DistMap,
+    /// matrix-local column id → global column id
+    col_gids: Vec<usize>,
+    rowptr: Vec<usize>,
+    colidx: Vec<usize>,
+    vals: Vec<S>,
+    plan: CommPlan,
+}
+
+impl<S: Scalar> CsrMatrix<S> {
+    /// Build from a per-row generator: `row_fn(global_row)` returns the
+    /// `(global_col, value)` entries of that row. Collective.
+    pub fn from_row_fn(
+        comm: &Comm,
+        row_map: DistMap,
+        domain_map: DistMap,
+        row_fn: impl Fn(usize) -> Vec<(usize, S)>,
+    ) -> Self {
+        let rows: Vec<Vec<(usize, S)>> = row_map.my_gids().into_iter().map(row_fn).collect();
+        Self::from_local_rows(comm, row_map, domain_map, rows)
+    }
+
+    /// Build from already-local rows: `rows[l]` holds the
+    /// `(global_col, value)` entries of local row `l`. Collective.
+    pub fn from_local_rows(
+        comm: &Comm,
+        row_map: DistMap,
+        domain_map: DistMap,
+        rows: Vec<Vec<(usize, S)>>,
+    ) -> Self {
+        assert_eq!(rows.len(), row_map.my_count(), "one entry-list per local row");
+        // Compress global column ids.
+        let mut sorted_cols: Vec<usize> = rows
+            .iter()
+            .flat_map(|r| r.iter().map(|&(c, _)| c))
+            .collect();
+        sorted_cols.sort_unstable();
+        sorted_cols.dedup();
+        let col_of: HashMap<usize, usize> = sorted_cols
+            .iter()
+            .enumerate()
+            .map(|(l, &g)| (g, l))
+            .collect();
+        let nnz: usize = rows.iter().map(|r| r.len()).sum();
+        let mut rowptr = Vec::with_capacity(rows.len() + 1);
+        let mut colidx = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        rowptr.push(0);
+        for row in &rows {
+            for &(c, v) in row {
+                assert!(
+                    c < domain_map.n_global(),
+                    "column {c} out of domain size {}",
+                    domain_map.n_global()
+                );
+                colidx.push(col_of[&c]);
+                vals.push(v);
+            }
+            rowptr.push(colidx.len());
+        }
+        let dir = Directory::build(comm, &domain_map);
+        let plan = CommPlan::gather(comm, &domain_map, &dir, &sorted_cols);
+        CsrMatrix {
+            row_map,
+            domain_map,
+            col_gids: sorted_cols,
+            rowptr,
+            colidx,
+            vals,
+            plan,
+        }
+    }
+
+    /// Build from triplets that may live on any rank; entries are routed to
+    /// the row's owner and duplicates are *summed* (finite-element assembly
+    /// semantics — the Export/Add pattern). Collective.
+    pub fn from_triplets(
+        comm: &Comm,
+        row_map: DistMap,
+        domain_map: DistMap,
+        triplets: Vec<(usize, usize, S)>,
+    ) -> Self {
+        let p = comm.size();
+        let dir = Directory::build(comm, &row_map);
+        let owners = dir.owners_of(comm, &triplets.iter().map(|t| t.0).collect::<Vec<_>>());
+        let mut outgoing: Vec<Vec<(usize, usize, S)>> = (0..p).map(|_| Vec::new()).collect();
+        for (t, owner) in triplets.into_iter().zip(owners) {
+            outgoing[owner].push(t);
+        }
+        let incoming = comm.alltoallv(outgoing);
+        // Accumulate into per-local-row maps, summing duplicates.
+        let mut rows: Vec<HashMap<usize, S>> =
+            (0..row_map.my_count()).map(|_| HashMap::new()).collect();
+        for batch in incoming {
+            for (gr, gc, v) in batch {
+                let l = row_map
+                    .global_to_local(gr)
+                    .expect("triplet routed to wrong owner");
+                *rows[l].entry(gc).or_insert_with(S::zero) += v;
+            }
+        }
+        let rows: Vec<Vec<(usize, S)>> = rows
+            .into_iter()
+            .map(|m| {
+                let mut r: Vec<(usize, S)> = m.into_iter().collect();
+                r.sort_unstable_by_key(|&(c, _)| c);
+                r
+            })
+            .collect();
+        Self::from_local_rows(comm, row_map, domain_map, rows)
+    }
+
+    /// Row distribution.
+    pub fn row_map(&self) -> &DistMap {
+        &self.row_map
+    }
+
+    /// Domain (input-vector) distribution.
+    pub fn domain_map(&self) -> &DistMap {
+        &self.domain_map
+    }
+
+    /// Global matrix shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.row_map.n_global(), self.domain_map.n_global())
+    }
+
+    /// Local nonzero count.
+    pub fn nnz_local(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Global nonzero count. Collective.
+    pub fn nnz_global(&self, comm: &Comm) -> usize {
+        comm.allreduce(&self.nnz_local(), comm::ReduceOp::sum())
+    }
+
+    /// Number of ghost (off-rank) columns this rank references.
+    pub fn n_ghost_cols(&self) -> usize {
+        self.col_gids
+            .iter()
+            .filter(|&&g| self.domain_map.global_to_local(g).is_none())
+            .count()
+    }
+
+    /// Iterate one local row as `(global_col, value)` pairs.
+    pub fn row_entries(&self, local_row: usize) -> impl Iterator<Item = (usize, S)> + '_ {
+        let lo = self.rowptr[local_row];
+        let hi = self.rowptr[local_row + 1];
+        self.colidx[lo..hi]
+            .iter()
+            .zip(&self.vals[lo..hi])
+            .map(move |(&lc, &v)| (self.col_gids[lc], v))
+    }
+
+    /// Global column ids referenced locally, in matrix-local column order.
+    pub fn col_gids(&self) -> &[usize] {
+        &self.col_gids
+    }
+
+    /// Local column index of entry `k` of local row `i` (for callers that
+    /// iterate the raw CSR structure alongside [`Self::halo_gather`]).
+    pub fn entry_local_col(&self, k: usize) -> usize {
+        self.colidx[k]
+    }
+
+    /// Raw CSR row pointer array.
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// Raw CSR values.
+    pub fn values(&self) -> &[S] {
+        &self.vals
+    }
+
+    /// Gather any per-domain-point data into matrix-local column order
+    /// using this matrix's halo-exchange plan: `out[lc]` is the value at
+    /// global point `col_gids()[lc]`. Collective. This is how multigrid
+    /// transfers aggregate ids and how ODIN local kernels see ghost data.
+    pub fn halo_gather<T: comm::Wire + Copy>(&self, comm: &Comm, local: &[T], fill: T) -> Vec<T> {
+        assert_eq!(local.len(), self.domain_map.my_count());
+        let mut out = vec![fill; self.plan.n_target()];
+        self.plan.execute(comm, local, &mut out);
+        out
+    }
+
+    /// `y = A·x`. Collective; accounts `2·nnz` modeled flops plus the halo
+    /// exchange's modeled communication.
+    pub fn matvec(&self, comm: &Comm, x: &DistVector<S>) -> DistVector<S> {
+        let mut y = DistVector::zeros(self.row_map.clone());
+        self.matvec_into(comm, x, &mut y);
+        y
+    }
+
+    /// `y = A·x` into an existing vector (no allocation of `y`).
+    pub fn matvec_into(&self, comm: &Comm, x: &DistVector<S>, y: &mut DistVector<S>) {
+        debug_assert!(x.map().same_as(&self.domain_map), "x must use the domain map");
+        debug_assert!(y.map().same_as(&self.row_map), "y must use the row map");
+        let mut ws = vec![S::zero(); self.plan.n_target()];
+        self.plan.execute(comm, x.local(), &mut ws);
+        let yl = y.local_mut();
+        for i in 0..self.rowptr.len() - 1 {
+            let mut acc = S::zero();
+            for k in self.rowptr[i]..self.rowptr[i + 1] {
+                acc += self.vals[k] * ws[self.colidx[k]];
+            }
+            yl[i] = acc;
+        }
+        comm.advance_compute(2.0 * self.vals.len() as f64);
+    }
+
+    /// Extract the diagonal (requires a square matrix with matching row and
+    /// domain global sizes).
+    pub fn diagonal(&self) -> DistVector<S> {
+        assert_eq!(self.shape().0, self.shape().1, "diagonal needs square");
+        let mut d = DistVector::zeros(self.row_map.clone());
+        let dl = d.local_mut();
+        for i in 0..self.rowptr.len() - 1 {
+            let g = self.row_map.local_to_global(i);
+            for k in self.rowptr[i]..self.rowptr[i + 1] {
+                if self.col_gids[self.colidx[k]] == g {
+                    dl[i] += self.vals[k];
+                }
+            }
+        }
+        d
+    }
+
+    /// The *local square block*: entries whose column is owned by this rank
+    /// under the domain map, re-indexed to domain-local column ids. This is
+    /// the submatrix block preconditioners (block Jacobi, local ILU, SSOR)
+    /// operate on. Returns `(rowptr, cols, vals)`.
+    pub fn local_square_block(&self) -> (Vec<usize>, Vec<usize>, Vec<S>) {
+        let mut rowptr = Vec::with_capacity(self.rowptr.len());
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        rowptr.push(0);
+        for i in 0..self.rowptr.len() - 1 {
+            for k in self.rowptr[i]..self.rowptr[i + 1] {
+                let g = self.col_gids[self.colidx[k]];
+                if let Some(dl) = self.domain_map.global_to_local(g) {
+                    cols.push(dl);
+                    vals.push(self.vals[k]);
+                }
+            }
+            rowptr.push(cols.len());
+        }
+        (rowptr, cols, vals)
+    }
+
+    /// Transpose (EpetraExt's sparse-transpose role). Collective: entries
+    /// are routed to the owner of their column, which owns the transposed
+    /// row. The result has row map = this domain map and vice versa.
+    pub fn transpose(&self, comm: &Comm) -> CsrMatrix<S> {
+        let mut triplets = Vec::with_capacity(self.vals.len());
+        for i in 0..self.rowptr.len() - 1 {
+            let gr = self.row_map.local_to_global(i);
+            for (gc, v) in self.row_entries(i) {
+                triplets.push((gc, gr, v));
+            }
+        }
+        CsrMatrix::from_triplets(
+            comm,
+            self.domain_map.clone(),
+            self.row_map.clone(),
+            triplets,
+        )
+    }
+
+    /// Gather the whole matrix to rank 0 in global row order (the pattern
+    /// the Amesos direct-solver interface uses). Rank 0 gets
+    /// `Some(rows)` with `rows[g]` = entries of global row `g`; others get
+    /// `None`. Collective.
+    pub fn gather_to_root(&self, comm: &Comm) -> Option<Vec<Vec<(usize, S)>>> {
+        let my_rows: Vec<(usize, Vec<(usize, S)>)> = (0..self.row_map.my_count())
+            .map(|l| {
+                (
+                    self.row_map.local_to_global(l),
+                    self.row_entries(l).collect(),
+                )
+            })
+            .collect();
+        let gathered = comm.gather(0, &my_rows);
+        gathered.map(|pieces| {
+            let mut rows: Vec<Vec<(usize, S)>> =
+                (0..self.row_map.n_global()).map(|_| Vec::new()).collect();
+            for piece in pieces {
+                for (g, entries) in piece {
+                    rows[g] = entries;
+                }
+            }
+            rows
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm::Universe;
+
+    /// 1-D Laplacian stencil [-1, 2, -1].
+    fn laplace_row(n: usize) -> impl Fn(usize) -> Vec<(usize, f64)> {
+        move |g| {
+            let mut row = Vec::with_capacity(3);
+            if g > 0 {
+                row.push((g - 1, -1.0));
+            }
+            row.push((g, 2.0));
+            if g + 1 < n {
+                row.push((g + 1, -1.0));
+            }
+            row
+        }
+    }
+
+    fn build_laplace(comm: &Comm, n: usize) -> CsrMatrix<f64> {
+        let rm = DistMap::block(n, comm.size(), comm.rank());
+        let dm = rm.clone();
+        CsrMatrix::from_row_fn(comm, rm, dm, laplace_row(n))
+    }
+
+    #[test]
+    fn matvec_matches_serial() {
+        for p in [1, 2, 3, 4] {
+            let out = Universe::run(p, |comm| {
+                let n = 10;
+                let a = build_laplace(comm, n);
+                let x = DistVector::from_fn(a.domain_map().clone(), |g| g as f64);
+                let y = a.matvec(comm, &x);
+                y.gather_global(comm)
+            });
+            // serial reference: y[i] = -x[i-1] + 2x[i] - x[i+1]
+            let n = 10;
+            let xs: Vec<f64> = (0..n).map(|g| g as f64).collect();
+            let expect: Vec<f64> = (0..n)
+                .map(|i| {
+                    let mut v = 2.0 * xs[i];
+                    if i > 0 {
+                        v -= xs[i - 1];
+                    }
+                    if i + 1 < n {
+                        v -= xs[i + 1];
+                    }
+                    v
+                })
+                .collect();
+            for got in &out {
+                assert_eq!(got, &expect, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        Universe::run(3, |comm| {
+            let a = build_laplace(comm, 8);
+            let d = a.diagonal();
+            assert!(d.local().iter().all(|&v| v == 2.0));
+        });
+    }
+
+    #[test]
+    fn nnz_and_ghosts() {
+        Universe::run(2, |comm| {
+            let n = 10;
+            let a = build_laplace(comm, n);
+            assert_eq!(a.nnz_global(comm), 3 * n - 2);
+            // interior boundary rows reference exactly one ghost column
+            assert_eq!(a.n_ghost_cols(), 1);
+        });
+    }
+
+    #[test]
+    fn from_triplets_sums_duplicates() {
+        Universe::run(2, |comm| {
+            let n = 4;
+            let rm = DistMap::block(n, comm.size(), comm.rank());
+            let dm = rm.clone();
+            // both ranks contribute 0.5 to every diagonal entry
+            let triplets: Vec<(usize, usize, f64)> =
+                (0..n).map(|g| (g, g, 0.5)).collect();
+            let a = CsrMatrix::from_triplets(comm, rm, dm, triplets);
+            let d = a.diagonal();
+            assert!(d.local().iter().all(|&v| v == 1.0));
+        });
+    }
+
+    #[test]
+    fn transpose_of_asymmetric_matrix() {
+        Universe::run(2, |comm| {
+            let n = 6;
+            let rm = DistMap::block(n, comm.size(), comm.rank());
+            let dm = rm.clone();
+            // upper bidiagonal: A[i][i] = 1, A[i][i+1] = i+1
+            let a = CsrMatrix::from_row_fn(comm, rm, dm, |g| {
+                let mut row = vec![(g, 1.0)];
+                if g + 1 < n {
+                    row.push((g + 1, (g + 1) as f64));
+                }
+                row
+            });
+            let at = a.transpose(comm);
+            let x = DistVector::from_fn(at.domain_map().clone(), |g| g as f64);
+            let y = at.matvec(comm, &x).gather_global(comm);
+            // Aᵀ row i: entry (i,1) and (i-1→ from A[i-1][i] = i) at col i-1
+            let xs: Vec<f64> = (0..n).map(|g| g as f64).collect();
+            let expect: Vec<f64> = (0..n)
+                .map(|i| {
+                    let mut v = xs[i];
+                    if i > 0 {
+                        v += i as f64 * xs[i - 1];
+                    }
+                    v
+                })
+                .collect();
+            assert_eq!(y, expect);
+        });
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        Universe::run(3, |comm| {
+            let a = build_laplace(comm, 9);
+            let att = a.transpose(comm).transpose(comm);
+            let x = DistVector::from_fn(a.domain_map().clone(), |g| (g as f64).sin());
+            let y1 = a.matvec(comm, &x).gather_global(comm);
+            let y2 = att.matvec(comm, &x).gather_global(comm);
+            for (u, v) in y1.iter().zip(y2.iter()) {
+                assert!((u - v).abs() < 1e-14);
+            }
+        });
+    }
+
+    #[test]
+    fn local_square_block_drops_ghosts() {
+        Universe::run(2, |comm| {
+            let a = build_laplace(comm, 10);
+            let (rowptr, cols, vals) = a.local_square_block();
+            let nlocal = a.row_map().my_count();
+            assert_eq!(rowptr.len(), nlocal + 1);
+            assert!(cols.iter().all(|&c| c < nlocal));
+            // one ghost coupling dropped per rank (interior boundary)
+            assert_eq!(vals.len(), a.nnz_local() - 1);
+        });
+    }
+
+    #[test]
+    fn gather_to_root_reassembles() {
+        Universe::run(3, |comm| {
+            let n = 7;
+            let a = build_laplace(comm, n);
+            let rows = a.gather_to_root(comm);
+            if comm.rank() == 0 {
+                let rows = rows.unwrap();
+                assert_eq!(rows.len(), n);
+                assert_eq!(rows[0], vec![(0, 2.0), (1, -1.0)]);
+                assert_eq!(rows[3], vec![(2, -1.0), (3, 2.0), (4, -1.0)]);
+            } else {
+                assert!(rows.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn rectangular_matvec() {
+        Universe::run(2, |comm| {
+            // 4x6 matrix: A[i][j] = 1 if j == i or j == i+2
+            let rm = DistMap::block(4, comm.size(), comm.rank());
+            let dm = DistMap::block(6, comm.size(), comm.rank());
+            let a = CsrMatrix::from_row_fn(comm, rm, dm.clone(), |g| {
+                vec![(g, 1.0), (g + 2, 1.0)]
+            });
+            let x = DistVector::from_fn(dm, |g| g as f64);
+            let y = a.matvec(comm, &x).gather_global(comm);
+            assert_eq!(y, vec![2.0, 4.0, 6.0, 8.0]);
+        });
+    }
+}

@@ -1,0 +1,205 @@
+//! Matrix/vector file IO in MatrixMarket-style coordinate format
+//! (the EpetraExt I/O role from the paper's Table I).
+//!
+//! Writing gathers to rank 0; reading parses on rank 0 and scatters via
+//! [`CsrMatrix::from_triplets`], so files round-trip across any rank count.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use comm::Comm;
+use dmap::DistMap;
+
+use crate::csr::CsrMatrix;
+use crate::scalar::{RealScalar, Scalar};
+use crate::vector::DistVector;
+
+/// Write a distributed matrix to `path` in coordinate format (1-based
+/// indices, `%%MatrixMarket matrix coordinate real general` header).
+/// Collective; rank 0 does the writing.
+pub fn write_matrix_market<S, P>(comm: &Comm, a: &CsrMatrix<S>, path: P) -> std::io::Result<()>
+where
+    S: Scalar<Real = f64>,
+    P: AsRef<Path>,
+{
+    let rows = a.gather_to_root(comm);
+    if comm.rank() != 0 {
+        return Ok(());
+    }
+    let rows = rows.unwrap();
+    let (m, n) = a.shape();
+    let nnz: usize = rows.iter().map(|r| r.len()).sum();
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{m} {n} {nnz}")?;
+    for (i, row) in rows.iter().enumerate() {
+        for &(j, v) in row {
+            writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v.re().to_f64())?;
+        }
+    }
+    w.flush()
+}
+
+/// Read a coordinate-format matrix from `path` into block row/domain maps.
+/// Collective; rank 0 parses and entries are scattered to their owners.
+pub fn read_matrix_market<P: AsRef<Path>>(
+    comm: &Comm,
+    path: P,
+) -> std::io::Result<CsrMatrix<f64>> {
+    let parsed: Option<(usize, usize, Vec<(usize, usize, f64)>)> = if comm.rank() == 0 {
+        let f = std::fs::File::open(path)?;
+        let reader = std::io::BufReader::new(f);
+        let mut dims: Option<(usize, usize)> = None;
+        let mut triplets = Vec::new();
+        for line in reader.lines() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('%') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if dims.is_none() {
+                let m: usize = parts.next().unwrap().parse().expect("rows");
+                let n: usize = parts.next().unwrap().parse().expect("cols");
+                let _nnz: usize = parts.next().unwrap().parse().expect("nnz");
+                dims = Some((m, n));
+            } else {
+                let i: usize = parts.next().unwrap().parse().expect("i");
+                let j: usize = parts.next().unwrap().parse().expect("j");
+                let v: f64 = parts.next().unwrap().parse().expect("v");
+                triplets.push((i - 1, j - 1, v));
+            }
+        }
+        let (m, n) = dims.expect("missing size line");
+        Some((m, n, triplets))
+    } else {
+        None
+    };
+    // Broadcast dimensions, then scatter triplets through from_triplets.
+    let dims: (usize, usize) = comm.bcast(0, parsed.as_ref().map(|&(m, n, _)| (m, n)));
+    let row_map = DistMap::block(dims.0, comm.size(), comm.rank());
+    let domain_map = DistMap::block(dims.1, comm.size(), comm.rank());
+    let triplets = parsed.map(|(_, _, t)| t).unwrap_or_default();
+    Ok(CsrMatrix::from_triplets(comm, row_map, domain_map, triplets))
+}
+
+/// Write a distributed vector as one value per line (dense array format).
+pub fn write_vector<S, P>(comm: &Comm, v: &DistVector<S>, path: P) -> std::io::Result<()>
+where
+    S: Scalar<Real = f64>,
+    P: AsRef<Path>,
+{
+    let full = v.gather_global(comm);
+    if comm.rank() != 0 {
+        return Ok(());
+    }
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "%%MatrixMarket matrix array real general")?;
+    writeln!(w, "{} 1", full.len())?;
+    for x in full {
+        writeln!(w, "{:.17e}", x.re().to_f64())?;
+    }
+    w.flush()
+}
+
+/// Read a dense-array vector written by [`write_vector`] onto a block map.
+pub fn read_vector<P: AsRef<Path>>(comm: &Comm, path: P) -> std::io::Result<DistVector<f64>> {
+    let parsed: Option<Vec<f64>> = if comm.rank() == 0 {
+        let f = std::fs::File::open(path)?;
+        let reader = std::io::BufReader::new(f);
+        let mut vals = Vec::new();
+        let mut seen_size = false;
+        for line in reader.lines() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('%') {
+                continue;
+            }
+            if !seen_size {
+                seen_size = true;
+                continue;
+            }
+            vals.push(line.parse::<f64>().expect("value"));
+        }
+        Some(vals)
+    } else {
+        None
+    };
+    let full: Vec<f64> = comm.bcast(0, parsed);
+    let map = DistMap::block(full.len(), comm.size(), comm.rank());
+    Ok(DistVector::from_fn(map, |g| full[g]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm::Universe;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dlinalg_io_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn matrix_roundtrip_across_rank_counts() {
+        let path = tmp("mat.mtx");
+        // write with 3 ranks
+        {
+            let path = path.clone();
+            Universe::run(3, move |comm| {
+                let n = 8;
+                let rm = DistMap::block(n, comm.size(), comm.rank());
+                let a = CsrMatrix::from_row_fn(comm, rm.clone(), rm, |g| {
+                    let mut row = vec![(g, 2.0 + g as f64)];
+                    if g + 1 < n {
+                        row.push((g + 1, -1.0));
+                    }
+                    row
+                });
+                write_matrix_market(comm, &a, &path).unwrap();
+            });
+        }
+        // read with 2 ranks and verify by matvec
+        {
+            let path = path.clone();
+            Universe::run(2, move |comm| {
+                let a = read_matrix_market(comm, &path).unwrap();
+                assert_eq!(a.shape(), (8, 8));
+                assert_eq!(a.nnz_global(comm), 8 + 7);
+                let x = DistVector::constant(a.domain_map().clone(), 1.0);
+                let y = a.matvec(comm, &x).gather_global(comm);
+                for (g, &v) in y.iter().enumerate() {
+                    let expect = (2.0 + g as f64) + if g + 1 < 8 { -1.0 } else { 0.0 };
+                    assert!((v - expect).abs() < 1e-12);
+                }
+            });
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let path = tmp("vec.mtx");
+        {
+            let path = path.clone();
+            Universe::run(2, move |comm| {
+                let map = DistMap::block(5, comm.size(), comm.rank());
+                let v = DistVector::from_fn(map, |g| g as f64 * 0.25 - 1.0);
+                write_vector(comm, &v, &path).unwrap();
+            });
+        }
+        {
+            let path = path.clone();
+            Universe::run(3, move |comm| {
+                let v = read_vector(comm, &path).unwrap();
+                assert_eq!(v.n_global(), 5);
+                let full = v.gather_global(comm);
+                for (g, &x) in full.iter().enumerate() {
+                    assert!((x - (g as f64 * 0.25 - 1.0)).abs() < 1e-15);
+                }
+            });
+        }
+        let _ = std::fs::remove_file(path);
+    }
+}

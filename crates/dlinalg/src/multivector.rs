@@ -1,0 +1,274 @@
+//! Distributed multivectors: a bundle of vectors sharing one map
+//! (Tpetra `MultiVector` analog), stored column-major locally.
+//!
+//! Eigensolvers (Lanczos, subspace methods) and block Krylov methods work
+//! on multivectors; the per-pair dot products of one collective call are
+//! what make them communication-efficient.
+
+use comm::Comm;
+use dmap::DistMap;
+
+use crate::scalar::{RealScalar, Scalar};
+use crate::vector::DistVector;
+
+/// `ncols` vectors over a shared [`DistMap`], column-major local storage.
+#[derive(Debug, Clone)]
+pub struct DistMultiVector<S: Scalar> {
+    map: DistMap,
+    ncols: usize,
+    /// column-major: entry (local row `i`, col `j`) at `j * nlocal + i`
+    data: Vec<S>,
+}
+
+impl<S: Scalar> DistMultiVector<S> {
+    /// All-zeros multivector.
+    pub fn zeros(map: DistMap, ncols: usize) -> Self {
+        let n = map.my_count();
+        DistMultiVector {
+            map,
+            ncols,
+            data: vec![S::zero(); n * ncols],
+        }
+    }
+
+    /// Build from a function of `(global_row, col)`.
+    pub fn from_fn(map: DistMap, ncols: usize, f: impl Fn(usize, usize) -> S) -> Self {
+        let n = map.my_count();
+        let mut data = Vec::with_capacity(n * ncols);
+        for j in 0..ncols {
+            for i in 0..n {
+                data.push(f(map.local_to_global(i), j));
+            }
+        }
+        DistMultiVector { map, ncols, data }
+    }
+
+    /// The distribution map.
+    pub fn map(&self) -> &DistMap {
+        &self.map
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Local rows.
+    pub fn nlocal(&self) -> usize {
+        self.map.my_count()
+    }
+
+    /// Borrow column `j`'s local entries.
+    pub fn col(&self, j: usize) -> &[S] {
+        let n = self.nlocal();
+        &self.data[j * n..(j + 1) * n]
+    }
+
+    /// Mutably borrow column `j`'s local entries.
+    pub fn col_mut(&mut self, j: usize) -> &mut [S] {
+        let n = self.nlocal();
+        &mut self.data[j * n..(j + 1) * n]
+    }
+
+    /// Copy column `j` out as a [`DistVector`].
+    pub fn extract(&self, j: usize) -> DistVector<S> {
+        DistVector::from_local(self.map.clone(), self.col(j).to_vec())
+    }
+
+    /// Overwrite column `j` from a vector on the same map.
+    pub fn set_col(&mut self, j: usize, v: &DistVector<S>) {
+        debug_assert!(self.map.same_as(v.map()));
+        self.col_mut(j).copy_from_slice(v.local());
+    }
+
+    /// All pairwise dots `⟨col_i(self), col_j(other)⟩` as a row-major
+    /// `ncols × other.ncols` matrix, in **one** collective reduction.
+    pub fn dot_all(&self, other: &DistMultiVector<S>, comm: &Comm) -> Vec<S> {
+        debug_assert!(self.map.same_as(&other.map));
+        let (a, b) = (self.ncols, other.ncols);
+        let n = self.nlocal();
+        let mut local = vec![S::zero(); a * b];
+        for i in 0..a {
+            let ci = self.col(i);
+            for j in 0..b {
+                let cj = other.col(j);
+                let mut acc = S::zero();
+                for k in 0..n {
+                    acc += ci[k].conj() * cj[k];
+                }
+                local[i * b + j] = acc;
+            }
+        }
+        comm.advance_compute(2.0 * (a * b * n) as f64);
+        comm.allreduce(&local, |x: &Vec<S>, y: &Vec<S>| {
+            x.iter().zip(y.iter()).map(|(u, v)| *u + *v).collect()
+        })
+    }
+
+    /// Column 2-norms. Collective (one reduction).
+    pub fn norms2(&self, comm: &Comm) -> Vec<S::Real> {
+        let n = self.nlocal();
+        let mut local = vec![S::Real::zero(); self.ncols];
+        for j in 0..self.ncols {
+            let c = self.col(j);
+            let mut acc = S::Real::zero();
+            for k in 0..n {
+                acc += c[k].abs_sq();
+            }
+            local[j] = acc;
+        }
+        comm.advance_compute(2.0 * (self.ncols * n) as f64);
+        let sums = comm.allreduce(&local, |x: &Vec<S::Real>, y: &Vec<S::Real>| {
+            x.iter().zip(y.iter()).map(|(u, v)| *u + *v).collect()
+        });
+        sums.into_iter().map(|s| s.sqrt()).collect()
+    }
+
+    /// `self ← self · B` where `B` is a replicated `ncols × k` row-major
+    /// matrix: the block operation behind subspace rotations.
+    pub fn times_matrix(&self, b: &[S], k: usize) -> DistMultiVector<S> {
+        assert_eq!(b.len(), self.ncols * k, "B must be ncols × k");
+        let n = self.nlocal();
+        let mut out = DistMultiVector::zeros(self.map.clone(), k);
+        for jout in 0..k {
+            let dst_ptr = jout * n;
+            for jin in 0..self.ncols {
+                let w = b[jin * k + jout];
+                let src = jin * n;
+                for i in 0..n {
+                    let v = self.data[src + i];
+                    out.data[dst_ptr + i] += v * w;
+                }
+            }
+        }
+        out
+    }
+
+    /// Modified Gram–Schmidt orthonormalization of the columns, in place.
+    /// Returns the diagonal norms encountered (small values signal rank
+    /// deficiency). Collective.
+    pub fn orthonormalize(&mut self, comm: &Comm) -> Vec<S::Real> {
+        let mut norms = Vec::with_capacity(self.ncols);
+        for j in 0..self.ncols {
+            // orthogonalize col j against previous columns
+            for i in 0..j {
+                let (ci, cj) = (self.extract(i), self.extract(j));
+                let proj = ci.dot(&cj, comm);
+                let n = self.nlocal();
+                for k in 0..n {
+                    let v = self.data[i * n + k];
+                    self.data[j * n + k] -= proj * v;
+                }
+            }
+            let cj = self.extract(j);
+            let nrm = cj.norm2(comm);
+            norms.push(nrm);
+            if nrm.to_f64() > 0.0 {
+                let inv = S::from_real(nrm);
+                let n = self.nlocal();
+                for k in 0..n {
+                    let v = self.data[j * n + k];
+                    self.data[j * n + k] = v / inv;
+                }
+            }
+        }
+        norms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm::Universe;
+
+    #[test]
+    fn dot_all_matches_serial() {
+        let out = Universe::run(3, |comm| {
+            let map = DistMap::block(12, comm.size(), comm.rank());
+            let a = DistMultiVector::from_fn(map.clone(), 2, |g, j| (g + j) as f64);
+            let b = DistMultiVector::from_fn(map, 2, |g, j| if j == 0 { 1.0 } else { g as f64 });
+            a.dot_all(&b, comm)
+        });
+        // serial check
+        let g: Vec<f64> = (0..12).map(|x| x as f64).collect();
+        let a0: Vec<f64> = g.clone();
+        let a1: Vec<f64> = g.iter().map(|x| x + 1.0).collect();
+        let b0 = vec![1.0; 12];
+        let b1 = g.clone();
+        let dot = |x: &[f64], y: &[f64]| -> f64 { x.iter().zip(y).map(|(a, b)| a * b).sum() };
+        let expect = vec![
+            dot(&a0, &b0),
+            dot(&a0, &b1),
+            dot(&a1, &b0),
+            dot(&a1, &b1),
+        ];
+        for got in out {
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn norms2_per_column() {
+        let out: Vec<Vec<f64>> = Universe::run(2, |comm| {
+            let map = DistMap::block(4, comm.size(), comm.rank());
+            let mv: DistMultiVector<f64> =
+                DistMultiVector::from_fn(map, 2, |_, j| if j == 0 { 1.0 } else { 2.0 });
+            mv.norms2(comm)
+        });
+        for norms in out {
+            assert!((norms[0] - 2.0).abs() < 1e-14);
+            assert!((norms[1] - 4.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn times_matrix_rotates_columns() {
+        Universe::run(2, |comm| {
+            let map = DistMap::block(6, comm.size(), comm.rank());
+            let mv = DistMultiVector::from_fn(map, 2, |g, j| if j == 0 { g as f64 } else { 1.0 });
+            // B swaps and scales the two columns: k = 2
+            let b = vec![0.0, 2.0, 3.0, 0.0]; // row-major 2x2
+            let out = mv.times_matrix(&b, 2);
+            // out col0 = 3 * ones, out col1 = 2 * g
+            for i in 0..out.nlocal() {
+                let g = out.map().local_to_global(i);
+                assert_eq!(out.col(0)[i], 3.0);
+                assert_eq!(out.col(1)[i], 2.0 * g as f64);
+            }
+        });
+    }
+
+    #[test]
+    fn orthonormalize_produces_orthonormal_columns() {
+        Universe::run(3, |comm| {
+            let map = DistMap::block(9, comm.size(), comm.rank());
+            let mut mv =
+                DistMultiVector::from_fn(map, 3, |g, j| ((g * (j + 1)) as f64 * 0.7).sin() + 0.1);
+            mv.orthonormalize(comm);
+            let gram = mv.dot_all(&mv, comm);
+            for i in 0..3 {
+                for j in 0..3 {
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    assert!(
+                        (gram[i * 3 + j] - expect).abs() < 1e-10,
+                        "gram[{i}][{j}] = {}",
+                        gram[i * 3 + j]
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn extract_set_col_roundtrip() {
+        Universe::run(2, |comm| {
+            let map = DistMap::block(5, comm.size(), comm.rank());
+            let mut mv = DistMultiVector::zeros(map.clone(), 2);
+            let v = DistVector::from_fn(map, |g| g as f64 * 2.0);
+            mv.set_col(1, &v);
+            let back = mv.extract(1);
+            assert_eq!(back.local(), v.local());
+            assert!(mv.extract(0).local().iter().all(|&x| x == 0.0));
+        });
+    }
+}

@@ -1,0 +1,307 @@
+//! Distributed vectors (Tpetra `Vector` analog).
+
+use comm::{Comm, ReduceOp};
+use dmap::{CommPlan, Directory, DistMap};
+
+use crate::scalar::{RealScalar, Scalar};
+
+/// A vector distributed over the ranks of a communicator according to a
+/// [`DistMap`]. Each rank holds only its local entries; global operations
+/// (dot products, norms) take the communicator explicitly, mirroring the
+/// SPMD execution model.
+#[derive(Debug, Clone)]
+pub struct DistVector<S: Scalar> {
+    map: DistMap,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> DistVector<S> {
+    /// All-zeros vector over `map`.
+    pub fn zeros(map: DistMap) -> Self {
+        let n = map.my_count();
+        DistVector {
+            map,
+            data: vec![S::zero(); n],
+        }
+    }
+
+    /// Constant vector over `map`.
+    pub fn constant(map: DistMap, value: S) -> Self {
+        let n = map.my_count();
+        DistVector {
+            map,
+            data: vec![value; n],
+        }
+    }
+
+    /// Build from a function of the *global* index — the distributed
+    /// equivalent of `np.fromfunction`.
+    pub fn from_fn(map: DistMap, f: impl Fn(usize) -> S) -> Self {
+        let data = (0..map.my_count())
+            .map(|l| f(map.local_to_global(l)))
+            .collect();
+        DistVector { map, data }
+    }
+
+    /// Adopt pre-laid-out local data (must match the map's local count).
+    pub fn from_local(map: DistMap, data: Vec<S>) -> Self {
+        assert_eq!(data.len(), map.my_count(), "local data length mismatch");
+        DistVector { map, data }
+    }
+
+    /// The distribution map.
+    pub fn map(&self) -> &DistMap {
+        &self.map
+    }
+
+    /// Local entries (in local-index order).
+    pub fn local(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Mutable local entries.
+    pub fn local_mut(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Consume into the local buffer.
+    pub fn into_local(self) -> Vec<S> {
+        self.data
+    }
+
+    /// Global length.
+    pub fn n_global(&self) -> usize {
+        self.map.n_global()
+    }
+
+    /// Set every entry to `value`.
+    pub fn fill(&mut self, value: S) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    /// `self ← alpha * self`.
+    pub fn scale(&mut self, alpha: S) {
+        self.data.iter_mut().for_each(|x| *x *= alpha);
+    }
+
+    /// `self ← self + alpha * x` (BLAS axpy).
+    pub fn axpy(&mut self, alpha: S, x: &DistVector<S>) {
+        debug_assert!(self.map.same_as(&x.map), "axpy maps must match");
+        for (y, &xv) in self.data.iter_mut().zip(x.data.iter()) {
+            *y += alpha * xv;
+        }
+    }
+
+    /// `self ← alpha * x + beta * self` (Tpetra `update`).
+    pub fn update(&mut self, alpha: S, x: &DistVector<S>, beta: S) {
+        debug_assert!(self.map.same_as(&x.map), "update maps must match");
+        for (y, &xv) in self.data.iter_mut().zip(x.data.iter()) {
+            *y = alpha * xv + beta * *y;
+        }
+    }
+
+    /// Elementwise product `self ← self ∘ x`.
+    pub fn pointwise_mul(&mut self, x: &DistVector<S>) {
+        debug_assert!(self.map.same_as(&x.map));
+        for (y, &xv) in self.data.iter_mut().zip(x.data.iter()) {
+            *y *= xv;
+        }
+    }
+
+    /// Conjugated dot product `⟨self, other⟩ = Σ conj(selfᵢ)·otherᵢ`.
+    /// Collective; accounts `2n` modeled flops on this rank.
+    pub fn dot(&self, other: &DistVector<S>, comm: &Comm) -> S {
+        debug_assert!(self.map.same_as(&other.map), "dot maps must match");
+        let mut acc = S::zero();
+        for (&a, &b) in self.data.iter().zip(other.data.iter()) {
+            acc += a.conj() * b;
+        }
+        comm.advance_compute(2.0 * self.data.len() as f64);
+        comm.allreduce(&acc, |x: &S, y: &S| *x + *y)
+    }
+
+    /// Euclidean norm. Collective.
+    pub fn norm2(&self, comm: &Comm) -> S::Real {
+        let mut acc = S::Real::zero();
+        for &a in &self.data {
+            acc += a.abs_sq();
+        }
+        comm.advance_compute(2.0 * self.data.len() as f64);
+        let total = comm.allreduce(&acc, |x: &S::Real, y: &S::Real| *x + *y);
+        total.sqrt()
+    }
+
+    /// 1-norm (sum of moduli). Collective.
+    pub fn norm1(&self, comm: &Comm) -> S::Real {
+        let mut acc = S::Real::zero();
+        for &a in &self.data {
+            acc += a.abs();
+        }
+        comm.advance_compute(self.data.len() as f64);
+        comm.allreduce(&acc, |x: &S::Real, y: &S::Real| *x + *y)
+    }
+
+    /// ∞-norm (max modulus). Collective.
+    pub fn norm_inf(&self, comm: &Comm) -> S::Real {
+        let mut acc = S::Real::zero();
+        for &a in &self.data {
+            let m = a.abs();
+            if m > acc {
+                acc = m;
+            }
+        }
+        comm.advance_compute(self.data.len() as f64);
+        comm.allreduce(&acc, ReduceOp::max())
+    }
+
+    /// Sum of entries. Collective.
+    pub fn sum(&self, comm: &Comm) -> S {
+        let mut acc = S::zero();
+        for &a in &self.data {
+            acc += a;
+        }
+        comm.advance_compute(self.data.len() as f64);
+        comm.allreduce(&acc, |x: &S, y: &S| *x + *y)
+    }
+
+    /// Redistribute into `new_map` (same global size). Collective.
+    pub fn redistribute(&self, comm: &Comm, new_map: DistMap) -> DistVector<S> {
+        let dir = Directory::build(comm, &self.map);
+        let plan = CommPlan::import(comm, &self.map, &new_map, &dir);
+        let mut out = vec![S::zero(); new_map.my_count()];
+        plan.execute(comm, &self.data, &mut out);
+        DistVector {
+            map: new_map,
+            data: out,
+        }
+    }
+
+    /// Gather the whole vector (in global order) onto every rank.
+    /// Collective; intended for small vectors and tests.
+    pub fn gather_global(&self, comm: &Comm) -> Vec<S> {
+        let pieces: Vec<(Vec<usize>, Vec<S>)> =
+            comm.allgather(&(self.map.my_gids(), self.data.clone()));
+        let mut out = vec![S::zero(); self.map.n_global()];
+        for (gids, vals) in pieces {
+            for (g, v) in gids.into_iter().zip(vals) {
+                out[g] = v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm::Universe;
+
+    fn block_vec(comm: &Comm, n: usize, f: impl Fn(usize) -> f64) -> DistVector<f64> {
+        let map = DistMap::block(n, comm.size(), comm.rank());
+        DistVector::from_fn(map, f)
+    }
+
+    #[test]
+    fn dot_matches_serial() {
+        let out = Universe::run(3, |comm| {
+            let x = block_vec(comm, 10, |g| g as f64);
+            let y = block_vec(comm, 10, |_| 2.0);
+            x.dot(&y, comm)
+        });
+        let expect: f64 = (0..10).map(|g| g as f64 * 2.0).sum();
+        for v in out {
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn norms_match_serial() {
+        let out = Universe::run(4, |comm| {
+            let x = block_vec(comm, 9, |g| if g == 4 { -10.0 } else { 1.0 });
+            (x.norm1(comm), x.norm2(comm), x.norm_inf(comm))
+        });
+        for (n1, n2, ninf) in out {
+            assert!((n1 - 18.0).abs() < 1e-12);
+            assert!((n2 - (8.0f64 + 100.0).sqrt()).abs() < 1e-12);
+            assert_eq!(ninf, 10.0);
+        }
+    }
+
+    #[test]
+    fn axpy_update_scale() {
+        Universe::run(2, |comm| {
+            let mut y = block_vec(comm, 6, |g| g as f64);
+            let x = block_vec(comm, 6, |_| 1.0);
+            y.axpy(2.0, &x); // y = g + 2
+            y.update(3.0, &x, 0.5); // y = 3 + (g+2)/2
+            y.scale(2.0); // y = 6 + g + 2 = g + 8
+            for (l, &v) in y.local().iter().enumerate() {
+                let g = y.map().local_to_global(l);
+                assert_eq!(v, g as f64 + 8.0);
+            }
+        });
+    }
+
+    #[test]
+    fn complex_dot_conjugates() {
+        use crate::scalar::Complex64;
+        let out = Universe::run(2, |comm| {
+            let map = DistMap::block(4, comm.size(), comm.rank());
+            let x = DistVector::from_fn(map.clone(), |_| Complex64::new(0.0, 1.0));
+            let y = DistVector::from_fn(map, |_| Complex64::new(0.0, 1.0));
+            x.dot(&y, comm)
+        });
+        // ⟨i, i⟩ = conj(i)·i summed over 4 entries = 4
+        for v in out {
+            assert_eq!(v, crate::scalar::Complex64::new(4.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn redistribute_preserves_values() {
+        Universe::run(3, |comm| {
+            let x = block_vec(comm, 13, |g| g as f64 * 1.5);
+            let cyc = DistMap::cyclic(13, comm.size(), comm.rank());
+            let y = x.redistribute(comm, cyc);
+            for (l, &v) in y.local().iter().enumerate() {
+                let g = y.map().local_to_global(l);
+                assert_eq!(v, g as f64 * 1.5);
+            }
+        });
+    }
+
+    #[test]
+    fn gather_global_reassembles() {
+        Universe::run(4, |comm| {
+            let x = block_vec(comm, 7, |g| (g * g) as f64);
+            let full = x.gather_global(comm);
+            let expect: Vec<f64> = (0..7).map(|g| (g * g) as f64).collect();
+            assert_eq!(full, expect);
+        });
+    }
+
+    #[test]
+    fn pointwise_and_sum() {
+        let out = Universe::run(2, |comm| {
+            let mut x = block_vec(comm, 5, |g| g as f64 + 1.0);
+            let y = block_vec(comm, 5, |_| 2.0);
+            x.pointwise_mul(&y);
+            x.sum(comm)
+        });
+        // 2*(1+2+3+4+5) = 30
+        for v in out {
+            assert_eq!(v, 30.0);
+        }
+    }
+
+    #[test]
+    fn fill_and_constant() {
+        Universe::run(2, |comm| {
+            let map = DistMap::block(6, comm.size(), comm.rank());
+            let mut v = DistVector::constant(map, 7.0);
+            assert!(v.local().iter().all(|&x| x == 7.0));
+            v.fill(0.0);
+            assert!(v.local().iter().all(|&x| x == 0.0));
+        });
+    }
+}

@@ -1,0 +1,146 @@
+//! Distributed owner lookup (Tpetra `Directory` analog).
+//!
+//! Structured maps answer "who owns gid g?" with pure arithmetic; arbitrary
+//! maps cannot, so a directory distributes the ownership table by a uniform
+//! hash (home rank of `g` is `g mod P`) and answers batched queries with
+//! two all-to-all exchanges.
+
+use std::collections::HashMap;
+
+use comm::Comm;
+
+use crate::map::DistMap;
+
+/// Owner-lookup service for a [`DistMap`].
+pub struct Directory {
+    n_ranks: usize,
+    /// Structured maps are answered locally with no communication.
+    shortcut: Option<DistMap>,
+    /// My slice of the distributed table: gid → owner, for gids whose home
+    /// rank is me.
+    entries: HashMap<usize, usize>,
+}
+
+impl Directory {
+    /// Build the directory. Collective over `comm` for arbitrary maps;
+    /// free for structured maps.
+    pub fn build(comm: &Comm, map: &DistMap) -> Self {
+        if map.has_global_view() {
+            return Directory {
+                n_ranks: map.n_ranks(),
+                shortcut: Some(map.clone()),
+                entries: HashMap::new(),
+            };
+        }
+        let p = comm.size();
+        // Tell each home rank about the gids I own.
+        let mut outgoing: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+        for g in map.my_gids() {
+            outgoing[g % p].push(g);
+        }
+        let incoming = comm.alltoallv(outgoing);
+        let mut entries = HashMap::new();
+        for (owner, gids) in incoming.into_iter().enumerate() {
+            for g in gids {
+                let prev = entries.insert(g, owner);
+                assert!(prev.is_none(), "gid {g} registered by two owners");
+            }
+        }
+        Directory {
+            n_ranks: p,
+            shortcut: None,
+            entries,
+        }
+    }
+
+    /// Owning rank of each queried gid, in query order. Collective (every
+    /// rank must call it, even with an empty query list) unless the map is
+    /// structured.
+    pub fn owners_of(&self, comm: &Comm, queries: &[usize]) -> Vec<usize> {
+        if let Some(map) = &self.shortcut {
+            return queries
+                .iter()
+                .map(|&g| map.owner_of(g).expect("structured map owner"))
+                .collect();
+        }
+        let p = self.n_ranks;
+        // Route each query to its home rank, remembering where answers go.
+        let mut outgoing: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+        let mut slot: Vec<(usize, usize)> = Vec::with_capacity(queries.len());
+        for &g in queries {
+            slot.push((g % p, outgoing[g % p].len()));
+            outgoing[g % p].push(g);
+        }
+        let requests = comm.alltoallv(outgoing);
+        // Answer the queries that landed here.
+        let answers: Vec<Vec<usize>> = requests
+            .into_iter()
+            .map(|gids| {
+                gids.into_iter()
+                    .map(|g| {
+                        *self
+                            .entries
+                            .get(&g)
+                            .unwrap_or_else(|| panic!("gid {g} not in directory"))
+                    })
+                    .collect()
+            })
+            .collect();
+        let replies = comm.alltoallv(answers);
+        slot.iter()
+            .map(|&(home, pos)| replies[home][pos])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm::Universe;
+
+    #[test]
+    fn structured_maps_answer_locally() {
+        Universe::run(3, |comm| {
+            let map = DistMap::cyclic(10, comm.size(), comm.rank());
+            let dir = Directory::build(comm, &map);
+            let owners = dir.owners_of(comm, &[0, 1, 2, 9]);
+            assert_eq!(owners, vec![0, 1, 2, 0]);
+            // no communication happened
+            assert_eq!(comm.stats().msgs_sent, 0);
+        });
+    }
+
+    #[test]
+    fn arbitrary_map_directory_lookup() {
+        Universe::run(4, |comm| {
+            let p = comm.size();
+            let n = 32;
+            // rank r owns gids with (g*7 + 3) % p == r — scrambled layout
+            let gids: Vec<usize> = (0..n).filter(|g| (g * 7 + 3) % p == comm.rank()).collect();
+            let map = DistMap::from_my_gids(comm, gids);
+            let dir = Directory::build(comm, &map);
+            // every rank queries all gids
+            let queries: Vec<usize> = (0..n).collect();
+            let owners = dir.owners_of(comm, &queries);
+            for (g, owner) in queries.iter().zip(owners.iter()) {
+                assert_eq!(*owner, (g * 7 + 3) % p);
+            }
+        });
+    }
+
+    #[test]
+    fn empty_queries_are_fine() {
+        Universe::run(2, |comm| {
+            let gids: Vec<usize> = (0..6).filter(|g| g % 2 == comm.rank()).collect();
+            let map = DistMap::from_my_gids(comm, gids);
+            let dir = Directory::build(comm, &map);
+            let queries = if comm.rank() == 0 { vec![5, 0] } else { vec![] };
+            let owners = dir.owners_of(comm, &queries);
+            if comm.rank() == 0 {
+                assert_eq!(owners, vec![1, 0]);
+            } else {
+                assert!(owners.is_empty());
+            }
+        });
+    }
+}

@@ -1,0 +1,294 @@
+//! Precomputed communication plans (Tpetra `Import`/`Export` analog).
+//!
+//! A [`CommPlan`] records, once, which local entries must be sent to which
+//! peers and where received entries land; executing the plan then moves any
+//! `Wire`-encodable element type with no further index arithmetic. The same
+//! mechanism serves three paper use-cases:
+//!
+//! * redistribution between two maps (non-conformable binary ufuncs, E4),
+//! * halo/ghost gathers for SpMV and shifted-slice arithmetic (E5),
+//! * reverse "export" with combine modes for accumulating contributions.
+
+use comm::{Comm, Src, Tag, Wire};
+
+use crate::directory::Directory;
+use crate::map::DistMap;
+
+/// Fixed user tag for plan traffic. Plan executions are SPMD-ordered per
+/// rank and channels are FIFO per sender, so a single tag cannot mismatch
+/// across back-to-back executions.
+const PLAN_TAG: Tag = 0x3FFF_0000; // below MAX_USER_TAG = 1 << 30
+
+/// How received values combine with existing target entries in
+/// [`CommPlan::execute_combine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombineMode {
+    /// Overwrite the target entry.
+    Insert,
+    /// Add into the target entry.
+    Add,
+}
+
+/// A reusable data-movement plan from a source map to a list of requested
+/// global ids (which may overlap across ranks — that is what makes halo
+/// exchange expressible).
+#[derive(Debug, Clone)]
+pub struct CommPlan {
+    /// `(peer, source-local ids to send, in peer's request order)`
+    sends: Vec<(usize, Vec<usize>)>,
+    /// `(peer, target positions to fill, in my request order)`
+    recvs: Vec<(usize, Vec<usize>)>,
+    /// `(source lid, target position)` for locally-owned requests
+    local: Vec<(usize, usize)>,
+    /// Number of target positions (= length of the request list).
+    n_target: usize,
+}
+
+impl CommPlan {
+    /// Build a gather plan: after execution, `target[i]` holds the value of
+    /// global id `needed_gids[i]` taken from `src`-distributed data.
+    /// Collective over `comm`.
+    pub fn gather(
+        comm: &Comm,
+        src: &DistMap,
+        dir: &Directory,
+        needed_gids: &[usize],
+    ) -> CommPlan {
+        let p = comm.size();
+        let me = comm.rank();
+        let owners = dir.owners_of(comm, needed_gids);
+        // Group requests by owner.
+        let mut req_gids: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+        let mut req_pos: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+        let mut local = Vec::new();
+        for (pos, (&g, &owner)) in needed_gids.iter().zip(owners.iter()).enumerate() {
+            if owner == me {
+                let lid = src
+                    .global_to_local(g)
+                    .unwrap_or_else(|| panic!("directory says rank {me} owns gid {g}, map disagrees"));
+                local.push((lid, pos));
+            } else {
+                req_gids[owner].push(g);
+                req_pos[owner].push(pos);
+            }
+        }
+        // Tell owners what we need; learn what peers need from us.
+        let incoming = comm.alltoallv(req_gids);
+        let mut sends = Vec::new();
+        for (peer, gids) in incoming.into_iter().enumerate() {
+            if gids.is_empty() {
+                continue;
+            }
+            let lids = gids
+                .into_iter()
+                .map(|g| {
+                    src.global_to_local(g)
+                        .unwrap_or_else(|| panic!("rank {me} asked for gid {g} it does not own"))
+                })
+                .collect();
+            sends.push((peer, lids));
+        }
+        let recvs = req_pos
+            .into_iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .collect();
+        CommPlan {
+            sends,
+            recvs,
+            local,
+            n_target: needed_gids.len(),
+        }
+    }
+
+    /// Build a redistribution plan from `src` to `dst` (an *import*): after
+    /// execution, data laid out by `src` is laid out by `dst`.
+    pub fn import(comm: &Comm, src: &DistMap, dst: &DistMap, dir: &Directory) -> CommPlan {
+        assert_eq!(
+            src.n_global(),
+            dst.n_global(),
+            "import requires equal global sizes"
+        );
+        Self::gather(comm, src, dir, &dst.my_gids())
+    }
+
+    /// Number of entries the target buffer must hold.
+    pub fn n_target(&self) -> usize {
+        self.n_target
+    }
+
+    /// Total values this rank sends when the plan executes.
+    pub fn n_sent(&self) -> usize {
+        self.sends.iter().map(|(_, l)| l.len()).sum()
+    }
+
+    /// Number of peer ranks this rank exchanges data with.
+    pub fn n_peers(&self) -> usize {
+        self.sends.len() + self.recvs.len()
+    }
+
+    /// Execute the plan: fill `target` (length [`Self::n_target`]) from
+    /// `src_data` (laid out by the source map). Collective.
+    pub fn execute<T: Wire + Copy>(&self, comm: &Comm, src_data: &[T], target: &mut [T]) {
+        self.execute_combine(comm, src_data, target, CombineMode::Insert, |_, v| v)
+    }
+
+    /// Execute with an explicit combine: `combine(old_target_value, incoming)`
+    /// decides what lands in the target. `CombineMode::Add` callers can pass
+    /// `|a, b| a + b`; the mode argument is advisory metadata for readers.
+    pub fn execute_combine<T, F>(
+        &self,
+        comm: &Comm,
+        src_data: &[T],
+        target: &mut [T],
+        _mode: CombineMode,
+        combine: F,
+    ) where
+        T: Wire + Copy,
+        F: Fn(T, T) -> T,
+    {
+        assert!(
+            target.len() >= self.n_target,
+            "target buffer too small: {} < {}",
+            target.len(),
+            self.n_target
+        );
+        for &(peer, ref lids) in &self.sends {
+            let payload: Vec<T> = lids.iter().map(|&l| src_data[l]).collect();
+            comm.send(peer, PLAN_TAG, &payload).expect("plan send");
+        }
+        for &(slid, tpos) in &self.local {
+            target[tpos] = combine(target[tpos], src_data[slid]);
+        }
+        for &(peer, ref positions) in &self.recvs {
+            let (payload, _) = comm
+                .recv::<Vec<T>>(Src::Rank(peer), PLAN_TAG)
+                .expect("plan recv");
+            assert_eq!(payload.len(), positions.len(), "plan payload mismatch");
+            for (&pos, v) in positions.iter().zip(payload) {
+                target[pos] = combine(target[pos], v);
+            }
+        }
+    }
+
+    /// Convenience: allocate and fill a fresh target buffer.
+    pub fn execute_to_vec<T: Wire + Copy + Default>(&self, comm: &Comm, src_data: &[T]) -> Vec<T> {
+        let mut out = vec![T::default(); self.n_target];
+        self.execute(comm, src_data, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm::Universe;
+
+    #[test]
+    fn import_block_to_cyclic_roundtrip() {
+        Universe::run(3, |comm| {
+            let n = 11;
+            let src = DistMap::block(n, comm.size(), comm.rank());
+            let dst = DistMap::cyclic(n, comm.size(), comm.rank());
+            let dir = Directory::build(comm, &src);
+            let plan = CommPlan::import(comm, &src, &dst, &dir);
+            // data[g] = 100 + g, laid out by the block map
+            let src_data: Vec<i64> = src.my_gids().iter().map(|&g| 100 + g as i64).collect();
+            let out = plan.execute_to_vec(comm, &src_data);
+            let expect: Vec<i64> = dst.my_gids().iter().map(|&g| 100 + g as i64).collect();
+            assert_eq!(out, expect);
+        });
+    }
+
+    #[test]
+    fn gather_with_overlap_is_halo_exchange() {
+        Universe::run(4, |comm| {
+            let n = 16;
+            let map = DistMap::block(n, comm.size(), comm.rank());
+            let dir = Directory::build(comm, &map);
+            // Each rank wants its own gids plus one ghost on each side.
+            let mut needed = map.my_gids();
+            let first = needed.first().copied();
+            let last = needed.last().copied();
+            if let Some(f) = first {
+                if f > 0 {
+                    needed.insert(0, f - 1);
+                }
+            }
+            if let Some(l) = last {
+                if l + 1 < n {
+                    needed.push(l + 1);
+                }
+            }
+            let plan = CommPlan::gather(comm, &map, &dir, &needed);
+            let src_data: Vec<f64> = map.my_gids().iter().map(|&g| g as f64 * 0.5).collect();
+            let out = plan.execute_to_vec(comm, &src_data);
+            let expect: Vec<f64> = needed.iter().map(|&g| g as f64 * 0.5).collect();
+            assert_eq!(out, expect);
+        });
+    }
+
+    #[test]
+    fn combine_add_accumulates() {
+        Universe::run(2, |comm| {
+            let n = 4;
+            let map = DistMap::block(n, comm.size(), comm.rank());
+            let dir = Directory::build(comm, &map);
+            // Both ranks request gid 0 and gid 3.
+            let needed = vec![0usize, 3];
+            let plan = CommPlan::gather(comm, &map, &dir, &needed);
+            let src_data: Vec<i64> = map.my_gids().iter().map(|&g| g as i64).collect();
+            let mut target = vec![10i64; 2];
+            plan.execute_combine(comm, &src_data, &mut target, CombineMode::Add, |a, b| a + b);
+            assert_eq!(target, vec![10, 13]);
+        });
+    }
+
+    #[test]
+    fn plan_is_reusable() {
+        Universe::run(2, |comm| {
+            let n = 8;
+            let src = DistMap::block(n, comm.size(), comm.rank());
+            let dst = DistMap::cyclic(n, comm.size(), comm.rank());
+            let dir = Directory::build(comm, &src);
+            let plan = CommPlan::import(comm, &src, &dst, &dir);
+            for round in 0..3i64 {
+                let src_data: Vec<i64> =
+                    src.my_gids().iter().map(|&g| g as i64 * round).collect();
+                let out = plan.execute_to_vec(comm, &src_data);
+                let expect: Vec<i64> = dst.my_gids().iter().map(|&g| g as i64 * round).collect();
+                assert_eq!(out, expect);
+            }
+        });
+    }
+
+    #[test]
+    fn conformable_import_moves_nothing() {
+        Universe::run(3, |comm| {
+            let n = 10;
+            let map = DistMap::block(n, comm.size(), comm.rank());
+            let dir = Directory::build(comm, &map);
+            let plan = CommPlan::import(comm, &map, &map, &dir);
+            assert_eq!(plan.n_sent(), 0);
+            assert_eq!(plan.n_peers(), 0);
+        });
+    }
+
+    #[test]
+    fn arbitrary_source_map_works() {
+        Universe::run(3, |comm| {
+            let n = 12;
+            let p = comm.size();
+            // scrambled ownership
+            let gids: Vec<usize> = (0..n).filter(|g| (g * 5 + 1) % p == comm.rank()).collect();
+            let src = DistMap::from_my_gids(comm, gids);
+            let dst = DistMap::block(n, p, comm.rank());
+            let dir = Directory::build(comm, &src);
+            let plan = CommPlan::import(comm, &src, &dst, &dir);
+            let src_data: Vec<u64> = src.my_gids().iter().map(|&g| g as u64 * 3).collect();
+            let out = plan.execute_to_vec(comm, &src_data);
+            let expect: Vec<u64> = dst.my_gids().iter().map(|&g| g as u64 * 3).collect();
+            assert_eq!(out, expect);
+        });
+    }
+}

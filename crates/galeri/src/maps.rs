@@ -1,0 +1,65 @@
+//! Convenience map constructors bound to a communicator.
+
+use comm::Comm;
+use dmap::{DistMap, Distribution};
+
+/// Uniform block map over `comm`.
+pub fn block_map(comm: &Comm, n: usize) -> DistMap {
+    DistMap::block(n, comm.size(), comm.rank())
+}
+
+/// Cyclic map over `comm`.
+pub fn cyclic_map(comm: &Comm, n: usize) -> DistMap {
+    DistMap::cyclic(n, comm.size(), comm.rank())
+}
+
+/// Map with an arbitrary structured distribution over `comm`.
+pub fn map_with(comm: &Comm, dist: Distribution, n: usize) -> DistMap {
+    DistMap::with_distribution(dist, n, comm.size(), comm.rank())
+}
+
+/// An intentionally imbalanced block map: the first rank gets `frac` of
+/// all indices (test fodder for the Isorropia-style rebalancer).
+pub fn skewed_block_map(comm: &Comm, n: usize, frac: f64) -> DistMap {
+    let p = comm.size();
+    assert!((0.0..=1.0).contains(&frac));
+    let first = ((n as f64) * frac) as usize;
+    let rest = n - first;
+    let mut counts = vec![0usize; p];
+    counts[0] = first;
+    for (r, c) in counts.iter_mut().enumerate().skip(1) {
+        *c = rest / (p - 1) + usize::from(r - 1 < rest % (p - 1));
+    }
+    if p == 1 {
+        counts[0] = n;
+    }
+    DistMap::block_from_counts(&counts, comm.rank())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm::Universe;
+
+    #[test]
+    fn builders_cover_distributions() {
+        Universe::run(3, |comm| {
+            assert_eq!(block_map(comm, 10).n_global(), 10);
+            assert_eq!(cyclic_map(comm, 10).my_count(), 10 / 3 + usize::from(comm.rank() < 1));
+            let m = map_with(comm, Distribution::BlockCyclic(2), 12);
+            assert_eq!(m.n_global(), 12);
+        });
+    }
+
+    #[test]
+    fn skewed_map_is_skewed() {
+        Universe::run(4, |comm| {
+            let m = skewed_block_map(comm, 100, 0.7);
+            if comm.rank() == 0 {
+                assert_eq!(m.my_count(), 70);
+            } else {
+                assert_eq!(m.my_count(), 10);
+            }
+        });
+    }
+}

@@ -1,0 +1,52 @@
+//! Synthetic workload generators shared by benchmarks.
+
+use comm::Comm;
+use dlinalg::DistVector;
+use dmap::DistMap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random vector: values depend only on the global index and
+/// seed, so results are identical for every rank count.
+pub fn random_vector(comm: &Comm, n: usize, seed: u64) -> DistVector<f64> {
+    let map = DistMap::block(n, comm.size(), comm.rank());
+    DistVector::from_fn(map, move |g| {
+        let mut rng = StdRng::seed_from_u64(seed ^ (g as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        rng.gen_range(-1.0..1.0)
+    })
+}
+
+/// Per-element weights with a power-law hotspot at low indices —
+/// the load-imbalance stress case for rebalancing.
+pub fn powerlaw_weights(map: &DistMap, alpha: f64) -> Vec<f64> {
+    (0..map.my_count())
+        .map(|l| {
+            let g = map.local_to_global(l) as f64 + 1.0;
+            g.powf(-alpha) * 1000.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm::Universe;
+
+    #[test]
+    fn random_vector_rank_count_invariant() {
+        let a = Universe::run(2, |comm| random_vector(comm, 16, 7).gather_global(comm));
+        let b = Universe::run(4, |comm| random_vector(comm, 16, 7).gather_global(comm));
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn powerlaw_is_decreasing() {
+        Universe::run(1, |comm| {
+            let map = DistMap::block(10, comm.size(), comm.rank());
+            let w = powerlaw_weights(&map, 1.0);
+            for k in 1..w.len() {
+                assert!(w[k] <= w[k - 1]);
+            }
+        });
+    }
+}

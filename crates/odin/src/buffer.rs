@@ -1,0 +1,546 @@
+//! Typed local storage for array segments, with NumPy-style dtype
+//! promotion (`bool < i64 < f64`). ODIN inherits NumPy's dtype machinery
+//! in the paper; this module is its equivalent for the three numeric
+//! kinds the reproduction supports.
+
+use comm::{CommError, Cursor, Wire};
+
+use crate::protocol::{BinOp, UnaryOp};
+
+/// Element type of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DType {
+    /// Booleans (comparison results).
+    Bool,
+    /// 64-bit signed integers.
+    I64,
+    /// 64-bit floats.
+    F64,
+}
+
+impl DType {
+    /// NumPy-style promotion: the smallest dtype containing both.
+    pub fn promote(self, other: DType) -> DType {
+        use DType::*;
+        match (self, other) {
+            (F64, _) | (_, F64) => F64,
+            (I64, _) | (_, I64) => I64,
+            (Bool, Bool) => Bool,
+        }
+    }
+}
+
+/// A contiguous typed buffer: one worker's segment of a distributed array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Buffer {
+    /// Boolean storage.
+    Bool(Vec<bool>),
+    /// Integer storage.
+    I64(Vec<i64>),
+    /// Float storage.
+    F64(Vec<f64>),
+}
+
+impl Buffer {
+    /// Element count.
+    pub fn len(&self) -> usize {
+        match self {
+            Buffer::Bool(v) => v.len(),
+            Buffer::I64(v) => v.len(),
+            Buffer::F64(v) => v.len(),
+        }
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The buffer's dtype.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Buffer::Bool(_) => DType::Bool,
+            Buffer::I64(_) => DType::I64,
+            Buffer::F64(_) => DType::F64,
+        }
+    }
+
+    /// Zero-filled buffer of `dtype`.
+    pub fn zeros(dtype: DType, n: usize) -> Buffer {
+        match dtype {
+            DType::Bool => Buffer::Bool(vec![false; n]),
+            DType::I64 => Buffer::I64(vec![0; n]),
+            DType::F64 => Buffer::F64(vec![0.0; n]),
+        }
+    }
+
+    /// Element at `i` widened to `f64` (bools as 0/1).
+    pub fn get_f64(&self, i: usize) -> f64 {
+        match self {
+            Buffer::Bool(v) => f64::from(u8::from(v[i])),
+            Buffer::I64(v) => v[i] as f64,
+            Buffer::F64(v) => v[i],
+        }
+    }
+
+    /// Element at `i` as `i64` (floats truncated).
+    pub fn get_i64(&self, i: usize) -> i64 {
+        match self {
+            Buffer::Bool(v) => i64::from(v[i]),
+            Buffer::I64(v) => v[i],
+            Buffer::F64(v) => v[i] as i64,
+        }
+    }
+
+    /// Convert to `dtype`, copying.
+    pub fn astype(&self, dtype: DType) -> Buffer {
+        if self.dtype() == dtype {
+            return self.clone();
+        }
+        let n = self.len();
+        match dtype {
+            DType::F64 => Buffer::F64((0..n).map(|i| self.get_f64(i)).collect()),
+            DType::I64 => Buffer::I64((0..n).map(|i| self.get_i64(i)).collect()),
+            DType::Bool => Buffer::Bool((0..n).map(|i| self.get_f64(i) != 0.0).collect()),
+        }
+    }
+
+    /// Borrow as `f64` slice (panics if not F64).
+    pub fn as_f64(&self) -> &[f64] {
+        match self {
+            Buffer::F64(v) => v,
+            other => panic!("expected f64 buffer, found {:?}", other.dtype()),
+        }
+    }
+
+    /// Mutably borrow as `f64` slice (panics if not F64).
+    pub fn as_f64_mut(&mut self) -> &mut [f64] {
+        match self {
+            Buffer::F64(v) => v,
+            other => panic!("expected f64 buffer, found {:?}", other.dtype()),
+        }
+    }
+
+    /// Borrow as `i64` slice (panics if not I64).
+    pub fn as_i64(&self) -> &[i64] {
+        match self {
+            Buffer::I64(v) => v,
+            other => panic!("expected i64 buffer, found {:?}", other.dtype()),
+        }
+    }
+
+    /// Borrow as `bool` slice (panics if not Bool).
+    pub fn as_bool(&self) -> &[bool] {
+        match self {
+            Buffer::Bool(v) => v,
+            other => panic!("expected bool buffer, found {:?}", other.dtype()),
+        }
+    }
+
+    /// Extract a strided subsequence (1-D slice materialization).
+    pub fn gather_indices(&self, idx: impl Iterator<Item = usize>) -> Buffer {
+        match self {
+            Buffer::Bool(v) => Buffer::Bool(idx.map(|i| v[i]).collect()),
+            Buffer::I64(v) => Buffer::I64(idx.map(|i| v[i]).collect()),
+            Buffer::F64(v) => Buffer::F64(idx.map(|i| v[i]).collect()),
+        }
+    }
+
+    /// Concatenate buffers of the same dtype.
+    pub fn concat(pieces: Vec<Buffer>) -> Buffer {
+        let dtype = pieces.first().map(|b| b.dtype()).unwrap_or(DType::F64);
+        let mut out = Buffer::zeros(dtype, 0);
+        for p in pieces {
+            assert_eq!(p.dtype(), dtype, "concat dtype mismatch");
+            match (&mut out, p) {
+                (Buffer::Bool(o), Buffer::Bool(v)) => o.extend(v),
+                (Buffer::I64(o), Buffer::I64(v)) => o.extend(v),
+                (Buffer::F64(o), Buffer::F64(v)) => o.extend(v),
+                _ => unreachable!(),
+            }
+        }
+        out
+    }
+}
+
+/// The result dtype of a unary op applied to `d`.
+pub fn unary_result_dtype(op: UnaryOp, d: DType) -> DType {
+    use UnaryOp::*;
+    match op {
+        Neg => {
+            if d == DType::Bool {
+                DType::I64
+            } else {
+                d
+            }
+        }
+        Abs => {
+            if d == DType::Bool {
+                DType::I64
+            } else {
+                d
+            }
+        }
+        Not => DType::Bool,
+        // transcendental ufuncs always produce floats, as in NumPy
+        Sin | Cos | Tan | Exp | Log | Sqrt | Floor | Ceil => DType::F64,
+    }
+}
+
+/// The result dtype of a binary op on `(a, b)`.
+pub fn binary_result_dtype(op: BinOp, a: DType, b: DType) -> DType {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Max | Min => {
+            let p = a.promote(b);
+            if p == DType::Bool {
+                DType::I64
+            } else {
+                p
+            }
+        }
+        Div | Pow | Hypot | Atan2 => DType::F64,
+        Mod => a.promote(b),
+        Eq | Ne | Lt | Le | Gt | Ge | And | Or => DType::Bool,
+    }
+}
+
+/// Apply a unary ufunc elementwise.
+pub fn apply_unary(op: UnaryOp, a: &Buffer) -> Buffer {
+    use UnaryOp::*;
+    let out_dtype = unary_result_dtype(op, a.dtype());
+    match op {
+        Neg => match a {
+            Buffer::F64(v) => Buffer::F64(v.iter().map(|x| -x).collect()),
+            _ => Buffer::I64((0..a.len()).map(|i| -a.get_i64(i)).collect()),
+        },
+        Abs => match a {
+            Buffer::F64(v) => Buffer::F64(v.iter().map(|x| x.abs()).collect()),
+            _ => Buffer::I64((0..a.len()).map(|i| a.get_i64(i).abs()).collect()),
+        },
+        Not => Buffer::Bool((0..a.len()).map(|i| a.get_f64(i) == 0.0).collect()),
+        _ => {
+            let f: fn(f64) -> f64 = match op {
+                Sin => f64::sin,
+                Cos => f64::cos,
+                Tan => f64::tan,
+                Exp => f64::exp,
+                Log => f64::ln,
+                Sqrt => f64::sqrt,
+                Floor => f64::floor,
+                Ceil => f64::ceil,
+                _ => unreachable!(),
+            };
+            debug_assert_eq!(out_dtype, DType::F64);
+            Buffer::F64((0..a.len()).map(|i| f(a.get_f64(i))).collect())
+        }
+    }
+}
+
+/// Evaluate one binary op on two f64 operands.
+pub fn binop_f64(op: BinOp, x: f64, y: f64) -> f64 {
+    use BinOp::*;
+    match op {
+        Add => x + y,
+        Sub => x - y,
+        Mul => x * y,
+        Div => x / y,
+        Pow => x.powf(y),
+        Mod => x % y,
+        Max => x.max(y),
+        Min => x.min(y),
+        Hypot => x.hypot(y),
+        Atan2 => x.atan2(y),
+        _ => unreachable!("comparison handled separately"),
+    }
+}
+
+fn binop_i64(op: BinOp, x: i64, y: i64) -> i64 {
+    use BinOp::*;
+    match op {
+        Add => x.wrapping_add(y),
+        Sub => x.wrapping_sub(y),
+        Mul => x.wrapping_mul(y),
+        Mod => {
+            if y == 0 {
+                0
+            } else {
+                x.rem_euclid(y)
+            }
+        }
+        Max => x.max(y),
+        Min => x.min(y),
+        _ => unreachable!(),
+    }
+}
+
+fn binop_cmp(op: BinOp, x: f64, y: f64) -> bool {
+    use BinOp::*;
+    match op {
+        Eq => x == y,
+        Ne => x != y,
+        Lt => x < y,
+        Le => x <= y,
+        Gt => x > y,
+        Ge => x >= y,
+        And => x != 0.0 && y != 0.0,
+        Or => x != 0.0 || y != 0.0,
+        _ => unreachable!(),
+    }
+}
+
+/// Apply a binary ufunc elementwise to equal-length buffers, with
+/// promotion.
+pub fn apply_binary(op: BinOp, a: &Buffer, b: &Buffer) -> Buffer {
+    assert_eq!(a.len(), b.len(), "binary ufunc length mismatch");
+    let out = binary_result_dtype(op, a.dtype(), b.dtype());
+    let n = a.len();
+    // fast monomorphic loops for the dominant f64∘f64 arithmetic cases
+    if let (Buffer::F64(x), Buffer::F64(y)) = (a, b) {
+        let zip = |f: fn(f64, f64) -> f64| -> Buffer {
+            Buffer::F64(x.iter().zip(y.iter()).map(|(&u, &v)| f(u, v)).collect())
+        };
+        match op {
+            BinOp::Add => return zip(|u, v| u + v),
+            BinOp::Sub => return zip(|u, v| u - v),
+            BinOp::Mul => return zip(|u, v| u * v),
+            BinOp::Div => return zip(|u, v| u / v),
+            BinOp::Max => return zip(f64::max),
+            BinOp::Min => return zip(f64::min),
+            BinOp::Hypot => return zip(f64::hypot),
+            _ => {}
+        }
+    }
+    match out {
+        DType::F64 => {
+            Buffer::F64((0..n).map(|i| binop_f64(op, a.get_f64(i), b.get_f64(i))).collect())
+        }
+        DType::I64 => {
+            Buffer::I64((0..n).map(|i| binop_i64(op, a.get_i64(i), b.get_i64(i))).collect())
+        }
+        DType::Bool => {
+            Buffer::Bool((0..n).map(|i| binop_cmp(op, a.get_f64(i), b.get_f64(i))).collect())
+        }
+    }
+}
+
+/// Apply a binary ufunc between a buffer and a broadcast scalar.
+pub fn apply_binary_scalar(op: BinOp, a: &Buffer, scalar: f64, scalar_left: bool) -> Buffer {
+    // Scalars arrive as f64 on the wire; integer identity is preserved
+    // when both the buffer and the scalar are integral.
+    let scalar_dtype = if scalar.fract() == 0.0 && scalar.abs() < 2f64.powi(53) {
+        DType::I64
+    } else {
+        DType::F64
+    };
+    let out = binary_result_dtype(op, a.dtype(), scalar_dtype);
+    let n = a.len();
+    // strength reduction: x ** small-integer runs as powi
+    if op == BinOp::Pow
+        && !scalar_left
+        && out == DType::F64
+        && scalar.fract() == 0.0
+        && scalar.abs() <= 8.0
+    {
+        let e = scalar as i32;
+        return Buffer::F64((0..n).map(|i| a.get_f64(i).powi(e)).collect());
+    }
+    let pick = |x: f64| if scalar_left { (scalar, x) } else { (x, scalar) };
+    match out {
+        DType::F64 => Buffer::F64(
+            (0..n)
+                .map(|i| {
+                    let (x, y) = pick(a.get_f64(i));
+                    binop_f64(op, x, y)
+                })
+                .collect(),
+        ),
+        DType::I64 => Buffer::I64(
+            (0..n)
+                .map(|i| {
+                    let (x, y) = if scalar_left {
+                        (scalar as i64, a.get_i64(i))
+                    } else {
+                        (a.get_i64(i), scalar as i64)
+                    };
+                    binop_i64(op, x, y)
+                })
+                .collect(),
+        ),
+        DType::Bool => Buffer::Bool(
+            (0..n)
+                .map(|i| {
+                    let (x, y) = pick(a.get_f64(i));
+                    binop_cmp(op, x, y)
+                })
+                .collect(),
+        ),
+    }
+}
+
+impl Wire for DType {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(match self {
+            DType::Bool => 0,
+            DType::I64 => 1,
+            DType::F64 => 2,
+        });
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, CommError> {
+        match u8::decode(cur)? {
+            0 => Ok(DType::Bool),
+            1 => Ok(DType::I64),
+            2 => Ok(DType::F64),
+            b => Err(CommError::Decode(format!("bad dtype byte {b}"))),
+        }
+    }
+}
+
+impl Wire for Buffer {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.dtype().encode(buf);
+        match self {
+            Buffer::Bool(v) => v.encode(buf),
+            Buffer::I64(v) => v.encode(buf),
+            Buffer::F64(v) => v.encode(buf),
+        }
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, CommError> {
+        match DType::decode(cur)? {
+            DType::Bool => Ok(Buffer::Bool(Vec::decode(cur)?)),
+            DType::I64 => Ok(Buffer::I64(Vec::decode(cur)?)),
+            DType::F64 => Ok(Buffer::F64(Vec::decode(cur)?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promotion_ladder() {
+        assert_eq!(DType::Bool.promote(DType::Bool), DType::Bool);
+        assert_eq!(DType::Bool.promote(DType::I64), DType::I64);
+        assert_eq!(DType::I64.promote(DType::F64), DType::F64);
+        assert_eq!(DType::F64.promote(DType::Bool), DType::F64);
+    }
+
+    #[test]
+    fn unary_ops() {
+        let a = Buffer::F64(vec![0.0, 1.0, 4.0]);
+        assert_eq!(apply_unary(UnaryOp::Sqrt, &a), Buffer::F64(vec![0.0, 1.0, 2.0]));
+        let b = Buffer::I64(vec![-2, 3]);
+        assert_eq!(apply_unary(UnaryOp::Neg, &b), Buffer::I64(vec![2, -3]));
+        assert_eq!(apply_unary(UnaryOp::Abs, &b), Buffer::I64(vec![2, 3]));
+        // sin of ints promotes to float
+        let c = Buffer::I64(vec![0]);
+        assert_eq!(apply_unary(UnaryOp::Sin, &c), Buffer::F64(vec![0.0]));
+        // logical not
+        let d = Buffer::Bool(vec![true, false]);
+        assert_eq!(apply_unary(UnaryOp::Not, &d), Buffer::Bool(vec![false, true]));
+    }
+
+    #[test]
+    fn binary_promotion() {
+        let i = Buffer::I64(vec![1, 2, 3]);
+        let f = Buffer::F64(vec![0.5, 0.5, 0.5]);
+        assert_eq!(
+            apply_binary(BinOp::Add, &i, &f),
+            Buffer::F64(vec![1.5, 2.5, 3.5])
+        );
+        assert_eq!(
+            apply_binary(BinOp::Add, &i, &i),
+            Buffer::I64(vec![2, 4, 6])
+        );
+        // int/int division is float (true division, like NumPy / Python 3)
+        assert_eq!(
+            apply_binary(BinOp::Div, &i, &i),
+            Buffer::F64(vec![1.0, 1.0, 1.0])
+        );
+        // bool + bool promotes to int
+        let b = Buffer::Bool(vec![true, true, false]);
+        assert_eq!(apply_binary(BinOp::Add, &b, &b), Buffer::I64(vec![2, 2, 0]));
+    }
+
+    #[test]
+    fn comparisons_yield_bool() {
+        let a = Buffer::F64(vec![1.0, 2.0, 3.0]);
+        let b = Buffer::F64(vec![2.0, 2.0, 2.0]);
+        assert_eq!(
+            apply_binary(BinOp::Lt, &a, &b),
+            Buffer::Bool(vec![true, false, false])
+        );
+        assert_eq!(
+            apply_binary(BinOp::Ge, &a, &b),
+            Buffer::Bool(vec![false, true, true])
+        );
+    }
+
+    #[test]
+    fn scalar_broadcast_both_sides() {
+        let a = Buffer::F64(vec![1.0, 2.0]);
+        assert_eq!(
+            apply_binary_scalar(BinOp::Sub, &a, 1.0, false),
+            Buffer::F64(vec![0.0, 1.0])
+        );
+        assert_eq!(
+            apply_binary_scalar(BinOp::Sub, &a, 1.0, true),
+            Buffer::F64(vec![0.0, -1.0])
+        );
+        // integer scalar keeps integer arrays integral
+        let i = Buffer::I64(vec![3, 4]);
+        assert_eq!(
+            apply_binary_scalar(BinOp::Mul, &i, 2.0, false),
+            Buffer::I64(vec![6, 8])
+        );
+        // fractional scalar promotes
+        assert_eq!(
+            apply_binary_scalar(BinOp::Mul, &i, 0.5, false),
+            Buffer::F64(vec![1.5, 2.0])
+        );
+    }
+
+    #[test]
+    fn astype_conversions() {
+        let f = Buffer::F64(vec![0.0, 1.7, -2.3]);
+        assert_eq!(f.astype(DType::I64), Buffer::I64(vec![0, 1, -2]));
+        assert_eq!(
+            f.astype(DType::Bool),
+            Buffer::Bool(vec![false, true, true])
+        );
+        let b = Buffer::Bool(vec![true, false]);
+        assert_eq!(b.astype(DType::F64), Buffer::F64(vec![1.0, 0.0]));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        for buf in [
+            Buffer::F64(vec![1.5, -2.5]),
+            Buffer::I64(vec![7, -9]),
+            Buffer::Bool(vec![true, false, true]),
+        ] {
+            let bytes = comm::encode_to_vec(&buf);
+            let back: Buffer = comm::decode_from_slice(&bytes).unwrap();
+            assert_eq!(back, buf);
+        }
+    }
+
+    #[test]
+    fn hypot_and_atan2() {
+        let a = Buffer::F64(vec![3.0]);
+        let b = Buffer::F64(vec![4.0]);
+        assert_eq!(apply_binary(BinOp::Hypot, &a, &b), Buffer::F64(vec![5.0]));
+        let t = apply_binary(BinOp::Atan2, &b, &a);
+        assert!((t.as_f64()[0] - (4.0f64).atan2(3.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gather_indices_and_concat() {
+        let a = Buffer::I64(vec![10, 20, 30, 40, 50]);
+        let g = a.gather_indices([4, 2, 0].into_iter());
+        assert_eq!(g, Buffer::I64(vec![50, 30, 10]));
+        let c = Buffer::concat(vec![g, Buffer::I64(vec![99])]);
+        assert_eq!(c, Buffer::I64(vec![50, 30, 10, 99]));
+    }
+}

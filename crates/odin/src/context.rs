@@ -1,0 +1,1293 @@
+//! The ODIN process (master) and its persistent worker pool (paper Fig. 1).
+//!
+//! The master owns array *handles* and broadcasts small control commands;
+//! workers own the array *segments*, execute commands in order, and
+//! communicate directly with each other over a [`comm`] communicator —
+//! never through the master — for redistributions, slicing, reductions and
+//! local-mode functions. Control messages can be *batched*
+//! ([`OdinContext::begin_batch`]) "for the frequent case when
+//! communication latency is significant" (§III-B).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use comm::{Comm, Cursor, Universe, UniverseConfig, Wire};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dlinalg::DistVector;
+
+use crate::buffer::{
+    apply_binary, apply_binary_scalar, apply_unary, binary_result_dtype, binop_f64,
+    unary_result_dtype, Buffer, DType,
+};
+use crate::protocol::{ArrayMeta, BinOp, Cmd, Dist, Fill, FusedOp, ReduceKind, UnaryOp};
+use crate::slicing::{redistribute_worker, slice_worker};
+
+/// Signature of a registered local-mode function (the `@odin.local`
+/// decorator analog): it runs on every worker with direct access to the
+/// worker's scope and the call's array/scalar arguments.
+pub type LocalFn = Arc<dyn Fn(&mut WorkerScope<'_>, &[u64], &[f64]) + Send + Sync>;
+
+enum ToWorker {
+    /// One or more concatenated Wire-encoded commands.
+    Bytes(Vec<u8>),
+    /// Broadcast a local-mode function object (the paper's decorator
+    /// "broadcasts the resulting function object to all worker nodes").
+    Register { id: u64, f: LocalFn },
+}
+
+/// Configuration of an ODIN context.
+#[derive(Clone, Copy)]
+pub struct OdinConfig {
+    /// Number of workers.
+    pub n_workers: usize,
+    /// Cost model for the worker communicator.
+    pub model: comm::NetworkModel,
+    /// Collective algorithm for worker collectives.
+    pub algo: comm::CollectiveAlgo,
+}
+
+impl Default for OdinConfig {
+    fn default() -> Self {
+        OdinConfig {
+            n_workers: 4,
+            model: comm::NetworkModel::default(),
+            algo: comm::CollectiveAlgo::default(),
+        }
+    }
+}
+
+/// Master-side instrumentation (the paper's §III-J bottleneck
+/// instrumentation goal): control vs data traffic, separately.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ContextStats {
+    /// Control commands issued (each broadcast counts once per worker).
+    pub ctrl_msgs: u64,
+    /// Total control bytes.
+    pub ctrl_bytes: u64,
+    /// Data-carrying messages (SetData / Fetch replies).
+    pub data_msgs: u64,
+    /// Total data bytes.
+    pub data_bytes: u64,
+    /// Physical channel sends (batching reduces this, not ctrl_msgs).
+    pub channel_sends: u64,
+}
+
+impl ContextStats {
+    /// Mean control-command size in bytes.
+    pub fn mean_ctrl_bytes(&self) -> f64 {
+        if self.ctrl_msgs == 0 {
+            0.0
+        } else {
+            self.ctrl_bytes as f64 / self.ctrl_msgs as f64
+        }
+    }
+}
+
+/// The ODIN master process.
+pub struct OdinContext {
+    n_workers: usize,
+    to_workers: Vec<Sender<ToWorker>>,
+    from_workers: Receiver<(usize, Vec<u8>)>,
+    pool: Option<comm::universe::Detached<()>>,
+    next_id: Cell<u64>,
+    next_fn: Cell<u64>,
+    pub(crate) metas: RefCell<HashMap<u64, ArrayMeta>>,
+    stats: RefCell<ContextStats>,
+    batch: RefCell<Option<Vec<Vec<u8>>>>,
+}
+
+impl OdinContext {
+    /// Spawn the worker pool.
+    pub fn new(config: OdinConfig) -> Self {
+        assert!(config.n_workers > 0);
+        let (reply_tx, reply_rx) = unbounded::<(usize, Vec<u8>)>();
+        let mut to_workers = Vec::with_capacity(config.n_workers);
+        let mut seeds: Vec<Option<(Receiver<ToWorker>, Sender<(usize, Vec<u8>)>)>> =
+            Vec::with_capacity(config.n_workers);
+        for _ in 0..config.n_workers {
+            let (tx, rx) = unbounded::<ToWorker>();
+            to_workers.push(tx);
+            seeds.push(Some((rx, reply_tx.clone())));
+        }
+        let ucfg = UniverseConfig {
+            model: config.model,
+            algo: config.algo,
+        };
+        let pool = Universe::spawn(
+            ucfg,
+            config.n_workers,
+            move |rank| seeds[rank].take().expect("seed used once"),
+            |comm, (rx, reply)| worker_main(comm, rx, reply),
+        );
+        OdinContext {
+            n_workers: config.n_workers,
+            to_workers,
+            from_workers: reply_rx,
+            pool: Some(pool),
+            next_id: Cell::new(1),
+            next_fn: Cell::new(1),
+            metas: RefCell::new(HashMap::new()),
+            stats: RefCell::new(ContextStats::default()),
+            batch: RefCell::new(None),
+        }
+    }
+
+    /// Convenience constructor with `n` workers and defaults otherwise.
+    pub fn with_workers(n: usize) -> Self {
+        Self::new(OdinConfig {
+            n_workers: n,
+            ..Default::default()
+        })
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> ContextStats {
+        *self.stats.borrow()
+    }
+
+    /// Reset counters (benchmarks call this between phases).
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = ContextStats::default();
+    }
+
+    /// Fresh array id.
+    pub(crate) fn alloc_id(&self) -> u64 {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        id
+    }
+
+    pub(crate) fn meta_of(&self, id: u64) -> ArrayMeta {
+        self.metas
+            .borrow()
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown array id {id}"))
+            .clone()
+    }
+
+    pub(crate) fn record_meta(&self, id: u64, meta: ArrayMeta) {
+        self.metas.borrow_mut().insert(id, meta);
+    }
+
+    pub(crate) fn forget_meta(&self, id: u64) {
+        self.metas.borrow_mut().remove(&id);
+    }
+
+    /// Begin buffering control commands; nothing is sent until
+    /// [`Self::flush_batch`]. Models the paper's latency-amortizing
+    /// message buffering.
+    pub fn begin_batch(&self) {
+        let mut b = self.batch.borrow_mut();
+        assert!(b.is_none(), "batch already open");
+        *b = Some((0..self.n_workers).map(|_| Vec::new()).collect());
+    }
+
+    /// Send all buffered commands, one channel message per worker.
+    pub fn flush_batch(&self) {
+        let bufs = self.batch.borrow_mut().take().expect("no open batch");
+        let mut st = self.stats.borrow_mut();
+        for (w, bytes) in bufs.into_iter().enumerate() {
+            if !bytes.is_empty() {
+                st.channel_sends += 1;
+                self.to_workers[w]
+                    .send(ToWorker::Bytes(bytes))
+                    .expect("worker channel closed");
+            }
+        }
+    }
+
+    /// Broadcast a control command to every worker.
+    pub(crate) fn send_cmd(&self, cmd: &Cmd) {
+        let bytes = comm::encode_to_vec(cmd);
+        {
+            let mut st = self.stats.borrow_mut();
+            st.ctrl_msgs += self.n_workers as u64;
+            st.ctrl_bytes += (bytes.len() * self.n_workers) as u64;
+        }
+        let mut batch = self.batch.borrow_mut();
+        if let Some(bufs) = batch.as_mut() {
+            for buf in bufs.iter_mut() {
+                buf.extend_from_slice(&bytes);
+            }
+            return;
+        }
+        drop(batch);
+        let mut st = self.stats.borrow_mut();
+        for tx in &self.to_workers {
+            st.channel_sends += 1;
+            tx.send(ToWorker::Bytes(bytes.clone()))
+                .expect("worker channel closed");
+        }
+    }
+
+    /// Send a worker-specific (data-carrying) command.
+    pub(crate) fn send_cmd_to(&self, worker: usize, cmd: &Cmd) {
+        assert!(
+            self.batch.borrow().is_none(),
+            "data commands cannot be batched"
+        );
+        let bytes = comm::encode_to_vec(cmd);
+        {
+            let mut st = self.stats.borrow_mut();
+            st.data_msgs += 1;
+            st.data_bytes += bytes.len() as u64;
+            st.channel_sends += 1;
+        }
+        self.to_workers[worker]
+            .send(ToWorker::Bytes(bytes))
+            .expect("worker channel closed");
+    }
+
+    /// Register a local-mode function on every worker; returns its id.
+    pub fn register_local(&self, f: LocalFn) -> u64 {
+        let id = self.next_fn.get();
+        self.next_fn.set(id + 1);
+        for tx in &self.to_workers {
+            tx.send(ToWorker::Register {
+                id,
+                f: Arc::clone(&f),
+            })
+            .expect("worker channel closed");
+        }
+        id
+    }
+
+    /// Invoke a registered local function on every worker (global-mode
+    /// view of a local function, §III-C).
+    pub fn call_local(&self, fn_id: u64, arrays: &[u64], scalars: &[f64]) {
+        self.send_cmd(&Cmd::CallLocal {
+            fn_id,
+            arrays: arrays.to_vec(),
+            scalars: scalars.to_vec(),
+        });
+    }
+
+    /// Receive one reply from each worker, returned in worker order.
+    pub(crate) fn collect_replies(&self) -> Vec<Vec<u8>> {
+        let mut out: Vec<Option<Vec<u8>>> = (0..self.n_workers).map(|_| None).collect();
+        let mut seen = 0;
+        while seen < self.n_workers {
+            let (rank, bytes) = self
+                .from_workers
+                .recv()
+                .expect("worker reply channel closed");
+            assert!(out[rank].is_none(), "duplicate reply from worker {rank}");
+            {
+                let mut st = self.stats.borrow_mut();
+                st.data_msgs += 1;
+                st.data_bytes += bytes.len() as u64;
+            }
+            out[rank] = Some(bytes);
+            seen += 1;
+        }
+        out.into_iter().map(|o| o.unwrap()).collect()
+    }
+
+    /// Drain `n` replies regardless of sender (used when several
+    /// reply-bearing commands were batched and replies interleave).
+    pub fn drain_replies(&self, n: usize) {
+        for _ in 0..n {
+            let (_, bytes) = self
+                .from_workers
+                .recv()
+                .expect("worker reply channel closed");
+            let mut st = self.stats.borrow_mut();
+            st.data_msgs += 1;
+            st.data_bytes += bytes.len() as u64;
+        }
+    }
+
+    /// Receive a single reply (commands where only worker 0 replies).
+    pub(crate) fn collect_single_reply(&self) -> Vec<u8> {
+        let (rank, bytes) = self
+            .from_workers
+            .recv()
+            .expect("worker reply channel closed");
+        debug_assert_eq!(rank, 0, "single replies come from worker 0");
+        let mut st = self.stats.borrow_mut();
+        st.data_msgs += 1;
+        st.data_bytes += bytes.len() as u64;
+        bytes
+    }
+
+    /// Synchronize: all queued commands have completed when this returns.
+    pub fn barrier(&self) {
+        if self.batch.borrow().is_some() {
+            self.flush_batch();
+        }
+        self.send_cmd(&Cmd::Ping);
+        let _ = self.collect_replies();
+    }
+
+    /// Total modeled virtual time is only available at shutdown (the pool
+    /// owns the clocks); this issues a Ping so the wall-clock of pending
+    /// work is at least observable.
+    pub fn sync(&self) {
+        self.barrier();
+    }
+}
+
+impl Drop for OdinContext {
+    fn drop(&mut self) {
+        // Best-effort shutdown; workers may already be gone in panic paths.
+        let bytes = comm::encode_to_vec(&Cmd::Shutdown);
+        for tx in &self.to_workers {
+            let _ = tx.send(ToWorker::Bytes(bytes.clone()));
+        }
+        if let Some(pool) = self.pool.take() {
+            let _ = pool.join();
+        }
+    }
+}
+
+// ---- Worker side -----------------------------------------------------------
+
+/// What a local-mode function sees on each worker: the worker
+/// communicator (for direct worker↔worker communication), the segment
+/// store, and the structured-table store (§III-I).
+pub struct WorkerScope<'a> {
+    /// The worker communicator.
+    pub comm: &'a Comm,
+    arrays: &'a mut HashMap<u64, (ArrayMeta, Buffer)>,
+    tables: &'a mut HashMap<u64, crate::table::TableSeg>,
+    reply: &'a Sender<(usize, Vec<u8>)>,
+}
+
+impl<'a> WorkerScope<'a> {
+    /// This worker's rank.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// Metadata of an array.
+    pub fn meta(&self, id: u64) -> &ArrayMeta {
+        &self.arrays.get(&id).expect("unknown array on worker").0
+    }
+
+    /// This worker's segment of an array.
+    pub fn local(&self, id: u64) -> &Buffer {
+        &self.arrays.get(&id).expect("unknown array on worker").1
+    }
+
+    /// Mutable segment access.
+    pub fn local_mut(&mut self, id: u64) -> &mut Buffer {
+        &mut self.arrays.get_mut(&id).expect("unknown array on worker").1
+    }
+
+    /// The [`dmap::DistMap`] of an array's distributed axis.
+    pub fn axis_map(&self, id: u64) -> dmap::DistMap {
+        let meta = self.meta(id);
+        meta.axis_map(self.n_workers(), self.rank())
+    }
+
+    /// Insert (or replace) an array segment.
+    pub fn insert(&mut self, id: u64, meta: ArrayMeta, data: Buffer) {
+        debug_assert_eq!(
+            data.len(),
+            meta.local_len(self.n_workers(), self.rank()),
+            "segment length must match the meta"
+        );
+        self.arrays.insert(id, (meta, data));
+    }
+
+    /// View a 1-D block-distributed f64 array as a [`DistVector`] — the
+    /// ODIN↔Trilinos bridge (§III-E). Panics if not conformable with a
+    /// block vector layout (redistribute first).
+    pub fn as_dist_vector(&self, id: u64) -> DistVector<f64> {
+        let meta = self.meta(id);
+        assert_eq!(meta.ndim(), 1, "bridge requires a 1-D array");
+        assert_eq!(meta.dist, Dist::Block, "bridge requires block distribution");
+        assert_eq!(meta.dtype, DType::F64, "bridge requires f64");
+        let map = self.axis_map(id);
+        DistVector::from_local(map, self.local(id).as_f64().to_vec())
+    }
+
+    /// Store a [`DistVector`] back as the segment of array `id`.
+    pub fn store_dist_vector(&mut self, id: u64, v: &DistVector<f64>) {
+        let meta = ArrayMeta {
+            shape: vec![v.n_global()],
+            axis: 0,
+            dist: Dist::Block,
+            dtype: DType::F64,
+        };
+        self.insert(id, meta, Buffer::F64(v.local().to_vec()));
+    }
+
+    /// Send a reply payload to the master (used by reduction-style local
+    /// functions; usually only worker 0 should reply).
+    pub fn reply(&self, bytes: Vec<u8>) {
+        self.reply
+            .send((self.rank(), bytes))
+            .expect("master reply channel closed");
+    }
+
+    /// This worker's segment of a distributed table.
+    pub fn table(&self, id: u64) -> &crate::table::TableSeg {
+        self.tables.get(&id).expect("unknown table on worker")
+    }
+
+    /// Mutable table segment access.
+    pub fn table_mut(&mut self, id: u64) -> &mut crate::table::TableSeg {
+        self.tables.get_mut(&id).expect("unknown table on worker")
+    }
+
+    /// Insert (or replace) a table segment.
+    pub fn insert_table(&mut self, id: u64, seg: crate::table::TableSeg) {
+        self.tables.insert(id, seg);
+    }
+
+    /// Drop a table segment.
+    pub fn remove_table(&mut self, id: u64) {
+        self.tables.remove(&id);
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform [0,1) from (seed, global element index) — worker-count
+/// invariant by construction.
+pub(crate) fn seeded_uniform(seed: u64, gidx: u64) -> f64 {
+    let bits = splitmix64(seed ^ splitmix64(gidx));
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn fill_buffer(meta: &ArrayMeta, fill: &Fill, n_workers: usize, rank: usize) -> Buffer {
+    let map = meta.axis_map(n_workers, rank);
+    let slab = meta.slab();
+    let n_local = map.my_count() * slab;
+    match fill {
+        Fill::Zeros => Buffer::zeros(meta.dtype, n_local),
+        Fill::Full(v) => match meta.dtype {
+            DType::F64 => Buffer::F64(vec![*v; n_local]),
+            DType::I64 => Buffer::I64(vec![*v as i64; n_local]),
+            DType::Bool => Buffer::Bool(vec![*v != 0.0; n_local]),
+        },
+        Fill::Arange { start, step } => {
+            let vals = local_global_indices(&map, slab).map(|g| start + step * g as f64);
+            match meta.dtype {
+                DType::F64 => Buffer::F64(vals.collect()),
+                DType::I64 => Buffer::I64(vals.map(|v| v as i64).collect()),
+                DType::Bool => Buffer::Bool(vals.map(|v| v != 0.0).collect()),
+            }
+        }
+        Fill::Linspace { start, stop } => {
+            let n = meta.n_global();
+            let denom = if n > 1 { (n - 1) as f64 } else { 1.0 };
+            let step = (stop - start) / denom;
+            let s = *start;
+            Buffer::F64(
+                local_global_indices(&map, slab)
+                    .map(|g| s + step * g as f64)
+                    .collect(),
+            )
+        }
+        Fill::Random { seed } => {
+            let s = *seed;
+            Buffer::F64(
+                local_global_indices(&map, slab)
+                    .map(|g| seeded_uniform(s, g as u64))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Iterator of global flat indices for this worker's segment, in local
+/// storage order (rows along the distributed axis are contiguous).
+fn local_global_indices(
+    map: &dmap::DistMap,
+    slab: usize,
+) -> impl Iterator<Item = usize> + '_ {
+    (0..map.my_count()).flat_map(move |l| {
+        let g = map.local_to_global(l);
+        (0..slab).map(move |k| g * slab + k)
+    })
+}
+
+fn eval_fused_dtype(program: &[FusedOp], metas: &HashMap<u64, (ArrayMeta, Buffer)>) -> DType {
+    let mut stack: Vec<DType> = Vec::new();
+    for op in program {
+        match op {
+            FusedOp::PushArray(id) => stack.push(metas[id].0.dtype),
+            FusedOp::PushScalar(v) => stack.push(if v.fract() == 0.0 {
+                DType::I64
+            } else {
+                DType::F64
+            }),
+            FusedOp::Unary(u) => {
+                let a = stack.pop().expect("fused stack underflow");
+                stack.push(unary_result_dtype(*u, a));
+            }
+            FusedOp::Binary(b) => {
+                let rhs = stack.pop().expect("fused stack underflow");
+                let lhs = stack.pop().expect("fused stack underflow");
+                stack.push(binary_result_dtype(*b, lhs, rhs));
+            }
+        }
+    }
+    assert_eq!(stack.len(), 1, "fused program must leave one value");
+    stack[0]
+}
+
+/// Apply a unary op to a whole chunk (one monomorphic tight loop per op).
+fn fused_unary_chunk(op: UnaryOp, buf: &mut [f64]) {
+    use UnaryOp::*;
+    match op {
+        Neg => buf.iter_mut().for_each(|x| *x = -*x),
+        Abs => buf.iter_mut().for_each(|x| *x = x.abs()),
+        Not => buf
+            .iter_mut()
+            .for_each(|x| *x = f64::from(u8::from(*x == 0.0))),
+        Sin => buf.iter_mut().for_each(|x| *x = x.sin()),
+        Cos => buf.iter_mut().for_each(|x| *x = x.cos()),
+        Tan => buf.iter_mut().for_each(|x| *x = x.tan()),
+        Exp => buf.iter_mut().for_each(|x| *x = x.exp()),
+        Log => buf.iter_mut().for_each(|x| *x = x.ln()),
+        Sqrt => buf.iter_mut().for_each(|x| *x = x.sqrt()),
+        Floor => buf.iter_mut().for_each(|x| *x = x.floor()),
+        Ceil => buf.iter_mut().for_each(|x| *x = x.ceil()),
+    }
+}
+
+/// Apply a binary op elementwise into the left chunk.
+fn fused_binary_chunk(op: BinOp, lhs: &mut [f64], rhs: &[f64]) {
+    use BinOp::*;
+    macro_rules! zip {
+        ($f:expr) => {
+            lhs.iter_mut().zip(rhs.iter()).for_each(|(x, y)| {
+                #[allow(clippy::redundant_closure_call)]
+                {
+                    *x = ($f)(*x, *y);
+                }
+            })
+        };
+    }
+    match op {
+        Add => zip!(|x: f64, y: f64| x + y),
+        Sub => zip!(|x: f64, y: f64| x - y),
+        Mul => zip!(|x: f64, y: f64| x * y),
+        Div => zip!(|x: f64, y: f64| x / y),
+        Pow => {
+            // constant small integer exponents (the common `x ** 2`) get
+            // strength-reduced to multiplies, like NumPy does
+            let uniform = !rhs.is_empty() && rhs.iter().all(|&v| v == rhs[0]);
+            if uniform && rhs[0].fract() == 0.0 && rhs[0].abs() <= 8.0 {
+                let e = rhs[0] as i32;
+                lhs.iter_mut().for_each(|x| *x = x.powi(e));
+            } else {
+                zip!(|x: f64, y: f64| x.powf(y))
+            }
+        }
+        Mod => zip!(|x: f64, y: f64| x % y),
+        Max => zip!(|x: f64, y: f64| x.max(y)),
+        Min => zip!(|x: f64, y: f64| x.min(y)),
+        Hypot => zip!(|x: f64, y: f64| x.hypot(y)),
+        Atan2 => zip!(|x: f64, y: f64| x.atan2(y)),
+        _ => zip!(|x: f64, y: f64| eval_fused_binary(op, x, y)),
+    }
+}
+
+#[allow(dead_code)]
+fn eval_fused_unary(op: UnaryOp, x: f64) -> f64 {
+    use UnaryOp::*;
+    match op {
+        Neg => -x,
+        Abs => x.abs(),
+        Not => f64::from(u8::from(x == 0.0)),
+        Sin => x.sin(),
+        Cos => x.cos(),
+        Tan => x.tan(),
+        Exp => x.exp(),
+        Log => x.ln(),
+        Sqrt => x.sqrt(),
+        Floor => x.floor(),
+        Ceil => x.ceil(),
+    }
+}
+
+fn eval_fused_binary(op: BinOp, x: f64, y: f64) -> f64 {
+    use BinOp::*;
+    match op {
+        Eq => f64::from(u8::from(x == y)),
+        Ne => f64::from(u8::from(x != y)),
+        Lt => f64::from(u8::from(x < y)),
+        Le => f64::from(u8::from(x <= y)),
+        Gt => f64::from(u8::from(x > y)),
+        Ge => f64::from(u8::from(x >= y)),
+        And => f64::from(u8::from(x != 0.0 && y != 0.0)),
+        Or => f64::from(u8::from(x != 0.0 || y != 0.0)),
+        _ => binop_f64(op, x, y),
+    }
+}
+
+fn worker_main(
+    comm: &mut Comm,
+    rx: Receiver<ToWorker>,
+    reply: Sender<(usize, Vec<u8>)>,
+) {
+    let mut arrays: HashMap<u64, (ArrayMeta, Buffer)> = HashMap::new();
+    let mut tables: HashMap<u64, crate::table::TableSeg> = HashMap::new();
+    let mut fns: HashMap<u64, LocalFn> = HashMap::new();
+    'outer: loop {
+        match rx.recv() {
+            Err(_) => break,
+            Ok(ToWorker::Register { id, f }) => {
+                fns.insert(id, f);
+            }
+            Ok(ToWorker::Bytes(bytes)) => {
+                let mut cur = Cursor::new(&bytes);
+                while cur.remaining() > 0 {
+                    let cmd = Cmd::decode(&mut cur).expect("bad command encoding");
+                    if !exec_cmd(comm, &reply, &mut arrays, &mut tables, &fns, cmd) {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Execute one command; returns false on shutdown.
+fn exec_cmd(
+    comm: &Comm,
+    reply: &Sender<(usize, Vec<u8>)>,
+    arrays: &mut HashMap<u64, (ArrayMeta, Buffer)>,
+    tables: &mut HashMap<u64, crate::table::TableSeg>,
+    fns: &HashMap<u64, LocalFn>,
+    cmd: Cmd,
+) -> bool {
+    let p = comm.size();
+    let rank = comm.rank();
+    match cmd {
+        Cmd::Create { id, meta, fill } => {
+            let data = fill_buffer(&meta, &fill, p, rank);
+            comm.advance_compute(data.len() as f64);
+            arrays.insert(id, (meta, data));
+        }
+        Cmd::SetData { id, meta, data } => {
+            assert_eq!(data.len(), meta.local_len(p, rank), "bad segment length");
+            arrays.insert(id, (meta, data));
+        }
+        Cmd::Unary { out, a, op } => {
+            let (meta, buf) = &arrays[&a];
+            let result = apply_unary(op, buf);
+            comm.advance_compute(buf.len() as f64);
+            let out_meta = ArrayMeta {
+                dtype: result.dtype(),
+                ..meta.clone()
+            };
+            arrays.insert(out, (out_meta, result));
+        }
+        Cmd::Binary { out, a, b, op } => {
+            let (ma, ba) = &arrays[&a];
+            let (mb, bb) = &arrays[&b];
+            assert!(
+                ma.conformable(mb),
+                "binary ufunc on non-conformable arrays (master should have redistributed)"
+            );
+            let result = apply_binary(op, ba, bb);
+            comm.advance_compute(ba.len() as f64);
+            let out_meta = ArrayMeta {
+                dtype: result.dtype(),
+                ..ma.clone()
+            };
+            arrays.insert(out, (out_meta, result));
+        }
+        Cmd::BinaryScalar {
+            out,
+            a,
+            scalar,
+            op,
+            scalar_left,
+        } => {
+            let (meta, buf) = &arrays[&a];
+            let result = apply_binary_scalar(op, buf, scalar, scalar_left);
+            comm.advance_compute(buf.len() as f64);
+            let out_meta = ArrayMeta {
+                dtype: result.dtype(),
+                ..meta.clone()
+            };
+            arrays.insert(out, (out_meta, result));
+        }
+        Cmd::AsType { out, a, dtype } => {
+            let (meta, buf) = &arrays[&a];
+            let result = buf.astype(dtype);
+            let out_meta = ArrayMeta {
+                dtype,
+                ..meta.clone()
+            };
+            arrays.insert(out, (out_meta, result));
+        }
+        Cmd::Redistribute { out, a, dist, axis } => {
+            assert_eq!(axis, 0, "arrays are distributed along axis 0");
+            let (meta, buf) = &arrays[&a];
+            let (out_meta, out_buf) = redistribute_worker(comm, meta, buf, dist);
+            arrays.insert(out, (out_meta, out_buf));
+        }
+        Cmd::Slice { out, a, specs } => {
+            let (meta, buf) = &arrays[&a];
+            let (out_meta, out_buf) = slice_worker(comm, meta, buf, &specs);
+            arrays.insert(out, (out_meta, out_buf));
+        }
+        Cmd::EvalFused {
+            out,
+            template,
+            program,
+        } => {
+            let out_dtype = eval_fused_dtype(&program, arrays);
+            let t_meta = arrays[&template].0.clone();
+            let n = arrays[&template].1.len();
+            // Fused evaluation in cache-sized chunks: intermediates live
+            // in a small stack of CHUNK-length buffers (L1/L2 resident),
+            // never in n-length temporaries — the loop-fusion win — while
+            // each opcode still runs as a tight vectorizable loop.
+            const CHUNK: usize = 4096;
+            let mut values = Vec::with_capacity(n);
+            let mut stack: Vec<Vec<f64>> = Vec::new();
+            let mut pool: Vec<Vec<f64>> = Vec::new();
+            let mut start = 0usize;
+            while start < n || (n == 0 && start == 0) {
+                let end = (start + CHUNK).min(n);
+                let len = end - start;
+                for op in &program {
+                    match op {
+                        FusedOp::PushArray(id) => {
+                            let (m, b) = &arrays[id];
+                            debug_assert!(m.conformable(&t_meta), "fused input not conformable");
+                            let mut buf = pool.pop().unwrap_or_default();
+                            buf.clear();
+                            match b {
+                                Buffer::F64(v) => buf.extend_from_slice(&v[start..end]),
+                                _ => buf.extend((start..end).map(|i| b.get_f64(i))),
+                            }
+                            stack.push(buf);
+                        }
+                        FusedOp::PushScalar(v) => {
+                            let mut buf = pool.pop().unwrap_or_default();
+                            buf.clear();
+                            buf.resize(len, *v);
+                            stack.push(buf);
+                        }
+                        FusedOp::Unary(u) => {
+                            let top = stack.last_mut().expect("fused stack underflow");
+                            fused_unary_chunk(*u, top);
+                        }
+                        FusedOp::Binary(b) => {
+                            let rhs = stack.pop().expect("fused stack underflow");
+                            let lhs = stack.last_mut().expect("fused stack underflow");
+                            fused_binary_chunk(*b, lhs, &rhs);
+                            pool.push(rhs);
+                        }
+                    }
+                }
+                let result = stack.pop().expect("fused program must leave one value");
+                assert!(stack.is_empty(), "fused program left extra stack entries");
+                values.extend_from_slice(&result);
+                pool.push(result);
+                if n == 0 {
+                    break;
+                }
+                start = end;
+            }
+            comm.advance_compute((n * program.len()) as f64);
+            let result = Buffer::F64(values).astype(out_dtype);
+            let out_meta = ArrayMeta {
+                dtype: out_dtype,
+                ..t_meta
+            };
+            arrays.insert(out, (out_meta, result));
+        }
+        Cmd::Reduce { a, kind, axis, out } => {
+            exec_reduce(comm, reply, arrays, a, kind, axis, out);
+        }
+        Cmd::Fetch { a } => {
+            let (meta, buf) = &arrays[&a];
+            let map = meta.axis_map(p, rank);
+            let payload = comm::encode_to_vec(&(map.my_gids(), buf.clone()));
+            reply.send((rank, payload)).expect("master gone");
+        }
+        Cmd::CallLocal {
+            fn_id,
+            arrays: arg_arrays,
+            scalars,
+        } => {
+            let f = Arc::clone(fns.get(&fn_id).expect("unknown local function"));
+            let mut scope = WorkerScope {
+                comm,
+                arrays,
+                tables,
+                reply,
+            };
+            f(&mut scope, &arg_arrays, &scalars);
+        }
+        Cmd::Free { id } => {
+            arrays.remove(&id);
+        }
+        Cmd::Ping => {
+            reply
+                .send((rank, Vec::new()))
+                .expect("master gone");
+        }
+        Cmd::Shutdown => return false,
+        Cmd::Select { out, cond, a, b } => {
+            let (mc, bc) = &arrays[&cond];
+            let (ma, ba) = &arrays[&a];
+            let (mb, bb) = &arrays[&b];
+            assert!(
+                mc.conformable(ma) && ma.conformable(mb),
+                "select operands must be conformable"
+            );
+            let n = bc.len();
+            let out_dtype = ba.dtype().promote(bb.dtype());
+            let values = Buffer::F64(
+                (0..n)
+                    .map(|i| {
+                        if bc.get_f64(i) != 0.0 {
+                            ba.get_f64(i)
+                        } else {
+                            bb.get_f64(i)
+                        }
+                    })
+                    .collect(),
+            )
+            .astype(out_dtype);
+            comm.advance_compute(n as f64);
+            let out_meta = ArrayMeta {
+                dtype: out_dtype,
+                ..ma.clone()
+            };
+            arrays.insert(out, (out_meta, values));
+        }
+        Cmd::CumSum { out, a } => {
+            let (meta, buf) = &arrays[&a];
+            assert_eq!(meta.ndim(), 1, "cumsum supports 1-D arrays");
+            assert_eq!(
+                meta.dist,
+                Dist::Block,
+                "cumsum needs contiguous segments (master redistributes first)"
+            );
+            // local prefix, then shift by the exscan of local totals —
+            // the classic distributed scan.
+            let n = buf.len();
+            let mut local = Vec::with_capacity(n);
+            let mut acc = 0.0f64;
+            for i in 0..n {
+                acc += buf.get_f64(i);
+                local.push(acc);
+            }
+            comm.advance_compute(n as f64);
+            let offset = comm.exscan(&acc, 0.0, |x: &f64, y: &f64| x + y);
+            for v in &mut local {
+                *v += offset;
+            }
+            let out_dtype = match meta.dtype {
+                DType::Bool => DType::I64,
+                d => d,
+            };
+            let out_meta = ArrayMeta {
+                dtype: out_dtype,
+                ..meta.clone()
+            };
+            let data = Buffer::F64(local).astype(out_dtype);
+            arrays.insert(out, (out_meta, data));
+        }
+        Cmd::ArgReduce { a, is_max } => {
+            let (meta, buf) = &arrays[&a];
+            let map = meta.axis_map(p, rank);
+            let slab = meta.slab();
+            let mut best: Option<(f64, usize)> = None;
+            for i in 0..buf.len() {
+                let v = buf.get_f64(i);
+                let better = match best {
+                    None => true,
+                    Some((bv, _)) => {
+                        if is_max {
+                            v > bv
+                        } else {
+                            v < bv
+                        }
+                    }
+                };
+                if better {
+                    let gid = map.local_to_global(i / slab.max(1)) * slab.max(1) + i % slab.max(1);
+                    best = Some((v, gid));
+                }
+            }
+            comm.advance_compute(buf.len() as f64);
+            // combine keeping the smallest global index on ties
+            let sentinel = if is_max {
+                (f64::NEG_INFINITY, usize::MAX)
+            } else {
+                (f64::INFINITY, usize::MAX)
+            };
+            let mine = best.unwrap_or(sentinel);
+            let winner = comm.allreduce(&mine, |x: &(f64, usize), y: &(f64, usize)| {
+                let x_wins = if is_max {
+                    x.0 > y.0 || (x.0 == y.0 && x.1 <= y.1)
+                } else {
+                    x.0 < y.0 || (x.0 == y.0 && x.1 <= y.1)
+                };
+                if x_wins {
+                    *x
+                } else {
+                    *y
+                }
+            });
+            if rank == 0 {
+                reply
+                    .send((rank, comm::encode_to_vec(&winner)))
+                    .expect("master gone");
+            }
+        }
+        Cmd::Concat { out, a, b } => {
+            let (ma, _) = &arrays[&a];
+            let (mb, _) = &arrays[&b];
+            assert_eq!(ma.ndim(), 1, "concat supports 1-D arrays");
+            assert_eq!(mb.ndim(), 1, "concat supports 1-D arrays");
+            let n1 = ma.shape[0];
+            let n2 = mb.shape[0];
+            let out_dtype = arrays[&a].1.dtype().promote(arrays[&b].1.dtype());
+            let out_meta = ArrayMeta {
+                shape: vec![n1 + n2],
+                axis: 0,
+                dist: Dist::Block,
+                dtype: out_dtype,
+            };
+            let out_map = out_meta.axis_map(p, rank);
+            // route each local element of a and b to its owner in out
+            let mut per_peer_idx: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+            let mut per_peer_val: Vec<Vec<f64>> = (0..p).map(|_| Vec::new()).collect();
+            for (src, base) in [(a, 0usize), (b, n1)] {
+                let (m, buf) = &arrays[&src];
+                let map = m.axis_map(p, rank);
+                for l in 0..buf.len() {
+                    let g = map.local_to_global(l) + base;
+                    let owner = out_map.owner_of(g).expect("structured map");
+                    per_peer_idx[owner].push(g);
+                    per_peer_val[owner].push(buf.get_f64(l));
+                }
+            }
+            let outgoing: Vec<Vec<(Vec<usize>, Vec<f64>)>> = per_peer_idx
+                .into_iter()
+                .zip(per_peer_val)
+                .map(|(i, v)| if i.is_empty() { Vec::new() } else { vec![(i, v)] })
+                .collect();
+            let incoming = comm.alltoallv(outgoing);
+            let mut values = vec![0.0f64; out_map.my_count()];
+            for (idx, vals) in incoming.into_iter().flatten() {
+                for (g, v) in idx.into_iter().zip(vals) {
+                    values[out_map.global_to_local(g).expect("routed wrong")] = v;
+                }
+            }
+            let data = Buffer::F64(values).astype(out_dtype);
+            arrays.insert(out, (out_meta, data));
+        }
+        Cmd::MatMul { out, a, b } => {
+            let (ma, ba) = &arrays[&a];
+            let (mb, bb) = &arrays[&b];
+            assert_eq!(ma.ndim(), 2, "matmul takes 2-D arrays");
+            assert_eq!(mb.ndim(), 2, "matmul takes 2-D arrays");
+            let (m, ka) = (ma.shape[0], ma.shape[1]);
+            let (kb, ncols) = (mb.shape[0], mb.shape[1]);
+            assert_eq!(ka, kb, "matmul inner dimensions must agree");
+            // allgather B: each worker contributes (row gids, flat rows)
+            let b_map = mb.axis_map(p, rank);
+            let my_b: Vec<f64> = (0..bb.len()).map(|i| bb.get_f64(i)).collect();
+            let pieces: Vec<(Vec<usize>, Vec<f64>)> =
+                comm.allgather(&(b_map.my_gids(), my_b));
+            let mut bfull = vec![0.0f64; kb * ncols];
+            for (gids, vals) in pieces {
+                for (l, g) in gids.into_iter().enumerate() {
+                    bfull[g * ncols..(g + 1) * ncols]
+                        .copy_from_slice(&vals[l * ncols..(l + 1) * ncols]);
+                }
+            }
+            // local GEMM over my block rows of A (ikj order)
+            let a_map = ma.axis_map(p, rank);
+            let rows = a_map.my_count();
+            let mut c = vec![0.0f64; rows * ncols];
+            for i in 0..rows {
+                for kk in 0..ka {
+                    let aik = ba.get_f64(i * ka + kk);
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &bfull[kk * ncols..(kk + 1) * ncols];
+                    let crow = &mut c[i * ncols..(i + 1) * ncols];
+                    for (cv, bv) in crow.iter_mut().zip(brow) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+            comm.advance_compute(2.0 * (rows * ka * ncols) as f64);
+            let out_meta = ArrayMeta {
+                shape: vec![m, ncols],
+                axis: 0,
+                dist: ma.dist,
+                dtype: DType::F64,
+            };
+            assert_eq!(
+                out_meta.local_len(p, rank),
+                c.len(),
+                "matmul requires A's row distribution to be block-compatible"
+            );
+            arrays.insert(out, (out_meta, Buffer::F64(c)));
+        }
+    }
+    true
+}
+
+fn reduce_identity(kind: ReduceKind) -> f64 {
+    match kind {
+        ReduceKind::Sum | ReduceKind::CountNonzero => 0.0,
+        ReduceKind::Prod => 1.0,
+        ReduceKind::Min => f64::INFINITY,
+        ReduceKind::Max => f64::NEG_INFINITY,
+    }
+}
+
+fn reduce_combine(kind: ReduceKind, a: f64, b: f64) -> f64 {
+    match kind {
+        ReduceKind::Sum | ReduceKind::CountNonzero => a + b,
+        ReduceKind::Prod => a * b,
+        ReduceKind::Min => a.min(b),
+        ReduceKind::Max => a.max(b),
+    }
+}
+
+fn reduce_element(kind: ReduceKind, x: f64) -> f64 {
+    match kind {
+        ReduceKind::CountNonzero => f64::from(u8::from(x != 0.0)),
+        _ => x,
+    }
+}
+
+fn exec_reduce(
+    comm: &Comm,
+    reply: &Sender<(usize, Vec<u8>)>,
+    arrays: &mut HashMap<u64, (ArrayMeta, Buffer)>,
+    a: u64,
+    kind: ReduceKind,
+    axis: Option<usize>,
+    out: u64,
+) {
+    let p = comm.size();
+    let rank = comm.rank();
+    let (meta, buf) = arrays[&a].clone();
+    match axis {
+        None => {
+            let mut acc = reduce_identity(kind);
+            for i in 0..buf.len() {
+                acc = reduce_combine(kind, acc, reduce_element(kind, buf.get_f64(i)));
+            }
+            comm.advance_compute(buf.len() as f64);
+            let total = comm.allreduce(&acc, |x: &f64, y: &f64| reduce_combine(kind, *x, *y));
+            if rank == 0 {
+                reply
+                    .send((rank, comm::encode_to_vec(&total)))
+                    .expect("master gone");
+            }
+        }
+        Some(0) => {
+            assert!(meta.ndim() >= 2, "axis-0 reduce needs ndim ≥ 2");
+            let slab = meta.slab();
+            let map = meta.axis_map(p, rank);
+            let mut partial = vec![reduce_identity(kind); slab];
+            for l in 0..map.my_count() {
+                for k in 0..slab {
+                    let x = reduce_element(kind, buf.get_f64(l * slab + k));
+                    partial[k] = reduce_combine(kind, partial[k], x);
+                }
+            }
+            comm.advance_compute(buf.len() as f64);
+            let full = comm.allreduce(&partial, |x: &Vec<f64>, y: &Vec<f64>| {
+                x.iter()
+                    .zip(y.iter())
+                    .map(|(u, v)| reduce_combine(kind, *u, *v))
+                    .collect()
+            });
+            // Output: shape without axis 0, block-distributed along the
+            // (new) axis 0. Each worker keeps its block of the slab.
+            let out_shape: Vec<usize> = meta.shape[1..].to_vec();
+            let out_meta = ArrayMeta {
+                shape: out_shape,
+                axis: 0,
+                dist: Dist::Block,
+                dtype: reduce_output_dtype(kind, meta.dtype),
+            };
+            let out_map = out_meta.axis_map(p, rank);
+            let out_slab = out_meta.slab();
+            let mut mine = Vec::with_capacity(out_map.my_count() * out_slab);
+            for l in 0..out_map.my_count() {
+                let g = out_map.local_to_global(l);
+                for k in 0..out_slab {
+                    mine.push(full[g * out_slab + k]);
+                }
+            }
+            let data = Buffer::F64(mine).astype(out_meta.dtype);
+            arrays.insert(out, (out_meta, data));
+        }
+        Some(ax) => {
+            assert!(ax < meta.ndim(), "reduce axis out of range");
+            let map = meta.axis_map(p, rank);
+            let dims = &meta.shape[1..];
+            // strides within the slab
+            let mut strides = vec![1usize; dims.len()];
+            for i in (0..dims.len().saturating_sub(1)).rev() {
+                strides[i] = strides[i + 1] * dims[i + 1];
+            }
+            let red_d = ax - 1; // index into slab dims
+            let out_dims: Vec<usize> = dims
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != red_d)
+                .map(|(_, &d)| d)
+                .collect();
+            let out_slab: usize = out_dims.iter().product();
+            // row-major strides of the reduced (output) slab
+            let mut out_strides = vec![1usize; out_dims.len()];
+            for i in (0..out_dims.len().saturating_sub(1)).rev() {
+                out_strides[i] = out_strides[i + 1] * out_dims[i + 1];
+            }
+            // source-dim index of each output dim
+            let src_dims: Vec<usize> =
+                (0..dims.len()).filter(|&d| d != red_d).collect();
+            // base offset (reduced dim = 0) of each output slab position
+            let base_offsets: Vec<usize> = (0..out_slab)
+                .map(|o| {
+                    src_dims
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &sd)| ((o / out_strides[i]) % out_dims[i]) * strides[sd])
+                        .sum()
+                })
+                .collect();
+            let slab = meta.slab();
+            let red_len = dims[red_d];
+            let red_stride = strides[red_d];
+            let mut values = Vec::with_capacity(map.my_count() * out_slab);
+            for l in 0..map.my_count() {
+                let row = l * slab;
+                for &base in base_offsets.iter().take(out_slab) {
+                    let mut acc = reduce_identity(kind);
+                    for r in 0..red_len {
+                        let x = reduce_element(kind, buf.get_f64(row + base + r * red_stride));
+                        acc = reduce_combine(kind, acc, x);
+                    }
+                    values.push(acc);
+                }
+            }
+            comm.advance_compute(buf.len() as f64);
+            let mut out_shape = vec![meta.shape[0]];
+            out_shape.extend(out_dims);
+            let out_meta = ArrayMeta {
+                shape: out_shape,
+                axis: 0,
+                dist: meta.dist,
+                dtype: reduce_output_dtype(kind, meta.dtype),
+            };
+            let data = Buffer::F64(values).astype(out_meta.dtype);
+            arrays.insert(out, (out_meta, data));
+        }
+    }
+}
+
+fn reduce_output_dtype(kind: ReduceKind, input: DType) -> DType {
+    match kind {
+        ReduceKind::CountNonzero => DType::I64,
+        _ => match input {
+            DType::Bool => DType::I64,
+            d => d,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_uniform_is_deterministic_and_in_range() {
+        for g in 0..1000u64 {
+            let v = seeded_uniform(42, g);
+            assert!((0.0..1.0).contains(&v));
+            assert_eq!(v, seeded_uniform(42, g));
+        }
+        // different seeds decorrelate
+        assert_ne!(seeded_uniform(1, 0), seeded_uniform(2, 0));
+    }
+
+    #[test]
+    fn context_starts_and_stops() {
+        let ctx = OdinContext::with_workers(3);
+        ctx.barrier();
+        assert_eq!(ctx.n_workers(), 3);
+        drop(ctx); // clean shutdown must not hang
+    }
+
+    #[test]
+    fn batching_reduces_channel_sends() {
+        let ctx = OdinContext::with_workers(2);
+        ctx.reset_stats();
+        ctx.begin_batch();
+        for _ in 0..10 {
+            ctx.send_cmd(&Cmd::Ping);
+        }
+        ctx.flush_batch();
+        let st = ctx.stats();
+        assert_eq!(st.ctrl_msgs, 20); // 10 commands × 2 workers
+        assert_eq!(st.channel_sends, 2); // but only one physical send each
+        // drain the 20 ping replies (they interleave across workers)
+        ctx.drain_replies(20);
+    }
+
+    #[test]
+    fn fused_dtype_inference() {
+        let mut arrays = HashMap::new();
+        let meta_f = ArrayMeta {
+            shape: vec![4],
+            axis: 0,
+            dist: Dist::Block,
+            dtype: DType::F64,
+        };
+        let meta_i = ArrayMeta {
+            dtype: DType::I64,
+            ..meta_f.clone()
+        };
+        arrays.insert(1u64, (meta_f, Buffer::F64(vec![])));
+        arrays.insert(2u64, (meta_i, Buffer::I64(vec![])));
+        // i + i stays integer
+        let p = vec![
+            FusedOp::PushArray(2),
+            FusedOp::PushArray(2),
+            FusedOp::Binary(BinOp::Add),
+        ];
+        assert_eq!(eval_fused_dtype(&p, &arrays), DType::I64);
+        // sqrt promotes
+        let p2 = vec![FusedOp::PushArray(2), FusedOp::Unary(UnaryOp::Sqrt)];
+        assert_eq!(eval_fused_dtype(&p2, &arrays), DType::F64);
+        // comparison is bool
+        let p3 = vec![
+            FusedOp::PushArray(1),
+            FusedOp::PushScalar(0.5),
+            FusedOp::Binary(BinOp::Gt),
+        ];
+        assert_eq!(eval_fused_dtype(&p3, &arrays), DType::Bool);
+    }
+}

@@ -1,0 +1,368 @@
+//! Lazy expressions and loop fusion (§III: "ODIN can optimize distributed
+//! array expressions. These optimizations include: loop fusion, …").
+//!
+//! An [`Expr`] is built without touching the workers; [`Expr::eval`]
+//! compiles it to a single fused RPN program executed in one pass over
+//! each worker's segment — no intermediate arrays, one control message.
+//! [`Expr::eval_unfused`] materializes every node instead (what eager
+//! evaluation does); experiment E6 measures the difference.
+
+use crate::array::DistArray;
+use crate::buffer::DType;
+use crate::protocol::{ArrayMeta, BinOp, Cmd, FusedOp, UnaryOp};
+
+/// A lazy elementwise expression over distributed arrays.
+pub enum Expr<'x, 'c> {
+    /// A distributed array operand.
+    Leaf(&'x DistArray<'c>),
+    /// A broadcast constant.
+    Scalar(f64),
+    /// Unary node.
+    Unary(UnaryOp, Box<Expr<'x, 'c>>),
+    /// Binary node.
+    Binary(BinOp, Box<Expr<'x, 'c>>, Box<Expr<'x, 'c>>),
+}
+
+impl<'x, 'c> Expr<'x, 'c> {
+    /// Wrap an array operand.
+    pub fn leaf(a: &'x DistArray<'c>) -> Self {
+        Expr::Leaf(a)
+    }
+
+    /// Wrap a constant.
+    pub fn scalar(v: f64) -> Self {
+        Expr::Scalar(v)
+    }
+
+    fn un(self, op: UnaryOp) -> Self {
+        Expr::Unary(op, Box::new(self))
+    }
+
+    /// Square root node.
+    pub fn sqrt(self) -> Self {
+        self.un(UnaryOp::Sqrt)
+    }
+    /// Sine node.
+    pub fn sin(self) -> Self {
+        self.un(UnaryOp::Sin)
+    }
+    /// Cosine node.
+    pub fn cos(self) -> Self {
+        self.un(UnaryOp::Cos)
+    }
+    /// Exponential node.
+    pub fn exp(self) -> Self {
+        self.un(UnaryOp::Exp)
+    }
+    /// Absolute-value node.
+    pub fn abs(self) -> Self {
+        self.un(UnaryOp::Abs)
+    }
+    /// Power with a scalar exponent.
+    pub fn pow(self, e: f64) -> Self {
+        Expr::Binary(BinOp::Pow, Box::new(self), Box::new(Expr::Scalar(e)))
+    }
+
+    fn first_leaf(&self) -> Option<&'x DistArray<'c>> {
+        match self {
+            Expr::Leaf(a) => Some(a),
+            Expr::Scalar(_) => None,
+            Expr::Unary(_, e) => e.first_leaf(),
+            Expr::Binary(_, a, b) => a.first_leaf().or_else(|| b.first_leaf()),
+        }
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<&'x DistArray<'c>>) {
+        match self {
+            Expr::Leaf(a) => out.push(a),
+            Expr::Scalar(_) => {}
+            Expr::Unary(_, e) => e.collect_leaves(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_leaves(out);
+                b.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Number of operation nodes (for reporting).
+    pub fn n_ops(&self) -> usize {
+        match self {
+            Expr::Leaf(_) | Expr::Scalar(_) => 0,
+            Expr::Unary(_, e) => 1 + e.n_ops(),
+            Expr::Binary(_, a, b) => 1 + a.n_ops() + b.n_ops(),
+        }
+    }
+
+    fn compile(
+        &self,
+        aligned: &std::collections::HashMap<u64, u64>,
+        program: &mut Vec<FusedOp>,
+    ) {
+        match self {
+            Expr::Leaf(a) => {
+                let id = aligned.get(&a.id()).copied().unwrap_or_else(|| a.id());
+                program.push(FusedOp::PushArray(id));
+            }
+            Expr::Scalar(v) => program.push(FusedOp::PushScalar(*v)),
+            Expr::Unary(op, e) => {
+                e.compile(aligned, program);
+                program.push(FusedOp::Unary(*op));
+            }
+            Expr::Binary(op, a, b) => {
+                a.compile(aligned, program);
+                b.compile(aligned, program);
+                program.push(FusedOp::Binary(*op));
+            }
+        }
+    }
+
+    /// Evaluate with loop fusion: one control message, one pass, no
+    /// temporaries.
+    pub fn eval(&self) -> DistArray<'c> {
+        let template = self
+            .first_leaf()
+            .expect("expression needs at least one array operand");
+        let ctx = template.ctx();
+        let t_meta = template.meta();
+        let mut leaves = Vec::new();
+        self.collect_leaves(&mut leaves);
+        // Align non-conformable leaves first (kept alive until the fused
+        // command has been issued — commands are processed in order, so
+        // issuing Free afterwards is safe).
+        let mut aligned = std::collections::HashMap::new();
+        let mut temps: Vec<DistArray<'c>> = Vec::new();
+        for leaf in &leaves {
+            let m = leaf.meta();
+            assert_eq!(m.shape, t_meta.shape, "fused operands must share a shape");
+            if !m.conformable(&t_meta) && !aligned.contains_key(&leaf.id()) {
+                let moved = leaf.redistribute(t_meta.dist);
+                aligned.insert(leaf.id(), moved.id());
+                temps.push(moved);
+            }
+        }
+        let mut program = Vec::new();
+        self.compile(&aligned, &mut program);
+        let out = ctx.alloc_id();
+        // dtype: mirror the worker-side inference conservatively as f64
+        // unless the program is all-integer (master keeps it simple and
+        // trusts the worker, recording f64 for mixed programs).
+        let out_dtype = self.infer_dtype();
+        ctx.send_cmd(&Cmd::EvalFused {
+            out,
+            template: template.id(),
+            program,
+        });
+        let out_meta = ArrayMeta {
+            dtype: out_dtype,
+            ..t_meta
+        };
+        ctx.record_meta(out, out_meta);
+        drop(temps);
+        DistArray::from_id(ctx, out)
+    }
+
+    fn infer_dtype(&self) -> DType {
+        match self {
+            Expr::Leaf(a) => a.dtype(),
+            Expr::Scalar(v) => {
+                if v.fract() == 0.0 {
+                    DType::I64
+                } else {
+                    DType::F64
+                }
+            }
+            Expr::Unary(op, e) => crate::buffer::unary_result_dtype(*op, e.infer_dtype()),
+            Expr::Binary(op, a, b) => {
+                crate::buffer::binary_result_dtype(*op, a.infer_dtype(), b.infer_dtype())
+            }
+        }
+    }
+
+    /// Evaluate eagerly, materializing every intermediate node — the
+    /// fusion-OFF baseline for experiment E6.
+    pub fn eval_unfused(&self) -> DistArray<'c> {
+        match self.eval_node() {
+            NodeVal::Arr(a) => a,
+            NodeVal::Borrowed(a) => {
+                // force a copy so the caller owns the result
+                a.astype(a.dtype())
+            }
+            NodeVal::Scalar(_) => panic!("expression needs at least one array operand"),
+        }
+    }
+
+    fn eval_node(&self) -> NodeVal<'x, 'c> {
+        match self {
+            Expr::Leaf(a) => NodeVal::Borrowed(a),
+            Expr::Scalar(v) => NodeVal::Scalar(*v),
+            Expr::Unary(op, e) => match e.eval_node() {
+                NodeVal::Scalar(v) => NodeVal::Scalar(scalar_unary(*op, v)),
+                NodeVal::Borrowed(a) => NodeVal::Arr(unary_of(a, *op)),
+                NodeVal::Arr(a) => NodeVal::Arr(unary_of(&a, *op)),
+            },
+            Expr::Binary(op, l, r) => {
+                let lv = l.eval_node();
+                let rv = r.eval_node();
+                match (lv, rv) {
+                    (NodeVal::Scalar(a), NodeVal::Scalar(b)) => {
+                        NodeVal::Scalar(crate::buffer::binop_f64(*op, a, b))
+                    }
+                    (NodeVal::Scalar(s), rv) => {
+                        NodeVal::Arr(rv.as_ref().binary_scalar(s, *op, true))
+                    }
+                    (lv, NodeVal::Scalar(s)) => {
+                        NodeVal::Arr(lv.as_ref().binary_scalar(s, *op, false))
+                    }
+                    (lv, rv) => NodeVal::Arr(lv.as_ref().binary(rv.as_ref(), *op)),
+                }
+            }
+        }
+    }
+}
+
+enum NodeVal<'x, 'c> {
+    Borrowed(&'x DistArray<'c>),
+    Arr(DistArray<'c>),
+    Scalar(f64),
+}
+
+impl<'x, 'c> NodeVal<'x, 'c> {
+    fn as_ref(&self) -> &DistArray<'c> {
+        match self {
+            NodeVal::Borrowed(a) => a,
+            NodeVal::Arr(a) => a,
+            NodeVal::Scalar(_) => panic!("scalar where array expected"),
+        }
+    }
+}
+
+fn unary_of<'c>(a: &DistArray<'c>, op: UnaryOp) -> DistArray<'c> {
+    use UnaryOp::*;
+    match op {
+        Neg => -a,
+        Abs => a.abs(),
+        Not => a.logical_not(),
+        Sin => a.sin(),
+        Cos => a.cos(),
+        Tan => a.tan(),
+        Exp => a.exp(),
+        Log => a.ln(),
+        Sqrt => a.sqrt(),
+        Floor => a.floor(),
+        Ceil => a.ceil(),
+    }
+}
+
+fn scalar_unary(op: UnaryOp, v: f64) -> f64 {
+    use UnaryOp::*;
+    match op {
+        Neg => -v,
+        Abs => v.abs(),
+        Not => f64::from(u8::from(v == 0.0)),
+        Sin => v.sin(),
+        Cos => v.cos(),
+        Tan => v.tan(),
+        Exp => v.exp(),
+        Log => v.ln(),
+        Sqrt => v.sqrt(),
+        Floor => v.floor(),
+        Ceil => v.ceil(),
+    }
+}
+
+macro_rules! expr_binop {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl<'x, 'c> std::ops::$trait for Expr<'x, 'c> {
+            type Output = Expr<'x, 'c>;
+            fn $method(self, rhs: Expr<'x, 'c>) -> Expr<'x, 'c> {
+                Expr::Binary($op, Box::new(self), Box::new(rhs))
+            }
+        }
+        impl<'x, 'c> std::ops::$trait<f64> for Expr<'x, 'c> {
+            type Output = Expr<'x, 'c>;
+            fn $method(self, rhs: f64) -> Expr<'x, 'c> {
+                Expr::Binary($op, Box::new(self), Box::new(Expr::Scalar(rhs)))
+            }
+        }
+    };
+}
+
+expr_binop!(Add, add, BinOp::Add);
+expr_binop!(Sub, sub, BinOp::Sub);
+expr_binop!(Mul, mul, BinOp::Mul);
+expr_binop!(Div, div, BinOp::Div);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::OdinContext;
+    use crate::protocol::Dist;
+
+    #[test]
+    fn fused_matches_unfused_and_serial() {
+        let ctx = OdinContext::with_workers(3);
+        let x = ctx.linspace(0.0, 2.0, 21);
+        let y = ctx.linspace(1.0, 3.0, 21);
+        // sqrt(x² + y²) — the paper's hypot
+        let make = || (Expr::leaf(&x).pow(2.0) + Expr::leaf(&y).pow(2.0)).sqrt();
+        let fused = make().eval();
+        let unfused = make().eval_unfused();
+        let xs = x.to_vec();
+        let ys = y.to_vec();
+        let expect: Vec<f64> = xs.iter().zip(&ys).map(|(a, b)| a.hypot(*b)).collect();
+        let f = fused.to_vec();
+        let u = unfused.to_vec();
+        for i in 0..expect.len() {
+            assert!((f[i] - expect[i]).abs() < 1e-12);
+            assert!((u[i] - expect[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fusion_sends_one_command_for_many_ops() {
+        let ctx = OdinContext::with_workers(2);
+        let x = ctx.linspace(0.0, 1.0, 50);
+        ctx.reset_stats();
+        let e = Expr::leaf(&x).pow(2.0) * 3.0 + Expr::leaf(&x) * 2.0 + 1.0;
+        assert_eq!(e.n_ops(), 5);
+        let _r = e.eval();
+        let fused_msgs = ctx.stats().ctrl_msgs;
+        ctx.reset_stats();
+        let e2 = Expr::leaf(&x).pow(2.0) * 3.0 + Expr::leaf(&x) * 2.0 + 1.0;
+        let _r2 = e2.eval_unfused();
+        let unfused_msgs = ctx.stats().ctrl_msgs;
+        assert!(
+            fused_msgs < unfused_msgs,
+            "fused {fused_msgs} vs unfused {unfused_msgs}"
+        );
+    }
+
+    #[test]
+    fn fused_aligns_non_conformable_leaves() {
+        let ctx = OdinContext::with_workers(3);
+        let x = ctx.arange_f64(0.0, 1.0, 12, Dist::Block);
+        let y = ctx.arange_f64(0.0, 1.0, 12, Dist::Cyclic);
+        let r = (Expr::leaf(&x) + Expr::leaf(&y)).eval();
+        let expect: Vec<f64> = (0..12).map(|g| 2.0 * g as f64).collect();
+        assert_eq!(r.to_vec(), expect);
+    }
+
+    #[test]
+    fn integer_programs_stay_integer() {
+        let ctx = OdinContext::with_workers(2);
+        let x = ctx.arange(6);
+        let r = (Expr::leaf(&x) * 2.0 + 1.0).eval();
+        assert_eq!(r.dtype(), crate::buffer::DType::I64);
+        assert_eq!(r.to_vec_i64(), vec![1, 3, 5, 7, 9, 11]);
+    }
+
+    #[test]
+    fn scalar_folding_in_unfused_path() {
+        let ctx = OdinContext::with_workers(2);
+        let x = ctx.linspace(0.0, 1.0, 5);
+        // (2 + 3) * x → constant folded on the master in the eager path
+        let e = (Expr::scalar(2.0) + Expr::scalar(3.0)) * Expr::leaf(&x);
+        let r = e.eval_unfused();
+        assert_eq!(r.to_vec(), vec![0.0, 1.25, 2.5, 3.75, 5.0]);
+    }
+}

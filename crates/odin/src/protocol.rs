@@ -1,0 +1,934 @@
+//! The master↔worker control protocol.
+//!
+//! Every global-mode operation becomes one small, Wire-encoded [`Cmd`]
+//! broadcast to all workers. The paper (§III-B) claims these control
+//! messages carry "very little to no array data … at most tens of bytes";
+//! experiment E2 measures exactly the encodings defined here.
+
+use comm::{CommError, Cursor, Wire};
+
+use crate::buffer::{Buffer, DType};
+use crate::slicing::SliceSpec;
+
+/// Distribution of the distributed axis (mirrors [`dmap::Distribution`]
+/// but is wire-encodable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dist {
+    /// Contiguous blocks.
+    Block,
+    /// Round-robin elements.
+    Cyclic,
+    /// Round-robin blocks of the given size.
+    BlockCyclic(usize),
+}
+
+impl Dist {
+    /// Convert to the dmap vocabulary.
+    pub fn to_dmap(self) -> dmap::Distribution {
+        match self {
+            Dist::Block => dmap::Distribution::Block,
+            Dist::Cyclic => dmap::Distribution::Cyclic,
+            Dist::BlockCyclic(b) => dmap::Distribution::BlockCyclic(b),
+        }
+    }
+}
+
+/// Metadata describing a distributed array: its global shape, which axis
+/// is distributed, how, and the element dtype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayMeta {
+    /// Global shape.
+    pub shape: Vec<usize>,
+    /// The distributed axis.
+    pub axis: usize,
+    /// Distribution along that axis.
+    pub dist: Dist,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl ArrayMeta {
+    /// Total global element count.
+    pub fn n_global(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Elements per index of the distributed axis (the "slab" size).
+    pub fn slab(&self) -> usize {
+        self.shape
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != self.axis)
+            .map(|(_, &d)| d)
+            .product()
+    }
+
+    /// The [`dmap::DistMap`] of the distributed axis for worker `rank` of
+    /// `n_workers`.
+    pub fn axis_map(&self, n_workers: usize, rank: usize) -> dmap::DistMap {
+        dmap::DistMap::with_distribution(
+            self.dist.to_dmap(),
+            self.shape[self.axis],
+            n_workers,
+            rank,
+        )
+    }
+
+    /// Local element count on worker `rank`.
+    pub fn local_len(&self, n_workers: usize, rank: usize) -> usize {
+        self.axis_map(n_workers, rank).my_count() * self.slab()
+    }
+
+    /// Two arrays are conformable when their segments line up with no
+    /// communication: same shape, axis and distribution.
+    pub fn conformable(&self, other: &ArrayMeta) -> bool {
+        self.shape == other.shape && self.axis == other.axis && self.dist == other.dist
+    }
+}
+
+/// Unary elementwise operations (a representative subset of NumPy's
+/// unary ufuncs, which the paper says are "trivially parallelized").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+    /// Logical not.
+    Not,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Tangent.
+    Tan,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Square root.
+    Sqrt,
+    /// Floor.
+    Floor,
+    /// Ceiling.
+    Ceil,
+}
+
+/// Binary elementwise operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// True division (always float, as in NumPy).
+    Div,
+    /// Power.
+    Pow,
+    /// Remainder.
+    Mod,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+    /// `hypot(x, y)` — the paper's running example (§III-C).
+    Hypot,
+    /// `atan2(y, x)`.
+    Atan2,
+    /// Equality comparison.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical and.
+    And,
+    /// Logical or.
+    Or,
+}
+
+/// Whole-array reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceKind {
+    /// Sum of elements.
+    Sum,
+    /// Product of elements.
+    Prod,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Count of nonzero (true) elements.
+    CountNonzero,
+}
+
+/// How a freshly created array is filled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fill {
+    /// All zeros.
+    Zeros,
+    /// Constant value (cast to the meta's dtype).
+    Full(f64),
+    /// `start + step * gid` along the flattened global index.
+    Arange {
+        /// First value.
+        start: f64,
+        /// Increment per element.
+        step: f64,
+    },
+    /// `n` evenly spaced points from `start` to `stop` inclusive.
+    Linspace {
+        /// First value.
+        start: f64,
+        /// Last value.
+        stop: f64,
+    },
+    /// Deterministic pseudo-random uniform [0,1): value depends only on
+    /// (seed, global index), so results are identical for any worker
+    /// count (the paper's per-node seeds made results depend on the node
+    /// count; determinism is the better engineering choice and E3 relies
+    /// on it).
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// One step of a fused elementwise program (RPN over a per-element stack):
+/// the compiled form of a lazy expression (§III loop fusion).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FusedOp {
+    /// Push the element of the given array.
+    PushArray(u64),
+    /// Push a constant.
+    PushScalar(f64),
+    /// Apply a unary op to the stack top.
+    Unary(UnaryOp),
+    /// Apply a binary op to the top two entries (pushed left-to-right).
+    Binary(BinOp),
+}
+
+/// A control command broadcast from the master to every worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cmd {
+    /// Allocate and fill a new array.
+    Create {
+        /// Fresh array id.
+        id: u64,
+        /// Metadata.
+        meta: ArrayMeta,
+        /// Fill rule.
+        fill: Fill,
+    },
+    /// Adopt master-provided data (the one *data-carrying* command).
+    SetData {
+        /// Fresh array id.
+        id: u64,
+        /// Metadata.
+        meta: ArrayMeta,
+        /// This worker's segment (each worker receives its own copy).
+        data: Buffer,
+    },
+    /// `out = op(a)` elementwise.
+    Unary {
+        /// Output id.
+        out: u64,
+        /// Input id.
+        a: u64,
+        /// Operation.
+        op: UnaryOp,
+    },
+    /// `out = a op b` elementwise (operands must be conformable — the
+    /// master inserts redistributions beforehand when they are not).
+    Binary {
+        /// Output id.
+        out: u64,
+        /// Left input id.
+        a: u64,
+        /// Right input id.
+        b: u64,
+        /// Operation.
+        op: BinOp,
+    },
+    /// `out = a op scalar` (or `scalar op a`).
+    BinaryScalar {
+        /// Output id.
+        out: u64,
+        /// Array input id.
+        a: u64,
+        /// Broadcast scalar.
+        scalar: f64,
+        /// Operation.
+        op: BinOp,
+        /// Whether the scalar is the left operand.
+        scalar_left: bool,
+    },
+    /// `out = a.astype(dtype)`.
+    AsType {
+        /// Output id.
+        out: u64,
+        /// Input id.
+        a: u64,
+        /// Target dtype.
+        dtype: DType,
+    },
+    /// Materialize `a` under a new distribution (workers alltoallv).
+    Redistribute {
+        /// Output id.
+        out: u64,
+        /// Input id.
+        a: u64,
+        /// New distribution.
+        dist: Dist,
+        /// New distributed axis.
+        axis: usize,
+    },
+    /// Materialize a slice of `a` (one spec per dimension).
+    Slice {
+        /// Output id.
+        out: u64,
+        /// Input id.
+        a: u64,
+        /// Per-dimension slice specs.
+        specs: Vec<SliceSpec>,
+    },
+    /// Evaluate a fused elementwise program over conformable inputs.
+    EvalFused {
+        /// Output id.
+        out: u64,
+        /// Template array id (defines the output meta before dtype).
+        template: u64,
+        /// RPN program.
+        program: Vec<FusedOp>,
+    },
+    /// Reduce `a`; worker 0 replies with the scalar (axis `None`) or the
+    /// workers cooperatively build array `out` (axis `Some`).
+    Reduce {
+        /// Input id.
+        a: u64,
+        /// Reduction.
+        kind: ReduceKind,
+        /// Axis to reduce over, or `None` for a full reduction.
+        axis: Option<usize>,
+        /// Output id when `axis` is `Some`.
+        out: u64,
+    },
+    /// Every worker sends its segment (with axis gids) to the master.
+    Fetch {
+        /// Input id.
+        a: u64,
+    },
+    /// Call a registered local function (local mode, §III-C).
+    CallLocal {
+        /// Registered function id.
+        fn_id: u64,
+        /// Array-id arguments.
+        arrays: Vec<u64>,
+        /// Scalar arguments.
+        scalars: Vec<f64>,
+    },
+    /// Drop an array.
+    Free {
+        /// Array id.
+        id: u64,
+    },
+    /// Synchronization point: every worker replies with `()`.
+    Ping,
+    /// Stop the worker loop.
+    Shutdown,
+    /// `out[i] = cond[i] ? a[i] : b[i]` (all conformable) — `np.where`.
+    Select {
+        /// Output id.
+        out: u64,
+        /// Condition array id.
+        cond: u64,
+        /// Taken where cond is true.
+        a: u64,
+        /// Taken where cond is false.
+        b: u64,
+    },
+    /// Inclusive prefix sum along a 1-D array (distributed scan).
+    CumSum {
+        /// Output id.
+        out: u64,
+        /// Input id.
+        a: u64,
+    },
+    /// Index of the extreme element; worker 0 replies `(index, value)`.
+    ArgReduce {
+        /// Input id.
+        a: u64,
+        /// True for argmax, false for argmin.
+        is_max: bool,
+    },
+    /// Concatenate two 1-D arrays into `out` (block distributed).
+    Concat {
+        /// Output id.
+        out: u64,
+        /// First input.
+        a: u64,
+        /// Second input.
+        b: u64,
+    },
+    /// `out = a · b` for 2-D arrays: `a` stays block-row distributed,
+    /// `b` is allgathered (suitable for tall-×-skinny products).
+    MatMul {
+        /// Output id.
+        out: u64,
+        /// Left operand `[m, k]`.
+        a: u64,
+        /// Right operand `[k, n]`.
+        b: u64,
+    },
+}
+
+// ---- Wire impls -----------------------------------------------------------
+
+macro_rules! wire_enum_unit {
+    ($t:ty, $($variant:ident = $b:expr),* $(,)?) => {
+        impl Wire for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.push(match self { $(<$t>::$variant => $b),* });
+            }
+            fn decode(cur: &mut Cursor<'_>) -> Result<Self, CommError> {
+                match u8::decode(cur)? {
+                    $($b => Ok(<$t>::$variant),)*
+                    b => Err(CommError::Decode(format!(
+                        "bad {} byte {b}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+wire_enum_unit!(UnaryOp, Neg = 0, Abs = 1, Not = 2, Sin = 3, Cos = 4, Tan = 5,
+    Exp = 6, Log = 7, Sqrt = 8, Floor = 9, Ceil = 10);
+wire_enum_unit!(BinOp, Add = 0, Sub = 1, Mul = 2, Div = 3, Pow = 4, Mod = 5,
+    Max = 6, Min = 7, Hypot = 8, Atan2 = 9, Eq = 10, Ne = 11, Lt = 12,
+    Le = 13, Gt = 14, Ge = 15, And = 16, Or = 17);
+wire_enum_unit!(ReduceKind, Sum = 0, Prod = 1, Min = 2, Max = 3, CountNonzero = 4);
+
+impl Wire for Dist {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Dist::Block => buf.push(0),
+            Dist::Cyclic => buf.push(1),
+            Dist::BlockCyclic(b) => {
+                buf.push(2);
+                b.encode(buf);
+            }
+        }
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, CommError> {
+        match u8::decode(cur)? {
+            0 => Ok(Dist::Block),
+            1 => Ok(Dist::Cyclic),
+            2 => Ok(Dist::BlockCyclic(usize::decode(cur)?)),
+            b => Err(CommError::Decode(format!("bad dist byte {b}"))),
+        }
+    }
+}
+
+impl Wire for ArrayMeta {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.shape.encode(buf);
+        self.axis.encode(buf);
+        self.dist.encode(buf);
+        self.dtype.encode(buf);
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, CommError> {
+        Ok(ArrayMeta {
+            shape: Vec::decode(cur)?,
+            axis: usize::decode(cur)?,
+            dist: Dist::decode(cur)?,
+            dtype: DType::decode(cur)?,
+        })
+    }
+}
+
+impl Wire for Fill {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Fill::Zeros => buf.push(0),
+            Fill::Full(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+            Fill::Arange { start, step } => {
+                buf.push(2);
+                start.encode(buf);
+                step.encode(buf);
+            }
+            Fill::Linspace { start, stop } => {
+                buf.push(3);
+                start.encode(buf);
+                stop.encode(buf);
+            }
+            Fill::Random { seed } => {
+                buf.push(4);
+                seed.encode(buf);
+            }
+        }
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, CommError> {
+        match u8::decode(cur)? {
+            0 => Ok(Fill::Zeros),
+            1 => Ok(Fill::Full(f64::decode(cur)?)),
+            2 => Ok(Fill::Arange {
+                start: f64::decode(cur)?,
+                step: f64::decode(cur)?,
+            }),
+            3 => Ok(Fill::Linspace {
+                start: f64::decode(cur)?,
+                stop: f64::decode(cur)?,
+            }),
+            4 => Ok(Fill::Random {
+                seed: u64::decode(cur)?,
+            }),
+            b => Err(CommError::Decode(format!("bad fill byte {b}"))),
+        }
+    }
+}
+
+impl Wire for FusedOp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            FusedOp::PushArray(id) => {
+                buf.push(0);
+                id.encode(buf);
+            }
+            FusedOp::PushScalar(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+            FusedOp::Unary(op) => {
+                buf.push(2);
+                op.encode(buf);
+            }
+            FusedOp::Binary(op) => {
+                buf.push(3);
+                op.encode(buf);
+            }
+        }
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, CommError> {
+        match u8::decode(cur)? {
+            0 => Ok(FusedOp::PushArray(u64::decode(cur)?)),
+            1 => Ok(FusedOp::PushScalar(f64::decode(cur)?)),
+            2 => Ok(FusedOp::Unary(UnaryOp::decode(cur)?)),
+            3 => Ok(FusedOp::Binary(BinOp::decode(cur)?)),
+            b => Err(CommError::Decode(format!("bad fusedop byte {b}"))),
+        }
+    }
+}
+
+impl Wire for Cmd {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Cmd::Create { id, meta, fill } => {
+                buf.push(0);
+                id.encode(buf);
+                meta.encode(buf);
+                fill.encode(buf);
+            }
+            Cmd::SetData { id, meta, data } => {
+                buf.push(1);
+                id.encode(buf);
+                meta.encode(buf);
+                data.encode(buf);
+            }
+            Cmd::Unary { out, a, op } => {
+                buf.push(2);
+                out.encode(buf);
+                a.encode(buf);
+                op.encode(buf);
+            }
+            Cmd::Binary { out, a, b, op } => {
+                buf.push(3);
+                out.encode(buf);
+                a.encode(buf);
+                b.encode(buf);
+                op.encode(buf);
+            }
+            Cmd::BinaryScalar {
+                out,
+                a,
+                scalar,
+                op,
+                scalar_left,
+            } => {
+                buf.push(4);
+                out.encode(buf);
+                a.encode(buf);
+                scalar.encode(buf);
+                op.encode(buf);
+                scalar_left.encode(buf);
+            }
+            Cmd::AsType { out, a, dtype } => {
+                buf.push(5);
+                out.encode(buf);
+                a.encode(buf);
+                dtype.encode(buf);
+            }
+            Cmd::Redistribute { out, a, dist, axis } => {
+                buf.push(6);
+                out.encode(buf);
+                a.encode(buf);
+                dist.encode(buf);
+                axis.encode(buf);
+            }
+            Cmd::Slice { out, a, specs } => {
+                buf.push(7);
+                out.encode(buf);
+                a.encode(buf);
+                specs.encode(buf);
+            }
+            Cmd::EvalFused {
+                out,
+                template,
+                program,
+            } => {
+                buf.push(8);
+                out.encode(buf);
+                template.encode(buf);
+                program.encode(buf);
+            }
+            Cmd::Reduce { a, kind, axis, out } => {
+                buf.push(9);
+                a.encode(buf);
+                kind.encode(buf);
+                axis.map(|x| x as u64).encode(buf);
+                out.encode(buf);
+            }
+            Cmd::Fetch { a } => {
+                buf.push(10);
+                a.encode(buf);
+            }
+            Cmd::CallLocal {
+                fn_id,
+                arrays,
+                scalars,
+            } => {
+                buf.push(11);
+                fn_id.encode(buf);
+                arrays.encode(buf);
+                scalars.encode(buf);
+            }
+            Cmd::Free { id } => {
+                buf.push(12);
+                id.encode(buf);
+            }
+            Cmd::Ping => buf.push(13),
+            Cmd::Shutdown => buf.push(14),
+            Cmd::Select { out, cond, a, b } => {
+                buf.push(15);
+                out.encode(buf);
+                cond.encode(buf);
+                a.encode(buf);
+                b.encode(buf);
+            }
+            Cmd::CumSum { out, a } => {
+                buf.push(16);
+                out.encode(buf);
+                a.encode(buf);
+            }
+            Cmd::ArgReduce { a, is_max } => {
+                buf.push(17);
+                a.encode(buf);
+                is_max.encode(buf);
+            }
+            Cmd::Concat { out, a, b } => {
+                buf.push(18);
+                out.encode(buf);
+                a.encode(buf);
+                b.encode(buf);
+            }
+            Cmd::MatMul { out, a, b } => {
+                buf.push(19);
+                out.encode(buf);
+                a.encode(buf);
+                b.encode(buf);
+            }
+        }
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, CommError> {
+        match u8::decode(cur)? {
+            0 => Ok(Cmd::Create {
+                id: u64::decode(cur)?,
+                meta: ArrayMeta::decode(cur)?,
+                fill: Fill::decode(cur)?,
+            }),
+            1 => Ok(Cmd::SetData {
+                id: u64::decode(cur)?,
+                meta: ArrayMeta::decode(cur)?,
+                data: Buffer::decode(cur)?,
+            }),
+            2 => Ok(Cmd::Unary {
+                out: u64::decode(cur)?,
+                a: u64::decode(cur)?,
+                op: UnaryOp::decode(cur)?,
+            }),
+            3 => Ok(Cmd::Binary {
+                out: u64::decode(cur)?,
+                a: u64::decode(cur)?,
+                b: u64::decode(cur)?,
+                op: BinOp::decode(cur)?,
+            }),
+            4 => Ok(Cmd::BinaryScalar {
+                out: u64::decode(cur)?,
+                a: u64::decode(cur)?,
+                scalar: f64::decode(cur)?,
+                op: BinOp::decode(cur)?,
+                scalar_left: bool::decode(cur)?,
+            }),
+            5 => Ok(Cmd::AsType {
+                out: u64::decode(cur)?,
+                a: u64::decode(cur)?,
+                dtype: DType::decode(cur)?,
+            }),
+            6 => Ok(Cmd::Redistribute {
+                out: u64::decode(cur)?,
+                a: u64::decode(cur)?,
+                dist: Dist::decode(cur)?,
+                axis: usize::decode(cur)?,
+            }),
+            7 => Ok(Cmd::Slice {
+                out: u64::decode(cur)?,
+                a: u64::decode(cur)?,
+                specs: Vec::decode(cur)?,
+            }),
+            8 => Ok(Cmd::EvalFused {
+                out: u64::decode(cur)?,
+                template: u64::decode(cur)?,
+                program: Vec::decode(cur)?,
+            }),
+            9 => Ok(Cmd::Reduce {
+                a: u64::decode(cur)?,
+                kind: ReduceKind::decode(cur)?,
+                axis: Option::<u64>::decode(cur)?.map(|x| x as usize),
+                out: u64::decode(cur)?,
+            }),
+            10 => Ok(Cmd::Fetch {
+                a: u64::decode(cur)?,
+            }),
+            11 => Ok(Cmd::CallLocal {
+                fn_id: u64::decode(cur)?,
+                arrays: Vec::decode(cur)?,
+                scalars: Vec::decode(cur)?,
+            }),
+            12 => Ok(Cmd::Free {
+                id: u64::decode(cur)?,
+            }),
+            13 => Ok(Cmd::Ping),
+            14 => Ok(Cmd::Shutdown),
+            15 => Ok(Cmd::Select {
+                out: u64::decode(cur)?,
+                cond: u64::decode(cur)?,
+                a: u64::decode(cur)?,
+                b: u64::decode(cur)?,
+            }),
+            16 => Ok(Cmd::CumSum {
+                out: u64::decode(cur)?,
+                a: u64::decode(cur)?,
+            }),
+            17 => Ok(Cmd::ArgReduce {
+                a: u64::decode(cur)?,
+                is_max: bool::decode(cur)?,
+            }),
+            18 => Ok(Cmd::Concat {
+                out: u64::decode(cur)?,
+                a: u64::decode(cur)?,
+                b: u64::decode(cur)?,
+            }),
+            19 => Ok(Cmd::MatMul {
+                out: u64::decode(cur)?,
+                a: u64::decode(cur)?,
+                b: u64::decode(cur)?,
+            }),
+            b => Err(CommError::Decode(format!("bad cmd byte {b}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm::{decode_from_slice, encode_to_vec};
+
+    fn meta() -> ArrayMeta {
+        ArrayMeta {
+            shape: vec![100, 4],
+            axis: 0,
+            dist: Dist::Block,
+            dtype: DType::F64,
+        }
+    }
+
+    #[test]
+    fn meta_geometry() {
+        let m = meta();
+        assert_eq!(m.n_global(), 400);
+        assert_eq!(m.slab(), 4);
+        assert_eq!(m.ndim(), 2);
+        let map = m.axis_map(3, 0);
+        assert_eq!(map.my_count(), 34);
+        assert_eq!(m.local_len(3, 0), 136);
+    }
+
+    #[test]
+    fn conformability() {
+        let a = meta();
+        let mut b = meta();
+        assert!(a.conformable(&b));
+        b.dist = Dist::Cyclic;
+        assert!(!a.conformable(&b));
+        let mut c = meta();
+        c.dtype = DType::I64; // dtype does NOT affect conformability
+        assert!(a.conformable(&c));
+    }
+
+    #[test]
+    fn cmd_roundtrips() {
+        let cmds = vec![
+            Cmd::Create {
+                id: 7,
+                meta: meta(),
+                fill: Fill::Linspace {
+                    start: 0.0,
+                    stop: 1.0,
+                },
+            },
+            Cmd::Unary {
+                out: 8,
+                a: 7,
+                op: UnaryOp::Sqrt,
+            },
+            Cmd::Binary {
+                out: 9,
+                a: 7,
+                b: 8,
+                op: BinOp::Hypot,
+            },
+            Cmd::BinaryScalar {
+                out: 10,
+                a: 9,
+                scalar: 2.5,
+                op: BinOp::Pow,
+                scalar_left: false,
+            },
+            Cmd::Redistribute {
+                out: 11,
+                a: 10,
+                dist: Dist::BlockCyclic(16),
+                axis: 0,
+            },
+            Cmd::Slice {
+                out: 12,
+                a: 11,
+                specs: vec![SliceSpec::new(1, 99, 1), SliceSpec::new(0, 4, 2)],
+            },
+            Cmd::EvalFused {
+                out: 13,
+                template: 7,
+                program: vec![
+                    FusedOp::PushArray(7),
+                    FusedOp::PushScalar(2.0),
+                    FusedOp::Binary(BinOp::Pow),
+                    FusedOp::Unary(UnaryOp::Sqrt),
+                ],
+            },
+            Cmd::Reduce {
+                a: 13,
+                kind: ReduceKind::Sum,
+                axis: Some(1),
+                out: 14,
+            },
+            Cmd::Reduce {
+                a: 13,
+                kind: ReduceKind::Max,
+                axis: None,
+                out: 0,
+            },
+            Cmd::Fetch { a: 14 },
+            Cmd::CallLocal {
+                fn_id: 3,
+                arrays: vec![7, 14],
+                scalars: vec![1.5],
+            },
+            Cmd::Free { id: 7 },
+            Cmd::Ping,
+            Cmd::Shutdown,
+            Cmd::SetData {
+                id: 20,
+                meta: meta(),
+                data: Buffer::F64(vec![1.0, 2.0]),
+            },
+            Cmd::AsType {
+                out: 21,
+                a: 20,
+                dtype: DType::I64,
+            },
+        ];
+        for cmd in cmds {
+            let bytes = encode_to_vec(&cmd);
+            let back: Cmd = decode_from_slice(&bytes).unwrap();
+            assert_eq!(back, cmd);
+        }
+    }
+
+    #[test]
+    fn control_commands_are_small() {
+        // The paper's claim: control messages are "at most tens of bytes".
+        let ops = vec![
+            encode_to_vec(&Cmd::Unary {
+                out: u64::MAX,
+                a: u64::MAX - 1,
+                op: UnaryOp::Sqrt,
+            }),
+            encode_to_vec(&Cmd::Binary {
+                out: 1,
+                a: 2,
+                b: 3,
+                op: BinOp::Add,
+            }),
+            encode_to_vec(&Cmd::Reduce {
+                a: 1,
+                kind: ReduceKind::Sum,
+                axis: None,
+                out: 0,
+            }),
+            encode_to_vec(&Cmd::Create {
+                id: 1,
+                meta: ArrayMeta {
+                    shape: vec![1_000_000_000_000],
+                    axis: 0,
+                    dist: Dist::Block,
+                    dtype: DType::F64,
+                },
+                fill: Fill::Random { seed: 42 },
+            }),
+        ];
+        for bytes in ops {
+            assert!(
+                bytes.len() <= 64,
+                "control message too big: {} bytes",
+                bytes.len()
+            );
+        }
+    }
+}

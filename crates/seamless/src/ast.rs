@@ -1,0 +1,343 @@
+//! Abstract syntax tree for pyish.
+
+/// A parsed module: a sequence of function definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Functions in definition order.
+    pub functions: Vec<FuncDef>,
+}
+
+impl Module {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&FuncDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// One `def`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Parameters with optional type annotations
+    /// (`def f(x: float, n: int)`).
+    pub params: Vec<(String, Option<TypeAnn>)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// Source-level type annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeAnn {
+    /// `int`
+    Int,
+    /// `float`
+    Float,
+    /// `bool`
+    Bool,
+    /// `list` / `arr` of floats
+    ArrF,
+    /// integer array
+    ArrI,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `name = expr` (with optional annotation `name: float = expr`).
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Optional annotation.
+        ann: Option<TypeAnn>,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `a[i] = expr`.
+    AssignIndex {
+        /// Array variable.
+        name: String,
+        /// Index expression.
+        index: Expr,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// Augmented assignment `name op= expr` (desugared by the parser into
+    /// `name = name op expr`, kept for fidelity of round-trips).
+    AugAssign {
+        /// Target variable.
+        name: String,
+        /// Operation.
+        op: BinOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `a[i] op= expr`.
+    AugAssignIndex {
+        /// Array variable.
+        name: String,
+        /// Index expression.
+        index: Expr,
+        /// Operation.
+        op: BinOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if` / `elif` / `else` chain (elifs nested in `orelse`).
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch (possibly another `If`).
+        orelse: Vec<Stmt>,
+    },
+    /// `while cond:`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for var in range(start, stop, step):`.
+    ForRange {
+        /// Loop variable.
+        var: String,
+        /// Start (defaults to 0).
+        start: Expr,
+        /// Stop (exclusive).
+        stop: Expr,
+        /// Step (defaults to 1; must be a positive constant for the VM).
+        step: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr` / bare `return`.
+    Return(Option<Expr>),
+    /// Expression statement (evaluated for effect).
+    ExprStmt(Expr),
+    /// `pass`.
+    Pass,
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (true division: always float)
+    Div,
+    /// `//` (floor division)
+    FloorDiv,
+    /// `%`
+    Mod,
+    /// `**`
+    Pow,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and` (non-short-circuit over our pure expressions)
+    And,
+    /// `or`
+    Or,
+}
+
+impl BinOp {
+    /// Whether the result is boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `not`
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Name(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Call: builtins (`len`, `sqrt`, …) or user functions.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Indexing `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Fold constant subexpressions (the optimizer's first pass: constant
+    /// folding, plus `x ** small-int` strength reduction happens in the
+    /// compiler).
+    pub fn fold(self) -> Expr {
+        match self {
+            Expr::Bin(op, a, b) => {
+                let a = a.fold();
+                let b = b.fold();
+                if let (Some(x), Some(y)) = (a.const_f64(), b.const_f64()) {
+                    let both_int =
+                        matches!(a, Expr::Int(_) | Expr::Bool(_)) && matches!(b, Expr::Int(_) | Expr::Bool(_));
+                    if let Some(folded) = fold_const(op, x, y, both_int) {
+                        return folded;
+                    }
+                }
+                Expr::Bin(op, Box::new(a), Box::new(b))
+            }
+            Expr::Un(op, e) => {
+                let e = e.fold();
+                match (op, &e) {
+                    (UnOp::Neg, Expr::Int(v)) => Expr::Int(-v),
+                    (UnOp::Neg, Expr::Float(v)) => Expr::Float(-v),
+                    (UnOp::Not, Expr::Bool(b)) => Expr::Bool(!b),
+                    _ => Expr::Un(op, Box::new(e)),
+                }
+            }
+            Expr::Call { name, args } => Expr::Call {
+                name,
+                args: args.into_iter().map(Expr::fold).collect(),
+            },
+            Expr::Index(a, i) => Expr::Index(Box::new(a.fold()), Box::new(i.fold())),
+            other => other,
+        }
+    }
+
+    fn const_f64(&self) -> Option<f64> {
+        match self {
+            Expr::Int(v) => Some(*v as f64),
+            Expr::Float(v) => Some(*v),
+            Expr::Bool(b) => Some(f64::from(u8::from(*b))),
+            _ => None,
+        }
+    }
+}
+
+fn fold_const(op: BinOp, x: f64, y: f64, both_int: bool) -> Option<Expr> {
+    let num = |v: f64| {
+        if both_int && v.fract() == 0.0 && v.abs() < 9e15 {
+            Expr::Int(v as i64)
+        } else {
+            Expr::Float(v)
+        }
+    };
+    Some(match op {
+        BinOp::Add => num(x + y),
+        BinOp::Sub => num(x - y),
+        BinOp::Mul => num(x * y),
+        BinOp::Div => Expr::Float(x / y),
+        BinOp::FloorDiv => num((x / y).floor()),
+        BinOp::Mod => num(x.rem_euclid(y)),
+        BinOp::Pow => {
+            let v = x.powf(y);
+            if both_int && y >= 0.0 {
+                num(v)
+            } else {
+                Expr::Float(v)
+            }
+        }
+        BinOp::Eq => Expr::Bool(x == y),
+        BinOp::Ne => Expr::Bool(x != y),
+        BinOp::Lt => Expr::Bool(x < y),
+        BinOp::Le => Expr::Bool(x <= y),
+        BinOp::Gt => Expr::Bool(x > y),
+        BinOp::Ge => Expr::Bool(x >= y),
+        BinOp::And => Expr::Bool(x != 0.0 && y != 0.0),
+        BinOp::Or => Expr::Bool(x != 0.0 || y != 0.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding_arithmetic() {
+        // 2 + 3 * 4 → 14 (ints stay int)
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Int(2)),
+            Box::new(Expr::Bin(
+                BinOp::Mul,
+                Box::new(Expr::Int(3)),
+                Box::new(Expr::Int(4)),
+            )),
+        );
+        assert_eq!(e.fold(), Expr::Int(14));
+        // division is float
+        let d = Expr::Bin(BinOp::Div, Box::new(Expr::Int(1)), Box::new(Expr::Int(2)));
+        assert_eq!(d.fold(), Expr::Float(0.5));
+    }
+
+    #[test]
+    fn folding_stops_at_names() {
+        let e = Expr::Bin(
+            BinOp::Mul,
+            Box::new(Expr::Name("x".into())),
+            Box::new(Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Int(1)),
+                Box::new(Expr::Int(1)),
+            )),
+        );
+        assert_eq!(
+            e.fold(),
+            Expr::Bin(
+                BinOp::Mul,
+                Box::new(Expr::Name("x".into())),
+                Box::new(Expr::Int(2))
+            )
+        );
+    }
+
+    #[test]
+    fn comparisons_fold_to_bool() {
+        let e = Expr::Bin(BinOp::Lt, Box::new(Expr::Int(1)), Box::new(Expr::Int(2)));
+        assert_eq!(e.fold(), Expr::Bool(true));
+        let n = Expr::Un(UnOp::Not, Box::new(Expr::Bool(true)));
+        assert_eq!(n.fold(), Expr::Bool(false));
+    }
+
+    #[test]
+    fn unary_neg_folds() {
+        let e = Expr::Un(UnOp::Neg, Box::new(Expr::Float(2.5)));
+        assert_eq!(e.fold(), Expr::Float(-2.5));
+    }
+}

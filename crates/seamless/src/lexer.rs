@@ -1,0 +1,434 @@
+//! Tokenizer for pyish: indentation-sensitive, Python-style.
+
+use crate::SeamlessError;
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind/payload.
+    pub kind: Tok,
+    /// Source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Identifier.
+    Name(String),
+    /// Keyword.
+    Kw(Kw),
+    /// Operator / punctuation.
+    Op(Op),
+    /// End of logical line.
+    Newline,
+    /// Indentation increased.
+    Indent,
+    /// Indentation decreased.
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+/// Keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    /// `def`
+    Def,
+    /// `return`
+    Return,
+    /// `if`
+    If,
+    /// `elif`
+    Elif,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `True`
+    True,
+    /// `False`
+    False,
+    /// `pass`
+    Pass,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `**`
+    StarStar,
+    /// `/`
+    Slash,
+    /// `//`
+    SlashSlash,
+    /// `%`
+    Percent,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "def" => Kw::Def,
+        "return" => Kw::Return,
+        "if" => Kw::If,
+        "elif" => Kw::Elif,
+        "else" => Kw::Else,
+        "while" => Kw::While,
+        "for" => Kw::For,
+        "in" => Kw::In,
+        "and" => Kw::And,
+        "or" => Kw::Or,
+        "not" => Kw::Not,
+        "True" => Kw::True,
+        "False" => Kw::False,
+        "pass" => Kw::Pass,
+        "break" => Kw::Break,
+        "continue" => Kw::Continue,
+        _ => return None,
+    })
+}
+
+/// Tokenize a module. Tabs are not allowed in indentation; comments start
+/// with `#`; blank lines are skipped; indentation must be consistent
+/// (each level a multiple of the first indent seen, Python-style stack).
+pub fn tokenize(src: &str) -> Result<Vec<Token>, SeamlessError> {
+    let mut tokens = Vec::new();
+    let mut indent_stack: Vec<usize> = vec![0];
+    let mut paren_depth = 0usize;
+    for (lineno, raw) in src.lines().enumerate() {
+        let line_no = lineno + 1;
+        // strip comments (no string literals in pyish, so this is safe)
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if line.contains('\t') {
+            return Err(SeamlessError::Lex(
+                line_no,
+                "tabs are not allowed; use spaces".into(),
+            ));
+        }
+        let indent = line.len() - line.trim_start_matches(' ').len();
+        if paren_depth == 0 {
+            let current = *indent_stack.last().unwrap();
+            if indent > current {
+                indent_stack.push(indent);
+                tokens.push(Token {
+                    kind: Tok::Indent,
+                    line: line_no,
+                });
+            } else if indent < current {
+                while *indent_stack.last().unwrap() > indent {
+                    indent_stack.pop();
+                    tokens.push(Token {
+                        kind: Tok::Dedent,
+                        line: line_no,
+                    });
+                }
+                if *indent_stack.last().unwrap() != indent {
+                    return Err(SeamlessError::Lex(
+                        line_no,
+                        format!("inconsistent dedent to column {indent}"),
+                    ));
+                }
+            }
+        }
+        // tokenize the line content
+        let bytes = line.as_bytes();
+        let mut i = indent;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            match c {
+                ' ' => i += 1,
+                '0'..='9' => {
+                    let start = i;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let mut is_float = false;
+                    if i < bytes.len() && bytes[i] == b'.' {
+                        is_float = true;
+                        i += 1;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                        is_float = true;
+                        i += 1;
+                        if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                            i += 1;
+                        }
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    let text = &line[start..i];
+                    let kind = if is_float {
+                        Tok::Float(text.parse().map_err(|_| {
+                            SeamlessError::Lex(line_no, format!("bad float literal {text}"))
+                        })?)
+                    } else {
+                        Tok::Int(text.parse().map_err(|_| {
+                            SeamlessError::Lex(line_no, format!("bad int literal {text}"))
+                        })?)
+                    };
+                    tokens.push(Token {
+                        kind,
+                        line: line_no,
+                    });
+                }
+                'a'..='z' | 'A'..='Z' | '_' => {
+                    let start = i;
+                    while i < bytes.len()
+                        && matches!(bytes[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                    {
+                        i += 1;
+                    }
+                    let text = &line[start..i];
+                    let kind = match keyword(text) {
+                        Some(kw) => Tok::Kw(kw),
+                        None => Tok::Name(text.to_string()),
+                    };
+                    tokens.push(Token {
+                        kind,
+                        line: line_no,
+                    });
+                }
+                _ => {
+                    let two = if i + 1 < bytes.len() {
+                        &line[i..i + 2]
+                    } else {
+                        ""
+                    };
+                    let (op, adv) = match two {
+                        "**" => (Op::StarStar, 2),
+                        "//" => (Op::SlashSlash, 2),
+                        "==" => (Op::Eq, 2),
+                        "!=" => (Op::Ne, 2),
+                        "<=" => (Op::Le, 2),
+                        ">=" => (Op::Ge, 2),
+                        "+=" => (Op::PlusAssign, 2),
+                        "-=" => (Op::MinusAssign, 2),
+                        "*=" => (Op::StarAssign, 2),
+                        "/=" => (Op::SlashAssign, 2),
+                        _ => match c {
+                            '+' => (Op::Plus, 1),
+                            '-' => (Op::Minus, 1),
+                            '*' => (Op::Star, 1),
+                            '/' => (Op::Slash, 1),
+                            '%' => (Op::Percent, 1),
+                            '(' => {
+                                paren_depth += 1;
+                                (Op::LParen, 1)
+                            }
+                            ')' => {
+                                paren_depth = paren_depth.saturating_sub(1);
+                                (Op::RParen, 1)
+                            }
+                            '[' => {
+                                paren_depth += 1;
+                                (Op::LBracket, 1)
+                            }
+                            ']' => {
+                                paren_depth = paren_depth.saturating_sub(1);
+                                (Op::RBracket, 1)
+                            }
+                            ',' => (Op::Comma, 1),
+                            ':' => (Op::Colon, 1),
+                            '=' => (Op::Assign, 1),
+                            '<' => (Op::Lt, 1),
+                            '>' => (Op::Gt, 1),
+                            other => {
+                                return Err(SeamlessError::Lex(
+                                    line_no,
+                                    format!("unexpected character {other:?}"),
+                                ))
+                            }
+                        },
+                    };
+                    tokens.push(Token {
+                        kind: Tok::Op(op),
+                        line: line_no,
+                    });
+                    i += adv;
+                }
+            }
+        }
+        if paren_depth == 0 {
+            tokens.push(Token {
+                kind: Tok::Newline,
+                line: line_no,
+            });
+        }
+    }
+    let last_line = src.lines().count();
+    while indent_stack.len() > 1 {
+        indent_stack.pop();
+        tokens.push(Token {
+            kind: Tok::Dedent,
+            line: last_line,
+        });
+    }
+    tokens.push(Token {
+        kind: Tok::Eof,
+        line: last_line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_expression_line() {
+        let k = kinds("x = 1 + 2.5");
+        assert_eq!(
+            k,
+            vec![
+                Tok::Name("x".into()),
+                Tok::Op(Op::Assign),
+                Tok::Int(1),
+                Tok::Op(Op::Plus),
+                Tok::Float(2.5),
+                Tok::Newline,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_generates_indent_dedent() {
+        let src = "def f():\n    return 1\nx = 2";
+        let k = kinds(src);
+        assert!(k.contains(&Tok::Indent));
+        assert!(k.contains(&Tok::Dedent));
+        // dedent comes before the x
+        let di = k.iter().position(|t| *t == Tok::Dedent).unwrap();
+        let xi = k
+            .iter()
+            .position(|t| *t == Tok::Name("x".into()))
+            .unwrap();
+        assert!(di < xi);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let k = kinds("# header\n\nx = 1  # trailing\n");
+        assert_eq!(k.len(), 5); // name, =, 1, newline, eof
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let k = kinds("a == b != c <= d >= e ** f // g");
+        assert!(k.contains(&Tok::Op(Op::Eq)));
+        assert!(k.contains(&Tok::Op(Op::Ne)));
+        assert!(k.contains(&Tok::Op(Op::Le)));
+        assert!(k.contains(&Tok::Op(Op::Ge)));
+        assert!(k.contains(&Tok::Op(Op::StarStar)));
+        assert!(k.contains(&Tok::Op(Op::SlashSlash)));
+    }
+
+    #[test]
+    fn keywords_and_names() {
+        let k = kinds("for i in range(n):");
+        assert_eq!(k[0], Tok::Kw(Kw::For));
+        assert_eq!(k[1], Tok::Name("i".into()));
+        assert_eq!(k[2], Tok::Kw(Kw::In));
+        assert_eq!(k[3], Tok::Name("range".into()));
+    }
+
+    #[test]
+    fn float_formats() {
+        let k = kinds("a = 1e3 + 2.5e-2 + 10.");
+        assert!(k.contains(&Tok::Float(1000.0)));
+        assert!(k.contains(&Tok::Float(0.025)));
+        assert!(k.contains(&Tok::Float(10.0)));
+    }
+
+    #[test]
+    fn inconsistent_dedent_rejected() {
+        let src = "def f():\n        x = 1\n    y = 2";
+        assert!(matches!(tokenize(src), Err(SeamlessError::Lex(3, _))));
+    }
+
+    #[test]
+    fn newline_suppressed_inside_parens() {
+        let src = "x = f(1,\n      2)";
+        let k = kinds(src);
+        // only one newline (after the closing paren line)
+        let n = k.iter().filter(|t| **t == Tok::Newline).count();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(matches!(tokenize("x = $"), Err(SeamlessError::Lex(1, _))));
+    }
+}

@@ -1,0 +1,636 @@
+//! Recursive-descent parser for pyish.
+
+use crate::ast::{BinOp, Expr, FuncDef, Module, Stmt, TypeAnn, UnOp};
+use crate::lexer::{tokenize, Kw, Op, Tok, Token};
+use crate::SeamlessError;
+
+/// Parse a module (a sequence of `def`s).
+pub fn parse_module(src: &str) -> Result<Module, SeamlessError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut functions = Vec::new();
+    loop {
+        while p.eat(&Tok::Newline) {}
+        if p.check(&Tok::Eof) {
+            break;
+        }
+        functions.push(p.funcdef()?);
+    }
+    Ok(Module { functions })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, t: &Tok) -> bool {
+        self.peek() == t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.check(t) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), SeamlessError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(SeamlessError::Parse(
+                self.line(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn name(&mut self, what: &str) -> Result<String, SeamlessError> {
+        match self.bump() {
+            Tok::Name(n) => Ok(n),
+            other => Err(SeamlessError::Parse(
+                self.line(),
+                format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    fn type_ann(&mut self) -> Result<TypeAnn, SeamlessError> {
+        let n = self.name("type annotation")?;
+        Ok(match n.as_str() {
+            "int" => TypeAnn::Int,
+            "float" => TypeAnn::Float,
+            "bool" => TypeAnn::Bool,
+            "list" | "arr" | "arrf" => TypeAnn::ArrF,
+            "arri" => TypeAnn::ArrI,
+            other => {
+                return Err(SeamlessError::Parse(
+                    self.line(),
+                    format!("unknown type annotation {other}"),
+                ))
+            }
+        })
+    }
+
+    fn funcdef(&mut self) -> Result<FuncDef, SeamlessError> {
+        self.expect(&Tok::Kw(Kw::Def), "'def'")?;
+        let name = self.name("function name")?;
+        self.expect(&Tok::Op(Op::LParen), "'('")?;
+        let mut params = Vec::new();
+        if !self.check(&Tok::Op(Op::RParen)) {
+            loop {
+                let pname = self.name("parameter name")?;
+                let ann = if self.eat(&Tok::Op(Op::Colon)) {
+                    Some(self.type_ann()?)
+                } else {
+                    None
+                };
+                params.push((pname, ann));
+                if !self.eat(&Tok::Op(Op::Comma)) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::Op(Op::RParen), "')'")?;
+        self.expect(&Tok::Op(Op::Colon), "':'")?;
+        let body = self.block()?;
+        Ok(FuncDef { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, SeamlessError> {
+        self.expect(&Tok::Newline, "newline before block")?;
+        self.expect(&Tok::Indent, "indented block")?;
+        let mut stmts = Vec::new();
+        while !self.check(&Tok::Dedent) && !self.check(&Tok::Eof) {
+            stmts.push(self.stmt()?);
+        }
+        self.eat(&Tok::Dedent);
+        if stmts.is_empty() {
+            return Err(SeamlessError::Parse(self.line(), "empty block".into()));
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, SeamlessError> {
+        match self.peek().clone() {
+            Tok::Kw(Kw::If) => self.if_stmt(),
+            Tok::Kw(Kw::While) => {
+                self.bump();
+                let cond = self.expr()?;
+                self.expect(&Tok::Op(Op::Colon), "':'")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::Kw(Kw::For) => {
+                self.bump();
+                let var = self.name("loop variable")?;
+                self.expect(&Tok::Kw(Kw::In), "'in'")?;
+                let callee = self.name("'range'")?;
+                if callee != "range" {
+                    return Err(SeamlessError::Parse(
+                        self.line(),
+                        "for loops support only range(...)".into(),
+                    ));
+                }
+                self.expect(&Tok::Op(Op::LParen), "'('")?;
+                let first = self.expr()?;
+                let (start, stop, step) = if self.eat(&Tok::Op(Op::Comma)) {
+                    let second = self.expr()?;
+                    if self.eat(&Tok::Op(Op::Comma)) {
+                        let third = self.expr()?;
+                        (first, second, third)
+                    } else {
+                        (first, second, Expr::Int(1))
+                    }
+                } else {
+                    (Expr::Int(0), first, Expr::Int(1))
+                };
+                self.expect(&Tok::Op(Op::RParen), "')'")?;
+                self.expect(&Tok::Op(Op::Colon), "':'")?;
+                let body = self.block()?;
+                Ok(Stmt::ForRange {
+                    var,
+                    start,
+                    stop,
+                    step,
+                    body,
+                })
+            }
+            Tok::Kw(Kw::Return) => {
+                self.bump();
+                let value = if self.check(&Tok::Newline) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::Newline, "newline after return")?;
+                Ok(Stmt::Return(value))
+            }
+            Tok::Kw(Kw::Pass) => {
+                self.bump();
+                self.expect(&Tok::Newline, "newline after pass")?;
+                Ok(Stmt::Pass)
+            }
+            Tok::Kw(Kw::Break) => {
+                self.bump();
+                self.expect(&Tok::Newline, "newline after break")?;
+                Ok(Stmt::Break)
+            }
+            Tok::Kw(Kw::Continue) => {
+                self.bump();
+                self.expect(&Tok::Newline, "newline after continue")?;
+                Ok(Stmt::Continue)
+            }
+            _ => self.simple_stmt(),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, SeamlessError> {
+        // consumes 'if' or 'elif'
+        self.bump();
+        let cond = self.expr()?;
+        self.expect(&Tok::Op(Op::Colon), "':'")?;
+        let then = self.block()?;
+        let orelse = if self.check(&Tok::Kw(Kw::Elif)) {
+            vec![self.if_stmt()?]
+        } else if self.eat(&Tok::Kw(Kw::Else)) {
+            self.expect(&Tok::Op(Op::Colon), "':'")?;
+            self.block()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If { cond, then, orelse })
+    }
+
+    fn simple_stmt(&mut self) -> Result<Stmt, SeamlessError> {
+        // annotated assignment: NAME ':' type '=' expr
+        if let (Tok::Name(n), Tok::Op(Op::Colon)) = (self.peek().clone(), self.peek2().clone()) {
+            let save = self.pos;
+            self.bump(); // name
+            self.bump(); // colon
+            match self.type_ann() {
+                Ok(ann) => {
+                    self.expect(&Tok::Op(Op::Assign), "'=' after annotation")?;
+                    let value = self.expr()?;
+                    self.expect(&Tok::Newline, "newline")?;
+                    return Ok(Stmt::Assign {
+                        name: n,
+                        ann: Some(ann),
+                        value,
+                    });
+                }
+                Err(_) => {
+                    self.pos = save;
+                }
+            }
+        }
+        let target = self.expr()?;
+        let aug = |op: Op| -> Option<BinOp> {
+            Some(match op {
+                Op::PlusAssign => BinOp::Add,
+                Op::MinusAssign => BinOp::Sub,
+                Op::StarAssign => BinOp::Mul,
+                Op::SlashAssign => BinOp::Div,
+                _ => return None,
+            })
+        };
+        match self.peek().clone() {
+            Tok::Op(Op::Assign) => {
+                self.bump();
+                let value = self.expr()?;
+                self.expect(&Tok::Newline, "newline")?;
+                match target {
+                    Expr::Name(name) => Ok(Stmt::Assign {
+                        name,
+                        ann: None,
+                        value,
+                    }),
+                    Expr::Index(arr, idx) => match *arr {
+                        Expr::Name(name) => Ok(Stmt::AssignIndex {
+                            name,
+                            index: *idx,
+                            value,
+                        }),
+                        _ => Err(SeamlessError::Parse(
+                            self.line(),
+                            "can only assign to variables or var[index]".into(),
+                        )),
+                    },
+                    _ => Err(SeamlessError::Parse(
+                        self.line(),
+                        "invalid assignment target".into(),
+                    )),
+                }
+            }
+            Tok::Op(op) if aug(op).is_some() => {
+                self.bump();
+                let bop = aug(op).unwrap();
+                let value = self.expr()?;
+                self.expect(&Tok::Newline, "newline")?;
+                match target {
+                    Expr::Name(name) => Ok(Stmt::AugAssign {
+                        name,
+                        op: bop,
+                        value,
+                    }),
+                    Expr::Index(arr, idx) => match *arr {
+                        Expr::Name(name) => Ok(Stmt::AugAssignIndex {
+                            name,
+                            index: *idx,
+                            op: bop,
+                            value,
+                        }),
+                        _ => Err(SeamlessError::Parse(
+                            self.line(),
+                            "can only assign to variables or var[index]".into(),
+                        )),
+                    },
+                    _ => Err(SeamlessError::Parse(
+                        self.line(),
+                        "invalid assignment target".into(),
+                    )),
+                }
+            }
+            _ => {
+                self.expect(&Tok::Newline, "newline")?;
+                Ok(Stmt::ExprStmt(target))
+            }
+        }
+    }
+
+    // ---- expressions, precedence climbing ----
+
+    fn expr(&mut self) -> Result<Expr, SeamlessError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SeamlessError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Tok::Kw(Kw::Or)) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SeamlessError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat(&Tok::Kw(Kw::And)) {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SeamlessError> {
+        if self.eat(&Tok::Kw(Kw::Not)) {
+            let e = self.not_expr()?;
+            Ok(Expr::Un(UnOp::Not, Box::new(e)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, SeamlessError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Op(Op::Eq) => Some(BinOp::Eq),
+            Tok::Op(Op::Ne) => Some(BinOp::Ne),
+            Tok::Op(Op::Lt) => Some(BinOp::Lt),
+            Tok::Op(Op::Le) => Some(BinOp::Le),
+            Tok::Op(Op::Gt) => Some(BinOp::Gt),
+            Tok::Op(Op::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, SeamlessError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Op(Op::Plus) => BinOp::Add,
+                Tok::Op(Op::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, SeamlessError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Op(Op::Star) => BinOp::Mul,
+                Tok::Op(Op::Slash) => BinOp::Div,
+                Tok::Op(Op::SlashSlash) => BinOp::FloorDiv,
+                Tok::Op(Op::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, SeamlessError> {
+        if self.eat(&Tok::Op(Op::Minus)) {
+            let e = self.unary_expr()?;
+            Ok(Expr::Un(UnOp::Neg, Box::new(e)))
+        } else {
+            self.power()
+        }
+    }
+
+    fn power(&mut self) -> Result<Expr, SeamlessError> {
+        let base = self.postfix()?;
+        if self.eat(&Tok::Op(Op::StarStar)) {
+            // right-associative; unary binds tighter on the right in
+            // Python: 2 ** -1 is allowed
+            let exp = self.unary_expr()?;
+            Ok(Expr::Bin(BinOp::Pow, Box::new(base), Box::new(exp)))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, SeamlessError> {
+        let mut e = self.atom()?;
+        loop {
+            if self.eat(&Tok::Op(Op::LBracket)) {
+                let idx = self.expr()?;
+                self.expect(&Tok::Op(Op::RBracket), "']'")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else if self.check(&Tok::Op(Op::LParen)) {
+                match e {
+                    Expr::Name(name) => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if !self.check(&Tok::Op(Op::RParen)) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(&Tok::Op(Op::Comma)) {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&Tok::Op(Op::RParen), "')'")?;
+                        e = Expr::Call { name, args };
+                    }
+                    _ => {
+                        return Err(SeamlessError::Parse(
+                            self.line(),
+                            "only named functions can be called".into(),
+                        ))
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, SeamlessError> {
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Float(v) => Ok(Expr::Float(v)),
+            Tok::Kw(Kw::True) => Ok(Expr::Bool(true)),
+            Tok::Kw(Kw::False) => Ok(Expr::Bool(false)),
+            Tok::Name(n) => Ok(Expr::Name(n)),
+            Tok::Op(Op::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::Op(Op::RParen), "')'")?;
+                Ok(e)
+            }
+            other => Err(SeamlessError::Parse(
+                self.line(),
+                format!("unexpected token {other:?} in expression"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_fn(src: &str) -> FuncDef {
+        parse_module(src).unwrap().functions.pop().unwrap()
+    }
+
+    #[test]
+    fn parses_the_papers_sum_example() {
+        let src = "
+def sum(it):
+    res = 0.0
+    for i in range(len(it)):
+        res = res + it[i]
+    return res
+";
+        let f = parse_fn(src);
+        assert_eq!(f.name, "sum");
+        assert_eq!(f.params, vec![("it".to_string(), None)]);
+        assert_eq!(f.body.len(), 3);
+        assert!(matches!(f.body[1], Stmt::ForRange { .. }));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let f = parse_fn("def f(x):\n    return 1 + x * 2 ** 3\n");
+        let Stmt::Return(Some(e)) = &f.body[0] else {
+            panic!()
+        };
+        // 1 + (x * (2 ** 3))
+        let Expr::Bin(BinOp::Add, _, rhs) = e else {
+            panic!("not add at top: {e:?}")
+        };
+        let Expr::Bin(BinOp::Mul, _, pow) = rhs.as_ref() else {
+            panic!("not mul: {rhs:?}")
+        };
+        assert!(matches!(pow.as_ref(), Expr::Bin(BinOp::Pow, _, _)));
+    }
+
+    #[test]
+    fn comparison_and_bool_ops() {
+        let f = parse_fn("def f(a, b):\n    return a < b and not b == 1 or True\n");
+        let Stmt::Return(Some(e)) = &f.body[0] else {
+            panic!()
+        };
+        assert!(matches!(e, Expr::Bin(BinOp::Or, _, _)));
+    }
+
+    #[test]
+    fn if_elif_else_chain() {
+        let src = "
+def f(x):
+    if x > 0:
+        return 1
+    elif x < 0:
+        return -1
+    else:
+        return 0
+";
+        let f = parse_fn(src);
+        let Stmt::If { orelse, .. } = &f.body[0] else {
+            panic!()
+        };
+        assert_eq!(orelse.len(), 1);
+        let Stmt::If { orelse: inner, .. } = &orelse[0] else {
+            panic!("elif should nest")
+        };
+        assert_eq!(inner.len(), 1);
+    }
+
+    #[test]
+    fn range_variants() {
+        let f = parse_fn("def f(n):\n    for i in range(2, n, 3):\n        pass\n");
+        let Stmt::ForRange {
+            start, stop, step, ..
+        } = &f.body[0]
+        else {
+            panic!()
+        };
+        assert_eq!(start, &Expr::Int(2));
+        assert_eq!(stop, &Expr::Name("n".into()));
+        assert_eq!(step, &Expr::Int(3));
+    }
+
+    #[test]
+    fn augmented_and_indexed_assignment() {
+        let src = "
+def f(a, i):
+    a[i] = 1.0
+    a[i] += 2.0
+    x = 0
+    x *= 3
+    return a[i]
+";
+        let f = parse_fn(src);
+        assert!(matches!(f.body[0], Stmt::AssignIndex { .. }));
+        assert!(matches!(
+            f.body[1],
+            Stmt::AugAssignIndex {
+                op: BinOp::Add,
+                ..
+            }
+        ));
+        assert!(matches!(f.body[3], Stmt::AugAssign { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn annotations() {
+        let f = parse_fn("def f(x: float, n: int, a: list):\n    y: float = x\n    return y\n");
+        assert_eq!(f.params[0].1, Some(TypeAnn::Float));
+        assert_eq!(f.params[1].1, Some(TypeAnn::Int));
+        assert_eq!(f.params[2].1, Some(TypeAnn::ArrF));
+        assert!(matches!(
+            f.body[0],
+            Stmt::Assign {
+                ann: Some(TypeAnn::Float),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn multiple_functions() {
+        let m = parse_module("def a():\n    return 1\n\ndef b():\n    return 2\n").unwrap();
+        assert_eq!(m.functions.len(), 2);
+        assert!(m.function("a").is_some());
+        assert!(m.function("b").is_some());
+        assert!(m.function("c").is_none());
+    }
+
+    #[test]
+    fn errors_have_line_numbers() {
+        let err = parse_module("def f(:\n    return 1\n").unwrap_err();
+        assert!(matches!(err, SeamlessError::Parse(_, _)));
+        // an error on a clean statement line reports that line
+        let err2 = parse_module("def f():\n    return +\n").unwrap_err();
+        assert!(matches!(err2, SeamlessError::Parse(2, _)), "{err2:?}");
+    }
+
+    #[test]
+    fn nested_calls_and_indexing() {
+        let f = parse_fn("def f(a, b):\n    return g(a[0], h(b))[1]\n");
+        let Stmt::Return(Some(Expr::Index(call, _))) = &f.body[0] else {
+            panic!()
+        };
+        assert!(matches!(call.as_ref(), Expr::Call { .. }));
+    }
+}

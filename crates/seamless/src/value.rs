@@ -1,0 +1,92 @@
+//! Runtime values. The boxed [`Value`] enum is what the *interpreter*
+//! manipulates for every single operation — exactly the overhead the JIT
+//! removes.
+
+/// A dynamically typed runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Float array (value semantics: mutated arrays are handed back to
+    /// the caller in [`crate::export::CallOutput::args`]).
+    ArrF(Vec<f64>),
+    /// Integer array.
+    ArrI(Vec<i64>),
+    /// No value (functions without `return`).
+    Unit,
+}
+
+impl Value {
+    /// Numeric widening to f64 (bools as 0/1).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Bool(b) => Some(f64::from(u8::from(*b))),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Float(v) => Some(*v as i64),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// Truthiness (Python rules for our types).
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Bool(b) => *b,
+            Value::ArrF(a) => !a.is_empty(),
+            Value::ArrI(a) => !a.is_empty(),
+            Value::Unit => false,
+        }
+    }
+
+    /// The value's [`crate::Type`].
+    pub fn type_of(&self) -> crate::Type {
+        match self {
+            Value::Int(_) => crate::Type::Int,
+            Value::Float(_) => crate::Type::Float,
+            Value::Bool(_) => crate::Type::Bool,
+            Value::ArrF(_) => crate::Type::ArrF,
+            Value::ArrI(_) => crate::Type::ArrI,
+            Value::Unit => crate::Type::Unit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_and_truthiness() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_i64(), Some(2));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::ArrF(vec![]).as_f64(), None);
+        assert!(Value::Int(-1).truthy());
+        assert!(!Value::Float(0.0).truthy());
+        assert!(!Value::ArrI(vec![]).truthy());
+        assert!(Value::ArrF(vec![0.0]).truthy());
+        assert!(!Value::Unit.truthy());
+    }
+
+    #[test]
+    fn type_of_matches() {
+        assert_eq!(Value::Int(1).type_of(), crate::Type::Int);
+        assert_eq!(Value::ArrF(vec![]).type_of(), crate::Type::ArrF);
+        assert_eq!(Value::Unit.type_of(), crate::Type::Unit);
+    }
+}

@@ -1,0 +1,551 @@
+//! The unboxed register VM: what "compiled" means in this reproduction.
+//!
+//! A frame is four plain vectors; the dispatch loop is a single `match`
+//! on monomorphic opcodes. No `Value` is touched between entry and exit,
+//! which is where the order-of-magnitude win over the boxed interpreter
+//! comes from (experiment E7).
+
+use crate::bytecode::{Cmp, Instr, Program, RegFile};
+use crate::export::CallOutput;
+use crate::types::Type;
+use crate::value::Value;
+use crate::SeamlessError;
+
+/// Executes compiled programs.
+pub struct Vm<'p> {
+    program: &'p Program,
+}
+
+struct Frame {
+    f: Vec<f64>,
+    i: Vec<i64>,
+    af: Vec<Vec<f64>>,
+    ai: Vec<Vec<i64>>,
+}
+
+enum RawRet {
+    Unit,
+    F(f64),
+    I(i64),
+    AF(Vec<f64>),
+    AI(Vec<i64>),
+}
+
+impl<'p> Vm<'p> {
+    /// Wrap a program.
+    pub fn new(program: &'p Program) -> Self {
+        Vm { program }
+    }
+
+    /// Call the entry function (index 0) with boxed arguments; arrays are
+    /// coerced per the compiled signature, mutated arrays come back in
+    /// [`CallOutput::args`].
+    pub fn call(&self, args: Vec<Value>) -> Result<CallOutput, SeamlessError> {
+        self.call_func(0, args)
+    }
+
+    /// Call any function in the table.
+    pub fn call_func(&self, func: usize, args: Vec<Value>) -> Result<CallOutput, SeamlessError> {
+        let f = &self.program.funcs[func];
+        if args.len() != f.params.len() {
+            return Err(SeamlessError::Runtime(format!(
+                "{} takes {} arguments, got {}",
+                f.name,
+                f.params.len(),
+                args.len()
+            )));
+        }
+        let mut frame = Frame {
+            f: vec![0.0; f.reg_counts[0]],
+            i: vec![0; f.reg_counts[1]],
+            af: vec![Vec::new(); f.reg_counts[2]],
+            ai: vec![Vec::new(); f.reg_counts[3]],
+        };
+        // coerce boxed args into registers per the *inferred* param types
+        for (k, v) in args.into_iter().enumerate() {
+            let (file, reg) = f.params[k];
+            match file {
+                RegFile::F => {
+                    frame.f[reg as usize] = v.as_f64().ok_or_else(|| {
+                        SeamlessError::Runtime(format!("argument {k} must be a number"))
+                    })?;
+                }
+                RegFile::I => {
+                    frame.i[reg as usize] = v.as_i64().ok_or_else(|| {
+                        SeamlessError::Runtime(format!("argument {k} must be an integer"))
+                    })?;
+                }
+                RegFile::AF => match v {
+                    Value::ArrF(a) => frame.af[reg as usize] = a,
+                    other => {
+                        return Err(SeamlessError::Runtime(format!(
+                            "argument {k} must be a float array, got {other:?}"
+                        )))
+                    }
+                },
+                RegFile::AI => match v {
+                    Value::ArrI(a) => frame.ai[reg as usize] = a,
+                    other => {
+                        return Err(SeamlessError::Runtime(format!(
+                            "argument {k} must be an int array, got {other:?}"
+                        )))
+                    }
+                },
+            }
+        }
+        let raw = self.exec(func, &mut frame)?;
+        let ret = match (raw, f.ret) {
+            (RawRet::Unit, _) => Value::Unit,
+            (RawRet::F(v), _) => Value::Float(v),
+            (RawRet::I(v), Type::Bool) => Value::Bool(v != 0),
+            (RawRet::I(v), _) => Value::Int(v),
+            (RawRet::AF(v), _) => Value::ArrF(v),
+            (RawRet::AI(v), _) => Value::ArrI(v),
+        };
+        // hand mutated arrays back
+        let out_args = f
+            .params
+            .iter()
+            .map(|&(file, reg)| match file {
+                RegFile::F => Value::Float(frame.f[reg as usize]),
+                RegFile::I => Value::Int(frame.i[reg as usize]),
+                RegFile::AF => Value::ArrF(std::mem::take(&mut frame.af[reg as usize])),
+                RegFile::AI => Value::ArrI(std::mem::take(&mut frame.ai[reg as usize])),
+            })
+            .collect();
+        Ok(CallOutput {
+            ret,
+            args: out_args,
+        })
+    }
+
+    fn exec(&self, func: usize, fr: &mut Frame) -> Result<RawRet, SeamlessError> {
+        let code = &self.program.funcs[func].instrs;
+        let mut pc = 0usize;
+        macro_rules! idx {
+            ($arr:expr, $i:expr) => {{
+                let len = $arr.len() as i64;
+                let raw = $i;
+                let j = if raw < 0 { raw + len } else { raw };
+                if j < 0 || j >= len {
+                    return Err(SeamlessError::Runtime(format!(
+                        "index {raw} out of range for length {len}"
+                    )));
+                }
+                j as usize
+            }};
+        }
+        loop {
+            let ins = &code[pc];
+            pc += 1;
+            match ins {
+                Instr::ConstF(d, v) => fr.f[*d as usize] = *v,
+                Instr::ConstI(d, v) => fr.i[*d as usize] = *v,
+                Instr::MovF(d, s) => fr.f[*d as usize] = fr.f[*s as usize],
+                Instr::MovI(d, s) => fr.i[*d as usize] = fr.i[*s as usize],
+                Instr::MovArrF(d, s) => {
+                    let v = fr.af[*s as usize].clone();
+                    fr.af[*d as usize] = v;
+                }
+                Instr::MovArrI(d, s) => {
+                    let v = fr.ai[*s as usize].clone();
+                    fr.ai[*d as usize] = v;
+                }
+                Instr::IToF(d, s) => fr.f[*d as usize] = fr.i[*s as usize] as f64,
+                Instr::FToI(d, s) => fr.i[*d as usize] = fr.f[*s as usize] as i64,
+                Instr::AddF(d, a, b) => fr.f[*d as usize] = fr.f[*a as usize] + fr.f[*b as usize],
+                Instr::SubF(d, a, b) => fr.f[*d as usize] = fr.f[*a as usize] - fr.f[*b as usize],
+                Instr::MulF(d, a, b) => fr.f[*d as usize] = fr.f[*a as usize] * fr.f[*b as usize],
+                Instr::DivF(d, a, b) => fr.f[*d as usize] = fr.f[*a as usize] / fr.f[*b as usize],
+                Instr::ModF(d, a, b) => {
+                    let (x, y) = (fr.f[*a as usize], fr.f[*b as usize]);
+                    fr.f[*d as usize] = x - y * (x / y).floor();
+                }
+                Instr::PowF(d, a, b) => {
+                    fr.f[*d as usize] = fr.f[*a as usize].powf(fr.f[*b as usize])
+                }
+                Instr::NegF(d, s) => fr.f[*d as usize] = -fr.f[*s as usize],
+                Instr::AddI(d, a, b) => {
+                    fr.i[*d as usize] = fr.i[*a as usize].wrapping_add(fr.i[*b as usize])
+                }
+                Instr::SubI(d, a, b) => {
+                    fr.i[*d as usize] = fr.i[*a as usize].wrapping_sub(fr.i[*b as usize])
+                }
+                Instr::MulI(d, a, b) => {
+                    fr.i[*d as usize] = fr.i[*a as usize].wrapping_mul(fr.i[*b as usize])
+                }
+                Instr::FloorDivI(d, a, b) => {
+                    let y = fr.i[*b as usize];
+                    if y == 0 {
+                        return Err(SeamlessError::Runtime("integer division by zero".into()));
+                    }
+                    fr.i[*d as usize] = fr.i[*a as usize].div_euclid(y);
+                }
+                Instr::ModI(d, a, b) => {
+                    let y = fr.i[*b as usize];
+                    if y == 0 {
+                        return Err(SeamlessError::Runtime("integer modulo by zero".into()));
+                    }
+                    fr.i[*d as usize] = fr.i[*a as usize].rem_euclid(y);
+                }
+                Instr::PowI(d, a, b) => {
+                    let e = fr.i[*b as usize];
+                    if e < 0 {
+                        return Err(SeamlessError::Runtime(
+                            "negative integer exponent (use a float base)".into(),
+                        ));
+                    }
+                    fr.i[*d as usize] = fr.i[*a as usize].wrapping_pow(e.min(u32::MAX as i64) as u32);
+                }
+                Instr::NegI(d, s) => fr.i[*d as usize] = -fr.i[*s as usize],
+                Instr::CmpF(c, d, a, b) => {
+                    let (x, y) = (fr.f[*a as usize], fr.f[*b as usize]);
+                    fr.i[*d as usize] = i64::from(cmp_f(*c, x, y));
+                }
+                Instr::CmpI(c, d, a, b) => {
+                    let (x, y) = (fr.i[*a as usize], fr.i[*b as usize]);
+                    fr.i[*d as usize] = i64::from(cmp_i(*c, x, y));
+                }
+                Instr::AndI(d, a, b) => {
+                    fr.i[*d as usize] = i64::from(fr.i[*a as usize] != 0 && fr.i[*b as usize] != 0)
+                }
+                Instr::OrI(d, a, b) => {
+                    fr.i[*d as usize] = i64::from(fr.i[*a as usize] != 0 || fr.i[*b as usize] != 0)
+                }
+                Instr::NotI(d, s) => fr.i[*d as usize] = i64::from(fr.i[*s as usize] == 0),
+                Instr::Jump(t) => pc = *t,
+                Instr::JumpIfFalse(c, t) => {
+                    if fr.i[*c as usize] == 0 {
+                        pc = *t;
+                    }
+                }
+                Instr::LenF(d, a) => fr.i[*d as usize] = fr.af[*a as usize].len() as i64,
+                Instr::LenI(d, a) => fr.i[*d as usize] = fr.ai[*a as usize].len() as i64,
+                Instr::LoadF(d, a, i) => {
+                    let arr = &fr.af[*a as usize];
+                    let j = idx!(arr, fr.i[*i as usize]);
+                    fr.f[*d as usize] = arr[j];
+                }
+                Instr::LoadI(d, a, i) => {
+                    let arr = &fr.ai[*a as usize];
+                    let j = idx!(arr, fr.i[*i as usize]);
+                    fr.i[*d as usize] = arr[j];
+                }
+                Instr::StoreF(a, i, s) => {
+                    let v = fr.f[*s as usize];
+                    let raw = fr.i[*i as usize];
+                    let arr = &mut fr.af[*a as usize];
+                    let j = idx!(arr, raw);
+                    arr[j] = v;
+                }
+                Instr::StoreI(a, i, s) => {
+                    let v = fr.i[*s as usize];
+                    let raw = fr.i[*i as usize];
+                    let arr = &mut fr.ai[*a as usize];
+                    let j = idx!(arr, raw);
+                    arr[j] = v;
+                }
+                Instr::NewArrF(d, n) => {
+                    let n = fr.i[*n as usize];
+                    if n < 0 {
+                        return Err(SeamlessError::Runtime("negative array length".into()));
+                    }
+                    fr.af[*d as usize] = vec![0.0; n as usize];
+                }
+                Instr::NewArrI(d, n) => {
+                    let n = fr.i[*n as usize];
+                    if n < 0 {
+                        return Err(SeamlessError::Runtime("negative array length".into()));
+                    }
+                    fr.ai[*d as usize] = vec![0; n as usize];
+                }
+                Instr::Math1(f, d, s) => fr.f[*d as usize] = f.apply(fr.f[*s as usize]),
+                Instr::AbsI(d, s) => fr.i[*d as usize] = fr.i[*s as usize].abs(),
+                Instr::MinF(d, a, b) => {
+                    fr.f[*d as usize] = fr.f[*a as usize].min(fr.f[*b as usize])
+                }
+                Instr::MaxF(d, a, b) => {
+                    fr.f[*d as usize] = fr.f[*a as usize].max(fr.f[*b as usize])
+                }
+                Instr::MinI(d, a, b) => {
+                    fr.i[*d as usize] = fr.i[*a as usize].min(fr.i[*b as usize])
+                }
+                Instr::MaxI(d, a, b) => {
+                    fr.i[*d as usize] = fr.i[*a as usize].max(fr.i[*b as usize])
+                }
+                Instr::CallExtern { ext, dst, args } => {
+                    let decl = &self.program.externs[*ext];
+                    let mut raw = Vec::with_capacity(args.len());
+                    for &(file, reg) in args {
+                        raw.push(match file {
+                            RegFile::F => fr.f[reg as usize],
+                            RegFile::I => fr.i[reg as usize] as f64,
+                            _ => {
+                                return Err(SeamlessError::Runtime(format!(
+                                    "cannot pass an array to extern {}",
+                                    decl.name
+                                )))
+                            }
+                        });
+                    }
+                    let out = (decl.f)(&raw);
+                    match dst.0 {
+                        RegFile::F => fr.f[dst.1 as usize] = out,
+                        RegFile::I => fr.i[dst.1 as usize] = out as i64,
+                        _ => unreachable!("externs return scalars"),
+                    }
+                }
+                Instr::ErrIfFalse(c, msg) => {
+                    if fr.i[*c as usize] == 0 {
+                        return Err(SeamlessError::Runtime(msg.clone()));
+                    }
+                }
+                Instr::Call { func, dst, args } => {
+                    let callee = &self.program.funcs[*func];
+                    let mut inner = Frame {
+                        f: vec![0.0; callee.reg_counts[0]],
+                        i: vec![0; callee.reg_counts[1]],
+                        af: vec![Vec::new(); callee.reg_counts[2]],
+                        ai: vec![Vec::new(); callee.reg_counts[3]],
+                    };
+                    // move arguments in (arrays moved, scalars copied)
+                    for (k, &(file, reg)) in args.iter().enumerate() {
+                        let (pfile, preg) = callee.params[k];
+                        match (file, pfile) {
+                            (RegFile::F, RegFile::F) => {
+                                inner.f[preg as usize] = fr.f[reg as usize]
+                            }
+                            (RegFile::I, RegFile::I) => {
+                                inner.i[preg as usize] = fr.i[reg as usize]
+                            }
+                            (RegFile::I, RegFile::F) => {
+                                inner.f[preg as usize] = fr.i[reg as usize] as f64
+                            }
+                            (RegFile::AF, RegFile::AF) => {
+                                inner.af[preg as usize] =
+                                    std::mem::take(&mut fr.af[reg as usize])
+                            }
+                            (RegFile::AI, RegFile::AI) => {
+                                inner.ai[preg as usize] =
+                                    std::mem::take(&mut fr.ai[reg as usize])
+                            }
+                            other => {
+                                return Err(SeamlessError::Runtime(format!(
+                                    "calling convention mismatch {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                    let raw = self.exec(*func, &mut inner)?;
+                    // move arrays back (mutations become visible)
+                    for (k, &(file, reg)) in args.iter().enumerate() {
+                        let (_, preg) = callee.params[k];
+                        match file {
+                            RegFile::AF => {
+                                fr.af[reg as usize] =
+                                    std::mem::take(&mut inner.af[preg as usize])
+                            }
+                            RegFile::AI => {
+                                fr.ai[reg as usize] =
+                                    std::mem::take(&mut inner.ai[preg as usize])
+                            }
+                            _ => {}
+                        }
+                    }
+                    if let Some((dfile, dreg)) = dst {
+                        match (raw, dfile) {
+                            (RawRet::F(v), RegFile::F) => fr.f[*dreg as usize] = v,
+                            (RawRet::I(v), RegFile::I) => fr.i[*dreg as usize] = v,
+                            (RawRet::I(v), RegFile::F) => fr.f[*dreg as usize] = v as f64,
+                            (RawRet::AF(v), RegFile::AF) => fr.af[*dreg as usize] = v,
+                            (RawRet::AI(v), RegFile::AI) => fr.ai[*dreg as usize] = v,
+                            (RawRet::Unit, _) => {
+                                return Err(SeamlessError::Runtime(format!(
+                                    "{} did not return a value",
+                                    callee.name
+                                )))
+                            }
+                            other => {
+                                return Err(SeamlessError::Runtime(format!(
+                                    "return convention mismatch {:?}",
+                                    other.1
+                                )))
+                            }
+                        }
+                    }
+                }
+                Instr::Ret(r) => {
+                    return Ok(match r {
+                        None => RawRet::Unit,
+                        Some((RegFile::F, reg)) => RawRet::F(fr.f[*reg as usize]),
+                        Some((RegFile::I, reg)) => RawRet::I(fr.i[*reg as usize]),
+                        Some((RegFile::AF, reg)) => {
+                            RawRet::AF(std::mem::take(&mut fr.af[*reg as usize]))
+                        }
+                        Some((RegFile::AI, reg)) => {
+                            RawRet::AI(std::mem::take(&mut fr.ai[*reg as usize]))
+                        }
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn cmp_f(c: Cmp, x: f64, y: f64) -> bool {
+    match c {
+        Cmp::Eq => x == y,
+        Cmp::Ne => x != y,
+        Cmp::Lt => x < y,
+        Cmp::Le => x <= y,
+        Cmp::Gt => x > y,
+        Cmp::Ge => x >= y,
+    }
+}
+
+fn cmp_i(c: Cmp, x: i64, y: i64) -> bool {
+    match c {
+        Cmp::Eq => x == y,
+        Cmp::Ne => x != y,
+        Cmp::Lt => x < y,
+        Cmp::Le => x <= y,
+        Cmp::Gt => x > y,
+        Cmp::Ge => x >= y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_program;
+    use crate::parser::parse_module;
+
+    fn run(src: &str, f: &str, args: Vec<Value>) -> Result<CallOutput, SeamlessError> {
+        let types: Vec<Type> = args.iter().map(|a| a.type_of()).collect();
+        let m = parse_module(src)?;
+        let p = compile_program(&m, f, &types)?;
+        Vm::new(&p).call(args)
+    }
+
+    #[test]
+    fn vm_matches_interpreter_on_sum() {
+        let src = "
+def sum(it):
+    res = 0.0
+    for i in range(len(it)):
+        res = res + it[i]
+    return res
+";
+        let out = run(src, "sum", vec![Value::ArrF(vec![1.0, 2.0, 3.5])]).unwrap();
+        assert_eq!(out.ret, Value::Float(6.5));
+    }
+
+    #[test]
+    fn fib_recursion() {
+        let src = "
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+";
+        let out = run(src, "fib", vec![Value::Int(15)]).unwrap();
+        assert_eq!(out.ret, Value::Int(610));
+    }
+
+    #[test]
+    fn array_mutation_comes_back() {
+        let src = "
+def axpy(y, x, a):
+    for i in range(len(y)):
+        y[i] = y[i] + a * x[i]
+";
+        let out = run(
+            src,
+            "axpy",
+            vec![
+                Value::ArrF(vec![1.0, 1.0]),
+                Value::ArrF(vec![1.0, 2.0]),
+                Value::Float(10.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.args[0], Value::ArrF(vec![11.0, 21.0]));
+        // x untouched
+        assert_eq!(out.args[1], Value::ArrF(vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn cross_function_array_mutation() {
+        let src = "
+def fill(a, v):
+    for i in range(len(a)):
+        a[i] = v
+
+def main(a):
+    fill(a, 9.0)
+    return a[0]
+";
+        let out = run(src, "main", vec![Value::ArrF(vec![0.0, 0.0])]).unwrap();
+        assert_eq!(out.ret, Value::Float(9.0));
+        assert_eq!(out.args[0], Value::ArrF(vec![9.0, 9.0]));
+    }
+
+    #[test]
+    fn runtime_errors_surface() {
+        let src = "def f(a):\n    return a[5]\n";
+        let err = run(src, "f", vec![Value::ArrF(vec![1.0])]).unwrap_err();
+        assert!(matches!(err, SeamlessError::Runtime(_)));
+        let src2 = "def g(n):\n    return 1 // n\n";
+        let err2 = run(src2, "g", vec![Value::Int(0)]).unwrap_err();
+        assert!(matches!(err2, SeamlessError::Runtime(_)));
+        let src3 = "def h(n):\n    t = 0\n    for i in range(0, 10, n):\n        t += 1\n    return t\n";
+        let err3 = run(src3, "h", vec![Value::Int(0)]).unwrap_err();
+        assert!(matches!(err3, SeamlessError::Runtime(_)));
+    }
+
+    #[test]
+    fn bool_returns_are_boxed_as_bool() {
+        let src = "def f(x):\n    return x > 1.5\n";
+        let out = run(src, "f", vec![Value::Float(2.0)]).unwrap();
+        assert_eq!(out.ret, Value::Bool(true));
+    }
+
+    #[test]
+    fn zeros_builtin_returns_array() {
+        let src = "
+def make(n):
+    a = zeros(n)
+    for i in range(n):
+        a[i] = float(i) * 0.5
+    return a
+";
+        let out = run(src, "make", vec![Value::Int(4)]).unwrap();
+        assert_eq!(out.ret, Value::ArrF(vec![0.0, 0.5, 1.0, 1.5]));
+    }
+
+    #[test]
+    fn negative_indexing_in_vm() {
+        let src = "def last(a):\n    return a[-1]\n";
+        let out = run(src, "last", vec![Value::ArrF(vec![3.0, 7.0])]).unwrap();
+        assert_eq!(out.ret, Value::Float(7.0));
+    }
+
+    #[test]
+    fn while_break_continue_match_interpreter() {
+        let src = "
+def f(n):
+    total = 0
+    i = 0
+    while True:
+        i = i + 1
+        if i > n:
+            break
+        if i % 2 == 0:
+            continue
+        total = total + i
+    return total
+";
+        let out = run(src, "f", vec![Value::Int(9)]).unwrap();
+        assert_eq!(out.ret, Value::Int(25));
+    }
+}

@@ -1,0 +1,223 @@
+//! Direct solver (Amesos analog): gather the matrix to rank 0, factor with
+//! partial-pivoting LU, and scatter solutions back.
+//!
+//! Amesos interfaces serial third-party direct solvers by funneling the
+//! distributed matrix to one process; this module reproduces that design
+//! point, which experiment E14 contrasts with iterative solves.
+
+use comm::Comm;
+use dlinalg::{CsrMatrix, DistVector, RealScalar, Scalar};
+
+/// LU factorization living on rank 0, reusable across right-hand sides.
+pub struct DirectSolver<S: Scalar> {
+    n: usize,
+    /// Dense column-major LU factors (rank 0 only).
+    lu: Option<Vec<S>>,
+    /// Pivot permutation (rank 0 only).
+    piv: Option<Vec<usize>>,
+}
+
+impl<S: Scalar> DirectSolver<S> {
+    /// Gather and factor `a`. Collective. Panics on singular matrices.
+    pub fn factor(comm: &Comm, a: &CsrMatrix<S>) -> Self {
+        let (n, ncols) = a.shape();
+        assert_eq!(n, ncols, "direct solver needs a square matrix");
+        let rows = a.gather_to_root(comm);
+        if comm.rank() != 0 {
+            return DirectSolver {
+                n,
+                lu: None,
+                piv: None,
+            };
+        }
+        let rows = rows.unwrap();
+        // densify (column-major)
+        let mut m = vec![S::zero(); n * n];
+        for (i, row) in rows.iter().enumerate() {
+            for &(j, v) in row {
+                m[j * n + i] += v;
+            }
+        }
+        // LU with partial pivoting
+        let mut piv = (0..n).collect::<Vec<_>>();
+        for k in 0..n {
+            // pivot search in column k, rows k..
+            let mut best = k;
+            let mut best_mag = m[k * n + k].abs();
+            for i in k + 1..n {
+                let mag = m[k * n + i].abs();
+                if mag > best_mag {
+                    best = i;
+                    best_mag = mag;
+                }
+            }
+            assert!(best_mag.to_f64() > 0.0, "singular matrix at column {k}");
+            if best != k {
+                piv.swap(k, best);
+                for j in 0..n {
+                    m.swap(j * n + k, j * n + best);
+                }
+            }
+            let pivot = m[k * n + k];
+            for i in k + 1..n {
+                let l = m[k * n + i] / pivot;
+                m[k * n + i] = l;
+                if l != S::zero() {
+                    for j in k + 1..n {
+                        let u = m[j * n + k];
+                        m[j * n + i] -= l * u;
+                    }
+                }
+            }
+        }
+        DirectSolver {
+            n,
+            lu: Some(m),
+            piv: Some(piv),
+        }
+    }
+
+    /// Solve `A·x = b`. Collective: gathers `b` to rank 0, substitutes,
+    /// and returns `x` redistributed over `b`'s map.
+    pub fn solve(&self, comm: &Comm, b: &DistVector<S>) -> DistVector<S> {
+        assert_eq!(b.n_global(), self.n, "rhs size mismatch");
+        let full_b = b.gather_global(comm);
+        let x_full: Vec<S> = if comm.rank() == 0 {
+            let m = self.lu.as_ref().unwrap();
+            let piv = self.piv.as_ref().unwrap();
+            let n = self.n;
+            // permute rhs
+            let mut y: Vec<S> = piv.iter().map(|&p| full_b[p]).collect();
+            // forward solve L y = Pb (unit diagonal)
+            for i in 0..n {
+                let mut acc = y[i];
+                for j in 0..i {
+                    acc -= m[j * n + i] * y[j];
+                }
+                y[i] = acc;
+            }
+            // back solve U x = y
+            for i in (0..n).rev() {
+                let mut acc = y[i];
+                for j in i + 1..n {
+                    acc -= m[j * n + i] * y[j];
+                }
+                y[i] = acc / m[i * n + i];
+            }
+            comm.advance_compute(2.0 * (n * n) as f64);
+            y
+        } else {
+            Vec::new()
+        };
+        let x_full: Vec<S> = comm.bcast(0, if comm.rank() == 0 { Some(x_full) } else { None });
+        DistVector::from_fn(b.map().clone(), |g| x_full[g])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm::Universe;
+    use dmap::DistMap;
+
+    fn laplace(comm: &Comm, n: usize) -> CsrMatrix<f64> {
+        let m = DistMap::block(n, comm.size(), comm.rank());
+        CsrMatrix::from_row_fn(comm, m.clone(), m, move |g| {
+            let mut row = Vec::new();
+            if g > 0 {
+                row.push((g - 1, -1.0));
+            }
+            row.push((g, 2.0));
+            if g + 1 < n {
+                row.push((g + 1, -1.0));
+            }
+            row
+        })
+    }
+
+    #[test]
+    fn direct_solve_matches_exact_solution() {
+        Universe::run(3, |comm| {
+            let n = 12;
+            let a = laplace(comm, n);
+            // choose x_exact, compute b = A x
+            let x_exact = DistVector::from_fn(a.domain_map().clone(), |g| (g as f64 * 0.4).cos());
+            let b = a.matvec(comm, &x_exact);
+            let solver = DirectSolver::factor(comm, &a);
+            let x = solver.solve(comm, &b);
+            let mut e = x.clone();
+            e.axpy(-1.0, &x_exact);
+            assert!(e.norm2(comm) < 1e-10);
+        });
+    }
+
+    #[test]
+    fn factorization_is_reusable() {
+        Universe::run(2, |comm| {
+            let a = laplace(comm, 8);
+            let solver = DirectSolver::factor(comm, &a);
+            for k in 1..4 {
+                let x_exact =
+                    DistVector::from_fn(a.domain_map().clone(), |g| (g * k) as f64 + 1.0);
+                let b = a.matvec(comm, &x_exact);
+                let x = solver.solve(comm, &b);
+                let mut e = x.clone();
+                e.axpy(-1.0, &x_exact);
+                assert!(e.norm2(comm) < 1e-9);
+            }
+        });
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        Universe::run(1, |comm| {
+            let m = DistMap::block(2, comm.size(), comm.rank());
+            // [[0, 1], [1, 0]] requires a row swap
+            let a = CsrMatrix::from_row_fn(comm, m.clone(), m, |g| {
+                if g == 0 {
+                    vec![(1, 1.0)]
+                } else {
+                    vec![(0, 1.0)]
+                }
+            });
+            let b = DistVector::from_fn(a.domain_map().clone(), |g| g as f64 + 1.0);
+            let solver = DirectSolver::factor(comm, &a);
+            let x = solver.solve(comm, &b);
+            assert_eq!(x.gather_global(comm), vec![2.0, 1.0]);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_matrix_rejected() {
+        Universe::run(1, |comm| {
+            let m = DistMap::block(2, comm.size(), comm.rank());
+            let a = CsrMatrix::from_row_fn(comm, m.clone(), m, |_| vec![(0, 1.0)]);
+            let _ = DirectSolver::factor(comm, &a);
+        });
+    }
+
+    #[test]
+    fn complex_direct_solve() {
+        use dlinalg::Complex64;
+        Universe::run(2, |comm| {
+            let n = 6;
+            let m = DistMap::block(n, comm.size(), comm.rank());
+            let a = CsrMatrix::from_row_fn(comm, m.clone(), m, move |g| {
+                let mut row = vec![(g, Complex64::new(3.0, 1.0))];
+                if g + 1 < n {
+                    row.push((g + 1, Complex64::new(0.0, -1.0)));
+                }
+                row
+            });
+            let x_exact =
+                DistVector::from_fn(a.domain_map().clone(), |g| Complex64::new(g as f64, -1.0));
+            let b = a.matvec(comm, &x_exact);
+            let solver = DirectSolver::factor(comm, &a);
+            let x = solver.solve(comm, &b);
+            let mut e = x.clone();
+            e.axpy(-Complex64::new(1.0, 0.0), &x_exact);
+            assert!(e.norm2(comm) < 1e-10);
+        });
+    }
+}

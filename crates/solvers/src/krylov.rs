@@ -1,0 +1,546 @@
+//! Krylov-space iterative solvers (AztecOO analog): preconditioned CG,
+//! BiCGStab, and restarted GMRES.
+//!
+//! CG and BiCGStab are generic over [`Scalar`] (complex Hermitian systems
+//! work through the conjugated dot product); GMRES is implemented for
+//! `f64`, where the Givens-rotation least-squares update is standard.
+
+use comm::Comm;
+use dlinalg::{CsrMatrix, DistVector, RealScalar, Scalar};
+
+use crate::precond::Preconditioner;
+use crate::status::SolveStatus;
+
+/// Stopping criteria shared by the Krylov methods.
+#[derive(Debug, Clone, Copy)]
+pub struct KrylovConfig {
+    /// Maximum iterations (for GMRES: total inner iterations).
+    pub max_iter: usize,
+    /// Relative tolerance on ‖r‖/‖r₀‖.
+    pub rtol: f64,
+    /// Absolute tolerance on ‖r‖.
+    pub atol: f64,
+    /// GMRES restart length (ignored by CG/BiCGStab).
+    pub restart: usize,
+}
+
+impl Default for KrylovConfig {
+    fn default() -> Self {
+        KrylovConfig {
+            max_iter: 1000,
+            rtol: 1e-10,
+            atol: 1e-300,
+            restart: 30,
+        }
+    }
+}
+
+impl KrylovConfig {
+    fn done(&self, r: f64, r0: f64) -> bool {
+        r <= self.atol || (r0 > 0.0 && r / r0 <= self.rtol)
+    }
+}
+
+/// Preconditioned conjugate gradients for SPD (or Hermitian positive
+/// definite) systems. Solves `A·x = b`, starting from `x`'s current value.
+pub fn cg<S: Scalar>(
+    comm: &Comm,
+    a: &CsrMatrix<S>,
+    b: &DistVector<S>,
+    x: &mut DistVector<S>,
+    m: &dyn Preconditioner<S>,
+    cfg: &KrylovConfig,
+) -> SolveStatus {
+    let ax = a.matvec(comm, x);
+    let mut r = b.clone();
+    r.axpy(-S::one(), &ax);
+    let r0_norm = r.norm2(comm).to_f64();
+    let mut history = vec![r0_norm];
+    if cfg.done(r0_norm, r0_norm) || r0_norm == 0.0 {
+        return SolveStatus {
+            converged: true,
+            iterations: 0,
+            history,
+        };
+    }
+    let mut z = m.apply(comm, &r);
+    let mut p = z.clone();
+    let mut rz = r.dot(&z, comm);
+    for it in 1..=cfg.max_iter {
+        let ap = a.matvec(comm, &p);
+        let pap = p.dot(&ap, comm);
+        let alpha = rz / pap;
+        x.axpy(alpha, &p);
+        r.axpy(-alpha, &ap);
+        let rnorm = r.norm2(comm).to_f64();
+        history.push(rnorm);
+        if cfg.done(rnorm, r0_norm) {
+            return SolveStatus {
+                converged: true,
+                iterations: it,
+                history,
+            };
+        }
+        z = m.apply(comm, &r);
+        let rz_new = r.dot(&z, comm);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        // p ← z + beta·p
+        p.scale(beta);
+        p.axpy(S::one(), &z);
+    }
+    SolveStatus {
+        converged: false,
+        iterations: cfg.max_iter,
+        history,
+    }
+}
+
+/// Preconditioned BiCGStab for general (nonsymmetric) systems.
+pub fn bicgstab<S: Scalar>(
+    comm: &Comm,
+    a: &CsrMatrix<S>,
+    b: &DistVector<S>,
+    x: &mut DistVector<S>,
+    m: &dyn Preconditioner<S>,
+    cfg: &KrylovConfig,
+) -> SolveStatus {
+    let ax = a.matvec(comm, x);
+    let mut r = b.clone();
+    r.axpy(-S::one(), &ax);
+    let r0_norm = r.norm2(comm).to_f64();
+    let mut history = vec![r0_norm];
+    if cfg.done(r0_norm, r0_norm) || r0_norm == 0.0 {
+        return SolveStatus {
+            converged: true,
+            iterations: 0,
+            history,
+        };
+    }
+    let r_hat = r.clone(); // shadow residual
+    let mut rho = S::one();
+    let mut alpha = S::one();
+    let mut omega = S::one();
+    let mut v = DistVector::zeros(b.map().clone());
+    let mut p = DistVector::zeros(b.map().clone());
+    for it in 1..=cfg.max_iter {
+        let rho_new = r_hat.dot(&r, comm);
+        if rho_new.abs().to_f64() == 0.0 {
+            break; // breakdown
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        // p ← r + beta (p − ω v)
+        p.axpy(-omega, &v);
+        p.scale(beta);
+        p.axpy(S::one(), &r);
+        let p_hat = m.apply(comm, &p);
+        v = a.matvec(comm, &p_hat);
+        alpha = rho / r_hat.dot(&v, comm);
+        // s = r − α v
+        let mut s = r.clone();
+        s.axpy(-alpha, &v);
+        let snorm = s.norm2(comm).to_f64();
+        if cfg.done(snorm, r0_norm) {
+            x.axpy(alpha, &p_hat);
+            history.push(snorm);
+            return SolveStatus {
+                converged: true,
+                iterations: it,
+                history,
+            };
+        }
+        let s_hat = m.apply(comm, &s);
+        let t = a.matvec(comm, &s_hat);
+        let tt = t.dot(&t, comm);
+        if tt.abs().to_f64() == 0.0 {
+            break;
+        }
+        omega = t.dot(&s, comm) / tt;
+        // x ← x + α p_hat + ω s_hat
+        x.axpy(alpha, &p_hat);
+        x.axpy(omega, &s_hat);
+        // r = s − ω t
+        r = s;
+        r.axpy(-omega, &t);
+        let rnorm = r.norm2(comm).to_f64();
+        history.push(rnorm);
+        if cfg.done(rnorm, r0_norm) {
+            return SolveStatus {
+                converged: true,
+                iterations: it,
+                history,
+            };
+        }
+        if omega.abs().to_f64() == 0.0 {
+            break;
+        }
+    }
+    SolveStatus {
+        converged: false,
+        iterations: history.len() - 1,
+        history,
+    }
+}
+
+/// Right-preconditioned restarted GMRES(m) for general `f64` systems:
+/// solves `A·M⁻¹·u = b`, `x = M⁻¹·u`.
+pub fn gmres(
+    comm: &Comm,
+    a: &CsrMatrix<f64>,
+    b: &DistVector<f64>,
+    x: &mut DistVector<f64>,
+    m: &dyn Preconditioner<f64>,
+    cfg: &KrylovConfig,
+) -> SolveStatus {
+    let restart = cfg.restart.max(1);
+    let mut history = Vec::new();
+    let mut total_iters = 0usize;
+    let mut r0_norm = f64::NAN;
+    loop {
+        // residual of the current iterate
+        let ax = a.matvec(comm, x);
+        let mut r = b.clone();
+        r.axpy(-1.0, &ax);
+        let beta = r.norm2(comm);
+        if r0_norm.is_nan() {
+            r0_norm = beta;
+            history.push(beta);
+        }
+        if cfg.done(beta, r0_norm) {
+            return SolveStatus {
+                converged: true,
+                iterations: total_iters,
+                history,
+            };
+        }
+        if total_iters >= cfg.max_iter {
+            return SolveStatus {
+                converged: false,
+                iterations: total_iters,
+                history,
+            };
+        }
+        // Arnoldi with modified Gram–Schmidt.
+        let mut basis: Vec<DistVector<f64>> = Vec::with_capacity(restart + 1);
+        let mut v0 = r.clone();
+        v0.scale(1.0 / beta);
+        basis.push(v0);
+        // Hessenberg stored column-wise: h[j] has j+2 entries.
+        let mut h: Vec<Vec<f64>> = Vec::with_capacity(restart);
+        let mut cs: Vec<f64> = Vec::with_capacity(restart);
+        let mut sn: Vec<f64> = Vec::with_capacity(restart);
+        let mut g = vec![0.0f64; restart + 1];
+        g[0] = beta;
+        let mut k_used = 0;
+        for j in 0..restart {
+            if total_iters >= cfg.max_iter {
+                break;
+            }
+            total_iters += 1;
+            let zj = m.apply(comm, &basis[j]);
+            let mut w = a.matvec(comm, &zj);
+            let mut hj = vec![0.0f64; j + 2];
+            for (i, vi) in basis.iter().enumerate() {
+                let hij = vi.dot(&w, comm);
+                hj[i] = hij;
+                w.axpy(-hij, vi);
+            }
+            let wnorm = w.norm2(comm);
+            hj[j + 1] = wnorm;
+            // Apply existing Givens rotations to the new column.
+            for i in 0..j {
+                let t = cs[i] * hj[i] + sn[i] * hj[i + 1];
+                hj[i + 1] = -sn[i] * hj[i] + cs[i] * hj[i + 1];
+                hj[i] = t;
+            }
+            // New rotation to zero hj[j+1].
+            let (c, s) = givens(hj[j], hj[j + 1]);
+            cs.push(c);
+            sn.push(s);
+            hj[j] = c * hj[j] + s * hj[j + 1];
+            hj[j + 1] = 0.0;
+            g[j + 1] = -s * g[j];
+            g[j] *= c;
+            h.push(hj);
+            k_used = j + 1;
+            let res = g[j + 1].abs();
+            history.push(res);
+            if cfg.done(res, r0_norm) || wnorm == 0.0 {
+                break;
+            }
+            let mut vnext = w;
+            vnext.scale(1.0 / wnorm);
+            basis.push(vnext);
+        }
+        // Back-substitute the triangular system for the update coefficients.
+        let mut y = vec![0.0f64; k_used];
+        for i in (0..k_used).rev() {
+            let mut acc = g[i];
+            for j in i + 1..k_used {
+                acc -= h[j][i] * y[j];
+            }
+            y[i] = acc / h[i][i];
+        }
+        // x ← x + M⁻¹ (V y)
+        let mut update = DistVector::zeros(b.map().clone());
+        for (j, &yj) in y.iter().enumerate() {
+            update.axpy(yj, &basis[j]);
+        }
+        let z = m.apply(comm, &update);
+        x.axpy(1.0, &z);
+        // loop continues: recompute residual, restart or exit
+    }
+}
+
+fn givens(a: f64, b: f64) -> (f64, f64) {
+    if b == 0.0 {
+        (1.0, 0.0)
+    } else if a.abs() < b.abs() {
+        let t = a / b;
+        let s = 1.0 / (1.0 + t * t).sqrt();
+        (s * t, s)
+    } else {
+        let t = b / a;
+        let c = 1.0 / (1.0 + t * t).sqrt();
+        (c, c * t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{IdentityPrecond, IluPrecond, JacobiPrecond};
+    use comm::Universe;
+    use dmap::DistMap;
+
+    fn laplace(comm: &Comm, n: usize) -> CsrMatrix<f64> {
+        let m = DistMap::block(n, comm.size(), comm.rank());
+        CsrMatrix::from_row_fn(comm, m.clone(), m, move |g| {
+            let mut row = Vec::new();
+            if g > 0 {
+                row.push((g - 1, -1.0));
+            }
+            row.push((g, 2.0));
+            if g + 1 < n {
+                row.push((g + 1, -1.0));
+            }
+            row
+        })
+    }
+
+    fn check_residual(comm: &Comm, a: &CsrMatrix<f64>, b: &DistVector<f64>, x: &DistVector<f64>) {
+        let ax = a.matvec(comm, x);
+        let mut r = b.clone();
+        r.axpy(-1.0, &ax);
+        let rel = r.norm2(comm) / b.norm2(comm);
+        assert!(rel < 1e-8, "relative residual {rel}");
+    }
+
+    #[test]
+    fn cg_solves_laplace_multirank() {
+        for p in [1, 2, 3] {
+            Universe::run(p, |comm| {
+                let n = 40;
+                let a = laplace(comm, n);
+                let b = DistVector::from_fn(a.domain_map().clone(), |g| ((g as f64) * 0.1).sin());
+                let mut x = DistVector::zeros(a.domain_map().clone());
+                let st = cg(comm, &a, &b, &mut x, &IdentityPrecond, &KrylovConfig::default());
+                assert!(st.converged, "CG did not converge: {:?}", st.iterations);
+                check_residual(comm, &a, &b, &x);
+                // 1-D Laplace: CG converges in at most n iterations
+                assert!(st.iterations <= n);
+            });
+        }
+    }
+
+    #[test]
+    fn cg_iteration_count_is_rank_invariant() {
+        let iters: Vec<usize> = [1usize, 2, 4]
+            .iter()
+            .map(|&p| {
+                Universe::run(p, |comm| {
+                    let a = laplace(comm, 32);
+                    let b = DistVector::constant(a.domain_map().clone(), 1.0);
+                    let mut x = DistVector::zeros(a.domain_map().clone());
+                    let st =
+                        cg(comm, &a, &b, &mut x, &IdentityPrecond, &KrylovConfig::default());
+                    st.iterations
+                })[0]
+            })
+            .collect();
+        assert_eq!(iters[0], iters[1]);
+        assert_eq!(iters[0], iters[2]);
+    }
+
+    #[test]
+    fn jacobi_preconditioned_cg_converges() {
+        Universe::run(2, |comm| {
+            // variable-coefficient 1-D diffusion: symmetric, with a
+            // strongly varying diagonal so Jacobi actually helps
+            let n = 30;
+            let m = DistMap::block(n, comm.size(), comm.rank());
+            let kcoef = |i: usize| ((i * i) % 7 + 1) as f64;
+            let a = CsrMatrix::from_row_fn(comm, m.clone(), m, move |g| {
+                let mut row = Vec::new();
+                if g > 0 {
+                    row.push((g - 1, -kcoef(g)));
+                }
+                row.push((g, kcoef(g) + kcoef(g + 1)));
+                if g + 1 < n {
+                    row.push((g + 1, -kcoef(g + 1)));
+                }
+                row
+            });
+            let b = DistVector::constant(a.domain_map().clone(), 1.0);
+            let mut x0 = DistVector::zeros(a.domain_map().clone());
+            let mut x1 = DistVector::zeros(a.domain_map().clone());
+            let cfg = KrylovConfig::default();
+            let plain = cg(comm, &a, &b, &mut x0, &IdentityPrecond, &cfg);
+            let prec = cg(comm, &a, &b, &mut x1, &JacobiPrecond::new(&a), &cfg);
+            assert!(prec.converged && plain.converged);
+            assert!(
+                prec.iterations <= plain.iterations,
+                "jacobi {} vs plain {}",
+                prec.iterations,
+                plain.iterations
+            );
+        });
+    }
+
+    #[test]
+    fn bicgstab_solves_nonsymmetric() {
+        Universe::run(2, |comm| {
+            let n = 30;
+            let m = DistMap::block(n, comm.size(), comm.rank());
+            // advection-diffusion: nonsymmetric bands
+            let a = CsrMatrix::from_row_fn(comm, m.clone(), m, move |g| {
+                let mut row = Vec::new();
+                if g > 0 {
+                    row.push((g - 1, -1.5));
+                }
+                row.push((g, 3.0));
+                if g + 1 < n {
+                    row.push((g + 1, -0.5));
+                }
+                row
+            });
+            let b = DistVector::from_fn(a.domain_map().clone(), |g| 1.0 / (g as f64 + 1.0));
+            let mut x = DistVector::zeros(a.domain_map().clone());
+            let st = bicgstab(comm, &a, &b, &mut x, &IdentityPrecond, &KrylovConfig::default());
+            assert!(st.converged);
+            check_residual(comm, &a, &b, &x);
+        });
+    }
+
+    #[test]
+    fn gmres_solves_nonsymmetric_with_restart() {
+        Universe::run(3, |comm| {
+            let n = 40;
+            let m = DistMap::block(n, comm.size(), comm.rank());
+            let a = CsrMatrix::from_row_fn(comm, m.clone(), m, move |g| {
+                let mut row = Vec::new();
+                if g > 0 {
+                    row.push((g - 1, -1.8));
+                }
+                row.push((g, 3.0));
+                if g + 1 < n {
+                    row.push((g + 1, -0.2));
+                }
+                row
+            });
+            let b = DistVector::constant(a.domain_map().clone(), 1.0);
+            let mut x = DistVector::zeros(a.domain_map().clone());
+            let cfg = KrylovConfig {
+                restart: 10,
+                max_iter: 500,
+                ..Default::default()
+            };
+            let st = gmres(comm, &a, &b, &mut x, &IdentityPrecond, &cfg);
+            assert!(st.converged, "gmres stalled at {}", st.final_residual());
+            check_residual(comm, &a, &b, &x);
+        });
+    }
+
+    #[test]
+    fn gmres_with_ilu_converges_faster() {
+        Universe::run(1, |comm| {
+            let a = laplace(comm, 60);
+            let b = DistVector::constant(a.domain_map().clone(), 1.0);
+            let cfg = KrylovConfig {
+                restart: 20,
+                max_iter: 400,
+                ..Default::default()
+            };
+            let mut x0 = DistVector::zeros(a.domain_map().clone());
+            let plain = gmres(comm, &a, &b, &mut x0, &IdentityPrecond, &cfg);
+            let mut x1 = DistVector::zeros(a.domain_map().clone());
+            let prec = gmres(comm, &a, &b, &mut x1, &IluPrecond::new(&a), &cfg);
+            assert!(prec.converged);
+            assert!(
+                prec.iterations < plain.iterations,
+                "ilu {} vs plain {}",
+                prec.iterations,
+                plain.iterations
+            );
+        });
+    }
+
+    #[test]
+    fn cg_solves_complex_hermitian() {
+        use dlinalg::Complex64;
+        Universe::run(2, |comm| {
+            let n = 16;
+            let m = DistMap::block(n, comm.size(), comm.rank());
+            // Hermitian tridiagonal: diag 4, off-diag ±i
+            let a = CsrMatrix::from_row_fn(comm, m.clone(), m, move |g| {
+                let mut row = Vec::new();
+                if g > 0 {
+                    row.push((g - 1, Complex64::new(0.0, -1.0)));
+                }
+                row.push((g, Complex64::new(4.0, 0.0)));
+                if g + 1 < n {
+                    row.push((g + 1, Complex64::new(0.0, 1.0)));
+                }
+                row
+            });
+            let b = DistVector::constant(a.domain_map().clone(), Complex64::new(1.0, 1.0));
+            let mut x = DistVector::zeros(a.domain_map().clone());
+            let st = cg(comm, &a, &b, &mut x, &IdentityPrecond, &KrylovConfig::default());
+            assert!(st.converged);
+            let ax = a.matvec(comm, &x);
+            let mut r = b.clone();
+            r.axpy(-Complex64::new(1.0, 0.0), &ax);
+            assert!(r.norm2(comm) < 1e-8);
+        });
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        Universe::run(2, |comm| {
+            let a = laplace(comm, 10);
+            let b = DistVector::zeros(a.domain_map().clone());
+            let mut x = DistVector::zeros(a.domain_map().clone());
+            let st = cg(comm, &a, &b, &mut x, &IdentityPrecond, &KrylovConfig::default());
+            assert!(st.converged);
+            assert_eq!(st.iterations, 0);
+        });
+    }
+
+    #[test]
+    fn max_iter_reports_nonconvergence() {
+        Universe::run(1, |comm| {
+            let a = laplace(comm, 100);
+            let b = DistVector::constant(a.domain_map().clone(), 1.0);
+            let mut x = DistVector::zeros(a.domain_map().clone());
+            let cfg = KrylovConfig {
+                max_iter: 3,
+                ..Default::default()
+            };
+            let st = cg(comm, &a, &b, &mut x, &IdentityPrecond, &cfg);
+            assert!(!st.converged);
+            assert_eq!(st.iterations, 3);
+            assert_eq!(st.history.len(), 4);
+        });
+    }
+}

@@ -1,0 +1,35 @@
+//! # solvers — the distributed solver stack
+//!
+//! Rust implementations of the Trilinos solver packages PyTrilinos wraps
+//! (paper Table I):
+//!
+//! | module | Trilinos package role |
+//! |---|---|
+//! | [`krylov`] | AztecOO — CG, BiCGStab, GMRES(m) |
+//! | [`precond`] | Ifpack — Jacobi, SSOR, ILU(0), Chebyshev |
+//! | [`amg`] | ML — aggregation-based two-level multigrid |
+//! | [`direct`] | Amesos — gather-to-root LU with partial pivoting |
+//! | [`eigen`] | Anasazi — power iteration, Lanczos |
+//! | [`nonlinear`] | NOX — Newton–Krylov with backtracking line search |
+//!
+//! Everything operates on [`dlinalg`] distributed vectors/matrices, and all
+//! collective operations account modeled time on the [`comm`] virtual
+//! clock, so solver benchmarks yield cluster-shaped scaling curves.
+
+pub mod amg;
+pub mod direct;
+pub mod eigen;
+pub mod krylov;
+pub mod nonlinear;
+pub mod precond;
+pub mod status;
+
+pub use amg::AmgPreconditioner;
+pub use direct::DirectSolver;
+pub use eigen::{lanczos_extreme_eigenvalues, power_method};
+pub use krylov::{bicgstab, cg, gmres, KrylovConfig};
+pub use nonlinear::{newton_krylov, NewtonConfig, NonlinearProblem};
+pub use precond::{
+    ChebyshevPrecond, IdentityPrecond, IluPrecond, JacobiPrecond, Preconditioner, SsorPrecond,
+};
+pub use status::SolveStatus;

@@ -1,0 +1,293 @@
+//! Nonlinear solvers (NOX analog): Newton's method with a backtracking
+//! line search, using any Krylov method for the linear subproblem —
+//! the Newton–Krylov pattern the paper's §V user story sketches
+//! ("the solver calls back to Python to evaluate a model").
+
+use comm::Comm;
+use dlinalg::{CsrMatrix, DistVector};
+
+use crate::krylov::{gmres, KrylovConfig};
+use crate::precond::IdentityPrecond;
+use crate::status::SolveStatus;
+
+/// A nonlinear system `F(x) = 0` with an explicitly assembled Jacobian.
+/// Implementors are the "model callbacks" of the paper's workflow; the
+/// `hpc-core` crate shows a Seamless-compiled kernel implementing one.
+pub trait NonlinearProblem {
+    /// Residual `F(x)`. Collective if it communicates.
+    fn residual(&self, comm: &Comm, x: &DistVector<f64>) -> DistVector<f64>;
+    /// Jacobian `∂F/∂x` at `x`.
+    fn jacobian(&self, comm: &Comm, x: &DistVector<f64>) -> CsrMatrix<f64>;
+}
+
+/// Newton iteration controls.
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonConfig {
+    /// Maximum Newton steps.
+    pub max_iter: usize,
+    /// Absolute tolerance on ‖F(x)‖₂.
+    pub tol: f64,
+    /// Inner linear-solver controls.
+    pub linear: KrylovConfig,
+    /// Armijo slope parameter for the backtracking line search.
+    pub armijo_c: f64,
+    /// Maximum step halvings per Newton step.
+    pub max_backtracks: usize,
+}
+
+impl Default for NewtonConfig {
+    fn default() -> Self {
+        NewtonConfig {
+            max_iter: 50,
+            tol: 1e-10,
+            linear: KrylovConfig {
+                rtol: 1e-6,
+                max_iter: 500,
+                ..Default::default()
+            },
+            armijo_c: 1e-4,
+            max_backtracks: 20,
+        }
+    }
+}
+
+/// Newton–Krylov with backtracking: updates `x` in place, returns the
+/// nonlinear convergence history (‖F‖ per Newton step). Collective.
+pub fn newton_krylov<P: NonlinearProblem>(
+    comm: &Comm,
+    problem: &P,
+    x: &mut DistVector<f64>,
+    cfg: &NewtonConfig,
+) -> SolveStatus {
+    let mut f = problem.residual(comm, x);
+    let mut fnorm = f.norm2(comm);
+    let mut history = vec![fnorm];
+    if fnorm <= cfg.tol {
+        return SolveStatus {
+            converged: true,
+            iterations: 0,
+            history,
+        };
+    }
+    for it in 1..=cfg.max_iter {
+        let j = problem.jacobian(comm, x);
+        // Solve J δ = −F.
+        let mut rhs = f.clone();
+        rhs.scale(-1.0);
+        let mut delta = DistVector::zeros(x.map().clone());
+        let lin = gmres(comm, &j, &rhs, &mut delta, &IdentityPrecond, &cfg.linear);
+        assert!(
+            lin.converged || lin.final_residual() < fnorm,
+            "inner linear solve made no progress"
+        );
+        // Backtracking line search on ‖F(x + λ δ)‖.
+        let mut lambda = 1.0f64;
+        let mut accepted = false;
+        for _ in 0..=cfg.max_backtracks {
+            let mut trial = x.clone();
+            trial.axpy(lambda, &delta);
+            let ftrial = problem.residual(comm, &trial);
+            let ftrial_norm = ftrial.norm2(comm);
+            if ftrial_norm <= (1.0 - cfg.armijo_c * lambda) * fnorm {
+                *x = trial;
+                f = ftrial;
+                fnorm = ftrial_norm;
+                accepted = true;
+                break;
+            }
+            lambda *= 0.5;
+        }
+        if !accepted {
+            // stagnation: report divergence with the history so far
+            return SolveStatus {
+                converged: false,
+                iterations: it,
+                history,
+            };
+        }
+        history.push(fnorm);
+        if fnorm <= cfg.tol {
+            return SolveStatus {
+                converged: true,
+                iterations: it,
+                history,
+            };
+        }
+    }
+    SolveStatus {
+        converged: false,
+        iterations: cfg.max_iter,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm::Universe;
+    use dmap::DistMap;
+
+    /// 1-D Bratu problem: −u'' − λ eᵘ = 0 with Dirichlet u(0)=u(1)=0,
+    /// discretized on n interior points. Has a solution for λ below the
+    /// critical value ≈ 3.51.
+    struct Bratu {
+        n: usize,
+        lambda: f64,
+    }
+
+    impl Bratu {
+        fn h(&self) -> f64 {
+            1.0 / (self.n as f64 + 1.0)
+        }
+    }
+
+    impl NonlinearProblem for Bratu {
+        fn residual(&self, comm: &Comm, x: &DistVector<f64>) -> DistVector<f64> {
+            let h2 = self.h() * self.h();
+            // gather ghost neighbors via a tridiagonal "matvec" trick:
+            // F_i = (2u_i − u_{i−1} − u_{i+1})/h² − λ exp(u_i)
+            let n = self.n;
+            let map = x.map().clone();
+            let lap = CsrMatrix::from_row_fn(comm, map.clone(), map, move |g| {
+                let mut row = Vec::new();
+                if g > 0 {
+                    row.push((g - 1, -1.0));
+                }
+                row.push((g, 2.0));
+                if g + 1 < n {
+                    row.push((g + 1, -1.0));
+                }
+                row
+            });
+            let mut f = lap.matvec(comm, x);
+            let lam = self.lambda;
+            for (fi, &ui) in f.local_mut().iter_mut().zip(x.local().iter()) {
+                *fi = *fi / h2 - lam * ui.exp();
+            }
+            f
+        }
+
+        fn jacobian(&self, comm: &Comm, x: &DistVector<f64>) -> CsrMatrix<f64> {
+            let h2 = self.h() * self.h();
+            let n = self.n;
+            let lam = self.lambda;
+            let map = x.map().clone();
+            let xl: Vec<f64> = x.local().to_vec();
+            let map2 = map.clone();
+            CsrMatrix::from_row_fn(comm, map.clone(), map, move |g| {
+                let l = map2.global_to_local(g).unwrap();
+                let mut row = Vec::new();
+                if g > 0 {
+                    row.push((g - 1, -1.0 / h2));
+                }
+                row.push((g, 2.0 / h2 - lam * xl[l].exp()));
+                if g + 1 < n {
+                    row.push((g + 1, -1.0 / h2));
+                }
+                row
+            })
+        }
+    }
+
+    #[test]
+    fn newton_solves_bratu() {
+        for p in [1, 2, 3] {
+            Universe::run(p, |comm| {
+                let n = 24;
+                let problem = Bratu { n, lambda: 1.0 };
+                let map = DistMap::block(n, comm.size(), comm.rank());
+                let mut x = DistVector::zeros(map);
+                let st = newton_krylov(comm, &problem, &mut x, &NewtonConfig::default());
+                assert!(st.converged, "newton failed: history {:?}", st.history);
+                // quadratic-ish convergence: few iterations
+                assert!(st.iterations <= 8, "{} iterations", st.iterations);
+                // solution is positive and symmetric-ish with max in the middle
+                let full = x.gather_global(comm);
+                assert!(full.iter().all(|&u| u > 0.0));
+                let max = full.iter().cloned().fold(0.0f64, f64::max);
+                assert!((full[n / 2] - max).abs() < 1e-6);
+            });
+        }
+    }
+
+    #[test]
+    fn newton_residual_history_decreases() {
+        Universe::run(2, |comm| {
+            let problem = Bratu { n: 16, lambda: 2.0 };
+            let map = DistMap::block(16, comm.size(), comm.rank());
+            let mut x = DistVector::zeros(map);
+            let st = newton_krylov(comm, &problem, &mut x, &NewtonConfig::default());
+            assert!(st.converged);
+            for w in st.history.windows(2) {
+                assert!(w[1] <= w[0] * 1.0001, "history not monotone: {:?}", st.history);
+            }
+        });
+    }
+
+    #[test]
+    fn converged_start_returns_immediately() {
+        Universe::run(1, |comm| {
+            // trivial problem F(x) = x with x = 0 start
+            struct Lin;
+            impl NonlinearProblem for Lin {
+                fn residual(&self, _c: &Comm, x: &DistVector<f64>) -> DistVector<f64> {
+                    x.clone()
+                }
+                fn jacobian(&self, c: &Comm, x: &DistVector<f64>) -> CsrMatrix<f64> {
+                    let m = x.map().clone();
+                    CsrMatrix::from_row_fn(c, m.clone(), m, |g| vec![(g, 1.0)])
+                }
+            }
+            let map = DistMap::block(4, comm.size(), comm.rank());
+            let mut x = DistVector::zeros(map);
+            let st = newton_krylov(comm, &Lin, &mut x, &NewtonConfig::default());
+            assert!(st.converged);
+            assert_eq!(st.iterations, 0);
+        });
+    }
+
+    #[test]
+    fn linear_problem_converges_in_one_step() {
+        Universe::run(2, |comm| {
+            // F(x) = A x − b, Newton solves it in exactly one step
+            struct LinSys {
+                n: usize,
+            }
+            impl NonlinearProblem for LinSys {
+                fn residual(&self, c: &Comm, x: &DistVector<f64>) -> DistVector<f64> {
+                    let a = self.jacobian(c, x);
+                    let mut f = a.matvec(c, x);
+                    // b = 1
+                    for v in f.local_mut() {
+                        *v -= 1.0;
+                    }
+                    f
+                }
+                fn jacobian(&self, c: &Comm, x: &DistVector<f64>) -> CsrMatrix<f64> {
+                    let n = self.n;
+                    let m = x.map().clone();
+                    CsrMatrix::from_row_fn(c, m.clone(), m, move |g| {
+                        let mut row = vec![(g, 3.0)];
+                        if g + 1 < n {
+                            row.push((g + 1, -1.0));
+                        }
+                        row
+                    })
+                }
+            }
+            let map = DistMap::block(10, comm.size(), comm.rank());
+            let mut x = DistVector::zeros(map);
+            let cfg = NewtonConfig {
+                linear: KrylovConfig {
+                    rtol: 1e-14,
+                    max_iter: 200,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let st = newton_krylov(comm, &LinSys { n: 10 }, &mut x, &cfg);
+            assert!(st.converged);
+            assert!(st.iterations <= 2, "{}", st.iterations);
+        });
+    }
+}

@@ -1,0 +1,60 @@
+//! Convergence reporting shared by all iterative solvers
+//! (the AztecOO status-test role).
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone)]
+pub struct SolveStatus {
+    /// Whether the convergence criterion was met within the budget.
+    pub converged: bool,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Residual norm after each iteration (index 0 = initial residual).
+    pub history: Vec<f64>,
+}
+
+impl SolveStatus {
+    /// Final residual norm (the last history entry).
+    pub fn final_residual(&self) -> f64 {
+        *self.history.last().unwrap_or(&f64::NAN)
+    }
+
+    /// Average convergence factor `(r_final / r_0)^(1/iters)`.
+    pub fn convergence_factor(&self) -> f64 {
+        if self.iterations == 0 || self.history.len() < 2 {
+            return 1.0;
+        }
+        let r0 = self.history[0];
+        let rf = self.final_residual();
+        if r0 <= 0.0 {
+            return 0.0;
+        }
+        (rf / r0).powf(1.0 / self.iterations as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn final_residual_and_factor() {
+        let s = SolveStatus {
+            converged: true,
+            iterations: 2,
+            history: vec![1.0, 0.1, 0.01],
+        };
+        assert_eq!(s.final_residual(), 0.01);
+        assert!((s.convergence_factor() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_histories() {
+        let s = SolveStatus {
+            converged: false,
+            iterations: 0,
+            history: vec![],
+        };
+        assert!(s.final_residual().is_nan());
+        assert_eq!(s.convergence_factor(), 1.0);
+    }
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the HPC framework workspace: re-exports every
+//! subsystem so examples and integration tests have a single entry point.
+pub use comm;
+pub use dlinalg;
+pub use dmap;
+pub use galeri;
+pub use hpc_core;
+pub use odin;
+pub use seamless;
+pub use solvers;

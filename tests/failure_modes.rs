@@ -1,0 +1,235 @@
+//! Failure-injection and edge-case tests: the framework must fail loudly
+//! and precisely, not silently corrupt distributed state.
+
+use hpc_framework::comm::Universe;
+use hpc_framework::dlinalg::{CsrMatrix, DistVector};
+use hpc_framework::dmap::DistMap;
+use hpc_framework::odin::{DType, Dist, OdinContext};
+use hpc_framework::seamless::{self, SeamlessError, Type, Value};
+use hpc_framework::solvers::{cg, DirectSolver, IdentityPrecond, KrylovConfig};
+
+fn panics<F: FnOnce() + std::panic::UnwindSafe>(f: F) -> bool {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+    let r = std::panic::catch_unwind(f).is_err();
+    std::panic::set_hook(prev);
+    r
+}
+
+// ---- odin shape/type misuse ---------------------------------------------------
+
+#[test]
+fn odin_shape_mismatch_panics() {
+    assert!(panics(|| {
+        let ctx = OdinContext::with_workers(2);
+        let a = ctx.zeros(&[4], DType::F64);
+        let b = ctx.zeros(&[5], DType::F64);
+        let _ = &a + &b;
+    }));
+}
+
+#[test]
+fn odin_slice_out_of_bounds_panics() {
+    assert!(panics(|| {
+        let ctx = OdinContext::with_workers(2);
+        let a = ctx.zeros(&[4], DType::F64);
+        let _ = a.slice(&[hpc_framework::odin::SliceSpec::new(0, 10, 1)]);
+    }));
+}
+
+#[test]
+fn odin_cumsum_of_2d_panics() {
+    assert!(panics(|| {
+        let ctx = OdinContext::with_workers(2);
+        let a = ctx.zeros(&[3, 3], DType::F64);
+        let _ = a.cumsum();
+    }));
+}
+
+#[test]
+fn odin_matmul_inner_dim_mismatch_panics() {
+    assert!(panics(|| {
+        let ctx = OdinContext::with_workers(2);
+        let a = ctx.zeros(&[3, 4], DType::F64);
+        let b = ctx.zeros(&[5, 2], DType::F64);
+        let _ = a.matmul(&b);
+    }));
+}
+
+#[test]
+fn odin_empty_arrays_are_fine_where_defined() {
+    let ctx = OdinContext::with_workers(3);
+    let a = ctx.zeros(&[0], DType::F64);
+    assert_eq!(a.to_vec(), Vec::<f64>::new());
+    assert_eq!(a.sum(), 0.0);
+    let b = a.slice1(0, None, 1);
+    assert!(b.is_empty());
+    let c = ctx.ones(&[3], DType::F64);
+    assert_eq!(a.concat(&c).to_vec(), vec![1.0, 1.0, 1.0]);
+}
+
+#[test]
+fn odin_single_element_array() {
+    let ctx = OdinContext::with_workers(4); // more workers than elements
+    let a = ctx.linspace(5.0, 5.0, 1);
+    assert_eq!(a.to_vec(), vec![5.0]);
+    assert_eq!(a.argmax(), 0);
+    assert_eq!(a.cumsum().to_vec(), vec![5.0]);
+    let doubled = &a * 2.0;
+    assert_eq!(doubled.sum(), 10.0);
+}
+
+// ---- solver misuse -------------------------------------------------------------
+
+#[test]
+fn direct_solver_rejects_rectangular() {
+    assert!(panics(|| {
+        Universe::run(1, |comm| {
+            let rm = DistMap::block(3, 1, 0);
+            let dm = DistMap::block(4, 1, 0);
+            let a = CsrMatrix::from_row_fn(comm, rm, dm, |g| vec![(g, 1.0)]);
+            let _ = DirectSolver::factor(comm, &a);
+        });
+    }));
+}
+
+#[test]
+fn cg_on_indefinite_matrix_reports_nonconvergence_or_solves() {
+    // CG is undefined for indefinite matrices; it must never hang and must
+    // report honestly through the status.
+    Universe::run(2, |comm| {
+        let m = DistMap::block(8, comm.size(), comm.rank());
+        let a = CsrMatrix::from_row_fn(comm, m.clone(), m, |g| {
+            vec![(g, if g % 2 == 0 { 1.0 } else { -1.0 })]
+        });
+        let b = DistVector::constant(a.domain_map().clone(), 1.0);
+        let mut x = DistVector::zeros(a.domain_map().clone());
+        let cfg = KrylovConfig {
+            max_iter: 50,
+            ..Default::default()
+        };
+        let st = cg(comm, &a, &b, &mut x, &IdentityPrecond, &cfg);
+        // diagonal ±1 is its own inverse: CG actually nails it in a few
+        // iterations here; the point is the call returns with a truthful
+        // status either way
+        assert!(st.iterations <= 50);
+        assert_eq!(st.history.len(), st.iterations + 1);
+    });
+}
+
+#[test]
+fn jacobi_rejects_zero_diagonal() {
+    assert!(panics(|| {
+        Universe::run(1, |comm| {
+            let m = DistMap::block(2, 1, 0);
+            let a = CsrMatrix::from_row_fn(comm, m.clone(), m, |g| {
+                if g == 0 {
+                    vec![(1, 1.0)] // zero diagonal in row 0
+                } else {
+                    vec![(1, 1.0)]
+                }
+            });
+            let _ = hpc_framework::solvers::JacobiPrecond::new(&a);
+        });
+    }));
+}
+
+// ---- seamless error taxonomy ----------------------------------------------------
+
+#[test]
+fn seamless_errors_carry_the_right_kind() {
+    // lex
+    assert!(matches!(
+        seamless::jit("def f():\n\treturn 1\n", "f", &[]),
+        Err(SeamlessError::Lex(_, _))
+    ));
+    // parse
+    assert!(matches!(
+        seamless::jit("def f(:\n    return 1\n", "f", &[]),
+        Err(SeamlessError::Parse(_, _))
+    ));
+    // type
+    assert!(matches!(
+        seamless::jit("def f(a):\n    return a[0]\n", "f", &[Type::Int]),
+        Err(SeamlessError::Type(_))
+    ));
+    // runtime (vm)
+    let k = seamless::jit(
+        "def f(a):\n    return a[100]\n",
+        "f",
+        &[Type::ArrF],
+    )
+    .unwrap();
+    assert!(matches!(
+        k.call(vec![Value::ArrF(vec![1.0])]),
+        Err(SeamlessError::Runtime(_))
+    ));
+    // wrong arity at call time
+    assert!(matches!(
+        k.call(vec![]),
+        Err(SeamlessError::Runtime(_))
+    ));
+    // wrong argument type at call time
+    assert!(matches!(
+        k.call(vec![Value::Int(3)]),
+        Err(SeamlessError::Runtime(_))
+    ));
+}
+
+#[test]
+fn seamless_interpreter_and_vm_agree_on_failures() {
+    let src = "def f(n):\n    return 1 // n\n";
+    let interp = seamless::Interpreter::new(src).unwrap();
+    let k = seamless::jit(src, "f", &[Type::Int]).unwrap();
+    assert!(interp.call("f", vec![Value::Int(0)]).is_err());
+    assert!(k.call(vec![Value::Int(0)]).is_err());
+    // and agree on success
+    assert_eq!(
+        interp.call("f", vec![Value::Int(7)]).unwrap().ret,
+        k.call(vec![Value::Int(7)]).unwrap().ret
+    );
+}
+
+// ---- io robustness ---------------------------------------------------------------
+
+#[test]
+fn odin_load_of_missing_file_errors_cleanly() {
+    let ctx = OdinContext::with_workers(2);
+    let missing = std::env::temp_dir().join("definitely_not_there_12345");
+    assert!(ctx.load(&missing).is_err());
+}
+
+#[test]
+fn matrix_market_read_of_garbage_errors() {
+    let path = std::env::temp_dir().join(format!("garbage_{}.mtx", std::process::id()));
+    std::fs::write(&path, "this is not a matrix\n").unwrap();
+    let p2 = path.clone();
+    let result = std::panic::catch_unwind(move || {
+        Universe::run(1, move |comm| {
+            let _ = hpc_framework::dlinalg::io::read_matrix_market(comm, &p2);
+        })
+    });
+    // parsing panics on rank 0 (garbage header) — must not hang
+    assert!(result.is_err());
+    let _ = std::fs::remove_file(path);
+}
+
+// ---- dist map misuse ---------------------------------------------------------------
+
+#[test]
+fn map_rejects_out_of_range_rank() {
+    assert!(panics(|| {
+        let _ = DistMap::block(10, 3, 7);
+    }));
+}
+
+#[test]
+fn redistribute_between_all_kinds_with_empty_ranks() {
+    // n < workers: several empty segments; all redistributions must hold.
+    let ctx = OdinContext::with_workers(4);
+    let a = ctx.linspace(1.0, 2.0, 2);
+    for d in [Dist::Cyclic, Dist::BlockCyclic(3), Dist::Block] {
+        let b = a.redistribute(d);
+        assert_eq!(b.to_vec(), a.to_vec());
+    }
+}

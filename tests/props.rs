@@ -1,0 +1,316 @@
+//! Property-based tests over the workspace invariants (proptest).
+
+use proptest::prelude::*;
+
+use hpc_framework::comm::{decode_from_slice, encode_to_vec};
+use hpc_framework::dmap::DistMap;
+use hpc_framework::odin::{Dist, OdinContext, SliceSpec};
+use hpc_framework::seamless;
+
+// ---- wire codec -------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn wire_roundtrip_f64_vec(v in prop::collection::vec(any::<f64>(), 0..200)) {
+        let bytes = encode_to_vec(&v);
+        let back: Vec<f64> = decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(v.len(), back.len());
+        for (a, b) in v.iter().zip(&back) {
+            prop_assert!(a.to_bits() == b.to_bits());
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_nested(
+        s in ".{0,40}",
+        pairs in prop::collection::vec((any::<i64>(), any::<bool>()), 0..50),
+        opt in proptest::option::of(any::<u32>()),
+    ) {
+        let value = (s.clone(), pairs.clone(), opt);
+        let bytes = encode_to_vec(&value);
+        let back: (String, Vec<(i64, bool)>, Option<u32>) =
+            decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(back, value);
+    }
+
+    #[test]
+    fn wire_rejects_truncation(v in prop::collection::vec(any::<u64>(), 1..20)) {
+        let bytes = encode_to_vec(&v);
+        // any strict prefix must fail to decode
+        let cut = bytes.len() - 1;
+        prop_assert!(decode_from_slice::<Vec<u64>>(&bytes[..cut]).is_err());
+    }
+}
+
+// ---- distribution maps -------------------------------------------------------
+
+fn map_strategy() -> impl Strategy<Value = (usize, usize, u8, usize)> {
+    // (n, p, kind, block size)
+    (0usize..200, 1usize..9, 0u8..3, 1usize..7)
+}
+
+proptest! {
+    #[test]
+    fn maps_partition_exactly((n, p, kind, b) in map_strategy()) {
+        let make = |r: usize| match kind {
+            0 => DistMap::block(n, p, r),
+            1 => DistMap::cyclic(n, p, r),
+            _ => DistMap::block_cyclic(n, b, p, r),
+        };
+        let mut seen = vec![false; n];
+        let mut total = 0;
+        for r in 0..p {
+            let m = make(r);
+            total += m.my_count();
+            for l in 0..m.my_count() {
+                let g = m.local_to_global(l);
+                prop_assert!(!seen[g], "gid {} owned twice", g);
+                seen[g] = true;
+                // bijection + owner agreement
+                prop_assert_eq!(m.global_to_local(g), Some(l));
+                prop_assert_eq!(m.owner_of(g), Some(r));
+            }
+        }
+        prop_assert_eq!(total, n);
+        prop_assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn owner_lookup_consistent_across_ranks((n, p, kind, b) in map_strategy()) {
+        prop_assume!(n > 0);
+        let make = |r: usize| match kind {
+            0 => DistMap::block(n, p, r),
+            1 => DistMap::cyclic(n, p, r),
+            _ => DistMap::block_cyclic(n, b, p, r),
+        };
+        // every rank computes the same owner for every gid
+        let owners: Vec<usize> = (0..n).map(|g| make(0).owner_of(g).unwrap()).collect();
+        for r in 1..p {
+            let m = make(r);
+            for (g, &o) in owners.iter().enumerate() {
+                prop_assert_eq!(m.owner_of(g), Some(o));
+            }
+        }
+    }
+}
+
+// ---- ODIN vs serial NumPy-style reference ------------------------------------
+
+fn dist_strategy() -> impl Strategy<Value = Dist> {
+    prop_oneof![
+        Just(Dist::Block),
+        Just(Dist::Cyclic),
+        (1usize..5).prop_map(Dist::BlockCyclic),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn odin_binary_ufunc_matches_serial(
+        n in 1usize..60,
+        workers in 1usize..5,
+        da in dist_strategy(),
+        db in dist_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let ctx = OdinContext::with_workers(workers);
+        let x = ctx.random_dist(&[n], seed, da);
+        let y = ctx.random_dist(&[n], seed + 1, db);
+        let got = (&x + &y).to_vec();
+        let xs = x.to_vec();
+        let ys = y.to_vec();
+        for i in 0..n {
+            prop_assert_eq!(got[i], xs[i] + ys[i]);
+        }
+    }
+
+    #[test]
+    fn odin_slicing_matches_serial(
+        n in 1usize..80,
+        workers in 1usize..5,
+        d in dist_strategy(),
+        start in 0usize..20,
+        len in 0usize..60,
+        step in 1usize..5,
+    ) {
+        let start = start.min(n);
+        let stop = (start + len).min(n);
+        let ctx = OdinContext::with_workers(workers);
+        let x = ctx.random_dist(&[n], 42, d);
+        let xs = x.to_vec();
+        let s = x.slice(&[SliceSpec::new(start, stop, step)]);
+        let got = s.to_vec();
+        let expect: Vec<f64> = (start..stop).step_by(step).map(|i| xs[i]).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn odin_sum_matches_serial_tolerance(
+        n in 1usize..100,
+        workers in 1usize..5,
+    ) {
+        let ctx = OdinContext::with_workers(workers);
+        let x = ctx.random(&[n], 7);
+        let serial: f64 = x.to_vec().iter().sum();
+        let dist = x.sum();
+        prop_assert!((serial - dist).abs() <= 1e-12 * n as f64);
+    }
+
+    #[test]
+    fn odin_cumsum_matches_serial(
+        n in 1usize..80,
+        workers in 1usize..5,
+        d in dist_strategy(),
+    ) {
+        let ctx = OdinContext::with_workers(workers);
+        let x = ctx.random_dist(&[n], 5, d);
+        let xs = x.to_vec();
+        let got = x.cumsum().to_vec();
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += xs[i];
+            prop_assert!((got[i] - acc).abs() < 1e-9 * (i + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn odin_argmax_matches_serial(
+        n in 1usize..60,
+        workers in 1usize..5,
+        d in dist_strategy(),
+        seed in 0u64..500,
+    ) {
+        let ctx = OdinContext::with_workers(workers);
+        let x = ctx.random_dist(&[n], seed, d);
+        let xs = x.to_vec();
+        let serial = xs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        prop_assert_eq!(x.argmax(), serial);
+    }
+
+    #[test]
+    fn odin_concat_matches_serial(
+        n1 in 0usize..30,
+        n2 in 0usize..30,
+        workers in 1usize..4,
+        d1 in dist_strategy(),
+        d2 in dist_strategy(),
+    ) {
+        prop_assume!(n1 + n2 > 0);
+        let ctx = OdinContext::with_workers(workers);
+        let a = ctx.random_dist(&[n1], 1, d1);
+        let b = ctx.random_dist(&[n2], 2, d2);
+        let mut expect = a.to_vec();
+        expect.extend(b.to_vec());
+        prop_assert_eq!(a.concat(&b).to_vec(), expect);
+    }
+
+    #[test]
+    fn odin_redistribute_preserves_content(
+        n in 0usize..60,
+        workers in 1usize..5,
+        d1 in dist_strategy(),
+        d2 in dist_strategy(),
+    ) {
+        let ctx = OdinContext::with_workers(workers);
+        let x = ctx.random_dist(&[n], 3, d1);
+        let orig = x.to_vec();
+        let y = x.redistribute(d2);
+        prop_assert_eq!(y.to_vec(), orig);
+    }
+}
+
+// ---- seamless: VM must agree with the interpreter -----------------------------
+
+/// Random arithmetic source over one float parameter.
+fn expr_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("x".to_string()),
+        (-100i32..100).prop_map(|v| format!("{}.0", v)),
+        (1u32..50).prop_map(|v| format!("{v}")),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} / {b})")),
+            inner.clone().prop_map(|a| format!("(-{a})")),
+            inner.clone().prop_map(|a| format!("sin({a})")),
+            inner.clone().prop_map(|a| format!("cos({a})")),
+            inner.clone().prop_map(|a| format!("sqrt(abs({a}))")),
+        ]
+    })
+}
+
+fn close_or_both_weird(a: f64, b: f64) -> bool {
+    if a.is_nan() && b.is_nan() {
+        return true;
+    }
+    if a == b {
+        return true;
+    }
+    // constant folding may reassociate nothing, but int/float literal
+    // promotion can differ by one rounding
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-9 * scale
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vm_matches_interpreter_on_random_expressions(
+        expr in expr_strategy(),
+        x in -10.0f64..10.0,
+    ) {
+        let src = format!("def f(x):\n    return {expr}\n");
+        let interp = seamless::Interpreter::new(&src).unwrap();
+        let iv = interp.call("f", vec![seamless::Value::Float(x)]);
+        let kernel = seamless::jit(&src, "f", &[seamless::Type::Float]);
+        match (iv, kernel) {
+            (Ok(out), Ok(k)) => {
+                let vv = k.call(vec![seamless::Value::Float(x)]).unwrap();
+                let a = out.ret.as_f64().unwrap_or(f64::NAN);
+                let b = vv.ret.as_f64().unwrap_or(f64::NAN);
+                prop_assert!(
+                    close_or_both_weird(a, b),
+                    "interp {} vs vm {} for {}", a, b, expr
+                );
+            }
+            // both paths must agree about failure too
+            (Err(_), Err(_)) => {}
+            (i, k) => {
+                // integer-typed programs can fail in one path only when
+                // division by a zero *int* occurs; allow mismatched errors
+                // only if one side errored at runtime
+                prop_assert!(
+                    i.is_err() || k.is_err(),
+                    "one path failed: interp={:?} kernel_ok={}", i.is_ok(), k.is_ok()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vm_matches_interpreter_on_integer_loops(
+        n in 0i64..40,
+        step in 1i64..5,
+        offset in -5i64..5,
+    ) {
+        let src = format!(
+            "def f(n):\n    t = 0\n    for i in range(0, n, {step}):\n        t = t + i + {offset}\n    return t\n"
+        );
+        let interp = seamless::Interpreter::new(&src).unwrap();
+        let iv = interp.call("f", vec![seamless::Value::Int(n)]).unwrap();
+        let k = seamless::jit(&src, "f", &[seamless::Type::Int]).unwrap();
+        let vv = k.call(vec![seamless::Value::Int(n)]).unwrap();
+        prop_assert_eq!(iv.ret, vv.ret);
+    }
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate, runnable locally and in CI. The whole workspace must
+# format cleanly, lint cleanly, and build + test with NO network access
+# (the workspace has zero external dependencies by design — see
+# DESIGN.md §3).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: build + test (offline)"
+cargo build --release --offline
+cargo test -q --offline
+
+echo "== ci.sh: all green"

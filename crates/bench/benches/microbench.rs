@@ -1,103 +1,112 @@
-//! Criterion microbenchmarks backing experiments E2, E5, E6, E7, E8, E12.
+//! Std-only microbenchmarks backing experiments E2, E5, E6, E7, E8, E12.
 //!
 //! `cargo bench` runs these; the `e01`–`e16` binaries print the full
 //! paper-style tables (run them with `cargo run --release -p bench --bin e0X`).
+//!
+//! This harness has no external dependencies: each case is warmed up,
+//! then timed over enough iterations to exceed a minimum measurement
+//! window, and min/mean per-iteration times are printed.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
 
 use comm::{CollectiveAlgo, ReduceOp, Universe, UniverseConfig};
 use odin::{Expr, OdinContext};
 use seamless::{Interpreter, Type, Value};
 
-fn bench_control_messages(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e02_control_messages");
-    g.sample_size(10).measurement_time(Duration::from_secs(2));
+/// Time `f` repeatedly: a few warmup calls, then batches until the total
+/// measured time exceeds `window`. Reports per-iteration min and mean.
+fn bench(group: &str, name: &str, window: Duration, mut f: impl FnMut()) {
+    for _ in 0..2 {
+        f();
+    }
+    let mut iters = 0u64;
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    while total < window || iters < 5 {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed();
+        total += dt;
+        min = min.min(dt);
+        iters += 1;
+    }
+    let mean = total / iters as u32;
+    println!(
+        "{group}/{name:<28} iters {iters:>5}   min {:>12?}   mean {:>12?}",
+        min, mean
+    );
+}
+
+fn bench_control_messages() {
+    let w = Duration::from_millis(500);
     let ctx = OdinContext::with_workers(2);
     let a = ctx.zeros(&[64], odin::DType::F64);
-    g.bench_function("unbatched_200_cmds", |b| {
-        b.iter(|| {
-            for _ in 0..200 {
-                let _ = a.binary_scalar(1.0, odin::BinOp::Add, false);
-            }
-            ctx.barrier();
-        })
+    bench("e02_control_messages", "unbatched_200_cmds", w, || {
+        for _ in 0..200 {
+            let _ = a.binary_scalar(1.0, odin::BinOp::Add, false);
+        }
+        ctx.barrier();
     });
-    g.bench_function("batched_200_cmds", |b| {
-        b.iter(|| {
-            ctx.begin_batch();
-            for _ in 0..200 {
-                let _ = a.binary_scalar(1.0, odin::BinOp::Add, false);
-            }
-            ctx.flush_batch();
-            ctx.barrier();
-        })
+    bench("e02_control_messages", "batched_200_cmds", w, || {
+        ctx.begin_batch();
+        for _ in 0..200 {
+            let _ = a.binary_scalar(1.0, odin::BinOp::Add, false);
+        }
+        ctx.flush_batch();
+        ctx.barrier();
     });
-    g.finish();
 }
 
-fn bench_finite_difference(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e05_finite_difference");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn bench_finite_difference() {
+    let w = Duration::from_millis(700);
     let n = 1_000_000usize;
     let ctx = OdinContext::with_workers(4);
-    let y = ctx.linspace(0.0, 6.28, n).sin();
-    g.bench_function("global_slicing", |b| {
-        b.iter(|| {
-            let dy = &y.slice1(1, None, 1) - &y.slice1(0, Some(-1), 1);
-            ctx.barrier();
-            drop(dy);
-        })
+    let y = ctx.linspace(0.0, std::f64::consts::TAU, n).sin();
+    bench("e05_finite_difference", "global_slicing", w, || {
+        let dy = &y.slice1(1, None, 1) - &y.slice1(0, Some(-1), 1);
+        ctx.barrier();
+        drop(dy);
     });
     let out = ctx.zeros(&[n], odin::DType::F64);
-    g.bench_function("local_mode_halo", |b| {
-        b.iter(|| {
-            ctx.run_spmd(&[&y, &out], |scope, args| {
-                let (y_id, out_id) = (args[0], args[1]);
-                let (_, right) = scope.exchange_boundary_1d(y_id);
-                let mine: Vec<f64> = scope.local(y_id).as_f64().to_vec();
-                let mut diffs = Vec::with_capacity(mine.len());
-                for w in mine.windows(2) {
-                    diffs.push(w[1] - w[0]);
-                }
-                diffs.push(right.map_or(0.0, |rg| rg - mine[mine.len() - 1]));
-                scope.overwrite_f64(out_id, diffs);
-            });
-        })
+    bench("e05_finite_difference", "local_mode_halo", w, || {
+        ctx.run_spmd(&[&y, &out], |scope, args| {
+            let (y_id, out_id) = (args[0], args[1]);
+            let (_, right) = scope.exchange_boundary_1d(y_id);
+            let mine: Vec<f64> = scope.local(y_id).as_f64().to_vec();
+            let mut diffs = Vec::with_capacity(mine.len());
+            for w in mine.windows(2) {
+                diffs.push(w[1] - w[0]);
+            }
+            diffs.push(right.map_or(0.0, |rg| rg - mine[mine.len() - 1]));
+            scope.overwrite_f64(out_id, diffs);
+        });
     });
-    g.finish();
 }
 
-fn bench_loop_fusion(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e06_loop_fusion");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn bench_loop_fusion() {
+    let w = Duration::from_millis(700);
     let n = 1_000_000usize;
     let ctx = OdinContext::with_workers(4);
     let x = ctx.random(&[n], 1);
     let y = ctx.random(&[n], 2);
-    g.bench_function("fused_hypot", |b| {
-        b.iter(|| {
-            let r = (Expr::leaf(&x).pow(2.0) + Expr::leaf(&y).pow(2.0)).sqrt().eval();
-            ctx.barrier();
-            drop(r);
-        })
+    bench("e06_loop_fusion", "fused_hypot", w, || {
+        let r = (Expr::leaf(&x).pow(2.0) + Expr::leaf(&y).pow(2.0))
+            .sqrt()
+            .eval();
+        ctx.barrier();
+        drop(r);
     });
-    g.bench_function("unfused_hypot", |b| {
-        b.iter(|| {
-            let r = (Expr::leaf(&x).pow(2.0) + Expr::leaf(&y).pow(2.0))
-                .sqrt()
-                .eval_unfused();
-            ctx.barrier();
-            drop(r);
-        })
+    bench("e06_loop_fusion", "unfused_hypot", w, || {
+        let r = (Expr::leaf(&x).pow(2.0) + Expr::leaf(&y).pow(2.0))
+            .sqrt()
+            .eval_unfused();
+        ctx.barrier();
+        drop(r);
     });
-    g.finish();
 }
 
-fn bench_jit(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e07_jit");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn bench_jit() {
+    let w = Duration::from_millis(700);
     let src = "
 def sum(it):
     res = 0.0
@@ -109,75 +118,71 @@ def sum(it):
     let data: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
     let interp = Interpreter::new(src).unwrap();
     let kernel = seamless::jit(src, "sum", &[Type::ArrF]).unwrap();
-    g.bench_function("interpreter_sum_100k", |b| {
-        b.iter(|| interp.call("sum", vec![Value::ArrF(data.clone())]).unwrap())
+    bench("e07_jit", "interpreter_sum_100k", w, || {
+        interp.call("sum", vec![Value::ArrF(data.clone())]).unwrap();
     });
-    g.bench_function("typed_vm_sum_100k", |b| {
-        b.iter(|| kernel.call(vec![Value::ArrF(data.clone())]).unwrap())
+    bench("e07_jit", "typed_vm_sum_100k", w, || {
+        kernel.call(vec![Value::ArrF(data.clone())]).unwrap();
     });
-    g.bench_function("native_sum_100k", |b| {
-        b.iter(|| std::hint::black_box(data.iter().sum::<f64>()))
+    bench("e07_jit", "native_sum_100k", w, || {
+        std::hint::black_box(data.iter().sum::<f64>());
     });
-    g.finish();
 }
 
-fn bench_cmodule(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e08_cmodule");
-    g.sample_size(20).measurement_time(Duration::from_secs(2));
-    let libm = seamless::CModule::load_system("m").unwrap();
-    g.bench_function("cmodule_atan2", |b| {
-        b.iter(|| {
-            libm.call(
-                "atan2",
-                &[
-                    Value::Float(std::hint::black_box(1.0)),
-                    Value::Float(std::hint::black_box(2.0)),
-                ],
-            )
-            .unwrap()
-        })
+fn bench_cmodule() {
+    let w = Duration::from_millis(300);
+    let libm = match seamless::CModule::load_system("m") {
+        Ok(m) => m,
+        Err(_) => {
+            println!("e08_cmodule: libm unavailable, skipped");
+            return;
+        }
+    };
+    bench("e08_cmodule", "cmodule_atan2", w, || {
+        libm.call(
+            "atan2",
+            &[
+                Value::Float(std::hint::black_box(1.0)),
+                Value::Float(std::hint::black_box(2.0)),
+            ],
+        )
+        .unwrap();
     });
-    g.bench_function("direct_atan2", |b| {
-        b.iter(|| std::hint::black_box(1.0f64).atan2(std::hint::black_box(2.0)))
+    bench("e08_cmodule", "direct_atan2", w, || {
+        std::hint::black_box(std::hint::black_box(1.0f64).atan2(std::hint::black_box(2.0)));
     });
-    g.finish();
 }
 
-fn bench_collectives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e12_collectives");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn bench_collectives() {
+    let w = Duration::from_millis(500);
     for (name, algo) in [
         ("linear", CollectiveAlgo::Linear),
         ("tree", CollectiveAlgo::Tree),
         ("recursive_doubling", CollectiveAlgo::RecursiveDoubling),
     ] {
-        g.bench_with_input(
-            BenchmarkId::new("allreduce_8ranks_8KiB", name),
-            &algo,
-            |b, &algo| {
-                let cfg = UniverseConfig {
-                    algo,
-                    ..Default::default()
-                };
-                b.iter(|| {
-                    Universe::run_report(cfg, 8, |comm| {
-                        let v = vec![comm.rank() as f64; 1024];
-                        comm.allreduce(&v, ReduceOp::vec_sum())
-                    })
-                })
+        let cfg = UniverseConfig {
+            algo,
+            ..Default::default()
+        };
+        bench(
+            "e12_collectives",
+            &format!("allreduce_8ranks_8KiB/{name}"),
+            w,
+            || {
+                Universe::run_report(cfg, 8, |comm| {
+                    let v = vec![comm.rank() as f64; 1024];
+                    comm.allreduce(&v, ReduceOp::vec_sum())
+                });
             },
         );
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_control_messages,
-    bench_finite_difference,
-    bench_loop_fusion,
-    bench_jit,
-    bench_cmodule,
-    bench_collectives
-);
-criterion_main!(benches);
+fn main() {
+    bench_control_messages();
+    bench_finite_difference();
+    bench_loop_fusion();
+    bench_jit();
+    bench_cmodule();
+    bench_collectives();
+}

@@ -42,6 +42,7 @@ impl NonlinearProblem for TinyNewton {
 }
 
 fn main() {
+    let _obs = bench::obs_init();
     bench::header(
         "E1",
         "package coverage (paper Table I)",
@@ -146,18 +147,18 @@ fn main() {
             let sti = cg(comm, &prob.a, &prob.b, &mut xx3, &i, &cfg);
             stj.converged && sts.converged && sti.converged
         };
-        rows.push(("Ifpack", "solvers::precond (Jacobi/SSOR/ILU0/Chebyshev)", okp));
+        rows.push((
+            "Ifpack",
+            "solvers::precond (Jacobi/SSOR/ILU0/Chebyshev)",
+            okp,
+        ));
 
         // Komplex: complex scalars
         let okc = {
             let m = DistMap::block(8, comm.size(), comm.rank());
-            let a = CsrMatrix::from_row_fn(comm, m.clone(), m, |g| {
-                vec![(g, Complex64::new(3.0, 1.0))]
-            });
-            let b = DistVector::constant(
-                a.domain_map().clone(),
-                Complex64::new(1.0, -1.0),
-            );
+            let a =
+                CsrMatrix::from_row_fn(comm, m.clone(), m, |g| vec![(g, Complex64::new(3.0, 1.0))]);
+            let b = DistVector::constant(a.domain_map().clone(), Complex64::new(1.0, -1.0));
             let mut x = DistVector::zeros(a.domain_map().clone());
             cg(comm, &a, &b, &mut x, &IdentityPrecond, &cfg).converged
         };

@@ -5,6 +5,7 @@ use bench::{fmt_s, timed};
 use odin::{DType, Dist, OdinContext};
 
 fn main() {
+    let _obs = bench::obs_init();
     bench::header(
         "E2",
         "control-message sizes and batching",
@@ -25,11 +26,18 @@ fn main() {
     let st = ctx.stats();
     println!("pipeline of create/ufunc/slice/reduce on n = 1e6:");
     println!("  control messages      : {}", st.ctrl_msgs);
-    println!("  mean size             : {:.1} bytes", st.mean_ctrl_bytes());
+    println!(
+        "  mean size             : {:.1} bytes",
+        st.mean_ctrl_bytes()
+    );
     println!("  total control traffic : {} bytes", st.ctrl_bytes);
     println!(
         "  claim 'tens of bytes' : {}",
-        if st.mean_ctrl_bytes() < 100.0 { "HOLDS" } else { "VIOLATED" }
+        if st.mean_ctrl_bytes() < 100.0 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 
     // --- batching: 2000 commands, buffered vs one-by-one -----------------

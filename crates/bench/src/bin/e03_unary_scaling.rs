@@ -7,6 +7,7 @@ use comm::{Universe, UniverseConfig};
 use odin::OdinContext;
 
 fn main() {
+    let _obs = bench::obs_init();
     bench::header(
         "E3",
         "unary ufunc scaling",
@@ -38,7 +39,10 @@ fn main() {
     // libm cost folded in), then a barrier. The master's control message
     // is charged one latency.
     println!("\nmodeled cluster makespan (LogGP: 5us latency, 2.5GB/s, 2Gflop/s):");
-    println!("{:>8} {:>12} {:>9} {:>12}", "ranks", "makespan", "speedup", "efficiency");
+    println!(
+        "{:>8} {:>12} {:>9} {:>12}",
+        "ranks", "makespan", "speedup", "efficiency"
+    );
     let flops_per_elem = 10.0;
     let mut m1 = 0.0;
     for ranks in [1usize, 2, 4, 8, 16, 32, 64, 128] {

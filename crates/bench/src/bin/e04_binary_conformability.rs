@@ -6,6 +6,7 @@ use bench::{best_of, fmt_s};
 use odin::{set_binary_strategy, BinaryStrategy, Dist, OdinContext};
 
 fn main() {
+    let _obs = bench::obs_init();
     bench::header(
         "E4",
         "binary ufunc conformability and alignment strategies",
@@ -29,7 +30,12 @@ fn main() {
         ctx.barrier();
         drop(z);
     });
-    println!("{:>34} {:>12} {:>14}", "block + block (conformable)", fmt_s(t), "block");
+    println!(
+        "{:>34} {:>12} {:>14}",
+        "block + block (conformable)",
+        fmt_s(t),
+        "block"
+    );
 
     // conformable: cyclic + cyclic
     let xc = ctx.random_dist(&[n], 3, Dist::Cyclic);
@@ -39,13 +45,26 @@ fn main() {
         ctx.barrier();
         drop(z);
     });
-    println!("{:>34} {:>12} {:>14}", "cyclic + cyclic (conformable)", fmt_s(t), "cyclic");
+    println!(
+        "{:>34} {:>12} {:>14}",
+        "cyclic + cyclic (conformable)",
+        fmt_s(t),
+        "cyclic"
+    );
 
     // non-conformable under each strategy
     for (label, strat, expect) in [
         ("block + cyclic (auto)", BinaryStrategy::Auto, "block"),
-        ("block + cyclic (redist-right)", BinaryStrategy::RedistRight, "block"),
-        ("block + cyclic (redist-left)", BinaryStrategy::RedistLeft, "cyclic"),
+        (
+            "block + cyclic (redist-right)",
+            BinaryStrategy::RedistRight,
+            "block",
+        ),
+        (
+            "block + cyclic (redist-left)",
+            BinaryStrategy::RedistLeft,
+            "cyclic",
+        ),
     ] {
         set_binary_strategy(strat);
         let t = best_of(3, || {

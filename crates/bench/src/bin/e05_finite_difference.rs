@@ -6,6 +6,7 @@ use bench::{best_of, fmt_s};
 use odin::OdinContext;
 
 fn main() {
+    let _obs = bench::obs_init();
     bench::header(
         "E5",
         "distributed finite differences by slicing",
@@ -71,18 +72,30 @@ fn main() {
         .fold(0.0f64, f64::max);
 
     println!("dy = y[1:] - y[:-1], n = {n}, 4 workers:");
-    println!("{:>28} {:>12} {:>14} {:>12}", "variant", "time", "max err", "user LoC");
     println!(
-        "{:>28} {:>12} {:>14.1e} {:>12}",
-        "ODIN global slicing", fmt_s(t_global), max_diff_gl, 1
+        "{:>28} {:>12} {:>14} {:>12}",
+        "variant", "time", "max err", "user LoC"
     );
     println!(
         "{:>28} {:>12} {:>14.1e} {:>12}",
-        "local-mode halo (MPI-style)", fmt_s(t_local), max_diff_ll, 18
+        "ODIN global slicing",
+        fmt_s(t_global),
+        max_diff_gl,
+        1
+    );
+    println!(
+        "{:>28} {:>12} {:>14.1e} {:>12}",
+        "local-mode halo (MPI-style)",
+        fmt_s(t_local),
+        max_diff_ll,
+        18
     );
     println!(
         "{:>28} {:>12} {:>14} {:>12}",
-        "serial loop", fmt_s(t_serial), "-", 3
+        "serial loop",
+        fmt_s(t_serial),
+        "-",
+        3
     );
     assert!(max_diff_gl == 0.0 && max_diff_ll == 0.0);
     println!("\nshape: identical results; the one-line global expression does the");

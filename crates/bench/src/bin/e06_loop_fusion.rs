@@ -5,6 +5,7 @@ use bench::{best_of, fmt_s};
 use odin::{Expr, OdinContext};
 
 fn main() {
+    let _obs = bench::obs_init();
     bench::header(
         "E6",
         "loop fusion of array expressions",
@@ -21,9 +22,18 @@ fn main() {
         n_ops: usize,
     }
     let cases = [
-        Case { name: "sqrt(x^2 + y^2)            ", n_ops: 4 },
-        Case { name: "3x^2 + 2x + 1              ", n_ops: 5 },
-        Case { name: "sin(x)*cos(y) + exp(-x*x)  ", n_ops: 7 },
+        Case {
+            name: "sqrt(x^2 + y^2)            ",
+            n_ops: 4,
+        },
+        Case {
+            name: "3x^2 + 2x + 1              ",
+            n_ops: 5,
+        },
+        Case {
+            name: "sin(x)*cos(y) + exp(-x*x)  ",
+            n_ops: 7,
+        },
     ];
     println!("n = {n}, 4 workers:");
     println!(

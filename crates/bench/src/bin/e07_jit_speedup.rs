@@ -29,6 +29,7 @@ def saxpy(y, x, a):
 ";
 
 fn main() {
+    let _obs = bench::obs_init();
     bench::header(
         "E7",
         "JIT speedup over the boxed interpreter (the paper's @jit sum)",
@@ -55,12 +56,20 @@ fn main() {
         let tn = best_of(5, || std::hint::black_box(data.iter().sum::<f64>()));
         // subtract the clone cost? report raw; the clone is identical in
         // interp and VM paths so the ratio is conservative
-        let iv = interp.call("sum", vec![Value::ArrF(data.clone())]).unwrap().ret;
+        let iv = interp
+            .call("sum", vec![Value::ArrF(data.clone())])
+            .unwrap()
+            .ret;
         let vv = kernel.call(vec![Value::ArrF(data.clone())]).unwrap().ret;
         assert_eq!(iv, vv);
         println!(
             "{:>8} {:>14} {:>12} {:>12} {:>13.1}x {:>11.1}x",
-            "sum", fmt_s(ti), fmt_s(tv), fmt_s(tn), ti / tv, tv / tn
+            "sum",
+            fmt_s(ti),
+            fmt_s(tv),
+            fmt_s(tn),
+            ti / tv,
+            tv / tn
         );
     }
 
@@ -72,13 +81,16 @@ fn main() {
         let ti = best_of(2, || interp.call("dot", args()).unwrap());
         let tv = best_of(3, || kernel.call(args()).unwrap());
         let tn = best_of(5, || {
-            std::hint::black_box(
-                data.iter().zip(&data2).map(|(a, b)| a * b).sum::<f64>(),
-            )
+            std::hint::black_box(data.iter().zip(&data2).map(|(a, b)| a * b).sum::<f64>())
         });
         println!(
             "{:>8} {:>14} {:>12} {:>12} {:>13.1}x {:>11.1}x",
-            "dot", fmt_s(ti), fmt_s(tv), fmt_s(tn), ti / tv, tv / tn
+            "dot",
+            fmt_s(ti),
+            fmt_s(tv),
+            fmt_s(tn),
+            ti / tv,
+            tv / tn
         );
     }
 
@@ -105,7 +117,12 @@ fn main() {
         });
         println!(
             "{:>8} {:>14} {:>12} {:>12} {:>13.1}x {:>11.1}x",
-            "saxpy", fmt_s(ti), fmt_s(tv), fmt_s(tn), ti / tv, tv / tn
+            "saxpy",
+            fmt_s(ti),
+            fmt_s(tv),
+            fmt_s(tn),
+            ti / tv,
+            tv / tn
         );
     }
     println!("\nshape: the typed VM removes boxing/dispatch for one-to-two orders");

@@ -6,6 +6,7 @@ use bench::{best_of, fmt_s};
 use seamless::{CModule, Value};
 
 fn main() {
+    let _obs = bench::obs_init();
     bench::header(
         "E8",
         "CModule: header-driven FFI",
@@ -16,7 +17,10 @@ fn main() {
     let libm = CModule::load_system("m").unwrap();
 
     // ---- discovery ------------------------------------------------------
-    println!("signatures discovered from the math.h text: {}", libm.signatures().len());
+    println!(
+        "signatures discovered from the math.h text: {}",
+        libm.signatures().len()
+    );
     for name in ["atan2", "pow", "hypot", "abs"] {
         let s = libm.signature(name).unwrap();
         println!("  {:<8} {:?} -> {:?}", name, s.params, s.ret);
@@ -58,8 +62,16 @@ fn main() {
         std::hint::black_box(acc)
     });
     println!("\n{n_calls} calls to atan2:");
-    println!("  direct Rust call      : {} ({:.1} ns/call)", fmt_s(t_direct), t_direct / n_calls as f64 * 1e9);
-    println!("  through CModule       : {} ({:.1} ns/call)", fmt_s(t_cmodule), t_cmodule / n_calls as f64 * 1e9);
+    println!(
+        "  direct Rust call      : {} ({:.1} ns/call)",
+        fmt_s(t_direct),
+        t_direct / n_calls as f64 * 1e9
+    );
+    println!(
+        "  through CModule       : {} ({:.1} ns/call)",
+        fmt_s(t_cmodule),
+        t_cmodule / n_calls as f64 * 1e9
+    );
     println!("  overhead              : {:.1}x", t_cmodule / t_direct);
     println!("\nshape: discovery costs nothing at call time beyond boxing +");
     println!("signature checking (tens of ns) — the 'no explicit binding' claim");

@@ -70,6 +70,7 @@ fn modeled_cg(ranks: usize, grid_rows: usize, cols: usize, iters: usize) -> f64 
 }
 
 fn main() {
+    let _obs = bench::obs_init();
     bench::header(
         "E9",
         "CG strong/weak scaling (AztecOO role)",
@@ -95,8 +96,14 @@ fn main() {
     // ---- modeled strong scaling: 768x768 (n = 589824) --------------------
     let grid = 768usize;
     let iters = (c * grid as f64) as usize;
-    println!("\nmodeled strong scaling, {grid}x{grid} (n = {}), {iters} iterations:", grid * grid);
-    println!("{:>8} {:>12} {:>9} {:>12}", "ranks", "makespan", "speedup", "efficiency");
+    println!(
+        "\nmodeled strong scaling, {grid}x{grid} (n = {}), {iters} iterations:",
+        grid * grid
+    );
+    println!(
+        "{:>8} {:>12} {:>9} {:>12}",
+        "ranks", "makespan", "speedup", "efficiency"
+    );
     let mut m1 = 0.0;
     for ranks in [1usize, 2, 4, 8, 16, 32, 64, 128] {
         let m = modeled_cg(ranks, grid, grid, iters);

@@ -11,6 +11,7 @@ use solvers::{
 };
 
 fn main() {
+    let _obs = bench::obs_init();
     bench::header(
         "E10",
         "preconditioner comparison (Ifpack + ML roles)",

@@ -8,6 +8,7 @@ use odin::{DType, Dist, OdinContext};
 use solvers::KrylovConfig;
 
 fn main() {
+    let _obs = bench::obs_init();
     bench::header(
         "E11",
         "ODIN <-> solver bridge cost",

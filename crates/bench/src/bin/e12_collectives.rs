@@ -33,6 +33,7 @@ fn modeled_master_routed(ranks: usize, payload: usize) -> f64 {
 }
 
 fn main() {
+    let _obs = bench::obs_init();
     bench::header(
         "E12",
         "collective-algorithm ablation + master-bottleneck check",

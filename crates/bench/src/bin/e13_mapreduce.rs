@@ -26,6 +26,7 @@ fn make_records(n: usize) -> (Schema, Vec<Record>) {
 }
 
 fn main() {
+    let _obs = bench::obs_init();
     bench::header(
         "E13",
         "map-reduce over distributed tables",

@@ -50,6 +50,7 @@ impl NonlinearProblem for Bratu {
 }
 
 fn main() {
+    let _obs = bench::obs_init();
     bench::header(
         "E14",
         "eigen / nonlinear / direct solver suite",
@@ -99,7 +100,10 @@ fn main() {
 
     // ---- NOX: Bratu continuation -----------------------------------------
     println!("\nNOX role — Bratu -u'' = lambda e^u, Newton-Krylov:");
-    println!("{:>8} {:>8} {:>12} {:>14}", "lambda", "newton", "time", "max(u)");
+    println!(
+        "{:>8} {:>8} {:>12} {:>14}",
+        "lambda", "newton", "time", "max(u)"
+    );
     for lambda in [0.5, 1.0, 2.0, 3.0] {
         let out = Universe::run(2, move |comm| {
             let n = 64;
@@ -118,7 +122,10 @@ fn main() {
     // 2-D Laplacians: CG needs only O(grid) iterations, so the dense
     // direct solver's O(n³) loses early — the canonical crossover.
     println!("\nAmesos role — direct LU vs CG (2-D Laplace, one solve incl. setup):");
-    println!("{:>8} {:>14} {:>14} {:>10}", "n", "direct", "cg(1e-10)", "winner");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "n", "direct", "cg(1e-10)", "winner"
+    );
     for grid in [8usize, 16, 32, 64] {
         let n = grid * grid;
         let out = Universe::run(2, move |comm| {

@@ -5,6 +5,7 @@ use bench::{fmt_s, timed};
 use odin::OdinContext;
 
 fn main() {
+    let _obs = bench::obs_init();
     bench::header(
         "E15",
         "distributed file IO",

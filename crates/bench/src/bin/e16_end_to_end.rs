@@ -8,6 +8,7 @@ use seamless::Type;
 use solvers::NewtonConfig;
 
 fn main() {
+    let _obs = bench::obs_init();
     bench::header(
         "E16",
         "end-to-end composition (Fig. 2 / §V user story)",
@@ -27,12 +28,9 @@ fn main() {
 
     // stage 2: Seamless compiles the model callback + a data kernel
     let (kernels, t_compile) = timed(|| {
-        let g = seamless::compile_kernel(
-            "def g(u: float):\n    return exp(u)\n",
-            "g",
-            &[Type::Float],
-        )
-        .unwrap();
+        let g =
+            seamless::compile_kernel("def g(u: float):\n    return exp(u)\n", "g", &[Type::Float])
+                .unwrap();
         let dg = seamless::compile_kernel(
             "def dg(u: float):\n    return exp(u)\n",
             "dg",
@@ -62,9 +60,8 @@ fn main() {
         g,
         dg,
     };
-    let ((u, st), t_solve) = timed(|| {
-        newton_with_pyish_reaction(ctx, problem, NewtonConfig::default())
-    });
+    let ((u, st), t_solve) =
+        timed(|| newton_with_pyish_reaction(ctx, problem, NewtonConfig::default()));
     assert!(st.converged);
     let umax = u.to_vec().iter().cloned().fold(0.0f64, f64::max);
 

@@ -8,6 +8,40 @@
 
 use std::time::Instant;
 
+/// RAII handle from [`obs_init`]; flushes observability output (trace
+/// file, text report, `--metrics-json` dump) when the experiment exits.
+pub struct ObsSession {
+    metrics_json: bool,
+}
+
+/// Initialize observability for an experiment binary. Recognizes the
+/// `--metrics-json` CLI flag — enable recording and print the metrics
+/// registry as JSON on stdout when the run finishes — in addition to the
+/// `HPC_TRACE` / `HPC_METRICS` environment variables honored by
+/// [`obs::init_from_env`]. Call first in `main` and hold the guard:
+///
+/// ```no_run
+/// let _obs = bench::obs_init();
+/// // ... experiment ...
+/// ```
+pub fn obs_init() -> ObsSession {
+    let metrics_json = std::env::args().any(|a| a == "--metrics-json");
+    if metrics_json {
+        obs::set_enabled(true);
+    }
+    obs::init_from_env();
+    ObsSession { metrics_json }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        if self.metrics_json {
+            println!("{}", obs::report::metrics_json());
+        }
+        obs::finalize();
+    }
+}
+
 /// Time a closure, returning (result, seconds).
 pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     let t0 = Instant::now();

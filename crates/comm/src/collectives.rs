@@ -66,6 +66,16 @@ impl ReduceOp {
     }
 }
 
+impl CollectiveAlgo {
+    fn label(self) -> &'static str {
+        match self {
+            CollectiveAlgo::Linear => "linear",
+            CollectiveAlgo::Tree => "tree",
+            CollectiveAlgo::RecursiveDoubling => "rd",
+        }
+    }
+}
+
 impl Comm {
     fn next_coll_tag(&self) -> Tag {
         let s = self.coll_seq.get();
@@ -73,9 +83,42 @@ impl Comm {
         MAX_USER_TAG + ((s as u32) & (MAX_USER_TAG - 1))
     }
 
+    /// Span start for a collective; `None` unless observability is on.
+    fn coll_span(&self) -> Option<obs::span::SpanTimer> {
+        if obs::enabled() {
+            Some(obs::span::span_start(self.virtual_time()))
+        } else {
+            None
+        }
+    }
+
+    /// Close a collective span, named `op(algo)`, e.g. `allreduce(tree)`.
+    /// Composite collectives (linear/tree allreduce = reduce + bcast,
+    /// exscan = scan + shift) nest their constituents' spans inside.
+    #[cold]
+    fn coll_finish(&self, timer: obs::span::SpanTimer, op: &'static str) {
+        timer.finish(
+            "comm",
+            format!("{op}({})", self.algo().label()),
+            self.virtual_time(),
+            &[("ranks", self.size() as f64)],
+        );
+        obs::global()
+            .counter(&obs::registry::key("comm.collectives", &[("op", op)]))
+            .inc();
+    }
+
     /// Block until every rank of the communicator has entered the barrier.
     /// Dissemination algorithm: ⌈log₂ P⌉ rounds.
     pub fn barrier(&self) {
+        let timer = self.coll_span();
+        self.barrier_impl();
+        if let Some(t) = timer {
+            self.coll_finish(t, "barrier");
+        }
+    }
+
+    fn barrier_impl(&self) {
         let size = self.size();
         if size == 1 {
             return;
@@ -94,6 +137,15 @@ impl Comm {
     /// Broadcast from `root`. The root passes `Some(value)`, everyone else
     /// `None`; all ranks return the value.
     pub fn bcast<T: Wire>(&self, root: usize, value: Option<T>) -> T {
+        let timer = self.coll_span();
+        let out = self.bcast_impl(root, value);
+        if let Some(t) = timer {
+            self.coll_finish(t, "bcast");
+        }
+        out
+    }
+
+    fn bcast_impl<T: Wire>(&self, root: usize, value: Option<T>) -> T {
         let size = self.size();
         if self.rank() == root {
             assert!(value.is_some(), "bcast root must supply a value");
@@ -154,6 +206,19 @@ impl Comm {
         T: Wire + Clone,
         F: Fn(&T, &T) -> T,
     {
+        let timer = self.coll_span();
+        let out = self.reduce_impl(root, value, op);
+        if let Some(t) = timer {
+            self.coll_finish(t, "reduce");
+        }
+        out
+    }
+
+    fn reduce_impl<T, F>(&self, root: usize, value: &T, op: F) -> Option<T>
+    where
+        T: Wire + Clone,
+        F: Fn(&T, &T) -> T,
+    {
         let size = self.size();
         if size == 1 {
             return Some(value.clone());
@@ -166,10 +231,10 @@ impl Comm {
                     let mut acc: Option<T> = None;
                     let mut inbox: Vec<Option<T>> = (0..size).map(|_| None).collect();
                     inbox[root] = Some(value.clone());
-                    for r in 0..size {
+                    for (r, slot) in inbox.iter_mut().enumerate() {
                         if r != root {
                             let (v, _) = self.recv::<T>(Src::Rank(r), tag).expect("reduce recv");
-                            inbox[r] = Some(v);
+                            *slot = Some(v);
                         }
                     }
                     for v in inbox.into_iter().flatten() {
@@ -217,6 +282,19 @@ impl Comm {
 
     /// Reduce with `op` and give every rank the result.
     pub fn allreduce<T, F>(&self, value: &T, op: F) -> T
+    where
+        T: Wire + Clone,
+        F: Fn(&T, &T) -> T,
+    {
+        let timer = self.coll_span();
+        let out = self.allreduce_impl(value, op);
+        if let Some(t) = timer {
+            self.coll_finish(t, "allreduce");
+        }
+        out
+    }
+
+    fn allreduce_impl<T, F>(&self, value: &T, op: F) -> T
     where
         T: Wire + Clone,
         F: Fn(&T, &T) -> T,
@@ -289,15 +367,24 @@ impl Comm {
 
     /// Gather every rank's value to `root`, in rank order.
     pub fn gather<T: Wire + Clone>(&self, root: usize, value: &T) -> Option<Vec<T>> {
+        let timer = self.coll_span();
+        let out = self.gather_impl(root, value);
+        if let Some(t) = timer {
+            self.coll_finish(t, "gather");
+        }
+        out
+    }
+
+    fn gather_impl<T: Wire + Clone>(&self, root: usize, value: &T) -> Option<Vec<T>> {
         let size = self.size();
         let tag = self.next_coll_tag();
         if self.rank() == root {
             let mut out: Vec<Option<T>> = (0..size).map(|_| None).collect();
             out[root] = Some(value.clone());
-            for r in 0..size {
+            for (r, slot) in out.iter_mut().enumerate() {
                 if r != root {
                     let (v, _) = self.recv::<T>(Src::Rank(r), tag).expect("gather recv");
-                    out[r] = Some(v);
+                    *slot = Some(v);
                 }
             }
             Some(out.into_iter().map(|v| v.unwrap()).collect())
@@ -309,6 +396,15 @@ impl Comm {
 
     /// Gather every rank's value to every rank, in rank order.
     pub fn allgather<T: Wire + Clone>(&self, value: &T) -> Vec<T> {
+        let timer = self.coll_span();
+        let out = self.allgather_impl(value);
+        if let Some(t) = timer {
+            self.coll_finish(t, "allgather");
+        }
+        out
+    }
+
+    fn allgather_impl<T: Wire + Clone>(&self, value: &T) -> Vec<T> {
         let size = self.size();
         if size == 1 {
             return vec![value.clone()];
@@ -344,6 +440,15 @@ impl Comm {
     /// Scatter one value per rank from `root` (root passes `Some(vec)` with
     /// exactly `size` entries); each rank returns its entry.
     pub fn scatter<T: Wire + Clone>(&self, root: usize, values: Option<Vec<T>>) -> T {
+        let timer = self.coll_span();
+        let out = self.scatter_impl(root, values);
+        if let Some(t) = timer {
+            self.coll_finish(t, "scatter");
+        }
+        out
+    }
+
+    fn scatter_impl<T: Wire + Clone>(&self, root: usize, values: Option<Vec<T>>) -> T {
         let size = self.size();
         let tag = self.next_coll_tag();
         if self.rank() == root {
@@ -363,14 +468,25 @@ impl Comm {
             }
             own.unwrap()
         } else {
-            self.recv::<T>(Src::Rank(root), tag).expect("scatter recv").0
+            self.recv::<T>(Src::Rank(root), tag)
+                .expect("scatter recv")
+                .0
         }
     }
 
     /// Personalized all-to-all: `outgoing[d]` is this rank's payload for
     /// rank `d`; returns `incoming[s]` = rank `s`'s payload for this rank.
     /// Pairwise-exchange schedule, `P-1` rounds plus a local move.
-    pub fn alltoallv<T: Wire>(&self, mut outgoing: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    pub fn alltoallv<T: Wire>(&self, outgoing: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let timer = self.coll_span();
+        let out = self.alltoallv_impl(outgoing);
+        if let Some(t) = timer {
+            self.coll_finish(t, "alltoallv");
+        }
+        out
+    }
+
+    fn alltoallv_impl<T: Wire>(&self, mut outgoing: Vec<Vec<T>>) -> Vec<Vec<T>> {
         let size = self.size();
         assert_eq!(
             outgoing.len(),
@@ -384,7 +500,8 @@ impl Comm {
             let tag = self.next_coll_tag();
             let dest = (rank + shift) % size;
             let src = (rank + size - shift) % size;
-            self.send(dest, tag, &outgoing[dest]).expect("alltoall send");
+            self.send(dest, tag, &outgoing[dest])
+                .expect("alltoall send");
             let (v, _) = self
                 .recv::<Vec<T>>(Src::Rank(src), tag)
                 .expect("alltoall recv");
@@ -400,6 +517,19 @@ impl Comm {
         T: Wire + Clone,
         F: Fn(&T, &T) -> T,
     {
+        let timer = self.coll_span();
+        let out = self.scan_impl(value, op);
+        if let Some(t) = timer {
+            self.coll_finish(t, "scan");
+        }
+        out
+    }
+
+    fn scan_impl<T, F>(&self, value: &T, op: F) -> T
+    where
+        T: Wire + Clone,
+        F: Fn(&T, &T) -> T,
+    {
         let size = self.size();
         let rank = self.rank();
         let mut acc = value.clone();
@@ -410,9 +540,7 @@ impl Comm {
                 self.send(rank + d, tag, &acc).expect("scan send");
             }
             if rank >= d {
-                let (v, _) = self
-                    .recv::<T>(Src::Rank(rank - d), tag)
-                    .expect("scan recv");
+                let (v, _) = self.recv::<T>(Src::Rank(rank - d), tag).expect("scan recv");
                 acc = op(&v, &acc);
             }
             d <<= 1;
@@ -423,6 +551,19 @@ impl Comm {
     /// Exclusive prefix reduction: rank `i` gets `op(v₀, …, vᵢ₋₁)`, rank 0
     /// gets `identity`.
     pub fn exscan<T, F>(&self, value: &T, identity: T, op: F) -> T
+    where
+        T: Wire + Clone,
+        F: Fn(&T, &T) -> T,
+    {
+        let timer = self.coll_span();
+        let out = self.exscan_impl(value, identity, op);
+        if let Some(t) = timer {
+            self.coll_finish(t, "exscan");
+        }
+        out
+    }
+
+    fn exscan_impl<T, F>(&self, value: &T, identity: T, op: F) -> T
     where
         T: Wire + Clone,
         F: Fn(&T, &T) -> T,

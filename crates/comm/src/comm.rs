@@ -2,10 +2,9 @@
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
-
-use crossbeam::channel::{Receiver, Sender};
 
 use crate::collectives::CollectiveAlgo;
 use crate::error::CommError;
@@ -190,6 +189,50 @@ impl Comm {
         }
     }
 
+    /// Registry labels use the *global* rank so sub-communicator traffic
+    /// aggregates onto the same per-rank series as world traffic.
+    #[cold]
+    fn obs_count_send(&self, n: usize, virt_start: f64, virt_end: f64, dest: usize, tag: Tag) {
+        let timer = obs::span::span_start(virt_start);
+        timer.finish(
+            "comm",
+            "send",
+            virt_end,
+            &[
+                ("bytes", n as f64),
+                ("dest", self.group[dest] as f64),
+                ("tag", tag as f64),
+            ],
+        );
+        let rank = self.group[self.rank].to_string();
+        let g = obs::global();
+        g.counter(&obs::registry::key("comm.msgs_sent", &[("rank", &rank)]))
+            .inc();
+        g.counter(&obs::registry::key("comm.bytes_sent", &[("rank", &rank)]))
+            .add(n as u64);
+        g.histogram("comm.sent_msg_bytes").record(n as u64);
+    }
+
+    #[cold]
+    fn obs_count_recv(&self, timer: obs::span::SpanTimer, status: &Status, virt_end: f64) {
+        timer.finish(
+            "comm",
+            "recv",
+            virt_end,
+            &[
+                ("bytes", status.bytes as f64),
+                ("src", self.group[status.src] as f64),
+                ("tag", status.tag as f64),
+            ],
+        );
+        let rank = self.group[self.rank].to_string();
+        let g = obs::global();
+        g.counter(&obs::registry::key("comm.msgs_recv", &[("rank", &rank)]))
+            .inc();
+        g.counter(&obs::registry::key("comm.bytes_recv", &[("rank", &rank)]))
+            .add(status.bytes as u64);
+    }
+
     /// Send raw bytes to `dest` (communicator-local) with `tag`.
     pub fn send_bytes(&self, dest: usize, tag: Tag, bytes: Vec<u8>) -> Result<(), CommError> {
         self.check_rank(dest)?;
@@ -198,13 +241,17 @@ impl Comm {
         // emits bytes sequentially — without this, a rank could "send" P
         // large messages for free and linear broadcasts would look ideal).
         let dt = self.model.overhead_s + n as f64 * self.model.seconds_per_byte;
-        let depart = self.state.clock.get() + dt;
+        let start = self.state.clock.get();
+        let depart = start + dt;
         self.state.clock.set(depart);
         {
             let mut st = self.state.stats.borrow_mut();
             st.msgs_sent += 1;
             st.bytes_sent += n as u64;
             st.modeled_comm_s += dt;
+        }
+        if obs::enabled() {
+            self.obs_count_send(n, start, depart, dest, tag);
         }
         self.senders[self.group[dest]]
             .send(Envelope {
@@ -236,12 +283,22 @@ impl Comm {
         if let Src::Rank(r) = src {
             self.check_rank(r)?;
         }
+        let timer = if obs::enabled() {
+            Some(obs::span::span_start(self.state.clock.get()))
+        } else {
+            None
+        };
         // First scan messages that arrived earlier but did not match then.
         {
             let mut pending = self.state.pending.borrow_mut();
             if let Some(i) = pending.iter().position(|e| self.matches(e, src, tag)) {
                 let env = pending.remove(i);
-                return Ok(self.deliver(env));
+                drop(pending);
+                let out = self.deliver(env);
+                if let Some(t) = timer {
+                    self.obs_count_recv(t, &out.1, self.state.clock.get());
+                }
+                return Ok(out);
             }
         }
         let t0 = Instant::now();
@@ -249,7 +306,11 @@ impl Comm {
             let env = self.state.rx.recv().map_err(|_| CommError::Disconnected)?;
             if self.matches(&env, src, tag) {
                 self.state.stats.borrow_mut().wall_recv_s += t0.elapsed().as_secs_f64();
-                return Ok(self.deliver(env));
+                let out = self.deliver(env);
+                if let Some(t) = timer {
+                    self.obs_count_recv(t, &out.1, self.state.clock.get());
+                }
+                return Ok(out);
             }
             self.state.pending.borrow_mut().push(env);
         }

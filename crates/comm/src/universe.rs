@@ -3,7 +3,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel::unbounded;
+use std::sync::mpsc::channel;
 
 use crate::collectives::CollectiveAlgo;
 use crate::comm::{Comm, Envelope};
@@ -53,10 +53,11 @@ impl Universe {
         F: Fn(&mut Comm) -> R + Send + Sync,
     {
         assert!(size > 0, "a job needs at least one rank");
+        obs::init_from_env();
         let mut senders = Vec::with_capacity(size);
         let mut receivers = Vec::with_capacity(size);
         for _ in 0..size {
-            let (tx, rx) = unbounded::<Envelope>();
+            let (tx, rx) = channel::<Envelope>();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -69,6 +70,7 @@ impl Universe {
             for (rank, rx) in receivers.into_iter().enumerate() {
                 let senders = Arc::clone(&senders);
                 handles.push(scope.spawn(move || {
+                    let _obs = obs::RankGuard::enter(rank);
                     let mut comm =
                         Comm::new_world(rank, size, senders, rx, config.model, config.algo);
                     let result = f(&mut comm);
@@ -144,11 +146,12 @@ impl Universe {
         G: FnMut(usize) -> T,
     {
         assert!(size > 0, "a job needs at least one rank");
+        obs::init_from_env();
         let mut seed_fn = seed_fn;
         let mut senders = Vec::with_capacity(size);
         let mut receivers = Vec::with_capacity(size);
         for _ in 0..size {
-            let (tx, rx) = unbounded::<Envelope>();
+            let (tx, rx) = channel::<Envelope>();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -160,6 +163,7 @@ impl Universe {
             let f = Arc::clone(&f);
             let seed = seed_fn(rank);
             handles.push(std::thread::spawn(move || {
+                let _obs = obs::RankGuard::enter(rank);
                 let mut comm = Comm::new_world(rank, size, senders, rx, config.model, config.algo);
                 let result = f(&mut comm, seed);
                 (result, comm.stats(), comm.virtual_time())
@@ -225,7 +229,7 @@ mod tests {
 
     #[test]
     fn spawn_runs_detached_pool() {
-        use crossbeam::channel::unbounded as chan;
+        use std::sync::mpsc::channel as chan;
         let mut inboxes = Vec::new();
         let detached = Universe::spawn(
             UniverseConfig::default(),

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use odin::{DistArray, Dist, DType, OdinContext};
+use odin::{DType, Dist, DistArray, OdinContext};
 use solvers::{cg, gmres, AmgPreconditioner, IdentityPrecond, JacobiPrecond, KrylovConfig};
 
 /// Which solver the bridge dispatches to.
@@ -64,14 +64,11 @@ where
         } else {
             Some(b.astype(DType::F64))
         };
-        owned_block = as_f64
-            .as_ref()
-            .unwrap_or(b)
-            .redistribute(Dist::Block);
+        owned_block = as_f64.as_ref().unwrap_or(b).redistribute(Dist::Block);
         &owned_block
     };
     let x = ctx.zeros(&[meta.shape[0]], DType::F64);
-    let report = Arc::new(parking_lot::Mutex::new(None::<BridgeReport>));
+    let report = Arc::new(std::sync::Mutex::new(None::<BridgeReport>));
     let report2 = Arc::clone(&report);
     let row_fn = Arc::new(row_fn);
     ctx.run_spmd(&[b_block, &x], move |scope, args| {
@@ -95,7 +92,7 @@ where
         };
         scope.store_dist_vector(x_id, &xv);
         if scope.rank() == 0 {
-            *report2.lock() = Some(BridgeReport {
+            *report2.lock().unwrap() = Some(BridgeReport {
                 redistributed: false, // patched below on the master
                 iterations: status.iterations,
                 converged: status.converged,
@@ -103,7 +100,7 @@ where
             });
         }
     });
-    let mut rep = report.lock().take().expect("worker 0 must report");
+    let mut rep = report.lock().unwrap().take().expect("worker 0 must report");
     rep.redistributed = redistributed;
     (x, rep)
 }
@@ -222,7 +219,8 @@ mod tests {
             }
             row
         };
-        let (_x, amg) = solve_with_odin_rhs(&ctx, &b, row, SolveMethod::CgAmg, KrylovConfig::default());
+        let (_x, amg) =
+            solve_with_odin_rhs(&ctx, &b, row, SolveMethod::CgAmg, KrylovConfig::default());
         assert!(amg.converged);
         let row2 = move |g: usize| {
             let (i, j) = (g % nx, g / nx);

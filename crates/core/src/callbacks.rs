@@ -19,7 +19,11 @@ use solvers::{newton_krylov, NewtonConfig, NonlinearProblem, SolveStatus};
 /// array argument) to every worker's segment of a distributed array — the
 /// `@odin.local`-plus-`@jit` composition. Collective.
 pub fn apply_kernel(ctx: &OdinContext, arr: &DistArray<'_>, kernel: &CompiledKernel) {
-    assert_eq!(kernel.arg_types(), &[Type::ArrF], "kernel must take one float array");
+    assert_eq!(
+        kernel.arg_types(),
+        &[Type::ArrF],
+        "kernel must take one float array"
+    );
     let kernel = Arc::new(kernel.clone());
     ctx.run_spmd(&[arr], move |scope, args| {
         let mut data = match scope.local_mut(args[0]) {
@@ -134,7 +138,7 @@ pub fn newton_with_pyish_reaction<'c>(
     cfg: NewtonConfig,
 ) -> (DistArray<'c>, SolveStatus) {
     let x = ctx.zeros(&[problem.n], odin::DType::F64);
-    let status = Arc::new(parking_lot::Mutex::new(None::<SolveStatus>));
+    let status = Arc::new(std::sync::Mutex::new(None::<SolveStatus>));
     let status2 = Arc::clone(&status);
     let problem = Arc::new(problem);
     ctx.run_spmd(&[&x], move |scope, args| {
@@ -142,10 +146,10 @@ pub fn newton_with_pyish_reaction<'c>(
         let st = newton_krylov(scope.comm, problem.as_ref(), &mut xv, &cfg);
         scope.store_dist_vector(args[0], &xv);
         if scope.rank() == 0 {
-            *status2.lock() = Some(st);
+            *status2.lock().unwrap() = Some(st);
         }
     });
-    let st = status.lock().take().expect("worker 0 must report");
+    let st = status.lock().unwrap().take().expect("worker 0 must report");
     (x, st)
 }
 

@@ -48,7 +48,11 @@ impl<S: Scalar> CsrMatrix<S> {
         domain_map: DistMap,
         rows: Vec<Vec<(usize, S)>>,
     ) -> Self {
-        assert_eq!(rows.len(), row_map.my_count(), "one entry-list per local row");
+        assert_eq!(
+            rows.len(),
+            row_map.my_count(),
+            "one entry-list per local row"
+        );
         // Compress global column ids.
         let mut sorted_cols: Vec<usize> = rows
             .iter()
@@ -215,17 +219,20 @@ impl<S: Scalar> CsrMatrix<S> {
 
     /// `y = A·x` into an existing vector (no allocation of `y`).
     pub fn matvec_into(&self, comm: &Comm, x: &DistVector<S>, y: &mut DistVector<S>) {
-        debug_assert!(x.map().same_as(&self.domain_map), "x must use the domain map");
+        debug_assert!(
+            x.map().same_as(&self.domain_map),
+            "x must use the domain map"
+        );
         debug_assert!(y.map().same_as(&self.row_map), "y must use the row map");
         let mut ws = vec![S::zero(); self.plan.n_target()];
         self.plan.execute(comm, x.local(), &mut ws);
         let yl = y.local_mut();
-        for i in 0..self.rowptr.len() - 1 {
+        for (i, yi) in yl.iter_mut().enumerate() {
             let mut acc = S::zero();
             for k in self.rowptr[i]..self.rowptr[i + 1] {
                 acc += self.vals[k] * ws[self.colidx[k]];
             }
-            yl[i] = acc;
+            *yi = acc;
         }
         comm.advance_compute(2.0 * self.vals.len() as f64);
     }
@@ -236,11 +243,11 @@ impl<S: Scalar> CsrMatrix<S> {
         assert_eq!(self.shape().0, self.shape().1, "diagonal needs square");
         let mut d = DistVector::zeros(self.row_map.clone());
         let dl = d.local_mut();
-        for i in 0..self.rowptr.len() - 1 {
+        for (i, di) in dl.iter_mut().enumerate() {
             let g = self.row_map.local_to_global(i);
             for k in self.rowptr[i]..self.rowptr[i + 1] {
                 if self.col_gids[self.colidx[k]] == g {
-                    dl[i] += self.vals[k];
+                    *di += self.vals[k];
                 }
             }
         }
@@ -399,8 +406,7 @@ mod tests {
             let rm = DistMap::block(n, comm.size(), comm.rank());
             let dm = rm.clone();
             // both ranks contribute 0.5 to every diagonal entry
-            let triplets: Vec<(usize, usize, f64)> =
-                (0..n).map(|g| (g, g, 0.5)).collect();
+            let triplets: Vec<(usize, usize, f64)> = (0..n).map(|g| (g, g, 0.5)).collect();
             let a = CsrMatrix::from_triplets(comm, rm, dm, triplets);
             let d = a.diagonal();
             assert!(d.local().iter().all(|&v| v == 1.0));
@@ -489,9 +495,7 @@ mod tests {
             // 4x6 matrix: A[i][j] = 1 if j == i or j == i+2
             let rm = DistMap::block(4, comm.size(), comm.rank());
             let dm = DistMap::block(6, comm.size(), comm.rank());
-            let a = CsrMatrix::from_row_fn(comm, rm, dm.clone(), |g| {
-                vec![(g, 1.0), (g + 2, 1.0)]
-            });
+            let a = CsrMatrix::from_row_fn(comm, rm, dm.clone(), |g| vec![(g, 1.0), (g + 2, 1.0)]);
             let x = DistVector::from_fn(dm, |g| g as f64);
             let y = a.matvec(comm, &x).gather_global(comm);
             assert_eq!(y, vec![2.0, 4.0, 6.0, 8.0]);

@@ -42,11 +42,9 @@ where
 
 /// Read a coordinate-format matrix from `path` into block row/domain maps.
 /// Collective; rank 0 parses and entries are scattered to their owners.
-pub fn read_matrix_market<P: AsRef<Path>>(
-    comm: &Comm,
-    path: P,
-) -> std::io::Result<CsrMatrix<f64>> {
-    let parsed: Option<(usize, usize, Vec<(usize, usize, f64)>)> = if comm.rank() == 0 {
+pub fn read_matrix_market<P: AsRef<Path>>(comm: &Comm, path: P) -> std::io::Result<CsrMatrix<f64>> {
+    type Parsed = (usize, usize, Vec<(usize, usize, f64)>);
+    let parsed: Option<Parsed> = if comm.rank() == 0 {
         let f = std::fs::File::open(path)?;
         let reader = std::io::BufReader::new(f);
         let mut dims: Option<(usize, usize)> = None;
@@ -80,7 +78,9 @@ pub fn read_matrix_market<P: AsRef<Path>>(
     let row_map = DistMap::block(dims.0, comm.size(), comm.rank());
     let domain_map = DistMap::block(dims.1, comm.size(), comm.rank());
     let triplets = parsed.map(|(_, _, t)| t).unwrap_or_default();
-    Ok(CsrMatrix::from_triplets(comm, row_map, domain_map, triplets))
+    Ok(CsrMatrix::from_triplets(
+        comm, row_map, domain_map, triplets,
+    ))
 }
 
 /// Write a distributed vector as one value per line (dense array format).

@@ -109,13 +109,13 @@ impl<S: Scalar> DistMultiVector<S> {
     pub fn norms2(&self, comm: &Comm) -> Vec<S::Real> {
         let n = self.nlocal();
         let mut local = vec![S::Real::zero(); self.ncols];
-        for j in 0..self.ncols {
+        for (j, lj) in local.iter_mut().enumerate() {
             let c = self.col(j);
             let mut acc = S::Real::zero();
-            for k in 0..n {
-                acc += c[k].abs_sq();
+            for v in &c[..n] {
+                acc += v.abs_sq();
             }
-            local[j] = acc;
+            *lj = acc;
         }
         comm.advance_compute(2.0 * (self.ncols * n) as f64);
         let sums = comm.allreduce(&local, |x: &Vec<S::Real>, y: &Vec<S::Real>| {
@@ -196,12 +196,7 @@ mod tests {
         let b0 = vec![1.0; 12];
         let b1 = g.clone();
         let dot = |x: &[f64], y: &[f64]| -> f64 { x.iter().zip(y).map(|(a, b)| a * b).sum() };
-        let expect = vec![
-            dot(&a0, &b0),
-            dot(&a0, &b1),
-            dot(&a1, &b0),
-            dot(&a1, &b1),
-        ];
+        let expect = vec![dot(&a0, &b0), dot(&a0, &b1), dot(&a1, &b0), dot(&a1, &b1)];
         for got in out {
             assert_eq!(got, expect);
         }

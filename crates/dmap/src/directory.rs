@@ -87,9 +87,7 @@ impl Directory {
             })
             .collect();
         let replies = comm.alltoallv(answers);
-        slot.iter()
-            .map(|&(home, pos)| replies[home][pos])
-            .collect()
+        slot.iter().map(|&(home, pos)| replies[home][pos]).collect()
     }
 }
 

@@ -48,12 +48,7 @@ impl CommPlan {
     /// Build a gather plan: after execution, `target[i]` holds the value of
     /// global id `needed_gids[i]` taken from `src`-distributed data.
     /// Collective over `comm`.
-    pub fn gather(
-        comm: &Comm,
-        src: &DistMap,
-        dir: &Directory,
-        needed_gids: &[usize],
-    ) -> CommPlan {
+    pub fn gather(comm: &Comm, src: &DistMap, dir: &Directory, needed_gids: &[usize]) -> CommPlan {
         let p = comm.size();
         let me = comm.rank();
         let owners = dir.owners_of(comm, needed_gids);
@@ -63,9 +58,9 @@ impl CommPlan {
         let mut local = Vec::new();
         for (pos, (&g, &owner)) in needed_gids.iter().zip(owners.iter()).enumerate() {
             if owner == me {
-                let lid = src
-                    .global_to_local(g)
-                    .unwrap_or_else(|| panic!("directory says rank {me} owns gid {g}, map disagrees"));
+                let lid = src.global_to_local(g).unwrap_or_else(|| {
+                    panic!("directory says rank {me} owns gid {g}, map disagrees")
+                });
                 local.push((lid, pos));
             } else {
                 req_gids[owner].push(g);
@@ -253,8 +248,7 @@ mod tests {
             let dir = Directory::build(comm, &src);
             let plan = CommPlan::import(comm, &src, &dst, &dir);
             for round in 0..3i64 {
-                let src_data: Vec<i64> =
-                    src.my_gids().iter().map(|&g| g as i64 * round).collect();
+                let src_data: Vec<i64> = src.my_gids().iter().map(|&g| g as i64 * round).collect();
                 let out = plan.execute_to_vec(comm, &src_data);
                 let expect: Vec<i64> = dst.my_gids().iter().map(|&g| g as i64 * round).collect();
                 assert_eq!(out, expect);

@@ -22,9 +22,13 @@ enum MapKind {
     /// Contiguous blocks described by `offsets` (length `P+1`): rank `r`
     /// owns global indices `offsets[r]..offsets[r+1]`. Covers both uniform
     /// and non-uniform block maps.
-    Block { offsets: Vec<usize> },
+    Block {
+        offsets: Vec<usize>,
+    },
     Cyclic,
-    BlockCyclic { block: usize },
+    BlockCyclic {
+        block: usize,
+    },
     /// Arbitrary: this rank knows only its own global ids; cross-rank owner
     /// lookup requires a [`crate::Directory`].
     Arbitrary {
@@ -42,7 +46,6 @@ pub struct DistMap {
     my_rank: usize,
     kind: MapKind,
 }
-
 
 /// Start offset of rank `r`'s uniform block.
 pub(crate) fn block_start(n: usize, p: usize, r: usize) -> usize {
@@ -240,9 +243,7 @@ impl DistMap {
                 let (lo, hi) = (offsets[self.my_rank], offsets[self.my_rank + 1]);
                 (g >= lo && g < hi).then(|| g - lo)
             }
-            MapKind::Cyclic => {
-                (g % self.n_ranks == self.my_rank).then(|| g / self.n_ranks)
-            }
+            MapKind::Cyclic => (g % self.n_ranks == self.my_rank).then(|| g / self.n_ranks),
             MapKind::BlockCyclic { block } => {
                 let blk = g / block;
                 if blk % self.n_ranks == self.my_rank {
@@ -272,7 +273,9 @@ impl DistMap {
 
     /// All global ids owned by this rank, in local-index order.
     pub fn my_gids(&self) -> Vec<usize> {
-        (0..self.my_count()).map(|l| self.local_to_global(l)).collect()
+        (0..self.my_count())
+            .map(|l| self.local_to_global(l))
+            .collect()
     }
 
     /// Start of this rank's block (contiguous maps only).
@@ -480,7 +483,7 @@ mod tests {
     fn arbitrary_map_rejects_bad_partition() {
         comm::Universe::run(2, |comm| {
             // both ranks claim gid 0
-            let gids = vec![comm.rank() * 0];
+            let gids = vec![0];
             let _ = DistMap::from_my_gids(comm, gids);
         });
     }

@@ -45,7 +45,10 @@ mod tests {
     fn builders_cover_distributions() {
         Universe::run(3, |comm| {
             assert_eq!(block_map(comm, 10).n_global(), 10);
-            assert_eq!(cyclic_map(comm, 10).my_count(), 10 / 3 + usize::from(comm.rank() < 1));
+            assert_eq!(
+                cyclic_map(comm, 10).my_count(),
+                10 / 3 + usize::from(comm.rank() < 1)
+            );
             let m = map_with(comm, Distribution::BlockCyclic(2), 12);
             assert_eq!(m.n_global(), 12);
         });

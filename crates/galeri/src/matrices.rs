@@ -3,8 +3,7 @@
 use comm::Comm;
 use dlinalg::CsrMatrix;
 use dmap::DistMap;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use obs::SplitMix64;
 
 fn square_maps(comm: &Comm, n: usize) -> (DistMap, DistMap) {
     let m = DistMap::block(n, comm.size(), comm.rank());
@@ -119,13 +118,7 @@ pub fn anisotropic_laplace_2d(comm: &Comm, nx: usize, ny: usize, eps: f64) -> Cs
 /// nonsymmetric for `beta ≠ 0`; exercises GMRES/BiCGStab.
 pub fn advection_diffusion_1d(comm: &Comm, n: usize, beta: f64) -> CsrMatrix<f64> {
     let h = 1.0 / (n as f64 + 1.0);
-    tridiag(
-        comm,
-        n,
-        -1.0 - 0.5 * beta * h,
-        2.0,
-        -1.0 + 0.5 * beta * h,
-    )
+    tridiag(comm, n, -1.0 - 0.5 * beta * h, 2.0, -1.0 + 0.5 * beta * h)
 }
 
 /// Identity matrix.
@@ -140,12 +133,12 @@ pub fn identity(comm: &Comm, n: usize) -> CsrMatrix<f64> {
 /// globally, then kept if locally owned).
 pub fn random_spd(comm: &Comm, n: usize, off_per_row: usize, seed: u64) -> CsrMatrix<f64> {
     // Generate the global symmetric pattern identically on every rank.
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut entries: Vec<(usize, usize, f64)> = Vec::new();
     for i in 0..n {
         for _ in 0..off_per_row {
-            let j = rng.gen_range(0..n);
-            let v = -rng.gen_range(0.1..1.0);
+            let j = rng.gen_index(n);
+            let v = -rng.gen_range_f64(0.1, 1.0);
             if i != j {
                 entries.push((i, j, v));
                 entries.push((j, i, v));

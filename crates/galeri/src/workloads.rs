@@ -3,16 +3,15 @@
 use comm::Comm;
 use dlinalg::DistVector;
 use dmap::DistMap;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use obs::SplitMix64;
 
 /// Deterministic random vector: values depend only on the global index and
 /// seed, so results are identical for every rank count.
 pub fn random_vector(comm: &Comm, n: usize, seed: u64) -> DistVector<f64> {
     let map = DistMap::block(n, comm.size(), comm.rank());
     DistVector::from_fn(map, move |g| {
-        let mut rng = StdRng::seed_from_u64(seed ^ (g as u64).wrapping_mul(0x9e3779b97f4a7c15));
-        rng.gen_range(-1.0..1.0)
+        let mut rng = SplitMix64::new(seed ^ (g as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        rng.gen_range_f64(-1.0, 1.0)
     })
 }
 

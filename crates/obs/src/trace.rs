@@ -1,0 +1,160 @@
+//! Chrome-trace / Perfetto JSON exporter.
+//!
+//! Produces the `traceEvents` format understood by `chrome://tracing` and
+//! <https://ui.perfetto.dev>: one *process* per simulated rank (pid =
+//! rank + 1; pid 0 is the driver/master thread), complete (`"ph":"X"`)
+//! events whose timeline axis is the rank's **virtual clock** in
+//! microseconds, with the measured wall-clock times attached as event
+//! arguments. Registry metrics ride along under `otherData.metrics`.
+
+use std::fmt::Write as _;
+
+use crate::span;
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // JSON has no NaN/Inf; finite values print losslessly enough for
+        // trace timestamps at microsecond scale.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn pid_of(rank: Option<usize>) -> usize {
+    match rank {
+        None => 0,
+        Some(r) => r + 1,
+    }
+}
+
+/// Render the full Chrome-trace JSON document from the current span
+/// buffers and registry. Returns `(json, n_events)`.
+pub fn chrome_trace_json() -> (String, usize) {
+    let rings = span::snapshot_all();
+    let mut out = String::with_capacity(1 << 16);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut n_events = 0usize;
+    // Process-name metadata: one entry per distinct pid.
+    let mut pids: Vec<(usize, String)> = Vec::new();
+    for (rank, _, _) in &rings {
+        let pid = pid_of(*rank);
+        let label = match rank {
+            None => "driver".to_string(),
+            Some(r) => format!("rank {r}"),
+        };
+        if !pids.iter().any(|(p, _)| *p == pid) {
+            pids.push((pid, label));
+        }
+    }
+    pids.sort();
+    for (pid, label) in &pids {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(label)
+        );
+    }
+    for (rank, dropped, events) in &rings {
+        let pid = pid_of(*rank);
+        if *dropped > 0 {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"name\":\"ring_dropped_events\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"dropped\":{dropped}}}}}"
+            );
+        }
+        for ev in events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            n_events += 1;
+            let ts_us = ev.virt_start_s * 1e6;
+            let dur_us = ((ev.virt_end_s - ev.virt_start_s) * 1e6).max(0.0);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{pid},\"tid\":0,\
+                 \"ts\":{},\"dur\":{},\"args\":{{\"wall_ts_us\":{},\"wall_dur_us\":{}",
+                escape_json(&ev.name),
+                escape_json(ev.cat),
+                fmt_f64(ts_us),
+                fmt_f64(dur_us),
+                fmt_f64(ev.wall_start_s * 1e6),
+                fmt_f64((ev.wall_end_s - ev.wall_start_s) * 1e6),
+            );
+            for (k, v) in &ev.args {
+                let _ = write!(out, ",\"{}\":{}", escape_json(k), fmt_f64(*v));
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"metrics\":");
+    out.push_str(&crate::report::metrics_json());
+    out.push_str("}}");
+    (out, n_events)
+}
+
+/// Write the Chrome trace to `path`; returns the number of span events.
+pub fn write_chrome_trace(path: &str) -> std::io::Result<usize> {
+    let (json, n) = chrome_trace_json();
+    std::fs::write(path, json)?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn trace_document_is_valid_json_and_has_metadata() {
+        span::clear_all();
+        let t = span::span_start(0.001);
+        t.finish("testcat", "trace-doc-span", 0.002, &[("bytes", 42.0)]);
+        crate::registry::global()
+            .counter("trace.test_counter")
+            .add(3);
+        let (json, n) = chrome_trace_json();
+        assert!(n >= 1);
+        crate::json::validate(&json).expect("trace must be valid JSON");
+        assert!(json.contains("\"cat\":\"testcat\""));
+        assert!(json.contains("trace-doc-span"));
+        assert!(json.contains("process_name"));
+        assert!(json.contains("trace.test_counter"));
+    }
+}

@@ -142,10 +142,8 @@ impl<'c> DistArray<'c> {
                 // Prefer the side already in Block layout as the target.
                 if ma.dist == Dist::Block {
                     true
-                } else if mb.dist == Dist::Block {
-                    false
                 } else {
-                    true
+                    mb.dist != Dist::Block
                 }
             }
         };
@@ -236,7 +234,10 @@ impl<'c> DistArray<'c> {
         let meta = self.meta();
         assert_eq!(specs.len(), meta.ndim(), "one spec per dimension");
         for (spec, &dim) in specs.iter().zip(meta.shape.iter()) {
-            assert!(spec.stop <= dim, "slice beyond dimension ({spec:?} vs {dim})");
+            assert!(
+                spec.stop <= dim,
+                "slice beyond dimension ({spec:?} vs {dim})"
+            );
         }
         let out = self.ctx.alloc_id();
         let out_meta = ArrayMeta {
@@ -416,11 +417,7 @@ impl OdinContext {
 
     /// Constant array.
     pub fn full(&self, shape: &[usize], value: f64, dist: Dist) -> DistArray<'_> {
-        let dtype = if value.fract() == 0.0 {
-            DType::F64 // NumPy's np.full defaults to float
-        } else {
-            DType::F64
-        };
+        let dtype = DType::F64; // NumPy's np.full defaults to float
         self.create(shape.to_vec(), dtype, dist, Fill::Full(value))
     }
 
@@ -446,13 +443,23 @@ impl OdinContext {
     /// `n` evenly spaced points in `[start, stop]` — the paper's
     /// `odin.linspace(1, 2*pi, 10**8)`.
     pub fn linspace(&self, start: f64, stop: f64, n: usize) -> DistArray<'_> {
-        self.create(vec![n], DType::F64, Dist::Block, Fill::Linspace { start, stop })
+        self.create(
+            vec![n],
+            DType::F64,
+            Dist::Block,
+            Fill::Linspace { start, stop },
+        )
     }
 
     /// Deterministic uniform-random array — the paper's
     /// `odin.random((10**6, 10**6))`.
     pub fn random(&self, shape: &[usize], seed: u64) -> DistArray<'_> {
-        self.create(shape.to_vec(), DType::F64, Dist::Block, Fill::Random { seed })
+        self.create(
+            shape.to_vec(),
+            DType::F64,
+            Dist::Block,
+            Fill::Random { seed },
+        )
     }
 
     /// Random with a chosen distribution.
@@ -612,11 +619,7 @@ mod tests {
         let x = ctx.arange(6); // 0..5 i64
         let half = x.binary_scalar(2.5, BinOp::Gt, false);
         assert_eq!(half.dtype(), DType::Bool);
-        assert_eq!(
-            half.to_vec_i64(),
-            vec![0, 0, 0, 1, 1, 1],
-            "x > 2.5 mask"
-        );
+        assert_eq!(half.to_vec_i64(), vec![0, 0, 0, 1, 1, 1], "x > 2.5 mask");
         let as_f = x.astype(DType::F64);
         assert_eq!(as_f.dtype(), DType::F64);
         assert_eq!(as_f.to_vec(), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
@@ -653,10 +656,15 @@ mod tests {
         // 2-D: 6 rows × 4 cols, values = flat index
         let a = ctx.arange_f64(0.0, 1.0, 24, Dist::Block);
         // reshape is not supported; build 2-D directly instead
-        let b = ctx.create(vec![6, 4], DType::F64, Dist::Block, Fill::Arange {
-            start: 0.0,
-            step: 1.0,
-        });
+        let b = ctx.create(
+            vec![6, 4],
+            DType::F64,
+            Dist::Block,
+            Fill::Arange {
+                start: 0.0,
+                step: 1.0,
+            },
+        );
         drop(a);
         let s = b.slice(&[SliceSpec::new(1, 6, 2), SliceSpec::new(0, 4, 3)]);
         // rows 1,3,5; cols 0,3 → values r*4+c

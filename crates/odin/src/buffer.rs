@@ -312,15 +312,21 @@ pub fn apply_binary(op: BinOp, a: &Buffer, b: &Buffer) -> Buffer {
         }
     }
     match out {
-        DType::F64 => {
-            Buffer::F64((0..n).map(|i| binop_f64(op, a.get_f64(i), b.get_f64(i))).collect())
-        }
-        DType::I64 => {
-            Buffer::I64((0..n).map(|i| binop_i64(op, a.get_i64(i), b.get_i64(i))).collect())
-        }
-        DType::Bool => {
-            Buffer::Bool((0..n).map(|i| binop_cmp(op, a.get_f64(i), b.get_f64(i))).collect())
-        }
+        DType::F64 => Buffer::F64(
+            (0..n)
+                .map(|i| binop_f64(op, a.get_f64(i), b.get_f64(i)))
+                .collect(),
+        ),
+        DType::I64 => Buffer::I64(
+            (0..n)
+                .map(|i| binop_i64(op, a.get_i64(i), b.get_i64(i)))
+                .collect(),
+        ),
+        DType::Bool => Buffer::Bool(
+            (0..n)
+                .map(|i| binop_cmp(op, a.get_f64(i), b.get_f64(i)))
+                .collect(),
+        ),
     }
 }
 
@@ -345,7 +351,13 @@ pub fn apply_binary_scalar(op: BinOp, a: &Buffer, scalar: f64, scalar_left: bool
         let e = scalar as i32;
         return Buffer::F64((0..n).map(|i| a.get_f64(i).powi(e)).collect());
     }
-    let pick = |x: f64| if scalar_left { (scalar, x) } else { (x, scalar) };
+    let pick = |x: f64| {
+        if scalar_left {
+            (scalar, x)
+        } else {
+            (x, scalar)
+        }
+    };
     match out {
         DType::F64 => Buffer::F64(
             (0..n)
@@ -429,7 +441,10 @@ mod tests {
     #[test]
     fn unary_ops() {
         let a = Buffer::F64(vec![0.0, 1.0, 4.0]);
-        assert_eq!(apply_unary(UnaryOp::Sqrt, &a), Buffer::F64(vec![0.0, 1.0, 2.0]));
+        assert_eq!(
+            apply_unary(UnaryOp::Sqrt, &a),
+            Buffer::F64(vec![0.0, 1.0, 2.0])
+        );
         let b = Buffer::I64(vec![-2, 3]);
         assert_eq!(apply_unary(UnaryOp::Neg, &b), Buffer::I64(vec![2, -3]));
         assert_eq!(apply_unary(UnaryOp::Abs, &b), Buffer::I64(vec![2, 3]));
@@ -438,7 +453,10 @@ mod tests {
         assert_eq!(apply_unary(UnaryOp::Sin, &c), Buffer::F64(vec![0.0]));
         // logical not
         let d = Buffer::Bool(vec![true, false]);
-        assert_eq!(apply_unary(UnaryOp::Not, &d), Buffer::Bool(vec![false, true]));
+        assert_eq!(
+            apply_unary(UnaryOp::Not, &d),
+            Buffer::Bool(vec![false, true])
+        );
     }
 
     #[test]
@@ -449,10 +467,7 @@ mod tests {
             apply_binary(BinOp::Add, &i, &f),
             Buffer::F64(vec![1.5, 2.5, 3.5])
         );
-        assert_eq!(
-            apply_binary(BinOp::Add, &i, &i),
-            Buffer::I64(vec![2, 4, 6])
-        );
+        assert_eq!(apply_binary(BinOp::Add, &i, &i), Buffer::I64(vec![2, 4, 6]));
         // int/int division is float (true division, like NumPy / Python 3)
         assert_eq!(
             apply_binary(BinOp::Div, &i, &i),
@@ -505,10 +520,7 @@ mod tests {
     fn astype_conversions() {
         let f = Buffer::F64(vec![0.0, 1.7, -2.3]);
         assert_eq!(f.astype(DType::I64), Buffer::I64(vec![0, 1, -2]));
-        assert_eq!(
-            f.astype(DType::Bool),
-            Buffer::Bool(vec![false, true, true])
-        );
+        assert_eq!(f.astype(DType::Bool), Buffer::Bool(vec![false, true, true]));
         let b = Buffer::Bool(vec![true, false]);
         assert_eq!(b.astype(DType::F64), Buffer::F64(vec![1.0, 0.0]));
     }

@@ -12,8 +12,9 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use std::sync::mpsc::{channel, Receiver, Sender};
+
 use comm::{Comm, Cursor, Universe, UniverseConfig, Wire};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use dlinalg::DistVector;
 
 use crate::buffer::{
@@ -101,12 +102,12 @@ impl OdinContext {
     /// Spawn the worker pool.
     pub fn new(config: OdinConfig) -> Self {
         assert!(config.n_workers > 0);
-        let (reply_tx, reply_rx) = unbounded::<(usize, Vec<u8>)>();
+        let (reply_tx, reply_rx) = channel::<(usize, Vec<u8>)>();
         let mut to_workers = Vec::with_capacity(config.n_workers);
-        let mut seeds: Vec<Option<(Receiver<ToWorker>, Sender<(usize, Vec<u8>)>)>> =
-            Vec::with_capacity(config.n_workers);
+        type WorkerSeed = (Receiver<ToWorker>, Sender<(usize, Vec<u8>)>);
+        let mut seeds: Vec<Option<WorkerSeed>> = Vec::with_capacity(config.n_workers);
         for _ in 0..config.n_workers {
-            let (tx, rx) = unbounded::<ToWorker>();
+            let (tx, rx) = channel::<ToWorker>();
             to_workers.push(tx);
             seeds.push(Some((rx, reply_tx.clone())));
         }
@@ -179,6 +180,54 @@ impl OdinContext {
         self.metas.borrow_mut().remove(&id);
     }
 
+    /// The master thread is not a simulated rank, so its spans use wall
+    /// time on both axes; §III-J control-vs-data traffic lands in the
+    /// registry under `odin.ctrl_*` / `odin.data_*`.
+    #[cold]
+    fn obs_ctrl(&self, cmd_bytes: usize, batched: bool, timer: obs::span::SpanTimer) {
+        timer.finish(
+            "odin",
+            if batched {
+                "dispatch(batched)"
+            } else {
+                "dispatch"
+            },
+            obs::span::wall_now_s(),
+            &[
+                ("cmd_bytes", cmd_bytes as f64),
+                ("workers", self.n_workers as f64),
+            ],
+        );
+        let g = obs::global();
+        g.counter("odin.ctrl_msgs").add(self.n_workers as u64);
+        g.counter("odin.ctrl_bytes")
+            .add((cmd_bytes * self.n_workers) as u64);
+        g.histogram("odin.ctrl_cmd_bytes").record(cmd_bytes as u64);
+        g.gauge("odin.mean_ctrl_bytes")
+            .set(self.stats.borrow().mean_ctrl_bytes());
+    }
+
+    #[cold]
+    fn obs_data(&self, name: &'static str, msgs: u64, bytes: u64, timer: obs::span::SpanTimer) {
+        timer.finish(
+            "odin",
+            name,
+            obs::span::wall_now_s(),
+            &[("msgs", msgs as f64), ("bytes", bytes as f64)],
+        );
+        let g = obs::global();
+        g.counter("odin.data_msgs").add(msgs);
+        g.counter("odin.data_bytes").add(bytes);
+    }
+
+    fn obs_timer(&self) -> Option<obs::span::SpanTimer> {
+        if obs::enabled() {
+            Some(obs::span::span_start(obs::span::wall_now_s()))
+        } else {
+            None
+        }
+    }
+
     /// Begin buffering control commands; nothing is sent until
     /// [`Self::flush_batch`]. Models the paper's latency-amortizing
     /// message buffering.
@@ -190,20 +239,36 @@ impl OdinContext {
 
     /// Send all buffered commands, one channel message per worker.
     pub fn flush_batch(&self) {
+        let timer = self.obs_timer();
         let bufs = self.batch.borrow_mut().take().expect("no open batch");
-        let mut st = self.stats.borrow_mut();
-        for (w, bytes) in bufs.into_iter().enumerate() {
-            if !bytes.is_empty() {
-                st.channel_sends += 1;
-                self.to_workers[w]
-                    .send(ToWorker::Bytes(bytes))
-                    .expect("worker channel closed");
+        let mut sends = 0u64;
+        let mut flushed_bytes = 0u64;
+        {
+            let mut st = self.stats.borrow_mut();
+            for (w, bytes) in bufs.into_iter().enumerate() {
+                if !bytes.is_empty() {
+                    st.channel_sends += 1;
+                    sends += 1;
+                    flushed_bytes += bytes.len() as u64;
+                    self.to_workers[w]
+                        .send(ToWorker::Bytes(bytes))
+                        .expect("worker channel closed");
+                }
             }
+        }
+        if let Some(t) = timer {
+            t.finish(
+                "odin",
+                "flush_batch",
+                obs::span::wall_now_s(),
+                &[("sends", sends as f64), ("bytes", flushed_bytes as f64)],
+            );
         }
     }
 
     /// Broadcast a control command to every worker.
     pub(crate) fn send_cmd(&self, cmd: &Cmd) {
+        let timer = self.obs_timer();
         let bytes = comm::encode_to_vec(cmd);
         {
             let mut st = self.stats.borrow_mut();
@@ -215,14 +280,23 @@ impl OdinContext {
             for buf in bufs.iter_mut() {
                 buf.extend_from_slice(&bytes);
             }
+            drop(batch);
+            if let Some(t) = timer {
+                self.obs_ctrl(bytes.len(), true, t);
+            }
             return;
         }
         drop(batch);
-        let mut st = self.stats.borrow_mut();
-        for tx in &self.to_workers {
-            st.channel_sends += 1;
-            tx.send(ToWorker::Bytes(bytes.clone()))
-                .expect("worker channel closed");
+        {
+            let mut st = self.stats.borrow_mut();
+            for tx in &self.to_workers {
+                st.channel_sends += 1;
+                tx.send(ToWorker::Bytes(bytes.clone()))
+                    .expect("worker channel closed");
+            }
+        }
+        if let Some(t) = timer {
+            self.obs_ctrl(bytes.len(), false, t);
         }
     }
 
@@ -232,16 +306,21 @@ impl OdinContext {
             self.batch.borrow().is_none(),
             "data commands cannot be batched"
         );
+        let timer = self.obs_timer();
         let bytes = comm::encode_to_vec(cmd);
+        let n = bytes.len() as u64;
         {
             let mut st = self.stats.borrow_mut();
             st.data_msgs += 1;
-            st.data_bytes += bytes.len() as u64;
+            st.data_bytes += n;
             st.channel_sends += 1;
         }
         self.to_workers[worker]
             .send(ToWorker::Bytes(bytes))
             .expect("worker channel closed");
+        if let Some(t) = timer {
+            self.obs_data("send_data", 1, n, t);
+        }
     }
 
     /// Register a local-mode function on every worker; returns its id.
@@ -270,8 +349,10 @@ impl OdinContext {
 
     /// Receive one reply from each worker, returned in worker order.
     pub(crate) fn collect_replies(&self) -> Vec<Vec<u8>> {
+        let timer = self.obs_timer();
         let mut out: Vec<Option<Vec<u8>>> = (0..self.n_workers).map(|_| None).collect();
         let mut seen = 0;
+        let mut reply_bytes = 0u64;
         while seen < self.n_workers {
             let (rank, bytes) = self
                 .from_workers
@@ -283,8 +364,12 @@ impl OdinContext {
                 st.data_msgs += 1;
                 st.data_bytes += bytes.len() as u64;
             }
+            reply_bytes += bytes.len() as u64;
             out[rank] = Some(bytes);
             seen += 1;
+        }
+        if let Some(t) = timer {
+            self.obs_data("collect_replies", self.n_workers as u64, reply_bytes, t);
         }
         out.into_iter().map(|o| o.unwrap()).collect()
     }
@@ -292,6 +377,8 @@ impl OdinContext {
     /// Drain `n` replies regardless of sender (used when several
     /// reply-bearing commands were batched and replies interleave).
     pub fn drain_replies(&self, n: usize) {
+        let timer = self.obs_timer();
+        let mut reply_bytes = 0u64;
         for _ in 0..n {
             let (_, bytes) = self
                 .from_workers
@@ -300,19 +387,29 @@ impl OdinContext {
             let mut st = self.stats.borrow_mut();
             st.data_msgs += 1;
             st.data_bytes += bytes.len() as u64;
+            reply_bytes += bytes.len() as u64;
+        }
+        if let Some(t) = timer {
+            self.obs_data("drain_replies", n as u64, reply_bytes, t);
         }
     }
 
     /// Receive a single reply (commands where only worker 0 replies).
     pub(crate) fn collect_single_reply(&self) -> Vec<u8> {
+        let timer = self.obs_timer();
         let (rank, bytes) = self
             .from_workers
             .recv()
             .expect("worker reply channel closed");
         debug_assert_eq!(rank, 0, "single replies come from worker 0");
-        let mut st = self.stats.borrow_mut();
-        st.data_msgs += 1;
-        st.data_bytes += bytes.len() as u64;
+        {
+            let mut st = self.stats.borrow_mut();
+            st.data_msgs += 1;
+            st.data_bytes += bytes.len() as u64;
+        }
+        if let Some(t) = timer {
+            self.obs_data("collect_single_reply", 1, bytes.len() as u64, t);
+        }
         bytes
     }
 
@@ -510,10 +607,7 @@ fn fill_buffer(meta: &ArrayMeta, fill: &Fill, n_workers: usize, rank: usize) -> 
 
 /// Iterator of global flat indices for this worker's segment, in local
 /// storage order (rows along the distributed axis are contiguous).
-fn local_global_indices(
-    map: &dmap::DistMap,
-    slab: usize,
-) -> impl Iterator<Item = usize> + '_ {
+fn local_global_indices(map: &dmap::DistMap, slab: usize) -> impl Iterator<Item = usize> + '_ {
     (0..map.my_count()).flat_map(move |l| {
         let g = map.local_to_global(l);
         (0..slab).map(move |k| g * slab + k)
@@ -636,11 +730,7 @@ fn eval_fused_binary(op: BinOp, x: f64, y: f64) -> f64 {
     }
 }
 
-fn worker_main(
-    comm: &mut Comm,
-    rx: Receiver<ToWorker>,
-    reply: Sender<(usize, Vec<u8>)>,
-) {
+fn worker_main(comm: &mut Comm, rx: Receiver<ToWorker>, reply: Sender<(usize, Vec<u8>)>) {
     let mut arrays: HashMap<u64, (ArrayMeta, Buffer)> = HashMap::new();
     let mut tables: HashMap<u64, crate::table::TableSeg> = HashMap::new();
     let mut fns: HashMap<u64, LocalFn> = HashMap::new();
@@ -840,9 +930,7 @@ fn exec_cmd(
             arrays.remove(&id);
         }
         Cmd::Ping => {
-            reply
-                .send((rank, Vec::new()))
-                .expect("master gone");
+            reply.send((rank, Vec::new())).expect("master gone");
         }
         Cmd::Shutdown => return false,
         Cmd::Select { out, cond, a, b } => {
@@ -986,7 +1074,13 @@ fn exec_cmd(
             let outgoing: Vec<Vec<(Vec<usize>, Vec<f64>)>> = per_peer_idx
                 .into_iter()
                 .zip(per_peer_val)
-                .map(|(i, v)| if i.is_empty() { Vec::new() } else { vec![(i, v)] })
+                .map(|(i, v)| {
+                    if i.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![(i, v)]
+                    }
+                })
                 .collect();
             let incoming = comm.alltoallv(outgoing);
             let mut values = vec![0.0f64; out_map.my_count()];
@@ -1009,8 +1103,7 @@ fn exec_cmd(
             // allgather B: each worker contributes (row gids, flat rows)
             let b_map = mb.axis_map(p, rank);
             let my_b: Vec<f64> = (0..bb.len()).map(|i| bb.get_f64(i)).collect();
-            let pieces: Vec<(Vec<usize>, Vec<f64>)> =
-                comm.allgather(&(b_map.my_gids(), my_b));
+            let pieces: Vec<(Vec<usize>, Vec<f64>)> = comm.allgather(&(b_map.my_gids(), my_b));
             let mut bfull = vec![0.0f64; kb * ncols];
             for (gids, vals) in pieces {
                 for (l, g) in gids.into_iter().enumerate() {
@@ -1110,9 +1203,9 @@ fn exec_reduce(
             let map = meta.axis_map(p, rank);
             let mut partial = vec![reduce_identity(kind); slab];
             for l in 0..map.my_count() {
-                for k in 0..slab {
+                for (k, pk) in partial.iter_mut().enumerate() {
                     let x = reduce_element(kind, buf.get_f64(l * slab + k));
-                    partial[k] = reduce_combine(kind, partial[k], x);
+                    *pk = reduce_combine(kind, *pk, x);
                 }
             }
             comm.advance_compute(buf.len() as f64);
@@ -1166,8 +1259,7 @@ fn exec_reduce(
                 out_strides[i] = out_strides[i + 1] * out_dims[i + 1];
             }
             // source-dim index of each output dim
-            let src_dims: Vec<usize> =
-                (0..dims.len()).filter(|&d| d != red_d).collect();
+            let src_dims: Vec<usize> = (0..dims.len()).filter(|&d| d != red_d).collect();
             // base offset (reduced dim = 0) of each output slab position
             let base_offsets: Vec<usize> = (0..out_slab)
                 .map(|o| {
@@ -1253,7 +1345,7 @@ mod tests {
         let st = ctx.stats();
         assert_eq!(st.ctrl_msgs, 20); // 10 commands × 2 workers
         assert_eq!(st.channel_sends, 2); // but only one physical send each
-        // drain the 20 ping replies (they interleave across workers)
+                                         // drain the 20 ping replies (they interleave across workers)
         ctx.drain_replies(20);
     }
 

@@ -91,8 +91,7 @@ impl OdinContext {
                             let mut run = 1;
                             while k + run < gids.len()
                                 && gids[k + run] == gids[k] + run
-                                && map.global_to_local(gids[k + run])
-                                    == Some(l_dst + run)
+                                && map.global_to_local(gids[k + run]) == Some(l_dst + run)
                             {
                                 run += 1;
                             }

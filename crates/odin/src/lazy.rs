@@ -93,11 +93,7 @@ impl<'x, 'c> Expr<'x, 'c> {
         }
     }
 
-    fn compile(
-        &self,
-        aligned: &std::collections::HashMap<u64, u64>,
-        program: &mut Vec<FusedOp>,
-    ) {
+    fn compile(&self, aligned: &std::collections::HashMap<u64, u64>, program: &mut Vec<FusedOp>) {
         match self {
             Expr::Leaf(a) => {
                 let id = aligned.get(&a.id()).copied().unwrap_or_else(|| a.id());

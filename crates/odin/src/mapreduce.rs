@@ -96,7 +96,6 @@ impl<'c> DistTable<'c> {
             |a, b| a + b,
         )
     }
-
 }
 
 #[cfg(test)]

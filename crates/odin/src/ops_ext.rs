@@ -186,11 +186,9 @@ mod tests {
     #[test]
     fn select_aligns_layouts() {
         let ctx = OdinContext::with_workers(2);
-        let cond = ctx.arange_f64(0.0, 1.0, 9, Dist::Cyclic).binary_scalar(
-            4.0,
-            BinOp::Lt,
-            false,
-        );
+        let cond = ctx
+            .arange_f64(0.0, 1.0, 9, Dist::Cyclic)
+            .binary_scalar(4.0, BinOp::Lt, false);
         let a = ctx.full(&[9], 1.0, Dist::Block);
         let b = ctx.full(&[9], 2.0, Dist::BlockCyclic(2));
         let r = cond.select(&a, &b);

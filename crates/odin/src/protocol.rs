@@ -415,12 +415,49 @@ macro_rules! wire_enum_unit {
     };
 }
 
-wire_enum_unit!(UnaryOp, Neg = 0, Abs = 1, Not = 2, Sin = 3, Cos = 4, Tan = 5,
-    Exp = 6, Log = 7, Sqrt = 8, Floor = 9, Ceil = 10);
-wire_enum_unit!(BinOp, Add = 0, Sub = 1, Mul = 2, Div = 3, Pow = 4, Mod = 5,
-    Max = 6, Min = 7, Hypot = 8, Atan2 = 9, Eq = 10, Ne = 11, Lt = 12,
-    Le = 13, Gt = 14, Ge = 15, And = 16, Or = 17);
-wire_enum_unit!(ReduceKind, Sum = 0, Prod = 1, Min = 2, Max = 3, CountNonzero = 4);
+wire_enum_unit!(
+    UnaryOp,
+    Neg = 0,
+    Abs = 1,
+    Not = 2,
+    Sin = 3,
+    Cos = 4,
+    Tan = 5,
+    Exp = 6,
+    Log = 7,
+    Sqrt = 8,
+    Floor = 9,
+    Ceil = 10
+);
+wire_enum_unit!(
+    BinOp,
+    Add = 0,
+    Sub = 1,
+    Mul = 2,
+    Div = 3,
+    Pow = 4,
+    Mod = 5,
+    Max = 6,
+    Min = 7,
+    Hypot = 8,
+    Atan2 = 9,
+    Eq = 10,
+    Ne = 11,
+    Lt = 12,
+    Le = 13,
+    Gt = 14,
+    Ge = 15,
+    And = 16,
+    Or = 17
+);
+wire_enum_unit!(
+    ReduceKind,
+    Sum = 0,
+    Prod = 1,
+    Min = 2,
+    Max = 3,
+    CountNonzero = 4
+);
 
 impl Wire for Dist {
     fn encode(&self, buf: &mut Vec<u8>) {

@@ -53,7 +53,7 @@ impl SliceSpec {
 
     /// Whether `i` is selected.
     pub fn contains(&self, i: usize) -> bool {
-        i >= self.start && i < self.stop && (i - self.start) % self.step == 0
+        i >= self.start && i < self.stop && (i - self.start).is_multiple_of(self.step)
     }
 
     /// Output position of selected index `i`.
@@ -150,7 +150,7 @@ pub fn slice_worker(
         let g_hi = src_end.min(row_spec.stop);
         let mut outgoing: Vec<Vec<(usize, Buffer)>> = (0..p).map(|_| Vec::new()).collect();
         if g_lo < g_hi {
-            for owner in 0..p {
+            for (owner, out_msgs) in outgoing.iter_mut().enumerate() {
                 let o_map = out_meta.axis_map(p, owner);
                 let o_start = o_map.my_block_start().expect("block map");
                 let o_end = o_start + o_map.my_count();
@@ -167,7 +167,7 @@ pub fn slice_worker(
                     copy_rows(&mut out, dst_base, data, src_base, n_elems);
                 } else {
                     let flat = data.gather_indices(src_base..src_base + n_elems);
-                    outgoing[owner].push((lo, flat));
+                    out_msgs.push((lo, flat));
                 }
             }
         }
@@ -277,7 +277,9 @@ pub fn redistribute_worker(
     let incoming = comm.alltoallv(outgoing);
     for (rows, flat) in incoming.into_iter().flatten() {
         for (k, g) in rows.into_iter().enumerate() {
-            let lo = out_map.global_to_local(g).expect("row routed to wrong owner");
+            let lo = out_map
+                .global_to_local(g)
+                .expect("row routed to wrong owner");
             copy_rows(&mut out, lo * slab, &flat, k * slab, slab);
         }
     }
@@ -287,15 +289,9 @@ pub fn redistribute_worker(
 /// Copy `n` elements from `src[src_at..]` into `out[at..]`.
 fn copy_rows(out: &mut Buffer, at: usize, src: &Buffer, src_at: usize, n: usize) {
     match (out, src) {
-        (Buffer::F64(o), Buffer::F64(r)) => {
-            o[at..at + n].copy_from_slice(&r[src_at..src_at + n])
-        }
-        (Buffer::I64(o), Buffer::I64(r)) => {
-            o[at..at + n].copy_from_slice(&r[src_at..src_at + n])
-        }
-        (Buffer::Bool(o), Buffer::Bool(r)) => {
-            o[at..at + n].copy_from_slice(&r[src_at..src_at + n])
-        }
+        (Buffer::F64(o), Buffer::F64(r)) => o[at..at + n].copy_from_slice(&r[src_at..src_at + n]),
+        (Buffer::I64(o), Buffer::I64(r)) => o[at..at + n].copy_from_slice(&r[src_at..src_at + n]),
+        (Buffer::Bool(o), Buffer::Bool(r)) => o[at..at + n].copy_from_slice(&r[src_at..src_at + n]),
         _ => panic!("row dtype mismatch"),
     }
 }
@@ -324,10 +320,7 @@ mod tests {
         // slab dims [2,3] row-major; slice [0..2, 1..3] → offsets
         // (0,1)=1 (0,2)=2 (1,1)=4 (1,2)=5
         assert_eq!(
-            slab_offsets(
-                &[2, 3],
-                &[SliceSpec::full(2), SliceSpec::new(1, 3, 1)]
-            ),
+            slab_offsets(&[2, 3], &[SliceSpec::full(2), SliceSpec::new(1, 3, 1)]),
             vec![1, 2, 4, 5]
         );
         // empty spec list (scalar slab)

@@ -73,10 +73,7 @@ impl Schema {
     /// Build from name/type pairs.
     pub fn new(fields: &[(&str, FieldType)]) -> Self {
         Schema {
-            fields: fields
-                .iter()
-                .map(|(n, t)| (n.to_string(), *t))
-                .collect(),
+            fields: fields.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
         }
     }
 
@@ -404,10 +401,7 @@ mod tests {
     #[should_panic(expected = "arity mismatch")]
     fn schema_validation_rejects_bad_records() {
         let ctx = OdinContext::with_workers(1);
-        let _ = ctx.table_from_records(
-            people_schema(),
-            vec![Record(vec![FieldValue::I64(1)])],
-        );
+        let _ = ctx.table_from_records(people_schema(), vec![Record(vec![FieldValue::I64(1)])]);
     }
 
     #[test]

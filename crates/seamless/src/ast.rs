@@ -214,8 +214,8 @@ impl Expr {
                 let a = a.fold();
                 let b = b.fold();
                 if let (Some(x), Some(y)) = (a.const_f64(), b.const_f64()) {
-                    let both_int =
-                        matches!(a, Expr::Int(_) | Expr::Bool(_)) && matches!(b, Expr::Int(_) | Expr::Bool(_));
+                    let both_int = matches!(a, Expr::Int(_) | Expr::Bool(_))
+                        && matches!(b, Expr::Int(_) | Expr::Bool(_));
                     if let Some(folded) = fold_const(op, x, y, both_int) {
                         return folded;
                     }

@@ -283,9 +283,9 @@ impl CModule {
         }
         let mut raw = Vec::with_capacity(args.len());
         for (v, t) in args.iter().zip(&sig.params) {
-            let x = v.as_f64().ok_or_else(|| {
-                SeamlessError::Ffi(format!("{name}: cannot pass {v:?} as {t:?}"))
-            })?;
+            let x = v
+                .as_f64()
+                .ok_or_else(|| SeamlessError::Ffi(format!("{name}: cannot pass {v:?} as {t:?}")))?;
             // C conversion: integral parameters truncate
             raw.push(match t {
                 CType::Int | CType::Long => x.trunc(),

@@ -531,7 +531,12 @@ impl<'a, 'm> FnCompiler<'a, 'm> {
         }
     }
 
-    fn bin(&mut self, op: BinOp, a: &Expr, b: &Expr) -> Result<(Type, RegFile, Reg), SeamlessError> {
+    fn bin(
+        &mut self,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+    ) -> Result<(Type, RegFile, Reg), SeamlessError> {
         // strength reduction: x ** 2 / x ** 3 → multiplies
         if op == BinOp::Pow {
             if let Expr::Int(e @ (2 | 3)) = b {
@@ -644,7 +649,9 @@ impl<'a, 'm> FnCompiler<'a, 'm> {
                 }
                 Ok((Type::Int, RegFile::I, acc))
             }
-            other => Err(SeamlessError::Type(format!("cannot exponentiate {other:?}"))),
+            other => Err(SeamlessError::Type(format!(
+                "cannot exponentiate {other:?}"
+            ))),
         }
     }
 

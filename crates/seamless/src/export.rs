@@ -233,11 +233,8 @@ def polar(y: float, x: float):
     t = atan2(y, x)
     return r * 1000.0 + t
 ";
-        let k =
-            compile_with_externs(src, "polar", &[Type::Float, Type::Float], &libm).unwrap();
-        let out = k
-            .call(vec![Value::Float(3.0), Value::Float(4.0)])
-            .unwrap();
+        let k = compile_with_externs(src, "polar", &[Type::Float, Type::Float], &libm).unwrap();
+        let out = k.call(vec![Value::Float(3.0), Value::Float(4.0)]).unwrap();
         let expect = 5.0 * 1000.0 + 3.0f64.atan2(4.0);
         assert_eq!(out.ret, Value::Float(expect));
         // the interpreter resolves the same calls through the library
@@ -274,8 +271,7 @@ def f(x: float):
         let mut syms: std::collections::HashMap<String, crate::cmodule::NativeFn> =
             std::collections::HashMap::new();
         syms.insert("abs2".into(), |a| a[0].abs());
-        let lib =
-            crate::cmodule::CModule::load("mylib", "int abs2(int n);", syms).unwrap();
+        let lib = crate::cmodule::CModule::load("mylib", "int abs2(int n);", syms).unwrap();
         let k = compile_with_externs(src, "f", &[Type::Float], &lib).unwrap();
         let out = k.call(vec![Value::Float(-3.9)]).unwrap();
         assert_eq!(out.ret, Value::Int(3)); // truncated then |.|, int return

@@ -167,9 +167,7 @@ impl Interpreter {
                 let stop = self.eval_index(stop, env)?;
                 let step = self.eval_index(step, env)?;
                 if step <= 0 {
-                    return Err(SeamlessError::Runtime(
-                        "range step must be positive".into(),
-                    ));
+                    return Err(SeamlessError::Runtime("range step must be positive".into()));
                 }
                 let mut i = start;
                 while i < stop {
@@ -200,11 +198,7 @@ impl Interpreter {
         }
     }
 
-    fn eval_index(
-        &self,
-        e: &Expr,
-        env: &mut HashMap<String, Value>,
-    ) -> Result<i64, SeamlessError> {
+    fn eval_index(&self, e: &Expr, env: &mut HashMap<String, Value>) -> Result<i64, SeamlessError> {
         self.eval(e, env)?
             .as_i64()
             .ok_or_else(|| SeamlessError::Runtime("expected an integer".into()))
@@ -286,11 +280,7 @@ fn index_value(arr: &Value, idx: i64) -> Result<Value, SeamlessError> {
     }
 }
 
-fn load_index(
-    env: &HashMap<String, Value>,
-    name: &str,
-    idx: i64,
-) -> Result<Value, SeamlessError> {
+fn load_index(env: &HashMap<String, Value>, name: &str, idx: i64) -> Result<Value, SeamlessError> {
     let arr = env
         .get(name)
         .ok_or_else(|| SeamlessError::Runtime(format!("undefined variable {name}")))?;
@@ -364,8 +354,8 @@ pub(crate) fn binop(op: BinOp, a: Value, b: Value) -> Result<Value, SeamlessErro
         Or => return Ok(Value::Bool(a.truthy() || b.truthy())),
         _ => {}
     }
-    let int_int = matches!(a, Value::Int(_) | Value::Bool(_))
-        && matches!(b, Value::Int(_) | Value::Bool(_));
+    let int_int =
+        matches!(a, Value::Int(_) | Value::Bool(_)) && matches!(b, Value::Int(_) | Value::Bool(_));
     let x = a
         .as_f64()
         .ok_or_else(|| SeamlessError::Runtime(format!("bad operand {a:?}")))?;
@@ -465,11 +455,15 @@ pub(crate) fn call_builtin(name: &str, args: &[Value]) -> Result<Option<Value>, 
         ))),
         "zeros" => match args {
             [Value::Int(n)] if *n >= 0 => Ok(Some(Value::ArrF(vec![0.0; *n as usize]))),
-            _ => Err(SeamlessError::Runtime("zeros needs a non-negative int".into())),
+            _ => Err(SeamlessError::Runtime(
+                "zeros needs a non-negative int".into(),
+            )),
         },
         "izeros" => match args {
             [Value::Int(n)] if *n >= 0 => Ok(Some(Value::ArrI(vec![0; *n as usize]))),
-            _ => Err(SeamlessError::Runtime("izeros needs a non-negative int".into())),
+            _ => Err(SeamlessError::Runtime(
+                "izeros needs a non-negative int".into(),
+            )),
         },
         _ => Ok(None),
     }
@@ -554,7 +548,10 @@ def scale(a, s):
 ";
         let out = Interpreter::new(src)
             .unwrap()
-            .call("scale", vec![Value::ArrF(vec![1.0, 2.0]), Value::Float(3.0)])
+            .call(
+                "scale",
+                vec![Value::ArrF(vec![1.0, 2.0]), Value::Float(3.0)],
+            )
             .unwrap();
         assert_eq!(out.ret, Value::Unit);
         assert_eq!(out.args[0], Value::ArrF(vec![3.0, 6.0]));

@@ -371,10 +371,7 @@ mod tests {
         assert!(k.contains(&Tok::Dedent));
         // dedent comes before the x
         let di = k.iter().position(|t| *t == Tok::Dedent).unwrap();
-        let xi = k
-            .iter()
-            .position(|t| *t == Tok::Name("x".into()))
-            .unwrap();
+        let xi = k.iter().position(|t| *t == Tok::Name("x".into())).unwrap();
         assert!(di < xi);
     }
 

@@ -584,10 +584,7 @@ def f(a, i):
         assert!(matches!(f.body[0], Stmt::AssignIndex { .. }));
         assert!(matches!(
             f.body[1],
-            Stmt::AugAssignIndex {
-                op: BinOp::Add,
-                ..
-            }
+            Stmt::AugAssignIndex { op: BinOp::Add, .. }
         ));
         assert!(matches!(f.body[3], Stmt::AugAssign { op: BinOp::Mul, .. }));
     }

@@ -194,11 +194,7 @@ impl<'m> Inferencer<'m> {
         Ok(())
     }
 
-    fn assign(
-        env: &mut HashMap<String, Type>,
-        name: &str,
-        t: Type,
-    ) -> Result<(), SeamlessError> {
+    fn assign(env: &mut HashMap<String, Type>, name: &str, t: Type) -> Result<(), SeamlessError> {
         match env.get(name) {
             None => {
                 env.insert(name.to_string(), t);
@@ -330,6 +326,7 @@ impl<'m> Inferencer<'m> {
         }
     }
 
+    #[allow(clippy::only_used_in_recursion)] // `key` names the signature being inferred
     fn infer_expr(
         &mut self,
         e: &Expr,
@@ -356,7 +353,11 @@ impl<'m> Inferencer<'m> {
                         if !t.is_numeric() {
                             return Err(SeamlessError::Type(format!("cannot negate {t:?}")));
                         }
-                        Ok(if t == Type::Float { Type::Float } else { Type::Int })
+                        Ok(if t == Type::Float {
+                            Type::Float
+                        } else {
+                            Type::Int
+                        })
                     }
                     UnOp::Not => Ok(Type::Bool),
                 }
@@ -563,9 +564,15 @@ def f(a):
     #[test]
     fn division_is_always_float() {
         let src = "def f(a: int, b: int):\n    return a / b\n";
-        assert_eq!(infer(src, "f", &[Type::Int, Type::Int]).unwrap().ret, Type::Float);
+        assert_eq!(
+            infer(src, "f", &[Type::Int, Type::Int]).unwrap().ret,
+            Type::Float
+        );
         let src2 = "def f(a: int, b: int):\n    return a // b\n";
-        assert_eq!(infer(src2, "f", &[Type::Int, Type::Int]).unwrap().ret, Type::Int);
+        assert_eq!(
+            infer(src2, "f", &[Type::Int, Type::Int]).unwrap().ret,
+            Type::Int
+        );
     }
 
     #[test]

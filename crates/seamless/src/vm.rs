@@ -195,7 +195,8 @@ impl<'p> Vm<'p> {
                             "negative integer exponent (use a float base)".into(),
                         ));
                     }
-                    fr.i[*d as usize] = fr.i[*a as usize].wrapping_pow(e.min(u32::MAX as i64) as u32);
+                    fr.i[*d as usize] =
+                        fr.i[*a as usize].wrapping_pow(e.min(u32::MAX as i64) as u32);
                 }
                 Instr::NegI(d, s) => fr.i[*d as usize] = -fr.i[*s as usize],
                 Instr::CmpF(c, d, a, b) => {
@@ -312,22 +313,16 @@ impl<'p> Vm<'p> {
                     for (k, &(file, reg)) in args.iter().enumerate() {
                         let (pfile, preg) = callee.params[k];
                         match (file, pfile) {
-                            (RegFile::F, RegFile::F) => {
-                                inner.f[preg as usize] = fr.f[reg as usize]
-                            }
-                            (RegFile::I, RegFile::I) => {
-                                inner.i[preg as usize] = fr.i[reg as usize]
-                            }
+                            (RegFile::F, RegFile::F) => inner.f[preg as usize] = fr.f[reg as usize],
+                            (RegFile::I, RegFile::I) => inner.i[preg as usize] = fr.i[reg as usize],
                             (RegFile::I, RegFile::F) => {
                                 inner.f[preg as usize] = fr.i[reg as usize] as f64
                             }
                             (RegFile::AF, RegFile::AF) => {
-                                inner.af[preg as usize] =
-                                    std::mem::take(&mut fr.af[reg as usize])
+                                inner.af[preg as usize] = std::mem::take(&mut fr.af[reg as usize])
                             }
                             (RegFile::AI, RegFile::AI) => {
-                                inner.ai[preg as usize] =
-                                    std::mem::take(&mut fr.ai[reg as usize])
+                                inner.ai[preg as usize] = std::mem::take(&mut fr.ai[reg as usize])
                             }
                             other => {
                                 return Err(SeamlessError::Runtime(format!(
@@ -342,12 +337,10 @@ impl<'p> Vm<'p> {
                         let (_, preg) = callee.params[k];
                         match file {
                             RegFile::AF => {
-                                fr.af[reg as usize] =
-                                    std::mem::take(&mut inner.af[preg as usize])
+                                fr.af[reg as usize] = std::mem::take(&mut inner.af[preg as usize])
                             }
                             RegFile::AI => {
-                                fr.ai[reg as usize] =
-                                    std::mem::take(&mut inner.ai[preg as usize])
+                                fr.ai[reg as usize] = std::mem::take(&mut inner.ai[preg as usize])
                             }
                             _ => {}
                         }
@@ -498,7 +491,8 @@ def main(a):
         let src2 = "def g(n):\n    return 1 // n\n";
         let err2 = run(src2, "g", vec![Value::Int(0)]).unwrap_err();
         assert!(matches!(err2, SeamlessError::Runtime(_)));
-        let src3 = "def h(n):\n    t = 0\n    for i in range(0, 10, n):\n        t += 1\n    return t\n";
+        let src3 =
+            "def h(n):\n    t = 0\n    for i in range(0, 10, n):\n        t += 1\n    return t\n";
         let err3 = run(src3, "h", vec![Value::Int(0)]).unwrap_err();
         assert!(matches!(err3, SeamlessError::Runtime(_)));
     }

@@ -123,8 +123,7 @@ impl AmgPreconditioner {
             };
             // Coarse matrix: A_c[I][J] = Σ A[i][j] over i∈I, j∈J.
             // Need aggregate ids of ghost columns → halo gather.
-            let agg_global: Vec<usize> =
-                agg_local.iter().map(|&l| l + my_coarse_start).collect();
+            let agg_global: Vec<usize> = agg_local.iter().map(|&l| l + my_coarse_start).collect();
             let col_aggs = current.halo_gather(comm, &agg_global, usize::MAX);
             let mut triplets = Vec::with_capacity(current.nnz_local());
             let rowptr = current.rowptr().to_vec();
@@ -137,12 +136,8 @@ impl AmgPreconditioner {
                     triplets.push((gi, gj, vals[k]));
                 }
             }
-            let coarse_a = CsrMatrix::from_triplets(
-                comm,
-                coarse_map.clone(),
-                coarse_map.clone(),
-                triplets,
-            );
+            let coarse_a =
+                CsrMatrix::from_triplets(comm, coarse_map.clone(), coarse_map.clone(), triplets);
             let inv_diag: Vec<f64> = current
                 .diagonal()
                 .local()
@@ -223,7 +218,17 @@ impl AmgPreconditioner {
 
 impl Preconditioner<f64> for AmgPreconditioner {
     fn apply(&self, comm: &Comm, r: &DistVector<f64>) -> DistVector<f64> {
-        self.vcycle(comm, 0, r)
+        let timer = crate::instrument::iter_start(comm);
+        let z = self.vcycle(comm, 0, r);
+        if let Some(t) = timer {
+            t.finish(
+                "solver",
+                "amg.vcycle",
+                comm.virtual_time(),
+                &[("levels", self.n_levels() as f64)],
+            );
+        }
+        z
     }
     fn name(&self) -> &'static str {
         "amg"

@@ -157,8 +157,7 @@ mod tests {
             let a = laplace(comm, 8);
             let solver = DirectSolver::factor(comm, &a);
             for k in 1..4 {
-                let x_exact =
-                    DistVector::from_fn(a.domain_map().clone(), |g| (g * k) as f64 + 1.0);
+                let x_exact = DistVector::from_fn(a.domain_map().clone(), |g| (g * k) as f64 + 1.0);
                 let b = a.matvec(comm, &x_exact);
                 let x = solver.solve(comm, &b);
                 let mut e = x.clone();

@@ -32,11 +32,13 @@ pub fn power_method<S: Scalar>(
     v.scale(S::from_real(S::Real::one() / nrm));
     let mut lambda = 0.0f64;
     for it in 1..=max_iter {
+        let timer = crate::instrument::iter_start(comm);
         let w = a.matvec(comm, &v);
         // Rayleigh quotient ⟨v, Av⟩ (v already unit norm)
         let rq = v.dot(&w, comm).re().to_f64();
         let wnorm = w.norm2(comm).to_f64();
         if wnorm == 0.0 {
+            crate::instrument::record_solve("power", it, true, 0.0);
             return PowerResult {
                 lambda: 0.0,
                 vector: v,
@@ -49,7 +51,11 @@ pub fn power_method<S: Scalar>(
         let delta = (rq - lambda).abs();
         lambda = rq;
         v = vnext;
+        if let Some(t) = timer {
+            crate::instrument::iter_finish(t, comm, "power.iter", it, delta);
+        }
         if it > 1 && delta <= tol * lambda.abs().max(1e-30) {
+            crate::instrument::record_solve("power", it, true, delta);
             return PowerResult {
                 lambda,
                 vector: v,
@@ -58,6 +64,7 @@ pub fn power_method<S: Scalar>(
             };
         }
     }
+    crate::instrument::record_solve("power", max_iter, false, f64::NAN);
     PowerResult {
         lambda,
         vector: v,
@@ -70,11 +77,7 @@ pub fn power_method<S: Scalar>(
 /// eigenvalues of the `k × k` tridiagonal Rayleigh–Ritz matrix (sorted
 /// ascending). The extreme entries approximate the extreme eigenvalues of
 /// the symmetric operator `A`. Collective.
-pub fn lanczos_extreme_eigenvalues(
-    comm: &Comm,
-    a: &CsrMatrix<f64>,
-    k: usize,
-) -> Vec<f64> {
+pub fn lanczos_extreme_eigenvalues(comm: &Comm, a: &CsrMatrix<f64>, k: usize) -> Vec<f64> {
     let n = a.shape().0;
     let k = k.min(n);
     let mut alphas = Vec::with_capacity(k);

@@ -1,0 +1,64 @@
+//! Observability hooks shared by the solver implementations.
+//!
+//! Every hook is gated on [`obs::enabled`], so a disabled run pays one
+//! relaxed atomic load per iteration and nothing else.
+
+use comm::Comm;
+
+/// Start a per-iteration span on this rank's virtual-clock timeline, or
+/// `None` when observability is disabled.
+#[inline]
+pub(crate) fn iter_start(comm: &Comm) -> Option<obs::span::SpanTimer> {
+    if obs::enabled() {
+        Some(obs::span::span_start(comm.virtual_time()))
+    } else {
+        None
+    }
+}
+
+/// Close a per-iteration span, carrying the iteration index and the
+/// residual norm it ended with.
+#[cold]
+pub(crate) fn iter_finish(
+    timer: obs::span::SpanTimer,
+    comm: &Comm,
+    name: &'static str,
+    it: usize,
+    residual: f64,
+) {
+    timer.finish(
+        "solver",
+        name,
+        comm.virtual_time(),
+        &[("iter", it as f64), ("residual", residual)],
+    );
+}
+
+#[cold]
+fn record_solve_cold(solver: &'static str, iterations: u64, converged: bool, final_residual: f64) {
+    let g = obs::global();
+    let labels = [("solver", solver)];
+    g.counter(&obs::registry::key("solver.solves", &labels))
+        .inc();
+    g.counter(&obs::registry::key("solver.iterations", &labels))
+        .add(iterations);
+    if converged {
+        g.counter(&obs::registry::key("solver.converged", &labels))
+            .inc();
+    }
+    g.gauge(&obs::registry::key("solver.final_residual", &labels))
+        .set(final_residual);
+}
+
+/// Record solve-level metrics (`solver.iterations{solver=cg}` etc.).
+#[inline]
+pub(crate) fn record_solve(
+    solver: &'static str,
+    iterations: usize,
+    converged: bool,
+    final_residual: f64,
+) {
+    if obs::enabled() {
+        record_solve_cold(solver, iterations as u64, converged, final_residual);
+    }
+}

@@ -8,6 +8,7 @@
 use comm::Comm;
 use dlinalg::{CsrMatrix, DistVector, RealScalar, Scalar};
 
+use crate::instrument;
 use crate::precond::Preconditioner;
 use crate::status::SolveStatus;
 
@@ -57,6 +58,7 @@ pub fn cg<S: Scalar>(
     let r0_norm = r.norm2(comm).to_f64();
     let mut history = vec![r0_norm];
     if cfg.done(r0_norm, r0_norm) || r0_norm == 0.0 {
+        instrument::record_solve("cg", 0, true, r0_norm);
         return SolveStatus {
             converged: true,
             iterations: 0,
@@ -67,6 +69,7 @@ pub fn cg<S: Scalar>(
     let mut p = z.clone();
     let mut rz = r.dot(&z, comm);
     for it in 1..=cfg.max_iter {
+        let timer = instrument::iter_start(comm);
         let ap = a.matvec(comm, &p);
         let pap = p.dot(&ap, comm);
         let alpha = rz / pap;
@@ -74,7 +77,11 @@ pub fn cg<S: Scalar>(
         r.axpy(-alpha, &ap);
         let rnorm = r.norm2(comm).to_f64();
         history.push(rnorm);
+        if let Some(t) = timer {
+            instrument::iter_finish(t, comm, "cg.iter", it, rnorm);
+        }
         if cfg.done(rnorm, r0_norm) {
+            instrument::record_solve("cg", it, true, rnorm);
             return SolveStatus {
                 converged: true,
                 iterations: it,
@@ -89,6 +96,7 @@ pub fn cg<S: Scalar>(
         p.scale(beta);
         p.axpy(S::one(), &z);
     }
+    instrument::record_solve("cg", cfg.max_iter, false, *history.last().unwrap());
     SolveStatus {
         converged: false,
         iterations: cfg.max_iter,
@@ -111,6 +119,7 @@ pub fn bicgstab<S: Scalar>(
     let r0_norm = r.norm2(comm).to_f64();
     let mut history = vec![r0_norm];
     if cfg.done(r0_norm, r0_norm) || r0_norm == 0.0 {
+        instrument::record_solve("bicgstab", 0, true, r0_norm);
         return SolveStatus {
             converged: true,
             iterations: 0,
@@ -124,6 +133,7 @@ pub fn bicgstab<S: Scalar>(
     let mut v = DistVector::zeros(b.map().clone());
     let mut p = DistVector::zeros(b.map().clone());
     for it in 1..=cfg.max_iter {
+        let timer = instrument::iter_start(comm);
         let rho_new = r_hat.dot(&r, comm);
         if rho_new.abs().to_f64() == 0.0 {
             break; // breakdown
@@ -144,6 +154,10 @@ pub fn bicgstab<S: Scalar>(
         if cfg.done(snorm, r0_norm) {
             x.axpy(alpha, &p_hat);
             history.push(snorm);
+            if let Some(t) = timer {
+                instrument::iter_finish(t, comm, "bicgstab.iter", it, snorm);
+            }
+            instrument::record_solve("bicgstab", it, true, snorm);
             return SolveStatus {
                 converged: true,
                 iterations: it,
@@ -165,7 +179,11 @@ pub fn bicgstab<S: Scalar>(
         r.axpy(-omega, &t);
         let rnorm = r.norm2(comm).to_f64();
         history.push(rnorm);
+        if let Some(t) = timer {
+            instrument::iter_finish(t, comm, "bicgstab.iter", it, rnorm);
+        }
         if cfg.done(rnorm, r0_norm) {
+            instrument::record_solve("bicgstab", it, true, rnorm);
             return SolveStatus {
                 converged: true,
                 iterations: it,
@@ -176,6 +194,12 @@ pub fn bicgstab<S: Scalar>(
             break;
         }
     }
+    instrument::record_solve(
+        "bicgstab",
+        history.len() - 1,
+        false,
+        *history.last().unwrap(),
+    );
     SolveStatus {
         converged: false,
         iterations: history.len() - 1,
@@ -208,6 +232,7 @@ pub fn gmres(
             history.push(beta);
         }
         if cfg.done(beta, r0_norm) {
+            instrument::record_solve("gmres", total_iters, true, beta);
             return SolveStatus {
                 converged: true,
                 iterations: total_iters,
@@ -215,6 +240,7 @@ pub fn gmres(
             };
         }
         if total_iters >= cfg.max_iter {
+            instrument::record_solve("gmres", total_iters, false, beta);
             return SolveStatus {
                 converged: false,
                 iterations: total_iters,
@@ -238,6 +264,7 @@ pub fn gmres(
                 break;
             }
             total_iters += 1;
+            let timer = instrument::iter_start(comm);
             let zj = m.apply(comm, &basis[j]);
             let mut w = a.matvec(comm, &zj);
             let mut hj = vec![0.0f64; j + 2];
@@ -266,6 +293,9 @@ pub fn gmres(
             k_used = j + 1;
             let res = g[j + 1].abs();
             history.push(res);
+            if let Some(t) = timer {
+                instrument::iter_finish(t, comm, "gmres.iter", total_iters, res);
+            }
             if cfg.done(res, r0_norm) || wnorm == 0.0 {
                 break;
             }
@@ -345,7 +375,14 @@ mod tests {
                 let a = laplace(comm, n);
                 let b = DistVector::from_fn(a.domain_map().clone(), |g| ((g as f64) * 0.1).sin());
                 let mut x = DistVector::zeros(a.domain_map().clone());
-                let st = cg(comm, &a, &b, &mut x, &IdentityPrecond, &KrylovConfig::default());
+                let st = cg(
+                    comm,
+                    &a,
+                    &b,
+                    &mut x,
+                    &IdentityPrecond,
+                    &KrylovConfig::default(),
+                );
                 assert!(st.converged, "CG did not converge: {:?}", st.iterations);
                 check_residual(comm, &a, &b, &x);
                 // 1-D Laplace: CG converges in at most n iterations
@@ -363,8 +400,14 @@ mod tests {
                     let a = laplace(comm, 32);
                     let b = DistVector::constant(a.domain_map().clone(), 1.0);
                     let mut x = DistVector::zeros(a.domain_map().clone());
-                    let st =
-                        cg(comm, &a, &b, &mut x, &IdentityPrecond, &KrylovConfig::default());
+                    let st = cg(
+                        comm,
+                        &a,
+                        &b,
+                        &mut x,
+                        &IdentityPrecond,
+                        &KrylovConfig::default(),
+                    );
                     st.iterations
                 })[0]
             })
@@ -427,7 +470,14 @@ mod tests {
             });
             let b = DistVector::from_fn(a.domain_map().clone(), |g| 1.0 / (g as f64 + 1.0));
             let mut x = DistVector::zeros(a.domain_map().clone());
-            let st = bicgstab(comm, &a, &b, &mut x, &IdentityPrecond, &KrylovConfig::default());
+            let st = bicgstab(
+                comm,
+                &a,
+                &b,
+                &mut x,
+                &IdentityPrecond,
+                &KrylovConfig::default(),
+            );
             assert!(st.converged);
             check_residual(comm, &a, &b, &x);
         });
@@ -506,7 +556,14 @@ mod tests {
             });
             let b = DistVector::constant(a.domain_map().clone(), Complex64::new(1.0, 1.0));
             let mut x = DistVector::zeros(a.domain_map().clone());
-            let st = cg(comm, &a, &b, &mut x, &IdentityPrecond, &KrylovConfig::default());
+            let st = cg(
+                comm,
+                &a,
+                &b,
+                &mut x,
+                &IdentityPrecond,
+                &KrylovConfig::default(),
+            );
             assert!(st.converged);
             let ax = a.matvec(comm, &x);
             let mut r = b.clone();
@@ -521,7 +578,14 @@ mod tests {
             let a = laplace(comm, 10);
             let b = DistVector::zeros(a.domain_map().clone());
             let mut x = DistVector::zeros(a.domain_map().clone());
-            let st = cg(comm, &a, &b, &mut x, &IdentityPrecond, &KrylovConfig::default());
+            let st = cg(
+                comm,
+                &a,
+                &b,
+                &mut x,
+                &IdentityPrecond,
+                &KrylovConfig::default(),
+            );
             assert!(st.converged);
             assert_eq!(st.iterations, 0);
         });

@@ -19,6 +19,7 @@
 pub mod amg;
 pub mod direct;
 pub mod eigen;
+mod instrument;
 pub mod krylov;
 pub mod nonlinear;
 pub mod precond;

@@ -63,6 +63,7 @@ pub fn newton_krylov<P: NonlinearProblem>(
     let mut fnorm = f.norm2(comm);
     let mut history = vec![fnorm];
     if fnorm <= cfg.tol {
+        crate::instrument::record_solve("newton", 0, true, fnorm);
         return SolveStatus {
             converged: true,
             iterations: 0,
@@ -70,6 +71,7 @@ pub fn newton_krylov<P: NonlinearProblem>(
         };
     }
     for it in 1..=cfg.max_iter {
+        let timer = crate::instrument::iter_start(comm);
         let j = problem.jacobian(comm, x);
         // Solve J δ = −F.
         let mut rhs = f.clone();
@@ -99,6 +101,10 @@ pub fn newton_krylov<P: NonlinearProblem>(
         }
         if !accepted {
             // stagnation: report divergence with the history so far
+            if let Some(t) = timer {
+                crate::instrument::iter_finish(t, comm, "newton.iter", it, fnorm);
+            }
+            crate::instrument::record_solve("newton", it, false, fnorm);
             return SolveStatus {
                 converged: false,
                 iterations: it,
@@ -106,7 +112,11 @@ pub fn newton_krylov<P: NonlinearProblem>(
             };
         }
         history.push(fnorm);
+        if let Some(t) = timer {
+            crate::instrument::iter_finish(t, comm, "newton.iter", it, fnorm);
+        }
         if fnorm <= cfg.tol {
+            crate::instrument::record_solve("newton", it, true, fnorm);
             return SolveStatus {
                 converged: true,
                 iterations: it,
@@ -114,6 +124,7 @@ pub fn newton_krylov<P: NonlinearProblem>(
             };
         }
     }
+    crate::instrument::record_solve("newton", cfg.max_iter, false, fnorm);
     SolveStatus {
         converged: false,
         iterations: cfg.max_iter,
@@ -219,7 +230,11 @@ mod tests {
             let st = newton_krylov(comm, &problem, &mut x, &NewtonConfig::default());
             assert!(st.converged);
             for w in st.history.windows(2) {
-                assert!(w[1] <= w[0] * 1.0001, "history not monotone: {:?}", st.history);
+                assert!(
+                    w[1] <= w[0] * 1.0001,
+                    "history not monotone: {:?}",
+                    st.history
+                );
             }
         });
     }

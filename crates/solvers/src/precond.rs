@@ -147,8 +147,8 @@ impl<S: Scalar> Preconditioner<S> for SsorPrecond<S> {
         }
         // Scale: y ← ((2−ω)/ω) D y
         let scale = S::from_f64((2.0 - self.omega) / self.omega);
-        for i in 0..n {
-            y[i] *= scale * b.vals[self.diag_pos[i]];
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi *= scale * b.vals[self.diag_pos[i]];
         }
         // Backward solve: (D/ω + U) z = y
         let mut z = vec![S::zero(); n];

@@ -61,10 +61,10 @@ fn step_global<'c>(u: &DistArray<'c>) -> DistArray<'c> {
         let vals = plan.execute_to_vec(scope.comm, &src);
         let out_buf = scope.local_mut(out_id).as_f64_mut();
         let mut vi = 0;
-        for l in 0..out_map.my_count() {
+        for (l, slot) in out_buf.iter_mut().enumerate().take(out_map.my_count()) {
             let g = out_map.local_to_global(l);
             if g >= 1 && g + 1 < out_map.n_global() {
-                out_buf[l] = vals[vi];
+                *slot = vals[vi];
                 vi += 1;
             }
         }
@@ -113,9 +113,7 @@ fn main() {
     let dx = 1.0 / (n_total as f64 - 1.0);
 
     // initial condition: fundamental sine mode (clean analytic decay)
-    let u0: Vec<f64> = (0..n_total)
-        .map(|i| (PI * i as f64 * dx).sin())
-        .collect();
+    let u0: Vec<f64> = (0..n_total).map(|i| (PI * i as f64 * dx).sin()).collect();
 
     // ---- global mode ----
     let mut u = ctx.from_vec(&u0, hpc_framework::odin::Dist::Block);

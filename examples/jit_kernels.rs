@@ -7,9 +7,7 @@
 
 use std::time::Instant;
 
-use hpc_framework::seamless::{
-    self, CModule, CompiledKernel, Interpreter, Type, Value,
-};
+use hpc_framework::seamless::{self, CModule, CompiledKernel, Interpreter, Type, Value};
 
 const SUM_SRC: &str = "
 def sum(it):

@@ -35,7 +35,9 @@ fn main() {
     println!("max |d(sin)/dx - cos|      = {max_err:.3e} (first-order FD)");
 
     // lazy expressions fuse into one pass (loop fusion)
-    let h = (Expr::leaf(&x).pow(2.0) + Expr::leaf(&y).pow(2.0)).sqrt().eval();
+    let h = (Expr::leaf(&x).pow(2.0) + Expr::leaf(&y).pow(2.0))
+        .sqrt()
+        .eval();
     println!("hypot via fused expression = {:.4} (mean)", h.mean());
 
     // ---- Seamless: compile a pyish kernel, use it as the node-level
@@ -46,8 +48,8 @@ def smooth(a):
     for i in range(1, len(a) - 1):
         a[i] = 0.25 * a[i - 1] + 0.5 * a[i] + 0.25 * a[i + 1]
 ";
-    let kernel = seamless::compile_kernel(src, "smooth", &[seamless::Type::ArrF])
-        .expect("kernel compiles");
+    let kernel =
+        seamless::compile_kernel(src, "smooth", &[seamless::Type::ArrF]).expect("kernel compiles");
     let noisy = ctx.random(&[1_000], 42);
     let before = noisy.to_vec();
     apply_kernel(ctx, &noisy, &kernel);
@@ -94,11 +96,10 @@ def smooth(a):
     );
     println!(
         "CG+AMG on 1-D Laplace (n={n}): {} iterations, residual {:.2e}, converged={}",
-        report.iterations,
-        report.final_residual,
-        report.converged
+        report.iterations, report.final_residual, report.converged
     );
-    println!("solution midpoint u[n/2] = {:.1} (exact: n²/8 + n/4 ≈ {:.1})",
+    println!(
+        "solution midpoint u[n/2] = {:.1} (exact: n²/8 + n/4 ≈ {:.1})",
         solution.to_vec()[n / 2],
         (n * n) as f64 / 8.0 + n as f64 / 4.0,
     );

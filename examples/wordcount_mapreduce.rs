@@ -36,7 +36,10 @@ fn main() {
         .collect();
     let total_records = records.len();
     let table = ctx.table_from_records(schema, records);
-    println!("loaded {total_records} records over {} workers", ctx.n_workers());
+    println!(
+        "loaded {total_records} records over {} workers",
+        ctx.n_workers()
+    );
 
     // ---- filter + group-by (SQL: SELECT city, SUM(bytes) WHERE path='/api') ----
     let api = table.filter(|r| r.0[1].as_str() == "/api");

@@ -5,6 +5,7 @@ pub use dlinalg;
 pub use dmap;
 pub use galeri;
 pub use hpc_core;
+pub use obs;
 pub use odin;
 pub use seamless;
 pub use solvers;

@@ -16,4 +16,10 @@ echo "== tier-1: build + test (offline)"
 cargo build --release --offline
 cargo test -q --offline
 
+echo "== tier-1 tests again with metrics recording on"
+HPC_METRICS=1 cargo test -q --offline
+
+echo "== cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
+
 echo "== ci.sh: all green"

@@ -1,0 +1,125 @@
+//! E17 — compute/communication overlap from the nonblocking request layer.
+//!
+//! Two views:
+//! * **modeled**: SpMV-CG on the LogGP virtual clock — the same CG
+//!   iteration structure run with the overlapped split-phase matvec
+//!   (post receives → interior rows → wait → boundary rows) vs the
+//!   blocking reference that completes the halo exchange before touching
+//!   a row. Arithmetic is bitwise identical; only the timeline differs.
+//! * **measured**: pipelined ODIN dispatch — a stream of independent
+//!   reductions issued as reply futures and claimed at the end vs the
+//!   drain-per-command pattern that waits out each reply before issuing
+//!   the next command.
+//!
+//! Run with `HPC_TRACE=<file>` to see the request-lifetime spans
+//! (`isend`/`irecv` post→complete) in the Chrome trace.
+
+use bench::fmt_s;
+use comm::{ReduceOp, Universe, UniverseConfig};
+use dlinalg::DistVector;
+use galeri::laplace_2d;
+use odin::OdinContext;
+
+/// Fixed-iteration CG-shaped loop: one SpMV + 3 scalar allreduces +
+/// ~10 flops/row of vector updates per iteration. Returns the modeled
+/// makespan with either the overlapped or the blocking matvec.
+fn modeled_spmv_cg(ranks: usize, grid: usize, iters: usize, blocking: bool) -> f64 {
+    let report = Universe::run_report(UniverseConfig::default(), ranks, move |comm| {
+        let a = laplace_2d(comm, grid, grid);
+        let mut p = DistVector::from_fn(a.domain_map().clone(), |g| 1.0 + (g % 13) as f64);
+        let mut y = DistVector::zeros(a.row_map().clone());
+        let rows_local = a.row_map().my_count();
+        for _ in 0..iters {
+            if blocking {
+                a.matvec_into_blocking(comm, &p, &mut y);
+            } else {
+                a.matvec_into(comm, &p, &mut y);
+            }
+            for _ in 0..3 {
+                let _ = comm.allreduce(&1.0f64, ReduceOp::sum());
+            }
+            comm.advance_compute(10.0 * rows_local as f64);
+            std::mem::swap(&mut p, &mut y);
+        }
+    });
+    report.makespan_s
+}
+
+fn main() {
+    let _obs = bench::obs_init();
+    bench::header(
+        "E17",
+        "nonblocking requests: overlap and pipelining",
+        "in-flight messages overlap with compute; independent ODIN commands \
+         overlap in flight instead of draining one reply at a time",
+    );
+
+    // ---- modeled: overlapped vs blocking SpMV-CG -------------------------
+    let grid = 512usize;
+    let iters = 60usize;
+    println!(
+        "modeled SpMV-CG, 2-D Laplace {grid}x{grid} (n = {}), {iters} iterations:",
+        grid * grid
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>9}",
+        "ranks", "blocking", "overlapped", "gain"
+    );
+    for ranks in [4usize, 16, 64, 256] {
+        let mb = modeled_spmv_cg(ranks, grid, iters, true);
+        let mo = modeled_spmv_cg(ranks, grid, iters, false);
+        if ranks >= 16 {
+            assert!(
+                mo < mb,
+                "overlap must strictly beat blocking at {ranks} ranks ({mo} vs {mb})"
+            );
+        }
+        println!(
+            "{ranks:>8} {:>12} {:>12} {:>8.1}%",
+            fmt_s(mb),
+            fmt_s(mo),
+            100.0 * (mb - mo) / mb
+        );
+    }
+
+    // ---- measured: pipelined vs drain-per-command ODIN dispatch ----------
+    let n_arrays = 24usize;
+    let len = 50_000usize;
+    let ctx = OdinContext::with_workers(4);
+    let arrays: Vec<_> = (0..n_arrays)
+        .map(|k| ctx.full(&[len], 1.0 + k as f64, odin::Dist::Block))
+        .collect();
+
+    let (drained, t_drain) = bench::timed(|| -> f64 { arrays.iter().map(|a| a.sum()).sum() });
+
+    let mut max_depth = 0;
+    let (pipelined, t_pipe) = bench::timed(|| -> f64 {
+        let pending: Vec<_> = arrays.iter().map(|a| a.sum_async()).collect();
+        max_depth = ctx.outstanding_replies();
+        pending.into_iter().map(|p| p.wait()).sum()
+    });
+    assert_eq!(
+        drained.to_bits(),
+        pipelined.to_bits(),
+        "pipelining must not change results"
+    );
+
+    println!(
+        "\nmeasured ODIN dispatch, {n_arrays} independent reductions of {len} elements, 4 workers:"
+    );
+    println!(
+        "  drain-per-command: {:>10}   (in-flight depth 1)",
+        fmt_s(t_drain)
+    );
+    println!(
+        "  pipelined:         {:>10}   (in-flight depth {})",
+        fmt_s(t_pipe),
+        max_depth
+    );
+    println!("  checksum match: {drained:.3} == {pipelined:.3} (bitwise)");
+
+    println!("\nshape: overlap hides the halo-exchange latency behind interior");
+    println!("rows, so the gain grows as ranks shrink the per-rank compute;");
+    println!("pipelined dispatch keeps every worker busy instead of idling the");
+    println!("master on one round-trip per command.");
+}

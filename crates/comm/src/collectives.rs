@@ -325,10 +325,11 @@ impl Comm {
                 }
                 if rank >= p2 {
                     // Fold this rank onto its partner, then wait for result.
-                    self.send(rank - p2, tag, value).expect("allreduce send");
+                    let sreq = self.isend(rank - p2, tag, value).expect("allreduce send");
                     let (v, _) = self
                         .recv::<T>(Src::Rank(rank - p2), tag)
                         .expect("allreduce recv");
+                    self.wait(sreq).expect("allreduce send wait");
                     return v;
                 }
                 let mut acc = value.clone();
@@ -344,10 +345,17 @@ impl Comm {
                     let round_tag = round_tags[round];
                     round += 1;
                     let partner = rank ^ mask;
-                    self.send(partner, round_tag, &acc).expect("allreduce send");
-                    let (theirs, _) = self
-                        .recv::<T>(Src::Rank(partner), round_tag)
-                        .expect("allreduce recv");
+                    // Post the outgoing block, receive the partner's, then
+                    // settle the send: the outgoing serialization overlaps
+                    // the wait for the incoming message.
+                    let sreq = self
+                        .isend(partner, round_tag, &acc)
+                        .expect("allreduce send");
+                    let rreq = self
+                        .irecv(Src::Rank(partner), round_tag)
+                        .expect("allreduce irecv");
+                    let (theirs, _) = self.wait_recv::<T>(rreq).expect("allreduce recv");
+                    self.wait(sreq).expect("allreduce send wait");
                     // Combine in rank order so all ranks compute the same
                     // bracketing even for merely-associative ops.
                     acc = if partner < rank {
@@ -424,10 +432,12 @@ impl Comm {
                 let mut carry = value.clone();
                 for step in 0..size - 1 {
                     let tag = self.next_coll_tag();
-                    self.send(right, tag, &carry).expect("allgather send");
-                    let (v, _) = self
-                        .recv::<T>(Src::Rank(left), tag)
-                        .expect("allgather recv");
+                    // Request-layer ring step: the rightward send drains on
+                    // the NIC while this rank waits on its left neighbor.
+                    let sreq = self.isend(right, tag, &carry).expect("allgather send");
+                    let rreq = self.irecv(Src::Rank(left), tag).expect("allgather irecv");
+                    let (v, _) = self.wait_recv::<T>(rreq).expect("allgather recv");
+                    self.wait(sreq).expect("allgather send wait");
                     let idx = (rank + size - step - 1) % size;
                     blocks[idx] = Some(v.clone());
                     carry = v;
@@ -500,11 +510,13 @@ impl Comm {
             let tag = self.next_coll_tag();
             let dest = (rank + shift) % size;
             let src = (rank + size - shift) % size;
-            self.send(dest, tag, &outgoing[dest])
+            let sreq = self
+                .isend(dest, tag, &outgoing[dest])
                 .expect("alltoall send");
             let (v, _) = self
                 .recv::<Vec<T>>(Src::Rank(src), tag)
                 .expect("alltoall recv");
+            self.wait(sreq).expect("alltoall send wait");
             incoming[src] = v;
         }
         incoming

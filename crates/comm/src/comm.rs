@@ -4,15 +4,15 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::Duration;
 
 use crate::collectives::CollectiveAlgo;
 use crate::error::CommError;
 use crate::model::NetworkModel;
 use crate::stats::CommStats;
-use crate::wire::{decode_from_slice, encode_to_vec, Wire};
+use crate::wire::{decode_from_slice, Wire};
 
-/// Message tag. User tags must be below [`Tag::MAX_USER`]; higher values are
+/// Message tag. User tags must be below [`MAX_USER_TAG`]; higher values are
 /// reserved for collectives.
 pub type Tag = u32;
 
@@ -56,6 +56,12 @@ pub(crate) struct RankState {
     pub(crate) rx: Receiver<Envelope>,
     pub(crate) pending: RefCell<Vec<Envelope>>,
     pub(crate) clock: Cell<f64>,
+    /// Virtual time at which the NIC finishes serializing every send
+    /// posted so far (posted sends queue back-to-back on the wire).
+    pub(crate) nic_free: Cell<f64>,
+    /// Wall-clock deadline for blocking receives/waits; `None` blocks
+    /// forever (see [`CommError::Stalled`]).
+    pub(crate) stall_timeout: Cell<Option<Duration>>,
     pub(crate) stats: RefCell<CommStats>,
 }
 
@@ -65,13 +71,13 @@ pub(crate) struct RankState {
 /// an `MPI_Comm` lives in its process.
 pub struct Comm {
     rank: usize,
-    ctx: u64,
+    pub(crate) ctx: u64,
     /// communicator-local rank → global rank
-    group: Arc<Vec<usize>>,
+    pub(crate) group: Arc<Vec<usize>>,
     /// global rank → mailbox sender
-    senders: Arc<Vec<Sender<Envelope>>>,
-    state: Rc<RankState>,
-    model: NetworkModel,
+    pub(crate) senders: Arc<Vec<Sender<Envelope>>>,
+    pub(crate) state: Rc<RankState>,
+    pub(crate) model: NetworkModel,
     algo: CollectiveAlgo,
     pub(crate) coll_seq: Cell<u64>,
     split_seq: Cell<u64>,
@@ -100,6 +106,7 @@ impl Comm {
         rx: Receiver<Envelope>,
         model: NetworkModel,
         algo: CollectiveAlgo,
+        stall_timeout: Option<Duration>,
     ) -> Self {
         Comm {
             rank,
@@ -110,6 +117,8 @@ impl Comm {
                 rx,
                 pending: RefCell::new(Vec::new()),
                 clock: Cell::new(0.0),
+                nic_free: Cell::new(0.0),
+                stall_timeout: Cell::new(stall_timeout),
                 stats: RefCell::new(CommStats::default()),
             }),
             model,
@@ -178,7 +187,7 @@ impl Comm {
         *self.state.stats.borrow_mut() = CommStats::default();
     }
 
-    fn check_rank(&self, r: usize) -> Result<(), CommError> {
+    pub(crate) fn check_rank(&self, r: usize) -> Result<(), CommError> {
         if r >= self.size() {
             Err(CommError::InvalidRank {
                 rank: r,
@@ -189,87 +198,26 @@ impl Comm {
         }
     }
 
-    /// Registry labels use the *global* rank so sub-communicator traffic
-    /// aggregates onto the same per-rank series as world traffic.
-    #[cold]
-    fn obs_count_send(&self, n: usize, virt_start: f64, virt_end: f64, dest: usize, tag: Tag) {
-        let timer = obs::span::span_start(virt_start);
-        timer.finish(
-            "comm",
-            "send",
-            virt_end,
-            &[
-                ("bytes", n as f64),
-                ("dest", self.group[dest] as f64),
-                ("tag", tag as f64),
-            ],
-        );
-        let rank = self.group[self.rank].to_string();
-        let g = obs::global();
-        g.counter(&obs::registry::key("comm.msgs_sent", &[("rank", &rank)]))
-            .inc();
-        g.counter(&obs::registry::key("comm.bytes_sent", &[("rank", &rank)]))
-            .add(n as u64);
-        g.histogram("comm.sent_msg_bytes").record(n as u64);
+    /// Override the stall deadline for blocking receives and request
+    /// waits on this rank (shared by every derived sub-communicator).
+    pub fn set_stall_timeout(&self, timeout: Option<Duration>) {
+        self.state.stall_timeout.set(timeout);
     }
 
-    #[cold]
-    fn obs_count_recv(&self, timer: obs::span::SpanTimer, status: &Status, virt_end: f64) {
-        timer.finish(
-            "comm",
-            "recv",
-            virt_end,
-            &[
-                ("bytes", status.bytes as f64),
-                ("src", self.group[status.src] as f64),
-                ("tag", status.tag as f64),
-            ],
-        );
-        let rank = self.group[self.rank].to_string();
-        let g = obs::global();
-        g.counter(&obs::registry::key("comm.msgs_recv", &[("rank", &rank)]))
-            .inc();
-        g.counter(&obs::registry::key("comm.bytes_recv", &[("rank", &rank)]))
-            .add(status.bytes as u64);
-    }
-
-    /// Send raw bytes to `dest` (communicator-local) with `tag`.
+    /// Send raw bytes to `dest` (communicator-local) with `tag`. Blocking
+    /// wrapper over [`Comm::isend_bytes`]: posts the message and settles
+    /// the clock immediately, charging the full `o + bytes·G`.
     pub fn send_bytes(&self, dest: usize, tag: Tag, bytes: Vec<u8>) -> Result<(), CommError> {
-        self.check_rank(dest)?;
-        let n = bytes.len();
-        // Charge the sender CPU overhead plus wire serialization (the NIC
-        // emits bytes sequentially — without this, a rank could "send" P
-        // large messages for free and linear broadcasts would look ideal).
-        let dt = self.model.overhead_s + n as f64 * self.model.seconds_per_byte;
-        let start = self.state.clock.get();
-        let depart = start + dt;
-        self.state.clock.set(depart);
-        {
-            let mut st = self.state.stats.borrow_mut();
-            st.msgs_sent += 1;
-            st.bytes_sent += n as u64;
-            st.modeled_comm_s += dt;
-        }
-        if obs::enabled() {
-            self.obs_count_send(n, start, depart, dest, tag);
-        }
-        self.senders[self.group[dest]]
-            .send(Envelope {
-                ctx: self.ctx,
-                src: self.rank,
-                tag,
-                depart,
-                bytes,
-            })
-            .map_err(|_| CommError::Disconnected)
+        let req = self.isend_bytes_named(dest, tag, bytes, "send")?;
+        self.wait(req).map(|_| ())
     }
 
     /// Send a typed value to `dest` with `tag`.
     pub fn send<T: Wire>(&self, dest: usize, tag: Tag, value: &T) -> Result<(), CommError> {
-        self.send_bytes(dest, tag, encode_to_vec(value))
+        self.send_bytes(dest, tag, crate::wire::encode_to_vec(value))
     }
 
-    fn matches(&self, env: &Envelope, src: Src, tag: Tag) -> bool {
+    pub(crate) fn matches(&self, env: &Envelope, src: Src, tag: Tag) -> bool {
         env.ctx == self.ctx
             && env.tag == tag
             && match src {
@@ -278,66 +226,13 @@ impl Comm {
             }
     }
 
-    /// Receive raw bytes matching `(src, tag)`; blocks until a match arrives.
+    /// Receive raw bytes matching `(src, tag)`; blocks until a match
+    /// arrives. Blocking wrapper over [`Comm::irecv`] + [`Comm::wait`].
     pub fn recv_bytes(&self, src: Src, tag: Tag) -> Result<(Vec<u8>, Status), CommError> {
-        if let Src::Rank(r) = src {
-            self.check_rank(r)?;
-        }
-        let timer = if obs::enabled() {
-            Some(obs::span::span_start(self.state.clock.get()))
-        } else {
-            None
-        };
-        // First scan messages that arrived earlier but did not match then.
-        {
-            let mut pending = self.state.pending.borrow_mut();
-            if let Some(i) = pending.iter().position(|e| self.matches(e, src, tag)) {
-                let env = pending.remove(i);
-                drop(pending);
-                let out = self.deliver(env);
-                if let Some(t) = timer {
-                    self.obs_count_recv(t, &out.1, self.state.clock.get());
-                }
-                return Ok(out);
-            }
-        }
-        let t0 = Instant::now();
-        loop {
-            let env = self.state.rx.recv().map_err(|_| CommError::Disconnected)?;
-            if self.matches(&env, src, tag) {
-                self.state.stats.borrow_mut().wall_recv_s += t0.elapsed().as_secs_f64();
-                let out = self.deliver(env);
-                if let Some(t) = timer {
-                    self.obs_count_recv(t, &out.1, self.state.clock.get());
-                }
-                return Ok(out);
-            }
-            self.state.pending.borrow_mut().push(env);
-        }
-    }
-
-    fn deliver(&self, env: Envelope) -> (Vec<u8>, Status) {
-        let n = env.bytes.len();
-        // Serialization was charged to the sender; the wire adds latency.
-        let arrive = env.depart + self.model.latency_s;
-        let old = self.state.clock.get();
-        let new = old.max(arrive) + self.model.overhead_s;
-        self.state.clock.set(new);
-        {
-            let mut st = self.state.stats.borrow_mut();
-            st.msgs_recv += 1;
-            st.bytes_recv += n as u64;
-            st.modeled_comm_s += new - old;
-        }
-        (
-            env.bytes,
-            Status {
-                src: env.src,
-                tag: env.tag,
-                bytes: n,
-                depart: env.depart,
-            },
-        )
+        let req = self.irecv_named(src, tag, "recv")?;
+        Ok(self
+            .wait(req)?
+            .expect("receive completion carries a payload"))
     }
 
     /// Receive a typed value matching `(src, tag)`.
@@ -360,7 +255,9 @@ impl Comm {
     }
 
     /// Exchange with a partner: send then receive with the same tag.
-    /// Safe against deadlock because sends never block.
+    /// Safe against deadlock because sends never block. Built on the
+    /// request layer so the outgoing serialization overlaps the wait for
+    /// the incoming message.
     pub fn sendrecv<T: Wire, U: Wire>(
         &self,
         dest: usize,
@@ -368,8 +265,9 @@ impl Comm {
         src: usize,
         tag: Tag,
     ) -> Result<U, CommError> {
-        self.send(dest, tag, send_value)?;
+        let sreq = self.isend(dest, tag, send_value)?;
         let (v, _) = self.recv::<U>(Src::Rank(src), tag)?;
+        self.wait(sreq)?;
         Ok(v)
     }
 

@@ -14,6 +14,19 @@ pub enum CommError {
     /// A collective was called with inconsistent arguments across ranks
     /// (detected where cheaply possible, e.g. mismatched scatter lengths).
     CollectiveMismatch(String),
+    /// A blocking receive or request wait exceeded its deadline. Carries
+    /// enough to diagnose the hang: who was waiting (global rank), for
+    /// whom (`None` = any source), on which tag, and for how long.
+    Stalled {
+        /// Global rank that was blocked.
+        rank: usize,
+        /// Global rank it was waiting on, if a specific one.
+        src: Option<usize>,
+        /// Tag it was matching.
+        tag: u32,
+        /// Wall-clock milliseconds spent waiting before giving up.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -25,6 +38,21 @@ impl fmt::Display for CommError {
                 write!(f, "invalid rank {rank} for communicator of size {size}")
             }
             CommError::CollectiveMismatch(msg) => write!(f, "collective mismatch: {msg}"),
+            CommError::Stalled {
+                rank,
+                src,
+                tag,
+                waited_ms,
+            } => {
+                write!(
+                    f,
+                    "rank {rank} stalled {waited_ms} ms waiting for tag {tag} from "
+                )?;
+                match src {
+                    Some(s) => write!(f, "rank {s}"),
+                    None => write!(f, "any rank"),
+                }
+            }
         }
     }
 }
@@ -49,5 +77,25 @@ mod tests {
         assert!(CommError::CollectiveMismatch("x".into())
             .to_string()
             .contains("x"));
+        assert_eq!(
+            CommError::Stalled {
+                rank: 3,
+                src: Some(1),
+                tag: 7,
+                waited_ms: 250
+            }
+            .to_string(),
+            "rank 3 stalled 250 ms waiting for tag 7 from rank 1"
+        );
+        assert_eq!(
+            CommError::Stalled {
+                rank: 0,
+                src: None,
+                tag: 2,
+                waited_ms: 10
+            }
+            .to_string(),
+            "rank 0 stalled 10 ms waiting for tag 2 from any rank"
+        );
     }
 }

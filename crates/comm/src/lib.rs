@@ -31,6 +31,7 @@ pub mod collectives;
 pub mod comm;
 pub mod error;
 pub mod model;
+pub mod request;
 pub mod stats;
 pub mod universe;
 pub mod wire;
@@ -39,6 +40,7 @@ pub use crate::comm::{Comm, Src, Status, Tag, MAX_USER_TAG};
 pub use collectives::{CollectiveAlgo, ReduceOp};
 pub use error::CommError;
 pub use model::NetworkModel;
+pub use request::{Completion, Request};
 pub use stats::CommStats;
 pub use universe::{RunReport, Universe, UniverseConfig};
 pub use wire::{decode_from_slice, encode_to_vec, Cursor, Wire};

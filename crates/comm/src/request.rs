@@ -1,0 +1,661 @@
+//! Nonblocking point-to-point requests: `isend`/`irecv` + `wait`/`test`.
+//!
+//! This is the message-passing core; the blocking [`Comm::send`]/
+//! [`Comm::recv`]/[`Comm::sendrecv`] calls (and the ring / recursive-
+//! doubling collectives) are thin wrappers that post a request and wait on
+//! it immediately. Posting and completing are split so callers can overlap
+//! communication with modeled compute ([`Comm::advance_compute`]).
+//!
+//! ## Virtual-time rules (LogGP, extended for overlap)
+//!
+//! * **`isend`** charges the sender only the CPU overhead `o` of posting.
+//!   Serialization happens "on the NIC": the message occupies the wire from
+//!   `max(clock, nic_free)` for `bytes·G` seconds, and consecutive posted
+//!   sends queue behind each other (`nic_free` tracks when the NIC drains).
+//!   A blocked-on immediately (`send`) request therefore costs exactly the
+//!   old blocking `o + bytes·G`.
+//! * **`wait` on a send** advances the clock to the departure time if the
+//!   clock has not already passed it. Any wire time the clock *did* pass —
+//!   because the rank computed while the NIC drained — is counted as
+//!   [`CommStats::overlap_s`](crate::CommStats::overlap_s) instead of stall time.
+//! * **`irecv`** is free to post; it only records the posting clock.
+//! * **`wait` on a receive** applies the blocking delivery rule
+//!   `clock = max(clock, depart + L) + o`, but the charge is measured from
+//!   the *wait* clock, not the *post* clock. The difference — flight time
+//!   that elapsed while this rank computed between post and wait — is
+//!   credited to `overlap_s`. A receive waited immediately costs exactly
+//!   the old blocking receive.
+//!
+//! `overlap_s` is therefore "modeled seconds of communication hidden
+//! behind compute", the quantity experiment E17 reports; it is also
+//! exported as the `comm.overlap_s{rank=…}` gauge when metrics are on.
+//!
+//! Tag matching is unchanged: a request matches `(ctx, tag, src)` with the
+//! same pending-queue scan as blocking receives, so nonblocking and
+//! blocking traffic interleave safely on one communicator. Matching
+//! happens at `test`/`wait` time; waiting on same-`(src, tag)` requests in
+//! post order reproduces MPI's posted-receive order. Dropping an unwaited
+//! receive request does not consume a message (the envelope stays
+//! available to later receives).
+
+use std::time::{Duration, Instant};
+
+use crate::comm::{Comm, Envelope, Src, Status, Tag};
+use crate::error::CommError;
+use crate::wire::{decode_from_slice, encode_to_vec, Wire};
+
+/// Payload of a completed request: `None` for sends, the received message
+/// for receives.
+pub type Completion = Option<(Vec<u8>, Status)>;
+
+pub(crate) enum ReqInner {
+    Send {
+        /// Clock right after posting (post cost `o` already charged).
+        post_end: f64,
+        /// When the NIC finishes serializing this message.
+        depart: f64,
+    },
+    Recv {
+        src: Src,
+        tag: Tag,
+        /// Clock when the receive was posted.
+        posted_at: f64,
+        /// Envelope claimed by a successful `test`, delivered at `wait`.
+        ready: Option<Envelope>,
+    },
+}
+
+/// Handle to an in-flight nonblocking operation. Complete it with
+/// [`Comm::wait`] (or [`Comm::waitall`]/[`Comm::waitany`]) on the same
+/// communicator that created it.
+pub struct Request {
+    pub(crate) inner: ReqInner,
+    /// Communicator context, to catch cross-communicator waits in debug.
+    pub(crate) ctx: u64,
+    /// Span covering the request lifetime (post → complete).
+    pub(crate) timer: Option<obs::span::SpanTimer>,
+    /// Span name: `isend`/`irecv`, or `send`/`recv` for blocking wrappers.
+    pub(crate) span_name: &'static str,
+}
+
+impl Request {
+    /// Is this a send request? (Sends are always complete: payloads are
+    /// buffered at post time, so `wait` only settles the virtual clock.)
+    pub fn is_send(&self) -> bool {
+        matches!(self.inner, ReqInner::Send { .. })
+    }
+}
+
+impl Comm {
+    /// Post a nonblocking raw-bytes send. See the module docs for the
+    /// virtual-time rules.
+    pub fn isend_bytes(&self, dest: usize, tag: Tag, bytes: Vec<u8>) -> Result<Request, CommError> {
+        self.isend_bytes_named(dest, tag, bytes, "isend")
+    }
+
+    /// Post a nonblocking typed send.
+    pub fn isend<T: Wire>(&self, dest: usize, tag: Tag, value: &T) -> Result<Request, CommError> {
+        self.isend_bytes_named(dest, tag, encode_to_vec(value), "isend")
+    }
+
+    pub(crate) fn isend_bytes_named(
+        &self,
+        dest: usize,
+        tag: Tag,
+        bytes: Vec<u8>,
+        span_name: &'static str,
+    ) -> Result<Request, CommError> {
+        self.check_rank(dest)?;
+        let n = bytes.len();
+        let state = &self.state;
+        let posted_at = state.clock.get();
+        // CPU cost of posting; wire serialization runs on the NIC and can
+        // overlap compute until `wait` settles the clock.
+        let post_end = posted_at + self.model.overhead_s;
+        state.clock.set(post_end);
+        let ser_start = post_end.max(state.nic_free.get());
+        let depart = ser_start + n as f64 * self.model.seconds_per_byte;
+        state.nic_free.set(depart);
+        {
+            let mut st = state.stats.borrow_mut();
+            st.msgs_sent += 1;
+            st.bytes_sent += n as u64;
+            st.modeled_comm_s += self.model.overhead_s;
+        }
+        let timer = if obs::enabled() {
+            self.obs_count_send(n, dest, tag);
+            Some(obs::span::span_start(posted_at))
+        } else {
+            None
+        };
+        self.senders[self.group[dest]]
+            .send(Envelope {
+                ctx: self.ctx,
+                src: self.rank(),
+                tag,
+                depart,
+                bytes,
+            })
+            .map_err(|_| CommError::Disconnected)?;
+        Ok(Request {
+            inner: ReqInner::Send { post_end, depart },
+            ctx: self.ctx,
+            timer,
+            span_name,
+        })
+    }
+
+    /// Post a nonblocking receive matching `(src, tag)`.
+    pub fn irecv(&self, src: Src, tag: Tag) -> Result<Request, CommError> {
+        self.irecv_named(src, tag, "irecv")
+    }
+
+    pub(crate) fn irecv_named(
+        &self,
+        src: Src,
+        tag: Tag,
+        span_name: &'static str,
+    ) -> Result<Request, CommError> {
+        if let Src::Rank(r) = src {
+            self.check_rank(r)?;
+        }
+        let posted_at = self.state.clock.get();
+        let timer = if obs::enabled() {
+            Some(obs::span::span_start(posted_at))
+        } else {
+            None
+        };
+        Ok(Request {
+            inner: ReqInner::Recv {
+                src,
+                tag,
+                posted_at,
+                ready: None,
+            },
+            ctx: self.ctx,
+            timer,
+            span_name,
+        })
+    }
+
+    /// Nonblocking completion check. Sends are always complete; a receive
+    /// completes once a matching message is available (the message is then
+    /// claimed by this request, and `wait` will deliver it without
+    /// blocking). Never advances the virtual clock.
+    pub fn test(&self, req: &mut Request) -> bool {
+        debug_assert_eq!(
+            req.ctx, self.ctx,
+            "request tested on a different communicator"
+        );
+        match &mut req.inner {
+            ReqInner::Send { .. } => true,
+            ReqInner::Recv {
+                src, tag, ready, ..
+            } => {
+                if ready.is_some() {
+                    return true;
+                }
+                // Drain the mailbox without blocking, then claim a match.
+                while let Ok(env) = self.state.rx.try_recv() {
+                    self.state.pending.borrow_mut().push(env);
+                }
+                let mut pending = self.state.pending.borrow_mut();
+                if let Some(i) = pending.iter().position(|e| self.matches(e, *src, *tag)) {
+                    *ready = Some(pending.remove(i));
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Complete a request, blocking if necessary. Returns the received
+    /// message for receives, `None` for sends. Honors the universe's stall
+    /// deadline (see [`CommError::Stalled`]).
+    pub fn wait(&self, req: Request) -> Result<Completion, CommError> {
+        self.wait_deadline(req, self.state.stall_timeout.get())
+    }
+
+    /// Complete a receive request and decode its payload.
+    pub fn wait_recv<T: Wire>(&self, req: Request) -> Result<(T, Status), CommError> {
+        debug_assert!(!req.is_send(), "wait_recv on a send request");
+        let (bytes, status) = self
+            .wait(req)?
+            .expect("receive completion carries a payload");
+        Ok((decode_from_slice(&bytes)?, status))
+    }
+
+    pub(crate) fn wait_deadline(
+        &self,
+        req: Request,
+        deadline: Option<Duration>,
+    ) -> Result<Completion, CommError> {
+        debug_assert_eq!(
+            req.ctx, self.ctx,
+            "request waited on a different communicator"
+        );
+        let state = &self.state;
+        match req.inner {
+            ReqInner::Send { post_end, depart } => {
+                let clock = state.clock.get();
+                // Wire time the clock already passed was hidden by compute.
+                let charge = (depart - clock).max(0.0);
+                let overlap = (depart - post_end) - charge;
+                state.clock.set(clock.max(depart));
+                {
+                    let mut st = state.stats.borrow_mut();
+                    st.modeled_comm_s += charge;
+                    st.overlap_s += overlap;
+                }
+                if let Some(t) = req.timer {
+                    self.obs_request_done(t, req.span_name, overlap);
+                }
+                Ok(None)
+            }
+            ReqInner::Recv {
+                src,
+                tag,
+                posted_at,
+                ready,
+            } => {
+                let env = match ready {
+                    Some(env) => env,
+                    None => self.claim_matching(src, tag, deadline)?,
+                };
+                let out = self.deliver_posted(env, posted_at);
+                if let Some(t) = req.timer {
+                    self.obs_count_recv(t, req.span_name, &out.1);
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+
+    /// Find (or block for) an envelope matching `(src, tag)`, honoring an
+    /// optional stall deadline.
+    fn claim_matching(
+        &self,
+        src: Src,
+        tag: Tag,
+        deadline: Option<Duration>,
+    ) -> Result<Envelope, CommError> {
+        {
+            let mut pending = self.state.pending.borrow_mut();
+            if let Some(i) = pending.iter().position(|e| self.matches(e, src, tag)) {
+                return Ok(pending.remove(i));
+            }
+        }
+        let t0 = Instant::now();
+        loop {
+            let env = match deadline {
+                None => self.state.rx.recv().map_err(|_| CommError::Disconnected)?,
+                Some(limit) => {
+                    let remaining = limit
+                        .checked_sub(t0.elapsed())
+                        .ok_or_else(|| self.stalled(src, tag, t0.elapsed()))?;
+                    use std::sync::mpsc::RecvTimeoutError;
+                    match self.state.rx.recv_timeout(remaining) {
+                        Ok(env) => env,
+                        Err(RecvTimeoutError::Timeout) => {
+                            return Err(self.stalled(src, tag, t0.elapsed()))
+                        }
+                        Err(RecvTimeoutError::Disconnected) => return Err(CommError::Disconnected),
+                    }
+                }
+            };
+            if self.matches(&env, src, tag) {
+                self.state.stats.borrow_mut().wall_recv_s += t0.elapsed().as_secs_f64();
+                return Ok(env);
+            }
+            self.state.pending.borrow_mut().push(env);
+        }
+    }
+
+    fn stalled(&self, src: Src, tag: Tag, waited: Duration) -> CommError {
+        CommError::Stalled {
+            rank: self.global_rank_of(self.rank()),
+            src: match src {
+                Src::Any => None,
+                Src::Rank(r) => Some(self.global_rank_of(r)),
+            },
+            tag,
+            waited_ms: waited.as_millis() as u64,
+        }
+    }
+
+    /// Deliver an envelope for a receive that was posted at `posted_at`:
+    /// the blocking delivery rule, minus flight time that already elapsed
+    /// while the rank computed (credited to `overlap_s`).
+    fn deliver_posted(&self, env: Envelope, posted_at: f64) -> (Vec<u8>, Status) {
+        let state = &self.state;
+        let n = env.bytes.len();
+        let arrive = env.depart + self.model.latency_s;
+        let old = state.clock.get();
+        let new = old.max(arrive) + self.model.overhead_s;
+        state.clock.set(new);
+        let charge = new - old;
+        // What an immediate blocking receive would have cost at post time.
+        let blocking_cost = posted_at.max(arrive) + self.model.overhead_s - posted_at;
+        {
+            let mut st = state.stats.borrow_mut();
+            st.msgs_recv += 1;
+            st.bytes_recv += n as u64;
+            st.modeled_comm_s += charge;
+            st.overlap_s += blocking_cost - charge;
+        }
+        (
+            env.bytes,
+            Status {
+                src: env.src,
+                tag: env.tag,
+                bytes: n,
+                depart: env.depart,
+            },
+        )
+    }
+
+    /// Complete every request, in order. Envelopes arriving for a
+    /// later request while an earlier one blocks are parked in the
+    /// pending queue, so order never deadlocks.
+    pub fn waitall(&self, reqs: Vec<Request>) -> Result<Vec<Completion>, CommError> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Complete whichever request finishes first, removing it from `reqs`;
+    /// returns its original index and completion. Sends complete
+    /// immediately; among receives, whichever message is available (or
+    /// arrives) first wins. Panics if `reqs` is empty.
+    pub fn waitany(&self, reqs: &mut Vec<Request>) -> Result<(usize, Completion), CommError> {
+        assert!(!reqs.is_empty(), "waitany on an empty request set");
+        let t0 = Instant::now();
+        let deadline = self.state.stall_timeout.get();
+        loop {
+            for i in 0..reqs.len() {
+                if self.test(&mut reqs[i]) {
+                    let req = reqs.remove(i);
+                    return Ok((i, self.wait(req)?));
+                }
+            }
+            // All are unmatched receives: block for the next envelope and
+            // rescan. Mismatches park in pending exactly like `recv`.
+            let env = match deadline {
+                None => self.state.rx.recv().map_err(|_| CommError::Disconnected)?,
+                Some(limit) => {
+                    let remaining = limit
+                        .checked_sub(t0.elapsed())
+                        .ok_or_else(|| self.stalled_any(reqs, t0.elapsed()))?;
+                    use std::sync::mpsc::RecvTimeoutError;
+                    match self.state.rx.recv_timeout(remaining) {
+                        Ok(env) => env,
+                        Err(RecvTimeoutError::Timeout) => {
+                            return Err(self.stalled_any(reqs, t0.elapsed()))
+                        }
+                        Err(RecvTimeoutError::Disconnected) => return Err(CommError::Disconnected),
+                    }
+                }
+            };
+            self.state.pending.borrow_mut().push(env);
+        }
+    }
+
+    fn stalled_any(&self, reqs: &[Request], waited: Duration) -> CommError {
+        // Report the first pending receive's match spec as the diagnostic.
+        for r in reqs {
+            if let ReqInner::Recv { src, tag, .. } = r.inner {
+                return self.stalled(src, tag, waited);
+            }
+        }
+        self.stalled(Src::Any, 0, waited)
+    }
+
+    /// Receive with an explicit deadline, independent of the universe's
+    /// configured stall timeout.
+    pub fn recv_timeout<T: Wire>(
+        &self,
+        src: Src,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<(T, Status), CommError> {
+        let (bytes, status) = self.recv_bytes_timeout(src, tag, timeout)?;
+        Ok((decode_from_slice(&bytes)?, status))
+    }
+
+    /// Raw-bytes variant of [`Comm::recv_timeout`].
+    pub fn recv_bytes_timeout(
+        &self,
+        src: Src,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<(Vec<u8>, Status), CommError> {
+        let req = self.irecv_named(src, tag, "recv")?;
+        Ok(self
+            .wait_deadline(req, Some(timeout))?
+            .expect("receive completion carries a payload"))
+    }
+
+    /// Registry labels use the *global* rank so sub-communicator traffic
+    /// aggregates onto the same per-rank series as world traffic.
+    #[cold]
+    fn obs_count_send(&self, n: usize, _dest: usize, _tag: Tag) {
+        let rank = self.global_rank_of(self.rank()).to_string();
+        let g = obs::global();
+        g.counter(&obs::registry::key("comm.msgs_sent", &[("rank", &rank)]))
+            .inc();
+        g.counter(&obs::registry::key("comm.bytes_sent", &[("rank", &rank)]))
+            .add(n as u64);
+        g.histogram("comm.sent_msg_bytes").record(n as u64);
+    }
+
+    #[cold]
+    fn obs_request_done(&self, timer: obs::span::SpanTimer, name: &'static str, overlap: f64) {
+        timer.finish("comm", name, self.virtual_time(), &[("overlap_s", overlap)]);
+        self.obs_overlap_gauge();
+    }
+
+    #[cold]
+    fn obs_count_recv(&self, timer: obs::span::SpanTimer, name: &'static str, status: &Status) {
+        timer.finish(
+            "comm",
+            name,
+            self.virtual_time(),
+            &[
+                ("bytes", status.bytes as f64),
+                ("src", self.global_rank_of(status.src) as f64),
+                ("tag", status.tag as f64),
+            ],
+        );
+        let rank = self.global_rank_of(self.rank()).to_string();
+        let g = obs::global();
+        g.counter(&obs::registry::key("comm.msgs_recv", &[("rank", &rank)]))
+            .inc();
+        g.counter(&obs::registry::key("comm.bytes_recv", &[("rank", &rank)]))
+            .add(status.bytes as u64);
+        self.obs_overlap_gauge();
+    }
+
+    /// Publish cumulative hidden-communication seconds for this rank.
+    fn obs_overlap_gauge(&self) {
+        let total = self.state.stats.borrow().overlap_s;
+        let rank = self.global_rank_of(self.rank()).to_string();
+        obs::global()
+            .gauge(&obs::registry::key("comm.overlap_s", &[("rank", &rank)]))
+            .set(total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{Universe, UniverseConfig};
+    use crate::NetworkModel;
+
+    #[test]
+    fn isend_irecv_roundtrip() {
+        let out = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let r = comm.isend(1, 3, &vec![1u64, 2, 3]).unwrap();
+                comm.wait(r).unwrap();
+                vec![]
+            } else {
+                let r = comm.irecv(Src::Rank(0), 3).unwrap();
+                let (v, st) = comm.wait_recv::<Vec<u64>>(r).unwrap();
+                assert_eq!(st.src, 0);
+                v
+            }
+        });
+        assert_eq!(out[1], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn test_claims_message_without_blocking() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, &42u8).unwrap();
+            } else {
+                let mut r = comm.irecv(Src::Rank(0), 7).unwrap();
+                while !comm.test(&mut r) {
+                    std::thread::yield_now();
+                }
+                // A second receive of the same tag must not steal it.
+                assert!(!comm.probe(Src::Rank(0), 7));
+                let (v, _) = comm.wait_recv::<u8>(r).unwrap();
+                assert_eq!(v, 42);
+            }
+        });
+    }
+
+    #[test]
+    fn waitall_completes_out_of_order_arrivals() {
+        let out = Universe::run(3, |comm| {
+            if comm.rank() == 0 {
+                let reqs = vec![
+                    comm.irecv(Src::Rank(1), 1).unwrap(),
+                    comm.irecv(Src::Rank(2), 2).unwrap(),
+                ];
+                comm.waitall(reqs)
+                    .unwrap()
+                    .into_iter()
+                    .map(|c| c.unwrap().1.src)
+                    .collect()
+            } else {
+                comm.send(0, comm.rank() as u32, &comm.rank()).unwrap();
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn waitany_returns_first_available() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 9, &1u8).unwrap();
+            } else {
+                let mut reqs = vec![
+                    comm.irecv(Src::Rank(0), 8).unwrap(),
+                    comm.irecv(Src::Rank(0), 9).unwrap(),
+                ];
+                let (i, c) = comm.waitany(&mut reqs).unwrap();
+                assert_eq!(i, 1);
+                assert_eq!(c.unwrap().1.tag, 9);
+                assert_eq!(reqs.len(), 1);
+            }
+        });
+    }
+
+    #[test]
+    fn overlap_hides_flight_time_under_compute() {
+        // Rank 1 posts the receive, computes 1 ms (≫ the ~0.4 µs message
+        // flight), then waits: nearly the whole flight is hidden.
+        let report = Universe::run_report(UniverseConfig::default(), 2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, &vec![0u8; 1000]).unwrap();
+            } else {
+                let r = comm.irecv(Src::Rank(0), 0).unwrap();
+                comm.advance_compute(2.0e6); // 1 ms at 2 Gflop/s
+                comm.wait(r).unwrap();
+            }
+        });
+        let st = report.stats[1];
+        assert!(st.overlap_s > 0.0, "expected hidden flight time");
+        let model = NetworkModel::default();
+        // Hidden time can't exceed the blocking cost of this message.
+        assert!(st.overlap_s <= model.transfer_time(1008) + model.overhead_s);
+        // The receive charge shrank accordingly: total modeled comm for
+        // rank 1 is blocking cost minus what was hidden (≈ just o).
+        assert!(st.modeled_comm_s < model.transfer_time(1008));
+    }
+
+    #[test]
+    fn blocking_wrappers_report_zero_overlap() {
+        let report = Universe::run_report(UniverseConfig::default(), 2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, &vec![0u8; 4096]).unwrap();
+            } else {
+                let _ = comm.recv::<Vec<u8>>(Src::Rank(0), 0).unwrap();
+            }
+        });
+        assert_eq!(report.stats[0].overlap_s, 0.0);
+        assert_eq!(report.stats[1].overlap_s, 0.0);
+    }
+
+    #[test]
+    fn isend_queues_on_the_nic() {
+        // Two posted sends serialize back-to-back on the wire; waiting on
+        // the second settles the clock past both transfers.
+        let report = Universe::run_report(UniverseConfig::default(), 2, |comm| {
+            if comm.rank() == 0 {
+                let a = comm.isend(1, 0, &vec![0u8; 100_000]).unwrap();
+                let b = comm.isend(1, 1, &vec![0u8; 100_000]).unwrap();
+                comm.waitall(vec![a, b]).unwrap();
+            } else {
+                let _ = comm.recv::<Vec<u8>>(Src::Rank(0), 0).unwrap();
+                let _ = comm.recv::<Vec<u8>>(Src::Rank(0), 1).unwrap();
+            }
+        });
+        let model = NetworkModel::default();
+        let wire = 2.0 * 100_008.0 * model.seconds_per_byte;
+        assert!(report.stats[0].modeled_comm_s + report.stats[0].overlap_s >= wire);
+    }
+
+    #[test]
+    fn recv_timeout_reports_stall_diagnostics() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 1 {
+                let err = comm
+                    .recv_timeout::<u8>(Src::Rank(0), 5, Duration::from_millis(10))
+                    .unwrap_err();
+                match err {
+                    CommError::Stalled { rank, src, tag, .. } => {
+                        assert_eq!(rank, 1);
+                        assert_eq!(src, Some(0));
+                        assert_eq!(tag, 5);
+                    }
+                    other => panic!("expected Stalled, got {other:?}"),
+                }
+            }
+            // Rank 0 never sends; both ranks fall through to exit.
+        });
+    }
+
+    #[test]
+    fn configured_stall_deadline_applies_to_request_wait() {
+        let cfg = UniverseConfig {
+            stall_timeout: Some(Duration::from_millis(10)),
+            ..Default::default()
+        };
+        let results = Universe::run_report(cfg, 2, |comm| {
+            if comm.rank() == 1 {
+                let r = comm.irecv(Src::Rank(0), 11).unwrap();
+                match comm.wait(r) {
+                    Err(CommError::Stalled { tag: 11, .. }) => true,
+                    other => panic!("expected stall, got {other:?}"),
+                }
+            } else {
+                true
+            }
+        });
+        assert!(results.results.iter().all(|&ok| ok));
+    }
+}

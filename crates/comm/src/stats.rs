@@ -23,6 +23,10 @@ pub struct CommStats {
     pub modeled_comm_s: f64,
     /// Modeled seconds this rank's clock advanced due to compute.
     pub modeled_compute_s: f64,
+    /// Modeled communication seconds hidden behind compute: wire/flight
+    /// time of nonblocking requests that elapsed while the rank's clock
+    /// advanced between post and wait. Always 0 for purely blocking code.
+    pub overlap_s: f64,
 }
 
 impl CommStats {
@@ -35,6 +39,7 @@ impl CommStats {
         self.wall_recv_s += other.wall_recv_s;
         self.modeled_comm_s += other.modeled_comm_s;
         self.modeled_compute_s += other.modeled_compute_s;
+        self.overlap_s += other.overlap_s;
     }
 
     /// Mean payload size of sent messages, or 0.0 if none were sent.
@@ -61,6 +66,7 @@ mod tests {
             wall_recv_s: 0.5,
             modeled_comm_s: 0.25,
             modeled_compute_s: 1.0,
+            overlap_s: 0.125,
         };
         let b = a;
         a.merge(&b);
@@ -71,6 +77,7 @@ mod tests {
         assert!((a.wall_recv_s - 1.0).abs() < 1e-12);
         assert!((a.modeled_comm_s - 0.5).abs() < 1e-12);
         assert!((a.modeled_compute_s - 2.0).abs() < 1e-12);
+        assert!((a.overlap_s - 0.25).abs() < 1e-12);
     }
 
     #[test]

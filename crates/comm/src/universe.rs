@@ -17,6 +17,11 @@ pub struct UniverseConfig {
     pub model: NetworkModel,
     /// Collective algorithm family (ablated in E12).
     pub algo: CollectiveAlgo,
+    /// Wall-clock deadline for blocking receives and request waits; a
+    /// rank blocked longer returns [`crate::CommError::Stalled`] with
+    /// who/tag/src diagnostics instead of hanging forever. `None`
+    /// (default) blocks indefinitely.
+    pub stall_timeout: Option<std::time::Duration>,
 }
 
 /// Everything measured about one run.
@@ -71,8 +76,15 @@ impl Universe {
                 let senders = Arc::clone(&senders);
                 handles.push(scope.spawn(move || {
                     let _obs = obs::RankGuard::enter(rank);
-                    let mut comm =
-                        Comm::new_world(rank, size, senders, rx, config.model, config.algo);
+                    let mut comm = Comm::new_world(
+                        rank,
+                        size,
+                        senders,
+                        rx,
+                        config.model,
+                        config.algo,
+                        config.stall_timeout,
+                    );
                     let result = f(&mut comm);
                     (result, comm.stats(), comm.virtual_time())
                 }));
@@ -164,7 +176,15 @@ impl Universe {
             let seed = seed_fn(rank);
             handles.push(std::thread::spawn(move || {
                 let _obs = obs::RankGuard::enter(rank);
-                let mut comm = Comm::new_world(rank, size, senders, rx, config.model, config.algo);
+                let mut comm = Comm::new_world(
+                    rank,
+                    size,
+                    senders,
+                    rx,
+                    config.model,
+                    config.algo,
+                    config.stall_timeout,
+                );
                 let result = f(&mut comm, seed);
                 (result, comm.stats(), comm.virtual_time())
             }));

@@ -25,6 +25,13 @@ pub struct CsrMatrix<S: Scalar> {
     colidx: Vec<usize>,
     vals: Vec<S>,
     plan: CommPlan,
+    /// Local rows permuted interior-first: `row_order[..n_interior]` are
+    /// rows whose every column is satisfied locally (computable while the
+    /// halo exchange is in flight), the rest touch ghost entries.
+    row_order: Vec<usize>,
+    n_interior: usize,
+    /// Nonzeros in interior rows (for split flop accounting).
+    interior_nnz: usize,
 }
 
 impl<S: Scalar> CsrMatrix<S> {
@@ -84,6 +91,25 @@ impl<S: Scalar> CsrMatrix<S> {
         }
         let dir = Directory::build(comm, &domain_map);
         let plan = CommPlan::gather(comm, &domain_map, &dir, &sorted_cols);
+        // Partition rows for the overlapped SpMV: a row is *interior* when
+        // every column it references is filled by the plan's local-copy
+        // phase, so it can be computed before the halo arrives.
+        let local_pos = plan.locally_satisfied();
+        let n_rows = rowptr.len() - 1;
+        let mut row_order = Vec::with_capacity(n_rows);
+        let mut boundary = Vec::new();
+        let mut interior_nnz = 0;
+        for i in 0..n_rows {
+            let cols = &colidx[rowptr[i]..rowptr[i + 1]];
+            if cols.iter().all(|&c| local_pos[c]) {
+                row_order.push(i);
+                interior_nnz += cols.len();
+            } else {
+                boundary.push(i);
+            }
+        }
+        let n_interior = row_order.len();
+        row_order.extend(boundary);
         CsrMatrix {
             row_map,
             domain_map,
@@ -92,6 +118,9 @@ impl<S: Scalar> CsrMatrix<S> {
             colidx,
             vals,
             plan,
+            row_order,
+            n_interior,
+            interior_nnz,
         }
     }
 
@@ -218,6 +247,12 @@ impl<S: Scalar> CsrMatrix<S> {
     }
 
     /// `y = A·x` into an existing vector (no allocation of `y`).
+    ///
+    /// Overlapped: posts the halo exchange, computes interior rows (those
+    /// referencing only locally-owned columns) while the ghost entries are
+    /// in flight, then waits and computes the boundary rows. Per-row
+    /// arithmetic is identical to [`Self::matvec_into_blocking`], so the
+    /// result is bitwise the same; only the modeled timeline differs.
     pub fn matvec_into(&self, comm: &Comm, x: &DistVector<S>, y: &mut DistVector<S>) {
         debug_assert!(
             x.map().same_as(&self.domain_map),
@@ -225,16 +260,64 @@ impl<S: Scalar> CsrMatrix<S> {
         );
         debug_assert!(y.map().same_as(&self.row_map), "y must use the row map");
         let mut ws = vec![S::zero(); self.plan.n_target()];
-        self.plan.execute(comm, x.local(), &mut ws);
+        let inflight = self.plan.execute_start(comm, x.local(), &mut ws);
+        let yl = y.local_mut();
+        for &i in &self.row_order[..self.n_interior] {
+            yl[i] = self.row_dot(i, &ws);
+        }
+        comm.advance_compute(2.0 * self.interior_nnz as f64);
+        self.plan.execute_finish(comm, inflight, &mut ws);
+        for &i in &self.row_order[self.n_interior..] {
+            yl[i] = self.row_dot(i, &ws);
+        }
+        comm.advance_compute(2.0 * (self.vals.len() - self.interior_nnz) as f64);
+    }
+
+    /// Blocking-reference `y = A·x`: completes the whole halo exchange
+    /// before touching a row. Baseline for the overlap experiments and
+    /// property tests.
+    pub fn matvec_into_blocking(&self, comm: &Comm, x: &DistVector<S>, y: &mut DistVector<S>) {
+        debug_assert!(
+            x.map().same_as(&self.domain_map),
+            "x must use the domain map"
+        );
+        debug_assert!(y.map().same_as(&self.row_map), "y must use the row map");
+        let mut ws = vec![S::zero(); self.plan.n_target()];
+        self.plan.execute_blocking(comm, x.local(), &mut ws);
         let yl = y.local_mut();
         for (i, yi) in yl.iter_mut().enumerate() {
-            let mut acc = S::zero();
-            for k in self.rowptr[i]..self.rowptr[i + 1] {
-                acc += self.vals[k] * ws[self.colidx[k]];
-            }
-            *yi = acc;
+            *yi = self.row_dot(i, &ws);
         }
         comm.advance_compute(2.0 * self.vals.len() as f64);
+    }
+
+    /// Blocking-reference convenience wrapper around
+    /// [`Self::matvec_into_blocking`].
+    pub fn matvec_blocking(&self, comm: &Comm, x: &DistVector<S>) -> DistVector<S> {
+        let mut y = DistVector::zeros(self.row_map.clone());
+        self.matvec_into_blocking(comm, x, &mut y);
+        y
+    }
+
+    #[inline]
+    fn row_dot(&self, i: usize, ws: &[S]) -> S {
+        let mut acc = S::zero();
+        for k in self.rowptr[i]..self.rowptr[i + 1] {
+            acc += self.vals[k] * ws[self.colidx[k]];
+        }
+        acc
+    }
+
+    /// Interior rows (local row ids): every referenced column is owned
+    /// locally, so they compute while the halo exchange is in flight.
+    pub fn interior_rows(&self) -> &[usize] {
+        &self.row_order[..self.n_interior]
+    }
+
+    /// Boundary rows (local row ids): reference at least one ghost column
+    /// and must wait for the halo exchange.
+    pub fn boundary_rows(&self) -> &[usize] {
+        &self.row_order[self.n_interior..]
     }
 
     /// Extract the diagonal (requires a square matrix with matching row and
@@ -486,6 +569,53 @@ mod tests {
             } else {
                 assert!(rows.is_none());
             }
+        });
+    }
+
+    #[test]
+    fn overlapped_matvec_matches_blocking_bitwise() {
+        for p in [1, 2, 3, 4] {
+            let out = Universe::run(p, |comm| {
+                let n = 24;
+                let a = build_laplace(comm, n);
+                let x = DistVector::from_fn(a.domain_map().clone(), |g| (g as f64 * 0.7).sin());
+                let y_over = a.matvec(comm, &x).gather_global(comm);
+                let y_block = a.matvec_blocking(comm, &x).gather_global(comm);
+                (y_over, y_block)
+            });
+            for (y_over, y_block) in out {
+                let ob: Vec<u64> = y_over.iter().map(|v| v.to_bits()).collect();
+                let bb: Vec<u64> = y_block.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ob, bb, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn interior_boundary_partition_invariants() {
+        Universe::run(3, |comm| {
+            let a = build_laplace(comm, 17);
+            let n_local = a.row_map().my_count();
+            let mut seen = vec![false; n_local];
+            for &i in a.interior_rows().iter().chain(a.boundary_rows()) {
+                assert!(!seen[i], "row {i} appears twice in the partition");
+                seen[i] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "partition must cover every row");
+            // Interior rows reference only locally-owned columns;
+            // boundary rows reference at least one ghost.
+            for &i in a.interior_rows() {
+                for (gc, _) in a.row_entries(i) {
+                    assert!(a.domain_map().global_to_local(gc).is_some());
+                }
+            }
+            for &i in a.boundary_rows() {
+                assert!(a
+                    .row_entries(i)
+                    .any(|(gc, _)| a.domain_map().global_to_local(gc).is_none()));
+            }
+            // With the 3-point stencil, each rank has at most 2 boundary rows.
+            assert!(a.boundary_rows().len() <= 2);
         });
     }
 

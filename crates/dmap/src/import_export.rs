@@ -9,7 +9,7 @@
 //! * halo/ghost gathers for SpMV and shifted-slice arithmetic (E5),
 //! * reverse "export" with combine modes for accumulating contributions.
 
-use comm::{Comm, Src, Tag, Wire};
+use comm::{Comm, Request, Src, Tag, Wire};
 
 use crate::directory::Directory;
 use crate::map::DistMap;
@@ -27,6 +27,14 @@ pub enum CombineMode {
     Insert,
     /// Add into the target entry.
     Add,
+}
+
+/// Requests posted by [`CommPlan::execute_start`], completed by
+/// [`CommPlan::execute_finish`]. Holding one keeps the exchange in flight
+/// while the owner computes.
+pub struct PlanInFlight {
+    sends: Vec<Request>,
+    recvs: Vec<Request>,
 }
 
 /// A reusable data-movement plan from a source map to a list of requested
@@ -123,9 +131,89 @@ impl CommPlan {
     }
 
     /// Execute the plan: fill `target` (length [`Self::n_target`]) from
-    /// `src_data` (laid out by the source map). Collective.
+    /// `src_data` (laid out by the source map). Collective. Implemented as
+    /// [`Self::execute_start`] + [`Self::execute_finish`] back-to-back; use
+    /// the split pair directly to overlap compute with the exchange.
     pub fn execute<T: Wire + Copy>(&self, comm: &Comm, src_data: &[T], target: &mut [T]) {
+        let inflight = self.execute_start(comm, src_data, target);
+        self.execute_finish(comm, inflight, target);
+    }
+
+    /// Blocking reference execution: every send settles on the wire before
+    /// the local copies, and receives drain in plan order. Semantically
+    /// identical to [`Self::execute`]; kept as the baseline the overlap
+    /// property tests and experiment E17 compare against.
+    pub fn execute_blocking<T: Wire + Copy>(&self, comm: &Comm, src_data: &[T], target: &mut [T]) {
         self.execute_combine(comm, src_data, target, CombineMode::Insert, |_, v| v)
+    }
+
+    /// First half of a split-phase execution: post every outgoing payload
+    /// (nonblocking), copy locally-owned entries into `target`, and post
+    /// the receives. The caller may then compute on any target position for
+    /// which [`Self::locally_satisfied`] is true before calling
+    /// [`Self::execute_finish`].
+    pub fn execute_start<T: Wire + Copy>(
+        &self,
+        comm: &Comm,
+        src_data: &[T],
+        target: &mut [T],
+    ) -> PlanInFlight {
+        assert!(
+            target.len() >= self.n_target,
+            "target buffer too small: {} < {}",
+            target.len(),
+            self.n_target
+        );
+        let sends = self
+            .sends
+            .iter()
+            .map(|&(peer, ref lids)| {
+                let payload: Vec<T> = lids.iter().map(|&l| src_data[l]).collect();
+                comm.isend(peer, PLAN_TAG, &payload).expect("plan isend")
+            })
+            .collect();
+        for &(slid, tpos) in &self.local {
+            target[tpos] = src_data[slid];
+        }
+        let recvs = self
+            .recvs
+            .iter()
+            .map(|&(peer, _)| comm.irecv(Src::Rank(peer), PLAN_TAG).expect("plan irecv"))
+            .collect();
+        PlanInFlight { sends, recvs }
+    }
+
+    /// Second half of a split-phase execution: wait for every posted
+    /// receive, scatter the payloads into `target`, and settle the sends.
+    pub fn execute_finish<T: Wire + Copy>(
+        &self,
+        comm: &Comm,
+        inflight: PlanInFlight,
+        target: &mut [T],
+    ) {
+        for ((_, positions), req) in self.recvs.iter().zip(inflight.recvs) {
+            let (payload, _) = comm.wait_recv::<Vec<T>>(req).expect("plan recv");
+            assert_eq!(payload.len(), positions.len(), "plan payload mismatch");
+            for (&pos, v) in positions.iter().zip(payload) {
+                target[pos] = v;
+            }
+        }
+        for req in inflight.sends {
+            comm.wait(req).expect("plan send wait");
+        }
+    }
+
+    /// Which target positions are filled with no communication (by the
+    /// local-copy phase of [`Self::execute_start`]). This is the
+    /// interior/boundary partition overlapped SpMV builds on: rows whose
+    /// every input position is locally satisfied can be computed while the
+    /// exchange is in flight.
+    pub fn locally_satisfied(&self) -> Vec<bool> {
+        let mut out = vec![false; self.n_target];
+        for &(_, tpos) in &self.local {
+            out[tpos] = true;
+        }
+        out
     }
 
     /// Execute with an explicit combine: `combine(old_target_value, incoming)`
@@ -253,6 +341,49 @@ mod tests {
                 let expect: Vec<i64> = dst.my_gids().iter().map(|&g| g as i64 * round).collect();
                 assert_eq!(out, expect);
             }
+        });
+    }
+
+    #[test]
+    fn split_phase_matches_blocking_and_reports_local_positions() {
+        Universe::run(4, |comm| {
+            let n = 16;
+            let map = DistMap::block(n, comm.size(), comm.rank());
+            let dir = Directory::build(comm, &map);
+            let mut needed = map.my_gids();
+            if let Some(&f) = needed.first() {
+                if f > 0 {
+                    needed.insert(0, f - 1);
+                }
+            }
+            if let Some(&l) = needed.last() {
+                if l + 1 < n {
+                    needed.push(l + 1);
+                }
+            }
+            let plan = CommPlan::gather(comm, &map, &dir, &needed);
+            let src_data: Vec<f64> = map.my_gids().iter().map(|&g| g as f64 * 0.5).collect();
+
+            let mut blocking = vec![0.0f64; plan.n_target()];
+            plan.execute_blocking(comm, &src_data, &mut blocking);
+
+            let mut overlapped = vec![0.0f64; plan.n_target()];
+            let inflight = plan.execute_start(comm, &src_data, &mut overlapped);
+            // Local positions are already valid mid-flight.
+            let local = plan.locally_satisfied();
+            for (pos, &is_local) in local.iter().enumerate() {
+                if is_local {
+                    assert_eq!(overlapped[pos].to_bits(), blocking[pos].to_bits());
+                }
+            }
+            comm.advance_compute(1.0e4);
+            plan.execute_finish(comm, inflight, &mut overlapped);
+            for (a, b) in overlapped.iter().zip(&blocking) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // Ghost positions (one per side except at the ends) are not local.
+            let ghosts = local.iter().filter(|&&x| !x).count();
+            assert_eq!(ghosts, plan.n_target() - map.my_gids().len());
         });
     }
 

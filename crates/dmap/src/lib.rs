@@ -16,6 +16,6 @@ pub mod map;
 pub mod partition;
 
 pub use directory::Directory;
-pub use import_export::{CombineMode, CommPlan};
+pub use import_export::{CombineMode, CommPlan, PlanInFlight};
 pub use map::{DistMap, Distribution};
 pub use partition::rebalance_block_map;

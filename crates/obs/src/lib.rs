@@ -5,7 +5,7 @@
 //! explicit ODIN goal. This crate is that layer, shared by every other
 //! crate in the workspace:
 //!
-//! * a process-global [`Registry`](registry::Registry) of named counters,
+//! * a process-global [`Registry`] of named counters,
 //!   gauges and log2-bucketed histograms with labeled instances
 //!   (`comm.bytes_sent{rank=3}`);
 //! * lightweight [spans](span) recorded into per-rank ring buffers,

@@ -274,20 +274,27 @@ impl<'c> DistArray<'c> {
     /// Fetch the whole array to the master as `(shape, global buffer)` —
     /// rows in global order.
     pub fn fetch(&self) -> (Vec<usize>, Buffer) {
+        self.fetch_async().wait()
+    }
+
+    /// Pipelined [`Self::fetch`]: dispatch the gather and return a future,
+    /// so independent commands can overlap with the segment uploads.
+    pub fn fetch_async(&self) -> crate::context::Pending<'c, (Vec<usize>, Buffer)> {
         let meta = self.meta();
-        self.ctx.send_cmd(&Cmd::Fetch { a: self.id });
-        let replies = self.ctx.collect_replies();
-        let slab = meta.slab();
-        let mut out = Buffer::zeros(meta.dtype, meta.n_global());
-        for bytes in replies {
-            let (gids, seg): (Vec<usize>, Buffer) =
-                comm::decode_from_slice(&bytes).expect("bad fetch payload");
-            for (l, g) in gids.iter().enumerate() {
-                let src = seg.gather_indices(l * slab..(l + 1) * slab);
-                place(&mut out, g * slab, &src);
+        let raw = self.ctx.dispatch_all(&Cmd::Fetch { a: self.id });
+        raw.map(move |replies| {
+            let slab = meta.slab();
+            let mut out = Buffer::zeros(meta.dtype, meta.n_global());
+            for bytes in replies {
+                let (gids, seg): (Vec<usize>, Buffer) =
+                    comm::decode_from_slice(&bytes).expect("bad fetch payload");
+                for (l, g) in gids.iter().enumerate() {
+                    let src = seg.gather_indices(l * slab..(l + 1) * slab);
+                    place(&mut out, g * slab, &src);
+                }
             }
-        }
-        (meta.shape, out)
+            (meta.shape, out)
+        })
     }
 
     /// Fetch as a flat `Vec<f64>` (any dtype widens).

@@ -9,7 +9,7 @@
 //! communication latency is significant" (§III-B).
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -85,6 +85,81 @@ impl ContextStats {
     }
 }
 
+/// Demultiplexer for worker replies. Workers execute commands in FIFO
+/// order, so the `k`-th reply to arrive from a worker always answers the
+/// `k`-th reply-bearing command the master sent it — a *ticket*. Replies
+/// that arrive before their ticket is claimed are buffered; tickets whose
+/// [`Pending`] was dropped are discarded on arrival so the stream never
+/// desynchronizes.
+#[derive(Default)]
+struct ReplyEngine {
+    /// Tickets issued per worker (reply-bearing commands dispatched).
+    issued: Vec<u64>,
+    /// Replies consumed from the channel per worker.
+    arrived: Vec<u64>,
+    /// Arrived but not yet claimed, keyed by `(worker, ticket)`.
+    buffered: HashMap<(usize, u64), Vec<u8>>,
+    /// Tickets whose `Pending` was dropped before the reply arrived.
+    abandoned: HashSet<(usize, u64)>,
+}
+
+/// Decoder applied to the raw replies when a [`Pending`] is waited.
+type Decode<T> = Box<dyn FnOnce(Vec<Vec<u8>>) -> T>;
+
+/// A reply future: the handle returned by pipelined dispatch. Dropping it
+/// abandons the reply (the engine discards it on arrival); [`Pending::wait`]
+/// first flushes any open command batch, so waiting inside a batch can
+/// never deadlock.
+pub struct Pending<'c, T> {
+    ctx: &'c OdinContext,
+    tickets: Vec<(usize, u64)>,
+    seq: u64,
+    span_name: &'static str,
+    decode: Option<Decode<T>>,
+}
+
+impl<'c, T> Pending<'c, T> {
+    /// Dispatch sequence number of the command this reply answers.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Whether every reply has already arrived (non-blocking).
+    pub fn ready(&mut self) -> bool {
+        self.ctx.tickets_ready(&self.tickets)
+    }
+
+    /// Block until every reply arrives and decode the result. Flushes any
+    /// open command batch first.
+    pub fn wait(mut self) -> T {
+        let tickets = std::mem::take(&mut self.tickets);
+        let replies = self.ctx.await_tickets(&tickets, self.seq, self.span_name);
+        (self.decode.take().expect("pending waited twice"))(replies)
+    }
+
+    /// Post-process the decoded reply once it arrives.
+    pub fn map<U>(mut self, f: impl FnOnce(T) -> U + 'static) -> Pending<'c, U>
+    where
+        T: 'static,
+    {
+        let tickets = std::mem::take(&mut self.tickets);
+        let decode = self.decode.take().expect("pending waited twice");
+        Pending {
+            ctx: self.ctx,
+            tickets,
+            seq: self.seq,
+            span_name: self.span_name,
+            decode: Some(Box::new(move |replies| f(decode(replies)))),
+        }
+    }
+}
+
+impl<T> Drop for Pending<'_, T> {
+    fn drop(&mut self) {
+        self.ctx.abandon_tickets(&self.tickets);
+    }
+}
+
 /// The ODIN master process.
 pub struct OdinContext {
     n_workers: usize,
@@ -96,6 +171,14 @@ pub struct OdinContext {
     pub(crate) metas: RefCell<HashMap<u64, ArrayMeta>>,
     stats: RefCell<ContextStats>,
     batch: RefCell<Option<Vec<Vec<u8>>>>,
+    engine: RefCell<ReplyEngine>,
+    /// Monotonic dispatch counter (every command gets a sequence number).
+    cmd_seq: Cell<u64>,
+    /// Sequence number of the last command touching each array.
+    array_seq: RefCell<HashMap<u64, u64>>,
+    /// Highest sequence number proven complete per worker (a claimed
+    /// reply proves everything up to its command executed, FIFO).
+    worker_done_seq: RefCell<Vec<u64>>,
 }
 
 impl OdinContext {
@@ -114,6 +197,7 @@ impl OdinContext {
         let ucfg = UniverseConfig {
             model: config.model,
             algo: config.algo,
+            stall_timeout: None,
         };
         let pool = Universe::spawn(
             ucfg,
@@ -131,6 +215,14 @@ impl OdinContext {
             metas: RefCell::new(HashMap::new()),
             stats: RefCell::new(ContextStats::default()),
             batch: RefCell::new(None),
+            engine: RefCell::new(ReplyEngine {
+                issued: vec![0; config.n_workers],
+                arrived: vec![0; config.n_workers],
+                ..Default::default()
+            }),
+            cmd_seq: Cell::new(0),
+            array_seq: RefCell::new(HashMap::new()),
+            worker_done_seq: RefCell::new(vec![0; config.n_workers]),
         }
     }
 
@@ -266,8 +358,75 @@ impl OdinContext {
         }
     }
 
+    /// Record a command's dispatch: bump the sequence counter and stamp
+    /// every array it touches, so independent commands can be told apart
+    /// while both are in flight.
+    fn note_dispatch(&self, cmd: &Cmd) {
+        let seq = self.cmd_seq.get() + 1;
+        self.cmd_seq.set(seq);
+        let mut touched = self.array_seq.borrow_mut();
+        let mut touch = |id: u64| {
+            touched.insert(id, seq);
+        };
+        match cmd {
+            Cmd::Create { id, .. } | Cmd::SetData { id, .. } => touch(*id),
+            Cmd::Free { id } => {
+                touched.remove(id);
+            }
+            Cmd::Unary { out, a, .. }
+            | Cmd::BinaryScalar { out, a, .. }
+            | Cmd::AsType { out, a, .. }
+            | Cmd::Redistribute { out, a, .. }
+            | Cmd::Slice { out, a, .. }
+            | Cmd::CumSum { out, a } => {
+                touch(*out);
+                touch(*a);
+            }
+            Cmd::Binary { out, a, b, .. }
+            | Cmd::Concat { out, a, b }
+            | Cmd::MatMul { out, a, b } => {
+                touch(*out);
+                touch(*a);
+                touch(*b);
+            }
+            Cmd::Select { out, cond, a, b } => {
+                touch(*out);
+                touch(*cond);
+                touch(*a);
+                touch(*b);
+            }
+            Cmd::EvalFused {
+                out,
+                template,
+                program,
+            } => {
+                touch(*out);
+                touch(*template);
+                for op in program {
+                    if let FusedOp::PushArray(id) = op {
+                        touch(*id);
+                    }
+                }
+            }
+            Cmd::Reduce { a, out, axis, .. } => {
+                touch(*a);
+                if axis.is_some() {
+                    touch(*out);
+                }
+            }
+            Cmd::ArgReduce { a, .. } | Cmd::Fetch { a } => touch(*a),
+            Cmd::CallLocal { arrays, .. } => {
+                for &id in arrays {
+                    touch(id);
+                }
+            }
+            Cmd::Ping | Cmd::Shutdown => {}
+        }
+    }
+
     /// Broadcast a control command to every worker.
     pub(crate) fn send_cmd(&self, cmd: &Cmd) {
+        self.note_dispatch(cmd);
         let timer = self.obs_timer();
         let bytes = comm::encode_to_vec(cmd);
         {
@@ -300,12 +459,12 @@ impl OdinContext {
         }
     }
 
-    /// Send a worker-specific (data-carrying) command.
+    /// Send a worker-specific (data-carrying) command. Data commands
+    /// cannot ride in a batch, so an open batch is flushed first to keep
+    /// command order intact.
     pub(crate) fn send_cmd_to(&self, worker: usize, cmd: &Cmd) {
-        assert!(
-            self.batch.borrow().is_none(),
-            "data commands cannot be batched"
-        );
+        self.flush_open_batch();
+        self.note_dispatch(cmd);
         let timer = self.obs_timer();
         let bytes = comm::encode_to_vec(cmd);
         let n = bytes.len() as u64;
@@ -347,79 +506,241 @@ impl OdinContext {
         });
     }
 
-    /// Receive one reply from each worker, returned in worker order.
-    pub(crate) fn collect_replies(&self) -> Vec<Vec<u8>> {
-        let timer = self.obs_timer();
-        let mut out: Vec<Option<Vec<u8>>> = (0..self.n_workers).map(|_| None).collect();
-        let mut seen = 0;
-        let mut reply_bytes = 0u64;
-        while seen < self.n_workers {
-            let (rank, bytes) = self
-                .from_workers
-                .recv()
-                .expect("worker reply channel closed");
-            assert!(out[rank].is_none(), "duplicate reply from worker {rank}");
-            {
-                let mut st = self.stats.borrow_mut();
-                st.data_msgs += 1;
-                st.data_bytes += bytes.len() as u64;
-            }
-            reply_bytes += bytes.len() as u64;
-            out[rank] = Some(bytes);
-            seen += 1;
-        }
-        if let Some(t) = timer {
-            self.obs_data("collect_replies", self.n_workers as u64, reply_bytes, t);
-        }
-        out.into_iter().map(|o| o.unwrap()).collect()
-    }
+    // ---- pipelined reply engine -------------------------------------------
 
-    /// Drain `n` replies regardless of sender (used when several
-    /// reply-bearing commands were batched and replies interleave).
-    pub fn drain_replies(&self, n: usize) {
-        let timer = self.obs_timer();
-        let mut reply_bytes = 0u64;
-        for _ in 0..n {
-            let (_, bytes) = self
-                .from_workers
-                .recv()
-                .expect("worker reply channel closed");
-            let mut st = self.stats.borrow_mut();
-            st.data_msgs += 1;
-            st.data_bytes += bytes.len() as u64;
-            reply_bytes += bytes.len() as u64;
-        }
-        if let Some(t) = timer {
-            self.obs_data("drain_replies", n as u64, reply_bytes, t);
+    /// Flush the open batch if there is one (every reply-wait path calls
+    /// this, so waiting on a reply issued inside a batch cannot deadlock).
+    pub(crate) fn flush_open_batch(&self) {
+        if self.batch.borrow().is_some() {
+            self.flush_batch();
         }
     }
 
-    /// Receive a single reply (commands where only worker 0 replies).
-    pub(crate) fn collect_single_reply(&self) -> Vec<u8> {
-        let timer = self.obs_timer();
-        let (rank, bytes) = self
-            .from_workers
-            .recv()
-            .expect("worker reply channel closed");
-        debug_assert_eq!(rank, 0, "single replies come from worker 0");
+    /// Reserve the next reply ticket from `worker`.
+    fn issue_ticket(&self, worker: usize) -> (usize, u64) {
+        let mut eng = self.engine.borrow_mut();
+        let t = eng.issued[worker];
+        eng.issued[worker] += 1;
+        (worker, t)
+    }
+
+    /// Account one reply pulled off the channel and assign its ticket.
+    /// Returns `None` when the ticket was abandoned (reply discarded).
+    fn admit_arrival(&self, rank: usize, bytes: Vec<u8>) -> Option<((usize, u64), Vec<u8>)> {
         {
             let mut st = self.stats.borrow_mut();
             st.data_msgs += 1;
             st.data_bytes += bytes.len() as u64;
         }
-        if let Some(t) = timer {
-            self.obs_data("collect_single_reply", 1, bytes.len() as u64, t);
+        let mut eng = self.engine.borrow_mut();
+        let t = eng.arrived[rank];
+        eng.arrived[rank] += 1;
+        let key = (rank, t);
+        if eng.abandoned.remove(&key) {
+            return None;
         }
-        bytes
+        Some((key, bytes))
     }
 
-    /// Synchronize: all queued commands have completed when this returns.
-    pub fn barrier(&self) {
-        if self.batch.borrow().is_some() {
-            self.flush_batch();
+    /// Block until the reply for `want` arrives, buffering any replies
+    /// that belong to other in-flight tickets.
+    fn claim_ticket(&self, want: (usize, u64)) -> Vec<u8> {
+        if let Some(bytes) = self.engine.borrow_mut().buffered.remove(&want) {
+            return bytes;
         }
+        loop {
+            let (rank, bytes) = self
+                .from_workers
+                .recv()
+                .expect("worker reply channel closed");
+            if let Some((key, bytes)) = self.admit_arrival(rank, bytes) {
+                if key == want {
+                    return bytes;
+                }
+                self.engine.borrow_mut().buffered.insert(key, bytes);
+            }
+        }
+    }
+
+    /// Pull every already-arrived reply into the buffer (non-blocking).
+    fn poll_arrivals(&self) {
+        while let Ok((rank, bytes)) = self.from_workers.try_recv() {
+            if let Some((key, bytes)) = self.admit_arrival(rank, bytes) {
+                self.engine.borrow_mut().buffered.insert(key, bytes);
+            }
+        }
+    }
+
+    fn tickets_ready(&self, tickets: &[(usize, u64)]) -> bool {
+        self.poll_arrivals();
+        let eng = self.engine.borrow();
+        tickets.iter().all(|k| eng.buffered.contains_key(k))
+    }
+
+    /// Forget tickets whose `Pending` was dropped: discard buffered
+    /// replies now, mark the rest for discard on arrival.
+    fn abandon_tickets(&self, tickets: &[(usize, u64)]) {
+        if tickets.is_empty() {
+            return;
+        }
+        let mut eng = self.engine.borrow_mut();
+        for &key in tickets {
+            if eng.buffered.remove(&key).is_none() {
+                eng.abandoned.insert(key);
+            }
+        }
+    }
+
+    /// Claim `tickets` in order and mark dispatch `seq` complete on the
+    /// workers that answered.
+    fn await_tickets(
+        &self,
+        tickets: &[(usize, u64)],
+        seq: u64,
+        name: &'static str,
+    ) -> Vec<Vec<u8>> {
+        self.flush_open_batch();
+        let timer = self.obs_timer();
+        let mut out = Vec::with_capacity(tickets.len());
+        let mut reply_bytes = 0u64;
+        for &key in tickets {
+            let bytes = self.claim_ticket(key);
+            reply_bytes += bytes.len() as u64;
+            out.push(bytes);
+        }
+        {
+            let mut done = self.worker_done_seq.borrow_mut();
+            for &(w, _) in tickets {
+                if done[w] < seq {
+                    done[w] = seq;
+                }
+            }
+        }
+        if let Some(t) = timer {
+            self.obs_data(name, tickets.len() as u64, reply_bytes, t);
+        }
+        out
+    }
+
+    /// Reply future for one reply from every worker (worker order).
+    pub(crate) fn pending_all(&self, span_name: &'static str) -> Pending<'_, Vec<Vec<u8>>> {
+        let tickets = (0..self.n_workers).map(|w| self.issue_ticket(w)).collect();
+        Pending {
+            ctx: self,
+            tickets,
+            seq: self.cmd_seq.get(),
+            span_name,
+            decode: Some(Box::new(|replies| replies)),
+        }
+    }
+
+    /// Reply future for a single worker-0 reply, raw bytes.
+    pub(crate) fn pending_single_raw(&self, span_name: &'static str) -> Pending<'_, Vec<u8>> {
+        let tickets = vec![self.issue_ticket(0)];
+        Pending {
+            ctx: self,
+            tickets,
+            seq: self.cmd_seq.get(),
+            span_name,
+            decode: Some(Box::new(|mut replies| {
+                replies.pop().expect("single reply present")
+            })),
+        }
+    }
+
+    /// Reply future for a single worker-0 reply decoded as `T`.
+    pub(crate) fn pending_single<T: Wire>(&self, span_name: &'static str) -> Pending<'_, T> {
+        let tickets = vec![self.issue_ticket(0)];
+        Pending {
+            ctx: self,
+            tickets,
+            seq: self.cmd_seq.get(),
+            span_name,
+            decode: Some(Box::new(|mut replies| {
+                let bytes = replies.pop().expect("single reply present");
+                comm::decode_from_slice(&bytes).expect("bad reply encoding")
+            })),
+        }
+    }
+
+    /// Broadcast a command and return a future for one reply per worker —
+    /// the pipelined dispatch primitive: the master keeps issuing commands
+    /// while replies are still in flight.
+    pub(crate) fn dispatch_all(&self, cmd: &Cmd) -> Pending<'_, Vec<Vec<u8>>> {
+        self.send_cmd(cmd);
+        self.pending_all("collect_replies")
+    }
+
+    /// Broadcast a command whose protocol says only worker 0 replies and
+    /// return a typed future for that reply.
+    pub(crate) fn dispatch_single<T: Wire>(&self, cmd: &Cmd) -> Pending<'_, T> {
+        self.send_cmd(cmd);
+        self.pending_single("collect_single_reply")
+    }
+
+    /// Highest dispatch sequence number issued so far.
+    pub fn dispatch_seq(&self) -> u64 {
+        self.cmd_seq.get()
+    }
+
+    /// Highest sequence number proven complete on **every** worker.
+    pub fn completed_seq(&self) -> u64 {
+        self.worker_done_seq
+            .borrow()
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Whether a command touching array `id` may still be in flight.
+    pub fn array_in_flight(&self, id: u64) -> bool {
+        self.array_seq
+            .borrow()
+            .get(&id)
+            .is_some_and(|&s| s > self.completed_seq())
+    }
+
+    /// Replies reserved by in-flight futures but not yet consumed.
+    pub fn outstanding_replies(&self) -> u64 {
+        let eng = self.engine.borrow();
+        let issued: u64 = eng.issued.iter().sum();
+        let arrived: u64 = eng.arrived.iter().sum();
+        issued - arrived
+    }
+
+    /// Receive one reply from each worker, returned in worker order.
+    pub(crate) fn collect_replies(&self) -> Vec<Vec<u8>> {
+        self.pending_all("collect_replies").wait()
+    }
+
+    /// Drain `n` replies (used when several reply-bearing commands were
+    /// batched). Broadcast commands produce one reply per worker, so `n`
+    /// must be a multiple of the worker count.
+    pub fn drain_replies(&self, n: usize) {
+        assert!(
+            n.is_multiple_of(self.n_workers),
+            "drain_replies needs one reply per worker per command"
+        );
+        let per = n / self.n_workers;
+        let tickets: Vec<(usize, u64)> = (0..self.n_workers)
+            .flat_map(|w| std::iter::repeat_n(w, per))
+            .map(|w| self.issue_ticket(w))
+            .collect();
+        let _ = self.await_tickets(&tickets, self.cmd_seq.get(), "drain_replies");
+    }
+
+    /// Receive a single reply (commands where only worker 0 replies).
+    pub(crate) fn collect_single_reply(&self) -> Vec<u8> {
+        self.pending_single_raw("collect_single_reply").wait()
+    }
+
+    /// Synchronize: all queued commands (batched or not) have completed
+    /// when this returns.
+    pub fn barrier(&self) {
+        self.flush_open_batch();
         self.send_cmd(&Cmd::Ping);
-        let _ = self.collect_replies();
+        let _ = self.pending_all("barrier").wait();
     }
 
     /// Total modeled virtual time is only available at shutdown (the pool
@@ -1347,6 +1668,95 @@ mod tests {
         assert_eq!(st.channel_sends, 2); // but only one physical send each
                                          // drain the 20 ping replies (they interleave across workers)
         ctx.drain_replies(20);
+    }
+
+    #[test]
+    fn pipelined_dispatch_overlaps_independent_commands() {
+        let ctx = OdinContext::with_workers(2);
+        let x = ctx.full(&[10], 2.0, crate::protocol::Dist::Block);
+        let y = ctx.linspace(1.0, 10.0, 10);
+        // dispatch two reductions without waiting for either
+        let px = x.sum_async();
+        let py = y.sum_async();
+        assert!(
+            px.seq() < py.seq(),
+            "independent commands get distinct seqs"
+        );
+        assert_eq!(ctx.outstanding_replies(), 2, "both replies in flight");
+        // claim out of dispatch order: the engine buffers the early reply
+        assert!((py.wait() - 55.0).abs() < 1e-9);
+        assert!((px.wait() - 20.0).abs() < 1e-9);
+        assert_eq!(ctx.outstanding_replies(), 0);
+    }
+
+    #[test]
+    fn pending_ready_polls_without_blocking() {
+        let ctx = OdinContext::with_workers(3);
+        let x = ctx.ones(&[9], crate::buffer::DType::F64);
+        let mut p = x.sum_async();
+        while !p.ready() {
+            std::thread::yield_now();
+        }
+        assert!((p.wait() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_inside_open_batch_flushes_instead_of_deadlocking() {
+        let ctx = OdinContext::with_workers(2);
+        let x = ctx.ones(&[8], crate::buffer::DType::F64);
+        ctx.begin_batch();
+        // sum() buffers Cmd::Reduce into the batch; wait() must flush it
+        assert!((x.sum() - 8.0).abs() < 1e-12);
+        // the batch was consumed: opening a fresh one must not panic
+        ctx.begin_batch();
+        ctx.flush_batch();
+    }
+
+    #[test]
+    fn barrier_flushes_open_batch() {
+        let ctx = OdinContext::with_workers(2);
+        let x = ctx.ones(&[6], crate::buffer::DType::F64);
+        ctx.begin_batch();
+        let y = &x + 1.0;
+        ctx.barrier(); // must flush the buffered Binary command first
+        assert_eq!(y.to_vec(), vec![2.0; 6]);
+    }
+
+    #[test]
+    fn data_command_flushes_open_batch_preserving_order() {
+        let ctx = OdinContext::with_workers(2);
+        let x = ctx.ones(&[4], crate::buffer::DType::F64);
+        ctx.begin_batch();
+        let doubled = &x * 2.0; // batched
+        let v = ctx.from_vec(&[9.0, 9.0], crate::protocol::Dist::Block); // data cmd
+        ctx.flush_open_batch(); // already flushed by from_vec; must be a no-op path
+        assert_eq!(doubled.to_vec(), vec![2.0; 4]);
+        assert_eq!(v.to_vec(), vec![9.0, 9.0]);
+    }
+
+    #[test]
+    fn dropped_pending_reply_is_discarded_not_misdelivered() {
+        let ctx = OdinContext::with_workers(2);
+        let x = ctx.full(&[4], 3.0, crate::protocol::Dist::Block);
+        let y = ctx.full(&[4], 5.0, crate::protocol::Dist::Block);
+        let abandoned = x.sum_async();
+        drop(abandoned);
+        // the abandoned reply (12.0) must not be delivered to this wait
+        assert!((y.sum() - 20.0).abs() < 1e-12);
+        ctx.barrier();
+        assert_eq!(ctx.outstanding_replies(), 0);
+    }
+
+    #[test]
+    fn array_sequence_tracking_clears_after_barrier() {
+        let ctx = OdinContext::with_workers(2);
+        let x = ctx.ones(&[6], crate::buffer::DType::F64);
+        let y = &x + 1.0; // in flight: no reply claimed yet
+        assert!(ctx.array_in_flight(y.id()));
+        assert!(ctx.dispatch_seq() > ctx.completed_seq());
+        ctx.barrier(); // proves everything up to the Ping executed
+        assert!(!ctx.array_in_flight(y.id()));
+        assert_eq!(ctx.dispatch_seq(), ctx.completed_seq());
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod table;
 
 pub use array::{binary_strategy, set_binary_strategy, BinaryStrategy, DistArray};
 pub use buffer::{Buffer, DType};
-pub use context::{ContextStats, LocalFn, OdinConfig, OdinContext, WorkerScope};
+pub use context::{ContextStats, LocalFn, OdinConfig, OdinContext, Pending, WorkerScope};
 pub use io::remove_saved;
 pub use lazy::Expr;
 pub use protocol::{ArrayMeta, BinOp, Dist, ReduceKind, UnaryOp};

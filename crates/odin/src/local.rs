@@ -85,9 +85,10 @@ impl WorkerScope<'_> {
             }
         };
         const HALO_TAG: comm::Tag = 0x2FFF_0001;
-        // Send my first element left and my last element right; receive
-        // symmetric values. Empty ranks forward nothing; for simplicity
-        // this helper requires non-empty segments when p > 1.
+        // Post both sends nonblocking, then both receives; sends to the
+        // two neighbors overlap with each other and with the receives.
+        // Empty ranks forward nothing; for simplicity this helper
+        // requires non-empty segments when p > 1.
         let mut left_ghost = None;
         let mut right_ghost = None;
         if p > 1 {
@@ -95,15 +96,20 @@ impl WorkerScope<'_> {
                 map.my_count() > 0,
                 "halo helper requires non-empty segments"
             );
+            let mut sreqs = Vec::with_capacity(2);
             if rank > 0 {
-                self.comm
-                    .send(rank - 1, HALO_TAG, &first.unwrap())
-                    .expect("halo send");
+                sreqs.push(
+                    self.comm
+                        .isend(rank - 1, HALO_TAG, &first.unwrap())
+                        .expect("halo send"),
+                );
             }
             if rank + 1 < p {
-                self.comm
-                    .send(rank + 1, HALO_TAG, &last.unwrap())
-                    .expect("halo send");
+                sreqs.push(
+                    self.comm
+                        .isend(rank + 1, HALO_TAG, &last.unwrap())
+                        .expect("halo send"),
+                );
             }
             if rank + 1 < p {
                 let (v, _) = self
@@ -119,6 +125,7 @@ impl WorkerScope<'_> {
                     .expect("halo recv");
                 left_ghost = Some(v);
             }
+            self.comm.waitall(sreqs).expect("halo send wait");
         }
         (left_ghost, right_ghost)
     }

@@ -1,6 +1,6 @@
 //! Extended NumPy-parity operations: `where`, `cumsum`, `argmin/argmax`,
 //! `clip`, `dot`, `concatenate`. These round out the paper's §III-A claim
-//! that "all NumPy array creation routines [and] built-in functions" have
+//! that "all NumPy array creation routines \[and\] built-in functions" have
 //! distributed counterparts.
 
 use crate::array::DistArray;
@@ -73,12 +73,12 @@ impl<'c> DistArray<'c> {
 
     fn arg_reduce(&self, is_max: bool) -> (usize, f64) {
         assert!(!self.is_empty(), "arg reduction of an empty array");
-        self.ctx().send_cmd(&Cmd::ArgReduce {
-            a: self.id(),
-            is_max,
-        });
-        let bytes = self.ctx().collect_single_reply();
-        let (v, idx): (f64, usize) = comm::decode_from_slice(&bytes).expect("bad argreduce reply");
+        let pending: crate::context::Pending<'_, (f64, usize)> =
+            self.ctx().dispatch_single(&Cmd::ArgReduce {
+                a: self.id(),
+                is_max,
+            });
+        let (v, idx) = pending.wait();
         (idx, v)
     }
 

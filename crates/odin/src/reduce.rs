@@ -5,23 +5,34 @@
 //! from worker 0, so it never becomes a bottleneck (paper Fig. 1 caption).
 
 use crate::array::DistArray;
+use crate::context::Pending;
 use crate::protocol::{Cmd, ReduceKind};
 
 impl<'c> DistArray<'c> {
-    fn reduce_scalar(&self, kind: ReduceKind) -> f64 {
-        self.ctx().send_cmd(&Cmd::Reduce {
+    /// Dispatch a full reduction and return a reply future — the master
+    /// can keep issuing commands (on this or other arrays) while the
+    /// workers compute and the scalar is in flight.
+    pub fn reduce_scalar_async(&self, kind: ReduceKind) -> Pending<'c, f64> {
+        self.ctx().dispatch_single(&Cmd::Reduce {
             a: self.id(),
             kind,
             axis: None,
             out: 0,
-        });
-        let bytes = self.ctx().collect_single_reply();
-        comm::decode_from_slice(&bytes).expect("bad reduce reply")
+        })
+    }
+
+    fn reduce_scalar(&self, kind: ReduceKind) -> f64 {
+        self.reduce_scalar_async(kind).wait()
     }
 
     /// Sum of all elements.
     pub fn sum(&self) -> f64 {
         self.reduce_scalar(ReduceKind::Sum)
+    }
+
+    /// Pipelined [`Self::sum`]: returns a future instead of blocking.
+    pub fn sum_async(&self) -> Pending<'c, f64> {
+        self.reduce_scalar_async(ReduceKind::Sum)
     }
 
     /// Product of all elements.

@@ -12,6 +12,58 @@ use comm::{Comm, CommError, Cursor, Wire};
 use crate::buffer::Buffer;
 use crate::protocol::ArrayMeta;
 
+/// Reserved tag for the split-phase exchanges below. Safe as a fixed tag:
+/// workers execute commands in SPMD order and channels are FIFO, so two
+/// exchanges can never have messages in flight that would cross-match.
+const XCHG_TAG: comm::Tag = 0x2FFF_0002;
+
+/// All-to-all exchange with compute/communication overlap: post
+/// nonblocking sends to every peer, run `local` (the local-copy phase of
+/// the caller) while the payloads are in flight, then drain incoming
+/// messages in arrival order. `incoming[peer]` is what `peer` sent here;
+/// the self entry is moved across without touching the network.
+fn exchange_overlapped<T: Wire>(
+    comm: &Comm,
+    mut outgoing: Vec<Vec<T>>,
+    local: impl FnOnce(),
+) -> Vec<Vec<T>> {
+    let p = comm.size();
+    let me = comm.rank();
+    debug_assert_eq!(outgoing.len(), p);
+    let mut incoming: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    incoming[me] = std::mem::take(&mut outgoing[me]);
+    if p == 1 {
+        local();
+        return incoming;
+    }
+    let mut sreqs = Vec::with_capacity(p - 1);
+    for (peer, msg) in outgoing.into_iter().enumerate() {
+        if peer == me {
+            continue;
+        }
+        sreqs.push(comm.isend(peer, XCHG_TAG, &msg).expect("exchange isend"));
+    }
+    local();
+    let mut peers: Vec<usize> = (0..p).filter(|&peer| peer != me).collect();
+    let mut rreqs: Vec<comm::Request> = peers
+        .iter()
+        .map(|&peer| {
+            comm.irecv(comm::Src::Rank(peer), XCHG_TAG)
+                .expect("exchange irecv")
+        })
+        .collect();
+    while !rreqs.is_empty() {
+        let (idx, done) = comm.waitany(&mut rreqs).expect("exchange wait");
+        let peer = peers.remove(idx);
+        let (bytes, _) = done.expect("receive completion carries a payload");
+        incoming[peer] = comm::decode_from_slice(&bytes).expect("bad exchange payload");
+    }
+    for req in sreqs {
+        comm.wait(req).expect("exchange send wait");
+    }
+    incoming
+}
+
 /// A half-open strided range `start..stop` with positive `step`
 /// (negative indices are resolved by the master-side API before encoding).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +201,7 @@ pub fn slice_worker(
         let g_lo = src_start.max(row_spec.start);
         let g_hi = src_end.min(row_spec.stop);
         let mut outgoing: Vec<Vec<(usize, Buffer)>> = (0..p).map(|_| Vec::new()).collect();
+        let mut local_copy: Option<(usize, usize, usize)> = None;
         if g_lo < g_hi {
             for (owner, out_msgs) in outgoing.iter_mut().enumerate() {
                 let o_map = out_meta.axis_map(p, owner);
@@ -163,15 +216,19 @@ pub fn slice_worker(
                 let src_base = (lo + row_spec.start - src_start) * slab;
                 let n_elems = (hi - lo) * slab;
                 if owner == rank {
-                    let dst_base = (lo - o_start) * out_slab;
-                    copy_rows(&mut out, dst_base, data, src_base, n_elems);
+                    local_copy = Some(((lo - o_start) * out_slab, src_base, n_elems));
                 } else {
                     let flat = data.gather_indices(src_base..src_base + n_elems);
                     out_msgs.push((lo, flat));
                 }
             }
         }
-        let incoming = comm.alltoallv(outgoing);
+        // The local memcpy runs while the remote payloads are in flight.
+        let incoming = exchange_overlapped(comm, outgoing, || {
+            if let Some((dst_base, src_base, n_elems)) = local_copy {
+                copy_rows(&mut out, dst_base, data, src_base, n_elems);
+            }
+        });
         let my_out_start = out_map.my_block_start().expect("block map");
         for (lo, flat) in incoming.into_iter().flatten() {
             let dst_base = (lo - my_out_start) * out_slab;
@@ -182,6 +239,7 @@ pub fn slice_worker(
     }
     let mut peer_rows: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
     let mut peer_idx: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+    let mut local_rows: Vec<(usize, usize)> = Vec::new();
     for l in 0..src_map.my_count() {
         let g = src_map.local_to_global(l);
         if !row_spec.contains(g) {
@@ -191,15 +249,9 @@ pub fn slice_worker(
         let owner = out_map.owner_of(out_row).expect("structured map");
         let base = l * slab;
         if owner == rank {
-            // local fast path: no serialization round-trip
-            let lo = out_map.global_to_local(out_row).unwrap();
-            if offsets.len() == slab && slab > 0 && offsets[0] == 0 && offsets[slab - 1] + 1 == slab
-            {
-                copy_rows(&mut out, lo * out_slab, data, base, out_slab);
-            } else {
-                let row = data.gather_indices(offsets.iter().map(|&o| base + o));
-                copy_rows(&mut out, lo * out_slab, &row, 0, out_slab);
-            }
+            // local fast path: no serialization round-trip; deferred into
+            // the overlap window below
+            local_rows.push((out_map.global_to_local(out_row).unwrap(), base));
         } else {
             peer_rows[owner].push(out_row);
             peer_idx[owner].extend(offsets.iter().map(|&o| base + o));
@@ -216,7 +268,18 @@ pub fn slice_worker(
             }
         })
         .collect();
-    let incoming = comm.alltoallv(outgoing);
+    let incoming = exchange_overlapped(comm, outgoing, || {
+        let contiguous =
+            offsets.len() == slab && slab > 0 && offsets[0] == 0 && offsets[slab - 1] + 1 == slab;
+        for &(lo, base) in &local_rows {
+            if contiguous {
+                copy_rows(&mut out, lo * out_slab, data, base, out_slab);
+            } else {
+                let row = data.gather_indices(offsets.iter().map(|&o| base + o));
+                copy_rows(&mut out, lo * out_slab, &row, 0, out_slab);
+            }
+        }
+    });
     for batch in incoming.into_iter().flatten() {
         let (rows, flat) = batch;
         for (k, out_row) in rows.into_iter().enumerate() {
@@ -251,13 +314,13 @@ pub fn redistribute_worker(
     let mut out = Buffer::zeros(meta.dtype, out_map.my_count() * slab);
     let mut peer_rows: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
     let mut peer_idx: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+    let mut local_rows: Vec<(usize, usize)> = Vec::new();
     for l in 0..src_map.my_count() {
         let g = src_map.local_to_global(l);
         let owner = out_map.owner_of(g).expect("structured map");
         let base = l * slab;
         if owner == rank {
-            let lo = out_map.global_to_local(g).unwrap();
-            copy_rows(&mut out, lo * slab, data, base, slab);
+            local_rows.push((out_map.global_to_local(g).unwrap(), base));
             continue;
         }
         peer_rows[owner].push(g);
@@ -274,7 +337,11 @@ pub fn redistribute_worker(
             }
         })
         .collect();
-    let incoming = comm.alltoallv(outgoing);
+    let incoming = exchange_overlapped(comm, outgoing, || {
+        for &(lo, base) in &local_rows {
+            copy_rows(&mut out, lo * slab, data, base, slab);
+        }
+    });
     for (rows, flat) in incoming.into_iter().flatten() {
         for (k, g) in rows.into_iter().enumerate() {
             let lo = out_map

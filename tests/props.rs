@@ -293,6 +293,146 @@ fn odin_redistribute_preserves_content() {
     }
 }
 
+// ---- nonblocking overlap: bitwise-identical to the blocking reference --------
+
+use hpc_framework::comm::Universe;
+use hpc_framework::dlinalg::{CsrMatrix, DistVector};
+
+/// Random sparse square-matrix row: a dominant diagonal plus a few
+/// off-diagonal entries anywhere in the domain (so rows land on both
+/// sides of the interior/boundary split).
+fn arb_row(rng: &mut SplitMix64, g: usize, n: usize) -> Vec<(usize, f64)> {
+    let mut row = vec![(g, 4.0 + rng.gen_range_f64(0.0, 2.0))];
+    for _ in 0..rng.gen_index(4) {
+        row.push((rng.gen_index(n), rng.gen_range_f64(-1.0, 1.0)));
+    }
+    row.sort_unstable_by_key(|e| e.0);
+    row.dedup_by_key(|e| e.0);
+    row
+}
+
+#[test]
+fn overlapped_spmv_bitwise_matches_blocking() {
+    let mut rng = SplitMix64::new(0x5b3a);
+    for case in 0..8 {
+        let p = 1 + rng.gen_index(4);
+        let n = 8 + rng.gen_index(40);
+        let rows_seed = rng.next_u64();
+        let x_seed = rng.next_u64();
+        Universe::run(p, move |comm| {
+            let map = DistMap::block(n, comm.size(), comm.rank());
+            let a = CsrMatrix::from_row_fn(comm, map.clone(), map.clone(), |g| {
+                let mut r = SplitMix64::new(rows_seed ^ (g as u64).wrapping_mul(0x9e3779b9));
+                arb_row(&mut r, g, n)
+            });
+            let x = DistVector::from_fn(map.clone(), |g| {
+                let mut r = SplitMix64::new(x_seed ^ g as u64);
+                r.gen_range_f64(-10.0, 10.0)
+            });
+            let y_over = a.matvec(comm, &x);
+            let y_block = a.matvec_blocking(comm, &x);
+            for (o, b) in y_over.local().iter().zip(y_block.local()) {
+                assert_eq!(o.to_bits(), b.to_bits(), "case {case}: {o} vs {b}");
+            }
+        });
+    }
+}
+
+#[test]
+fn interior_boundary_partition_invariant() {
+    let mut rng = SplitMix64::new(0x1b2c);
+    for _ in 0..8 {
+        let p = 1 + rng.gen_index(4);
+        let n = 8 + rng.gen_index(40);
+        let rows_seed = rng.next_u64();
+        Universe::run(p, move |comm| {
+            let me = comm.rank();
+            let map = DistMap::block(n, comm.size(), me);
+            let a = CsrMatrix::from_row_fn(comm, map.clone(), map.clone(), |g| {
+                let mut r = SplitMix64::new(rows_seed ^ (g as u64).wrapping_mul(0x9e3779b9));
+                arb_row(&mut r, g, n)
+            });
+            // interior ∪ boundary is a permutation of the local rows
+            let rows_local = a.row_map().my_count();
+            let mut seen = vec![false; rows_local];
+            for &i in a.interior_rows().iter().chain(a.boundary_rows()) {
+                assert!(!seen[i], "row {i} listed twice");
+                seen[i] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "some row unlisted");
+            // interior rows reference only locally-owned columns; boundary
+            // rows reference at least one ghost column
+            for &i in a.interior_rows() {
+                assert!(a
+                    .row_entries(i)
+                    .all(|(g, _)| a.domain_map().owner_of(g) == Some(me)));
+            }
+            for &i in a.boundary_rows() {
+                assert!(a
+                    .row_entries(i)
+                    .any(|(g, _)| a.domain_map().owner_of(g) != Some(me)));
+            }
+        });
+    }
+}
+
+#[test]
+fn halo_exchange_matches_neighbor_values_bitwise() {
+    let mut rng = SplitMix64::new(0x4a10);
+    for _ in 0..8 {
+        let workers = 1 + rng.gen_index(4);
+        // a multiple of `workers` so every block segment is non-empty
+        let n = workers * (1 + rng.gen_index(8));
+        let seed = rng.next_u64();
+        let ctx = OdinContext::with_workers(workers);
+        let x = ctx.random(&[n], seed);
+        let xs = x.to_vec();
+        ctx.run_spmd(&[&x], move |scope, args| {
+            let (left, right) = scope.exchange_boundary_1d(args[0]);
+            let map = scope.axis_map(args[0]);
+            let lo = map.local_to_global(0);
+            let hi = map.local_to_global(map.my_count() - 1);
+            match left {
+                Some(v) => assert_eq!(v.to_bits(), xs[lo - 1].to_bits()),
+                None => assert_eq!(lo, 0),
+            }
+            match right {
+                Some(v) => assert_eq!(v.to_bits(), xs[hi + 1].to_bits()),
+                None => assert_eq!(hi, xs.len() - 1),
+            }
+        });
+    }
+}
+
+#[test]
+fn pipelined_dispatch_bitwise_matches_drained() {
+    let mut rng = SplitMix64::new(0xf10e);
+    for case in 0..6 {
+        let workers = 1 + rng.gen_index(4);
+        let k = 2 + rng.gen_index(6);
+        let ctx = OdinContext::with_workers(workers);
+        let arrays: Vec<_> = (0..k)
+            .map(|i| {
+                let d = arb_dist(&mut rng);
+                ctx.random_dist(&[1 + rng.gen_index(99)], 100 + i as u64, d)
+            })
+            .collect();
+        let drained: Vec<f64> = arrays.iter().map(|a| a.sum()).collect();
+        // re-issue the same reductions as a pipelined stream and claim the
+        // replies in reverse order to exercise the engine's buffering
+        let mut pending: Vec<_> = arrays.iter().map(|a| a.sum_async()).collect();
+        let mut piped = Vec::with_capacity(k);
+        while let Some(p) = pending.pop() {
+            piped.push(p.wait());
+        }
+        piped.reverse();
+        for (i, (d, p)) in drained.iter().zip(&piped).enumerate() {
+            assert_eq!(d.to_bits(), p.to_bits(), "case {case}, array {i}");
+        }
+        assert_eq!(ctx.outstanding_replies(), 0);
+    }
+}
+
 // ---- seamless: VM must agree with the interpreter -----------------------------
 
 /// Random arithmetic source over one float parameter, depth-bounded.

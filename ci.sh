@@ -19,6 +19,14 @@ cargo test -q --offline
 echo "== tier-1 tests again with metrics recording on"
 HPC_METRICS=1 cargo test -q --offline
 
+echo "== chaos pass: seeded fault sweep"
+# Every fault decision is a pure function of HPC_FAULT_SEED, so each
+# sweep value replays a distinct — but exactly reproducible — schedule.
+for seed in 42 1009 777216; do
+  echo "-- HPC_FAULT_SEED=$seed"
+  HPC_FAULT_SEED=$seed cargo test -q --offline --test failure_modes
+done
+
 echo "== cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 

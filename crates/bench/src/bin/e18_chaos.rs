@@ -1,0 +1,170 @@
+//! E18 — chaos: seeded fault injection, reliable delivery, and recovery.
+//!
+//! Three views of the fault plane:
+//!
+//! * **acceptance**: SpMV-CG at 16 ranks under a nonzero fault plan with
+//!   reliable delivery converges to a **bitwise-identical** iterate and
+//!   residual history vs the fault-free run — drops, duplicates, delays
+//!   and corruption are healed below the algorithm.
+//! * **sweep**: modeled makespan vs drop rate at 4–64 ranks. Retransmits
+//!   are charged to the virtual clock (`o + bytes·G`), so losing more
+//!   messages costs modeled time, not correctness.
+//! * **overhead**: reliable delivery at fault rate 0 vs raw delivery —
+//!   the price of acks and sender-side buffering when nothing goes wrong.
+//!
+//! The fault schedule is a pure function of the seed (`HPC_FAULT_SEED`,
+//! default 42): every number printed here reproduces exactly.
+
+use bench::fmt_s;
+use comm::{CommStats, Delivery, FaultPlan, Universe, UniverseConfig};
+use dlinalg::DistVector;
+use galeri::laplace_2d;
+use solvers::{cg, IdentityPrecond, KrylovConfig};
+
+fn fault_seed() -> u64 {
+    std::env::var("HPC_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Solve the 2-D Laplace system with CG and return per-rank
+/// `(x segment, history)` plus the run's stats and makespan.
+#[allow(clippy::type_complexity)]
+fn cg_run(
+    ranks: usize,
+    grid: usize,
+    fault: FaultPlan,
+    delivery: Delivery,
+) -> (Vec<(Vec<f64>, Vec<f64>)>, Vec<CommStats>, f64) {
+    let cfg = UniverseConfig {
+        stall_timeout: Some(std::time::Duration::from_secs(30)),
+        fault,
+        delivery,
+        ..Default::default()
+    };
+    let report = Universe::run_report(cfg, ranks, move |comm| {
+        let a = laplace_2d(comm, grid, grid);
+        let b = DistVector::from_fn(a.domain_map().clone(), |g| ((g as f64) * 0.11).sin());
+        let mut x = DistVector::zeros(a.domain_map().clone());
+        let st = cg(
+            comm,
+            &a,
+            &b,
+            &mut x,
+            &IdentityPrecond,
+            &KrylovConfig {
+                rtol: 1e-8,
+                max_iter: 120,
+                ..Default::default()
+            },
+        );
+        (x.local().to_vec(), st.history)
+    });
+    (report.results, report.stats, report.makespan_s)
+}
+
+fn sum_lost(stats: &[CommStats]) -> (u64, u64) {
+    let lost = stats
+        .iter()
+        .map(|s| s.faults_dropped + s.corrupt_detected)
+        .sum();
+    let retx = stats.iter().map(|s| s.retransmits).sum();
+    (lost, retx)
+}
+
+fn main() {
+    let _obs = bench::obs_init();
+    let seed = fault_seed();
+    bench::header(
+        "E18",
+        "chaos: seeded faults, reliable delivery, recovery",
+        "injected message faults are healed below the solver bitwise; \
+         the virtual clock pays for retransmissions instead",
+    );
+    println!("fault seed: {seed} (set HPC_FAULT_SEED to resweep)\n");
+
+    // ---- acceptance: 16-rank SpMV-CG, faulted vs fault-free --------------
+    let grid = 48usize;
+    let plan = FaultPlan::messages(seed, 0.05, 0.03, 0.03, 0.02);
+    let (clean, _, t_clean) = cg_run(16, grid, FaultPlan::none(), Delivery::Raw);
+    let (chaos, stats, t_chaos) = cg_run(16, grid, plan, Delivery::Reliable);
+    for (rank, (c, f)) in clean.iter().zip(chaos.iter()).enumerate() {
+        assert!(
+            c.0 == f.0 && c.1 == f.1,
+            "rank {rank}: faulted run diverged from the fault-free run"
+        );
+    }
+    let (lost, retx) = sum_lost(&stats);
+    assert!(
+        lost > 0,
+        "the plan injected nothing; the identity is vacuous"
+    );
+    println!(
+        "16-rank SpMV-CG, Laplace {grid}x{grid}: bitwise identical under \
+         drop=5% dup=3% delay=3% corrupt=2%"
+    );
+    println!("  lost transmissions: {lost}, retransmits: {retx}");
+    println!(
+        "  modeled makespan: {} clean -> {} faulted ({:+.1}%)\n",
+        fmt_s(t_clean),
+        fmt_s(t_chaos),
+        100.0 * (t_chaos - t_clean) / t_clean
+    );
+
+    // ---- sweep: makespan vs drop rate at 4-64 ranks ----------------------
+    println!("modeled makespan vs drop rate (reliable delivery):");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10} {:>8}",
+        "ranks", "drop", "makespan", "dropped", "retx"
+    );
+    for ranks in [4usize, 16, 64] {
+        let mut base = None;
+        for drop_pct in [0u32, 2, 5, 10] {
+            let p = drop_pct as f64 / 100.0;
+            let plan = FaultPlan::messages(seed, p, 0.0, 0.0, 0.0);
+            let (_, stats, makespan) = cg_run(ranks, grid, plan, Delivery::Reliable);
+            let (lost, retx) = sum_lost(&stats);
+            println!(
+                "{ranks:>8} {drop_pct:>9}% {:>12} {lost:>10} {retx:>8}",
+                fmt_s(makespan)
+            );
+            match base {
+                None => base = Some(makespan),
+                Some(b) => assert!(
+                    makespan > b,
+                    "losing messages must cost modeled time ({makespan} vs {b} at {ranks} ranks)"
+                ),
+            }
+        }
+    }
+
+    // ---- overhead: reliable delivery with nothing to heal ----------------
+    println!("\nreliable-delivery overhead at fault rate 0 (acks + buffering):");
+    for ranks in [4usize, 16] {
+        let (_, _, t_raw) = cg_run(ranks, grid, FaultPlan::none(), Delivery::Raw);
+        let (_, stats, t_rel) = cg_run(ranks, grid, FaultPlan::none(), Delivery::Reliable);
+        let (lost, retx) = sum_lost(&stats);
+        // Injection is seeded and off, so losses are deterministically 0.
+        // Retransmits are wall-clock RTO-driven: a host stall > 5 ms (e.g.
+        // under tracing) can fire a few spurious ones; they are suppressed
+        // as duplicates and only cost modeled time.
+        assert_eq!(lost, 0, "a disabled plan must inject nothing");
+        let spurious = if retx > 0 {
+            format!(", {retx} spurious retransmits")
+        } else {
+            String::new()
+        };
+        println!(
+            "  {ranks:>3} ranks: raw {} -> reliable {} ({:+.1}%{spurious})",
+            fmt_s(t_raw),
+            fmt_s(t_rel),
+            100.0 * (t_rel - t_raw) / t_raw
+        );
+    }
+
+    println!("\nshape: correctness is flat across fault rates (bitwise, by");
+    println!("construction); cost is not — every drop surfaces as a retransmit");
+    println!("on the sender's virtual clock, and the ack overhead is the small");
+    println!("constant price of the reliability layer.");
+}

@@ -8,7 +8,9 @@ use std::time::Duration;
 
 use crate::collectives::CollectiveAlgo;
 use crate::error::CommError;
+use crate::fault::{Delivery, FaultPlan};
 use crate::model::NetworkModel;
+use crate::reliable::Retx;
 use crate::stats::CommStats;
 use crate::wire::{decode_from_slice, Wire};
 
@@ -41,13 +43,32 @@ pub struct Status {
     pub depart: f64,
 }
 
+/// Payload class of an envelope: user data, or a reliable-delivery ack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EnvKind {
+    Data,
+    Ack,
+}
+
 /// One message in flight.
+#[derive(Clone)]
 pub(crate) struct Envelope {
     pub(crate) ctx: u64,
     pub(crate) src: usize,
     pub(crate) tag: Tag,
     pub(crate) depart: f64,
     pub(crate) bytes: Vec<u8>,
+    /// Global rank of the sender (for acks and dup suppression, which
+    /// operate below the communicator layer).
+    pub(crate) gsrc: usize,
+    /// Per-(sender → receiver) sequence number; 0 in raw delivery mode.
+    pub(crate) seq: u64,
+    /// FNV-1a over the payload; 0 when the fault plane is inactive.
+    pub(crate) checksum: u64,
+    pub(crate) kind: EnvKind,
+    /// Set at intake when checksum verification failed (raw mode only;
+    /// reliable mode discards corrupt arrivals instead).
+    pub(crate) corrupt: bool,
 }
 
 /// State shared between a rank's thread and every sub-communicator it
@@ -63,6 +84,22 @@ pub(crate) struct RankState {
     /// forever (see [`CommError::Stalled`]).
     pub(crate) stall_timeout: Cell<Option<Duration>>,
     pub(crate) stats: RefCell<CommStats>,
+    /// This rank's world (global) id, fixed at universe launch.
+    pub(crate) world_rank: usize,
+    pub(crate) delivery: Delivery,
+    pub(crate) fault: FaultPlan,
+    /// Fresh data transmissions so far (drives fault decisions).
+    pub(crate) send_count: Cell<u64>,
+    /// Communication operations so far (drives the kill threshold).
+    pub(crate) op_count: Cell<u64>,
+    /// Latched once the kill threshold is crossed.
+    pub(crate) killed: Cell<bool>,
+    /// Next sequence number per destination global rank (reliable mode).
+    pub(crate) next_seq: RefCell<Vec<u64>>,
+    /// Sequence numbers already delivered, per source global rank.
+    pub(crate) seen: RefCell<Vec<std::collections::HashSet<u64>>>,
+    /// Sent-but-unacked envelopes awaiting retransmission.
+    pub(crate) unacked: RefCell<Vec<Retx>>,
 }
 
 /// A communicator handle: the single object user code talks to.
@@ -104,9 +141,7 @@ impl Comm {
         size: usize,
         senders: Arc<Vec<Sender<Envelope>>>,
         rx: Receiver<Envelope>,
-        model: NetworkModel,
-        algo: CollectiveAlgo,
-        stall_timeout: Option<Duration>,
+        config: &crate::universe::UniverseConfig,
     ) -> Self {
         Comm {
             rank,
@@ -118,11 +153,20 @@ impl Comm {
                 pending: RefCell::new(Vec::new()),
                 clock: Cell::new(0.0),
                 nic_free: Cell::new(0.0),
-                stall_timeout: Cell::new(stall_timeout),
+                stall_timeout: Cell::new(config.stall_timeout),
                 stats: RefCell::new(CommStats::default()),
+                world_rank: rank,
+                delivery: config.delivery,
+                fault: config.fault,
+                send_count: Cell::new(0),
+                op_count: Cell::new(0),
+                killed: Cell::new(false),
+                next_seq: RefCell::new(vec![0; size]),
+                seen: RefCell::new(vec![std::collections::HashSet::new(); size]),
+                unacked: RefCell::new(Vec::new()),
             }),
-            model,
-            algo,
+            model: config.model,
+            algo: config.algo,
             coll_seq: Cell::new(0),
             split_seq: Cell::new(0),
         }
@@ -244,9 +288,8 @@ impl Comm {
     /// Non-blocking check: is a matching message already available?
     /// Drains the mailbox into the pending queue without blocking.
     pub fn probe(&self, src: Src, tag: Tag) -> bool {
-        while let Ok(env) = self.state.rx.try_recv() {
-            self.state.pending.borrow_mut().push(env);
-        }
+        self.drain_mailbox();
+        self.pump_retransmits();
         self.state
             .pending
             .borrow()

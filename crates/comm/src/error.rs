@@ -16,7 +16,9 @@ pub enum CommError {
     CollectiveMismatch(String),
     /// A blocking receive or request wait exceeded its deadline. Carries
     /// enough to diagnose the hang: who was waiting (global rank), for
-    /// whom (`None` = any source), on which tag, and for how long.
+    /// whom (`None` = any source), on which tag, for how long, and a
+    /// snapshot of the unmatched mailbox — distinguishing "nothing ever
+    /// arrived" from "messages arrived but none matched".
     Stalled {
         /// Global rank that was blocked.
         rank: usize,
@@ -26,6 +28,28 @@ pub enum CommError {
         tag: u32,
         /// Wall-clock milliseconds spent waiting before giving up.
         waited_ms: u64,
+        /// Envelopes queued but unmatched when the wait gave up.
+        queued: usize,
+        /// Tags of the queued envelopes (capped at the first few).
+        queued_tags: Vec<u32>,
+    },
+    /// A received payload failed checksum verification (injected
+    /// bit-corruption surfaced in raw delivery mode).
+    Corrupt {
+        /// Global rank that detected the corruption (the receiver).
+        rank: usize,
+        /// Global rank the message came from.
+        src: usize,
+        /// Tag the message was sent with.
+        tag: u32,
+    },
+    /// This rank was killed by the fault plan: it has exceeded its
+    /// configured operation budget and every further comm call fails.
+    Killed {
+        /// Global rank that died.
+        rank: usize,
+        /// Operation count at which it died.
+        after_ops: u64,
     },
 }
 
@@ -43,15 +67,31 @@ impl fmt::Display for CommError {
                 src,
                 tag,
                 waited_ms,
+                queued,
+                queued_tags,
             } => {
                 write!(
                     f,
                     "rank {rank} stalled {waited_ms} ms waiting for tag {tag} from "
                 )?;
                 match src {
-                    Some(s) => write!(f, "rank {s}"),
-                    None => write!(f, "any rank"),
+                    Some(s) => write!(f, "rank {s}")?,
+                    None => write!(f, "any rank")?,
                 }
+                if *queued == 0 {
+                    write!(f, "; mailbox empty")
+                } else {
+                    write!(f, "; {queued} unmatched queued, tags {queued_tags:?}")
+                }
+            }
+            CommError::Corrupt { rank, src, tag } => {
+                write!(
+                    f,
+                    "rank {rank} received a corrupt payload (tag {tag} from rank {src})"
+                )
+            }
+            CommError::Killed { rank, after_ops } => {
+                write!(f, "rank {rank} was killed after {after_ops} comm ops")
             }
         }
     }
@@ -82,20 +122,41 @@ mod tests {
                 rank: 3,
                 src: Some(1),
                 tag: 7,
-                waited_ms: 250
+                waited_ms: 250,
+                queued: 0,
+                queued_tags: vec![],
             }
             .to_string(),
-            "rank 3 stalled 250 ms waiting for tag 7 from rank 1"
+            "rank 3 stalled 250 ms waiting for tag 7 from rank 1; mailbox empty"
         );
         assert_eq!(
             CommError::Stalled {
                 rank: 0,
                 src: None,
                 tag: 2,
-                waited_ms: 10
+                waited_ms: 10,
+                queued: 2,
+                queued_tags: vec![5, 9],
             }
             .to_string(),
-            "rank 0 stalled 10 ms waiting for tag 2 from any rank"
+            "rank 0 stalled 10 ms waiting for tag 2 from any rank; 2 unmatched queued, tags [5, 9]"
+        );
+        assert_eq!(
+            CommError::Corrupt {
+                rank: 1,
+                src: 0,
+                tag: 4
+            }
+            .to_string(),
+            "rank 1 received a corrupt payload (tag 4 from rank 0)"
+        );
+        assert_eq!(
+            CommError::Killed {
+                rank: 2,
+                after_ops: 40
+            }
+            .to_string(),
+            "rank 2 was killed after 40 comm ops"
         );
     }
 }

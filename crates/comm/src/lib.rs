@@ -30,7 +30,9 @@
 pub mod collectives;
 pub mod comm;
 pub mod error;
+pub mod fault;
 pub mod model;
+pub mod reliable;
 pub mod request;
 pub mod stats;
 pub mod universe;
@@ -39,6 +41,7 @@ pub mod wire;
 pub use crate::comm::{Comm, Src, Status, Tag, MAX_USER_TAG};
 pub use collectives::{CollectiveAlgo, ReduceOp};
 pub use error::CommError;
+pub use fault::{Delivery, FaultAction, FaultPlan};
 pub use model::NetworkModel;
 pub use request::{Completion, Request};
 pub use stats::CommStats;

@@ -106,6 +106,7 @@ impl Comm {
         span_name: &'static str,
     ) -> Result<Request, CommError> {
         self.check_rank(dest)?;
+        self.fault_tick()?;
         let n = bytes.len();
         let state = &self.state;
         let posted_at = state.clock.get();
@@ -128,15 +129,7 @@ impl Comm {
         } else {
             None
         };
-        self.senders[self.group[dest]]
-            .send(Envelope {
-                ctx: self.ctx,
-                src: self.rank(),
-                tag,
-                depart,
-                bytes,
-            })
-            .map_err(|_| CommError::Disconnected)?;
+        self.transmit_fresh(dest, tag, depart, bytes)?;
         Ok(Request {
             inner: ReqInner::Send { post_end, depart },
             ctx: self.ctx,
@@ -159,6 +152,7 @@ impl Comm {
         if let Src::Rank(r) = src {
             self.check_rank(r)?;
         }
+        self.fault_tick()?;
         let posted_at = self.state.clock.get();
         let timer = if obs::enabled() {
             Some(obs::span::span_start(posted_at))
@@ -196,9 +190,8 @@ impl Comm {
                     return true;
                 }
                 // Drain the mailbox without blocking, then claim a match.
-                while let Ok(env) = self.state.rx.try_recv() {
-                    self.state.pending.borrow_mut().push(env);
-                }
+                self.drain_mailbox();
+                self.pump_retransmits();
                 let mut pending = self.state.pending.borrow_mut();
                 if let Some(i) = pending.iter().position(|e| self.matches(e, *src, *tag)) {
                     *ready = Some(pending.remove(i));
@@ -263,6 +256,13 @@ impl Comm {
                     Some(env) => env,
                     None => self.claim_matching(src, tag, deadline)?,
                 };
+                if env.corrupt {
+                    return Err(CommError::Corrupt {
+                        rank: self.state.world_rank,
+                        src: env.gsrc,
+                        tag: env.tag,
+                    });
+                }
                 let out = self.deliver_posted(env, posted_at);
                 if let Some(t) = req.timer {
                     self.obs_count_recv(t, req.span_name, &out.1);
@@ -273,7 +273,9 @@ impl Comm {
     }
 
     /// Find (or block for) an envelope matching `(src, tag)`, honoring an
-    /// optional stall deadline.
+    /// optional stall deadline. While this rank has unacked reliable
+    /// sends, the block is chopped into short ticks so the retransmit
+    /// pump keeps running (a blocked sender must still heal drops).
     fn claim_matching(
         &self,
         src: Src,
@@ -288,21 +290,16 @@ impl Comm {
         }
         let t0 = Instant::now();
         loop {
-            let env = match deadline {
-                None => self.state.rx.recv().map_err(|_| CommError::Disconnected)?,
-                Some(limit) => {
-                    let remaining = limit
-                        .checked_sub(t0.elapsed())
-                        .ok_or_else(|| self.stalled(src, tag, t0.elapsed()))?;
-                    use std::sync::mpsc::RecvTimeoutError;
-                    match self.state.rx.recv_timeout(remaining) {
-                        Ok(env) => env,
-                        Err(RecvTimeoutError::Timeout) => {
-                            return Err(self.stalled(src, tag, t0.elapsed()))
-                        }
-                        Err(RecvTimeoutError::Disconnected) => return Err(CommError::Disconnected),
-                    }
-                }
+            self.pump_retransmits();
+            let env = match self.block_recv(deadline, t0) {
+                Ok(Some(env)) => env,
+                // Retransmit tick expired; deadline was rechecked.
+                Ok(None) => continue,
+                Err(CommError::Stalled { .. }) => return Err(self.stalled(src, tag, t0.elapsed())),
+                Err(e) => return Err(e),
+            };
+            let Some(env) = self.intake(env) else {
+                continue;
             };
             if self.matches(&env, src, tag) {
                 self.state.stats.borrow_mut().wall_recv_s += t0.elapsed().as_secs_f64();
@@ -312,15 +309,72 @@ impl Comm {
         }
     }
 
+    /// One bounded mailbox wait: blocks up to the stall deadline, capped
+    /// by the retransmit tick when unacked sends are outstanding. Returns
+    /// `Ok(None)` when only the tick expired (caller should pump and
+    /// retry); errors with [`CommError::Disconnected`] only if every
+    /// sender handle is gone.
+    fn block_recv(
+        &self,
+        deadline: Option<Duration>,
+        t0: Instant,
+    ) -> Result<Option<Envelope>, CommError> {
+        let remaining = match deadline {
+            None => None,
+            Some(limit) => Some(
+                limit
+                    .checked_sub(t0.elapsed())
+                    .ok_or_else(|| self.stalled_now(t0.elapsed()))?,
+            ),
+        };
+        let wait = match (remaining, self.block_tick()) {
+            (None, None) => {
+                return self
+                    .state
+                    .rx
+                    .recv()
+                    .map(Some)
+                    .map_err(|_| CommError::Disconnected)
+            }
+            (None, Some(tick)) => tick,
+            (Some(rem), None) => rem,
+            (Some(rem), Some(tick)) => rem.min(tick),
+        };
+        use std::sync::mpsc::RecvTimeoutError;
+        match self.state.rx.recv_timeout(wait) {
+            Ok(env) => Ok(Some(env)),
+            Err(RecvTimeoutError::Timeout) => {
+                if let Some(limit) = deadline {
+                    if t0.elapsed() >= limit {
+                        return Err(self.stalled_now(t0.elapsed()));
+                    }
+                }
+                Ok(None)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(CommError::Disconnected),
+        }
+    }
+
+    /// Placeholder stall used by `block_recv`; `claim_matching` and
+    /// `waitany` rewrite it with the precise match spec via `map_err`.
+    fn stalled_now(&self, waited: Duration) -> CommError {
+        self.stalled(Src::Any, 0, waited)
+    }
+
     fn stalled(&self, src: Src, tag: Tag, waited: Duration) -> CommError {
+        // Snapshot the unmatched mailbox: distinguishes "nothing ever
+        // arrived" from "messages arrived with the wrong tag/context".
+        let pending = self.state.pending.borrow();
         CommError::Stalled {
-            rank: self.global_rank_of(self.rank()),
+            rank: self.state.world_rank,
             src: match src {
                 Src::Any => None,
                 Src::Rank(r) => Some(self.global_rank_of(r)),
             },
             tag,
             waited_ms: waited.as_millis() as u64,
+            queued: pending.len(),
+            queued_tags: pending.iter().take(8).map(|e| e.tag).collect(),
         }
     }
 
@@ -379,23 +433,16 @@ impl Comm {
             }
             // All are unmatched receives: block for the next envelope and
             // rescan. Mismatches park in pending exactly like `recv`.
-            let env = match deadline {
-                None => self.state.rx.recv().map_err(|_| CommError::Disconnected)?,
-                Some(limit) => {
-                    let remaining = limit
-                        .checked_sub(t0.elapsed())
-                        .ok_or_else(|| self.stalled_any(reqs, t0.elapsed()))?;
-                    use std::sync::mpsc::RecvTimeoutError;
-                    match self.state.rx.recv_timeout(remaining) {
-                        Ok(env) => env,
-                        Err(RecvTimeoutError::Timeout) => {
-                            return Err(self.stalled_any(reqs, t0.elapsed()))
-                        }
-                        Err(RecvTimeoutError::Disconnected) => return Err(CommError::Disconnected),
-                    }
-                }
+            self.pump_retransmits();
+            let env = match self.block_recv(deadline, t0) {
+                Ok(Some(env)) => env,
+                Ok(None) => continue,
+                Err(CommError::Stalled { .. }) => return Err(self.stalled_any(reqs, t0.elapsed())),
+                Err(e) => return Err(e),
             };
-            self.state.pending.borrow_mut().push(env);
+            if let Some(env) = self.intake(env) {
+                self.state.pending.borrow_mut().push(env);
+            }
         }
     }
 

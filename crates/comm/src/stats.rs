@@ -27,6 +27,20 @@ pub struct CommStats {
     /// time of nonblocking requests that elapsed while the rank's clock
     /// advanced between post and wait. Always 0 for purely blocking code.
     pub overlap_s: f64,
+    /// Data envelopes this rank retransmitted (reliable delivery only).
+    pub retransmits: u64,
+    /// Fresh transmissions the fault plan dropped at this sender.
+    pub faults_dropped: u64,
+    /// Fresh transmissions the fault plan duplicated at this sender.
+    pub faults_duplicated: u64,
+    /// Fresh transmissions the fault plan delayed at this sender.
+    pub faults_delayed: u64,
+    /// Arrivals whose checksum failed verification at this receiver.
+    pub corrupt_detected: u64,
+    /// Duplicate arrivals suppressed by this receiver (reliable delivery).
+    pub dup_suppressed: u64,
+    /// Modeled seconds this rank's clock advanced retransmitting.
+    pub retransmit_s: f64,
 }
 
 impl CommStats {
@@ -40,6 +54,13 @@ impl CommStats {
         self.modeled_comm_s += other.modeled_comm_s;
         self.modeled_compute_s += other.modeled_compute_s;
         self.overlap_s += other.overlap_s;
+        self.retransmits += other.retransmits;
+        self.faults_dropped += other.faults_dropped;
+        self.faults_duplicated += other.faults_duplicated;
+        self.faults_delayed += other.faults_delayed;
+        self.corrupt_detected += other.corrupt_detected;
+        self.dup_suppressed += other.dup_suppressed;
+        self.retransmit_s += other.retransmit_s;
     }
 
     /// Mean payload size of sent messages, or 0.0 if none were sent.
@@ -67,6 +88,13 @@ mod tests {
             modeled_comm_s: 0.25,
             modeled_compute_s: 1.0,
             overlap_s: 0.125,
+            retransmits: 3,
+            faults_dropped: 2,
+            faults_duplicated: 1,
+            faults_delayed: 4,
+            corrupt_detected: 1,
+            dup_suppressed: 1,
+            retransmit_s: 0.0625,
         };
         let b = a;
         a.merge(&b);
@@ -78,6 +106,13 @@ mod tests {
         assert!((a.modeled_comm_s - 0.5).abs() < 1e-12);
         assert!((a.modeled_compute_s - 2.0).abs() < 1e-12);
         assert!((a.overlap_s - 0.25).abs() < 1e-12);
+        assert_eq!(a.retransmits, 6);
+        assert_eq!(a.faults_dropped, 4);
+        assert_eq!(a.faults_duplicated, 2);
+        assert_eq!(a.faults_delayed, 8);
+        assert_eq!(a.corrupt_detected, 2);
+        assert_eq!(a.dup_suppressed, 2);
+        assert!((a.retransmit_s - 0.125).abs() < 1e-12);
     }
 
     #[test]

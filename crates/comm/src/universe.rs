@@ -7,6 +7,7 @@ use std::sync::mpsc::channel;
 
 use crate::collectives::CollectiveAlgo;
 use crate::comm::{Comm, Envelope};
+use crate::fault::{Delivery, FaultPlan};
 use crate::model::NetworkModel;
 use crate::stats::CommStats;
 
@@ -22,6 +23,14 @@ pub struct UniverseConfig {
     /// who/tag/src diagnostics instead of hanging forever. `None`
     /// (default) blocks indefinitely.
     pub stall_timeout: Option<std::time::Duration>,
+    /// Seeded fault schedule injected into every rank's transmissions.
+    /// The default plan injects nothing.
+    pub fault: FaultPlan,
+    /// How envelopes travel: [`Delivery::Raw`] (default) delivers
+    /// directly and lets injected faults stand; [`Delivery::Reliable`]
+    /// layers seq/ack/retransmit/dup-suppression on top so drop, dup and
+    /// corrupt faults are healed transparently (see E18).
+    pub delivery: Delivery,
 }
 
 /// Everything measured about one run.
@@ -76,16 +85,11 @@ impl Universe {
                 let senders = Arc::clone(&senders);
                 handles.push(scope.spawn(move || {
                     let _obs = obs::RankGuard::enter(rank);
-                    let mut comm = Comm::new_world(
-                        rank,
-                        size,
-                        senders,
-                        rx,
-                        config.model,
-                        config.algo,
-                        config.stall_timeout,
-                    );
+                    let mut comm = Comm::new_world(rank, size, senders, rx, &config);
                     let result = f(&mut comm);
+                    // Heal any still-unacked reliable sends before the
+                    // rank's mailbox goes away.
+                    comm.quiesce();
                     (result, comm.stats(), comm.virtual_time())
                 }));
             }
@@ -143,6 +147,25 @@ impl<R> Detached<R> {
             wall_s: 0.0,
         }
     }
+
+    /// Wait for every rank, swallowing panics instead of resuming them.
+    /// A supervisor tearing down a pool that may have died (killed or
+    /// stalled workers) must not re-panic mid-cleanup. Returns the number
+    /// of ranks that panicked.
+    pub fn join_quiet(self) -> usize {
+        self.handles
+            .into_iter()
+            .map(|h| h.join())
+            .filter(|r| r.is_err())
+            .count()
+    }
+
+    /// Abandon the pool without joining: the threads are detached and
+    /// exit with the process. Used when workers may be blocked forever
+    /// (e.g. stuck in a collective with a killed peer).
+    pub fn abandon(self) {
+        drop(self.handles);
+    }
 }
 
 impl Universe {
@@ -176,16 +199,9 @@ impl Universe {
             let seed = seed_fn(rank);
             handles.push(std::thread::spawn(move || {
                 let _obs = obs::RankGuard::enter(rank);
-                let mut comm = Comm::new_world(
-                    rank,
-                    size,
-                    senders,
-                    rx,
-                    config.model,
-                    config.algo,
-                    config.stall_timeout,
-                );
+                let mut comm = Comm::new_world(rank, size, senders, rx, &config);
                 let result = f(&mut comm, seed);
+                comm.quiesce();
                 (result, comm.stats(), comm.virtual_time())
             }));
         }

@@ -11,11 +11,14 @@
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 
 use comm::{Comm, Cursor, Universe, UniverseConfig, Wire};
 use dlinalg::DistVector;
+
+use crate::error::{OdinError, RecoveryReport};
 
 use crate::buffer::{
     apply_binary, apply_binary_scalar, apply_unary, binary_result_dtype, binop_f64,
@@ -46,6 +49,19 @@ pub struct OdinConfig {
     pub model: comm::NetworkModel,
     /// Collective algorithm for worker collectives.
     pub algo: comm::CollectiveAlgo,
+    /// Seeded fault schedule injected into the worker communicator (E18).
+    pub fault: comm::FaultPlan,
+    /// Delivery mode of worker↔worker messages; [`comm::Delivery::Reliable`]
+    /// heals injected drop/dup/corrupt faults transparently.
+    pub delivery: comm::Delivery,
+    /// Deadline for worker-side blocking communication, so a worker whose
+    /// peer was killed errors out instead of deadlocking. Set this
+    /// whenever the fault plan can kill a rank.
+    pub stall_timeout: Option<Duration>,
+    /// How long the master waits on a reply from a *live but silent*
+    /// worker before declaring it dead. A worker whose channels closed is
+    /// detected within milliseconds regardless of this setting.
+    pub reply_timeout: Option<Duration>,
 }
 
 impl Default for OdinConfig {
@@ -54,6 +70,10 @@ impl Default for OdinConfig {
             n_workers: 4,
             model: comm::NetworkModel::default(),
             algo: comm::CollectiveAlgo::default(),
+            fault: comm::FaultPlan::none(),
+            delivery: comm::Delivery::Raw,
+            stall_timeout: None,
+            reply_timeout: None,
         }
     }
 }
@@ -130,11 +150,23 @@ impl<'c, T> Pending<'c, T> {
     }
 
     /// Block until every reply arrives and decode the result. Flushes any
-    /// open command batch first.
+    /// open command batch first. Panics with the [`OdinError`] diagnostic
+    /// if a worker dies; use [`Self::try_wait`] for a typed error.
     pub fn wait(mut self) -> T {
         let tickets = std::mem::take(&mut self.tickets);
         let replies = self.ctx.await_tickets(&tickets, self.seq, self.span_name);
         (self.decode.take().expect("pending waited twice"))(replies)
+    }
+
+    /// Fallible [`Self::wait`]: a dead or silent worker yields
+    /// [`OdinError::WorkerDead`] in bounded time instead of a panic or a
+    /// hang.
+    pub fn try_wait(mut self) -> Result<T, OdinError> {
+        let tickets = std::mem::take(&mut self.tickets);
+        let replies = self
+            .ctx
+            .try_await_tickets(&tickets, self.seq, self.span_name)?;
+        Ok((self.decode.take().expect("pending waited twice"))(replies))
     }
 
     /// Post-process the decoded reply once it arrives.
@@ -160,12 +192,37 @@ impl<T> Drop for Pending<'_, T> {
     }
 }
 
+/// Interval at which a blocked reply wait probes worker liveness.
+const PROBE_TICK: Duration = Duration::from_millis(20);
+
+/// A master-side snapshot of selected arrays: id, metadata and the full
+/// gathered data, taken with [`OdinContext::checkpoint`] and replayed by
+/// [`OdinContext::recover`] after a worker death.
+pub struct OdinCheckpoint {
+    arrays: Vec<(u64, ArrayMeta, Buffer)>,
+}
+
+impl OdinCheckpoint {
+    /// Ids covered by this checkpoint.
+    pub fn array_ids(&self) -> Vec<u64> {
+        self.arrays.iter().map(|&(id, ..)| id).collect()
+    }
+}
+
 /// The ODIN master process.
 pub struct OdinContext {
     n_workers: usize,
-    to_workers: Vec<Sender<ToWorker>>,
-    from_workers: Receiver<(usize, Vec<u8>)>,
-    pool: Option<comm::universe::Detached<()>>,
+    config: OdinConfig,
+    to_workers: RefCell<Vec<Sender<ToWorker>>>,
+    from_workers: RefCell<Receiver<(usize, Vec<u8>)>>,
+    pool: RefCell<Option<comm::universe::Detached<()>>>,
+    /// Workers whose command channel was found closed (thread exited).
+    dead: RefCell<Vec<bool>>,
+    /// Arrays whose segments died with a respawned pool (no checkpoint).
+    lost: RefCell<HashSet<u64>>,
+    /// Registered local functions, kept so a respawned pool can be
+    /// re-seeded with them.
+    local_fns: RefCell<Vec<(u64, LocalFn)>>,
     next_id: Cell<u64>,
     next_fn: Cell<u64>,
     pub(crate) metas: RefCell<HashMap<u64, ArrayMeta>>,
@@ -181,35 +238,56 @@ pub struct OdinContext {
     worker_done_seq: RefCell<Vec<u64>>,
 }
 
+/// Spawn a fresh worker pool under `fault` (recovery respawns with the
+/// plan cleared so the same kill does not fire again).
+#[allow(clippy::type_complexity)]
+fn spawn_pool(
+    config: &OdinConfig,
+    fault: comm::FaultPlan,
+) -> (
+    Vec<Sender<ToWorker>>,
+    Receiver<(usize, Vec<u8>)>,
+    comm::universe::Detached<()>,
+) {
+    let (reply_tx, reply_rx) = channel::<(usize, Vec<u8>)>();
+    let mut to_workers = Vec::with_capacity(config.n_workers);
+    type WorkerSeed = (Receiver<ToWorker>, Sender<(usize, Vec<u8>)>);
+    let mut seeds: Vec<Option<WorkerSeed>> = Vec::with_capacity(config.n_workers);
+    for _ in 0..config.n_workers {
+        let (tx, rx) = channel::<ToWorker>();
+        to_workers.push(tx);
+        seeds.push(Some((rx, reply_tx.clone())));
+    }
+    let ucfg = UniverseConfig {
+        model: config.model,
+        algo: config.algo,
+        stall_timeout: config.stall_timeout,
+        fault,
+        delivery: config.delivery,
+    };
+    let pool = Universe::spawn(
+        ucfg,
+        config.n_workers,
+        move |rank| seeds[rank].take().expect("seed used once"),
+        |comm, (rx, reply)| worker_main(comm, rx, reply),
+    );
+    (to_workers, reply_rx, pool)
+}
+
 impl OdinContext {
     /// Spawn the worker pool.
     pub fn new(config: OdinConfig) -> Self {
         assert!(config.n_workers > 0);
-        let (reply_tx, reply_rx) = channel::<(usize, Vec<u8>)>();
-        let mut to_workers = Vec::with_capacity(config.n_workers);
-        type WorkerSeed = (Receiver<ToWorker>, Sender<(usize, Vec<u8>)>);
-        let mut seeds: Vec<Option<WorkerSeed>> = Vec::with_capacity(config.n_workers);
-        for _ in 0..config.n_workers {
-            let (tx, rx) = channel::<ToWorker>();
-            to_workers.push(tx);
-            seeds.push(Some((rx, reply_tx.clone())));
-        }
-        let ucfg = UniverseConfig {
-            model: config.model,
-            algo: config.algo,
-            stall_timeout: None,
-        };
-        let pool = Universe::spawn(
-            ucfg,
-            config.n_workers,
-            move |rank| seeds[rank].take().expect("seed used once"),
-            |comm, (rx, reply)| worker_main(comm, rx, reply),
-        );
+        let (to_workers, reply_rx, pool) = spawn_pool(&config, config.fault);
         OdinContext {
             n_workers: config.n_workers,
-            to_workers,
-            from_workers: reply_rx,
-            pool: Some(pool),
+            config,
+            to_workers: RefCell::new(to_workers),
+            from_workers: RefCell::new(reply_rx),
+            pool: RefCell::new(Some(pool)),
+            dead: RefCell::new(vec![false; config.n_workers]),
+            lost: RefCell::new(HashSet::new()),
+            local_fns: RefCell::new(Vec::new()),
             next_id: Cell::new(1),
             next_fn: Cell::new(1),
             metas: RefCell::new(HashMap::new()),
@@ -257,6 +335,12 @@ impl OdinContext {
     }
 
     pub(crate) fn meta_of(&self, id: u64) -> ArrayMeta {
+        if self.lost.borrow().contains(&id) {
+            panic!(
+                "array {id} was lost when the worker pool was respawned \
+                 without a checkpoint covering it"
+            );
+        }
         self.metas
             .borrow()
             .get(&id)
@@ -329,23 +413,38 @@ impl OdinContext {
         *b = Some((0..self.n_workers).map(|_| Vec::new()).collect());
     }
 
+    /// Best-effort send to one worker. A closed channel means the worker
+    /// thread exited (killed, panicked, or shut down); instead of
+    /// panicking, the death is recorded and surfaces as a typed
+    /// [`OdinError::WorkerDead`] at the next reply wait or
+    /// [`Self::health_check`].
+    fn worker_send(&self, worker: usize, msg: ToWorker) {
+        if self.to_workers.borrow()[worker].send(msg).is_err() {
+            self.dead.borrow_mut()[worker] = true;
+        }
+    }
+
+    /// Liveness probe: an empty command block is a no-op on a live worker
+    /// but fails to send if its thread has exited.
+    fn probe_worker(&self, worker: usize) {
+        self.worker_send(worker, ToWorker::Bytes(Vec::new()));
+    }
+
     /// Send all buffered commands, one channel message per worker.
     pub fn flush_batch(&self) {
         let timer = self.obs_timer();
         let bufs = self.batch.borrow_mut().take().expect("no open batch");
         let mut sends = 0u64;
         let mut flushed_bytes = 0u64;
-        {
-            let mut st = self.stats.borrow_mut();
-            for (w, bytes) in bufs.into_iter().enumerate() {
-                if !bytes.is_empty() {
+        for (w, bytes) in bufs.into_iter().enumerate() {
+            if !bytes.is_empty() {
+                {
+                    let mut st = self.stats.borrow_mut();
                     st.channel_sends += 1;
-                    sends += 1;
-                    flushed_bytes += bytes.len() as u64;
-                    self.to_workers[w]
-                        .send(ToWorker::Bytes(bytes))
-                        .expect("worker channel closed");
                 }
+                sends += 1;
+                flushed_bytes += bytes.len() as u64;
+                self.worker_send(w, ToWorker::Bytes(bytes));
             }
         }
         if let Some(t) = timer {
@@ -446,13 +545,9 @@ impl OdinContext {
             return;
         }
         drop(batch);
-        {
-            let mut st = self.stats.borrow_mut();
-            for tx in &self.to_workers {
-                st.channel_sends += 1;
-                tx.send(ToWorker::Bytes(bytes.clone()))
-                    .expect("worker channel closed");
-            }
+        self.stats.borrow_mut().channel_sends += self.n_workers as u64;
+        for w in 0..self.n_workers {
+            self.worker_send(w, ToWorker::Bytes(bytes.clone()));
         }
         if let Some(t) = timer {
             self.obs_ctrl(bytes.len(), false, t);
@@ -474,25 +569,27 @@ impl OdinContext {
             st.data_bytes += n;
             st.channel_sends += 1;
         }
-        self.to_workers[worker]
-            .send(ToWorker::Bytes(bytes))
-            .expect("worker channel closed");
+        self.worker_send(worker, ToWorker::Bytes(bytes));
         if let Some(t) = timer {
             self.obs_data("send_data", 1, n, t);
         }
     }
 
     /// Register a local-mode function on every worker; returns its id.
+    /// The function is remembered so a respawned pool is re-seeded with it.
     pub fn register_local(&self, f: LocalFn) -> u64 {
         let id = self.next_fn.get();
         self.next_fn.set(id + 1);
-        for tx in &self.to_workers {
-            tx.send(ToWorker::Register {
-                id,
-                f: Arc::clone(&f),
-            })
-            .expect("worker channel closed");
+        for w in 0..self.n_workers {
+            self.worker_send(
+                w,
+                ToWorker::Register {
+                    id,
+                    f: Arc::clone(&f),
+                },
+            );
         }
+        self.local_fns.borrow_mut().push((id, f));
         id
     }
 
@@ -543,30 +640,70 @@ impl OdinContext {
     }
 
     /// Block until the reply for `want` arrives, buffering any replies
-    /// that belong to other in-flight tickets.
-    fn claim_ticket(&self, want: (usize, u64)) -> Vec<u8> {
+    /// that belong to other in-flight tickets. Bounded: a worker whose
+    /// thread exited is detected by the liveness probe within
+    /// [`PROBE_TICK`], and a live-but-silent worker trips
+    /// [`OdinConfig::reply_timeout`] when one is set — either way the
+    /// wait ends with a typed [`OdinError`], never a hang.
+    fn try_claim_ticket(&self, want: (usize, u64)) -> Result<Vec<u8>, OdinError> {
         if let Some(bytes) = self.engine.borrow_mut().buffered.remove(&want) {
-            return bytes;
+            return Ok(bytes);
         }
+        let t0 = Instant::now();
         loop {
-            let (rank, bytes) = self
-                .from_workers
-                .recv()
-                .expect("worker reply channel closed");
-            if let Some((key, bytes)) = self.admit_arrival(rank, bytes) {
-                if key == want {
-                    return bytes;
+            let tick = match self.config.reply_timeout {
+                Some(limit) => match limit.checked_sub(t0.elapsed()) {
+                    None | Some(Duration::ZERO) => {
+                        return Err(OdinError::WorkerDead {
+                            worker: want.0,
+                            waited: t0.elapsed(),
+                        })
+                    }
+                    Some(left) => left.min(PROBE_TICK),
+                },
+                None => PROBE_TICK,
+            };
+            let received = self.from_workers.borrow().recv_timeout(tick);
+            match received {
+                Ok((rank, bytes)) => {
+                    if let Some((key, bytes)) = self.admit_arrival(rank, bytes) {
+                        if key == want {
+                            return Ok(bytes);
+                        }
+                        self.engine.borrow_mut().buffered.insert(key, bytes);
+                    }
                 }
-                self.engine.borrow_mut().buffered.insert(key, bytes);
+                Err(RecvTimeoutError::Timeout) => {
+                    self.probe_worker(want.0);
+                    if self.dead.borrow()[want.0] {
+                        // Drain stragglers in case the worker replied just
+                        // before dying, then give up with a diagnostic.
+                        self.poll_arrivals();
+                        if let Some(bytes) = self.engine.borrow_mut().buffered.remove(&want) {
+                            return Ok(bytes);
+                        }
+                        return Err(OdinError::WorkerDead {
+                            worker: want.0,
+                            waited: t0.elapsed(),
+                        });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(OdinError::PoolDown),
             }
         }
     }
 
     /// Pull every already-arrived reply into the buffer (non-blocking).
     fn poll_arrivals(&self) {
-        while let Ok((rank, bytes)) = self.from_workers.try_recv() {
-            if let Some((key, bytes)) = self.admit_arrival(rank, bytes) {
-                self.engine.borrow_mut().buffered.insert(key, bytes);
+        loop {
+            let received = self.from_workers.borrow().try_recv();
+            match received {
+                Ok((rank, bytes)) => {
+                    if let Some((key, bytes)) = self.admit_arrival(rank, bytes) {
+                        self.engine.borrow_mut().buffered.insert(key, bytes);
+                    }
+                }
+                Err(_) => break,
             }
         }
     }
@@ -592,21 +729,43 @@ impl OdinContext {
     }
 
     /// Claim `tickets` in order and mark dispatch `seq` complete on the
-    /// workers that answered.
+    /// workers that answered. Panics with the [`OdinError`] diagnostic on
+    /// worker death; fallible callers use [`Self::try_await_tickets`].
     fn await_tickets(
         &self,
         tickets: &[(usize, u64)],
         seq: u64,
         name: &'static str,
     ) -> Vec<Vec<u8>> {
+        self.try_await_tickets(tickets, seq, name)
+            .unwrap_or_else(|e| panic!("odin reply wait failed: {e}"))
+    }
+
+    /// Fallible [`Self::await_tickets`]: returns a typed error instead of
+    /// panicking when a worker dies or times out.
+    fn try_await_tickets(
+        &self,
+        tickets: &[(usize, u64)],
+        seq: u64,
+        name: &'static str,
+    ) -> Result<Vec<Vec<u8>>, OdinError> {
         self.flush_open_batch();
         let timer = self.obs_timer();
         let mut out = Vec::with_capacity(tickets.len());
         let mut reply_bytes = 0u64;
-        for &key in tickets {
-            let bytes = self.claim_ticket(key);
-            reply_bytes += bytes.len() as u64;
-            out.push(bytes);
+        for (i, &key) in tickets.iter().enumerate() {
+            match self.try_claim_ticket(key) {
+                Ok(bytes) => {
+                    reply_bytes += bytes.len() as u64;
+                    out.push(bytes);
+                }
+                Err(e) => {
+                    // Abandon the unclaimed remainder so late replies from
+                    // surviving workers are discarded, not leaked.
+                    self.abandon_tickets(&tickets[i..]);
+                    return Err(e);
+                }
+            }
         }
         {
             let mut done = self.worker_done_seq.borrow_mut();
@@ -619,7 +778,7 @@ impl OdinContext {
         if let Some(t) = timer {
             self.obs_data(name, tickets.len() as u64, reply_bytes, t);
         }
-        out
+        Ok(out)
     }
 
     /// Reply future for one reply from every worker (worker order).
@@ -749,17 +908,162 @@ impl OdinContext {
     pub fn sync(&self) {
         self.barrier();
     }
+
+    /// Fallible [`Self::barrier`]: a dead worker surfaces as
+    /// [`OdinError::WorkerDead`] in bounded time instead of a panic.
+    pub fn try_barrier(&self) -> Result<(), OdinError> {
+        self.flush_open_batch();
+        self.send_cmd(&Cmd::Ping);
+        self.pending_all("barrier").try_wait().map(|_| ())
+    }
+
+    /// Heartbeat: probe every worker's command channel and round-trip a
+    /// Ping. Returns the first dead worker as [`OdinError::WorkerDead`] —
+    /// always in bounded time, never a hang.
+    pub fn health_check(&self) -> Result<(), OdinError> {
+        for w in 0..self.n_workers {
+            self.probe_worker(w);
+        }
+        if let Some(w) = self.dead.borrow().iter().position(|&d| d) {
+            return Err(OdinError::WorkerDead {
+                worker: w,
+                waited: Duration::ZERO,
+            });
+        }
+        self.try_barrier()
+    }
+
+    /// Workers the master has found dead so far (diagnostics).
+    pub fn dead_workers(&self) -> Vec<usize> {
+        self.dead
+            .borrow()
+            .iter()
+            .enumerate()
+            .filter_map(|(w, &d)| d.then_some(w))
+            .collect()
+    }
+
+    /// Snapshot the listed arrays to the master: full gathered data plus
+    /// metadata, enough for [`Self::recover`] to replay every segment onto
+    /// a fresh pool after a worker death.
+    pub fn checkpoint(&self, arrays: &[&crate::array::DistArray<'_>]) -> OdinCheckpoint {
+        let snap = arrays
+            .iter()
+            .map(|a| {
+                let (_, data) = a.fetch();
+                (a.id(), a.meta(), data)
+            })
+            .collect();
+        OdinCheckpoint { arrays: snap }
+    }
+
+    /// Respawn the worker pool after a failure and replay every segment
+    /// recorded in `ck` under its original array id. The new pool runs
+    /// with the fault plan *cleared* so the same injected kill cannot fire
+    /// again. Live arrays not covered by the checkpoint are marked lost:
+    /// the report lists them and any later use panics with a diagnostic
+    /// naming the respawn. Replies that were in flight at recovery time
+    /// are discarded.
+    pub fn recover(&self, ck: &OdinCheckpoint) -> RecoveryReport {
+        // Fresh channels and threads first: swapping the senders in drops
+        // the old ones, so surviving old workers see a closed channel and
+        // exit their command loop.
+        let (to_workers, reply_rx, pool) = spawn_pool(&self.config, comm::FaultPlan::none());
+        let old_pool = self.pool.borrow_mut().replace(pool);
+        *self.to_workers.borrow_mut() = to_workers;
+        *self.from_workers.borrow_mut() = reply_rx;
+        self.dead.borrow_mut().fill(false);
+        if let Some(old) = old_pool {
+            if self.config.stall_timeout.is_some() {
+                // Worker-side waits are bounded, so the join is too.
+                let _ = old.join_quiet();
+            } else {
+                // A survivor may be blocked forever in a collective with
+                // the killed peer; don't let teardown inherit the hang.
+                old.abandon();
+            }
+        }
+        // Outstanding tickets can never be answered by the new pool:
+        // consider them consumed so fresh replies get fresh tickets.
+        {
+            let mut eng = self.engine.borrow_mut();
+            let issued = eng.issued.clone();
+            eng.arrived = issued;
+            eng.buffered.clear();
+            eng.abandoned.clear();
+        }
+        self.worker_done_seq.borrow_mut().fill(self.cmd_seq.get());
+        // Re-seed the pool: local functions, then checkpointed segments.
+        for (id, f) in self.local_fns.borrow().iter() {
+            for w in 0..self.n_workers {
+                self.worker_send(
+                    w,
+                    ToWorker::Register {
+                        id: *id,
+                        f: Arc::clone(f),
+                    },
+                );
+            }
+        }
+        let mut restored = Vec::with_capacity(ck.arrays.len());
+        for (id, meta, data) in &ck.arrays {
+            let slab = meta.slab();
+            for w in 0..self.n_workers {
+                let map = meta.axis_map(self.n_workers, w);
+                let seg = data
+                    .gather_indices(map.my_gids().iter().flat_map(|&g| g * slab..(g + 1) * slab));
+                self.send_cmd_to(
+                    w,
+                    &Cmd::SetData {
+                        id: *id,
+                        meta: meta.clone(),
+                        data: seg,
+                    },
+                );
+            }
+            self.record_meta(*id, meta.clone());
+            self.lost.borrow_mut().remove(id);
+            restored.push(*id);
+        }
+        // Everything else that was live lost its segments with the pool.
+        let lost: Vec<u64> = {
+            let metas = self.metas.borrow();
+            let mut ids: Vec<u64> = metas
+                .keys()
+                .copied()
+                .filter(|id| !restored.contains(id))
+                .collect();
+            ids.sort_unstable();
+            ids
+        };
+        self.lost.borrow_mut().extend(lost.iter().copied());
+        RecoveryReport {
+            respawned: self.n_workers,
+            restored,
+            lost,
+        }
+    }
 }
 
 impl Drop for OdinContext {
     fn drop(&mut self) {
         // Best-effort shutdown; workers may already be gone in panic paths.
         let bytes = comm::encode_to_vec(&Cmd::Shutdown);
-        for tx in &self.to_workers {
-            let _ = tx.send(ToWorker::Bytes(bytes.clone()));
+        for w in 0..self.n_workers {
+            self.worker_send(w, ToWorker::Bytes(bytes.clone()));
         }
-        if let Some(pool) = self.pool.take() {
-            let _ = pool.join();
+        if let Some(pool) = self.pool.borrow_mut().take() {
+            let faulty = self.config.fault.is_active() || self.dead.borrow().iter().any(|&d| d);
+            if faulty && self.config.stall_timeout.is_none() {
+                // A killed worker's peers may be blocked forever in a
+                // collective; without a bounded worker-side wait the only
+                // hang-free teardown is to detach them.
+                pool.abandon();
+            } else {
+                // Swallow worker panics (killed or crashed workers) —
+                // teardown must not re-panic.
+                let _ = pool.join_quiet();
+            }
         }
     }
 }
@@ -843,11 +1147,12 @@ impl<'a> WorkerScope<'a> {
     }
 
     /// Send a reply payload to the master (used by reduction-style local
-    /// functions; usually only worker 0 should reply).
+    /// functions; usually only worker 0 should reply). Best-effort: a
+    /// master mid-teardown (its reply channel closed) is not an error the
+    /// worker can act on, so the payload is silently discarded and the
+    /// worker exits at its next command-channel receive.
     pub fn reply(&self, bytes: Vec<u8>) {
-        self.reply
-            .send((self.rank(), bytes))
-            .expect("master reply channel closed");
+        let _ = self.reply.send((self.rank(), bytes));
     }
 
     /// This worker's segment of a distributed table.
@@ -1065,6 +1370,12 @@ fn worker_main(comm: &mut Comm, rx: Receiver<ToWorker>, reply: Sender<(usize, Ve
                 let mut cur = Cursor::new(&bytes);
                 while cur.remaining() > 0 {
                     let cmd = Cmd::decode(&mut cur).expect("bad command encoding");
+                    // Fault-injection hook: a killed worker stops executing
+                    // and exits, dropping its channels so the master's
+                    // liveness probe discovers the death.
+                    if comm.fault_tick().is_err() {
+                        break 'outer;
+                    }
                     if !exec_cmd(comm, &reply, &mut arrays, &mut tables, &fns, cmd) {
                         break 'outer;
                     }
@@ -1231,7 +1542,7 @@ fn exec_cmd(
             let (meta, buf) = &arrays[&a];
             let map = meta.axis_map(p, rank);
             let payload = comm::encode_to_vec(&(map.my_gids(), buf.clone()));
-            reply.send((rank, payload)).expect("master gone");
+            let _ = reply.send((rank, payload));
         }
         Cmd::CallLocal {
             fn_id,
@@ -1251,7 +1562,7 @@ fn exec_cmd(
             arrays.remove(&id);
         }
         Cmd::Ping => {
-            reply.send((rank, Vec::new())).expect("master gone");
+            let _ = reply.send((rank, Vec::new()));
         }
         Cmd::Shutdown => return false,
         Cmd::Select { out, cond, a, b } => {
@@ -1359,9 +1670,7 @@ fn exec_cmd(
                 }
             });
             if rank == 0 {
-                reply
-                    .send((rank, comm::encode_to_vec(&winner)))
-                    .expect("master gone");
+                let _ = reply.send((rank, comm::encode_to_vec(&winner)));
             }
         }
         Cmd::Concat { out, a, b } => {
@@ -1513,9 +1822,7 @@ fn exec_reduce(
             comm.advance_compute(buf.len() as f64);
             let total = comm.allreduce(&acc, |x: &f64, y: &f64| reduce_combine(kind, *x, *y));
             if rank == 0 {
-                reply
-                    .send((rank, comm::encode_to_vec(&total)))
-                    .expect("master gone");
+                let _ = reply.send((rank, comm::encode_to_vec(&total)));
             }
         }
         Some(0) => {
@@ -1757,6 +2064,66 @@ mod tests {
         ctx.barrier(); // proves everything up to the Ping executed
         assert!(!ctx.array_in_flight(y.id()));
         assert_eq!(ctx.dispatch_seq(), ctx.completed_seq());
+    }
+
+    fn chaos_config(n_workers: usize, kill_rank: usize, kill_after_ops: u64) -> OdinConfig {
+        OdinConfig {
+            n_workers,
+            fault: comm::FaultPlan {
+                kill_rank: Some(kill_rank),
+                kill_after_ops,
+                ..comm::FaultPlan::none()
+            },
+            stall_timeout: Some(Duration::from_secs(10)),
+            reply_timeout: Some(Duration::from_secs(10)),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn killed_worker_surfaces_typed_error_in_bounded_time() {
+        // Worker 1 dies at its second command (the Ping below), after
+        // replying to nothing — the master must get a typed error, fast.
+        let ctx = OdinContext::new(chaos_config(3, 1, 2));
+        let _x = ctx.zeros(&[6], crate::buffer::DType::F64); // command 1
+        let t0 = Instant::now();
+        let err = ctx.try_barrier().unwrap_err(); // command 2: kills worker 1
+        match err {
+            OdinError::WorkerDead { worker, .. } => assert_eq!(worker, 1),
+            other => panic!("expected WorkerDead, got {other}"),
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "death detection must be bounded"
+        );
+        // the heartbeat agrees, without issuing new replies
+        assert!(ctx.health_check().is_err());
+        assert_eq!(ctx.dead_workers(), vec![1]);
+    }
+
+    #[test]
+    fn recover_respawns_pool_and_replays_checkpointed_segments() {
+        let ctx = OdinContext::new(chaos_config(2, 0, 4));
+        let x = ctx.linspace(1.0, 8.0, 8); // command 1
+        let orphan = ctx.ones(&[4], crate::buffer::DType::F64); // command 2
+        let ck = ctx.checkpoint(&[&x]); // command 3 (Fetch)
+        let err = ctx.try_barrier().unwrap_err(); // command 4: kills worker 0
+        assert!(matches!(err, OdinError::WorkerDead { worker: 0, .. }));
+        let report = ctx.recover(&ck);
+        assert_eq!(report.respawned, 2);
+        assert_eq!(report.restored, vec![x.id()]);
+        assert_eq!(report.lost, vec![orphan.id()]);
+        // the checkpointed array replays bit-for-bit on the fresh pool
+        assert_eq!(
+            x.to_vec(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            "replayed segments must match the checkpoint"
+        );
+        assert!(ctx.health_check().is_ok());
+        // using the lost array is a diagnosable error, not a hang
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| orphan.to_vec()));
+        let msg = *r.unwrap_err().downcast::<String>().expect("string panic");
+        assert!(msg.contains("lost"), "diagnostic names the loss: {msg}");
     }
 
     #[test]

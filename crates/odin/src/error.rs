@@ -1,0 +1,82 @@
+//! Typed errors for the master↔worker control plane.
+//!
+//! The master's channels to a worker close when the worker thread exits —
+//! killed by an injected fault ([`comm::FaultPlan::kill_rank`]), panicked
+//! mid-command, or torn down by a peer's death. Every dispatch and
+//! reply-wait path in [`crate::OdinContext`] detects that condition and
+//! surfaces one of these errors instead of aborting or hanging, so a
+//! supervisor can diagnose the failure and decide whether to fail fast or
+//! recover from a checkpoint ([`crate::OdinContext::recover`]).
+
+use std::time::Duration;
+
+/// A control-plane failure observed by the ODIN master.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OdinError {
+    /// A worker stopped answering: its command channel is closed (the
+    /// thread exited) or no reply arrived within the reply timeout.
+    WorkerDead {
+        /// Rank of the dead worker.
+        worker: usize,
+        /// How long the master waited before declaring it dead.
+        waited: Duration,
+    },
+    /// Every worker's reply sender is gone — the whole pool exited.
+    PoolDown,
+    /// An array's segments were on a respawned pool and no checkpoint
+    /// covered it, so its data is unrecoverable.
+    SegmentsLost {
+        /// Ids of the unrecoverable arrays.
+        arrays: Vec<u64>,
+    },
+}
+
+impl std::fmt::Display for OdinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OdinError::WorkerDead { worker, waited } => write!(
+                f,
+                "worker {worker} is dead (no reply after {:.1} ms)",
+                waited.as_secs_f64() * 1e3
+            ),
+            OdinError::PoolDown => write!(f, "worker pool is down (all reply channels closed)"),
+            OdinError::SegmentsLost { arrays } => write!(
+                f,
+                "segments of {} array(s) lost in pool respawn (ids {arrays:?})",
+                arrays.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OdinError {}
+
+/// What [`crate::OdinContext::recover`] did to bring the pool back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Workers in the freshly spawned pool.
+    pub respawned: usize,
+    /// Arrays restored from the checkpoint (segments replayed).
+    pub restored: Vec<u64>,
+    /// Live arrays *not* covered by the checkpoint: their segments died
+    /// with the old pool and any further use is a diagnosable error.
+    pub lost: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_diagnostics() {
+        let e = OdinError::WorkerDead {
+            worker: 3,
+            waited: Duration::from_millis(250),
+        };
+        let s = e.to_string();
+        assert!(s.contains("worker 3") && s.contains("250.0 ms"), "{s}");
+        assert!(OdinError::PoolDown.to_string().contains("pool is down"));
+        let l = OdinError::SegmentsLost { arrays: vec![7, 9] }.to_string();
+        assert!(l.contains("2 array(s)") && l.contains("[7, 9]"), "{l}");
+    }
+}

@@ -23,6 +23,7 @@
 pub mod array;
 pub mod buffer;
 pub mod context;
+pub mod error;
 pub mod io;
 pub mod lazy;
 pub mod local;
@@ -35,7 +36,10 @@ pub mod table;
 
 pub use array::{binary_strategy, set_binary_strategy, BinaryStrategy, DistArray};
 pub use buffer::{Buffer, DType};
-pub use context::{ContextStats, LocalFn, OdinConfig, OdinContext, Pending, WorkerScope};
+pub use context::{
+    ContextStats, LocalFn, OdinCheckpoint, OdinConfig, OdinContext, Pending, WorkerScope,
+};
+pub use error::{OdinError, RecoveryReport};
 pub use io::remove_saved;
 pub use lazy::Expr;
 pub use protocol::{ArrayMeta, BinOp, Dist, ReduceKind, UnaryOp};

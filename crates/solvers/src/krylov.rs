@@ -8,6 +8,7 @@
 use comm::Comm;
 use dlinalg::{CsrMatrix, DistVector, RealScalar, Scalar};
 
+use crate::checkpoint::{CgCheckpoint, CgCheckpointing};
 use crate::instrument;
 use crate::precond::Preconditioner;
 use crate::status::SolveStatus;
@@ -52,23 +53,74 @@ pub fn cg<S: Scalar>(
     m: &dyn Preconditioner<S>,
     cfg: &KrylovConfig,
 ) -> SolveStatus {
-    let ax = a.matvec(comm, x);
-    let mut r = b.clone();
-    r.axpy(-S::one(), &ax);
-    let r0_norm = r.norm2(comm).to_f64();
-    let mut history = vec![r0_norm];
-    if cfg.done(r0_norm, r0_norm) || r0_norm == 0.0 {
-        instrument::record_solve("cg", 0, true, r0_norm);
-        return SolveStatus {
-            converged: true,
-            iterations: 0,
-            history,
-        };
+    cg_checkpointed(comm, a, b, x, m, cfg, &CgCheckpointing::none())
+}
+
+/// [`cg`] with periodic state checkpoints and optional restart. Plain and
+/// checkpointed solves share this one code path, so a run resumed from a
+/// [`CgCheckpoint`] replays the exact floating-point sequence of an
+/// uninterrupted run — bitwise-identical iterates included (E18).
+pub fn cg_checkpointed<S: Scalar>(
+    comm: &Comm,
+    a: &CsrMatrix<S>,
+    b: &DistVector<S>,
+    x: &mut DistVector<S>,
+    m: &dyn Preconditioner<S>,
+    cfg: &KrylovConfig,
+    ck: &CgCheckpointing<'_, S>,
+) -> SolveStatus {
+    let mut r;
+    let mut p;
+    let mut rz;
+    let r0_norm;
+    let mut history;
+    let start;
+    if let Some(c) = ck.resume {
+        assert_eq!(
+            c.x.len(),
+            x.local().len(),
+            "resume checkpoint does not match this rank's segment"
+        );
+        x.local_mut().copy_from_slice(&c.x);
+        r = DistVector::from_local(b.map().clone(), c.r.clone());
+        p = DistVector::from_local(b.map().clone(), c.p.clone());
+        rz = c.rz;
+        r0_norm = c.r0_norm;
+        history = c.history.clone();
+        start = c.iteration;
+    } else {
+        let ax = a.matvec(comm, x);
+        r = b.clone();
+        r.axpy(-S::one(), &ax);
+        r0_norm = r.norm2(comm).to_f64();
+        history = vec![r0_norm];
+        if cfg.done(r0_norm, r0_norm) || r0_norm == 0.0 {
+            instrument::record_solve("cg", 0, true, r0_norm);
+            return SolveStatus {
+                converged: true,
+                iterations: 0,
+                history,
+            };
+        }
+        let z = m.apply(comm, &r);
+        p = z.clone();
+        rz = r.dot(&z, comm);
+        start = 1;
     }
-    let mut z = m.apply(comm, &r);
-    let mut p = z.clone();
-    let mut rz = r.dot(&z, comm);
-    for it in 1..=cfg.max_iter {
+    for it in start..=cfg.max_iter {
+        if ck.every > 0 && (it - 1) % ck.every == 0 {
+            if let Some(sink) = ck.sink {
+                sink(CgCheckpoint {
+                    iteration: it,
+                    x: x.local().to_vec(),
+                    r: r.local().to_vec(),
+                    p: p.local().to_vec(),
+                    rz,
+                    r0_norm,
+                    history: history.clone(),
+                });
+            }
+        }
         let timer = instrument::iter_start(comm);
         let ap = a.matvec(comm, &p);
         let pap = p.dot(&ap, comm);
@@ -88,7 +140,7 @@ pub fn cg<S: Scalar>(
                 history,
             };
         }
-        z = m.apply(comm, &r);
+        let z = m.apply(comm, &r);
         let rz_new = r.dot(&z, comm);
         let beta = rz_new / rz;
         rz = rz_new;
@@ -589,6 +641,69 @@ mod tests {
             assert!(st.converged);
             assert_eq!(st.iterations, 0);
         });
+    }
+
+    #[test]
+    fn checkpointed_restart_is_bitwise_identical() {
+        use crate::checkpoint::{CgCheckpointing, CheckpointStore};
+        let n_ranks = 3;
+        let n = 48;
+        // Reference: one uninterrupted solve, recording checkpoints.
+        let store = CheckpointStore::new();
+        let reference: Vec<(Vec<f64>, Vec<f64>)> = {
+            let store = store.clone();
+            Universe::run(n_ranks, move |comm| {
+                let a = laplace(comm, n);
+                let b = DistVector::from_fn(a.domain_map().clone(), |g| ((g as f64) * 0.3).cos());
+                let mut x = DistVector::zeros(a.domain_map().clone());
+                let rank = comm.rank();
+                let store = store.clone();
+                let sink = move |c| store.record(rank, c);
+                let st = cg_checkpointed(
+                    comm,
+                    &a,
+                    &b,
+                    &mut x,
+                    &IdentityPrecond,
+                    &KrylovConfig::default(),
+                    &CgCheckpointing {
+                        every: 7,
+                        sink: Some(&sink),
+                        resume: None,
+                    },
+                );
+                assert!(st.converged);
+                (x.local().to_vec(), st.history)
+            })
+        };
+        // Restart from the newest common checkpoint: the tail of the solve
+        // must replay the identical floating-point sequence.
+        let resume = store.resume_point(n_ranks).expect("checkpoints recorded");
+        assert!(resume[0].iteration > 1, "should have advanced checkpoints");
+        let resumed: Vec<(Vec<f64>, Vec<f64>)> = Universe::run(n_ranks, move |comm| {
+            let a = laplace(comm, n);
+            let b = DistVector::from_fn(a.domain_map().clone(), |g| ((g as f64) * 0.3).cos());
+            let mut x = DistVector::zeros(a.domain_map().clone());
+            let st = cg_checkpointed(
+                comm,
+                &a,
+                &b,
+                &mut x,
+                &IdentityPrecond,
+                &KrylovConfig::default(),
+                &CgCheckpointing {
+                    every: 0,
+                    sink: None,
+                    resume: Some(&resume[comm.rank()]),
+                },
+            );
+            assert!(st.converged);
+            (x.local().to_vec(), st.history)
+        });
+        for (rank, (full, res)) in reference.iter().zip(resumed.iter()).enumerate() {
+            assert_eq!(full.0, res.0, "rank {rank}: iterate x must match bitwise");
+            assert_eq!(full.1, res.1, "rank {rank}: residual history must match");
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! clock, so solver benchmarks yield cluster-shaped scaling curves.
 
 pub mod amg;
+pub mod checkpoint;
 pub mod direct;
 pub mod eigen;
 mod instrument;
@@ -26,9 +27,10 @@ pub mod precond;
 pub mod status;
 
 pub use amg::AmgPreconditioner;
+pub use checkpoint::{CgCheckpoint, CgCheckpointing, CheckpointStore};
 pub use direct::DirectSolver;
 pub use eigen::{lanczos_extreme_eigenvalues, power_method};
-pub use krylov::{bicgstab, cg, gmres, KrylovConfig};
+pub use krylov::{bicgstab, cg, cg_checkpointed, gmres, KrylovConfig};
 pub use nonlinear::{newton_krylov, NewtonConfig, NonlinearProblem};
 pub use precond::{
     ChebyshevPrecond, IdentityPrecond, IluPrecond, JacobiPrecond, Preconditioner, SsorPrecond,

@@ -16,7 +16,9 @@
 
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
-use hpc_framework::comm::{CollectiveAlgo, ReduceOp, Universe, UniverseConfig};
+use hpc_framework::comm::{
+    CollectiveAlgo, Delivery, FaultPlan, ReduceOp, Universe, UniverseConfig,
+};
 use hpc_framework::hpc_core::bridge::{solve_with_odin_rhs, SolveMethod};
 use hpc_framework::obs;
 use hpc_framework::odin::OdinContext;
@@ -178,6 +180,50 @@ fn collective_accounting_matches_p2p_sends_for_every_algo() {
             assert_eq!(g.counter_value(&key), Some(expect(op)), "{algo:?} op {op}");
         }
     }
+}
+
+#[test]
+fn fault_counters_reconcile_exactly_with_comm_stats() {
+    let _g = obs_lock();
+    obs::reset();
+    obs::set_enabled(true);
+    let p = 4;
+    let cfg = UniverseConfig {
+        stall_timeout: Some(std::time::Duration::from_secs(10)),
+        fault: FaultPlan::messages(0xe18, 0.08, 0.05, 0.05, 0.04),
+        delivery: Delivery::Reliable,
+        ..Default::default()
+    };
+    let report = Universe::run_report(cfg, p, |comm| {
+        comm.barrier();
+        let v = vec![comm.rank() as f64 + 1.0; 64];
+        let s = comm.allreduce(&v, ReduceOp::vec_sum());
+        let _ = comm.gather(0, &(comm.rank() as u64));
+        s[0]
+    });
+    obs::set_enabled(false);
+
+    // Every fault/reliability counter increments CommStats and the
+    // registry at the same site, so the two views must agree exactly,
+    // per rank — the E18 acceptance identity.
+    let g = obs::global();
+    let mut lost = 0;
+    for (rank, s) in report.stats.iter().enumerate() {
+        let r = rank.to_string();
+        let val = |name: &str| {
+            g.counter_value(&obs::registry::key(name, &[("rank", &r)]))
+                .unwrap_or(0)
+        };
+        assert_eq!(val("comm.retransmits"), s.retransmits, "rank {rank}");
+        assert_eq!(val("comm.dropped"), s.faults_dropped, "rank {rank}");
+        assert_eq!(val("comm.corrupt"), s.corrupt_detected, "rank {rank}");
+        assert_eq!(val("comm.dup_suppressed"), s.dup_suppressed, "rank {rank}");
+        lost += s.faults_dropped + s.corrupt_detected;
+    }
+    assert!(
+        lost > 0,
+        "the fault plan injected no losses — nothing was exercised"
+    );
 }
 
 #[test]

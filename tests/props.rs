@@ -433,6 +433,152 @@ fn pipelined_dispatch_bitwise_matches_drained() {
     }
 }
 
+// ---- chaos: reliable delivery heals seeded faults, bitwise -------------------
+
+use std::time::Duration;
+
+use hpc_framework::comm::{Delivery, FaultPlan, ReduceOp, UniverseConfig};
+use hpc_framework::solvers::{cg, IdentityPrecond, KrylovConfig};
+
+/// A chaos universe: seeded faults, reliable delivery, and a stall
+/// timeout so a broken retransmit path fails the test instead of
+/// hanging it.
+fn reliable_chaos(fault: FaultPlan) -> UniverseConfig {
+    UniverseConfig {
+        stall_timeout: Some(Duration::from_secs(10)),
+        fault,
+        delivery: Delivery::Reliable,
+        ..Default::default()
+    }
+}
+
+/// One CG solve on a seeded nonsymmetric-free SPD tridiagonal system,
+/// returning per-rank `(x local segment, residual history)`.
+#[allow(clippy::type_complexity)]
+fn cg_case(
+    cfg: UniverseConfig,
+    p: usize,
+    n: usize,
+) -> (
+    Vec<(Vec<f64>, Vec<f64>)>,
+    Vec<hpc_framework::comm::CommStats>,
+) {
+    let report = Universe::run_report(cfg, p, move |comm| {
+        let map = DistMap::block(n, comm.size(), comm.rank());
+        let a = CsrMatrix::from_row_fn(comm, map.clone(), map.clone(), |g| {
+            let mut row = Vec::new();
+            if g > 0 {
+                row.push((g - 1, -1.0));
+            }
+            row.push((g, 3.0 + (g % 5) as f64));
+            if g + 1 < n {
+                row.push((g + 1, -1.0));
+            }
+            row
+        });
+        let b = DistVector::from_fn(map.clone(), |g| ((g as f64) * 0.7).sin());
+        let mut x = DistVector::zeros(map);
+        let st = cg(
+            comm,
+            &a,
+            &b,
+            &mut x,
+            &IdentityPrecond,
+            &KrylovConfig::default(),
+        );
+        assert!(st.converged, "chaos CG must still converge");
+        (x.local().to_vec(), st.history)
+    });
+    (report.results, report.stats)
+}
+
+#[test]
+fn cg_over_reliable_delivery_is_bitwise_immune_to_message_faults() {
+    let mut rng = SplitMix64::new(0xc4a05);
+    for case in 0..4 {
+        let p = 2 + rng.gen_index(3); // 2..=4 ranks
+        let n = 24 + rng.gen_index(25);
+        let plan = FaultPlan::messages(
+            rng.next_u64(),
+            0.02 + rng.gen_range_f64(0.0, 0.08), // drop
+            rng.gen_range_f64(0.0, 0.05),        // duplicate
+            rng.gen_range_f64(0.0, 0.05),        // delay
+            rng.gen_range_f64(0.0, 0.04),        // corrupt
+        );
+        let (clean, _) = cg_case(UniverseConfig::default(), p, n);
+        let (chaos, stats) = cg_case(reliable_chaos(plan), p, n);
+        for (rank, (c, f)) in clean.iter().zip(chaos.iter()).enumerate() {
+            assert_eq!(c.0, f.0, "case {case} rank {rank}: iterate x diverged");
+            assert_eq!(c.1, f.1, "case {case} rank {rank}: history diverged");
+        }
+        // Accounting: every lost transmission (dropped, or discarded as
+        // corrupt) the algorithm was waiting on was healed by at least
+        // one retransmission. (Duplicate suppression has no such exact
+        // end-of-run identity: a duplicate copy still in a mailbox when
+        // its rank exits is never intaken, hence never counted.)
+        let lost: u64 = stats
+            .iter()
+            .map(|s| s.faults_dropped + s.corrupt_detected)
+            .sum();
+        let retx: u64 = stats.iter().map(|s| s.retransmits).sum();
+        assert!(lost > 0, "case {case}: plan {plan:?} injected no losses");
+        assert!(
+            retx >= lost,
+            "case {case}: {retx} retransmits for {lost} losses"
+        );
+    }
+}
+
+#[test]
+fn retransmits_are_zero_without_faults() {
+    // The "iff" half: a fault-free reliable run never retransmits, so a
+    // nonzero retransmit counter always means the fault plane fired.
+    // (Kept communication-dense and tiny: retransmission is wall-clock
+    // RTO-driven, so the test must finish well inside one 5 ms RTO.)
+    let report = Universe::run_report(reliable_chaos(FaultPlan::none()), 3, |comm| {
+        comm.barrier();
+        let s = comm.allreduce(&(comm.rank() as u64 + 1), ReduceOp::sum());
+        comm.barrier();
+        s
+    });
+    assert_eq!(report.results, vec![6, 6, 6]);
+    for (rank, s) in report.stats.iter().enumerate() {
+        assert_eq!(s.retransmits, 0, "rank {rank}");
+        assert_eq!(s.faults_dropped, 0, "rank {rank}");
+        assert_eq!(s.corrupt_detected, 0, "rank {rank}");
+        assert_eq!(s.dup_suppressed, 0, "rank {rank}");
+    }
+}
+
+#[test]
+fn collectives_survive_seeded_faults_on_reliable_delivery() {
+    let mut rng = SplitMix64::new(0xc011ec);
+    for case in 0..6 {
+        let p = 2 + rng.gen_index(7); // 2..=8 ranks
+        let plan = FaultPlan::messages(
+            rng.next_u64(),
+            0.05 + rng.gen_range_f64(0.0, 0.1),
+            rng.gen_range_f64(0.0, 0.08),
+            rng.gen_range_f64(0.0, 0.08),
+            rng.gen_range_f64(0.0, 0.05),
+        );
+        let report = Universe::run_report(reliable_chaos(plan), p, |comm| {
+            comm.barrier();
+            let sum = comm.allreduce(&(comm.rank() as u64 + 1), ReduceOp::sum());
+            let gathered = comm.gather(0, &(comm.rank() as u64));
+            (sum, gathered)
+        });
+        let expect_sum = (p as u64) * (p as u64 + 1) / 2;
+        for (rank, (sum, gathered)) in report.results.iter().enumerate() {
+            assert_eq!(*sum, expect_sum, "case {case} rank {rank}");
+            if rank == 0 {
+                let want: Vec<u64> = (0..p as u64).collect();
+                assert_eq!(gathered.as_deref(), Some(&want[..]), "case {case}");
+            }
+        }
+    }
+}
+
 // ---- seamless: VM must agree with the interpreter -----------------------------
 
 /// Random arithmetic source over one float parameter, depth-bounded.

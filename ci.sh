@@ -27,6 +27,14 @@ for seed in 42 1009 777216; do
   HPC_FAULT_SEED=$seed cargo test -q --offline --test failure_modes
 done
 
+echo "== E19 autotune gate (Auto vs fixed collectives, alloc counting)"
+# Asserts Auto is within 5% of the best fixed algorithm at every swept
+# (ranks, payload) point and that steady-state CG iterations allocate
+# nothing; the metrics registry is emitted as the last stdout line.
+cargo run --release --offline -p bench --bin e19_autotune -- --metrics-json \
+  | tail -n 1 > BENCH_e19.json
+test -s BENCH_e19.json
+
 echo "== cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 

@@ -12,6 +12,7 @@
 //! failure (a peer thread died), mirroring MPI's default error handler.
 
 use crate::comm::{Comm, Src, Tag, MAX_USER_TAG};
+use crate::model::NetworkModel;
 use crate::wire::Wire;
 
 /// Algorithm family used by collectives.
@@ -24,6 +25,16 @@ pub enum CollectiveAlgo {
     Tree,
     /// Recursive doubling / ring: O(log P) rounds, no root hotspot.
     RecursiveDoubling,
+    /// Model-driven selection: each call picks the cheapest fixed
+    /// algorithm for its (ranks, payload bytes) from the LogGP
+    /// parameters. The choice is a pure function of values every rank
+    /// computes identically, so ranks can never disagree on the wire
+    /// pattern. Rooted ops (`bcast`/`scatter`) resolve payload-blind —
+    /// only the root knows the payload; symmetric ops
+    /// (`reduce`/`allreduce`/`allgather`) resolve payload-aware and
+    /// therefore require the SPMD convention that every rank passes a
+    /// same-sized value. Ablated in experiment E19.
+    Auto,
 }
 
 /// Namespace of ready-made reduction operators.
@@ -67,13 +78,119 @@ impl ReduceOp {
 }
 
 impl CollectiveAlgo {
-    fn label(self) -> &'static str {
+    /// Short name used in span labels and metrics: `linear`, `tree`,
+    /// `rd`, or `auto`.
+    pub fn label(self) -> &'static str {
         match self {
             CollectiveAlgo::Linear => "linear",
             CollectiveAlgo::Tree => "tree",
             CollectiveAlgo::RecursiveDoubling => "rd",
+            CollectiveAlgo::Auto => "auto",
         }
     }
+}
+
+/// Collectives the autotuner distinguishes. The remaining collectives
+/// (barrier, gather, scatter, alltoallv, scan, exscan) have a single wire
+/// pattern, so `Auto` has nothing to decide for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CollOp {
+    Bcast,
+    Reduce,
+    Allreduce,
+    Allgather,
+}
+
+impl CollOp {
+    fn name(self) -> &'static str {
+        match self {
+            CollOp::Bcast => "bcast",
+            CollOp::Reduce => "reduce",
+            CollOp::Allreduce => "allreduce",
+            CollOp::Allgather => "allgather",
+        }
+    }
+}
+
+/// ⌈log₂ p⌉ as a float (0 for p ≤ 1).
+fn ceil_log2(p: usize) -> f64 {
+    p.max(1).next_power_of_two().trailing_zeros() as f64
+}
+
+/// Analytic LogGP makespan of `op` over `p` ranks with an `n`-byte
+/// per-rank payload under `algo`. Mirrors the simulator's charging rules
+/// — the sender pays `o + n·G` serialized on its NIC, the receiver pays
+/// `L + o` past the departure — closely enough to *rank* the algorithms;
+/// `e19_autotune` validates the ranking against measured makespans.
+fn predict(op: CollOp, algo: CollectiveAlgo, p: usize, n: usize, m: &NetworkModel) -> f64 {
+    let o = m.overhead_s;
+    let l = m.latency_s;
+    let ng = n as f64 * m.seconds_per_byte;
+    // One store-and-forward hop: blocking send (o + n·G), then the
+    // receiver's delivery rule (L + o) past the departure.
+    let hop = 2.0 * o + ng + l;
+    match (op, algo) {
+        // Root serializes P−1 copies back-to-back; the last receiver
+        // adds one flight + delivery.
+        (CollOp::Bcast, CollectiveAlgo::Linear) => (p - 1) as f64 * (o + ng) + l + o,
+        // Binomial critical path: the root's k-th send departs after k
+        // serialized (o + n·G), its child's after k−1, … — the last leaf
+        // sits below k(k+1)/2 sends and k flights. (Tree *reduce* has no
+        // such serialization: every path node sends once, to its parent.)
+        (CollOp::Bcast, _) => {
+            let k = ceil_log2(p);
+            k * (k + 1.0) / 2.0 * (o + ng) + k * (l + o)
+        }
+        // Leaves send concurrently (receiver NICs are not contended in
+        // the model); the root then pays `o` per sequential delivery.
+        (CollOp::Reduce, CollectiveAlgo::Linear) => o + ng + l + (p - 1) as f64 * o,
+        (CollOp::Reduce, _) => ceil_log2(p) * hop,
+        (CollOp::Allreduce, CollectiveAlgo::RecursiveDoubling) => {
+            let p2 = prev_power_of_two(p);
+            // Non-power-of-two sizes fold the extra ranks in and out.
+            let fold = if p2 == p { 0.0 } else { 2.0 * hop };
+            p2.trailing_zeros() as f64 * hop + fold
+        }
+        (CollOp::Allreduce, algo) => {
+            predict(CollOp::Reduce, algo, p, n, m) + predict(CollOp::Bcast, algo, p, n, m)
+        }
+        // Ring: P−1 pipelined neighbor exchanges.
+        (CollOp::Allgather, CollectiveAlgo::RecursiveDoubling) => (p - 1) as f64 * hop,
+        (CollOp::Allgather, algo) => {
+            // Gather is always root-linear; the rebroadcast carries all
+            // P blocks.
+            predict(CollOp::Reduce, CollectiveAlgo::Linear, p, n, m)
+                + predict(CollOp::Bcast, algo, p, p * n, m)
+        }
+    }
+}
+
+/// Candidate algorithms per op. Bcast and reduce execute `Tree` and
+/// `RecursiveDoubling` identically (one binomial-tree arm), so only
+/// distinct wire patterns are scored.
+fn candidates(op: CollOp) -> &'static [CollectiveAlgo] {
+    match op {
+        CollOp::Bcast | CollOp::Reduce => &[CollectiveAlgo::Linear, CollectiveAlgo::Tree],
+        CollOp::Allreduce | CollOp::Allgather => &[
+            CollectiveAlgo::Linear,
+            CollectiveAlgo::Tree,
+            CollectiveAlgo::RecursiveDoubling,
+        ],
+    }
+}
+
+/// Pick the cheapest algorithm for `op` and return it with its predicted
+/// cost. The tie-break (strict `<` over a fixed candidate order) is
+/// deterministic, so every rank resolves identically.
+fn pick(op: CollOp, p: usize, n: usize, m: &NetworkModel) -> (CollectiveAlgo, f64) {
+    let mut best = (CollectiveAlgo::Tree, f64::INFINITY);
+    for &algo in candidates(op) {
+        let cost = predict(op, algo, p, n, m);
+        if cost < best.1 {
+            best = (algo, cost);
+        }
+    }
+    best
 }
 
 impl Comm {
@@ -81,6 +198,17 @@ impl Comm {
         let s = self.coll_seq.get();
         self.coll_seq.set(s.wrapping_add(1));
         MAX_USER_TAG + ((s as u32) & (MAX_USER_TAG - 1))
+    }
+
+    /// Allocate a tag from the same SPMD-ordered sequence the collectives
+    /// use, for point-to-point exchanges that every rank nevertheless
+    /// executes in the same order (communication-plan executions). Each
+    /// execution gets a distinct tag, so back-to-back executions of
+    /// identically-shaped plans can never cross-match — even when
+    /// reliable delivery retransmits around a delayed message and
+    /// per-sender arrival order is no longer FIFO.
+    pub fn next_spmd_tag(&self) -> Tag {
+        self.next_coll_tag()
     }
 
     /// Span start for a collective; `None` unless observability is on.
@@ -95,11 +223,13 @@ impl Comm {
     /// Close a collective span, named `op(algo)`, e.g. `allreduce(tree)`.
     /// Composite collectives (linear/tree allreduce = reduce + bcast,
     /// exscan = scan + shift) nest their constituents' spans inside.
+    /// `algo` is the algorithm actually run, so spans under `Auto` name
+    /// the resolved choice.
     #[cold]
-    fn coll_finish(&self, timer: obs::span::SpanTimer, op: &'static str) {
+    fn coll_finish(&self, timer: obs::span::SpanTimer, op: &'static str, algo: CollectiveAlgo) {
         timer.finish(
             "comm",
-            format!("{op}({})", self.algo().label()),
+            format!("{op}({})", algo.label()),
             self.virtual_time(),
             &[("ranks", self.size() as f64)],
         );
@@ -108,13 +238,67 @@ impl Comm {
             .inc();
     }
 
+    /// Resolve the configured algorithm for one collective call: fixed
+    /// algorithms pass through untouched; `Auto` consults the LogGP
+    /// model. `bytes` is the encoded payload size, or 0 for rooted
+    /// collectives where non-root ranks cannot know it.
+    fn resolve_algo(&self, op: CollOp, bytes: usize) -> CollectiveAlgo {
+        match self.algo() {
+            CollectiveAlgo::Auto => {
+                let (algo, cost) = pick(op, self.size(), bytes, &self.model);
+                if obs::enabled() {
+                    self.obs_autotune(op, algo, cost);
+                }
+                algo
+            }
+            fixed => fixed,
+        }
+    }
+
+    /// Record one autotune decision: which algorithm won, and the
+    /// model's predicted makespan for it.
+    #[cold]
+    fn obs_autotune(&self, op: CollOp, algo: CollectiveAlgo, predicted_s: f64) {
+        let g = obs::global();
+        g.counter(&obs::registry::key(
+            "comm.autotune.decision",
+            &[("op", op.name()), ("algo", algo.label())],
+        ))
+        .inc();
+        g.histogram(&obs::registry::key(
+            "comm.autotune.predicted_ns",
+            &[("op", op.name())],
+        ))
+        .record((predicted_s * 1e9) as u64);
+    }
+
+    /// Encoded size of `value`, measured through a pooled scratch buffer.
+    /// Only the autotuner pays this; fixed algorithms never encode twice.
+    fn payload_bytes<T: Wire>(&self, value: &T) -> usize {
+        let mut buf = self.take_buf();
+        value.encode(&mut buf);
+        let n = buf.len();
+        self.put_buf(buf);
+        n
+    }
+
+    /// Payload size for resolving a symmetric (payload-aware) collective;
+    /// 0 unless `Auto` is configured.
+    fn auto_bytes<T: Wire>(&self, value: &T) -> usize {
+        if self.algo() == CollectiveAlgo::Auto {
+            self.payload_bytes(value)
+        } else {
+            0
+        }
+    }
+
     /// Block until every rank of the communicator has entered the barrier.
     /// Dissemination algorithm: ⌈log₂ P⌉ rounds.
     pub fn barrier(&self) {
         let timer = self.coll_span();
         self.barrier_impl();
         if let Some(t) = timer {
-            self.coll_finish(t, "barrier");
+            self.coll_finish(t, "barrier", self.algo());
         }
     }
 
@@ -137,15 +321,24 @@ impl Comm {
     /// Broadcast from `root`. The root passes `Some(value)`, everyone else
     /// `None`; all ranks return the value.
     pub fn bcast<T: Wire>(&self, root: usize, value: Option<T>) -> T {
+        // Resolved payload-blind: only the root holds the payload, and
+        // resolution must be identical on every rank.
+        let algo = self.resolve_algo(CollOp::Bcast, 0);
+        self.bcast_as(algo, root, value)
+    }
+
+    /// Run a bcast under an explicit algorithm. Composites pass their own
+    /// resolved choice down so `Auto` decides once per user-visible call.
+    fn bcast_as<T: Wire>(&self, algo: CollectiveAlgo, root: usize, value: Option<T>) -> T {
         let timer = self.coll_span();
-        let out = self.bcast_impl(root, value);
+        let out = self.bcast_impl(algo, root, value);
         if let Some(t) = timer {
-            self.coll_finish(t, "bcast");
+            self.coll_finish(t, "bcast", algo);
         }
         out
     }
 
-    fn bcast_impl<T: Wire>(&self, root: usize, value: Option<T>) -> T {
+    fn bcast_impl<T: Wire>(&self, algo: CollectiveAlgo, root: usize, value: Option<T>) -> T {
         let size = self.size();
         if self.rank() == root {
             assert!(value.is_some(), "bcast root must supply a value");
@@ -154,7 +347,7 @@ impl Comm {
             return value.expect("bcast root must supply a value");
         }
         let tag = self.next_coll_tag();
-        match self.algo() {
+        match algo {
             CollectiveAlgo::Linear => {
                 if self.rank() == root {
                     let v = value.unwrap();
@@ -168,6 +361,7 @@ impl Comm {
                     self.recv::<T>(Src::Rank(root), tag).expect("bcast recv").0
                 }
             }
+            CollectiveAlgo::Auto => unreachable!("Auto resolves before dispatch"),
             CollectiveAlgo::Tree | CollectiveAlgo::RecursiveDoubling => {
                 // Binomial tree rooted at `root`.
                 let rel = (self.rank() + size - root) % size;
@@ -206,15 +400,25 @@ impl Comm {
         T: Wire + Clone,
         F: Fn(&T, &T) -> T,
     {
+        let algo = self.resolve_algo(CollOp::Reduce, self.auto_bytes(value));
+        self.reduce_as(algo, root, value, op)
+    }
+
+    /// Run a reduce under an explicit algorithm (see [`Comm::bcast_as`]).
+    fn reduce_as<T, F>(&self, algo: CollectiveAlgo, root: usize, value: &T, op: F) -> Option<T>
+    where
+        T: Wire + Clone,
+        F: Fn(&T, &T) -> T,
+    {
         let timer = self.coll_span();
-        let out = self.reduce_impl(root, value, op);
+        let out = self.reduce_impl(algo, root, value, op);
         if let Some(t) = timer {
-            self.coll_finish(t, "reduce");
+            self.coll_finish(t, "reduce", algo);
         }
         out
     }
 
-    fn reduce_impl<T, F>(&self, root: usize, value: &T, op: F) -> Option<T>
+    fn reduce_impl<T, F>(&self, algo: CollectiveAlgo, root: usize, value: &T, op: F) -> Option<T>
     where
         T: Wire + Clone,
         F: Fn(&T, &T) -> T,
@@ -224,7 +428,7 @@ impl Comm {
             return Some(value.clone());
         }
         let tag = self.next_coll_tag();
-        match self.algo() {
+        match algo {
             CollectiveAlgo::Linear => {
                 if self.rank() == root {
                     // Combine strictly in rank order for determinism.
@@ -249,6 +453,7 @@ impl Comm {
                     None
                 }
             }
+            CollectiveAlgo::Auto => unreachable!("Auto resolves before dispatch"),
             CollectiveAlgo::Tree | CollectiveAlgo::RecursiveDoubling => {
                 // Binomial tree mirrored from bcast: leaves send first.
                 let rel = (self.rank() + size - root) % size;
@@ -286,15 +491,16 @@ impl Comm {
         T: Wire + Clone,
         F: Fn(&T, &T) -> T,
     {
+        let algo = self.resolve_algo(CollOp::Allreduce, self.auto_bytes(value));
         let timer = self.coll_span();
-        let out = self.allreduce_impl(value, op);
+        let out = self.allreduce_impl(algo, value, op);
         if let Some(t) = timer {
-            self.coll_finish(t, "allreduce");
+            self.coll_finish(t, "allreduce", algo);
         }
         out
     }
 
-    fn allreduce_impl<T, F>(&self, value: &T, op: F) -> T
+    fn allreduce_impl<T, F>(&self, algo: CollectiveAlgo, value: &T, op: F) -> T
     where
         T: Wire + Clone,
         F: Fn(&T, &T) -> T,
@@ -303,10 +509,13 @@ impl Comm {
         if size == 1 {
             return value.clone();
         }
-        match self.algo() {
+        match algo {
+            CollectiveAlgo::Auto => unreachable!("Auto resolves before dispatch"),
             CollectiveAlgo::Linear | CollectiveAlgo::Tree => {
-                let reduced = self.reduce(0, value, &op);
-                self.bcast(0, reduced)
+                // The resolved algorithm is passed down so the composite
+                // executes exactly one fixed algorithm end to end.
+                let reduced = self.reduce_as(algo, 0, value, &op);
+                self.bcast_as(algo, 0, reduced)
             }
             CollectiveAlgo::RecursiveDoubling => {
                 // Allocate every tag up front, identically on every rank:
@@ -378,7 +587,7 @@ impl Comm {
         let timer = self.coll_span();
         let out = self.gather_impl(root, value);
         if let Some(t) = timer {
-            self.coll_finish(t, "gather");
+            self.coll_finish(t, "gather", self.algo());
         }
         out
     }
@@ -404,23 +613,25 @@ impl Comm {
 
     /// Gather every rank's value to every rank, in rank order.
     pub fn allgather<T: Wire + Clone>(&self, value: &T) -> Vec<T> {
+        let algo = self.resolve_algo(CollOp::Allgather, self.auto_bytes(value));
         let timer = self.coll_span();
-        let out = self.allgather_impl(value);
+        let out = self.allgather_impl(algo, value);
         if let Some(t) = timer {
-            self.coll_finish(t, "allgather");
+            self.coll_finish(t, "allgather", algo);
         }
         out
     }
 
-    fn allgather_impl<T: Wire + Clone>(&self, value: &T) -> Vec<T> {
+    fn allgather_impl<T: Wire + Clone>(&self, algo: CollectiveAlgo, value: &T) -> Vec<T> {
         let size = self.size();
         if size == 1 {
             return vec![value.clone()];
         }
-        match self.algo() {
+        match algo {
+            CollectiveAlgo::Auto => unreachable!("Auto resolves before dispatch"),
             CollectiveAlgo::Linear | CollectiveAlgo::Tree => {
                 let gathered = self.gather(0, value);
-                self.bcast(0, gathered)
+                self.bcast_as(algo, 0, gathered)
             }
             CollectiveAlgo::RecursiveDoubling => {
                 // Ring algorithm: P-1 steps, each passing one block right.
@@ -453,7 +664,7 @@ impl Comm {
         let timer = self.coll_span();
         let out = self.scatter_impl(root, values);
         if let Some(t) = timer {
-            self.coll_finish(t, "scatter");
+            self.coll_finish(t, "scatter", self.algo());
         }
         out
     }
@@ -491,7 +702,7 @@ impl Comm {
         let timer = self.coll_span();
         let out = self.alltoallv_impl(outgoing);
         if let Some(t) = timer {
-            self.coll_finish(t, "alltoallv");
+            self.coll_finish(t, "alltoallv", self.algo());
         }
         out
     }
@@ -532,7 +743,7 @@ impl Comm {
         let timer = self.coll_span();
         let out = self.scan_impl(value, op);
         if let Some(t) = timer {
-            self.coll_finish(t, "scan");
+            self.coll_finish(t, "scan", self.algo());
         }
         out
     }
@@ -570,7 +781,7 @@ impl Comm {
         let timer = self.coll_span();
         let out = self.exscan_impl(value, identity, op);
         if let Some(t) = timer {
-            self.coll_finish(t, "exscan");
+            self.coll_finish(t, "exscan", self.algo());
         }
         out
     }
@@ -612,11 +823,12 @@ mod tests {
     use super::*;
     use crate::universe::{Universe, UniverseConfig};
 
-    fn all_algos() -> [CollectiveAlgo; 3] {
+    fn all_algos() -> [CollectiveAlgo; 4] {
         [
             CollectiveAlgo::Linear,
             CollectiveAlgo::Tree,
             CollectiveAlgo::RecursiveDoubling,
+            CollectiveAlgo::Auto,
         ]
     }
 
@@ -855,6 +1067,65 @@ mod tests {
         let linear = time(CollectiveAlgo::Linear, 8, 8);
         let tree = time(CollectiveAlgo::Tree, 8, 8);
         assert!(linear <= tree, "8 ranks / 8 bytes: linear should win");
+    }
+
+    #[test]
+    fn auto_picks_match_measured_regimes() {
+        // The analytic model must reproduce the crossovers the simulator
+        // measures in `tree_beats_linear_in_the_right_regimes_modeled`.
+        let m = NetworkModel::default();
+        // Payload-blind bcast: linear wins small P, tree wins large P.
+        assert_eq!(pick(CollOp::Bcast, 8, 0, &m).0, CollectiveAlgo::Linear);
+        assert_eq!(pick(CollOp::Bcast, 128, 0, &m).0, CollectiveAlgo::Tree);
+        // Bandwidth-bound bcast: the root's serialized copies lose.
+        assert_eq!(
+            pick(CollOp::Bcast, 16, 256 * 1024, &m).0,
+            CollectiveAlgo::Tree
+        );
+        // Recursive doubling owns large-payload allreduce (log₂ P rounds
+        // of n bytes vs 2·log₂ P for reduce+bcast).
+        assert_eq!(
+            pick(CollOp::Allreduce, 16, 128 * 1024, &m).0,
+            CollectiveAlgo::RecursiveDoubling
+        );
+        // Every pick is deterministic and carries a finite cost.
+        for op in [
+            CollOp::Bcast,
+            CollOp::Reduce,
+            CollOp::Allreduce,
+            CollOp::Allgather,
+        ] {
+            for p in [2usize, 3, 5, 8, 64] {
+                for n in [0usize, 8, 4096] {
+                    let (a, c) = pick(op, p, n, &m);
+                    assert_eq!((a, c), pick(op, p, n, &m));
+                    assert!(c.is_finite() && a != CollectiveAlgo::Auto);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_stays_in_sync_across_mixed_collectives() {
+        // Auto must consume collective tags identically on every rank
+        // even when consecutive calls resolve to different algorithms.
+        for size in [1, 2, 3, 5, 8] {
+            let out = run_with_algo(size, CollectiveAlgo::Auto, move |comm| {
+                let s = comm.allreduce(&(comm.rank() as u64 + 1), ReduceOp::sum());
+                let g = comm.allgather(&(comm.rank() as u32));
+                let b = comm.bcast(0, (comm.rank() == 0).then(|| vec![7u8; 1024]));
+                let r = comm.reduce(size - 1, &1i64, ReduceOp::sum());
+                comm.barrier();
+                (s, g, b, r)
+            });
+            for (rank, (s, g, b, r)) in out.into_iter().enumerate() {
+                assert_eq!(s, (size * (size + 1) / 2) as u64);
+                assert_eq!(g, (0..size as u32).collect::<Vec<_>>());
+                assert_eq!(b, vec![7u8; 1024]);
+                let expect = (rank == size - 1).then_some(size as i64);
+                assert_eq!(r, expect, "size {size} rank {rank}");
+            }
+        }
     }
 
     #[test]

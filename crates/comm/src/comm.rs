@@ -100,7 +100,13 @@ pub(crate) struct RankState {
     pub(crate) seen: RefCell<Vec<std::collections::HashSet<u64>>>,
     /// Sent-but-unacked envelopes awaiting retransmission.
     pub(crate) unacked: RefCell<Vec<Retx>>,
+    /// Recycled wire buffers: send paths encode into them, receive paths
+    /// return delivered payloads to them (see [`Comm::take_buf`]).
+    pub(crate) pool: RefCell<Vec<Vec<u8>>>,
 }
+
+/// Most buffers a rank's pool retains; excess returns are dropped.
+const POOL_MAX: usize = 64;
 
 /// A communicator handle: the single object user code talks to.
 ///
@@ -164,6 +170,7 @@ impl Comm {
                 next_seq: RefCell::new(vec![0; size]),
                 seen: RefCell::new(vec![std::collections::HashSet::new(); size]),
                 unacked: RefCell::new(Vec::new()),
+                pool: RefCell::new(Vec::new()),
             }),
             model: config.model,
             algo: config.algo,
@@ -221,6 +228,69 @@ impl Comm {
         self.state.stats.borrow_mut().modeled_compute_s += dt;
     }
 
+    /// Take a cleared wire buffer from this rank's pool, or allocate a
+    /// fresh one if the pool is empty. Return it with [`Comm::put_buf`]
+    /// once done so hot paths stop allocating per message; reuse is
+    /// counted in [`CommStats::buffer_reuse`] and mirrored as the
+    /// `pool.buffer_reuse{rank}` counter.
+    pub fn take_buf(&self) -> Vec<u8> {
+        match self.state.pool.borrow_mut().pop() {
+            Some(mut buf) => {
+                buf.clear();
+                self.state.stats.borrow_mut().buffer_reuse += 1;
+                if obs::enabled() {
+                    self.obs_cache_counter("pool.buffer_reuse");
+                }
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Return a wire buffer to this rank's pool for later reuse. The
+    /// pool is bounded: excess or capacity-less buffers are dropped.
+    pub fn put_buf(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut pool = self.state.pool.borrow_mut();
+        if pool.len() < POOL_MAX {
+            pool.push(buf);
+        }
+    }
+
+    /// Record a hit in a communication-plan cache. The caches themselves
+    /// live above `comm` (the `dmap` plan cache, the ODIN worker
+    /// exchange-plan cache); this mirrors the event one-for-one into
+    /// [`CommStats::plan_hits`] and the `cache.plan_hits{rank}` counter,
+    /// exactly like the fault counters.
+    pub fn record_plan_hit(&self) {
+        self.state.stats.borrow_mut().plan_hits += 1;
+        if obs::enabled() {
+            self.obs_cache_counter("cache.plan_hits");
+        }
+    }
+
+    /// Record a communication-plan cache miss (a plan was built from
+    /// scratch). Mirrored into [`CommStats::plan_misses`] and
+    /// `cache.plan_misses{rank}`.
+    pub fn record_plan_miss(&self) {
+        self.state.stats.borrow_mut().plan_misses += 1;
+        if obs::enabled() {
+            self.obs_cache_counter("cache.plan_misses");
+        }
+    }
+
+    /// Registry mirror of the cache/pool counters, labeled by global
+    /// rank exactly like the fault counters.
+    #[cold]
+    fn obs_cache_counter(&self, name: &str) {
+        let rank = self.state.world_rank.to_string();
+        obs::global()
+            .counter(&obs::registry::key(name, &[("rank", &rank)]))
+            .inc();
+    }
+
     /// Snapshot of this rank's counters.
     pub fn stats(&self) -> CommStats {
         *self.state.stats.borrow()
@@ -256,9 +326,12 @@ impl Comm {
         self.wait(req).map(|_| ())
     }
 
-    /// Send a typed value to `dest` with `tag`.
+    /// Send a typed value to `dest` with `tag`. Encodes into a pooled
+    /// wire buffer; the receiver's typed `recv` recycles it on its side.
     pub fn send<T: Wire>(&self, dest: usize, tag: Tag, value: &T) -> Result<(), CommError> {
-        self.send_bytes(dest, tag, crate::wire::encode_to_vec(value))
+        let mut buf = self.take_buf();
+        value.encode(&mut buf);
+        self.send_bytes(dest, tag, buf)
     }
 
     pub(crate) fn matches(&self, env: &Envelope, src: Src, tag: Tag) -> bool {
@@ -279,10 +352,13 @@ impl Comm {
             .expect("receive completion carries a payload"))
     }
 
-    /// Receive a typed value matching `(src, tag)`.
+    /// Receive a typed value matching `(src, tag)`. The delivered wire
+    /// buffer is recycled into this rank's pool after decoding.
     pub fn recv<T: Wire>(&self, src: Src, tag: Tag) -> Result<(T, Status), CommError> {
         let (bytes, status) = self.recv_bytes(src, tag)?;
-        Ok((decode_from_slice(&bytes)?, status))
+        let value = decode_from_slice(&bytes)?;
+        self.put_buf(bytes);
+        Ok((value, status))
     }
 
     /// Non-blocking check: is a matching message already available?

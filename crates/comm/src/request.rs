@@ -42,7 +42,7 @@ use std::time::{Duration, Instant};
 
 use crate::comm::{Comm, Envelope, Src, Status, Tag};
 use crate::error::CommError;
-use crate::wire::{decode_from_slice, encode_to_vec, Wire};
+use crate::wire::{decode_from_slice, Wire};
 
 /// Payload of a completed request: `None` for sends, the received message
 /// for receives.
@@ -68,6 +68,8 @@ pub(crate) enum ReqInner {
 /// Handle to an in-flight nonblocking operation. Complete it with
 /// [`Comm::wait`] (or [`Comm::waitall`]/[`Comm::waitany`]) on the same
 /// communicator that created it.
+#[must_use = "a dropped request is never completed: wait on it (or the \
+              virtual clock silently loses the operation's cost)"]
 pub struct Request {
     pub(crate) inner: ReqInner,
     /// Communicator context, to catch cross-communicator waits in debug.
@@ -93,9 +95,11 @@ impl Comm {
         self.isend_bytes_named(dest, tag, bytes, "isend")
     }
 
-    /// Post a nonblocking typed send.
+    /// Post a nonblocking typed send. Encodes into a pooled wire buffer.
     pub fn isend<T: Wire>(&self, dest: usize, tag: Tag, value: &T) -> Result<Request, CommError> {
-        self.isend_bytes_named(dest, tag, encode_to_vec(value), "isend")
+        let mut buf = self.take_buf();
+        value.encode(&mut buf);
+        self.isend_bytes_named(dest, tag, buf, "isend")
     }
 
     pub(crate) fn isend_bytes_named(
@@ -210,13 +214,16 @@ impl Comm {
         self.wait_deadline(req, self.state.stall_timeout.get())
     }
 
-    /// Complete a receive request and decode its payload.
+    /// Complete a receive request and decode its payload. The delivered
+    /// wire buffer is recycled into this rank's pool.
     pub fn wait_recv<T: Wire>(&self, req: Request) -> Result<(T, Status), CommError> {
         debug_assert!(!req.is_send(), "wait_recv on a send request");
         let (bytes, status) = self
             .wait(req)?
             .expect("receive completion carries a payload");
-        Ok((decode_from_slice(&bytes)?, status))
+        let value = decode_from_slice(&bytes)?;
+        self.put_buf(bytes);
+        Ok((value, status))
     }
 
     pub(crate) fn wait_deadline(
@@ -465,7 +472,9 @@ impl Comm {
         timeout: Duration,
     ) -> Result<(T, Status), CommError> {
         let (bytes, status) = self.recv_bytes_timeout(src, tag, timeout)?;
-        Ok((decode_from_slice(&bytes)?, status))
+        let value = decode_from_slice(&bytes)?;
+        self.put_buf(bytes);
+        Ok((value, status))
     }
 
     /// Raw-bytes variant of [`Comm::recv_timeout`].

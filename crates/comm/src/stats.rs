@@ -41,6 +41,13 @@ pub struct CommStats {
     pub dup_suppressed: u64,
     /// Modeled seconds this rank's clock advanced retransmitting.
     pub retransmit_s: f64,
+    /// Communication-plan cache hits on this rank (see `dmap`'s plan
+    /// cache and the ODIN worker exchange-plan cache).
+    pub plan_hits: u64,
+    /// Communication-plan cache misses (a plan was built from scratch).
+    pub plan_misses: u64,
+    /// Wire buffers taken from this rank's pool instead of allocated.
+    pub buffer_reuse: u64,
 }
 
 impl CommStats {
@@ -61,6 +68,9 @@ impl CommStats {
         self.corrupt_detected += other.corrupt_detected;
         self.dup_suppressed += other.dup_suppressed;
         self.retransmit_s += other.retransmit_s;
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+        self.buffer_reuse += other.buffer_reuse;
     }
 
     /// Mean payload size of sent messages, or 0.0 if none were sent.
@@ -95,6 +105,9 @@ mod tests {
             corrupt_detected: 1,
             dup_suppressed: 1,
             retransmit_s: 0.0625,
+            plan_hits: 5,
+            plan_misses: 2,
+            buffer_reuse: 7,
         };
         let b = a;
         a.merge(&b);
@@ -113,6 +126,9 @@ mod tests {
         assert_eq!(a.corrupt_detected, 2);
         assert_eq!(a.dup_suppressed, 2);
         assert!((a.retransmit_s - 0.125).abs() < 1e-12);
+        assert_eq!(a.plan_hits, 10);
+        assert_eq!(a.plan_misses, 4);
+        assert_eq!(a.buffer_reuse, 14);
     }
 
     #[test]

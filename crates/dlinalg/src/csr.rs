@@ -6,10 +6,11 @@
 //! workspace before each local SpMV, which is exactly Tpetra's
 //! Import-based halo exchange.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use comm::Comm;
-use dmap::{CommPlan, Directory, DistMap};
+use dmap::{cached_gather, CommPlan, Directory, DistMap};
 
 use crate::scalar::Scalar;
 use crate::vector::DistVector;
@@ -32,6 +33,10 @@ pub struct CsrMatrix<S: Scalar> {
     n_interior: usize,
     /// Nonzeros in interior rows (for split flop accounting).
     interior_nnz: usize,
+    /// Halo workspace reused across matvecs: sized to `plan.n_target()`
+    /// on first use and fully overwritten by every plan execution, so
+    /// steady-state matvecs allocate nothing here.
+    scratch: RefCell<Vec<S>>,
 }
 
 impl<S: Scalar> CsrMatrix<S> {
@@ -89,8 +94,7 @@ impl<S: Scalar> CsrMatrix<S> {
             }
             rowptr.push(colidx.len());
         }
-        let dir = Directory::build(comm, &domain_map);
-        let plan = CommPlan::gather(comm, &domain_map, &dir, &sorted_cols);
+        let plan = cached_gather(comm, &domain_map, &sorted_cols);
         // Partition rows for the overlapped SpMV: a row is *interior* when
         // every column it references is filled by the plan's local-copy
         // phase, so it can be computed before the halo arrives.
@@ -121,6 +125,7 @@ impl<S: Scalar> CsrMatrix<S> {
             row_order,
             n_interior,
             interior_nnz,
+            scratch: RefCell::new(Vec::new()),
         }
     }
 
@@ -259,7 +264,11 @@ impl<S: Scalar> CsrMatrix<S> {
             "x must use the domain map"
         );
         debug_assert!(y.map().same_as(&self.row_map), "y must use the row map");
-        let mut ws = vec![S::zero(); self.plan.n_target()];
+        // Reuse the halo workspace: every position read below is freshly
+        // written by the plan's local-copy or scatter phase, so values
+        // surviving from a previous matvec are never observed.
+        let mut ws = self.scratch.borrow_mut();
+        ws.resize(self.plan.n_target(), S::zero());
         let inflight = self.plan.execute_start(comm, x.local(), &mut ws);
         let yl = y.local_mut();
         for &i in &self.row_order[..self.n_interior] {
@@ -282,7 +291,8 @@ impl<S: Scalar> CsrMatrix<S> {
             "x must use the domain map"
         );
         debug_assert!(y.map().same_as(&self.row_map), "y must use the row map");
-        let mut ws = vec![S::zero(); self.plan.n_target()];
+        let mut ws = self.scratch.borrow_mut();
+        ws.resize(self.plan.n_target(), S::zero());
         self.plan.execute_blocking(comm, x.local(), &mut ws);
         let yl = y.local_mut();
         for (i, yi) in yl.iter_mut().enumerate() {

@@ -1,7 +1,7 @@
 //! Distributed vectors (Tpetra `Vector` analog).
 
 use comm::{Comm, ReduceOp};
-use dmap::{CommPlan, Directory, DistMap};
+use dmap::{cached_import, DistMap};
 
 use crate::scalar::{RealScalar, Scalar};
 
@@ -164,10 +164,12 @@ impl<S: Scalar> DistVector<S> {
         comm.allreduce(&acc, |x: &S, y: &S| *x + *y)
     }
 
-    /// Redistribute into `new_map` (same global size). Collective.
+    /// Redistribute into `new_map` (same global size). Collective. The
+    /// underlying import plan is memoized (see `dmap::plan_cache`), so
+    /// repeated redistributions between the same pair of maps skip plan
+    /// construction entirely.
     pub fn redistribute(&self, comm: &Comm, new_map: DistMap) -> DistVector<S> {
-        let dir = Directory::build(comm, &self.map);
-        let plan = CommPlan::import(comm, &self.map, &new_map, &dir);
+        let plan = cached_import(comm, &self.map, &new_map);
         let mut out = vec![S::zero(); new_map.my_count()];
         plan.execute(comm, &self.data, &mut out);
         DistVector {

@@ -9,15 +9,16 @@
 //! * halo/ghost gathers for SpMV and shifted-slice arithmetic (E5),
 //! * reverse "export" with combine modes for accumulating contributions.
 
-use comm::{Comm, Request, Src, Tag, Wire};
+use comm::{Comm, Cursor, Request, Src, Tag, Wire};
 
 use crate::directory::Directory;
 use crate::map::DistMap;
 
-/// Fixed user tag for plan traffic. Plan executions are SPMD-ordered per
-/// rank and channels are FIFO per sender, so a single tag cannot mismatch
-/// across back-to-back executions.
-const PLAN_TAG: Tag = 0x3FFF_0000; // below MAX_USER_TAG = 1 << 30
+// Plan traffic is tagged per execution from the comm's SPMD-ordered tag
+// sequence ([`Comm::next_spmd_tag`]): executions are collectively ordered,
+// so sender and receiver always derive the same tag, and back-to-back
+// executions of identically-shaped plans can never cross-match even when
+// reliable delivery reorders a delayed message.
 
 /// How received values combine with existing target entries in
 /// [`CommPlan::execute_combine`].
@@ -50,6 +51,12 @@ pub struct CommPlan {
     local: Vec<(usize, usize)>,
     /// Number of target positions (= length of the request list).
     n_target: usize,
+    /// Per target position, where its value comes from:
+    /// `(u32::MAX, source lid)` for locally-owned entries, or
+    /// `(index into recvs, offset within that payload)`. Lets
+    /// [`Self::execute_to_vec`] construct the output in order without
+    /// a `Default` pre-fill.
+    fill_src: Vec<(u32, u32)>,
 }
 
 impl CommPlan {
@@ -91,16 +98,28 @@ impl CommPlan {
                 .collect();
             sends.push((peer, lids));
         }
-        let recvs = req_pos
+        let recvs: Vec<(usize, Vec<usize>)> = req_pos
             .into_iter()
             .enumerate()
             .filter(|(_, v)| !v.is_empty())
             .collect();
+        // Invert the position lists: every target position is covered by
+        // exactly one local copy or one received payload slot.
+        let mut fill_src = vec![(0u32, 0u32); needed_gids.len()];
+        for &(lid, pos) in &local {
+            fill_src[pos] = (u32::MAX, lid as u32);
+        }
+        for (pi, (_, positions)) in recvs.iter().enumerate() {
+            for (off, &pos) in positions.iter().enumerate() {
+                fill_src[pos] = (pi as u32, off as u32);
+            }
+        }
         CommPlan {
             sends,
             recvs,
             local,
             n_target: needed_gids.len(),
+            fill_src,
         }
     }
 
@@ -164,23 +183,59 @@ impl CommPlan {
             target.len(),
             self.n_target
         );
-        let sends = self
-            .sends
-            .iter()
-            .map(|&(peer, ref lids)| {
-                let payload: Vec<T> = lids.iter().map(|&l| src_data[l]).collect();
-                comm.isend(peer, PLAN_TAG, &payload).expect("plan isend")
-            })
-            .collect();
+        let tag = comm.next_spmd_tag();
+        let sends = self.post_sends(comm, src_data, tag);
         for &(slid, tpos) in &self.local {
             target[tpos] = src_data[slid];
         }
         let recvs = self
             .recvs
             .iter()
-            .map(|&(peer, _)| comm.irecv(Src::Rank(peer), PLAN_TAG).expect("plan irecv"))
+            .map(|&(peer, _)| comm.irecv(Src::Rank(peer), tag).expect("plan irecv"))
             .collect();
         PlanInFlight { sends, recvs }
+    }
+
+    /// Post every outgoing payload nonblocking. Each payload is encoded
+    /// straight into a pooled wire buffer in `Vec<T>` wire format (length
+    /// prefix + elements), so steady-state executions allocate nothing on
+    /// the send side.
+    fn post_sends<T: Wire + Copy>(&self, comm: &Comm, src_data: &[T], tag: Tag) -> Vec<Request> {
+        self.sends
+            .iter()
+            .map(|&(peer, ref lids)| {
+                let mut buf = comm.take_buf();
+                (lids.len() as u64).encode(&mut buf);
+                for &l in lids {
+                    src_data[l].encode(&mut buf);
+                }
+                comm.isend_bytes(peer, tag, buf).expect("plan isend")
+            })
+            .collect()
+    }
+
+    /// Decode one received `Vec<T>`-format payload directly into `target`
+    /// at `positions`, then recycle the wire buffer. Avoids staging the
+    /// payload in an intermediate `Vec<T>`.
+    fn scatter_payload<T, F>(
+        comm: &Comm,
+        bytes: Vec<u8>,
+        positions: &[usize],
+        target: &mut [T],
+        combine: F,
+    ) where
+        T: Wire + Copy,
+        F: Fn(T, T) -> T,
+    {
+        let mut cur = Cursor::new(&bytes);
+        let n = u64::decode(&mut cur).expect("plan payload header") as usize;
+        assert_eq!(n, positions.len(), "plan payload mismatch");
+        for &pos in positions {
+            let v = T::decode(&mut cur).expect("plan payload element");
+            target[pos] = combine(target[pos], v);
+        }
+        assert_eq!(cur.remaining(), 0, "trailing bytes in plan payload");
+        comm.put_buf(bytes);
     }
 
     /// Second half of a split-phase execution: wait for every posted
@@ -192,11 +247,11 @@ impl CommPlan {
         target: &mut [T],
     ) {
         for ((_, positions), req) in self.recvs.iter().zip(inflight.recvs) {
-            let (payload, _) = comm.wait_recv::<Vec<T>>(req).expect("plan recv");
-            assert_eq!(payload.len(), positions.len(), "plan payload mismatch");
-            for (&pos, v) in positions.iter().zip(payload) {
-                target[pos] = v;
-            }
+            let (bytes, _) = comm
+                .wait(req)
+                .expect("plan recv")
+                .expect("receive completion carries a payload");
+            Self::scatter_payload(comm, bytes, positions, target, |_, v| v);
         }
         for req in inflight.sends {
             comm.wait(req).expect("plan send wait");
@@ -236,28 +291,51 @@ impl CommPlan {
             target.len(),
             self.n_target
         );
+        let tag = comm.next_spmd_tag();
         for &(peer, ref lids) in &self.sends {
-            let payload: Vec<T> = lids.iter().map(|&l| src_data[l]).collect();
-            comm.send(peer, PLAN_TAG, &payload).expect("plan send");
+            let mut buf = comm.take_buf();
+            (lids.len() as u64).encode(&mut buf);
+            for &l in lids {
+                src_data[l].encode(&mut buf);
+            }
+            comm.send_bytes(peer, tag, buf).expect("plan send");
         }
         for &(slid, tpos) in &self.local {
             target[tpos] = combine(target[tpos], src_data[slid]);
         }
         for &(peer, ref positions) in &self.recvs {
-            let (payload, _) = comm
-                .recv::<Vec<T>>(Src::Rank(peer), PLAN_TAG)
-                .expect("plan recv");
-            assert_eq!(payload.len(), positions.len(), "plan payload mismatch");
-            for (&pos, v) in positions.iter().zip(payload) {
-                target[pos] = combine(target[pos], v);
-            }
+            let (bytes, _) = comm.recv_bytes(Src::Rank(peer), tag).expect("plan recv");
+            Self::scatter_payload(comm, bytes, positions, target, &combine);
         }
     }
 
-    /// Convenience: allocate and fill a fresh target buffer.
-    pub fn execute_to_vec<T: Wire + Copy + Default>(&self, comm: &Comm, src_data: &[T]) -> Vec<T> {
-        let mut out = vec![T::default(); self.n_target];
-        self.execute(comm, src_data, &mut out);
+    /// Convenience: allocate and fill a fresh target buffer. The output
+    /// is constructed in order from the plan's per-position source table,
+    /// so no `Default` pre-fill (and no `Default` bound) is needed.
+    pub fn execute_to_vec<T: Wire + Copy>(&self, comm: &Comm, src_data: &[T]) -> Vec<T> {
+        let tag = comm.next_spmd_tag();
+        let sends = self.post_sends(comm, src_data, tag);
+        let payloads: Vec<Vec<T>> = self
+            .recvs
+            .iter()
+            .map(|&(peer, ref positions)| {
+                let req = comm.irecv(Src::Rank(peer), tag).expect("plan irecv");
+                let (payload, _) = comm.wait_recv::<Vec<T>>(req).expect("plan recv");
+                assert_eq!(payload.len(), positions.len(), "plan payload mismatch");
+                payload
+            })
+            .collect();
+        let mut out = Vec::with_capacity(self.n_target);
+        for &(peer, idx) in &self.fill_src {
+            out.push(if peer == u32::MAX {
+                src_data[idx as usize]
+            } else {
+                payloads[peer as usize][idx as usize]
+            });
+        }
+        for req in sends {
+            comm.wait(req).expect("plan send wait");
+        }
         out
     }
 }

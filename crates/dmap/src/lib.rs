@@ -14,8 +14,10 @@ pub mod directory;
 pub mod import_export;
 pub mod map;
 pub mod partition;
+pub mod plan_cache;
 
 pub use directory::Directory;
 pub use import_export::{CombineMode, CommPlan, PlanInFlight};
 pub use map::{DistMap, Distribution};
 pub use partition::rebalance_block_map;
+pub use plan_cache::{cached_gather, cached_import, clear_plan_cache, plan_cache_len};

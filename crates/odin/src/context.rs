@@ -130,6 +130,7 @@ type Decode<T> = Box<dyn FnOnce(Vec<Vec<u8>>) -> T>;
 /// abandons the reply (the engine discards it on arrival); [`Pending::wait`]
 /// first flushes any open command batch, so waiting inside a batch can
 /// never deadlock.
+#[must_use = "dropping a Pending abandons its reply; call wait() (or hold it to overlap master-side work with the workers)"]
 pub struct Pending<'c, T> {
     ctx: &'c OdinContext,
     tickets: Vec<(usize, u64)>,
@@ -527,11 +528,12 @@ impl OdinContext {
     pub(crate) fn send_cmd(&self, cmd: &Cmd) {
         self.note_dispatch(cmd);
         let timer = self.obs_timer();
-        let bytes = comm::encode_to_vec(cmd);
+        let mut bytes = comm::encode_to_vec(cmd);
+        let n_bytes = bytes.len();
         {
             let mut st = self.stats.borrow_mut();
             st.ctrl_msgs += self.n_workers as u64;
-            st.ctrl_bytes += (bytes.len() * self.n_workers) as u64;
+            st.ctrl_bytes += (n_bytes * self.n_workers) as u64;
         }
         let mut batch = self.batch.borrow_mut();
         if let Some(bufs) = batch.as_mut() {
@@ -540,17 +542,24 @@ impl OdinContext {
             }
             drop(batch);
             if let Some(t) = timer {
-                self.obs_ctrl(bytes.len(), true, t);
+                self.obs_ctrl(n_bytes, true, t);
             }
             return;
         }
         drop(batch);
         self.stats.borrow_mut().channel_sends += self.n_workers as u64;
+        // The last worker takes ownership of the encoded command; only
+        // the first n−1 sends pay for a copy.
         for w in 0..self.n_workers {
-            self.worker_send(w, ToWorker::Bytes(bytes.clone()));
+            let payload = if w + 1 == self.n_workers {
+                std::mem::take(&mut bytes)
+            } else {
+                bytes.clone()
+            };
+            self.worker_send(w, ToWorker::Bytes(payload));
         }
         if let Some(t) = timer {
-            self.obs_ctrl(bytes.len(), false, t);
+            self.obs_ctrl(n_bytes, false, t);
         }
     }
 
@@ -1048,9 +1057,14 @@ impl OdinContext {
 impl Drop for OdinContext {
     fn drop(&mut self) {
         // Best-effort shutdown; workers may already be gone in panic paths.
-        let bytes = comm::encode_to_vec(&Cmd::Shutdown);
+        let mut bytes = comm::encode_to_vec(&Cmd::Shutdown);
         for w in 0..self.n_workers {
-            self.worker_send(w, ToWorker::Bytes(bytes.clone()));
+            let payload = if w + 1 == self.n_workers {
+                std::mem::take(&mut bytes)
+            } else {
+                bytes.clone()
+            };
+            self.worker_send(w, ToWorker::Bytes(payload));
         }
         if let Some(pool) = self.pool.borrow_mut().take() {
             let faulty = self.config.fault.is_active() || self.dead.borrow().iter().any(|&d| d);
@@ -1356,10 +1370,21 @@ fn eval_fused_binary(op: BinOp, x: f64, y: f64) -> f64 {
     }
 }
 
+/// Scratch buffers one worker reuses across commands, so steady-state
+/// command execution stops reallocating them per command.
+#[derive(Default)]
+struct WorkerScratch {
+    /// Recycled chunk-length `f64` buffers for `Cmd::EvalFused`.
+    fused_pool: Vec<Vec<f64>>,
+    /// Operand stack for `Cmd::EvalFused` (empty between commands).
+    fused_stack: Vec<Vec<f64>>,
+}
+
 fn worker_main(comm: &mut Comm, rx: Receiver<ToWorker>, reply: Sender<(usize, Vec<u8>)>) {
     let mut arrays: HashMap<u64, (ArrayMeta, Buffer)> = HashMap::new();
     let mut tables: HashMap<u64, crate::table::TableSeg> = HashMap::new();
     let mut fns: HashMap<u64, LocalFn> = HashMap::new();
+    let mut scratch = WorkerScratch::default();
     'outer: loop {
         match rx.recv() {
             Err(_) => break,
@@ -1376,7 +1401,15 @@ fn worker_main(comm: &mut Comm, rx: Receiver<ToWorker>, reply: Sender<(usize, Ve
                     if comm.fault_tick().is_err() {
                         break 'outer;
                     }
-                    if !exec_cmd(comm, &reply, &mut arrays, &mut tables, &fns, cmd) {
+                    if !exec_cmd(
+                        comm,
+                        &reply,
+                        &mut arrays,
+                        &mut tables,
+                        &fns,
+                        &mut scratch,
+                        cmd,
+                    ) {
                         break 'outer;
                     }
                 }
@@ -1392,6 +1425,7 @@ fn exec_cmd(
     arrays: &mut HashMap<u64, (ArrayMeta, Buffer)>,
     tables: &mut HashMap<u64, crate::table::TableSeg>,
     fns: &HashMap<u64, LocalFn>,
+    scratch: &mut WorkerScratch,
     cmd: Cmd,
 ) -> bool {
     let p = comm.size();
@@ -1481,8 +1515,10 @@ fn exec_cmd(
             // each opcode still runs as a tight vectorizable loop.
             const CHUNK: usize = 4096;
             let mut values = Vec::with_capacity(n);
-            let mut stack: Vec<Vec<f64>> = Vec::new();
-            let mut pool: Vec<Vec<f64>> = Vec::new();
+            // Stack and recycling pool persist in the worker scratch, so
+            // repeated fused evaluations reuse the same chunk buffers.
+            let stack = &mut scratch.fused_stack;
+            let pool = &mut scratch.fused_pool;
             let mut start = 0usize;
             while start < n || (n == 0 && start == 0) {
                 let end = (start + CHUNK).min(n);
@@ -1541,7 +1577,12 @@ fn exec_cmd(
         Cmd::Fetch { a } => {
             let (meta, buf) = &arrays[&a];
             let map = meta.axis_map(p, rank);
-            let payload = comm::encode_to_vec(&(map.my_gids(), buf.clone()));
+            // Field-by-field tuple encoding, wire-compatible with
+            // `encode_to_vec(&(gids, buffer))` but without cloning the
+            // whole segment first.
+            let mut payload = Vec::new();
+            map.my_gids().encode(&mut payload);
+            buf.encode(&mut payload);
             let _ = reply.send((rank, payload));
         }
         Cmd::CallLocal {

@@ -7,10 +7,13 @@
 //! some small amount of inter-node communication … ODIN performs this
 //! communication automatically".
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use comm::{Comm, CommError, Cursor, Wire};
 
 use crate::buffer::Buffer;
-use crate::protocol::ArrayMeta;
+use crate::protocol::{ArrayMeta, Dist};
 
 /// Reserved tag for the split-phase exchanges below. Safe as a fixed tag:
 /// workers execute commands in SPMD order and channels are FIFO, so two
@@ -62,6 +65,73 @@ fn exchange_overlapped<T: Wire>(
         comm.wait(req).expect("exchange send wait");
     }
     incoming
+}
+
+/// Row-routing plan for the general slice/redistribute paths: which flat
+/// source elements ship to which peer and where rows staying local land.
+/// A pure function of the array's shape, its distribution, and the
+/// request (per rank), so cached entries never need invalidation — an
+/// equal key always reproduces an equal route.
+struct RoutePlan {
+    /// Per peer: output/global rows shipped there.
+    peer_rows: Vec<Vec<usize>>,
+    /// Per peer: flat source element indices, in shipment order.
+    peer_idx: Vec<Vec<usize>>,
+    /// `(output lid, source element base)` for rows staying on this rank.
+    local_rows: Vec<(usize, usize)>,
+}
+
+/// Exact cache key for a [`RoutePlan`]. Rank and communicator size are
+/// implicit: the cache is per worker thread.
+#[derive(PartialEq)]
+enum RouteKey {
+    Slice {
+        shape: Vec<usize>,
+        dist: Dist,
+        specs: Vec<SliceSpec>,
+    },
+    Redistribute {
+        shape: Vec<usize>,
+        dist: Dist,
+        new_dist: Dist,
+    },
+}
+
+/// Retained routes per worker; LRU-evicted beyond this.
+const ROUTE_CACHE_MAX: usize = 16;
+
+thread_local! {
+    static ROUTES: RefCell<Vec<(RouteKey, Rc<RoutePlan>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Look up (or build and insert) the route for `key`. Building is purely
+/// local index arithmetic — no communication — so hit/miss asymmetry
+/// across workers is harmless; the counters feed `CommStats::plan_hits`
+/// / `plan_misses` like the `dmap` plan cache.
+fn cached_route(comm: &Comm, key: RouteKey, build: impl FnOnce() -> RoutePlan) -> Rc<RoutePlan> {
+    let hit = ROUTES.with(|c| {
+        let mut c = c.borrow_mut();
+        c.iter().position(|(k, _)| *k == key).map(|i| {
+            let e = c.remove(i);
+            let plan = Rc::clone(&e.1);
+            c.push(e);
+            plan
+        })
+    });
+    if let Some(plan) = hit {
+        comm.record_plan_hit();
+        return plan;
+    }
+    comm.record_plan_miss();
+    let plan = Rc::new(build());
+    ROUTES.with(|c| {
+        let mut c = c.borrow_mut();
+        if c.len() == ROUTE_CACHE_MAX {
+            c.remove(0);
+        }
+        c.push((key, Rc::clone(&plan)));
+    });
+    plan
 }
 
 /// A half-open strided range `start..stop` with positive `step`
@@ -237,41 +307,57 @@ pub fn slice_worker(
         }
         return (out_meta, out);
     }
-    let mut peer_rows: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
-    let mut peer_idx: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
-    let mut local_rows: Vec<(usize, usize)> = Vec::new();
-    for l in 0..src_map.my_count() {
-        let g = src_map.local_to_global(l);
-        if !row_spec.contains(g) {
-            continue;
-        }
-        let out_row = row_spec.position_of(g);
-        let owner = out_map.owner_of(out_row).expect("structured map");
-        let base = l * slab;
-        if owner == rank {
-            // local fast path: no serialization round-trip; deferred into
-            // the overlap window below
-            local_rows.push((out_map.global_to_local(out_row).unwrap(), base));
-        } else {
-            peer_rows[owner].push(out_row);
-            peer_idx[owner].extend(offsets.iter().map(|&o| base + o));
-        }
-    }
-    let outgoing: Vec<Vec<(Vec<usize>, Buffer)>> = peer_rows
-        .into_iter()
-        .zip(peer_idx)
+    let plan = cached_route(
+        comm,
+        RouteKey::Slice {
+            shape: meta.shape.clone(),
+            dist: meta.dist,
+            specs: specs.to_vec(),
+        },
+        || {
+            let mut peer_rows: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+            let mut peer_idx: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+            let mut local_rows: Vec<(usize, usize)> = Vec::new();
+            for l in 0..src_map.my_count() {
+                let g = src_map.local_to_global(l);
+                if !row_spec.contains(g) {
+                    continue;
+                }
+                let out_row = row_spec.position_of(g);
+                let owner = out_map.owner_of(out_row).expect("structured map");
+                let base = l * slab;
+                if owner == rank {
+                    // local fast path: no serialization round-trip;
+                    // deferred into the overlap window below
+                    local_rows.push((out_map.global_to_local(out_row).unwrap(), base));
+                } else {
+                    peer_rows[owner].push(out_row);
+                    peer_idx[owner].extend(offsets.iter().map(|&o| base + o));
+                }
+            }
+            RoutePlan {
+                peer_rows,
+                peer_idx,
+                local_rows,
+            }
+        },
+    );
+    let outgoing: Vec<Vec<(Vec<usize>, Buffer)>> = plan
+        .peer_rows
+        .iter()
+        .zip(&plan.peer_idx)
         .map(|(rows, idx)| {
             if rows.is_empty() {
                 Vec::new()
             } else {
-                vec![(rows, data.gather_indices(idx.into_iter()))]
+                vec![(rows.clone(), data.gather_indices(idx.iter().copied()))]
             }
         })
         .collect();
     let incoming = exchange_overlapped(comm, outgoing, || {
         let contiguous =
             offsets.len() == slab && slab > 0 && offsets[0] == 0 && offsets[slab - 1] + 1 == slab;
-        for &(lo, base) in &local_rows {
+        for &(lo, base) in &plan.local_rows {
             if contiguous {
                 copy_rows(&mut out, lo * out_slab, data, base, out_slab);
             } else {
@@ -312,33 +398,49 @@ pub fn redistribute_worker(
     let slab = meta.slab();
     let rank = comm.rank();
     let mut out = Buffer::zeros(meta.dtype, out_map.my_count() * slab);
-    let mut peer_rows: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
-    let mut peer_idx: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
-    let mut local_rows: Vec<(usize, usize)> = Vec::new();
-    for l in 0..src_map.my_count() {
-        let g = src_map.local_to_global(l);
-        let owner = out_map.owner_of(g).expect("structured map");
-        let base = l * slab;
-        if owner == rank {
-            local_rows.push((out_map.global_to_local(g).unwrap(), base));
-            continue;
-        }
-        peer_rows[owner].push(g);
-        peer_idx[owner].extend(base..base + slab);
-    }
-    let outgoing: Vec<Vec<(Vec<usize>, Buffer)>> = peer_rows
-        .into_iter()
-        .zip(peer_idx)
+    let plan = cached_route(
+        comm,
+        RouteKey::Redistribute {
+            shape: meta.shape.clone(),
+            dist: meta.dist,
+            new_dist,
+        },
+        || {
+            let mut peer_rows: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+            let mut peer_idx: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+            let mut local_rows: Vec<(usize, usize)> = Vec::new();
+            for l in 0..src_map.my_count() {
+                let g = src_map.local_to_global(l);
+                let owner = out_map.owner_of(g).expect("structured map");
+                let base = l * slab;
+                if owner == rank {
+                    local_rows.push((out_map.global_to_local(g).unwrap(), base));
+                    continue;
+                }
+                peer_rows[owner].push(g);
+                peer_idx[owner].extend(base..base + slab);
+            }
+            RoutePlan {
+                peer_rows,
+                peer_idx,
+                local_rows,
+            }
+        },
+    );
+    let outgoing: Vec<Vec<(Vec<usize>, Buffer)>> = plan
+        .peer_rows
+        .iter()
+        .zip(&plan.peer_idx)
         .map(|(rows, idx)| {
             if rows.is_empty() {
                 Vec::new()
             } else {
-                vec![(rows, data.gather_indices(idx.into_iter()))]
+                vec![(rows.clone(), data.gather_indices(idx.iter().copied()))]
             }
         })
         .collect();
     let incoming = exchange_overlapped(comm, outgoing, || {
-        for &(lo, base) in &local_rows {
+        for &(lo, base) in &plan.local_rows {
             copy_rows(&mut out, lo * slab, data, base, slab);
         }
     });

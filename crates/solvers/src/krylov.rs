@@ -102,11 +102,16 @@ pub fn cg_checkpointed<S: Scalar>(
                 history,
             };
         }
-        let z = m.apply(comm, &r);
-        p = z.clone();
-        rz = r.dot(&z, comm);
+        let z0 = m.apply(comm, &r);
+        rz = r.dot(&z0, comm);
+        p = z0;
         start = 1;
     }
+    // Workspaces reused across iterations: the inner loop below performs
+    // no heap allocation besides the (pre-reserved) history push.
+    history.reserve((cfg.max_iter + 1).saturating_sub(start));
+    let mut ap = DistVector::zeros(b.map().clone());
+    let mut z = DistVector::zeros(b.map().clone());
     for it in start..=cfg.max_iter {
         if ck.every > 0 && (it - 1) % ck.every == 0 {
             if let Some(sink) = ck.sink {
@@ -122,7 +127,7 @@ pub fn cg_checkpointed<S: Scalar>(
             }
         }
         let timer = instrument::iter_start(comm);
-        let ap = a.matvec(comm, &p);
+        a.matvec_into(comm, &p, &mut ap);
         let pap = p.dot(&ap, comm);
         let alpha = rz / pap;
         x.axpy(alpha, &p);
@@ -140,7 +145,7 @@ pub fn cg_checkpointed<S: Scalar>(
                 history,
             };
         }
-        let z = m.apply(comm, &r);
+        m.apply_into(comm, &r, &mut z);
         let rz_new = r.dot(&z, comm);
         let beta = rz_new / rz;
         rz = rz_new;
@@ -184,6 +189,12 @@ pub fn bicgstab<S: Scalar>(
     let mut omega = S::one();
     let mut v = DistVector::zeros(b.map().clone());
     let mut p = DistVector::zeros(b.map().clone());
+    // Workspaces reused across iterations (no per-iteration allocation).
+    let mut p_hat = DistVector::zeros(b.map().clone());
+    let mut s = DistVector::zeros(b.map().clone());
+    let mut s_hat = DistVector::zeros(b.map().clone());
+    let mut t = DistVector::zeros(b.map().clone());
+    history.reserve(cfg.max_iter);
     for it in 1..=cfg.max_iter {
         let timer = instrument::iter_start(comm);
         let rho_new = r_hat.dot(&r, comm);
@@ -196,11 +207,11 @@ pub fn bicgstab<S: Scalar>(
         p.axpy(-omega, &v);
         p.scale(beta);
         p.axpy(S::one(), &r);
-        let p_hat = m.apply(comm, &p);
-        v = a.matvec(comm, &p_hat);
+        m.apply_into(comm, &p, &mut p_hat);
+        a.matvec_into(comm, &p_hat, &mut v);
         alpha = rho / r_hat.dot(&v, comm);
         // s = r − α v
-        let mut s = r.clone();
+        s.local_mut().copy_from_slice(r.local());
         s.axpy(-alpha, &v);
         let snorm = s.norm2(comm).to_f64();
         if cfg.done(snorm, r0_norm) {
@@ -216,8 +227,8 @@ pub fn bicgstab<S: Scalar>(
                 history,
             };
         }
-        let s_hat = m.apply(comm, &s);
-        let t = a.matvec(comm, &s_hat);
+        m.apply_into(comm, &s, &mut s_hat);
+        a.matvec_into(comm, &s_hat, &mut t);
         let tt = t.dot(&t, comm);
         if tt.abs().to_f64() == 0.0 {
             break;
@@ -226,8 +237,8 @@ pub fn bicgstab<S: Scalar>(
         // x ← x + α p_hat + ω s_hat
         x.axpy(alpha, &p_hat);
         x.axpy(omega, &s_hat);
-        // r = s − ω t
-        r = s;
+        // r = s − ω t (swap keeps both buffers alive for reuse)
+        std::mem::swap(&mut r, &mut s);
         r.axpy(-omega, &t);
         let rnorm = r.norm2(comm).to_f64();
         history.push(rnorm);
@@ -270,9 +281,11 @@ pub fn gmres(
     cfg: &KrylovConfig,
 ) -> SolveStatus {
     let restart = cfg.restart.max(1);
-    let mut history = Vec::new();
+    let mut history = Vec::with_capacity(cfg.max_iter + 1);
     let mut total_iters = 0usize;
     let mut r0_norm = f64::NAN;
+    // Preconditioned-vector workspace reused across all inner iterations.
+    let mut zj = DistVector::zeros(b.map().clone());
     loop {
         // residual of the current iterate
         let ax = a.matvec(comm, x);
@@ -317,7 +330,7 @@ pub fn gmres(
             }
             total_iters += 1;
             let timer = instrument::iter_start(comm);
-            let zj = m.apply(comm, &basis[j]);
+            m.apply_into(comm, &basis[j], &mut zj);
             let mut w = a.matvec(comm, &zj);
             let mut hj = vec![0.0f64; j + 2];
             for (i, vi) in basis.iter().enumerate() {
@@ -369,8 +382,8 @@ pub fn gmres(
         for (j, &yj) in y.iter().enumerate() {
             update.axpy(yj, &basis[j]);
         }
-        let z = m.apply(comm, &update);
-        x.axpy(1.0, &z);
+        m.apply_into(comm, &update, &mut zj);
+        x.axpy(1.0, &zj);
         // loop continues: recompute residual, restart or exit
     }
 }

@@ -13,6 +13,14 @@ use dlinalg::{CsrMatrix, DistVector, RealScalar, Scalar};
 pub trait Preconditioner<S: Scalar> {
     /// Apply the preconditioner.
     fn apply(&self, comm: &Comm, r: &DistVector<S>) -> DistVector<S>;
+    /// Apply into an existing vector distributed like `r`, overwriting
+    /// it. The default delegates to [`Self::apply`]; cheap pointwise
+    /// preconditioners override it to keep solver inner loops
+    /// allocation-free. Must produce bitwise the same values as
+    /// [`Self::apply`].
+    fn apply_into(&self, comm: &Comm, r: &DistVector<S>, z: &mut DistVector<S>) {
+        *z = self.apply(comm, r);
+    }
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 }
@@ -23,6 +31,9 @@ pub struct IdentityPrecond;
 impl<S: Scalar> Preconditioner<S> for IdentityPrecond {
     fn apply(&self, _comm: &Comm, r: &DistVector<S>) -> DistVector<S> {
         r.clone()
+    }
+    fn apply_into(&self, _comm: &Comm, r: &DistVector<S>, z: &mut DistVector<S>) {
+        z.local_mut().copy_from_slice(r.local());
     }
     fn name(&self) -> &'static str {
         "none"
@@ -51,6 +62,10 @@ impl<S: Scalar> Preconditioner<S> for JacobiPrecond<S> {
         let mut z = r.clone();
         z.pointwise_mul(&self.inv_diag);
         z
+    }
+    fn apply_into(&self, _comm: &Comm, r: &DistVector<S>, z: &mut DistVector<S>) {
+        z.local_mut().copy_from_slice(r.local());
+        z.pointwise_mul(&self.inv_diag);
     }
     fn name(&self) -> &'static str {
         "jacobi"

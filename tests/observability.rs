@@ -227,6 +227,63 @@ fn fault_counters_reconcile_exactly_with_comm_stats() {
 }
 
 #[test]
+fn cache_and_pool_counters_reconcile_exactly_with_comm_stats() {
+    use hpc_framework::dlinalg::{CsrMatrix, DistVector};
+    use hpc_framework::dmap::{clear_plan_cache, DistMap};
+
+    let _g = obs_lock();
+    obs::reset();
+    obs::set_enabled(true);
+    let p = 4;
+    let n = 32;
+    let report = Universe::run_report(UniverseConfig::default(), p, move |comm| {
+        clear_plan_cache();
+        let row = move |g: usize| {
+            let mut row = vec![(g, 4.0)];
+            if g > 0 {
+                row.push((g - 1, -1.0));
+            }
+            if g + 1 < n {
+                row.push((g + 1, -1.0));
+            }
+            row.sort_unstable_by_key(|e| e.0);
+            row
+        };
+        let map = DistMap::block(n, comm.size(), comm.rank());
+        // first build misses the plan cache, second hits it; the matvecs
+        // drive the wire-buffer pool through its reuse path
+        let a = CsrMatrix::from_row_fn(comm, map.clone(), map.clone(), row);
+        let b = CsrMatrix::from_row_fn(comm, map.clone(), map.clone(), row);
+        let x = DistVector::from_fn(map, |g| g as f64 + 1.0);
+        let ya = a.matvec(comm, &x);
+        let yb = b.matvec(comm, &x);
+        ya.local()[0] + yb.local()[0]
+    });
+    obs::set_enabled(false);
+
+    // The cache/pool counters increment CommStats and the registry at
+    // the same site (like the fault counters), so the two views must
+    // agree exactly, per rank.
+    let g = obs::global();
+    let (mut hits, mut reuse) = (0, 0);
+    for (rank, s) in report.stats.iter().enumerate() {
+        let r = rank.to_string();
+        let val = |name: &str| {
+            g.counter_value(&obs::registry::key(name, &[("rank", &r)]))
+                .unwrap_or(0)
+        };
+        assert_eq!(val("cache.plan_hits"), s.plan_hits, "rank {rank}");
+        assert_eq!(val("cache.plan_misses"), s.plan_misses, "rank {rank}");
+        assert_eq!(val("pool.buffer_reuse"), s.buffer_reuse, "rank {rank}");
+        assert!(s.plan_misses > 0, "rank {rank} never built a plan");
+        hits += s.plan_hits;
+        reuse += s.buffer_reuse;
+    }
+    assert!(hits > 0, "the repeated build produced no plan-cache hits");
+    assert!(reuse > 0, "the matvecs never recycled a wire buffer");
+}
+
+#[test]
 fn odin_control_messages_stay_small_paper_claim() {
     let _g = obs_lock();
     obs::reset();

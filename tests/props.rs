@@ -579,6 +579,186 @@ fn collectives_survive_seeded_faults_on_reliable_delivery() {
     }
 }
 
+// ---- autotuned collectives: bitwise-identical to every fixed algorithm -------
+
+use hpc_framework::comm::CollectiveAlgo;
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn auto_collectives_bitwise_match_every_fixed_algorithm() {
+    const ALGOS: [CollectiveAlgo; 4] = [
+        CollectiveAlgo::Auto,
+        CollectiveAlgo::Linear,
+        CollectiveAlgo::Tree,
+        CollectiveAlgo::RecursiveDoubling,
+    ];
+    for p in 2..=8 {
+        // payload sizes chosen to land in different autotuner regimes:
+        // latency-bound, crossover, and bandwidth-bound
+        for len in [1usize, 64, 2048] {
+            let runs: Vec<_> = ALGOS
+                .iter()
+                .map(|&algo| {
+                    let cfg = UniverseConfig {
+                        algo,
+                        ..Default::default()
+                    };
+                    let report = Universe::run_report(cfg, p, move |comm| {
+                        // integer-valued payloads: every reduction order
+                        // sums them exactly, so any cross-algorithm
+                        // difference is a routing bug, not FP reassociation
+                        let mut r =
+                            SplitMix64::new(0xb17 ^ ((comm.rank() as u64) << 8) ^ len as u64);
+                        let v: Vec<f64> = (0..len)
+                            .map(|_| r.gen_index(2001) as f64 - 1000.0)
+                            .collect();
+                        let elem_sum = |a: &Vec<f64>, b: &Vec<f64>| -> Vec<f64> {
+                            a.iter().zip(b).map(|(x, y)| x + y).collect()
+                        };
+                        let vsum = comm.allreduce(&v, elem_sum);
+                        let reduced = comm.reduce(0, &v, elem_sum);
+                        let from_root = comm.bcast(0, (comm.rank() == 0).then(|| v.clone()));
+                        let everyone = comm.allgather(&v);
+                        (
+                            bits(&vsum),
+                            reduced.as_deref().map(bits),
+                            bits(&from_root),
+                            everyone.iter().map(|w| bits(w)).collect::<Vec<_>>(),
+                        )
+                    });
+                    report.results
+                })
+                .collect();
+            for (i, fixed) in runs.iter().enumerate().skip(1) {
+                assert_eq!(
+                    &runs[0], fixed,
+                    "p={p} len={len}: Auto diverged from {:?}",
+                    ALGOS[i]
+                );
+            }
+        }
+    }
+}
+
+// ---- plan cache: warmed plans are bitwise-identical to cold ones -------------
+
+use hpc_framework::dlinalg::CsrMatrix as Csr;
+use hpc_framework::dmap::{clear_plan_cache, plan_cache_len};
+
+/// Build the same matrix twice on every rank — the second build takes
+/// its gather plan from the warm cache — run SpMV and CG with both, and
+/// demand bit-for-bit agreement. Returns the cold per-rank
+/// `(x local segment, residual history)` plus comm stats.
+#[allow(clippy::type_complexity)]
+fn cached_cg_case(
+    cfg: UniverseConfig,
+    p: usize,
+    n: usize,
+) -> (
+    Vec<(Vec<f64>, Vec<f64>)>,
+    Vec<hpc_framework::comm::CommStats>,
+) {
+    let report = Universe::run_report(cfg, p, move |comm| {
+        clear_plan_cache();
+        let row = move |g: usize| {
+            let mut row = Vec::new();
+            if g > 0 {
+                row.push((g - 1, -1.0));
+            }
+            row.push((g, 3.0 + (g % 7) as f64));
+            if g + 1 < n {
+                row.push((g + 1, -1.0));
+            }
+            row
+        };
+        let map = DistMap::block(n, comm.size(), comm.rank());
+        let a_cold = Csr::from_row_fn(comm, map.clone(), map.clone(), row);
+        let cached = plan_cache_len();
+        let a_warm = Csr::from_row_fn(comm, map.clone(), map.clone(), row);
+        assert_eq!(
+            plan_cache_len(),
+            cached,
+            "warm build must not grow the cache"
+        );
+
+        let xs = DistVector::from_fn(map.clone(), |g| ((g as f64) * 1.3).cos());
+        let y_cold = a_cold.matvec(comm, &xs);
+        let y_warm = a_warm.matvec(comm, &xs);
+        assert_eq!(
+            bits(y_cold.local()),
+            bits(y_warm.local()),
+            "warm SpMV diverged from cold"
+        );
+
+        let b = DistVector::from_fn(map.clone(), |g| ((g as f64) * 0.7).sin());
+        let solve = |a: &Csr<f64>| {
+            let mut x = DistVector::zeros(map.clone());
+            let st = cg(
+                comm,
+                a,
+                &b,
+                &mut x,
+                &IdentityPrecond,
+                &KrylovConfig::default(),
+            );
+            assert!(st.converged, "cached-plan CG must converge");
+            (x.local().to_vec(), st.history)
+        };
+        let cold = solve(&a_cold);
+        let warm = solve(&a_warm);
+        assert_eq!(bits(&cold.0), bits(&warm.0), "warm CG iterate diverged");
+        assert_eq!(bits(&cold.1), bits(&warm.1), "warm CG history diverged");
+        cold
+    });
+    (report.results, report.stats)
+}
+
+#[test]
+fn cached_plan_cg_is_bitwise_identical_cold_vs_warm_and_under_faults() {
+    // Honors the ci.sh chaos sweep: a nonzero HPC_FAULT_SEED replays a
+    // distinct drop/dup/delay/corrupt schedule under the cached plans.
+    let seed = std::env::var("HPC_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xcac4e_u64);
+    let mut rng = SplitMix64::new(seed);
+    for case in 0..3 {
+        let p = 2 + rng.gen_index(3); // 2..=4 ranks
+        let n = 24 + rng.gen_index(25);
+        let (clean, clean_stats) = cached_cg_case(UniverseConfig::default(), p, n);
+        let plan = FaultPlan::messages(
+            rng.next_u64(),
+            0.02 + rng.gen_range_f64(0.0, 0.06),
+            rng.gen_range_f64(0.0, 0.04),
+            rng.gen_range_f64(0.0, 0.04),
+            rng.gen_range_f64(0.0, 0.03),
+        );
+        let (chaos, chaos_stats) = cached_cg_case(reliable_chaos(plan), p, n);
+        for (rank, (c, f)) in clean.iter().zip(&chaos).enumerate() {
+            assert_eq!(
+                bits(&c.0),
+                bits(&f.0),
+                "case {case} rank {rank}: x diverged"
+            );
+            assert_eq!(
+                bits(&c.1),
+                bits(&f.1),
+                "case {case} rank {rank}: history diverged"
+            );
+        }
+        // the plan cache must actually have been exercised in both runs
+        for stats in [&clean_stats, &chaos_stats] {
+            let hits: u64 = stats.iter().map(|s| s.plan_hits).sum();
+            let misses: u64 = stats.iter().map(|s| s.plan_misses).sum();
+            assert!(misses > 0, "case {case}: no plan-cache misses recorded");
+            assert!(hits > 0, "case {case}: no plan-cache hits recorded");
+        }
+    }
+}
+
 // ---- seamless: VM must agree with the interpreter -----------------------------
 
 /// Random arithmetic source over one float parameter, depth-bounded.

@@ -25,6 +25,7 @@ echo "== chaos pass: seeded fault sweep"
 for seed in 42 1009 777216; do
   echo "-- HPC_FAULT_SEED=$seed"
   HPC_FAULT_SEED=$seed cargo test -q --offline --test failure_modes
+  HPC_FAULT_SEED=$seed cargo test -q --offline --test kernel_plane
 done
 
 echo "== E19 autotune gate (Auto vs fixed collectives, alloc counting)"
@@ -34,6 +35,17 @@ echo "== E19 autotune gate (Auto vs fixed collectives, alloc counting)"
 cargo run --release --offline -p bench --bin e19_autotune -- --metrics-json \
   | tail -n 1 > BENCH_e19.json
 test -s BENCH_e19.json
+
+echo "== E20 kernel-plane gate (jit identity, >=2x vs unfused, wire contract)"
+# Asserts the jitted Expr path is bitwise-equal to the interpreter on 1e6
+# lanes, >= 2x faster than unfused evaluation, and that warm invokes are
+# one sub-100-byte control message per worker.
+cargo run --release --offline -p bench --bin e20_jit_kernels -- --metrics-json \
+  | tail -n 1 > BENCH_e20.json
+test -s BENCH_e20.json
+
+echo "== public API listing is current"
+cargo run --release --offline -p bench --bin api_listing -- --check
 
 echo "== cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline

@@ -50,7 +50,7 @@ fn main() {
     // stage 3: the kernel runs as an ODIN node-level function
     let noise = ctx.random(&[n], 11);
     let ((), t_kernel) = timed(|| {
-        apply_kernel(ctx, &noise, &prep);
+        apply_kernel(ctx, &noise, &prep).expect("prep kernel applies");
     });
 
     // stage 4: Newton–Krylov with the pyish callbacks, on the same pool

@@ -33,6 +33,43 @@ pub struct UniverseConfig {
     pub delivery: Delivery,
 }
 
+impl UniverseConfig {
+    /// Set the LogGP network cost model.
+    #[must_use]
+    pub fn with_model(mut self, model: NetworkModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Set the collective algorithm family.
+    #[must_use]
+    pub fn with_algo(mut self, algo: CollectiveAlgo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Set the blocking-receive deadline.
+    #[must_use]
+    pub fn with_stall_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.stall_timeout = Some(timeout);
+        self
+    }
+
+    /// Set the injected fault schedule.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Set the delivery mode.
+    #[must_use]
+    pub fn with_delivery(mut self, delivery: Delivery) -> Self {
+        self.delivery = delivery;
+        self
+    }
+}
+
 /// Everything measured about one run.
 #[derive(Debug)]
 pub struct RunReport<R> {

@@ -18,12 +18,21 @@ use solvers::{newton_krylov, NewtonConfig, NonlinearProblem, SolveStatus};
 /// Apply a compiled pyish kernel (signature `def f(a): …`, mutating its
 /// array argument) to every worker's segment of a distributed array — the
 /// `@odin.local`-plus-`@jit` composition. Collective.
-pub fn apply_kernel(ctx: &OdinContext, arr: &DistArray<'_>, kernel: &CompiledKernel) {
-    assert_eq!(
-        kernel.arg_types(),
-        &[Type::ArrF],
-        "kernel must take one float array"
-    );
+///
+/// Fails with [`crate::Error::Seamless`] when the kernel does not take a
+/// single float array.
+pub fn apply_kernel(
+    ctx: &OdinContext,
+    arr: &DistArray<'_>,
+    kernel: &CompiledKernel,
+) -> crate::Result<()> {
+    if kernel.arg_types() != [Type::ArrF] {
+        return Err(seamless::SeamlessError::Type(format!(
+            "apply_kernel needs `def f(a)` over one float array, got {:?}",
+            kernel.arg_types()
+        ))
+        .into());
+    }
     let kernel = Arc::new(kernel.clone());
     ctx.run_spmd(&[arr], move |scope, args| {
         let mut data = match scope.local_mut(args[0]) {
@@ -35,6 +44,7 @@ pub fn apply_kernel(ctx: &OdinContext, arr: &DistArray<'_>, kernel: &CompiledKer
             .expect("kernel failed on a worker segment");
         *scope.local_mut(args[0]) = odin::Buffer::F64(data);
     });
+    Ok(())
 }
 
 /// A 1-D reaction–diffusion problem `−u'' − λ·g(u) = 0` (Dirichlet, unit
@@ -60,7 +70,7 @@ impl PyishReaction {
         g_name: &str,
         dg_src: &str,
         dg_name: &str,
-    ) -> Result<Self, seamless::SeamlessError> {
+    ) -> crate::Result<Self> {
         Ok(PyishReaction {
             n,
             lambda,
@@ -167,7 +177,7 @@ def clamp01(a):
 ";
         let kernel = seamless::compile_kernel(src, "clamp01", &[Type::ArrF]).unwrap();
         let x = ctx.arange_f64(-2.0, 0.5, 10, odin::Dist::Block);
-        apply_kernel(&ctx, &x, &kernel);
+        apply_kernel(&ctx, &x, &kernel).unwrap();
         let got = x.to_vec();
         let expect: Vec<f64> = (0..10)
             .map(|g| (-2.0 + 0.5 * g as f64).clamp(0.0, 1.0))

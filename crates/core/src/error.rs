@@ -1,0 +1,94 @@
+//! One error type for the whole stack, so cross-layer code (and user
+//! programs built on `hpc_framework::prelude`-style imports) can `?` any
+//! subsystem failure without hand-written conversions.
+
+use comm::CommError;
+use odin::OdinError;
+use seamless::SeamlessError;
+use solvers::SolverError;
+
+/// Any failure the framework can surface: communication, distributed
+/// arrays, solvers, or kernel compilation/execution.
+#[derive(Debug)]
+pub enum Error {
+    /// Communication-substrate failure (decode, disconnect, stall, …).
+    Comm(CommError),
+    /// ODIN pool failure (dead worker, lost segments, …).
+    Odin(OdinError),
+    /// Solver failure (non-convergence, breakdown).
+    Solver(SolverError),
+    /// Seamless kernel failure (lex/parse/type/runtime/ffi).
+    Seamless(SeamlessError),
+}
+
+/// Workspace-wide result alias over [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Comm(e) => write!(f, "comm: {e}"),
+            Error::Odin(e) => write!(f, "odin: {e}"),
+            Error::Solver(e) => write!(f, "solver: {e}"),
+            Error::Seamless(e) => write!(f, "seamless: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Comm(e) => Some(e),
+            Error::Odin(e) => Some(e),
+            Error::Solver(e) => Some(e),
+            Error::Seamless(e) => Some(e),
+        }
+    }
+}
+
+impl From<CommError> for Error {
+    fn from(e: CommError) -> Self {
+        Error::Comm(e)
+    }
+}
+
+impl From<OdinError> for Error {
+    fn from(e: OdinError) -> Self {
+        Error::Odin(e)
+    }
+}
+
+impl From<SolverError> for Error {
+    fn from(e: SolverError) -> Self {
+        Error::Solver(e)
+    }
+}
+
+impl From<SeamlessError> for Error {
+    fn from(e: SeamlessError) -> Self {
+        Error::Seamless(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn as_unified(e: SeamlessError) -> Error {
+        e.into()
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let e = as_unified(SeamlessError::Type("bad kernel".into()));
+        assert!(matches!(e, Error::Seamless(_)));
+        assert!(e.to_string().contains("bad kernel"));
+        let e: Error = SolverError::NotConverged {
+            iterations: 5,
+            residual: 0.1,
+        }
+        .into();
+        assert!(e.to_string().starts_with("solver:"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -17,8 +17,10 @@
 
 pub mod bridge;
 pub mod callbacks;
+pub mod error;
 pub mod session;
 
 pub use bridge::{solve_with_odin_rhs, BridgeReport, SolveMethod};
 pub use callbacks::{apply_kernel, newton_with_pyish_reaction, PyishReaction};
+pub use error::{Error, Result};
 pub use session::Session;

@@ -58,7 +58,7 @@ mod tests {
             &[seamless::Type::ArrF],
         )
         .unwrap();
-        crate::apply_kernel(ctx, &x, &kernel);
+        crate::apply_kernel(ctx, &x, &kernel).unwrap();
         // solver through the bridge
         let n = 9;
         let (sol, rep) = crate::solve_with_odin_rhs(

@@ -78,6 +78,57 @@ impl Default for OdinConfig {
     }
 }
 
+impl OdinConfig {
+    /// Set the worker count.
+    #[must_use]
+    pub fn with_n_workers(mut self, n: usize) -> Self {
+        self.n_workers = n;
+        self
+    }
+
+    /// Set the network cost model.
+    #[must_use]
+    pub fn with_model(mut self, model: comm::NetworkModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Set the collective algorithm family.
+    #[must_use]
+    pub fn with_algo(mut self, algo: comm::CollectiveAlgo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Set the injected fault schedule.
+    #[must_use]
+    pub fn with_fault(mut self, fault: comm::FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Set the delivery mode of worker↔worker messages.
+    #[must_use]
+    pub fn with_delivery(mut self, delivery: comm::Delivery) -> Self {
+        self.delivery = delivery;
+        self
+    }
+
+    /// Set the worker-side blocking-communication deadline.
+    #[must_use]
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = Some(timeout);
+        self
+    }
+
+    /// Set how long the master waits on a silent worker's reply.
+    #[must_use]
+    pub fn with_reply_timeout(mut self, timeout: Duration) -> Self {
+        self.reply_timeout = Some(timeout);
+        self
+    }
+}
+
 /// Master-side instrumentation (the paper's §III-J bottleneck
 /// instrumentation goal): control vs data traffic, separately.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -224,8 +275,15 @@ pub struct OdinContext {
     /// Registered local functions, kept so a respawned pool can be
     /// re-seeded with them.
     local_fns: RefCell<Vec<(u64, LocalFn)>>,
+    /// Registered kernel bytecode, kept so a respawned pool can be
+    /// re-registered with it (same ids, same programs).
+    kernels: RefCell<Vec<(u64, seamless::bytecode::Program)>>,
+    /// Structural kernel cache: encoded program bytes → registered id, so
+    /// re-evaluating the same expression registers nothing twice.
+    kernel_cache: RefCell<HashMap<Vec<u8>, u64>>,
     next_id: Cell<u64>,
     next_fn: Cell<u64>,
+    next_kernel: Cell<u64>,
     pub(crate) metas: RefCell<HashMap<u64, ArrayMeta>>,
     stats: RefCell<ContextStats>,
     batch: RefCell<Option<Vec<Vec<u8>>>>,
@@ -289,8 +347,11 @@ impl OdinContext {
             dead: RefCell::new(vec![false; config.n_workers]),
             lost: RefCell::new(HashSet::new()),
             local_fns: RefCell::new(Vec::new()),
+            kernels: RefCell::new(Vec::new()),
+            kernel_cache: RefCell::new(HashMap::new()),
             next_id: Cell::new(1),
             next_fn: Cell::new(1),
+            next_kernel: Cell::new(1),
             metas: RefCell::new(HashMap::new()),
             stats: RefCell::new(ContextStats::default()),
             batch: RefCell::new(None),
@@ -520,7 +581,22 @@ impl OdinContext {
                     touch(id);
                 }
             }
-            Cmd::Ping | Cmd::Shutdown => {}
+            Cmd::EvalKernel {
+                out,
+                template,
+                inputs,
+                reduce,
+                ..
+            } => {
+                if reduce.is_none() {
+                    touch(*out);
+                }
+                touch(*template);
+                for &id in inputs {
+                    touch(id);
+                }
+            }
+            Cmd::Ping | Cmd::Shutdown | Cmd::RegisterKernel { .. } => {}
         }
     }
 
@@ -610,6 +686,41 @@ impl OdinContext {
             arrays: arrays.to_vec(),
             scalars: scalars.to_vec(),
         });
+    }
+
+    /// Ship compiled Seamless bytecode to every worker and return the
+    /// kernel id [`Cmd::EvalKernel`] invokes reference. Bitwise-identical
+    /// programs are deduplicated through a structural cache, so each
+    /// distinct kernel's code crosses the channel exactly once per pool;
+    /// the program is also remembered for re-registration after
+    /// [`Self::recover`] respawns the pool.
+    pub(crate) fn register_kernel_program(&self, program: seamless::bytecode::Program) -> u64 {
+        assert!(
+            program.externs.is_empty(),
+            "kernels with foreign functions cannot ship to workers \
+             (native fn pointers have no wire encoding)"
+        );
+        let key = comm::encode_to_vec(&program);
+        if let Some(&id) = self.kernel_cache.borrow().get(&key) {
+            if obs::enabled() {
+                obs::global().counter("odin.kernel.cache_hit").add(1);
+            }
+            return id;
+        }
+        let id = self.next_kernel.get();
+        self.next_kernel.set(id + 1);
+        self.send_cmd(&Cmd::RegisterKernel {
+            id,
+            program: program.clone(),
+        });
+        if obs::enabled() {
+            let g = obs::global();
+            g.counter("odin.kernel.cache_miss").add(1);
+            g.counter("odin.kernel.registered").add(1);
+        }
+        self.kernels.borrow_mut().push((id, program));
+        self.kernel_cache.borrow_mut().insert(key, id);
+        id
     }
 
     // ---- pipelined reply engine -------------------------------------------
@@ -1002,7 +1113,8 @@ impl OdinContext {
             eng.abandoned.clear();
         }
         self.worker_done_seq.borrow_mut().fill(self.cmd_seq.get());
-        // Re-seed the pool: local functions, then checkpointed segments.
+        // Re-seed the pool: local functions and kernel bytecode first,
+        // then checkpointed segments.
         for (id, f) in self.local_fns.borrow().iter() {
             for w in 0..self.n_workers {
                 self.worker_send(
@@ -1013,6 +1125,12 @@ impl OdinContext {
                     },
                 );
             }
+        }
+        for (id, program) in self.kernels.borrow().iter() {
+            self.send_cmd(&Cmd::RegisterKernel {
+                id: *id,
+                program: program.clone(),
+            });
         }
         let mut restored = Vec::with_capacity(ck.arrays.len());
         for (id, meta, data) in &ck.arrays {
@@ -1384,6 +1502,7 @@ fn worker_main(comm: &mut Comm, rx: Receiver<ToWorker>, reply: Sender<(usize, Ve
     let mut arrays: HashMap<u64, (ArrayMeta, Buffer)> = HashMap::new();
     let mut tables: HashMap<u64, crate::table::TableSeg> = HashMap::new();
     let mut fns: HashMap<u64, LocalFn> = HashMap::new();
+    let mut kernels: HashMap<u64, seamless::bytecode::Program> = HashMap::new();
     let mut scratch = WorkerScratch::default();
     'outer: loop {
         match rx.recv() {
@@ -1407,6 +1526,7 @@ fn worker_main(comm: &mut Comm, rx: Receiver<ToWorker>, reply: Sender<(usize, Ve
                         &mut arrays,
                         &mut tables,
                         &fns,
+                        &mut kernels,
                         &mut scratch,
                         cmd,
                     ) {
@@ -1419,12 +1539,14 @@ fn worker_main(comm: &mut Comm, rx: Receiver<ToWorker>, reply: Sender<(usize, Ve
 }
 
 /// Execute one command; returns false on shutdown.
+#[allow(clippy::too_many_arguments)]
 fn exec_cmd(
     comm: &Comm,
     reply: &Sender<(usize, Vec<u8>)>,
     arrays: &mut HashMap<u64, (ArrayMeta, Buffer)>,
     tables: &mut HashMap<u64, crate::table::TableSeg>,
     fns: &HashMap<u64, LocalFn>,
+    kernels: &mut HashMap<u64, seamless::bytecode::Program>,
     scratch: &mut WorkerScratch,
     cmd: Cmd,
 ) -> bool {
@@ -1813,8 +1935,137 @@ fn exec_cmd(
             );
             arrays.insert(out, (out_meta, Buffer::F64(c)));
         }
+        Cmd::RegisterKernel { id, program } => {
+            kernels.insert(id, program);
+        }
+        Cmd::EvalKernel {
+            out,
+            kernel,
+            template,
+            inputs,
+            out_dtype,
+            reduce,
+        } => {
+            exec_kernel(
+                comm, reply, arrays, kernels, scratch, out, kernel, template, &inputs, out_dtype,
+                reduce,
+            );
+        }
     }
     true
+}
+
+/// Run a registered Seamless kernel element-wise over this worker's
+/// segment, optionally folding the results straight into a scalar
+/// reduction (one fused map+reduce pass, no materialized output array).
+///
+/// The map path mirrors `Cmd::EvalFused` (CHUNK-sized staging through the
+/// recycled scratch pool, compute in f64, final `astype`); the reduce tail
+/// mirrors `exec_reduce` with `axis: None` exactly — sequential
+/// element-order local fold, then one `allreduce`, then a rank-0 reply —
+/// so fused reductions are bitwise-identical to `map(...)` + `Reduce`.
+#[allow(clippy::too_many_arguments)]
+fn exec_kernel(
+    comm: &Comm,
+    reply: &Sender<(usize, Vec<u8>)>,
+    arrays: &mut HashMap<u64, (ArrayMeta, Buffer)>,
+    kernels: &HashMap<u64, seamless::bytecode::Program>,
+    scratch: &mut WorkerScratch,
+    out: u64,
+    kernel: u64,
+    template: u64,
+    inputs: &[u64],
+    out_dtype: DType,
+    reduce: Option<ReduceKind>,
+) {
+    let program = kernels.get(&kernel).expect("unknown kernel");
+    let n_instrs = program.funcs.first().map_or(0, |f| f.instrs.len());
+    let vm = seamless::vm::Vm::new(program);
+    let t_meta = arrays[&template].0.clone();
+    let n = arrays[&template].1.len();
+    const CHUNK: usize = 4096;
+    let mut values = if reduce.is_none() {
+        Vec::with_capacity(n)
+    } else {
+        Vec::new()
+    };
+    let mut acc = reduce.map(reduce_identity);
+    let mut out_chunk = scratch.fused_pool.pop().unwrap_or_default();
+    out_chunk.clear();
+    out_chunk.resize(CHUNK.min(n.max(1)), 0.0);
+    // Non-F64 inputs are staged into recycled chunk buffers; F64 inputs
+    // are borrowed directly from the segment, no copy.
+    let mut staged: Vec<Option<Vec<f64>>> = Vec::with_capacity(inputs.len());
+    for &id in inputs {
+        let (m, b) = &arrays[&id];
+        debug_assert!(m.conformable(&t_meta), "kernel input not conformable");
+        staged.push(match b {
+            Buffer::F64(_) => None,
+            _ => {
+                let mut buf = scratch.fused_pool.pop().unwrap_or_default();
+                buf.clear();
+                Some(buf)
+            }
+        });
+    }
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + CHUNK).min(n);
+        let len = end - start;
+        for (k, &id) in inputs.iter().enumerate() {
+            if let Some(buf) = &mut staged[k] {
+                let b = &arrays[&id].1;
+                buf.clear();
+                buf.extend((start..end).map(|i| b.get_f64(i)));
+            }
+        }
+        let refs: Vec<&[f64]> = inputs
+            .iter()
+            .zip(&staged)
+            .map(|(&id, s)| match s {
+                Some(buf) => &buf[..],
+                None => match &arrays[&id].1 {
+                    Buffer::F64(v) => &v[start..end],
+                    _ => unreachable!("non-F64 inputs are staged"),
+                },
+            })
+            .collect();
+        vm.run_f64_chunk(0, &refs, &mut out_chunk[..len])
+            .expect("kernel failed on a worker segment");
+        match acc {
+            None => values.extend_from_slice(&out_chunk[..len]),
+            Some(ref mut a) => {
+                let kind = reduce.expect("acc implies reduce");
+                for &v in &out_chunk[..len] {
+                    *a = reduce_combine(kind, *a, reduce_element(kind, v));
+                }
+            }
+        }
+        start = end;
+    }
+    comm.advance_compute((n * n_instrs.max(1)) as f64);
+    for s in staged.into_iter().flatten() {
+        scratch.fused_pool.push(s);
+    }
+    scratch.fused_pool.push(out_chunk);
+    match acc {
+        None => {
+            let result = Buffer::F64(values).astype(out_dtype);
+            let out_meta = ArrayMeta {
+                dtype: out_dtype,
+                ..t_meta
+            };
+            arrays.insert(out, (out_meta, result));
+        }
+        Some(local) => {
+            // Collective: must run on every rank even with an empty segment.
+            let kind = reduce.expect("acc implies reduce");
+            let total = comm.allreduce(&local, |x: &f64, y: &f64| reduce_combine(kind, *x, *y));
+            if comm.rank() == 0 {
+                let _ = reply.send((comm.rank(), comm::encode_to_vec(&total)));
+            }
+        }
+    }
 }
 
 fn reduce_identity(kind: ReduceKind) -> f64 {

@@ -1,0 +1,306 @@
+//! User-facing JIT kernel plane: compile a Seamless (pyish) scalar
+//! function once, ship its bytecode to every worker once, and map it
+//! over distributed arrays with tens-of-bytes control messages per
+//! invoke.
+//!
+//! This is the paper's Seamless↔ODIN integration (§IV/§V): the kernel
+//! author writes element-wise code in the Python-like source language,
+//! ODIN compiles it on the master and registers it with the pool
+//! ([`Cmd::RegisterKernel`]); every [`Kernel::map`] /
+//! [`Kernel::map_reduce`] afterwards sends only array ids
+//! ([`Cmd::EvalKernel`]) and runs the unboxed VM fast path
+//! (`Vm::run_f64_chunk`) over each worker's segment.
+//!
+//! ```
+//! use odin::context::OdinContext;
+//!
+//! let ctx = OdinContext::with_workers(3);
+//! let k = ctx
+//!     .compile_kernel("def wave(x, t):\n    return sin(x) * exp(-t)\n", "wave")
+//!     .unwrap();
+//! let x = ctx.linspace(0.0, 1.0, 16);
+//! let t = ctx.full(&[16], 0.5, odin::protocol::Dist::Block);
+//! let y = k.map(&[&x, &t]);
+//! assert_eq!(y.len(), 16);
+//! ```
+
+use crate::array::DistArray;
+use crate::buffer::DType;
+use crate::context::OdinContext;
+use crate::protocol::{ArrayMeta, Cmd, ReduceKind};
+use seamless::bytecode::RegFile;
+use seamless::{SeamlessError, Type};
+
+/// A Seamless function compiled to bytecode and registered on every
+/// worker of an [`OdinContext`] pool.
+///
+/// Obtained from [`OdinContext::compile_kernel`] (pyish source) or
+/// implicitly by [`crate::lazy::Expr::eval`] (lowered expressions —
+/// both share the registration cache). The kernel's code shipped to the
+/// workers exactly once; each `map`/`map_reduce` invoke is a small
+/// fixed-size control message.
+pub struct Kernel<'c> {
+    ctx: &'c OdinContext,
+    id: u64,
+    name: String,
+    arity: usize,
+    ret: DType,
+}
+
+impl OdinContext {
+    /// Compile a Seamless (pyish) function to bytecode and register it
+    /// with every worker. `fname` names the entry function inside `src`;
+    /// all of its parameters are compiled as scalar floats (the kernel
+    /// runs element-wise over array segments).
+    ///
+    /// Fails with a typed [`SeamlessError`] when the source does not
+    /// parse or type-check, when the entry function is missing, or when
+    /// it is not a scalar→scalar function (array parameters or an array
+    /// return cannot run element-wise).
+    pub fn compile_kernel(&self, src: &str, fname: &str) -> Result<Kernel<'_>, SeamlessError> {
+        let timer = if obs::enabled() {
+            Some(obs::span::span_start(obs::span::wall_now_s()))
+        } else {
+            None
+        };
+        let module = seamless::parser::parse_module(src)?;
+        let def = module.function(fname).ok_or_else(|| {
+            SeamlessError::Type(format!("no function named `{fname}` in kernel source"))
+        })?;
+        let arity = def.params.len();
+        let program =
+            seamless::compile::compile_program(&module, fname, &vec![Type::Float; arity])?;
+        let entry = &program.funcs[0];
+        if entry.params.iter().any(|(file, _)| *file != RegFile::F) {
+            return Err(SeamlessError::Type(format!(
+                "kernel `{fname}` must take scalar parameters only"
+            )));
+        }
+        let ret = match entry.ret {
+            Type::Float => DType::F64,
+            Type::Int => DType::I64,
+            Type::Bool => DType::Bool,
+            ref t => {
+                return Err(SeamlessError::Type(format!(
+                    "kernel `{fname}` must return a scalar, not {t:?}"
+                )))
+            }
+        };
+        let n_instrs: usize = program.funcs.iter().map(|f| f.instrs.len()).sum();
+        let id = self.register_kernel_program(program);
+        if let Some(timer) = timer {
+            timer.finish(
+                "odin",
+                "compile_kernel",
+                obs::span::wall_now_s(),
+                &[("arity", arity as f64), ("instrs", n_instrs as f64)],
+            );
+        }
+        Ok(Kernel {
+            ctx: self,
+            id,
+            name: fname.to_string(),
+            arity,
+            ret,
+        })
+    }
+}
+
+impl<'c> Kernel<'c> {
+    /// The pool-wide kernel id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The entry function's source name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of array arguments `map` expects.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Align `args` to the first argument's distribution (redistributing
+    /// non-conformable ones) and return the bound input ids plus the
+    /// temporaries that must outlive the dispatch.
+    fn bind(&self, args: &[&DistArray<'c>]) -> (ArrayMeta, Vec<u64>, Vec<DistArray<'c>>) {
+        assert_eq!(
+            args.len(),
+            self.arity,
+            "kernel `{}` takes {} arrays, got {}",
+            self.name,
+            self.arity,
+            args.len()
+        );
+        let t_meta = args[0].meta();
+        let mut inputs = Vec::with_capacity(args.len());
+        let mut temps = Vec::new();
+        for a in args {
+            let m = a.meta();
+            assert_eq!(m.shape, t_meta.shape, "kernel arguments must share a shape");
+            if m.conformable(&t_meta) {
+                inputs.push(a.id());
+            } else {
+                let moved = a.redistribute(t_meta.dist);
+                inputs.push(moved.id());
+                temps.push(moved);
+            }
+        }
+        (t_meta, inputs, temps)
+    }
+
+    /// Apply the kernel element-wise: `out[i] = f(args[0][i], …)` over
+    /// every worker's segment, one small control message total.
+    pub fn map(&self, args: &[&DistArray<'c>]) -> DistArray<'c> {
+        let (t_meta, inputs, temps) = self.bind(args);
+        let ctx = self.ctx;
+        let out = ctx.alloc_id();
+        ctx.send_cmd(&Cmd::EvalKernel {
+            out,
+            kernel: self.id,
+            template: inputs[0],
+            inputs,
+            out_dtype: self.ret,
+            reduce: None,
+        });
+        let out_meta = ArrayMeta {
+            dtype: self.ret,
+            ..t_meta
+        };
+        ctx.record_meta(out, out_meta);
+        drop(temps);
+        DistArray::from_id(ctx, out)
+    }
+
+    /// Apply the kernel and fold the results to a scalar in the same
+    /// pass — the mapped array is never materialized. Bitwise-identical
+    /// to `map(args)` followed by the matching whole-array reduction.
+    pub fn map_reduce(&self, args: &[&DistArray<'c>], kind: ReduceKind) -> f64 {
+        let (_t_meta, inputs, temps) = self.bind(args);
+        let pending = self.ctx.dispatch_single::<f64>(&Cmd::EvalKernel {
+            out: 0,
+            kernel: self.id,
+            template: inputs[0],
+            inputs,
+            out_dtype: DType::F64,
+            reduce: Some(kind),
+        });
+        let v = pending.wait();
+        drop(temps);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::OdinContext;
+    use crate::protocol::{Dist, ReduceKind};
+
+    #[test]
+    fn kernel_maps_over_segments() {
+        let ctx = OdinContext::with_workers(3);
+        let k = ctx
+            .compile_kernel("def f(x, y):\n    return hypot(x, y)\n", "f")
+            .unwrap();
+        assert_eq!(k.arity(), 2);
+        let x = ctx.linspace(0.0, 2.0, 21);
+        let y = ctx.linspace(1.0, 3.0, 21);
+        let r = k.map(&[&x, &y]);
+        let xs = x.to_vec();
+        let ys = y.to_vec();
+        let rs = r.to_vec();
+        for i in 0..xs.len() {
+            assert_eq!(rs[i].to_bits(), xs[i].hypot(ys[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn kernel_with_branches_and_locals() {
+        let ctx = OdinContext::with_workers(2);
+        let src = "def clip(x, lo, hi):\n    if x < lo:\n        return lo\n    if x > hi:\n        return hi\n    return x\n";
+        let k = ctx.compile_kernel(src, "clip").unwrap();
+        let x = ctx.linspace(-2.0, 2.0, 17);
+        let lo = ctx.full(&[17], -1.0, Dist::Block);
+        let hi = ctx.full(&[17], 1.0, Dist::Block);
+        let r = k.map(&[&x, &lo, &hi]).to_vec();
+        for (i, v) in x.to_vec().into_iter().enumerate() {
+            assert_eq!(r[i], v.clamp(-1.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn kernel_registers_once_and_invokes_are_small() {
+        let ctx = OdinContext::with_workers(2);
+        let k = ctx
+            .compile_kernel("def sq(x):\n    return x * x\n", "sq")
+            .unwrap();
+        let x = ctx.linspace(0.0, 1.0, 32);
+        let _warm = k.map(&[&x]);
+        ctx.reset_stats();
+        let per_worker = 10;
+        // hold results so Free commands don't pollute the stats window
+        let results: Vec<_> = (0..per_worker).map(|_| k.map(&[&x])).collect();
+        let s = ctx.stats();
+        drop(results);
+        // registration happened before reset: each invoke is one
+        // broadcast control message, well under 100 bytes
+        assert_eq!(s.ctrl_msgs, per_worker * 2);
+        assert!(
+            s.ctrl_bytes < s.ctrl_msgs * 100,
+            "mean invoke size {} B",
+            s.ctrl_bytes / s.ctrl_msgs.max(1)
+        );
+    }
+
+    #[test]
+    fn map_reduce_matches_map_then_reduce_bitwise() {
+        let ctx = OdinContext::with_workers(3);
+        let k = ctx
+            .compile_kernel("def g(x):\n    return exp(-x) * sin(x)\n", "g")
+            .unwrap();
+        let x = ctx.linspace(0.0, 3.0, 101);
+        let fused = k.map_reduce(&[&x], ReduceKind::Sum);
+        let two_pass = k.map(&[&x]).sum();
+        assert_eq!(fused.to_bits(), two_pass.to_bits());
+    }
+
+    #[test]
+    fn kernel_aligns_non_conformable_arguments() {
+        let ctx = OdinContext::with_workers(3);
+        let k = ctx
+            .compile_kernel("def add(x, y):\n    return x + y\n", "add")
+            .unwrap();
+        let x = ctx.arange_f64(0.0, 1.0, 12, Dist::Block);
+        let y = ctx.arange_f64(0.0, 1.0, 12, Dist::Cyclic);
+        let r = k.map(&[&x, &y]);
+        let expect: Vec<f64> = (0..12).map(|g| 2.0 * g as f64).collect();
+        assert_eq!(r.to_vec(), expect);
+    }
+
+    #[test]
+    fn bad_kernels_fail_with_typed_errors() {
+        let ctx = OdinContext::with_workers(1);
+        assert!(ctx
+            .compile_kernel("def f(x):\n    return x\n", "g")
+            .is_err());
+        assert!(ctx.compile_kernel("def f(x:\n", "f").is_err());
+        // array return is rejected
+        assert!(ctx
+            .compile_kernel("def f(n):\n    return zeros(int(n))\n", "f")
+            .is_err());
+    }
+
+    #[test]
+    fn integer_kernels_produce_integer_arrays() {
+        let ctx = OdinContext::with_workers(2);
+        let k = ctx
+            .compile_kernel("def f(x):\n    return int(x) * 2 + 1\n", "f")
+            .unwrap();
+        let x = ctx.arange(6);
+        let r = k.map(&[&x]);
+        assert_eq!(r.dtype(), crate::buffer::DType::I64);
+        assert_eq!(r.to_vec_i64(), vec![1, 3, 5, 7, 9, 11]);
+    }
+}

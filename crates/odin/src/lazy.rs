@@ -2,14 +2,24 @@
 //! array expressions. These optimizations include: loop fusion, …").
 //!
 //! An [`Expr`] is built without touching the workers; [`Expr::eval`]
-//! compiles it to a single fused RPN program executed in one pass over
-//! each worker's segment — no intermediate arrays, one control message.
-//! [`Expr::eval_unfused`] materializes every node instead (what eager
-//! evaluation does); experiment E6 measures the difference.
+//! lowers it to Seamless bytecode, registers the kernel once on every
+//! worker (structurally identical expressions reuse the registration),
+//! and executes it in one unboxed pass over each worker's segment — no
+//! intermediate arrays, and each invoke after the first is a
+//! tens-of-bytes control message. [`Expr::eval_rpn`] runs the older
+//! interpreted RPN plane instead (bitwise-identical results; the JIT
+//! parity baseline), and [`Expr::eval_unfused`] materializes every node
+//! (what eager evaluation does); experiments E6/E20 measure the
+//! differences. [`Expr::sum`] / [`Expr::max`] / [`Expr::min`] fuse the
+//! reduction into the same pass — map and fold without ever
+//! materializing the mapped array.
 
 use crate::array::DistArray;
 use crate::buffer::DType;
-use crate::protocol::{ArrayMeta, BinOp, Cmd, FusedOp, UnaryOp};
+use crate::protocol::{ArrayMeta, BinOp, Cmd, FusedOp, ReduceKind, UnaryOp};
+use seamless::bytecode::{Cmp, CompiledFunc, Instr, Math2Fn, MathFn, Program, Reg, RegFile};
+use seamless::Type;
+use std::collections::HashMap;
 
 /// A lazy elementwise expression over distributed arrays.
 pub enum Expr<'x, 'c> {
@@ -57,6 +67,22 @@ impl<'x, 'c> Expr<'x, 'c> {
     /// Absolute-value node.
     pub fn abs(self) -> Self {
         self.un(UnaryOp::Abs)
+    }
+    /// Tangent node.
+    pub fn tan(self) -> Self {
+        self.un(UnaryOp::Tan)
+    }
+    /// Natural-logarithm node.
+    pub fn ln(self) -> Self {
+        self.un(UnaryOp::Log)
+    }
+    /// Floor node.
+    pub fn floor(self) -> Self {
+        self.un(UnaryOp::Floor)
+    }
+    /// Ceiling node.
+    pub fn ceil(self) -> Self {
+        self.un(UnaryOp::Ceil)
     }
     /// Power with a scalar exponent.
     pub fn pow(self, e: f64) -> Self {
@@ -112,36 +138,123 @@ impl<'x, 'c> Expr<'x, 'c> {
         }
     }
 
-    /// Evaluate with loop fusion: one control message, one pass, no
-    /// temporaries.
+    /// Align non-conformable leaves against the template's distribution
+    /// (kept alive until the kernel command has been issued — commands
+    /// are processed in order, so issuing Free afterwards is safe).
+    fn align(&self, t_meta: &ArrayMeta) -> (HashMap<u64, u64>, Vec<DistArray<'c>>) {
+        let mut leaves = Vec::new();
+        self.collect_leaves(&mut leaves);
+        let mut aligned = HashMap::new();
+        let mut temps: Vec<DistArray<'c>> = Vec::new();
+        for leaf in &leaves {
+            let m = leaf.meta();
+            assert_eq!(m.shape, t_meta.shape, "fused operands must share a shape");
+            if !m.conformable(t_meta) && !aligned.contains_key(&leaf.id()) {
+                let moved = leaf.redistribute(t_meta.dist);
+                aligned.insert(leaf.id(), moved.id());
+                temps.push(moved);
+            }
+        }
+        (aligned, temps)
+    }
+
+    /// Lower to a single straight-line Seamless bytecode function over
+    /// f64 scalar parameters, one per distinct (aligned) leaf array.
+    /// Returns the program and the ordered input array ids that bind to
+    /// its parameters.
+    fn lower(&self, aligned: &HashMap<u64, u64>) -> (Program, Vec<u64>) {
+        let mut leaves = Vec::new();
+        self.collect_leaves(&mut leaves);
+        let mut inputs: Vec<u64> = Vec::new();
+        let mut params: HashMap<u64, Reg> = HashMap::new();
+        for leaf in &leaves {
+            let id = aligned
+                .get(&leaf.id())
+                .copied()
+                .unwrap_or_else(|| leaf.id());
+            if let std::collections::hash_map::Entry::Vacant(e) = params.entry(id) {
+                e.insert(inputs.len() as Reg);
+                inputs.push(id);
+            }
+        }
+        let n = inputs.len();
+        let mut lw = Lowerer {
+            params,
+            instrs: Vec::new(),
+            n_f: n as Reg,
+            n_i: 0,
+        };
+        let ret = lw.go(self, aligned);
+        lw.instrs.push(Instr::Ret(Some((RegFile::F, ret))));
+        let f = CompiledFunc {
+            name: "expr".into(),
+            params: (0..n).map(|k| (RegFile::F, k as Reg)).collect(),
+            param_types: vec![Type::Float; n],
+            ret: Type::Float,
+            reg_counts: [lw.n_f as usize, lw.n_i as usize, 0, 0],
+            instrs: lw.instrs,
+        };
+        (
+            Program {
+                funcs: vec![f],
+                externs: Vec::new(),
+            },
+            inputs,
+        )
+    }
+
+    /// Evaluate through the JIT kernel plane: lower once to Seamless
+    /// bytecode, register it on every worker (cached — a structurally
+    /// identical expression reuses the registration), then run one
+    /// unboxed fused pass per worker segment. One small control message
+    /// per invoke, no temporaries, bitwise-identical to
+    /// [`Expr::eval_rpn`].
     pub fn eval(&self) -> DistArray<'c> {
         let template = self
             .first_leaf()
             .expect("expression needs at least one array operand");
         let ctx = template.ctx();
         let t_meta = template.meta();
-        let mut leaves = Vec::new();
-        self.collect_leaves(&mut leaves);
-        // Align non-conformable leaves first (kept alive until the fused
-        // command has been issued — commands are processed in order, so
-        // issuing Free afterwards is safe).
-        let mut aligned = std::collections::HashMap::new();
-        let mut temps: Vec<DistArray<'c>> = Vec::new();
-        for leaf in &leaves {
-            let m = leaf.meta();
-            assert_eq!(m.shape, t_meta.shape, "fused operands must share a shape");
-            if !m.conformable(&t_meta) && !aligned.contains_key(&leaf.id()) {
-                let moved = leaf.redistribute(t_meta.dist);
-                aligned.insert(leaf.id(), moved.id());
-                temps.push(moved);
-            }
-        }
-        let mut program = Vec::new();
-        self.compile(&aligned, &mut program);
+        let (aligned, temps) = self.align(&t_meta);
+        let (program, inputs) = self.lower(&aligned);
+        let kernel = ctx.register_kernel_program(program);
         let out = ctx.alloc_id();
         // dtype: mirror the worker-side inference conservatively as f64
         // unless the program is all-integer (master keeps it simple and
         // trusts the worker, recording f64 for mixed programs).
+        let out_dtype = self.infer_dtype();
+        ctx.send_cmd(&Cmd::EvalKernel {
+            out,
+            kernel,
+            template: template.id(),
+            inputs,
+            out_dtype,
+            reduce: None,
+        });
+        let out_meta = ArrayMeta {
+            dtype: out_dtype,
+            ..t_meta
+        };
+        ctx.record_meta(out, out_meta);
+        drop(temps);
+        DistArray::from_id(ctx, out)
+    }
+
+    /// Evaluate on the interpreted RPN plane (the pre-JIT fused path):
+    /// one control message carrying the whole program, one chunked
+    /// interpreted pass. Kept as the bitwise parity baseline for the
+    /// kernel plane (experiment E20) and for contexts that want to avoid
+    /// kernel registration entirely.
+    pub fn eval_rpn(&self) -> DistArray<'c> {
+        let template = self
+            .first_leaf()
+            .expect("expression needs at least one array operand");
+        let ctx = template.ctx();
+        let t_meta = template.meta();
+        let (aligned, temps) = self.align(&t_meta);
+        let mut program = Vec::new();
+        self.compile(&aligned, &mut program);
+        let out = ctx.alloc_id();
         let out_dtype = self.infer_dtype();
         ctx.send_cmd(&Cmd::EvalFused {
             out,
@@ -155,6 +268,47 @@ impl<'x, 'c> Expr<'x, 'c> {
         ctx.record_meta(out, out_meta);
         drop(temps);
         DistArray::from_id(ctx, out)
+    }
+
+    /// Fused map+reduce: evaluate the expression and fold it to a scalar
+    /// in the same pass over each segment — the mapped array is never
+    /// materialized. Bitwise-identical to `self.eval()` followed by the
+    /// matching array reduction.
+    pub fn reduce(&self, kind: ReduceKind) -> f64 {
+        let template = self
+            .first_leaf()
+            .expect("expression needs at least one array operand");
+        let ctx = template.ctx();
+        let t_meta = template.meta();
+        let (aligned, temps) = self.align(&t_meta);
+        let (program, inputs) = self.lower(&aligned);
+        let kernel = ctx.register_kernel_program(program);
+        let pending = ctx.dispatch_single::<f64>(&Cmd::EvalKernel {
+            out: 0,
+            kernel,
+            template: template.id(),
+            inputs,
+            out_dtype: DType::F64,
+            reduce: Some(kind),
+        });
+        let v = pending.wait();
+        drop(temps);
+        v
+    }
+
+    /// Sum of the evaluated expression, fused into the map pass.
+    pub fn sum(&self) -> f64 {
+        self.reduce(ReduceKind::Sum)
+    }
+
+    /// Maximum of the evaluated expression, fused into the map pass.
+    pub fn max(&self) -> f64 {
+        self.reduce(ReduceKind::Max)
+    }
+
+    /// Minimum of the evaluated expression, fused into the map pass.
+    pub fn min(&self) -> f64 {
+        self.reduce(ReduceKind::Min)
     }
 
     fn infer_dtype(&self) -> DType {
@@ -210,6 +364,159 @@ impl<'x, 'c> Expr<'x, 'c> {
                         NodeVal::Arr(lv.as_ref().binary_scalar(s, *op, false))
                     }
                     (lv, rv) => NodeVal::Arr(lv.as_ref().binary(rv.as_ref(), *op)),
+                }
+            }
+        }
+    }
+}
+
+/// Expression → Seamless bytecode lowering state.
+///
+/// Produces straight-line code over the F/I register files. Every opcode
+/// choice mirrors the interpreted RPN plane's arithmetic exactly
+/// (`fused_unary_chunk` / `fused_binary_chunk` in `context.rs`) so the
+/// two planes stay bitwise-identical: comparisons and logic ops produce
+/// 0.0/1.0 through integer compares, `Mod` uses Rust `%` ([`Instr::RemF`],
+/// not the VM's Python-modulo `ModF`), and `x ** c` for small integral
+/// constants strength-reduces to [`Instr::PowIC`] just like the RPN
+/// interpreter does at runtime.
+struct Lowerer {
+    /// Aligned leaf array id → F parameter register.
+    params: HashMap<u64, Reg>,
+    instrs: Vec<Instr>,
+    n_f: Reg,
+    n_i: Reg,
+}
+
+impl Lowerer {
+    fn fresh_f(&mut self) -> Reg {
+        let r = self.n_f;
+        self.n_f += 1;
+        r
+    }
+
+    fn fresh_i(&mut self) -> Reg {
+        let r = self.n_i;
+        self.n_i += 1;
+        r
+    }
+
+    /// Emit `dst = 0.0` and return the register (straight-line code, so a
+    /// fresh constant per use keeps the lowering simple).
+    fn zero_f(&mut self) -> Reg {
+        let z = self.fresh_f();
+        self.instrs.push(Instr::ConstF(z, 0.0));
+        z
+    }
+
+    /// Emit `dst = f64::from(i_src != 0 … as produced by a compare)`.
+    fn bool_to_f(&mut self, i_src: Reg) -> Reg {
+        let d = self.fresh_f();
+        self.instrs.push(Instr::IToF(d, i_src));
+        d
+    }
+
+    /// Lower one node; returns the F register holding its value.
+    fn go(&mut self, e: &Expr<'_, '_>, aligned: &HashMap<u64, u64>) -> Reg {
+        match e {
+            Expr::Leaf(a) => {
+                let id = aligned.get(&a.id()).copied().unwrap_or_else(|| a.id());
+                self.params[&id]
+            }
+            Expr::Scalar(v) => {
+                let d = self.fresh_f();
+                self.instrs.push(Instr::ConstF(d, *v));
+                d
+            }
+            Expr::Unary(op, e) => {
+                let s = self.go(e, aligned);
+                use UnaryOp::*;
+                let m1 = |f: MathFn, lw: &mut Self| {
+                    let d = lw.fresh_f();
+                    lw.instrs.push(Instr::Math1(f, d, s));
+                    d
+                };
+                match op {
+                    Neg => {
+                        let d = self.fresh_f();
+                        self.instrs.push(Instr::NegF(d, s));
+                        d
+                    }
+                    Abs => m1(MathFn::Abs, self),
+                    Sin => m1(MathFn::Sin, self),
+                    Cos => m1(MathFn::Cos, self),
+                    Tan => m1(MathFn::Tan, self),
+                    Exp => m1(MathFn::Exp, self),
+                    Log => m1(MathFn::Log, self),
+                    Sqrt => m1(MathFn::Sqrt, self),
+                    Floor => m1(MathFn::Floor, self),
+                    Ceil => m1(MathFn::Ceil, self),
+                    Not => {
+                        // f64::from(x == 0.0), like the RPN interpreter
+                        let z = self.zero_f();
+                        let i = self.fresh_i();
+                        self.instrs.push(Instr::CmpF(Cmp::Eq, i, s, z));
+                        self.bool_to_f(i)
+                    }
+                }
+            }
+            Expr::Binary(op, l, r) => {
+                // `x ** c` with a small integral constant exponent:
+                // strength-reduce to powi without materializing the rhs,
+                // exactly as the RPN plane does for uniform chunks.
+                if let (BinOp::Pow, Expr::Scalar(c)) = (op, r.as_ref()) {
+                    if c.fract() == 0.0 && c.abs() <= 8.0 {
+                        let a = self.go(l, aligned);
+                        let d = self.fresh_f();
+                        self.instrs.push(Instr::PowIC(d, a, *c as i32));
+                        return d;
+                    }
+                }
+                let a = self.go(l, aligned);
+                let b = self.go(r, aligned);
+                use BinOp::*;
+                let bin = |mk: fn(Reg, Reg, Reg) -> Instr, lw: &mut Self| {
+                    let d = lw.fresh_f();
+                    lw.instrs.push(mk(d, a, b));
+                    d
+                };
+                let cmp = |c: Cmp, lw: &mut Self| {
+                    let i = lw.fresh_i();
+                    lw.instrs.push(Instr::CmpF(c, i, a, b));
+                    lw.bool_to_f(i)
+                };
+                match op {
+                    Add => bin(Instr::AddF, self),
+                    Sub => bin(Instr::SubF, self),
+                    Mul => bin(Instr::MulF, self),
+                    Div => bin(Instr::DivF, self),
+                    Pow => bin(Instr::PowF, self),
+                    Mod => bin(Instr::RemF, self),
+                    Max => bin(Instr::MaxF, self),
+                    Min => bin(Instr::MinF, self),
+                    Hypot => bin(|d, a, b| Instr::Math2(Math2Fn::Hypot, d, a, b), self),
+                    Atan2 => bin(|d, a, b| Instr::Math2(Math2Fn::Atan2, d, a, b), self),
+                    Eq => cmp(Cmp::Eq, self),
+                    Ne => cmp(Cmp::Ne, self),
+                    Lt => cmp(Cmp::Lt, self),
+                    Le => cmp(Cmp::Le, self),
+                    Gt => cmp(Cmp::Gt, self),
+                    Ge => cmp(Cmp::Ge, self),
+                    And | Or => {
+                        // f64::from(x != 0.0 <op> y != 0.0)
+                        let z = self.zero_f();
+                        let ia = self.fresh_i();
+                        self.instrs.push(Instr::CmpF(Cmp::Ne, ia, a, z));
+                        let ib = self.fresh_i();
+                        self.instrs.push(Instr::CmpF(Cmp::Ne, ib, b, z));
+                        let id = self.fresh_i();
+                        self.instrs.push(if matches!(op, And) {
+                            Instr::AndI(id, ia, ib)
+                        } else {
+                            Instr::OrI(id, ia, ib)
+                        });
+                        self.bool_to_f(id)
+                    }
                 }
             }
         }
@@ -287,6 +594,7 @@ expr_binop!(Add, add, BinOp::Add);
 expr_binop!(Sub, sub, BinOp::Sub);
 expr_binop!(Mul, mul, BinOp::Mul);
 expr_binop!(Div, div, BinOp::Div);
+expr_binop!(Rem, rem, BinOp::Mod);
 
 #[cfg(test)]
 mod tests {
@@ -350,6 +658,59 @@ mod tests {
         let r = (Expr::leaf(&x) * 2.0 + 1.0).eval();
         assert_eq!(r.dtype(), crate::buffer::DType::I64);
         assert_eq!(r.to_vec_i64(), vec![1, 3, 5, 7, 9, 11]);
+    }
+
+    #[test]
+    fn jitted_matches_interpreted_rpn_bitwise() {
+        let ctx = OdinContext::with_workers(3);
+        let x = ctx.linspace(0.0, 2.0, 103);
+        let y = ctx.linspace(1.0, 3.0, 103);
+        let make = || {
+            (Expr::leaf(&x).pow(2.0) + Expr::leaf(&y).pow(2.0))
+                .sqrt()
+                .sin()
+                * (Expr::leaf(&x) * 0.5).exp()
+                + (Expr::leaf(&y) % 0.7)
+        };
+        let jit = make().eval().to_vec();
+        let rpn = make().eval_rpn().to_vec();
+        for i in 0..jit.len() {
+            assert_eq!(jit[i].to_bits(), rpn[i].to_bits(), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn structurally_identical_exprs_register_one_kernel() {
+        let ctx = OdinContext::with_workers(2);
+        let x = ctx.linspace(0.0, 1.0, 40);
+        let a = (Expr::leaf(&x) * 2.0 + 1.0).eval();
+        ctx.reset_stats();
+        let b = (Expr::leaf(&x) * 2.0 + 1.0).eval();
+        // second eval reuses the registered kernel: one EvalKernel
+        // broadcast only, well under 100 bytes
+        let s = ctx.stats();
+        assert_eq!(s.ctrl_msgs, 2);
+        assert!(s.ctrl_bytes / s.ctrl_msgs < 100);
+        drop(b);
+        assert_eq!(
+            a.to_vec(),
+            x.to_vec().iter().map(|v| v * 2.0 + 1.0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fused_reduction_matches_two_pass_bitwise() {
+        let ctx = OdinContext::with_workers(3);
+        let x = ctx.linspace(0.0, 3.0, 101);
+        let fused = (Expr::leaf(&x).sin() * Expr::leaf(&x)).sum();
+        let two_pass = (Expr::leaf(&x).sin() * Expr::leaf(&x)).eval().sum();
+        assert_eq!(fused.to_bits(), two_pass.to_bits());
+        let fmax = (Expr::leaf(&x).cos()).max();
+        let tmax = (Expr::leaf(&x).cos()).eval().max();
+        assert_eq!(fmax.to_bits(), tmax.to_bits());
+        let fmin = (Expr::leaf(&x).cos()).min();
+        let tmin = (Expr::leaf(&x).cos()).eval().min();
+        assert_eq!(fmin.to_bits(), tmin.to_bits());
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod buffer;
 pub mod context;
 pub mod error;
 pub mod io;
+pub mod kernel;
 pub mod lazy;
 pub mod local;
 pub mod mapreduce;
@@ -41,6 +42,7 @@ pub use context::{
 };
 pub use error::{OdinError, RecoveryReport};
 pub use io::remove_saved;
+pub use kernel::Kernel;
 pub use lazy::Expr;
 pub use protocol::{ArrayMeta, BinOp, Dist, ReduceKind, UnaryOp};
 pub use slicing::SliceSpec;

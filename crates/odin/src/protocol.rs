@@ -393,6 +393,35 @@ pub enum Cmd {
         /// Right operand `[k, n]`.
         b: u64,
     },
+    /// Ship compiled Seamless bytecode to every worker once; subsequent
+    /// [`Cmd::EvalKernel`] invokes reference it by id (the kernel plane,
+    /// DESIGN §10). This is the only command besides `SetData` whose size
+    /// scales with its payload — it is paid once per kernel per pool.
+    RegisterKernel {
+        /// Fresh kernel id.
+        id: u64,
+        /// Extern-free compiled program (entry function at index 0).
+        program: seamless::bytecode::Program,
+    },
+    /// Run a registered kernel elementwise over conformable inputs —
+    /// tens of bytes of control traffic per invoke, like every other
+    /// command. With `reduce` set, the map and the reduction run as one
+    /// pass with no materialized intermediate (`out` is then unused and
+    /// worker 0 replies with the scalar).
+    EvalKernel {
+        /// Output id (ignored when `reduce` is `Some`).
+        out: u64,
+        /// Registered kernel id.
+        kernel: u64,
+        /// Template array id (defines the output meta before dtype).
+        template: u64,
+        /// Input array ids, in kernel-parameter order.
+        inputs: Vec<u64>,
+        /// Output dtype (the master decides; workers astype).
+        out_dtype: DType,
+        /// Fused reduction tail, if any.
+        reduce: Option<ReduceKind>,
+    },
 }
 
 // ---- Wire impls -----------------------------------------------------------
@@ -700,6 +729,27 @@ impl Wire for Cmd {
                 a.encode(buf);
                 b.encode(buf);
             }
+            Cmd::RegisterKernel { id, program } => {
+                buf.push(20);
+                id.encode(buf);
+                program.encode(buf);
+            }
+            Cmd::EvalKernel {
+                out,
+                kernel,
+                template,
+                inputs,
+                out_dtype,
+                reduce,
+            } => {
+                buf.push(21);
+                out.encode(buf);
+                kernel.encode(buf);
+                template.encode(buf);
+                inputs.encode(buf);
+                out_dtype.encode(buf);
+                reduce.encode(buf);
+            }
         }
     }
 
@@ -797,6 +847,18 @@ impl Wire for Cmd {
                 a: u64::decode(cur)?,
                 b: u64::decode(cur)?,
             }),
+            20 => Ok(Cmd::RegisterKernel {
+                id: u64::decode(cur)?,
+                program: seamless::bytecode::Program::decode(cur)?,
+            }),
+            21 => Ok(Cmd::EvalKernel {
+                out: u64::decode(cur)?,
+                kernel: u64::decode(cur)?,
+                template: u64::decode(cur)?,
+                inputs: Vec::decode(cur)?,
+                out_dtype: DType::decode(cur)?,
+                reduce: Option::<ReduceKind>::decode(cur)?,
+            }),
             b => Err(CommError::Decode(format!("bad cmd byte {b}"))),
         }
     }
@@ -814,6 +876,12 @@ mod tests {
             dist: Dist::Block,
             dtype: DType::F64,
         }
+    }
+
+    fn tiny_program() -> seamless::bytecode::Program {
+        let m = seamless::parser::parse_module("def k(x, y):\n    return hypot(x, y)\n").unwrap();
+        seamless::compile::compile_program(&m, "k", &[seamless::Type::Float, seamless::Type::Float])
+            .unwrap()
     }
 
     #[test]
@@ -920,6 +988,18 @@ mod tests {
                 a: 20,
                 dtype: DType::I64,
             },
+            Cmd::RegisterKernel {
+                id: 1,
+                program: tiny_program(),
+            },
+            Cmd::EvalKernel {
+                out: 22,
+                kernel: 1,
+                template: 7,
+                inputs: vec![7, 8],
+                out_dtype: DType::F64,
+                reduce: Some(ReduceKind::Sum),
+            },
         ];
         for cmd in cmds {
             let bytes = encode_to_vec(&cmd);
@@ -967,5 +1047,25 @@ mod tests {
                 bytes.len()
             );
         }
+    }
+
+    #[test]
+    fn kernel_invokes_are_small() {
+        // The kernel plane's claim: bytecode ships once via RegisterKernel;
+        // every subsequent invoke is under 100 bytes of control traffic
+        // even with several inputs and a reduction tail.
+        let invoke = encode_to_vec(&Cmd::EvalKernel {
+            out: u64::MAX,
+            kernel: u64::MAX - 1,
+            template: u64::MAX - 2,
+            inputs: vec![1, 2, 3],
+            out_dtype: DType::F64,
+            reduce: Some(ReduceKind::Sum),
+        });
+        assert!(
+            invoke.len() < 100,
+            "kernel invoke too big: {} bytes",
+            invoke.len()
+        );
     }
 }

@@ -70,6 +70,8 @@ pub enum MathFn {
     Abs,
     /// Floor.
     Floor,
+    /// Ceiling.
+    Ceil,
 }
 
 impl MathFn {
@@ -84,6 +86,26 @@ impl MathFn {
             MathFn::Log => x.ln(),
             MathFn::Abs => x.abs(),
             MathFn::Floor => x.floor(),
+            MathFn::Ceil => x.ceil(),
+        }
+    }
+}
+
+/// Two-argument float math builtins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Math2Fn {
+    /// `hypot(x, y)` — sqrt(x² + y²) without intermediate overflow.
+    Hypot,
+    /// `atan2(y, x)` — four-quadrant arctangent.
+    Atan2,
+}
+
+impl Math2Fn {
+    /// Apply.
+    pub fn apply(self, x: f64, y: f64) -> f64 {
+        match self {
+            Math2Fn::Hypot => x.hypot(y),
+            Math2Fn::Atan2 => x.atan2(y),
         }
     }
 }
@@ -167,6 +189,15 @@ pub enum Instr {
     NewArrI(Reg, Reg),
     /// Float math builtin.
     Math1(MathFn, Reg, Reg),
+    /// Two-argument float math builtin (`dst = f(a, b)`).
+    Math2(Math2Fn, Reg, Reg, Reg),
+    /// Float power with a small constant integer exponent, computed via
+    /// `powi` — bitwise-matches the interpreted fused path's strength
+    /// reduction for uniform integral exponents.
+    PowIC(Reg, Reg, i32),
+    /// IEEE float remainder (`dst = a % b`, Rust semantics — sign of the
+    /// dividend), as opposed to [`Instr::ModF`]'s Python modulo.
+    RemF(Reg, Reg, Reg),
     /// `dst = |a|` for ints.
     AbsI(Reg, Reg),
     /// Float min.
@@ -216,8 +247,16 @@ pub struct ExternDecl {
     pub f: crate::cmodule::NativeFn,
 }
 
+// Function pointers have no meaningful equality; two extern decls are
+// "equal" when they bind the same symbol with the same signature.
+impl PartialEq for ExternDecl {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.params == other.params && self.ret_int == other.ret_int
+    }
+}
+
 /// One compiled function.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledFunc {
     /// Source name.
     pub name: String,
@@ -235,7 +274,7 @@ pub struct CompiledFunc {
 
 /// A compiled program: the entry function plus everything it calls,
 /// monomorphized per concrete argument signature.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// Function table (entry is index 0).
     pub funcs: Vec<CompiledFunc>,

@@ -8,7 +8,9 @@
 use std::collections::HashMap;
 
 use crate::ast::{BinOp, Expr, Module, Stmt, UnOp};
-use crate::bytecode::{Cmp, CompiledFunc, ExternDecl, Instr, MathFn, Program, Reg, RegFile};
+use crate::bytecode::{
+    Cmp, CompiledFunc, ExternDecl, Instr, Math2Fn, MathFn, Program, Reg, RegFile,
+};
 use crate::cmodule::CModule;
 use crate::types::{
     binop_type, builtin_type, extern_types, infer_function_with_externs, FuncTypes, Type,
@@ -740,18 +742,32 @@ impl<'a, 'm> FnCompiler<'a, 'm> {
                 }
                 Ok((Type::Int, RegFile::I, dst))
             }
-            "sqrt" | "sin" | "cos" | "tan" | "exp" | "log" => {
+            "sqrt" | "sin" | "cos" | "tan" | "exp" | "log" | "floor" | "ceil" => {
                 let f = match name {
                     "sqrt" => MathFn::Sqrt,
                     "sin" => MathFn::Sin,
                     "cos" => MathFn::Cos,
                     "tan" => MathFn::Tan,
                     "exp" => MathFn::Exp,
+                    "floor" => MathFn::Floor,
+                    "ceil" => MathFn::Ceil,
                     _ => MathFn::Log,
                 };
                 let (_, src) = self.coerce(vals[0], Type::Float)?;
                 let dst = self.alloc(RegFile::F);
                 self.emit(Instr::Math1(f, dst, src));
+                Ok((Type::Float, RegFile::F, dst))
+            }
+            "hypot" | "atan2" => {
+                let f = if name == "hypot" {
+                    Math2Fn::Hypot
+                } else {
+                    Math2Fn::Atan2
+                };
+                let (_, ra) = self.coerce(vals[0], Type::Float)?;
+                let (_, rb) = self.coerce(vals[1], Type::Float)?;
+                let dst = self.alloc(RegFile::F);
+                self.emit(Instr::Math2(f, dst, ra, rb));
                 Ok((Type::Float, RegFile::F, dst))
             }
             "abs" => match vals[0].0 {

@@ -418,6 +418,24 @@ pub(crate) fn call_builtin(name: &str, args: &[Value]) -> Result<Option<Value>, 
         "tan" => one_f(f64::tan),
         "exp" => one_f(f64::exp),
         "log" => one_f(f64::ln),
+        "floor" => one_f(f64::floor),
+        "ceil" => one_f(f64::ceil),
+        "hypot" | "atan2" => match args {
+            [a, b] => {
+                let (x, y) = (
+                    a.as_f64()
+                        .ok_or_else(|| SeamlessError::Runtime(format!("{name} needs numbers")))?,
+                    b.as_f64()
+                        .ok_or_else(|| SeamlessError::Runtime(format!("{name} needs numbers")))?,
+                );
+                Ok(Some(Value::Float(if name == "hypot" {
+                    x.hypot(y)
+                } else {
+                    x.atan2(y)
+                })))
+            }
+            _ => Err(SeamlessError::Runtime(format!("{name} needs two numbers"))),
+        },
         "abs" => match args {
             [Value::Float(x)] => Ok(Some(Value::Float(x.abs()))),
             [Value::Int(x)] => Ok(Some(Value::Int(x.abs()))),

@@ -46,6 +46,7 @@ pub mod parser;
 pub mod types;
 pub mod value;
 pub mod vm;
+pub mod wire;
 
 pub use cmodule::CModule;
 pub use export::{

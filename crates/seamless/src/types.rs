@@ -481,8 +481,16 @@ pub fn builtin_type(name: &str, args: &[Type]) -> Result<Option<Type>, SeamlessE
     let t = match (name, args) {
         ("len", [Type::ArrF | Type::ArrI]) => Type::Int,
         ("len", _) => return bad(name, args),
-        ("sqrt" | "sin" | "cos" | "tan" | "exp" | "log", [a]) if a.is_numeric() => Type::Float,
-        ("sqrt" | "sin" | "cos" | "tan" | "exp" | "log", _) => return bad(name, args),
+        ("sqrt" | "sin" | "cos" | "tan" | "exp" | "log" | "floor" | "ceil", [a])
+            if a.is_numeric() =>
+        {
+            Type::Float
+        }
+        ("sqrt" | "sin" | "cos" | "tan" | "exp" | "log" | "floor" | "ceil", _) => {
+            return bad(name, args)
+        }
+        ("hypot" | "atan2", [a, b]) if a.is_numeric() && b.is_numeric() => Type::Float,
+        ("hypot" | "atan2", _) => return bad(name, args),
         ("abs", [Type::Float]) => Type::Float,
         ("abs", [Type::Int | Type::Bool]) => Type::Int,
         ("abs", _) => return bad(name, args),

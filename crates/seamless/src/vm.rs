@@ -5,15 +5,26 @@
 //! which is where the order-of-magnitude win over the boxed interpreter
 //! comes from (experiment E7).
 
-use crate::bytecode::{Cmp, Instr, Program, RegFile};
+use crate::bytecode::{Cmp, CompiledFunc, Instr, Program, RegFile};
 use crate::export::CallOutput;
 use crate::types::Type;
 use crate::value::Value;
 use crate::SeamlessError;
+use std::cell::RefCell;
 
 /// Executes compiled programs.
 pub struct Vm<'p> {
     program: &'p Program,
+    /// Lane-major register scratch for the vectorized chunk path, reused
+    /// across [`Vm::run_f64_chunk`] calls so a long array pays the
+    /// allocation once.
+    lanes: RefCell<Lanes>,
+}
+
+#[derive(Default)]
+struct Lanes {
+    f: Vec<f64>,
+    i: Vec<i64>,
 }
 
 struct Frame {
@@ -34,7 +45,10 @@ enum RawRet {
 impl<'p> Vm<'p> {
     /// Wrap a program.
     pub fn new(program: &'p Program) -> Self {
-        Vm { program }
+        Vm {
+            program,
+            lanes: RefCell::new(Lanes::default()),
+        }
     }
 
     /// Call the entry function (index 0) with boxed arguments; arrays are
@@ -117,6 +131,256 @@ impl<'p> Vm<'p> {
             ret,
             args: out_args,
         })
+    }
+
+    /// Unboxed elementwise fast path: run function `func` once per lane,
+    /// feeding `inputs[k][lane]` into the k-th (float) parameter and
+    /// writing the float return into `out[lane]`. No `Value` is boxed
+    /// anywhere — one frame is reused across the whole chunk, so the
+    /// per-lane cost is register writes plus the dispatch loop.
+    ///
+    /// Every parameter must live in the `F` register file and every input
+    /// slice must be at least `out.len()` long; integer returns are
+    /// widened to `f64`, array/unit returns are errors.
+    pub fn run_f64_chunk(
+        &self,
+        func: usize,
+        inputs: &[&[f64]],
+        out: &mut [f64],
+    ) -> Result<(), SeamlessError> {
+        let f = &self.program.funcs[func];
+        if inputs.len() != f.params.len() {
+            return Err(SeamlessError::Runtime(format!(
+                "{} takes {} arguments, got {} input streams",
+                f.name,
+                f.params.len(),
+                inputs.len()
+            )));
+        }
+        for (k, &(file, _)) in f.params.iter().enumerate() {
+            if file != RegFile::F {
+                return Err(SeamlessError::Runtime(format!(
+                    "run_f64_chunk: parameter {k} of {} is not a float scalar",
+                    f.name
+                )));
+            }
+            if inputs[k].len() < out.len() {
+                return Err(SeamlessError::Runtime(format!(
+                    "run_f64_chunk: input {k} shorter than the output chunk"
+                )));
+            }
+        }
+        if chunk_vectorizable(f) {
+            self.run_chunk_vectorized(f, inputs, out);
+            return Ok(());
+        }
+        let mut frame = Frame {
+            f: vec![0.0; f.reg_counts[0]],
+            i: vec![0; f.reg_counts[1]],
+            af: vec![Vec::new(); f.reg_counts[2]],
+            ai: vec![Vec::new(); f.reg_counts[3]],
+        };
+        for lane in 0..out.len() {
+            for (k, &(_, reg)) in f.params.iter().enumerate() {
+                frame.f[reg as usize] = inputs[k][lane];
+            }
+            out[lane] = match self.exec(func, &mut frame)? {
+                RawRet::F(v) => v,
+                RawRet::I(v) => v as f64,
+                _ => {
+                    return Err(SeamlessError::Runtime(format!(
+                        "run_f64_chunk: {} must return a scalar",
+                        f.name
+                    )))
+                }
+            };
+        }
+        Ok(())
+    }
+
+    /// Register-vectorized execution of a straight-line scalar function:
+    /// each register becomes a lane-major row and every instruction is
+    /// one tight loop over the whole chunk — the same per-op shape as a
+    /// hand-fused interpreter, but driven by compiled bytecode. Only
+    /// reached when [`chunk_vectorizable`] accepted the function, which
+    /// guarantees straight-line infallible instructions and, per
+    /// instruction, a destination register strictly above its same-file
+    /// sources (so the row split below never aliases).
+    fn run_chunk_vectorized(&self, f: &CompiledFunc, inputs: &[&[f64]], out: &mut [f64]) {
+        let len = out.len();
+        if len == 0 {
+            return;
+        }
+        // Row stride = len rounded away from a multiple of the cache-line
+        // count: callers hand over power-of-two chunks (4096 lanes), and
+        // exactly power-of-two row spacing lands every register row on
+        // the same L1 sets, which thrashes once an expression holds a few
+        // live rows. One extra line of padding decorrelates them.
+        let stride = len + 8;
+        let mut lanes = self.lanes.borrow_mut();
+        let Lanes { f: fl, i: il } = &mut *lanes;
+        fl.resize(f.reg_counts[0] * stride, 0.0);
+        il.resize(f.reg_counts[1] * stride, 0);
+        for (k, &(_, reg)) in f.params.iter().enumerate() {
+            fl[reg as usize * stride..][..len].copy_from_slice(&inputs[k][..len]);
+        }
+        // d = op(a, b), all in the float file: d's row sits above both
+        // source rows, so splitting at d's offset borrows them disjointly.
+        macro_rules! ff2 {
+            ($d:expr, $a:expr, $b:expr, $op:expr) => {{
+                let (lo, hi) = fl.split_at_mut(*$d as usize * stride);
+                let a = &lo[*$a as usize * stride..][..len];
+                let b = &lo[*$b as usize * stride..][..len];
+                for ((o, &x), &y) in hi[..len].iter_mut().zip(a).zip(b) {
+                    *o = $op(x, y);
+                }
+            }};
+        }
+        macro_rules! ff1 {
+            ($d:expr, $s:expr, $op:expr) => {{
+                let (lo, hi) = fl.split_at_mut(*$d as usize * stride);
+                let s = &lo[*$s as usize * stride..][..len];
+                for (o, &x) in hi[..len].iter_mut().zip(s) {
+                    *o = $op(x);
+                }
+            }};
+        }
+        macro_rules! ii2 {
+            ($d:expr, $a:expr, $b:expr, $op:expr) => {{
+                let (lo, hi) = il.split_at_mut(*$d as usize * stride);
+                let a = &lo[*$a as usize * stride..][..len];
+                let b = &lo[*$b as usize * stride..][..len];
+                for ((o, &x), &y) in hi[..len].iter_mut().zip(a).zip(b) {
+                    *o = $op(x, y);
+                }
+            }};
+        }
+        macro_rules! ii1 {
+            ($d:expr, $s:expr, $op:expr) => {{
+                let (lo, hi) = il.split_at_mut(*$d as usize * stride);
+                let s = &lo[*$s as usize * stride..][..len];
+                for (o, &x) in hi[..len].iter_mut().zip(s) {
+                    *o = $op(x);
+                }
+            }};
+        }
+        for ins in &f.instrs[..f.instrs.len() - 1] {
+            match ins {
+                Instr::ConstF(d, v) => fl[*d as usize * stride..][..len].fill(*v),
+                Instr::ConstI(d, v) => il[*d as usize * stride..][..len].fill(*v),
+                Instr::MovF(d, s) => ff1!(d, s, |x| x),
+                Instr::MovI(d, s) => ii1!(d, s, |x| x),
+                Instr::IToF(d, s) => {
+                    let dst = &mut fl[*d as usize * stride..][..len];
+                    let src = &il[*s as usize * stride..][..len];
+                    for (o, &x) in dst.iter_mut().zip(src) {
+                        *o = x as f64;
+                    }
+                }
+                Instr::FToI(d, s) => {
+                    let dst = &mut il[*d as usize * stride..][..len];
+                    let src = &fl[*s as usize * stride..][..len];
+                    for (o, &x) in dst.iter_mut().zip(src) {
+                        *o = x as i64;
+                    }
+                }
+                Instr::AddF(d, a, b) => ff2!(d, a, b, |x: f64, y: f64| x + y),
+                Instr::SubF(d, a, b) => ff2!(d, a, b, |x: f64, y: f64| x - y),
+                Instr::MulF(d, a, b) => ff2!(d, a, b, |x: f64, y: f64| x * y),
+                Instr::DivF(d, a, b) => ff2!(d, a, b, |x: f64, y: f64| x / y),
+                Instr::ModF(d, a, b) => {
+                    ff2!(d, a, b, |x: f64, y: f64| x - y * (x / y).floor())
+                }
+                Instr::PowF(d, a, b) => ff2!(d, a, b, |x: f64, y: f64| x.powf(y)),
+                Instr::NegF(d, s) => ff1!(d, s, |x: f64| -x),
+                Instr::AddI(d, a, b) => ii2!(d, a, b, |x: i64, y: i64| x.wrapping_add(y)),
+                Instr::SubI(d, a, b) => ii2!(d, a, b, |x: i64, y: i64| x.wrapping_sub(y)),
+                Instr::MulI(d, a, b) => ii2!(d, a, b, |x: i64, y: i64| x.wrapping_mul(y)),
+                Instr::NegI(d, s) => ii1!(d, s, |x: i64| x.wrapping_neg()),
+                Instr::AbsI(d, s) => ii1!(d, s, |x: i64| x.abs()),
+                Instr::CmpF(c, d, a, b) => {
+                    let dst = &mut il[*d as usize * stride..][..len];
+                    let a = &fl[*a as usize * stride..][..len];
+                    let b = &fl[*b as usize * stride..][..len];
+                    let c = *c;
+                    for ((o, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                        *o = i64::from(cmp_f(c, x, y));
+                    }
+                }
+                Instr::CmpI(c, d, a, b) => {
+                    let c = *c;
+                    ii2!(d, a, b, |x: i64, y: i64| i64::from(cmp_i(c, x, y)))
+                }
+                Instr::AndI(d, a, b) => {
+                    ii2!(d, a, b, |x: i64, y: i64| i64::from(x != 0 && y != 0))
+                }
+                Instr::OrI(d, a, b) => {
+                    ii2!(d, a, b, |x: i64, y: i64| i64::from(x != 0 || y != 0))
+                }
+                Instr::NotI(d, s) => ii1!(d, s, |x: i64| i64::from(x == 0)),
+                // one monomorphic loop per builtin, so the vectorizable
+                // ones (sqrt, abs, floor, ceil) actually vectorize
+                Instr::Math1(mf, d, s) => {
+                    use crate::bytecode::MathFn::*;
+                    match mf {
+                        Sqrt => ff1!(d, s, |x: f64| x.sqrt()),
+                        Sin => ff1!(d, s, |x: f64| x.sin()),
+                        Cos => ff1!(d, s, |x: f64| x.cos()),
+                        Tan => ff1!(d, s, |x: f64| x.tan()),
+                        Exp => ff1!(d, s, |x: f64| x.exp()),
+                        Log => ff1!(d, s, |x: f64| x.ln()),
+                        Abs => ff1!(d, s, |x: f64| x.abs()),
+                        Floor => ff1!(d, s, |x: f64| x.floor()),
+                        Ceil => ff1!(d, s, |x: f64| x.ceil()),
+                    }
+                }
+                Instr::Math2(mf, d, a, b) => {
+                    use crate::bytecode::Math2Fn::*;
+                    match mf {
+                        Hypot => ff2!(d, a, b, |x: f64, y: f64| x.hypot(y)),
+                        Atan2 => ff2!(d, a, b, |x: f64, y: f64| x.atan2(y)),
+                    }
+                }
+                // `powi` with a runtime exponent is a per-lane libcall
+                // (`__powidf2`); inline its exact binary-exponentiation
+                // multiply order for small exponents so the loop stays
+                // vectorizable AND bit-identical to `x.powi(e)`.
+                Instr::PowIC(d, a, e) => match *e {
+                    0 => ff1!(d, a, |_x: f64| 1.0),
+                    1 => ff1!(d, a, |x: f64| x),
+                    2 => ff1!(d, a, |x: f64| x * x),
+                    3 => ff1!(d, a, |x: f64| x * (x * x)),
+                    4 => ff1!(d, a, |x: f64| {
+                        let t = x * x;
+                        t * t
+                    }),
+                    -1 => ff1!(d, a, |x: f64| 1.0 / x),
+                    -2 => ff1!(d, a, |x: f64| 1.0 / (x * x)),
+                    e => ff1!(d, a, |x: f64| x.powi(e)),
+                },
+                Instr::RemF(d, a, b) => ff2!(d, a, b, |x: f64, y: f64| x % y),
+                Instr::MinF(d, a, b) => ff2!(d, a, b, |x: f64, y: f64| x.min(y)),
+                Instr::MaxF(d, a, b) => ff2!(d, a, b, |x: f64, y: f64| x.max(y)),
+                Instr::MinI(d, a, b) => ii2!(d, a, b, |x: i64, y: i64| x.min(y)),
+                Instr::MaxI(d, a, b) => ii2!(d, a, b, |x: i64, y: i64| x.max(y)),
+                // chunk_vectorizable admits nothing else
+                other => unreachable!("non-vectorizable instruction {other:?}"),
+            }
+        }
+        match f.instrs[f.instrs.len() - 1] {
+            Instr::Ret(Some((RegFile::F, r))) => {
+                out.copy_from_slice(&fl[r as usize * stride..][..len])
+            }
+            Instr::Ret(Some((RegFile::I, r))) => {
+                let src = &il[r as usize * stride..][..len];
+                for (o, &x) in out.iter_mut().zip(src) {
+                    *o = x as f64;
+                }
+            }
+            ref other => {
+                unreachable!("vectorized function must end in a scalar Ret, got {other:?}")
+            }
+        }
     }
 
     fn exec(&self, func: usize, fr: &mut Frame) -> Result<RawRet, SeamlessError> {
@@ -261,6 +525,11 @@ impl<'p> Vm<'p> {
                     fr.ai[*d as usize] = vec![0; n as usize];
                 }
                 Instr::Math1(f, d, s) => fr.f[*d as usize] = f.apply(fr.f[*s as usize]),
+                Instr::Math2(f, d, a, b) => {
+                    fr.f[*d as usize] = f.apply(fr.f[*a as usize], fr.f[*b as usize])
+                }
+                Instr::PowIC(d, a, e) => fr.f[*d as usize] = fr.f[*a as usize].powi(*e),
+                Instr::RemF(d, a, b) => fr.f[*d as usize] = fr.f[*a as usize] % fr.f[*b as usize],
                 Instr::AbsI(d, s) => fr.i[*d as usize] = fr.i[*s as usize].abs(),
                 Instr::MinF(d, a, b) => {
                     fr.f[*d as usize] = fr.f[*a as usize].min(fr.f[*b as usize])
@@ -383,6 +652,58 @@ impl<'p> Vm<'p> {
             }
         }
     }
+}
+
+/// Accept a function for the register-vectorized chunk path: a single
+/// straight-line block of infallible scalar instructions ending in a
+/// scalar `Ret`, where every destination register is strictly above its
+/// same-file source registers (fresh-register codegen, which both the
+/// pyish compiler's expression bodies and `Expr::lower` produce). The
+/// ordering is what lets each instruction split the lane buffer at the
+/// destination row and borrow its sources from below without aliasing.
+fn chunk_vectorizable(f: &CompiledFunc) -> bool {
+    let n = f.instrs.len();
+    if n == 0
+        || !matches!(
+            f.instrs[n - 1],
+            Instr::Ret(Some((RegFile::F | RegFile::I, _)))
+        )
+    {
+        return false;
+    }
+    fn above(d: &crate::bytecode::Reg, srcs: &[&crate::bytecode::Reg]) -> bool {
+        srcs.iter().all(|s| *d > **s)
+    }
+    f.instrs[..n - 1].iter().all(|ins| match ins {
+        Instr::ConstF(..) | Instr::ConstI(..) => true,
+        // cross-file: the two register files never alias
+        Instr::IToF(..) | Instr::FToI(..) | Instr::CmpF(..) => true,
+        Instr::MovF(d, s) | Instr::NegF(d, s) | Instr::Math1(_, d, s) | Instr::PowIC(d, s, _) => {
+            above(d, &[s])
+        }
+        Instr::AddF(d, a, b)
+        | Instr::SubF(d, a, b)
+        | Instr::MulF(d, a, b)
+        | Instr::DivF(d, a, b)
+        | Instr::ModF(d, a, b)
+        | Instr::PowF(d, a, b)
+        | Instr::RemF(d, a, b)
+        | Instr::MinF(d, a, b)
+        | Instr::MaxF(d, a, b)
+        | Instr::Math2(_, d, a, b) => above(d, &[a, b]),
+        Instr::MovI(d, s) | Instr::NegI(d, s) | Instr::AbsI(d, s) | Instr::NotI(d, s) => {
+            above(d, &[s])
+        }
+        Instr::AddI(d, a, b)
+        | Instr::SubI(d, a, b)
+        | Instr::MulI(d, a, b)
+        | Instr::AndI(d, a, b)
+        | Instr::OrI(d, a, b)
+        | Instr::MinI(d, a, b)
+        | Instr::MaxI(d, a, b)
+        | Instr::CmpI(_, d, a, b) => above(d, &[a, b]),
+        _ => false,
+    })
 }
 
 fn cmp_f(c: Cmp, x: f64, y: f64) -> bool {
@@ -522,6 +843,40 @@ def make(n):
         let src = "def last(a):\n    return a[-1]\n";
         let out = run(src, "last", vec![Value::ArrF(vec![3.0, 7.0])]).unwrap();
         assert_eq!(out.ret, Value::Float(7.0));
+    }
+
+    #[test]
+    fn run_f64_chunk_matches_boxed_calls() {
+        let src = "
+def f(x, y):
+    if x > y:
+        return x * 2.0
+    return y - x
+";
+        let m = parse_module(src).unwrap();
+        let p = compile_program(&m, "f", &[Type::Float, Type::Float]).unwrap();
+        let vm = Vm::new(&p);
+        let xs = [1.0, 4.0, -2.5, 0.0];
+        let ys = [3.0, 1.0, -2.5, 7.25];
+        let mut out = [0.0; 4];
+        vm.run_f64_chunk(0, &[&xs, &ys], &mut out).unwrap();
+        for i in 0..4 {
+            let boxed = vm
+                .call(vec![Value::Float(xs[i]), Value::Float(ys[i])])
+                .unwrap();
+            assert_eq!(boxed.ret, Value::Float(out[i]));
+        }
+    }
+
+    #[test]
+    fn run_f64_chunk_rejects_array_params() {
+        let src = "def g(a):\n    return a[0]\n";
+        let m = parse_module(src).unwrap();
+        let p = compile_program(&m, "g", &[Type::ArrF]).unwrap();
+        let err = Vm::new(&p)
+            .run_f64_chunk(0, &[&[1.0]], &mut [0.0])
+            .unwrap_err();
+        assert!(matches!(err, SeamlessError::Runtime(_)));
     }
 
     #[test]

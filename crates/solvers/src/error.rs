@@ -1,0 +1,82 @@
+//! Typed solver failures, so callers can `?` a solve instead of
+//! inspecting [`SolveStatus::converged`](crate::SolveStatus) by hand.
+
+use crate::SolveStatus;
+
+/// Why a solve did not produce a usable answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// The iteration budget ran out before the convergence criterion was
+    /// met.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual norm when the solver gave up.
+        residual: f64,
+    },
+    /// The iteration broke down (division by a vanishing inner product,
+    /// loss of orthogonality, singular pivot, …).
+    Breakdown(String),
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            SolverError::Breakdown(what) => write!(f, "solver breakdown: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl SolveStatus {
+    /// Convert to a typed result: `Ok(self)` when converged, otherwise
+    /// [`SolverError::NotConverged`] carrying the final state.
+    pub fn into_result(self) -> Result<SolveStatus, SolverError> {
+        if self.converged {
+            Ok(self)
+        } else {
+            Err(SolverError::NotConverged {
+                iterations: self.iterations,
+                residual: self.final_residual(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_converts_to_result() {
+        let ok = SolveStatus {
+            converged: true,
+            iterations: 3,
+            history: vec![1.0, 0.1],
+        };
+        assert!(ok.into_result().is_ok());
+        let bad = SolveStatus {
+            converged: false,
+            iterations: 7,
+            history: vec![1.0, 0.5],
+        };
+        match bad.into_result() {
+            Err(SolverError::NotConverged {
+                iterations,
+                residual,
+            }) => {
+                assert_eq!(iterations, 7);
+                assert_eq!(residual, 0.5);
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+}

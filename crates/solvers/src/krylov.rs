@@ -38,6 +38,34 @@ impl Default for KrylovConfig {
 }
 
 impl KrylovConfig {
+    /// Set the iteration budget.
+    #[must_use]
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// Set the relative tolerance on ‖r‖/‖r₀‖.
+    #[must_use]
+    pub fn with_rtol(mut self, rtol: f64) -> Self {
+        self.rtol = rtol;
+        self
+    }
+
+    /// Set the absolute tolerance on ‖r‖.
+    #[must_use]
+    pub fn with_atol(mut self, atol: f64) -> Self {
+        self.atol = atol;
+        self
+    }
+
+    /// Set the GMRES restart length.
+    #[must_use]
+    pub fn with_restart(mut self, restart: usize) -> Self {
+        self.restart = restart;
+        self
+    }
+
     fn done(&self, r: f64, r0: f64) -> bool {
         r <= self.atol || (r0 > 0.0 && r / r0 <= self.rtol)
     }

@@ -20,6 +20,7 @@ pub mod amg;
 pub mod checkpoint;
 pub mod direct;
 pub mod eigen;
+pub mod error;
 mod instrument;
 pub mod krylov;
 pub mod nonlinear;
@@ -30,6 +31,7 @@ pub use amg::AmgPreconditioner;
 pub use checkpoint::{CgCheckpoint, CgCheckpointing, CheckpointStore};
 pub use direct::DirectSolver;
 pub use eigen::{lanczos_extreme_eigenvalues, power_method};
+pub use error::SolverError;
 pub use krylov::{bicgstab, cg, cg_checkpointed, gmres, KrylovConfig};
 pub use nonlinear::{newton_krylov, NewtonConfig, NonlinearProblem};
 pub use precond::{

@@ -3,6 +3,7 @@
 
 /// Outcome of an iterative solve.
 #[derive(Debug, Clone)]
+#[must_use = "check `converged` or call `into_result()`"]
 pub struct SolveStatus {
     /// Whether the convergence criterion was met within the budget.
     pub converged: bool,

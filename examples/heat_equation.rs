@@ -17,7 +17,7 @@
 
 use std::f64::consts::PI;
 
-use hpc_framework::odin::{DistArray, OdinContext};
+use hpc_framework::prelude::*;
 
 const N: usize = 512; // interior points
 const STEPS: usize = 200;

@@ -1,5 +1,6 @@
-//! Seamless tour (§IV): interpreter vs JIT, disassembly, FFI, and the
-//! reverse embedding.
+//! Seamless tour (§IV): interpreter vs JIT, disassembly, FFI, the
+//! reverse embedding, and the distributed kernel plane (kernels mapped
+//! over ODIN arrays).
 //!
 //! ```bash
 //! cargo run --release --example jit_kernels
@@ -7,7 +8,8 @@
 
 use std::time::Instant;
 
-use hpc_framework::seamless::{self, CModule, CompiledKernel, Interpreter, Type, Value};
+use hpc_framework::prelude::*;
+use hpc_framework::seamless::{self, CModule, Interpreter};
 
 const SUM_SRC: &str = "
 def sum(it):
@@ -103,4 +105,38 @@ def newton_sqrt(x: float):
         );
         assert!((approx - x.sqrt()).abs() < 1e-9);
     }
+
+    // ---- the distributed kernel plane: Seamless × ODIN -----------------
+    // The same bytecode ships to every worker exactly once
+    // (RegisterKernel); every map afterwards is a tens-of-bytes control
+    // message, executed unboxed over each worker's segment.
+    println!("\n== distributed kernel plane ==");
+    let ctx = OdinContext::with_workers(4);
+    let decay = ctx
+        .compile_kernel(
+            "def decay(v, t):\n    return v * exp(-t) + hypot(v, t) * 0.01\n",
+            "decay",
+        )
+        .unwrap();
+    let v = ctx.linspace(0.0, 4.0, 100_000);
+    let t = ctx.linspace(0.0, 1.0, 100_000);
+    let _warm = decay.map(&[&v, &t]);
+    ctx.reset_stats();
+    let mapped = decay.map(&[&v, &t]);
+    let st = ctx.stats();
+    println!(
+        "decay.map over {} elements on {} workers: {:.0} bytes of control traffic per worker",
+        v.len(),
+        ctx.n_workers(),
+        st.ctrl_bytes as f64 / st.ctrl_msgs as f64
+    );
+    // fused map+reduce: fold to a scalar in the same pass
+    let total = decay.map_reduce(&[&v, &t], ReduceKind::Sum);
+    assert_eq!(total.to_bits(), mapped.sum().to_bits());
+    println!("fused map_reduce sum = {total:.4} (bitwise-identical to map().sum())");
+
+    // lazy expressions ride the same plane: Expr::eval lowers to
+    // bytecode, registers once, and reuses the kernel across evals
+    let e = (Expr::leaf(&v) * 2.0 + 1.0).sqrt().eval();
+    println!("expr plane result mean = {:.4}", e.mean());
 }

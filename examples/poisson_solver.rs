@@ -9,13 +9,9 @@
 //! iterations, measured time, and the modeled cluster makespan from the
 //! LogGP virtual clock — the experiment E9/E10 story as a runnable demo.
 
-use hpc_framework::comm::{Universe, UniverseConfig};
-use hpc_framework::dlinalg::DistVector;
 use hpc_framework::galeri::poisson2d_manufactured;
-use hpc_framework::solvers::{
-    cg, AmgPreconditioner, IdentityPrecond, IluPrecond, JacobiPrecond, KrylovConfig,
-    Preconditioner, SsorPrecond,
-};
+use hpc_framework::prelude::*;
+use hpc_framework::solvers::{IluPrecond, SsorPrecond};
 
 fn main() {
     let cfg = KrylovConfig {

@@ -8,8 +8,7 @@
 //! modes), the Trilinos-analog solver stack through the bridge, and a
 //! Seamless-compiled kernel.
 
-use hpc_framework::hpc_core::{apply_kernel, solve_with_odin_rhs, Session, SolveMethod};
-use hpc_framework::odin::{DType, Expr};
+use hpc_framework::prelude::*;
 use hpc_framework::seamless;
 
 fn main() {
@@ -34,25 +33,33 @@ fn main() {
     };
     println!("max |d(sin)/dx - cos|      = {max_err:.3e} (first-order FD)");
 
-    // lazy expressions fuse into one pass (loop fusion)
+    // lazy expressions lower to one JIT kernel, registered once and run
+    // in a single fused pass per eval (loop fusion + tiny invokes)
     let h = (Expr::leaf(&x).pow(2.0) + Expr::leaf(&y).pow(2.0))
         .sqrt()
         .eval();
     println!("hypot via fused expression = {:.4} (mean)", h.mean());
 
-    // ---- Seamless: compile a pyish kernel, use it as the node-level
-    // function of a distributed computation -------------------------------
+    // ---- Seamless: compile pyish kernels and run them on the pool ------
     println!("\n== Seamless JIT ==");
+    // element-wise kernel through the kernel plane: bytecode ships to
+    // every worker once, each map is a tens-of-bytes control message
+    let wave = ctx
+        .compile_kernel("def wave(v):\n    return sin(v) * exp(-v * 0.5)\n", "wave")
+        .expect("kernel compiles");
+    let w = wave.map(&[&x]);
+    println!("max of sin(x)*exp(-x/2) via JIT kernel = {:.4}", w.max());
+
+    // segment-level kernel (the @odin.local + @jit composition)
     let src = "
 def smooth(a):
     for i in range(1, len(a) - 1):
         a[i] = 0.25 * a[i - 1] + 0.5 * a[i] + 0.25 * a[i + 1]
 ";
-    let kernel =
-        seamless::compile_kernel(src, "smooth", &[seamless::Type::ArrF]).expect("kernel compiles");
+    let kernel = compile_kernel(src, "smooth", &[Type::ArrF]).expect("kernel compiles");
     let noisy = ctx.random(&[1_000], 42);
     let before = noisy.to_vec();
-    apply_kernel(ctx, &noisy, &kernel);
+    apply_kernel(ctx, &noisy, &kernel).expect("segment kernel applies");
     let after = noisy.to_vec();
     let rough = |v: &[f64]| -> f64 {
         v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (v.len() - 1) as f64
@@ -66,10 +73,7 @@ def smooth(a):
     // the header-driven FFI (§IV-C)
     let libm = seamless::CModule::load_system("m").expect("math library");
     let v = libm
-        .call(
-            "atan2",
-            &[seamless::Value::Float(1.0), seamless::Value::Float(2.0)],
-        )
+        .call("atan2", &[Value::Float(1.0), Value::Float(2.0)])
         .unwrap();
     println!("libm.atan2(1, 2) via discovered signature = {v:?}");
 

@@ -8,7 +8,7 @@
 //! a word-count map-reduce and a SQL-ish group-by aggregation, with the
 //! shuffle happening directly between workers.
 
-use hpc_framework::odin::{FieldType, FieldValue, OdinContext, Record, Schema};
+use hpc_framework::prelude::*;
 
 fn main() {
     let ctx = OdinContext::with_workers(4);

@@ -2,13 +2,8 @@
 //! plus bridge/IO/table flows that span ODIN, the solver stack and
 //! Seamless.
 
-use hpc_framework::hpc_core::{
-    apply_kernel, newton_with_pyish_reaction, solve_with_odin_rhs, PyishReaction, Session,
-    SolveMethod,
-};
-use hpc_framework::odin::{DType, Dist, Expr, FieldType, FieldValue, Record, Schema};
-use hpc_framework::seamless::{self, Type};
-use hpc_framework::solvers::NewtonConfig;
+use hpc_framework::prelude::*;
+use hpc_framework::seamless;
 
 #[test]
 fn the_papers_section_v_user_story() {
@@ -28,7 +23,7 @@ fn the_papers_section_v_user_story() {
         &[Type::ArrF],
     )
     .unwrap();
-    apply_kernel(ctx, &forcing, &kernel);
+    apply_kernel(ctx, &forcing, &kernel).unwrap();
 
     // "… devises a solution approach using PyTrilinos solvers that accept
     // ODIN arrays"

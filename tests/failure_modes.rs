@@ -363,7 +363,8 @@ fn checkpointed_cg_restart_after_injected_kill_is_bitwise_identical() {
                 let rank = comm.rank();
                 let store = store.clone();
                 let sink = move |c| store.record(rank, c);
-                cg_checkpointed(
+                // the run is killed mid-solve; the status never arrives
+                let _ = cg_checkpointed(
                     comm,
                     &a,
                     &b,

@@ -1,0 +1,216 @@
+//! Kernel-plane determinism: the Seamless-JIT path (`Expr::eval`,
+//! `Kernel::map`) must be bitwise-identical to the interpreted RPN path
+//! at every pool width, under seeded chaos, and across a
+//! checkpoint/recover cycle that respawns the whole worker pool.
+
+use std::time::Duration;
+
+use hpc_framework::comm::{Delivery, FaultPlan};
+use hpc_framework::odin::OdinError;
+use hpc_framework::prelude::*;
+
+/// Chaos seed, overridable per CI pass: `HPC_FAULT_SEED=43 cargo test …`.
+fn fault_seed() -> u64 {
+    std::env::var("HPC_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// One moderately gnarly expression covering the lowering surface:
+/// pow strength-reduction, `%` → RemF, chained unary math. Every lane
+/// stays finite so bitwise comparison is meaningful.
+fn probe_expr<'x, 'c>(x: &'x DistArray<'c>, y: &'x DistArray<'c>) -> Expr<'x, 'c> {
+    ((Expr::leaf(x) * 2.0 + Expr::leaf(y).sin()).abs() + 1.0).sqrt() * (Expr::leaf(x) * 0.25).exp()
+        + (Expr::leaf(x).pow(3.0) % 0.7)
+}
+
+#[test]
+fn jitted_matches_interpreted_at_every_pool_width() {
+    // Same data, same expression, 1–8 ranks: the jitted bytecode result
+    // must equal the interpreted RPN result bit for bit, and both must be
+    // independent of the pool width.
+    let mut reference: Option<Vec<u64>> = None;
+    for workers in 1..=8usize {
+        let ctx = OdinContext::with_workers(workers);
+        let x = ctx.linspace(-2.0, 3.0, 257);
+        let y = ctx.linspace(0.1, 4.0, 257);
+        let jit = probe_expr(&x, &y).eval().to_vec();
+        let rpn = probe_expr(&x, &y).eval_rpn().to_vec();
+        assert_eq!(
+            bits(&jit),
+            bits(&rpn),
+            "jit vs interpreter diverged at {workers} workers"
+        );
+        match &reference {
+            None => reference = Some(bits(&jit)),
+            Some(r) => assert_eq!(r, &bits(&jit), "width {workers} changed the answer"),
+        }
+        // Fused reduction tail vs the two-pass (materialize, then reduce)
+        // route, at the same widths.
+        let fused = probe_expr(&x, &y).sum();
+        let two_pass = probe_expr(&x, &y).eval_rpn().sum();
+        assert_eq!(
+            fused.to_bits(),
+            two_pass.to_bits(),
+            "fused sum diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn compiled_kernels_match_a_host_reference_at_every_width() {
+    let src = "def wave(a, b):\n    return hypot(a, b) * exp(0.0 - a)\n";
+    let mut reference: Option<Vec<u64>> = None;
+    for workers in 1..=8usize {
+        let ctx = OdinContext::with_workers(workers);
+        let wave = ctx.compile_kernel(src, "wave").unwrap();
+        let a = ctx.linspace(0.0, 1.0, 193);
+        let b = ctx.linspace(2.0, -1.0, 193);
+        let got = wave.map(&[&a, &b]).to_vec();
+        let want: Vec<f64> = a
+            .to_vec()
+            .iter()
+            .zip(b.to_vec().iter())
+            .map(|(&a, &b)| a.hypot(b) * (0.0 - a).exp())
+            .collect();
+        assert_eq!(
+            bits(&got),
+            bits(&want),
+            "kernel diverged at {workers} workers"
+        );
+        match &reference {
+            None => reference = Some(bits(&got)),
+            Some(r) => assert_eq!(r, &bits(&got), "width {workers} changed the answer"),
+        }
+    }
+}
+
+#[test]
+fn kernel_plane_is_deterministic_under_seeded_chaos() {
+    // The ci.sh chaos sweep reruns this under several HPC_FAULT_SEED
+    // values. Worker↔worker traffic (the fused-reduce allreduce) is
+    // dropped/duplicated/corrupted/delayed per the seed; reliable
+    // delivery must heal every schedule and leave the answer bit-exact.
+    let healthy = {
+        let ctx = OdinContext::with_workers(4);
+        let x = ctx.linspace(-1.0, 1.0, 401);
+        let y = ctx.linspace(0.5, 2.5, 401);
+        let arr = bits(&probe_expr(&x, &y).eval().to_vec());
+        let sum = probe_expr(&x, &y).sum().to_bits();
+        (arr, sum)
+    };
+    let ctx = OdinContext::new(
+        OdinConfig::default()
+            .with_n_workers(4)
+            .with_fault(FaultPlan::messages(fault_seed(), 0.08, 0.04, 0.04, 0.03))
+            .with_delivery(Delivery::Reliable)
+            .with_stall_timeout(Duration::from_secs(10)),
+    );
+    let x = ctx.linspace(-1.0, 1.0, 401);
+    let y = ctx.linspace(0.5, 2.5, 401);
+    assert_eq!(
+        bits(&probe_expr(&x, &y).eval().to_vec()),
+        healthy.0,
+        "chaos changed the jitted array result (seed {})",
+        fault_seed()
+    );
+    assert_eq!(
+        probe_expr(&x, &y).sum().to_bits(),
+        healthy.1,
+        "chaos changed the fused reduction (seed {})",
+        fault_seed()
+    );
+}
+
+#[test]
+fn recover_replays_registered_kernels_into_the_new_pool() {
+    // Kill a worker mid-run, recover from a checkpoint, and invoke the
+    // *same* Kernel handle again: recover() must have re-registered the
+    // bytecode on the fresh pool (code ships once per pool, so the new
+    // workers have never seen it unless replay happened).
+    let ctx = OdinContext::new(OdinConfig {
+        n_workers: 3,
+        fault: FaultPlan {
+            seed: fault_seed(),
+            kill_rank: Some(1),
+            kill_after_ops: 40,
+            ..FaultPlan::none()
+        },
+        stall_timeout: Some(Duration::from_secs(5)),
+        reply_timeout: Some(Duration::from_secs(5)),
+        ..Default::default()
+    });
+    let clip = ctx
+        .compile_kernel(
+            "def clip(a):\n    if a > 1.0:\n        return 1.0\n    if a < 0.0 - 1.0:\n        return 0.0 - 1.0\n    return a\n",
+            "clip",
+        )
+        .unwrap();
+    let x = ctx.linspace(-3.0, 3.0, 97);
+    let baseline = bits(&clip.map(&[&x]).to_vec());
+    let expr_baseline = (Expr::leaf(&x) * 0.5).cos().sum().to_bits();
+    let ck = ctx.checkpoint(&[&x]);
+
+    // Burn collective ops until the fault plan kills rank 1.
+    let mut died = false;
+    for _ in 0..200 {
+        match ctx.try_barrier() {
+            Ok(()) => {}
+            Err(OdinError::WorkerDead { worker, .. }) => {
+                assert_eq!(worker, 1);
+                died = true;
+                break;
+            }
+            Err(other) => panic!("unexpected error while burning ops: {other:?}"),
+        }
+    }
+    assert!(
+        died,
+        "fault plan never killed rank 1 (seed {})",
+        fault_seed()
+    );
+
+    let report = ctx.recover(&ck);
+    assert_eq!(report.respawned, 3);
+    assert!(report.restored.contains(&x.id()));
+
+    // Same Kernel handle, brand-new pool: only the registry replay makes
+    // this work, and the answer must not move by a single bit.
+    assert_eq!(bits(&clip.map(&[&x]).to_vec()), baseline);
+    // The Expr plane's cached kernels were replayed too.
+    assert_eq!((Expr::leaf(&x) * 0.5).cos().sum().to_bits(), expr_baseline);
+}
+
+#[test]
+fn a_kernel_registers_once_and_invokes_stay_small() {
+    // Integration-level check of the wire contract: after the first use,
+    // re-invoking a kernel (or re-evaluating a structurally identical
+    // Expr) broadcasts one sub-100-byte EvalKernel and nothing else.
+    let ctx = OdinContext::with_workers(2);
+    let sq = ctx
+        .compile_kernel("def sq(a):\n    return a * a\n", "sq")
+        .unwrap();
+    let x = ctx.linspace(0.0, 1.0, 64);
+    let warm = sq.map(&[&x]); // ships the bytecode
+    let _ = (Expr::leaf(&x) + 1.0).eval(); // registers the Expr kernel
+    ctx.reset_stats();
+    let mut live = vec![warm];
+    for _ in 0..10 {
+        live.push(sq.map(&[&x]));
+        live.push((Expr::leaf(&x) + 1.0).eval());
+    }
+    let st = ctx.stats();
+    // 20 invokes × 2 workers, not a message more (no re-registration).
+    assert_eq!(st.ctrl_msgs, 40, "unexpected extra control traffic");
+    assert!(
+        st.mean_ctrl_bytes() < 100.0,
+        "mean control message {} bytes",
+        st.mean_ctrl_bytes()
+    );
+    drop(live);
+}

@@ -44,6 +44,16 @@ cargo run --release --offline -p bench --bin e20_jit_kernels -- --metrics-json \
   | tail -n 1 > BENCH_e20.json
 test -s BENCH_e20.json
 
+echo "== E21 profiling smoke gate (critical path, stragglers, flow trace)"
+# Runs the causal-tracing pipeline end to end: a seeded delay fault on one
+# rank of a 16-rank CG must be named as the dominant straggler with the
+# delay attributed to blocked/wait; the flow-annotated Chrome trace must
+# validate under the repo's own JSON parser; enabled-tracing overhead on
+# the E19-style CG loop must stay within 5% (all asserted in the binary).
+cargo run --release --offline -p bench --bin e21_critpath -- --metrics-json \
+  | tail -n 1 > BENCH_e21.json
+test -s BENCH_e21.json
+
 echo "== public API listing is current"
 cargo run --release --offline -p bench --bin api_listing -- --check
 

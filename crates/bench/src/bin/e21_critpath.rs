@@ -1,0 +1,187 @@
+//! E21 — critical-path profiling and straggler attribution.
+//!
+//! Three gates, all hard assertions (ci.sh runs this binary as the
+//! profiling smoke test):
+//!
+//! 1. **straggler naming** — a 16-rank SpMV-CG run with a seeded delay
+//!    fault on one rank's sends must produce a critical-path report that
+//!    names that rank as the dominant straggler, attributes the injected
+//!    delay to the blocked/wait category, and sums its categories
+//!    *bitwise* to the critical-path length with zero orphan flow edges;
+//! 2. **overhead** — enabling tracing on the E19-style CG loop must cost
+//!    at most 5% wall time (plus a small absolute epsilon to absorb
+//!    scheduler noise on short runs);
+//! 3. **trace export** — the flow-annotated Chrome trace must be valid
+//!    JSON (the repo's own validator) and actually contain flow arrows.
+
+use bench::fmt_s;
+use comm::{Delivery, FaultPlan, Universe, UniverseConfig};
+use dlinalg::DistVector;
+use galeri::laplace_2d;
+use obs::critpath;
+use obs::graph::Pag;
+use solvers::{cg, IdentityPrecond, KrylovConfig};
+
+const RANKS: usize = 16;
+const VICTIM: usize = 5;
+const GRID: usize = 64;
+/// Injected per-message departure delay: 200 µs, 40× the model latency,
+/// so the victim's lateness dominates everything else on the path.
+const DELAY_S: f64 = 2.0e-4;
+
+/// One 16-rank CG solve on a 2-D Laplacian; returns converged iterations.
+fn run_cg(fault: FaultPlan) -> usize {
+    let cfg = UniverseConfig {
+        fault,
+        delivery: Delivery::Raw,
+        ..Default::default()
+    };
+    let report = Universe::run_report(cfg, RANKS, |comm| {
+        let a = laplace_2d(comm, GRID, GRID);
+        let b = DistVector::from_fn(a.domain_map().clone(), |g| 1.0 + (g % 7) as f64);
+        let mut x = DistVector::zeros(a.domain_map().clone());
+        let kcfg = KrylovConfig {
+            rtol: 1e-6,
+            max_iter: 20 * GRID,
+            ..Default::default()
+        };
+        let st = cg(comm, &a, &b, &mut x, &IdentityPrecond, &kcfg);
+        assert!(st.converged, "CG must converge");
+        st.iterations
+    });
+    report.results[0]
+}
+
+fn main() {
+    let _obs = bench::obs_init();
+    bench::header(
+        "E21",
+        "causal tracing: critical path, stragglers, flow arrows",
+        "instrumentation must *name* the bottleneck: which rank, which \
+         edge, and whether time went to compute, wire, stall or retransmit",
+    );
+
+    // ---- part 1: seeded delay fault → named straggler --------------------
+    let was_enabled = obs::enabled();
+    obs::set_enabled(true);
+    obs::reset();
+    let fault = FaultPlan {
+        delay_p: 1.0,
+        delay_rank: Some(VICTIM),
+        delay_s: DELAY_S,
+        ..FaultPlan::none()
+    };
+    let iters = run_cg(fault);
+    let pag = Pag::build();
+    let profile = critpath::profile(&pag);
+    println!(
+        "\npart 1: {RANKS}-rank CG ({iters} iters), every rank-{VICTIM} send delayed {}:",
+        fmt_s(DELAY_S)
+    );
+    print!("{}", profile.text());
+
+    let cat_sum: f64 = profile.categories.iter().sum();
+    assert!(
+        cat_sum == profile.critical_path_s,
+        "categories must sum bitwise to the path length ({cat_sum} vs {})",
+        profile.critical_path_s
+    );
+    assert_eq!(
+        profile.orphan_consumers, 0,
+        "no dangling flow edges allowed"
+    );
+    assert_eq!(profile.dropped_spans, 0, "ring buffers must not overflow");
+    assert_eq!(
+        profile.dominant_rank,
+        Some(VICTIM),
+        "the profiler must name rank {VICTIM} as the dominant straggler"
+    );
+    let victim = &profile.ranks[VICTIM];
+    let blocked_idx = 2; // critpath::CATEGORIES: ["compute","wire","blocked",...]
+    assert_eq!(critpath::CATEGORIES[blocked_idx], "blocked");
+    for r in &profile.ranks {
+        if r.rank != VICTIM {
+            assert!(
+                victim.residency[blocked_idx] > r.residency[blocked_idx],
+                "victim blocked residency must exceed rank {}'s",
+                r.rank
+            );
+        }
+    }
+    assert!(
+        profile.categories[blocked_idx] >= 0.10 * profile.critical_path_s,
+        "injected delay must surface in blocked/wait ({} of {})",
+        fmt_s(profile.categories[blocked_idx]),
+        fmt_s(profile.critical_path_s)
+    );
+    let edge = profile.dominant_edge.expect("path crosses rank boundaries");
+    assert_eq!(
+        edge.src, VICTIM,
+        "dominant edge must originate at the delayed sender"
+    );
+    println!(
+        "  OK: rank {VICTIM} named; blocked {} ({:.1}% of path); edge {}->{}",
+        fmt_s(profile.categories[blocked_idx]),
+        100.0 * profile.categories[blocked_idx] / profile.critical_path_s,
+        edge.src,
+        edge.dst
+    );
+
+    // ---- part 3 (while spans are hot): flow-annotated trace --------------
+    let trace_path = "target/e21_flow_trace.json";
+    std::fs::create_dir_all("target").expect("mkdir target");
+    let (json, n_events) = obs::trace::chrome_trace_json();
+    obs::json::validate(&json).expect("flow-annotated trace must be valid JSON");
+    let flow_starts = json.matches("\"ph\":\"s\"").count();
+    let flow_finishes = json.matches("\"ph\":\"f\"").count();
+    assert!(flow_starts > 0, "trace must contain flow arrows");
+    assert_eq!(flow_starts, flow_finishes, "every arrow has both ends");
+    std::fs::write(trace_path, &json).expect("write trace");
+    println!(
+        "\npart 3: wrote {trace_path}: {n_events} span events, {flow_starts} flow arrows (valid JSON)"
+    );
+
+    // ---- part 2: enabled-tracing overhead on the E19 CG loop -------------
+    // Same shape as E19's allocation-count loop: 4 ranks, fixed iteration
+    // count (rtol 0) so the enabled and disabled runs do identical work.
+    let overhead_cg = || {
+        Universe::run(4, |comm| {
+            let a = laplace_2d(comm, 192, 192);
+            let b = DistVector::from_fn(a.domain_map().clone(), |g| ((g as f64) * 0.17).sin());
+            let mut x = DistVector::zeros(a.domain_map().clone());
+            let kcfg = KrylovConfig {
+                rtol: 0.0,
+                atol: 0.0,
+                max_iter: 60,
+                ..Default::default()
+            };
+            let _ = cg(comm, &a, &b, &mut x, &IdentityPrecond, &kcfg);
+        });
+    };
+    obs::set_enabled(false);
+    obs::reset();
+    let reps = 3;
+    let disabled = bench::best_of(reps, overhead_cg);
+    obs::set_enabled(true);
+    let enabled = bench::best_of(reps, || {
+        obs::reset();
+        overhead_cg();
+    });
+    obs::set_enabled(was_enabled);
+    let limit = disabled * 1.05 + 0.025;
+    println!(
+        "\npart 2: CG wall time disabled {} vs enabled {} (limit {})",
+        fmt_s(disabled),
+        fmt_s(enabled),
+        fmt_s(limit)
+    );
+    assert!(
+        enabled <= limit,
+        "enabled tracing exceeded the 5% overhead gate: {enabled} > {limit}"
+    );
+    println!("  OK: tracing overhead within 5% (+25 ms epsilon)");
+
+    // Re-enable so the --metrics-json dump (ObsSession drop) sees the
+    // registry state; metrics survive reset-free part 2 runs.
+    obs::set_enabled(true);
+}

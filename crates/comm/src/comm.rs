@@ -69,6 +69,9 @@ pub(crate) struct Envelope {
     /// Set at intake when checksum verification failed (raw mode only;
     /// reliable mode discards corrupt arrivals instead).
     pub(crate) corrupt: bool,
+    /// Causal flow id ([`obs::flow`]); 0 when tracing is disabled and for
+    /// acks. Retransmitted copies reuse the original id.
+    pub(crate) flow: u64,
 }
 
 /// State shared between a rank's thread and every sub-communicator it
@@ -103,6 +106,50 @@ pub(crate) struct RankState {
     /// Recycled wire buffers: send paths encode into them, receive paths
     /// return delivered payloads to them (see [`Comm::take_buf`]).
     pub(crate) pool: RefCell<Vec<Vec<u8>>>,
+    /// Flow-id domain for causal tracing (`obs::flow`), unique per rank
+    /// state within the process so universes never collide.
+    pub(crate) flow_domain: u64,
+    /// Messages stamped with a flow id so far (sequence within the domain).
+    pub(crate) flow_seq: Cell<u64>,
+    /// Cached registry handles for the hot per-message metrics (see
+    /// [`RankState::obs_handles`]).
+    obs_handles: std::cell::OnceCell<ObsHandles>,
+}
+
+/// Registry handles the enabled tracing path touches on every message.
+/// Resolving a handle costs a key format plus a registry lock; caching
+/// them per rank turns that into plain relaxed atomic updates, which is
+/// what keeps enabled-tracing overhead inside the E21 budget.
+pub(crate) struct ObsHandles {
+    pub(crate) msgs_sent: obs::Counter,
+    pub(crate) bytes_sent: obs::Counter,
+    pub(crate) sent_msg_bytes: obs::Histogram,
+    pub(crate) msgs_recv: obs::Counter,
+    pub(crate) bytes_recv: obs::Counter,
+    pub(crate) overlap_s: obs::Gauge,
+}
+
+impl RankState {
+    /// The cached metric handles, resolved on first use. A rank state
+    /// never outlives its universe run, so the cache cannot go stale —
+    /// except across an `obs::reset()` issued *mid-run*, which orphans
+    /// the handles (updates land on detached atomics; harmless, but
+    /// invisible to later snapshots).
+    pub(crate) fn obs_handles(&self) -> &ObsHandles {
+        self.obs_handles.get_or_init(|| {
+            let rank = self.world_rank.to_string();
+            let g = obs::global();
+            let k = |name: &str| obs::registry::key(name, &[("rank", &rank)]);
+            ObsHandles {
+                msgs_sent: g.counter(&k("comm.msgs_sent")),
+                bytes_sent: g.counter(&k("comm.bytes_sent")),
+                sent_msg_bytes: g.histogram("comm.sent_msg_bytes"),
+                msgs_recv: g.counter(&k("comm.msgs_recv")),
+                bytes_recv: g.counter(&k("comm.bytes_recv")),
+                overlap_s: g.gauge(&k("comm.overlap_s")),
+            }
+        })
+    }
 }
 
 /// Most buffers a rank's pool retains; excess returns are dropped.
@@ -171,6 +218,9 @@ impl Comm {
                 seen: RefCell::new(vec![std::collections::HashSet::new(); size]),
                 unacked: RefCell::new(Vec::new()),
                 pool: RefCell::new(Vec::new()),
+                flow_domain: obs::flow::next_domain(),
+                flow_seq: Cell::new(0),
+                obs_handles: std::cell::OnceCell::new(),
             }),
             model: config.model,
             algo: config.algo,

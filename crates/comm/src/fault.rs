@@ -72,6 +72,12 @@ pub struct FaultPlan {
     pub corrupt_p: f64,
     /// Extra virtual seconds added to a delayed message's departure.
     pub delay_s: f64,
+    /// Restrict delay injection to one global rank's sends, if set. Other
+    /// ranks' fault schedules are unchanged by this field (their decision
+    /// bands are computed as if `delay_p` were 0), so a run differs from
+    /// its fault-free twin only on the targeted rank — the property the
+    /// straggler-attribution experiment (E21) relies on.
+    pub delay_rank: Option<usize>,
     /// Global rank to kill, if any.
     pub kill_rank: Option<usize>,
     /// Communication-op count after which the victim rank dies.
@@ -94,6 +100,7 @@ impl FaultPlan {
             delay_p: 0.0,
             corrupt_p: 0.0,
             delay_s: 0.0,
+            delay_rank: None,
             kill_rank: None,
             kill_after_ops: 0,
         }
@@ -129,7 +136,13 @@ impl FaultPlan {
     /// Decide the fate of the `idx`-th fresh transmission by global rank
     /// `rank`. Pure and deterministic.
     pub fn action(&self, rank: usize, idx: u64) -> FaultAction {
-        if self.drop_p + self.dup_p + self.delay_p + self.corrupt_p <= 0.0 {
+        // Delay may be scoped to a single victim rank; everyone else
+        // decides as if delay_p were zero (same hash, same other bands).
+        let delay_p = match self.delay_rank {
+            Some(victim) if victim != rank => 0.0,
+            _ => self.delay_p,
+        };
+        if self.drop_p + self.dup_p + delay_p + self.corrupt_p <= 0.0 {
             return FaultAction::None;
         }
         let h = mix64(
@@ -147,7 +160,7 @@ impl FaultPlan {
         if u < edge {
             return FaultAction::Duplicate;
         }
-        edge += self.delay_p;
+        edge += delay_p;
         if u < edge {
             return FaultAction::Delay;
         }
@@ -215,6 +228,19 @@ mod tests {
             .count();
         let rate = drops as f64 / n as f64;
         assert!((rate - 0.25).abs() < 0.02, "drop rate {rate}");
+    }
+
+    #[test]
+    fn delay_rank_scopes_delay_to_the_victim() {
+        let plan = FaultPlan {
+            delay_rank: Some(5),
+            ..FaultPlan::messages(9, 0.0, 0.0, 1.0, 0.0)
+        };
+        for i in 0..100 {
+            assert_eq!(plan.action(5, i), FaultAction::Delay);
+            assert_eq!(plan.action(4, i), FaultAction::None);
+            assert_eq!(plan.action(6, i), FaultAction::None);
+        }
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub(crate) struct Retx {
     pub(crate) checksum: u64,
     pub(crate) next_retry: Instant,
     pub(crate) backoff: Duration,
+    /// Causal flow id of the original transmission; retransmitted copies
+    /// carry the same id so the activity graph can match whichever copy
+    /// actually delivered.
+    pub(crate) flow: u64,
 }
 
 impl Comm {
@@ -99,14 +103,18 @@ impl Comm {
 
     /// Transmit a fresh data envelope: roll the fault plan's dice,
     /// register the message for retransmission in reliable mode, and
-    /// place it (or not) in the destination mailbox.
+    /// place it (or not) in the destination mailbox. Returns the actual
+    /// departure time stamped on the envelope — `depart` plus any
+    /// injected delay — so the caller's send span can attribute the
+    /// delay to the sender instead of mistaking it for wire latency.
     pub(crate) fn transmit_fresh(
         &self,
         dest_local: usize,
         tag: u32,
         mut depart: f64,
         bytes: Vec<u8>,
-    ) -> Result<(), CommError> {
+        flow: u64,
+    ) -> Result<f64, CommError> {
         let st = &self.state;
         let gdest = self.group[dest_local];
         let reliable = self.reliable();
@@ -145,6 +153,7 @@ impl Comm {
                 checksum: cks,
                 next_retry: Instant::now() + RTO,
                 backoff: RTO,
+                flow,
             });
         }
         let mut env = Envelope {
@@ -158,6 +167,7 @@ impl Comm {
             checksum: cks,
             kind: EnvKind::Data,
             corrupt: false,
+            flow,
         };
         match action {
             FaultAction::Drop => {
@@ -166,7 +176,7 @@ impl Comm {
                     self.obs_fault_counter("comm.dropped");
                 }
                 // Never enqueued; reliable mode heals it by retransmit.
-                Ok(())
+                Ok(depart)
             }
             FaultAction::Corrupt => {
                 // Flip one payload bit after checksumming (or the checksum
@@ -179,7 +189,8 @@ impl Comm {
                 }
                 self.senders[gdest]
                     .send(env)
-                    .map_err(|_| CommError::Disconnected)
+                    .map_err(|_| CommError::Disconnected)?;
+                Ok(depart)
             }
             FaultAction::Duplicate => {
                 st.stats.borrow_mut().faults_duplicated += 1;
@@ -188,11 +199,14 @@ impl Comm {
                     .send(env)
                     .map_err(|_| CommError::Disconnected)?;
                 let _ = self.senders[gdest].send(dup);
-                Ok(())
+                Ok(depart)
             }
-            FaultAction::Delay | FaultAction::None => self.senders[gdest]
-                .send(env)
-                .map_err(|_| CommError::Disconnected),
+            FaultAction::Delay | FaultAction::None => {
+                self.senders[gdest]
+                    .send(env)
+                    .map_err(|_| CommError::Disconnected)?;
+                Ok(depart)
+            }
         }
     }
 
@@ -263,6 +277,7 @@ impl Comm {
             checksum: 0,
             kind: EnvKind::Ack,
             corrupt: false,
+            flow: 0,
         });
     }
 
@@ -293,6 +308,25 @@ impl Comm {
             }
             if obs::enabled() {
                 self.obs_fault_counter("comm.retransmits");
+                // Retx event span: clock paid `o` from (clock − o, clock];
+                // the copy reuses the original flow id so the graph can
+                // attribute whichever copy delivered.
+                use obs::flow::args;
+                obs::span::span_start(clock - o).finish_meta(
+                    "comm",
+                    "retx",
+                    clock,
+                    &[
+                        (args::POST_END, clock),
+                        (args::DEPART, depart),
+                        (args::WIRE, wire),
+                    ],
+                    obs::span::SpanMeta {
+                        kind: obs::span::SpanKind::Retx,
+                        flow_out: r.flow,
+                        flow_in: 0,
+                    },
+                );
             }
             let _ = self.senders[r.gdest].send(Envelope {
                 ctx: r.ctx,
@@ -305,6 +339,7 @@ impl Comm {
                 checksum: r.checksum,
                 kind: EnvKind::Data,
                 corrupt: false,
+                flow: r.flow,
             });
             r.backoff = (r.backoff * 2).min(RTO_MAX);
             r.next_retry = now + r.backoff;

@@ -48,12 +48,32 @@ use crate::wire::{decode_from_slice, Wire};
 /// for receives.
 pub type Completion = Option<(Vec<u8>, Status)>;
 
+/// Delivery timing captured for span attribution (tracing only).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RecvTiming {
+    /// Virtual arrival time at this rank (`depart + L`).
+    pub(crate) arrive: f64,
+    /// Seconds the wait actually blocked (`max(arrive − wait_clock, 0)`).
+    pub(crate) blocked: f64,
+    /// Total clock advance of the delivery (`blocked + o`).
+    pub(crate) adv: f64,
+}
+
 pub(crate) enum ReqInner {
     Send {
         /// Clock right after posting (post cost `o` already charged).
         post_end: f64,
         /// When the NIC finishes serializing this message.
         depart: f64,
+        /// Departure time actually stamped on the envelope: `depart`
+        /// plus any injected delay fault. The sender's clock never
+        /// waits for an in-flight delay, so `depart` settles the clock
+        /// while `sent_depart` feeds span attribution — the receiver's
+        /// critical-path hop charges the gap to this sender as blocked
+        /// time instead of mistaking it for wire latency.
+        sent_depart: f64,
+        /// Pure serialization time `bytes·G` (for span attribution).
+        wire: f64,
     },
     Recv {
         src: Src,
@@ -78,6 +98,8 @@ pub struct Request {
     pub(crate) timer: Option<obs::span::SpanTimer>,
     /// Span name: `isend`/`irecv`, or `send`/`recv` for blocking wrappers.
     pub(crate) span_name: &'static str,
+    /// Flow id stamped on the outgoing message (sends, tracing enabled).
+    pub(crate) flow: u64,
 }
 
 impl Request {
@@ -127,18 +149,31 @@ impl Comm {
             st.bytes_sent += n as u64;
             st.modeled_comm_s += self.model.overhead_s;
         }
-        let timer = if obs::enabled() {
+        // Flow ids only exist while tracing: the disabled path stays one
+        // relaxed load, and flow 0 means "no causal edge" downstream.
+        let (timer, flow) = if obs::enabled() {
             self.obs_count_send(n, dest, tag);
-            Some(obs::span::span_start(posted_at))
+            let seq = state.flow_seq.get() + 1;
+            state.flow_seq.set(seq);
+            (
+                Some(obs::span::span_start(posted_at)),
+                obs::flow::data(state.flow_domain, seq),
+            )
         } else {
-            None
+            (None, obs::flow::NONE)
         };
-        self.transmit_fresh(dest, tag, depart, bytes)?;
+        let sent_depart = self.transmit_fresh(dest, tag, depart, bytes, flow)?;
         Ok(Request {
-            inner: ReqInner::Send { post_end, depart },
+            inner: ReqInner::Send {
+                post_end,
+                depart,
+                sent_depart,
+                wire: n as f64 * self.model.seconds_per_byte,
+            },
             ctx: self.ctx,
             timer,
             span_name,
+            flow,
         })
     }
 
@@ -173,6 +208,7 @@ impl Comm {
             ctx: self.ctx,
             timer,
             span_name,
+            flow: obs::flow::NONE,
         })
     }
 
@@ -237,7 +273,12 @@ impl Comm {
         );
         let state = &self.state;
         match req.inner {
-            ReqInner::Send { post_end, depart } => {
+            ReqInner::Send {
+                post_end,
+                depart,
+                sent_depart,
+                wire,
+            } => {
                 let clock = state.clock.get();
                 // Wire time the clock already passed was hidden by compute.
                 let charge = (depart - clock).max(0.0);
@@ -249,7 +290,15 @@ impl Comm {
                     st.overlap_s += overlap;
                 }
                 if let Some(t) = req.timer {
-                    self.obs_request_done(t, req.span_name, overlap);
+                    self.obs_request_done(
+                        t,
+                        req.span_name,
+                        overlap,
+                        post_end,
+                        sent_depart,
+                        wire,
+                        req.flow,
+                    );
                 }
                 Ok(None)
             }
@@ -270,9 +319,10 @@ impl Comm {
                         tag: env.tag,
                     });
                 }
-                let out = self.deliver_posted(env, posted_at);
+                let flow_in = env.flow;
+                let (out, timing) = self.deliver_posted(env, posted_at);
                 if let Some(t) = req.timer {
-                    self.obs_count_recv(t, req.span_name, &out.1);
+                    self.obs_count_recv(t, req.span_name, &out.1, flow_in, timing);
                 }
                 Ok(Some(out))
             }
@@ -388,7 +438,7 @@ impl Comm {
     /// Deliver an envelope for a receive that was posted at `posted_at`:
     /// the blocking delivery rule, minus flight time that already elapsed
     /// while the rank computed (credited to `overlap_s`).
-    fn deliver_posted(&self, env: Envelope, posted_at: f64) -> (Vec<u8>, Status) {
+    fn deliver_posted(&self, env: Envelope, posted_at: f64) -> ((Vec<u8>, Status), RecvTiming) {
         let state = &self.state;
         let n = env.bytes.len();
         let arrive = env.depart + self.model.latency_s;
@@ -396,6 +446,11 @@ impl Comm {
         let new = old.max(arrive) + self.model.overhead_s;
         state.clock.set(new);
         let charge = new - old;
+        let timing = RecvTiming {
+            arrive,
+            blocked: (arrive - old).max(0.0),
+            adv: charge,
+        };
         // What an immediate blocking receive would have cost at post time.
         let blocking_cost = posted_at.max(arrive) + self.model.overhead_s - posted_at;
         {
@@ -406,13 +461,16 @@ impl Comm {
             st.overlap_s += blocking_cost - charge;
         }
         (
-            env.bytes,
-            Status {
-                src: env.src,
-                tag: env.tag,
-                bytes: n,
-                depart: env.depart,
-            },
+            (
+                env.bytes,
+                Status {
+                    src: env.src,
+                    tag: env.tag,
+                    bytes: n,
+                    depart: env.depart,
+                },
+            ),
+            timing,
         )
     }
 
@@ -491,27 +549,60 @@ impl Comm {
     }
 
     /// Registry labels use the *global* rank so sub-communicator traffic
-    /// aggregates onto the same per-rank series as world traffic.
+    /// aggregates onto the same per-rank series as world traffic. Handles
+    /// are cached on the rank state: the per-message cost is three
+    /// relaxed atomic updates, not registry lookups.
     #[cold]
     fn obs_count_send(&self, n: usize, _dest: usize, _tag: Tag) {
-        let rank = self.global_rank_of(self.rank()).to_string();
-        let g = obs::global();
-        g.counter(&obs::registry::key("comm.msgs_sent", &[("rank", &rank)]))
-            .inc();
-        g.counter(&obs::registry::key("comm.bytes_sent", &[("rank", &rank)]))
-            .add(n as u64);
-        g.histogram("comm.sent_msg_bytes").record(n as u64);
+        let h = self.state.obs_handles();
+        h.msgs_sent.inc();
+        h.bytes_sent.add(n as u64);
+        h.sent_msg_bytes.record(n as u64);
     }
 
     #[cold]
-    fn obs_request_done(&self, timer: obs::span::SpanTimer, name: &'static str, overlap: f64) {
-        timer.finish("comm", name, self.virtual_time(), &[("overlap_s", overlap)]);
+    #[allow(clippy::too_many_arguments)]
+    fn obs_request_done(
+        &self,
+        timer: obs::span::SpanTimer,
+        name: &'static str,
+        overlap: f64,
+        post_end: f64,
+        depart: f64,
+        wire: f64,
+        flow: u64,
+    ) {
+        use obs::flow::args;
+        timer.finish_meta(
+            "comm",
+            name,
+            self.virtual_time(),
+            &[
+                ("overlap_s", overlap),
+                (args::POST_END, post_end),
+                (args::DEPART, depart),
+                (args::WIRE, wire),
+            ],
+            obs::span::SpanMeta {
+                kind: obs::span::SpanKind::Send,
+                flow_out: flow,
+                flow_in: 0,
+            },
+        );
         self.obs_overlap_gauge();
     }
 
     #[cold]
-    fn obs_count_recv(&self, timer: obs::span::SpanTimer, name: &'static str, status: &Status) {
-        timer.finish(
+    fn obs_count_recv(
+        &self,
+        timer: obs::span::SpanTimer,
+        name: &'static str,
+        status: &Status,
+        flow_in: u64,
+        timing: RecvTiming,
+    ) {
+        use obs::flow::args;
+        timer.finish_meta(
             "comm",
             name,
             self.virtual_time(),
@@ -519,24 +610,27 @@ impl Comm {
                 ("bytes", status.bytes as f64),
                 ("src", self.global_rank_of(status.src) as f64),
                 ("tag", status.tag as f64),
+                (args::ARRIVE, timing.arrive),
+                (args::BLOCKED, timing.blocked),
+                (args::ADV, timing.adv),
+                (args::LAT, self.model.latency_s),
             ],
+            obs::span::SpanMeta {
+                kind: obs::span::SpanKind::Recv,
+                flow_out: 0,
+                flow_in,
+            },
         );
-        let rank = self.global_rank_of(self.rank()).to_string();
-        let g = obs::global();
-        g.counter(&obs::registry::key("comm.msgs_recv", &[("rank", &rank)]))
-            .inc();
-        g.counter(&obs::registry::key("comm.bytes_recv", &[("rank", &rank)]))
-            .add(status.bytes as u64);
+        let h = self.state.obs_handles();
+        h.msgs_recv.inc();
+        h.bytes_recv.add(status.bytes as u64);
         self.obs_overlap_gauge();
     }
 
     /// Publish cumulative hidden-communication seconds for this rank.
     fn obs_overlap_gauge(&self) {
         let total = self.state.stats.borrow().overlap_s;
-        let rank = self.global_rank_of(self.rank()).to_string();
-        obs::global()
-            .gauge(&obs::registry::key("comm.overlap_s", &[("rank", &rank)]))
-            .set(total);
+        self.state.obs_handles().overlap_s.set(total);
     }
 }
 

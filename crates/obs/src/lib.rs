@@ -32,8 +32,16 @@
 //!   trace to `<path>` (open in <https://ui.perfetto.dev> or
 //!   `chrome://tracing`);
 //! * `HPC_METRICS=1` — enable and, at [`finalize`], print the text
-//!   report to stderr.
+//!   report to stderr; `HPC_METRICS=<path>` instead writes the JSON
+//!   metrics snapshot to `<path>` (parity with the benches'
+//!   `--metrics-json` flag);
+//! * `HPC_CRITPATH=1` — enable and, at [`finalize`], print the
+//!   [critical-path report](critpath) to stderr; `HPC_CRITPATH=<path>`
+//!   writes the machine-readable JSON profile to `<path>`.
 
+pub mod critpath;
+pub mod flow;
+pub mod graph;
 pub mod json;
 pub mod registry;
 pub mod report;
@@ -68,6 +76,21 @@ pub fn set_enabled(on: bool) {
 struct EnvConfig {
     trace_path: Option<String>,
     metrics_report: bool,
+    metrics_path: Option<String>,
+    critpath_report: bool,
+    critpath_path: Option<String>,
+}
+
+/// Parse an on/off-or-path env value: `(false, None)` when unset, empty
+/// or `"0"`; `(true, None)` for `"1"` (stderr report); `(false,
+/// Some(path))` for anything else (write to that file).
+fn report_or_path(var: &str) -> (bool, Option<String>) {
+    match std::env::var(var) {
+        Ok(v) if v.is_empty() || v == "0" => (false, None),
+        Ok(v) if v == "1" => (true, None),
+        Ok(v) => (false, Some(v)),
+        Err(_) => (false, None),
+    }
 }
 
 fn env_config() -> &'static Mutex<EnvConfig> {
@@ -81,15 +104,22 @@ pub fn init_from_env() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let trace_path = std::env::var("HPC_TRACE").ok().filter(|s| !s.is_empty());
-        let metrics = std::env::var("HPC_METRICS")
-            .map(|v| v != "0" && !v.is_empty())
-            .unwrap_or(false);
-        if trace_path.is_some() || metrics {
+        let (metrics_report, metrics_path) = report_or_path("HPC_METRICS");
+        let (critpath_report, critpath_path) = report_or_path("HPC_CRITPATH");
+        if trace_path.is_some()
+            || metrics_report
+            || metrics_path.is_some()
+            || critpath_report
+            || critpath_path.is_some()
+        {
             set_enabled(true);
         }
         *env_config().lock().unwrap() = EnvConfig {
             trace_path,
-            metrics_report: metrics,
+            metrics_report,
+            metrics_path,
+            critpath_report,
+            critpath_path,
         };
     });
 }
@@ -108,6 +138,24 @@ pub fn finalize() {
     }
     if cfg.metrics_report {
         eprint!("{}", report::text_report());
+    }
+    if let Some(path) = &cfg.metrics_path {
+        match std::fs::write(path, report::metrics_json()) {
+            Ok(()) => eprintln!("obs: wrote metrics snapshot to {path}"),
+            Err(e) => eprintln!("obs: failed to write metrics to {path}: {e}"),
+        }
+    }
+    if cfg.critpath_report || cfg.critpath_path.is_some() {
+        let profile = critpath::profile_current();
+        if cfg.critpath_report {
+            eprint!("{}", profile.text());
+        }
+        if let Some(path) = &cfg.critpath_path {
+            match std::fs::write(path, profile.to_json()) {
+                Ok(()) => eprintln!("obs: wrote critical-path profile to {path}"),
+                Err(e) => eprintln!("obs: failed to write profile to {path}: {e}"),
+            }
+        }
     }
 }
 

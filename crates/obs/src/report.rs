@@ -127,13 +127,21 @@ pub fn text_report() -> String {
     // (cat, name) -> (count, total virtual seconds, total wall seconds)
     let mut agg: BTreeMap<(String, String), (u64, f64, f64)> = BTreeMap::new();
     let mut ranks = 0usize;
-    for (_, _, events) in span::snapshot_all() {
+    for (rank, dropped, events) in span::snapshot_all() {
+        if dropped > 0 {
+            let who = rank.map_or("driver".to_string(), |r| format!("rank {r}"));
+            let _ = writeln!(
+                out,
+                "  WARNING: {who} overwrote {dropped} spans (ring full) — \
+                 traces and profiles are truncated"
+            );
+        }
         if !events.is_empty() {
             ranks += 1;
         }
         for ev in events {
             let e = agg
-                .entry((ev.cat.to_string(), ev.name.clone()))
+                .entry((ev.cat.to_string(), ev.name.to_string()))
                 .or_insert((0, 0.0, 0.0));
             e.0 += 1;
             e.1 += (ev.virt_end_s - ev.virt_start_s).max(0.0);

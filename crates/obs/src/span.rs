@@ -14,6 +14,7 @@
 //! The Chrome-trace exporter uses virtual time for the timeline and
 //! attaches wall times as span arguments.
 
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -22,13 +23,47 @@ use std::time::Instant;
 /// once full; the drop count is reported in the trace metadata.
 pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
 
+/// Structural role of a span in the program activity graph. The
+/// critical-path walk ([`crate::critpath`]) only treats *event* spans
+/// (everything except [`SpanKind::Other`]) as clock-advancing timeline
+/// entries; container spans (collectives, solver iterations, phases) are
+/// context and may nest freely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// A container or annotation span (the default).
+    #[default]
+    Other,
+    /// A point-to-point send request (post → wait).
+    Send,
+    /// A point-to-point receive request (post → delivery).
+    Recv,
+    /// A reliable-delivery retransmission.
+    Retx,
+    /// Seamless VM kernel execution on a worker.
+    Kernel,
+}
+
+/// Causal metadata attached to a span at finish time; see
+/// [`SpanTimer::finish_meta`]. `Default` is an [`SpanKind::Other`] span
+/// with no flow edges, which is what plain [`SpanTimer::finish`] records.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanMeta {
+    /// Structural role (see [`SpanKind`]).
+    pub kind: SpanKind,
+    /// Flow id this span *produced* (stamped on an outgoing message).
+    pub flow_out: u64,
+    /// Flow id this span *consumed* (carried by the message it received).
+    pub flow_in: u64,
+}
+
 /// One completed span.
 #[derive(Debug, Clone)]
 pub struct SpanEvent {
     /// Subsystem category: `"comm"`, `"odin"`, `"solver"`, …
     pub cat: &'static str,
-    /// Span name, e.g. `allreduce(tree)` or `cg.iter`.
-    pub name: String,
+    /// Span name, e.g. `allreduce(tree)` or `cg.iter`. Hot paths pass a
+    /// `&'static str` so recording a span allocates nothing for the name.
+    pub name: Cow<'static, str>,
     /// Virtual-clock start/end, seconds.
     pub virt_start_s: f64,
     /// Virtual-clock end, seconds.
@@ -39,6 +74,19 @@ pub struct SpanEvent {
     pub wall_end_s: f64,
     /// Numeric arguments (`bytes`, `residual`, …).
     pub args: Vec<(&'static str, f64)>,
+    /// Structural role in the program activity graph.
+    pub kind: SpanKind,
+    /// Flow id produced by this span ([`crate::flow::NONE`] if none).
+    pub flow_out: u64,
+    /// Flow id consumed by this span ([`crate::flow::NONE`] if none).
+    pub flow_in: u64,
+}
+
+impl SpanEvent {
+    /// Look up a numeric argument by key (first match).
+    pub fn arg(&self, key: &str) -> Option<f64> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
 }
 
 /// One rank's buffered timeline.
@@ -71,6 +119,19 @@ impl Ring {
             self.events[self.head] = ev;
             self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
+            // Mirror the loss into the registry so truncated profiles are
+            // loud (`obs.spans_dropped{rank}` + a text-report warning),
+            // not just trace metadata. Only the overflow path pays this.
+            let rank = match self.rank {
+                Some(r) => r.to_string(),
+                None => "driver".to_string(),
+            };
+            crate::registry::global()
+                .counter(&crate::registry::key(
+                    "obs.spans_dropped",
+                    &[("rank", &rank)],
+                ))
+                .inc();
         }
     }
 
@@ -177,9 +238,22 @@ impl SpanTimer {
     pub fn finish(
         self,
         cat: &'static str,
-        name: impl Into<String>,
+        name: impl Into<Cow<'static, str>>,
         virt_now_s: f64,
         args: &[(&'static str, f64)],
+    ) {
+        self.finish_meta(cat, name, virt_now_s, args, SpanMeta::default());
+    }
+
+    /// [`SpanTimer::finish`] with causal metadata: the span's structural
+    /// [`SpanKind`] and the flow ids it produced/consumed.
+    pub fn finish_meta(
+        self,
+        cat: &'static str,
+        name: impl Into<Cow<'static, str>>,
+        virt_now_s: f64,
+        args: &[(&'static str, f64)],
+        meta: SpanMeta,
     ) {
         let ev = SpanEvent {
             cat,
@@ -189,6 +263,9 @@ impl SpanTimer {
             wall_start_s: self.wall_start_s,
             wall_end_s: wall_now_s(),
             args: args.to_vec(),
+            kind: meta.kind,
+            flow_out: meta.flow_out,
+            flow_in: meta.flow_in,
         };
         my_ring().lock().unwrap().push(ev);
     }
@@ -259,16 +336,23 @@ mod tests {
         for i in 0..6 {
             ring.push(SpanEvent {
                 cat: "t",
-                name: format!("e{i}"),
+                name: format!("e{i}").into(),
                 virt_start_s: 0.0,
                 virt_end_s: 0.0,
                 wall_start_s: 0.0,
                 wall_end_s: 0.0,
                 args: vec![],
+                kind: SpanKind::Other,
+                flow_out: 0,
+                flow_in: 0,
             });
         }
         assert_eq!(ring.dropped, 2);
-        let names: Vec<String> = ring.events().into_iter().map(|e| e.name).collect();
+        let names: Vec<String> = ring
+            .events()
+            .into_iter()
+            .map(|e| e.name.into_owned())
+            .collect();
         assert_eq!(names, vec!["e2", "e3", "e4", "e5"]);
     }
 }

@@ -9,6 +9,7 @@
 
 use std::fmt::Write as _;
 
+use crate::graph::Pag;
 use crate::span;
 
 /// Escape a string for embedding in a JSON string literal.
@@ -117,6 +118,31 @@ pub fn chrome_trace_json() -> (String, usize) {
             }
             out.push_str("}}");
         }
+    }
+    // Perfetto flow events: an `s`/`f` pair per matched happens-before
+    // edge, drawn as an arrow from the producing span's end to the
+    // consuming span's end. The edge index is the flow-event id — flow
+    // ids themselves can repeat across a retransmitted message's copies
+    // and Perfetto would chain those into one bogus multi-hop arrow.
+    let pag = Pag::build();
+    for (i, edge) in pag.flow_edges().enumerate() {
+        let src = &pag.nodes[edge.src];
+        let dst = &pag.nodes[edge.dst];
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"s\",\"id\":{i},\"name\":\"flow\",\"cat\":\"flow\",\
+             \"pid\":{},\"tid\":0,\"ts\":{}}},\
+             {{\"ph\":\"f\",\"bp\":\"e\",\"id\":{i},\"name\":\"flow\",\"cat\":\"flow\",\
+             \"pid\":{},\"tid\":0,\"ts\":{}}}",
+            pid_of(src.rank),
+            fmt_f64(src.event.virt_end_s * 1e6),
+            pid_of(dst.rank),
+            fmt_f64(dst.event.virt_end_s * 1e6),
+        );
     }
     out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"metrics\":");
     out.push_str(&crate::report::metrics_json());

@@ -33,8 +33,11 @@ use crate::slicing::{redistribute_worker, slice_worker};
 pub type LocalFn = Arc<dyn Fn(&mut WorkerScope<'_>, &[u64], &[f64]) + Send + Sync>;
 
 enum ToWorker {
-    /// One or more concatenated Wire-encoded commands.
-    Bytes(Vec<u8>),
+    /// One or more concatenated Wire-encoded commands. `flow` is the
+    /// control-plane flow id of the dispatch (`obs::flow`, 0 when tracing
+    /// is off) — the worker's execution span consumes it, which is what
+    /// draws master→worker arrows in the trace.
+    Bytes { bytes: Vec<u8>, flow: u64 },
     /// Broadcast a local-mode function object (the paper's decorator
     /// "broadcasts the resulting function object to all worker nodes").
     Register { id: u64, f: LocalFn },
@@ -422,8 +425,8 @@ impl OdinContext {
     /// time on both axes; §III-J control-vs-data traffic lands in the
     /// registry under `odin.ctrl_*` / `odin.data_*`.
     #[cold]
-    fn obs_ctrl(&self, cmd_bytes: usize, batched: bool, timer: obs::span::SpanTimer) {
-        timer.finish(
+    fn obs_ctrl(&self, cmd_bytes: usize, batched: bool, timer: obs::span::SpanTimer, flow: u64) {
+        timer.finish_meta(
             "odin",
             if batched {
                 "dispatch(batched)"
@@ -435,6 +438,11 @@ impl OdinContext {
                 ("cmd_bytes", cmd_bytes as f64),
                 ("workers", self.n_workers as f64),
             ],
+            obs::span::SpanMeta {
+                kind: obs::span::SpanKind::Other,
+                flow_out: flow,
+                flow_in: 0,
+            },
         );
         let g = obs::global();
         g.counter("odin.ctrl_msgs").add(self.n_workers as u64);
@@ -446,12 +454,24 @@ impl OdinContext {
     }
 
     #[cold]
-    fn obs_data(&self, name: &'static str, msgs: u64, bytes: u64, timer: obs::span::SpanTimer) {
-        timer.finish(
+    fn obs_data(
+        &self,
+        name: &'static str,
+        msgs: u64,
+        bytes: u64,
+        timer: obs::span::SpanTimer,
+        flow: u64,
+    ) {
+        timer.finish_meta(
             "odin",
             name,
             obs::span::wall_now_s(),
             &[("msgs", msgs as f64), ("bytes", bytes as f64)],
+            obs::span::SpanMeta {
+                kind: obs::span::SpanKind::Other,
+                flow_out: flow,
+                flow_in: 0,
+            },
         );
         let g = obs::global();
         g.counter("odin.data_msgs").add(msgs);
@@ -463,6 +483,18 @@ impl OdinContext {
             Some(obs::span::span_start(obs::span::wall_now_s()))
         } else {
             None
+        }
+    }
+
+    /// Control-plane flow id for one dispatch: allocated only while
+    /// tracing (the timer is the "enabled" witness). Every worker copy of
+    /// the dispatch carries the same id — the graph then draws one
+    /// master→worker edge per consuming worker.
+    fn ctrl_flow(timer: &Option<obs::span::SpanTimer>) -> u64 {
+        if timer.is_some() {
+            obs::flow::next_ctrl()
+        } else {
+            obs::flow::NONE
         }
     }
 
@@ -489,12 +521,19 @@ impl OdinContext {
     /// Liveness probe: an empty command block is a no-op on a live worker
     /// but fails to send if its thread has exited.
     fn probe_worker(&self, worker: usize) {
-        self.worker_send(worker, ToWorker::Bytes(Vec::new()));
+        self.worker_send(
+            worker,
+            ToWorker::Bytes {
+                bytes: Vec::new(),
+                flow: 0,
+            },
+        );
     }
 
     /// Send all buffered commands, one channel message per worker.
     pub fn flush_batch(&self) {
         let timer = self.obs_timer();
+        let flow = Self::ctrl_flow(&timer);
         let bufs = self.batch.borrow_mut().take().expect("no open batch");
         let mut sends = 0u64;
         let mut flushed_bytes = 0u64;
@@ -506,15 +545,20 @@ impl OdinContext {
                 }
                 sends += 1;
                 flushed_bytes += bytes.len() as u64;
-                self.worker_send(w, ToWorker::Bytes(bytes));
+                self.worker_send(w, ToWorker::Bytes { bytes, flow });
             }
         }
         if let Some(t) = timer {
-            t.finish(
+            t.finish_meta(
                 "odin",
                 "flush_batch",
                 obs::span::wall_now_s(),
                 &[("sends", sends as f64), ("bytes", flushed_bytes as f64)],
+                obs::span::SpanMeta {
+                    kind: obs::span::SpanKind::Other,
+                    flow_out: flow,
+                    flow_in: 0,
+                },
             );
         }
     }
@@ -618,11 +662,13 @@ impl OdinContext {
             }
             drop(batch);
             if let Some(t) = timer {
-                self.obs_ctrl(n_bytes, true, t);
+                // Batched: nothing sent yet; the flush span owns the flow.
+                self.obs_ctrl(n_bytes, true, t, 0);
             }
             return;
         }
         drop(batch);
+        let flow = Self::ctrl_flow(&timer);
         self.stats.borrow_mut().channel_sends += self.n_workers as u64;
         // The last worker takes ownership of the encoded command; only
         // the first n−1 sends pay for a copy.
@@ -632,10 +678,16 @@ impl OdinContext {
             } else {
                 bytes.clone()
             };
-            self.worker_send(w, ToWorker::Bytes(payload));
+            self.worker_send(
+                w,
+                ToWorker::Bytes {
+                    bytes: payload,
+                    flow,
+                },
+            );
         }
         if let Some(t) = timer {
-            self.obs_ctrl(n_bytes, false, t);
+            self.obs_ctrl(n_bytes, false, t, flow);
         }
     }
 
@@ -654,9 +706,10 @@ impl OdinContext {
             st.data_bytes += n;
             st.channel_sends += 1;
         }
-        self.worker_send(worker, ToWorker::Bytes(bytes));
+        let flow = Self::ctrl_flow(&timer);
+        self.worker_send(worker, ToWorker::Bytes { bytes, flow });
         if let Some(t) = timer {
-            self.obs_data("send_data", 1, n, t);
+            self.obs_data("send_data", 1, n, t, flow);
         }
     }
 
@@ -896,7 +949,7 @@ impl OdinContext {
             }
         }
         if let Some(t) = timer {
-            self.obs_data(name, tickets.len() as u64, reply_bytes, t);
+            self.obs_data(name, tickets.len() as u64, reply_bytes, t, 0);
         }
         Ok(out)
     }
@@ -1182,7 +1235,13 @@ impl Drop for OdinContext {
             } else {
                 bytes.clone()
             };
-            self.worker_send(w, ToWorker::Bytes(payload));
+            self.worker_send(
+                w,
+                ToWorker::Bytes {
+                    bytes: payload,
+                    flow: 0,
+                },
+            );
         }
         if let Some(pool) = self.pool.borrow_mut().take() {
             let faulty = self.config.fault.is_active() || self.dead.borrow().iter().any(|&d| d);
@@ -1510,7 +1569,16 @@ fn worker_main(comm: &mut Comm, rx: Receiver<ToWorker>, reply: Sender<(usize, Ve
             Ok(ToWorker::Register { id, f }) => {
                 fns.insert(id, f);
             }
-            Ok(ToWorker::Bytes(bytes)) => {
+            Ok(ToWorker::Bytes { bytes, flow }) => {
+                // Execution span consuming the dispatch's control flow:
+                // cross-clock-domain, so it annotates the trace (arrow
+                // from the master) without entering the critical path.
+                let timer = if flow != 0 && obs::enabled() {
+                    Some(obs::span::span_start(comm.virtual_time()))
+                } else {
+                    None
+                };
+                let n_bytes = bytes.len();
                 let mut cur = Cursor::new(&bytes);
                 while cur.remaining() > 0 {
                     let cmd = Cmd::decode(&mut cur).expect("bad command encoding");
@@ -1532,6 +1600,19 @@ fn worker_main(comm: &mut Comm, rx: Receiver<ToWorker>, reply: Sender<(usize, Ve
                     ) {
                         break 'outer;
                     }
+                }
+                if let Some(t) = timer {
+                    t.finish_meta(
+                        "odin",
+                        "exec",
+                        comm.virtual_time(),
+                        &[("cmd_bytes", n_bytes as f64)],
+                        obs::span::SpanMeta {
+                            kind: obs::span::SpanKind::Other,
+                            flow_out: 0,
+                            flow_in: flow,
+                        },
+                    );
                 }
             }
         }
@@ -1984,6 +2065,15 @@ fn exec_kernel(
     let t_meta = arrays[&template].0.clone();
     let n = arrays[&template].1.len();
     const CHUNK: usize = 4096;
+    // Kernel-VM event span: covers the chunked VM run plus its modeled
+    // compute advance, closing *before* the collective reduce tail so no
+    // comm spans nest inside it (the critical-path walk treats Kernel
+    // spans as atomic clock advances).
+    let kernel_timer = if obs::enabled() {
+        Some(obs::span::span_start(comm.virtual_time()))
+    } else {
+        None
+    };
     let mut values = if reduce.is_none() {
         Vec::with_capacity(n)
     } else {
@@ -2044,6 +2134,19 @@ fn exec_kernel(
         start = end;
     }
     comm.advance_compute((n * n_instrs.max(1)) as f64);
+    if let Some(t) = kernel_timer {
+        t.finish_meta(
+            "odin",
+            "kernel",
+            comm.virtual_time(),
+            &[("n", n as f64), ("instrs", n_instrs as f64)],
+            obs::span::SpanMeta {
+                kind: obs::span::SpanKind::Kernel,
+                flow_out: 0,
+                flow_in: 0,
+            },
+        );
+    }
     for s in staged.into_iter().flatten() {
         scratch.fused_pool.push(s);
     }

@@ -34,6 +34,21 @@ pub(crate) fn iter_finish(
     );
 }
 
+/// Run `f` inside a named solver-phase span (`cg.spmv`, `cg.precond`, …)
+/// on this rank's virtual timeline. Phases are container spans: they give
+/// the critical-path report its per-phase subsystem attribution without
+/// entering the walk themselves.
+#[inline]
+pub(crate) fn phase<R>(comm: &Comm, name: &'static str, f: impl FnOnce() -> R) -> R {
+    if !obs::enabled() {
+        return f();
+    }
+    let t = obs::span::span_start(comm.virtual_time());
+    let out = f();
+    t.finish("solver", name, comm.virtual_time(), &[]);
+    out
+}
+
 #[cold]
 fn record_solve_cold(solver: &'static str, iterations: u64, converged: bool, final_residual: f64) {
     let g = obs::global();

@@ -155,7 +155,7 @@ pub fn cg_checkpointed<S: Scalar>(
             }
         }
         let timer = instrument::iter_start(comm);
-        a.matvec_into(comm, &p, &mut ap);
+        instrument::phase(comm, "cg.spmv", || a.matvec_into(comm, &p, &mut ap));
         let pap = p.dot(&ap, comm);
         let alpha = rz / pap;
         x.axpy(alpha, &p);
@@ -173,7 +173,7 @@ pub fn cg_checkpointed<S: Scalar>(
                 history,
             };
         }
-        m.apply_into(comm, &r, &mut z);
+        instrument::phase(comm, "cg.precond", || m.apply_into(comm, &r, &mut z));
         let rz_new = r.dot(&z, comm);
         let beta = rz_new / rz;
         rz = rz_new;

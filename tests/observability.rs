@@ -114,6 +114,14 @@ fn trace_has_all_three_subsystems_with_virtual_clocks() {
     ] {
         assert!(json.contains(needle), "trace missing {needle}");
     }
+
+    // Causal flow arrows: every matched message edge exports a Perfetto
+    // flow-start ("ph":"s") at the producer and flow-finish ("ph":"f")
+    // at the consumer, in equal numbers.
+    let starts = json.matches("\"ph\":\"s\"").count();
+    let finishes = json.matches("\"ph\":\"f\"").count();
+    assert!(starts > 0, "trace has no flow arrows");
+    assert_eq!(starts, finishes, "unpaired flow arrows in the trace");
 }
 
 #[test]

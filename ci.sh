@@ -26,6 +26,7 @@ for seed in 42 1009 777216; do
   echo "-- HPC_FAULT_SEED=$seed"
   HPC_FAULT_SEED=$seed cargo test -q --offline --test failure_modes
   HPC_FAULT_SEED=$seed cargo test -q --offline --test kernel_plane
+  HPC_FAULT_SEED=$seed cargo test -q --offline --test props zerocopy
 done
 
 echo "== E19 autotune gate (Auto vs fixed collectives, alloc counting)"
@@ -53,6 +54,15 @@ echo "== E21 profiling smoke gate (critical path, stragglers, flow trace)"
 cargo run --release --offline -p bench --bin e21_critpath -- --metrics-json \
   | tail -n 1 > BENCH_e21.json
 test -s BENCH_e21.json
+
+echo "== E22 zero-copy gate (region >= 5x encode on 8 MiB, bitwise parity)"
+# Asserts the region arm moves 8 MiB point-to-point payloads at >= 5x the
+# encode arm's measured bandwidth and beats it on >= 1 MiB-per-peer plan
+# exchanges, with bitwise-identical results and bitwise-identical modeled
+# makespans on both fixtures (all asserted in the binary).
+cargo run --release --offline -p bench --bin e22_zerocopy -- --metrics-json \
+  | tail -n 1 > BENCH_e22.json
+test -s BENCH_e22.json
 
 echo "== public API listing is current"
 cargo run --release --offline -p bench --bin api_listing -- --check

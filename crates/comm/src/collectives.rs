@@ -697,8 +697,14 @@ impl Comm {
 
     /// Personalized all-to-all: `outgoing[d]` is this rank's payload for
     /// rank `d`; returns `incoming[s]` = rank `s`'s payload for this rank.
-    /// Pairwise-exchange schedule, `P-1` rounds plus a local move.
-    pub fn alltoallv<T: Wire>(&self, outgoing: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    /// Pairwise-exchange schedule, `P-1` rounds plus a local move. Each
+    /// per-peer payload is owned, so bulk exchanges ride the zero-copy
+    /// region arm above the threshold (redistribution and triplet
+    /// exchange are the heaviest alltoallv users).
+    pub fn alltoallv<T>(&self, outgoing: Vec<Vec<T>>) -> Vec<Vec<T>>
+    where
+        T: Wire + Clone + Send + Sync + 'static,
+    {
         let timer = self.coll_span();
         let out = self.alltoallv_impl(outgoing);
         if let Some(t) = timer {
@@ -707,7 +713,10 @@ impl Comm {
         out
     }
 
-    fn alltoallv_impl<T: Wire>(&self, mut outgoing: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    fn alltoallv_impl<T>(&self, mut outgoing: Vec<Vec<T>>) -> Vec<Vec<T>>
+    where
+        T: Wire + Clone + Send + Sync + 'static,
+    {
         let size = self.size();
         assert_eq!(
             outgoing.len(),
@@ -722,10 +731,10 @@ impl Comm {
             let dest = (rank + shift) % size;
             let src = (rank + size - shift) % size;
             let sreq = self
-                .isend(dest, tag, &outgoing[dest])
+                .isend_zc(dest, tag, std::mem::take(&mut outgoing[dest]))
                 .expect("alltoall send");
             let (v, _) = self
-                .recv::<Vec<T>>(Src::Rank(src), tag)
+                .recv_zc::<Vec<T>>(Src::Rank(src), tag)
                 .expect("alltoall recv");
             self.wait(sreq).expect("alltoall send wait");
             incoming[src] = v;

@@ -10,6 +10,7 @@ use crate::collectives::CollectiveAlgo;
 use crate::error::CommError;
 use crate::fault::{Delivery, FaultPlan};
 use crate::model::NetworkModel;
+use crate::payload::Payload;
 use crate::reliable::Retx;
 use crate::stats::CommStats;
 use crate::wire::{decode_from_slice, Wire};
@@ -57,13 +58,15 @@ pub(crate) struct Envelope {
     pub(crate) src: usize,
     pub(crate) tag: Tag,
     pub(crate) depart: f64,
-    pub(crate) bytes: Vec<u8>,
+    pub(crate) payload: Payload,
     /// Global rank of the sender (for acks and dup suppression, which
     /// operate below the communicator layer).
     pub(crate) gsrc: usize,
     /// Per-(sender → receiver) sequence number; 0 in raw delivery mode.
     pub(crate) seq: u64,
-    /// FNV-1a over the payload; 0 when the fault plane is inactive.
+    /// FNV-1a over the wire bytes; 0 when the fault plane is inactive
+    /// and always 0 for region payloads (checksumming is wire-path-only,
+    /// see the `payload` module docs).
     pub(crate) checksum: u64,
     pub(crate) kind: EnvKind,
     /// Set at intake when checksum verification failed (raw mode only;
@@ -106,6 +109,9 @@ pub(crate) struct RankState {
     /// Recycled wire buffers: send paths encode into them, receive paths
     /// return delivered payloads to them (see [`Comm::take_buf`]).
     pub(crate) pool: RefCell<Vec<Vec<u8>>>,
+    /// Encoded-equivalent size at or above which zero-copy send paths
+    /// ship a region handle instead of encoding (from the config).
+    pub(crate) zerocopy_threshold: usize,
     /// Flow-id domain for causal tracing (`obs::flow`), unique per rank
     /// state within the process so universes never collide.
     pub(crate) flow_domain: u64,
@@ -127,6 +133,8 @@ pub(crate) struct ObsHandles {
     pub(crate) msgs_recv: obs::Counter,
     pub(crate) bytes_recv: obs::Counter,
     pub(crate) overlap_s: obs::Gauge,
+    pub(crate) zerocopy_msgs: obs::Counter,
+    pub(crate) zerocopy_bytes: obs::Counter,
 }
 
 impl RankState {
@@ -147,6 +155,8 @@ impl RankState {
                 msgs_recv: g.counter(&k("comm.msgs_recv")),
                 bytes_recv: g.counter(&k("comm.bytes_recv")),
                 overlap_s: g.gauge(&k("comm.overlap_s")),
+                zerocopy_msgs: g.counter(&k("comm.zerocopy_msgs")),
+                zerocopy_bytes: g.counter(&k("comm.zerocopy_bytes")),
             }
         })
     }
@@ -154,6 +164,13 @@ impl RankState {
 
 /// Most buffers a rank's pool retains; excess returns are dropped.
 const POOL_MAX: usize = 64;
+
+/// Largest buffer capacity the pool retains. A buffer grown by one huge
+/// encode would otherwise pin its high-water allocation for the rest of
+/// the rank's life; above this it is dropped (and counted in
+/// [`CommStats::buffer_pool_evictions`]). Bulk payloads ride the
+/// zero-copy region arm instead of growing pooled buffers.
+const POOL_MAX_BUF_BYTES: usize = 64 * 1024;
 
 /// A communicator handle: the single object user code talks to.
 ///
@@ -218,6 +235,7 @@ impl Comm {
                 seen: RefCell::new(vec![std::collections::HashSet::new(); size]),
                 unacked: RefCell::new(Vec::new()),
                 pool: RefCell::new(Vec::new()),
+                zerocopy_threshold: config.zerocopy_threshold,
                 flow_domain: obs::flow::next_domain(),
                 flow_seq: Cell::new(0),
                 obs_handles: std::cell::OnceCell::new(),
@@ -298,14 +316,27 @@ impl Comm {
     }
 
     /// Return a wire buffer to this rank's pool for later reuse. The
-    /// pool is bounded: excess or capacity-less buffers are dropped.
+    /// pool is bounded both ways — at most 64 entries, none larger
+    /// than 64 KiB of capacity — so one large
+    /// gather can no longer pin its high-water allocation in the pool.
+    /// Refused buffers are dropped and counted in
+    /// [`CommStats::buffer_pool_evictions`] (mirrored as
+    /// `pool.buffer_pool_evictions{rank}`); capacity-less buffers never
+    /// held memory and are discarded without counting.
     pub fn put_buf(&self, buf: Vec<u8>) {
         if buf.capacity() == 0 {
             return;
         }
-        let mut pool = self.state.pool.borrow_mut();
-        if pool.len() < POOL_MAX {
-            pool.push(buf);
+        if buf.capacity() <= POOL_MAX_BUF_BYTES {
+            let mut pool = self.state.pool.borrow_mut();
+            if pool.len() < POOL_MAX {
+                pool.push(buf);
+                return;
+            }
+        }
+        self.state.stats.borrow_mut().buffer_pool_evictions += 1;
+        if obs::enabled() {
+            self.obs_cache_counter("pool.buffer_pool_evictions");
         }
     }
 
@@ -384,6 +415,35 @@ impl Comm {
         self.send_bytes(dest, tag, buf)
     }
 
+    /// The encoded-equivalent size at or above which zero-copy sends
+    /// ship a region handle instead of encoding (from the universe
+    /// config; see the [`crate::payload`] module).
+    pub fn zerocopy_threshold(&self) -> usize {
+        self.state.zerocopy_threshold
+    }
+
+    /// Send an owned typed value, taking the zero-copy region arm when
+    /// its encoded size reaches the threshold. Blocking wrapper over
+    /// [`Comm::isend_zc`]; pair with [`Comm::recv_zc`] on the receiver.
+    pub fn send_zc<T>(&self, dest: usize, tag: Tag, value: T) -> Result<(), CommError>
+    where
+        T: Wire + Send + Sync + 'static,
+    {
+        let req = self.isend_zc(dest, tag, value)?;
+        self.wait(req).map(|_| ())
+    }
+
+    /// Receive a typed value sent with either payload arm: wire bytes
+    /// decode (and recycle the buffer), regions transfer ownership of
+    /// the value itself. The blocking pair of [`Comm::send_zc`].
+    pub fn recv_zc<T>(&self, src: Src, tag: Tag) -> Result<(T, Status), CommError>
+    where
+        T: Wire + Clone + Send + Sync + 'static,
+    {
+        let req = self.irecv_named(src, tag, "recv")?;
+        self.wait_recv_zc(req)
+    }
+
     pub(crate) fn matches(&self, env: &Envelope, src: Src, tag: Tag) -> bool {
         env.ctx == self.ctx
             && env.tag == tag
@@ -397,9 +457,10 @@ impl Comm {
     /// arrives. Blocking wrapper over [`Comm::irecv`] + [`Comm::wait`].
     pub fn recv_bytes(&self, src: Src, tag: Tag) -> Result<(Vec<u8>, Status), CommError> {
         let req = self.irecv_named(src, tag, "recv")?;
-        Ok(self
+        let (payload, status) = self
             .wait(req)?
-            .expect("receive completion carries a payload"))
+            .expect("receive completion carries a payload");
+        Ok((payload.into_wire_bytes()?, status))
     }
 
     /// Receive a typed value matching `(src, tag)`. The delivered wire
@@ -623,5 +684,98 @@ mod tests {
         assert_eq!(report.stats[0].bytes_sent, 88);
         assert_eq!(report.stats[1].msgs_recv, 1);
         assert_eq!(report.stats[1].bytes_recv, 88);
+    }
+
+    #[test]
+    fn zerocopy_send_transfers_ownership_without_copy() {
+        use crate::universe::UniverseConfig;
+        let cfg = UniverseConfig::default().with_zerocopy_threshold(1);
+        let report = Universe::run_report(cfg, 2, |comm| {
+            if comm.rank() == 0 {
+                let v: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+                let ptr = v.as_ptr() as usize;
+                comm.send_zc(1, 3, v).unwrap();
+                ptr
+            } else {
+                let (v, st) = comm.recv_zc::<Vec<f64>>(Src::Rank(0), 3).unwrap();
+                assert_eq!(st.bytes, 8008, "Status carries the wire-equivalent size");
+                assert_eq!(v[999], 999.0);
+                v.as_ptr() as usize
+            }
+        });
+        // Raw mode keeps no retransmit copy: the very allocation moved.
+        assert_eq!(report.results[0], report.results[1]);
+        assert_eq!(report.stats[0].zerocopy_msgs, 1);
+        assert_eq!(report.stats[0].zerocopy_bytes, 8008);
+        // Byte counters charge the wire-equivalent size on both sides.
+        assert_eq!(report.stats[0].bytes_sent, 8008);
+        assert_eq!(report.stats[1].bytes_recv, 8008);
+    }
+
+    #[test]
+    fn zerocopy_below_threshold_takes_the_wire_path() {
+        let report = Universe::run_report(Default::default(), 2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_zc(1, 3, vec![1.0f64; 10]).unwrap();
+            } else {
+                let (v, _) = comm.recv_zc::<Vec<f64>>(Src::Rank(0), 3).unwrap();
+                assert_eq!(v.len(), 10);
+            }
+        });
+        // 88 bytes < default threshold: encoded, not a region.
+        assert_eq!(report.stats[0].zerocopy_msgs, 0);
+        assert_eq!(report.stats[0].bytes_sent, 88);
+    }
+
+    #[test]
+    fn modeled_time_is_identical_across_payload_arms() {
+        use crate::universe::UniverseConfig;
+        // The same traffic with regions forced on vs off must produce a
+        // bitwise-identical makespan and byte counts: the LogGP clock
+        // charges wire-equivalent bytes either way (the E2/E9/E17
+        // invariance the refactor promises).
+        let run = |threshold: usize| {
+            let cfg = UniverseConfig::default().with_zerocopy_threshold(threshold);
+            Universe::run_report(cfg, 2, |comm| {
+                if comm.rank() == 0 {
+                    comm.send_zc(1, 1, vec![0.5f64; 50_000]).unwrap();
+                    comm.recv_zc::<Vec<u64>>(Src::Rank(1), 2).unwrap().1.depart
+                } else {
+                    comm.recv_zc::<Vec<f64>>(Src::Rank(0), 1).unwrap();
+                    comm.send_zc(0, 2, vec![7u64; 20_000]).unwrap();
+                    comm.virtual_time()
+                }
+            })
+        };
+        let zc = run(1);
+        let wire = run(usize::MAX);
+        assert!(zc.stats[0].zerocopy_msgs > 0 && wire.stats[0].zerocopy_msgs == 0);
+        assert_eq!(zc.makespan_s.to_bits(), wire.makespan_s.to_bits());
+        assert_eq!(zc.results[0].to_bits(), wire.results[0].to_bits());
+        for (a, b) in zc.stats.iter().zip(&wire.stats) {
+            assert_eq!(a.bytes_sent, b.bytes_sent);
+            assert_eq!(a.bytes_recv, b.bytes_recv);
+            assert_eq!(a.modeled_comm_s.to_bits(), b.modeled_comm_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn pool_drops_oversized_buffers_and_counts_evictions() {
+        Universe::run(1, |comm| {
+            // Oversized: capacity beyond the per-entry cap is refused.
+            comm.put_buf(Vec::with_capacity(super::POOL_MAX_BUF_BYTES + 1));
+            assert_eq!(comm.stats().buffer_pool_evictions, 1);
+            let got = comm.take_buf();
+            assert_eq!(got.capacity(), 0, "oversized buffer must not be pooled");
+            assert_eq!(comm.stats().buffer_reuse, 0);
+            // Entry cap: the 65th acceptable buffer is refused too.
+            for _ in 0..super::POOL_MAX + 1 {
+                comm.put_buf(Vec::with_capacity(16));
+            }
+            assert_eq!(comm.stats().buffer_pool_evictions, 2);
+            // Capacity-less buffers never held memory: not an eviction.
+            comm.put_buf(Vec::new());
+            assert_eq!(comm.stats().buffer_pool_evictions, 2);
+        });
     }
 }

@@ -32,6 +32,7 @@ pub mod comm;
 pub mod error;
 pub mod fault;
 pub mod model;
+pub mod payload;
 pub mod reliable;
 pub mod request;
 pub mod stats;
@@ -43,6 +44,7 @@ pub use collectives::{CollectiveAlgo, ReduceOp};
 pub use error::CommError;
 pub use fault::{Delivery, FaultAction, FaultPlan};
 pub use model::NetworkModel;
+pub use payload::{Payload, Region, DEFAULT_ZEROCOPY_THRESHOLD};
 pub use request::{Completion, Request};
 pub use stats::CommStats;
 pub use universe::{RunReport, Universe, UniverseConfig};

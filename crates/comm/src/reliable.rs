@@ -18,7 +18,11 @@
 //!   spurious retransmits alike);
 //! * **corruption** — an arrival failing checksum verification is
 //!   discarded *without* an ack, which turns bit-corruption into a drop
-//!   the retransmit path already heals.
+//!   the retransmit path already heals. Checksums cover the wire-bytes
+//!   arm only: zero-copy region payloads never serialize, cannot
+//!   bit-corrupt in-process, and arrive with checksum 0 (a `Corrupt`
+//!   fault on a region send is skipped and counted in
+//!   [`CommStats::corrupt_skipped_region`](crate::CommStats)).
 //!
 //! Retransmissions and acks are exempt from fault injection (see
 //! [`fault`]), so one retransmission always heals one lost
@@ -34,6 +38,7 @@ use std::time::{Duration, Instant};
 use crate::comm::{Comm, EnvKind, Envelope};
 use crate::error::CommError;
 use crate::fault::{self, Delivery, FaultAction};
+use crate::payload::Payload;
 
 /// Initial retransmit timeout. Must comfortably exceed a same-machine
 /// mailbox round trip so healthy traffic is never retransmitted.
@@ -45,14 +50,16 @@ pub(crate) const RETX_TICK: Duration = Duration::from_millis(1);
 /// Default bound on [`Comm::quiesce`] when no stall timeout is set.
 const QUIESCE_LIMIT: Duration = Duration::from_secs(5);
 
-/// A sent-but-unacked envelope, kept for retransmission.
+/// A sent-but-unacked envelope, kept for retransmission. For region
+/// payloads the retained copy is an `Arc` clone — free, and it is why a
+/// receiver may find the region handle shared until the ack lands.
 pub(crate) struct Retx {
     pub(crate) gdest: usize,
     pub(crate) ctx: u64,
     pub(crate) src: usize,
     pub(crate) tag: u32,
     pub(crate) seq: u64,
-    pub(crate) bytes: Vec<u8>,
+    pub(crate) payload: Payload,
     pub(crate) checksum: u64,
     pub(crate) next_retry: Instant,
     pub(crate) backoff: Duration,
@@ -112,17 +119,18 @@ impl Comm {
         dest_local: usize,
         tag: u32,
         mut depart: f64,
-        bytes: Vec<u8>,
+        payload: Payload,
         flow: u64,
     ) -> Result<f64, CommError> {
         let st = &self.state;
         let gdest = self.group[dest_local];
         let reliable = self.reliable();
         let active = st.fault.is_active();
-        let cks = if active || reliable {
-            fault::checksum(&bytes)
-        } else {
-            0
+        // Checksumming is wire-path-only: a region handle never
+        // serializes, so there is no byte image to protect (or corrupt).
+        let cks = match &payload {
+            Payload::Bytes(bytes) if active || reliable => fault::checksum(bytes),
+            _ => 0,
         };
         let seq = if reliable {
             let mut next = st.next_seq.borrow_mut();
@@ -149,7 +157,7 @@ impl Comm {
                 src: self.rank(),
                 tag,
                 seq,
-                bytes: bytes.clone(),
+                payload: payload.clone(),
                 checksum: cks,
                 next_retry: Instant::now() + RTO,
                 backoff: RTO,
@@ -161,7 +169,7 @@ impl Comm {
             src: self.rank(),
             tag,
             depart,
-            bytes,
+            payload,
             gsrc: st.world_rank,
             seq,
             checksum: cks,
@@ -179,13 +187,24 @@ impl Comm {
                 Ok(depart)
             }
             FaultAction::Corrupt => {
-                // Flip one payload bit after checksumming (or the checksum
-                // itself for empty payloads) so the receiver detects it.
-                if env.bytes.is_empty() {
-                    env.checksum ^= 1;
-                } else {
-                    let mid = env.bytes.len() / 2;
-                    env.bytes[mid] ^= 0x10;
+                match &mut env.payload {
+                    // Flip one payload bit after checksumming (or the
+                    // checksum itself for empty payloads) so the
+                    // receiver detects it.
+                    Payload::Bytes(bytes) if bytes.is_empty() => env.checksum ^= 1,
+                    Payload::Bytes(bytes) => {
+                        let mid = bytes.len() / 2;
+                        bytes[mid] ^= 0x10;
+                    }
+                    // A region handle has no wire image to flip: the
+                    // fault is skipped outright — counted, never
+                    // half-applied (see the `payload` module docs).
+                    Payload::Region(_) => {
+                        st.stats.borrow_mut().corrupt_skipped_region += 1;
+                        if obs::enabled() {
+                            self.obs_fault_counter("comm.corrupt_skipped_region");
+                        }
+                    }
                 }
                 self.senders[gdest]
                     .send(env)
@@ -223,7 +242,12 @@ impl Comm {
             return None;
         }
         let verify = st.delivery == Delivery::Reliable || st.fault.is_active();
-        let ok = !verify || fault::checksum(&env.bytes) == env.checksum;
+        // Verification is wire-path-only: region arrivals always pass
+        // (they carry checksum 0 and cannot bit-corrupt in-process).
+        let ok = match &env.payload {
+            Payload::Bytes(bytes) if verify => fault::checksum(bytes) == env.checksum,
+            _ => true,
+        };
         if !ok {
             st.stats.borrow_mut().corrupt_detected += 1;
             if obs::enabled() {
@@ -271,7 +295,7 @@ impl Comm {
             src: 0,
             tag: 0,
             depart: st.clock.get(),
-            bytes: Vec::new(),
+            payload: Payload::Bytes(Vec::new()),
             gsrc: st.world_rank,
             seq,
             checksum: 0,
@@ -295,7 +319,7 @@ impl Comm {
                 continue;
             }
             let o = self.model.overhead_s;
-            let wire = r.bytes.len() as f64 * self.model.seconds_per_byte;
+            let wire = r.payload.wire_len() as f64 * self.model.seconds_per_byte;
             let clock = st.clock.get() + o;
             st.clock.set(clock);
             let depart = clock.max(st.nic_free.get()) + wire;
@@ -333,7 +357,7 @@ impl Comm {
                 src: r.src,
                 tag: r.tag,
                 depart,
-                bytes: r.bytes.clone(),
+                payload: r.payload.clone(),
                 gsrc: st.world_rank,
                 seq: r.seq,
                 checksum: r.checksum,
@@ -502,6 +526,57 @@ mod tests {
                 after_ops: 3
             }
         );
+    }
+
+    #[test]
+    fn corrupt_fault_on_region_is_skipped_and_counted() {
+        // Every fresh transmission draws Corrupt, but the payload rides
+        // the region arm: the fault must be skipped outright (regions
+        // have no wire image), counted, and the value delivered intact —
+        // in both delivery modes.
+        for delivery in [Delivery::Raw, Delivery::Reliable] {
+            let cfg = UniverseConfig {
+                fault: FaultPlan::messages(3, 0.0, 0.0, 0.0, 1.0),
+                delivery,
+                stall_timeout: Some(Duration::from_secs(10)),
+                ..Default::default()
+            }
+            .with_zerocopy_threshold(1);
+            let report = Universe::run_report(cfg, 2, |comm| {
+                if comm.rank() == 0 {
+                    comm.send_zc(1, 9, vec![7u64; 64]).unwrap();
+                } else {
+                    let (v, _) = comm.recv_zc::<Vec<u64>>(Src::Rank(0), 9).unwrap();
+                    assert_eq!(v, vec![7u64; 64]);
+                }
+            });
+            assert!(report.stats[0].corrupt_skipped_region >= 1, "{delivery:?}");
+            assert_eq!(report.stats[1].corrupt_detected, 0, "{delivery:?}");
+            // Nothing was lost, so nothing retransmits.
+            assert_eq!(report.stats[0].retransmits, 0, "{delivery:?}");
+        }
+    }
+
+    #[test]
+    fn dropped_region_is_retransmitted_from_the_arc_copy() {
+        let plan = FaultPlan::messages(1, 1.0, 0.0, 0.0, 0.0);
+        let cfg = chaos_cfg(plan).with_zerocopy_threshold(1);
+        let report = Universe::run_report(cfg, 2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_zc(1, 5, vec![1.5f64; 2048]).unwrap();
+            } else {
+                let (v, _) = comm.recv_zc::<Vec<f64>>(Src::Rank(0), 5).unwrap();
+                assert_eq!(v.len(), 2048);
+                assert_eq!(v[0], 1.5);
+            }
+        });
+        assert!(report.stats[0].faults_dropped >= 1);
+        assert_eq!(
+            report.stats.iter().map(|s| s.retransmits).sum::<u64>(),
+            report.stats.iter().map(|s| s.faults_dropped).sum::<u64>(),
+            "one retransmit heals one dropped region"
+        );
+        assert!(report.stats[0].zerocopy_msgs >= 1);
     }
 
     #[test]

@@ -42,11 +42,14 @@ use std::time::{Duration, Instant};
 
 use crate::comm::{Comm, Envelope, Src, Status, Tag};
 use crate::error::CommError;
+use crate::payload::{Payload, Region};
 use crate::wire::{decode_from_slice, Wire};
 
 /// Payload of a completed request: `None` for sends, the received message
-/// for receives.
-pub type Completion = Option<(Vec<u8>, Status)>;
+/// for receives. The payload carries either encoded wire bytes or a
+/// zero-copy region handle (see the [`crate::payload`] module); typed
+/// receives ([`Comm::wait_recv_zc`]) accept both arms transparently.
+pub type Completion = Option<(Payload, Status)>;
 
 /// Delivery timing captured for span attribution (tracing only).
 #[derive(Debug, Clone, Copy)]
@@ -124,6 +127,29 @@ impl Comm {
         self.isend_bytes_named(dest, tag, buf, "isend")
     }
 
+    /// Post a nonblocking typed send of an *owned* value, taking the
+    /// zero-copy region arm when the encoded size reaches
+    /// [`Comm::zerocopy_threshold`]: the value moves through the mailbox
+    /// as an `Arc` handle, with no serialization or memcpy. Below the
+    /// threshold this is exactly [`Comm::isend`]. Either way the LogGP
+    /// clock charges the same modeled `o + wire_size·G`, so scaling
+    /// shapes do not depend on the threshold. Pair the receive with
+    /// [`Comm::wait_recv_zc`]/[`Comm::recv_zc`], which accept both arms.
+    pub fn isend_zc<T>(&self, dest: usize, tag: Tag, value: T) -> Result<Request, CommError>
+    where
+        T: Wire + Send + Sync + 'static,
+    {
+        let n = value.wire_size();
+        if n < self.zerocopy_threshold() {
+            let mut buf = self.take_buf();
+            value.encode(&mut buf);
+            debug_assert_eq!(buf.len(), n, "wire_size disagrees with encode");
+            self.isend_bytes_named(dest, tag, buf, "isend")
+        } else {
+            self.isend_payload_named(dest, tag, Payload::Region(Region::new(value, n)), "isend")
+        }
+    }
+
     pub(crate) fn isend_bytes_named(
         &self,
         dest: usize,
@@ -131,9 +157,19 @@ impl Comm {
         bytes: Vec<u8>,
         span_name: &'static str,
     ) -> Result<Request, CommError> {
+        self.isend_payload_named(dest, tag, Payload::Bytes(bytes), span_name)
+    }
+
+    pub(crate) fn isend_payload_named(
+        &self,
+        dest: usize,
+        tag: Tag,
+        payload: Payload,
+        span_name: &'static str,
+    ) -> Result<Request, CommError> {
         self.check_rank(dest)?;
         self.fault_tick()?;
-        let n = bytes.len();
+        let n = payload.wire_len();
         let state = &self.state;
         let posted_at = state.clock.get();
         // CPU cost of posting; wire serialization runs on the NIC and can
@@ -143,16 +179,21 @@ impl Comm {
         let ser_start = post_end.max(state.nic_free.get());
         let depart = ser_start + n as f64 * self.model.seconds_per_byte;
         state.nic_free.set(depart);
+        let zerocopy = payload.is_region();
         {
             let mut st = state.stats.borrow_mut();
             st.msgs_sent += 1;
             st.bytes_sent += n as u64;
             st.modeled_comm_s += self.model.overhead_s;
+            if zerocopy {
+                st.zerocopy_msgs += 1;
+                st.zerocopy_bytes += n as u64;
+            }
         }
         // Flow ids only exist while tracing: the disabled path stays one
         // relaxed load, and flow 0 means "no causal edge" downstream.
         let (timer, flow) = if obs::enabled() {
-            self.obs_count_send(n, dest, tag);
+            self.obs_count_send(n, zerocopy, dest, tag);
             let seq = state.flow_seq.get() + 1;
             state.flow_seq.set(seq);
             (
@@ -162,7 +203,7 @@ impl Comm {
         } else {
             (None, obs::flow::NONE)
         };
-        let sent_depart = self.transmit_fresh(dest, tag, depart, bytes, flow)?;
+        let sent_depart = self.transmit_fresh(dest, tag, depart, payload, flow)?;
         Ok(Request {
             inner: ReqInner::Send {
                 post_end,
@@ -251,15 +292,49 @@ impl Comm {
     }
 
     /// Complete a receive request and decode its payload. The delivered
-    /// wire buffer is recycled into this rank's pool.
+    /// wire buffer is recycled into this rank's pool. A region arrival
+    /// surfaces as a decode error — pair zero-copy sends with
+    /// [`Comm::wait_recv_zc`], which handles both arms.
     pub fn wait_recv<T: Wire>(&self, req: Request) -> Result<(T, Status), CommError> {
         debug_assert!(!req.is_send(), "wait_recv on a send request");
-        let (bytes, status) = self
+        let (payload, status) = self
             .wait(req)?
             .expect("receive completion carries a payload");
+        let bytes = payload.into_wire_bytes()?;
         let value = decode_from_slice(&bytes)?;
         self.put_buf(bytes);
         Ok((value, status))
+    }
+
+    /// Complete a receive request whose sender may have used either
+    /// payload arm: wire bytes decode exactly like [`Comm::wait_recv`];
+    /// a region downcasts to `T` and transfers ownership of the value —
+    /// no copy when this is the last handle, one clone when the sender's
+    /// reliable-delivery retransmit copy is still unacked.
+    pub fn wait_recv_zc<T>(&self, req: Request) -> Result<(T, Status), CommError>
+    where
+        T: Wire + Clone + Send + Sync + 'static,
+    {
+        debug_assert!(!req.is_send(), "wait_recv_zc on a send request");
+        let (payload, status) = self
+            .wait(req)?
+            .expect("receive completion carries a payload");
+        match payload {
+            Payload::Bytes(bytes) => {
+                let value = decode_from_slice(&bytes)?;
+                self.put_buf(bytes);
+                Ok((value, status))
+            }
+            Payload::Region(region) => {
+                let value = region.take::<T>().ok_or_else(|| {
+                    CommError::Decode(format!(
+                        "region payload is not a {}",
+                        std::any::type_name::<T>()
+                    ))
+                })?;
+                Ok((value, status))
+            }
+        }
     }
 
     pub(crate) fn wait_deadline(
@@ -438,9 +513,9 @@ impl Comm {
     /// Deliver an envelope for a receive that was posted at `posted_at`:
     /// the blocking delivery rule, minus flight time that already elapsed
     /// while the rank computed (credited to `overlap_s`).
-    fn deliver_posted(&self, env: Envelope, posted_at: f64) -> ((Vec<u8>, Status), RecvTiming) {
+    fn deliver_posted(&self, env: Envelope, posted_at: f64) -> ((Payload, Status), RecvTiming) {
         let state = &self.state;
-        let n = env.bytes.len();
+        let n = env.payload.wire_len();
         let arrive = env.depart + self.model.latency_s;
         let old = state.clock.get();
         let new = old.max(arrive) + self.model.overhead_s;
@@ -462,7 +537,7 @@ impl Comm {
         }
         (
             (
-                env.bytes,
+                env.payload,
                 Status {
                     src: env.src,
                     tag: env.tag,
@@ -543,9 +618,10 @@ impl Comm {
         timeout: Duration,
     ) -> Result<(Vec<u8>, Status), CommError> {
         let req = self.irecv_named(src, tag, "recv")?;
-        Ok(self
+        let (payload, status) = self
             .wait_deadline(req, Some(timeout))?
-            .expect("receive completion carries a payload"))
+            .expect("receive completion carries a payload");
+        Ok((payload.into_wire_bytes()?, status))
     }
 
     /// Registry labels use the *global* rank so sub-communicator traffic
@@ -553,11 +629,15 @@ impl Comm {
     /// are cached on the rank state: the per-message cost is three
     /// relaxed atomic updates, not registry lookups.
     #[cold]
-    fn obs_count_send(&self, n: usize, _dest: usize, _tag: Tag) {
+    fn obs_count_send(&self, n: usize, zerocopy: bool, _dest: usize, _tag: Tag) {
         let h = self.state.obs_handles();
         h.msgs_sent.inc();
         h.bytes_sent.add(n as u64);
         h.sent_msg_bytes.record(n as u64);
+        if zerocopy {
+            h.zerocopy_msgs.inc();
+            h.zerocopy_bytes.add(n as u64);
+        }
     }
 
     #[cold]

@@ -48,6 +48,21 @@ pub struct CommStats {
     pub plan_misses: u64,
     /// Wire buffers taken from this rank's pool instead of allocated.
     pub buffer_reuse: u64,
+    /// Wire buffers the bounded pool refused to retain (pool full, or
+    /// the buffer's capacity exceeded the per-entry cap after a large
+    /// encode) — they are dropped instead of pinning the high-water mark.
+    pub buffer_pool_evictions: u64,
+    /// Messages this rank sent as zero-copy region handles instead of
+    /// encoded wire bytes.
+    pub zerocopy_msgs: u64,
+    /// Encoded-equivalent bytes of those region sends (the same modeled
+    /// size `bytes_sent` counts, so `bytes_sent − zerocopy_bytes` is the
+    /// traffic that was actually serialized).
+    pub zerocopy_bytes: u64,
+    /// `Corrupt` faults that landed on a region send and were skipped:
+    /// checksumming is wire-path-only, so a region has no byte image to
+    /// flip (see the `payload` module docs). Never silently half-applied.
+    pub corrupt_skipped_region: u64,
 }
 
 impl CommStats {
@@ -71,6 +86,10 @@ impl CommStats {
         self.plan_hits += other.plan_hits;
         self.plan_misses += other.plan_misses;
         self.buffer_reuse += other.buffer_reuse;
+        self.buffer_pool_evictions += other.buffer_pool_evictions;
+        self.zerocopy_msgs += other.zerocopy_msgs;
+        self.zerocopy_bytes += other.zerocopy_bytes;
+        self.corrupt_skipped_region += other.corrupt_skipped_region;
     }
 
     /// Mean payload size of sent messages, or 0.0 if none were sent.
@@ -108,6 +127,10 @@ mod tests {
             plan_hits: 5,
             plan_misses: 2,
             buffer_reuse: 7,
+            buffer_pool_evictions: 3,
+            zerocopy_msgs: 9,
+            zerocopy_bytes: 900,
+            corrupt_skipped_region: 2,
         };
         let b = a;
         a.merge(&b);
@@ -129,6 +152,10 @@ mod tests {
         assert_eq!(a.plan_hits, 10);
         assert_eq!(a.plan_misses, 4);
         assert_eq!(a.buffer_reuse, 14);
+        assert_eq!(a.buffer_pool_evictions, 6);
+        assert_eq!(a.zerocopy_msgs, 18);
+        assert_eq!(a.zerocopy_bytes, 1800);
+        assert_eq!(a.corrupt_skipped_region, 4);
     }
 
     #[test]

@@ -12,12 +12,18 @@ use crate::model::NetworkModel;
 use crate::stats::CommStats;
 
 /// Configuration for a run: the cost model and collective algorithm.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct UniverseConfig {
     /// LogGP constants used by every rank's virtual clock.
     pub model: NetworkModel,
     /// Collective algorithm family (ablated in E12).
     pub algo: CollectiveAlgo,
+    /// Encoded-equivalent payload size, in bytes, at or above which the
+    /// typed zero-copy send paths ship an `Arc`-backed region handle
+    /// instead of encoding (see the `payload` module). Modeled time is
+    /// arm-independent, so this only moves wall-clock cost; set it to
+    /// `usize::MAX` to force the encode path everywhere (parity tests do).
+    pub zerocopy_threshold: usize,
     /// Wall-clock deadline for blocking receives and request waits; a
     /// rank blocked longer returns [`crate::CommError::Stalled`] with
     /// who/tag/src diagnostics instead of hanging forever. `None`
@@ -33,6 +39,19 @@ pub struct UniverseConfig {
     pub delivery: Delivery,
 }
 
+impl Default for UniverseConfig {
+    fn default() -> Self {
+        UniverseConfig {
+            model: NetworkModel::default(),
+            algo: CollectiveAlgo::default(),
+            zerocopy_threshold: crate::payload::DEFAULT_ZEROCOPY_THRESHOLD,
+            stall_timeout: None,
+            fault: FaultPlan::default(),
+            delivery: Delivery::default(),
+        }
+    }
+}
+
 impl UniverseConfig {
     /// Set the LogGP network cost model.
     #[must_use]
@@ -45,6 +64,14 @@ impl UniverseConfig {
     #[must_use]
     pub fn with_algo(mut self, algo: CollectiveAlgo) -> Self {
         self.algo = algo;
+        self
+    }
+
+    /// Set the zero-copy region threshold (bytes of encoded-equivalent
+    /// payload). `usize::MAX` disables region transfer entirely.
+    #[must_use]
+    pub fn with_zerocopy_threshold(mut self, bytes: usize) -> Self {
+        self.zerocopy_threshold = bytes;
         self
     }
 

@@ -45,6 +45,18 @@ pub trait Wire: Sized {
     fn encode(&self, buf: &mut Vec<u8>);
     /// Decode one value, advancing the cursor.
     fn decode(cur: &mut Cursor<'_>) -> Result<Self, CommError>;
+    /// Exact size of this value's encoding, in bytes, without producing
+    /// it. The zero-copy send path uses this both to decide which arm a
+    /// payload takes and to charge the LogGP clock the same modeled
+    /// bytes a region transfer *would* have occupied on a real wire —
+    /// so the invariant `wire_size() == encode-then-len` must hold for
+    /// every implementation. The default materializes the encoding;
+    /// in-tree implementations override it with O(1)-per-element sums.
+    fn wire_size(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
 }
 
 /// Encode a value into a fresh buffer.
@@ -80,6 +92,9 @@ macro_rules! wire_le_int {
                 a.copy_from_slice(s);
                 Ok(<$t>::from_le_bytes(a))
             }
+            fn wire_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
         }
     )*};
 }
@@ -92,6 +107,9 @@ impl Wire for usize {
     }
     fn decode(cur: &mut Cursor<'_>) -> Result<Self, CommError> {
         Ok(u64::decode(cur)? as usize)
+    }
+    fn wire_size(&self) -> usize {
+        8
     }
 }
 
@@ -106,12 +124,18 @@ impl Wire for bool {
             b => Err(CommError::Decode(format!("invalid bool byte {b}"))),
         }
     }
+    fn wire_size(&self) -> usize {
+        1
+    }
 }
 
 impl Wire for () {
     fn encode(&self, _buf: &mut Vec<u8>) {}
     fn decode(_cur: &mut Cursor<'_>) -> Result<Self, CommError> {
         Ok(())
+    }
+    fn wire_size(&self) -> usize {
+        0
     }
 }
 
@@ -124,6 +148,9 @@ impl Wire for String {
         let n = u64::decode(cur)? as usize;
         let s = cur.take(n)?;
         String::from_utf8(s.to_vec()).map_err(|e| CommError::Decode(e.to_string()))
+    }
+    fn wire_size(&self) -> usize {
+        8 + self.len()
     }
 }
 
@@ -147,6 +174,9 @@ impl<T: Wire> Wire for Vec<T> {
         }
         Ok(out)
     }
+    fn wire_size(&self) -> usize {
+        8 + self.iter().map(Wire::wire_size).sum::<usize>()
+    }
 }
 
 impl<T: Wire> Wire for Option<T> {
@@ -166,6 +196,9 @@ impl<T: Wire> Wire for Option<T> {
             b => Err(CommError::Decode(format!("invalid option byte {b}"))),
         }
     }
+    fn wire_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, Wire::wire_size)
+    }
 }
 
 impl<A: Wire, B: Wire> Wire for (A, B) {
@@ -175,6 +208,9 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     }
     fn decode(cur: &mut Cursor<'_>) -> Result<Self, CommError> {
         Ok((A::decode(cur)?, B::decode(cur)?))
+    }
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size()
     }
 }
 
@@ -186,6 +222,9 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
     }
     fn decode(cur: &mut Cursor<'_>) -> Result<Self, CommError> {
         Ok((A::decode(cur)?, B::decode(cur)?, C::decode(cur)?))
+    }
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size() + self.2.wire_size()
     }
 }
 
@@ -203,6 +242,9 @@ impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
             C::decode(cur)?,
             D::decode(cur)?,
         ))
+    }
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size() + self.2.wire_size() + self.3.wire_size()
     }
 }
 
@@ -296,5 +338,37 @@ mod tests {
     fn vec_f64_layout_is_8_bytes_per_element_plus_header() {
         let v = vec![0.0f64; 100];
         assert_eq!(encode_to_vec(&v).len(), 8 + 800);
+    }
+
+    /// The zero-copy invariant: `wire_size` must equal the materialized
+    /// encoding's length for every implementation, since the LogGP clock
+    /// charges region transfers by `wire_size` alone.
+    #[test]
+    fn wire_size_matches_encoded_length() {
+        fn check<T: Wire>(v: T) {
+            assert_eq!(v.wire_size(), encode_to_vec(&v).len());
+        }
+        check(0u8);
+        check(u16::MAX);
+        check(123456u32);
+        check(u64::MAX);
+        check(-1i8);
+        check(i64::MIN);
+        check(std::f32::consts::PI);
+        check(std::f64::consts::E);
+        check(true);
+        check(usize::MAX);
+        check(());
+        check(String::from("héllo wörld"));
+        check(String::new());
+        check(vec![1.0f64; 1000]);
+        check(Vec::<i64>::new());
+        check(Some(42u32));
+        check(Option::<u32>::None);
+        check((1u8, 2.5f64));
+        check((1u8, 2.5f64, String::from("x")));
+        check((1u8, 2u16, 3u32, 4u64));
+        check(vec![vec![1i32, 2], vec![], vec![3]]);
+        check(vec![(vec![1usize, 2], Some(7.5f64))]);
     }
 }

@@ -236,7 +236,12 @@ impl<S: Scalar> CsrMatrix<S> {
     /// using this matrix's halo-exchange plan: `out[lc]` is the value at
     /// global point `col_gids()[lc]`. Collective. This is how multigrid
     /// transfers aggregate ids and how ODIN local kernels see ghost data.
-    pub fn halo_gather<T: comm::Wire + Copy>(&self, comm: &Comm, local: &[T], fill: T) -> Vec<T> {
+    pub fn halo_gather<T: comm::Wire + Copy + Send + Sync + 'static>(
+        &self,
+        comm: &Comm,
+        local: &[T],
+        fill: T,
+    ) -> Vec<T> {
         assert_eq!(local.len(), self.domain_map.my_count());
         let mut out = vec![fill; self.plan.n_target()];
         self.plan.execute(comm, local, &mut out);

@@ -9,7 +9,7 @@
 //! * halo/ghost gathers for SpMV and shifted-slice arithmetic (E5),
 //! * reverse "export" with combine modes for accumulating contributions.
 
-use comm::{Comm, Cursor, Request, Src, Tag, Wire};
+use comm::{Comm, Cursor, Payload, Request, Src, Tag, Wire};
 
 use crate::directory::Directory;
 use crate::map::DistMap;
@@ -153,7 +153,12 @@ impl CommPlan {
     /// `src_data` (laid out by the source map). Collective. Implemented as
     /// [`Self::execute_start`] + [`Self::execute_finish`] back-to-back; use
     /// the split pair directly to overlap compute with the exchange.
-    pub fn execute<T: Wire + Copy>(&self, comm: &Comm, src_data: &[T], target: &mut [T]) {
+    pub fn execute<T: Wire + Copy + Send + Sync + 'static>(
+        &self,
+        comm: &Comm,
+        src_data: &[T],
+        target: &mut [T],
+    ) {
         let inflight = self.execute_start(comm, src_data, target);
         self.execute_finish(comm, inflight, target);
     }
@@ -162,7 +167,12 @@ impl CommPlan {
     /// the local copies, and receives drain in plan order. Semantically
     /// identical to [`Self::execute`]; kept as the baseline the overlap
     /// property tests and experiment E17 compare against.
-    pub fn execute_blocking<T: Wire + Copy>(&self, comm: &Comm, src_data: &[T], target: &mut [T]) {
+    pub fn execute_blocking<T: Wire + Copy + Send + Sync + 'static>(
+        &self,
+        comm: &Comm,
+        src_data: &[T],
+        target: &mut [T],
+    ) {
         self.execute_combine(comm, src_data, target, CombineMode::Insert, |_, v| v)
     }
 
@@ -171,7 +181,7 @@ impl CommPlan {
     /// the receives. The caller may then compute on any target position for
     /// which [`Self::locally_satisfied`] is true before calling
     /// [`Self::execute_finish`].
-    pub fn execute_start<T: Wire + Copy>(
+    pub fn execute_start<T: Wire + Copy + Send + Sync + 'static>(
         &self,
         comm: &Comm,
         src_data: &[T],
@@ -196,62 +206,98 @@ impl CommPlan {
         PlanInFlight { sends, recvs }
     }
 
-    /// Post every outgoing payload nonblocking. Each payload is encoded
+    /// Post one outgoing payload nonblocking. Small payloads are encoded
     /// straight into a pooled wire buffer in `Vec<T>` wire format (length
     /// prefix + elements), so steady-state executions allocate nothing on
-    /// the send side.
-    fn post_sends<T: Wire + Copy>(&self, comm: &Comm, src_data: &[T], tag: Tag) -> Vec<Request> {
+    /// the send side; payloads at or above the comm's zero-copy threshold
+    /// are gathered once into a `Vec<T>` and handed over as a region —
+    /// no wire encode, no receive-side decode.
+    fn post_one<T: Wire + Copy + Send + Sync + 'static>(
+        comm: &Comm,
+        src_data: &[T],
+        peer: usize,
+        lids: &[usize],
+        tag: Tag,
+    ) -> Request {
+        let n = 8 + lids.iter().map(|&l| src_data[l].wire_size()).sum::<usize>();
+        if n >= comm.zerocopy_threshold() {
+            let gathered: Vec<T> = lids.iter().map(|&l| src_data[l]).collect();
+            comm.isend_zc(peer, tag, gathered).expect("plan isend")
+        } else {
+            let mut buf = comm.take_buf();
+            (lids.len() as u64).encode(&mut buf);
+            for &l in lids {
+                src_data[l].encode(&mut buf);
+            }
+            comm.isend_bytes(peer, tag, buf).expect("plan isend")
+        }
+    }
+
+    /// Post every outgoing payload nonblocking via [`Self::post_one`].
+    fn post_sends<T: Wire + Copy + Send + Sync + 'static>(
+        &self,
+        comm: &Comm,
+        src_data: &[T],
+        tag: Tag,
+    ) -> Vec<Request> {
         self.sends
             .iter()
-            .map(|&(peer, ref lids)| {
-                let mut buf = comm.take_buf();
-                (lids.len() as u64).encode(&mut buf);
-                for &l in lids {
-                    src_data[l].encode(&mut buf);
-                }
-                comm.isend_bytes(peer, tag, buf).expect("plan isend")
-            })
+            .map(|&(peer, ref lids)| Self::post_one(comm, src_data, peer, lids, tag))
             .collect()
     }
 
-    /// Decode one received `Vec<T>`-format payload directly into `target`
-    /// at `positions`, then recycle the wire buffer. Avoids staging the
-    /// payload in an intermediate `Vec<T>`.
+    /// Scatter one received payload directly into `target` at `positions`.
+    /// Wire-path payloads decode straight from the pooled buffer (then
+    /// recycle it); region payloads are read in place through the handle.
+    /// Neither arm stages an intermediate copy.
     fn scatter_payload<T, F>(
         comm: &Comm,
-        bytes: Vec<u8>,
+        payload: Payload,
         positions: &[usize],
         target: &mut [T],
         combine: F,
     ) where
-        T: Wire + Copy,
+        T: Wire + Copy + Send + Sync + 'static,
         F: Fn(T, T) -> T,
     {
-        let mut cur = Cursor::new(&bytes);
-        let n = u64::decode(&mut cur).expect("plan payload header") as usize;
-        assert_eq!(n, positions.len(), "plan payload mismatch");
-        for &pos in positions {
-            let v = T::decode(&mut cur).expect("plan payload element");
-            target[pos] = combine(target[pos], v);
+        match payload {
+            Payload::Bytes(bytes) => {
+                let mut cur = Cursor::new(&bytes);
+                let n = u64::decode(&mut cur).expect("plan payload header") as usize;
+                assert_eq!(n, positions.len(), "plan payload mismatch");
+                for &pos in positions {
+                    let v = T::decode(&mut cur).expect("plan payload element");
+                    target[pos] = combine(target[pos], v);
+                }
+                assert_eq!(cur.remaining(), 0, "trailing bytes in plan payload");
+                comm.put_buf(bytes);
+            }
+            Payload::Region(region) => {
+                let vals: &Vec<T> = region
+                    .downcast_ref()
+                    .expect("plan region payload is not Vec<T>");
+                assert_eq!(vals.len(), positions.len(), "plan payload mismatch");
+                for (&pos, &v) in positions.iter().zip(vals.iter()) {
+                    target[pos] = combine(target[pos], v);
+                }
+            }
         }
-        assert_eq!(cur.remaining(), 0, "trailing bytes in plan payload");
-        comm.put_buf(bytes);
     }
 
     /// Second half of a split-phase execution: wait for every posted
     /// receive, scatter the payloads into `target`, and settle the sends.
-    pub fn execute_finish<T: Wire + Copy>(
+    pub fn execute_finish<T: Wire + Copy + Send + Sync + 'static>(
         &self,
         comm: &Comm,
         inflight: PlanInFlight,
         target: &mut [T],
     ) {
         for ((_, positions), req) in self.recvs.iter().zip(inflight.recvs) {
-            let (bytes, _) = comm
+            let (payload, _) = comm
                 .wait(req)
                 .expect("plan recv")
                 .expect("receive completion carries a payload");
-            Self::scatter_payload(comm, bytes, positions, target, |_, v| v);
+            Self::scatter_payload(comm, payload, positions, target, |_, v| v);
         }
         for req in inflight.sends {
             comm.wait(req).expect("plan send wait");
@@ -282,7 +328,7 @@ impl CommPlan {
         _mode: CombineMode,
         combine: F,
     ) where
-        T: Wire + Copy,
+        T: Wire + Copy + Send + Sync + 'static,
         F: Fn(T, T) -> T,
     {
         assert!(
@@ -293,26 +339,30 @@ impl CommPlan {
         );
         let tag = comm.next_spmd_tag();
         for &(peer, ref lids) in &self.sends {
-            let mut buf = comm.take_buf();
-            (lids.len() as u64).encode(&mut buf);
-            for &l in lids {
-                src_data[l].encode(&mut buf);
-            }
-            comm.send_bytes(peer, tag, buf).expect("plan send");
+            let req = Self::post_one(comm, src_data, peer, lids, tag);
+            comm.wait(req).expect("plan send");
         }
         for &(slid, tpos) in &self.local {
             target[tpos] = combine(target[tpos], src_data[slid]);
         }
         for &(peer, ref positions) in &self.recvs {
-            let (bytes, _) = comm.recv_bytes(Src::Rank(peer), tag).expect("plan recv");
-            Self::scatter_payload(comm, bytes, positions, target, &combine);
+            let req = comm.irecv(Src::Rank(peer), tag).expect("plan irecv");
+            let (payload, _) = comm
+                .wait(req)
+                .expect("plan recv")
+                .expect("receive completion carries a payload");
+            Self::scatter_payload(comm, payload, positions, target, &combine);
         }
     }
 
     /// Convenience: allocate and fill a fresh target buffer. The output
     /// is constructed in order from the plan's per-position source table,
     /// so no `Default` pre-fill (and no `Default` bound) is needed.
-    pub fn execute_to_vec<T: Wire + Copy>(&self, comm: &Comm, src_data: &[T]) -> Vec<T> {
+    pub fn execute_to_vec<T: Wire + Copy + Send + Sync + 'static>(
+        &self,
+        comm: &Comm,
+        src_data: &[T],
+    ) -> Vec<T> {
         let tag = comm.next_spmd_tag();
         let sends = self.post_sends(comm, src_data, tag);
         let payloads: Vec<Vec<T>> = self
@@ -320,7 +370,7 @@ impl CommPlan {
             .iter()
             .map(|&(peer, ref positions)| {
                 let req = comm.irecv(Src::Rank(peer), tag).expect("plan irecv");
-                let (payload, _) = comm.wait_recv::<Vec<T>>(req).expect("plan recv");
+                let (payload, _) = comm.wait_recv_zc::<Vec<T>>(req).expect("plan recv");
                 assert_eq!(payload.len(), positions.len(), "plan payload mismatch");
                 payload
             })

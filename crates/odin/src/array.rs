@@ -285,9 +285,15 @@ impl<'c> DistArray<'c> {
         raw.map(move |replies| {
             let slab = meta.slab();
             let mut out = Buffer::zeros(meta.dtype, meta.n_global());
-            for bytes in replies {
-                let (gids, seg): (Vec<usize>, Buffer) =
-                    comm::decode_from_slice(&bytes).expect("bad fetch payload");
+            for msg in replies {
+                // Large segments arrive as typed regions (no decode);
+                // small ones on the classic wire path.
+                let (gids, seg): (Vec<usize>, Buffer) = match msg {
+                    crate::protocol::ReplyMsg::Segment { gids, data } => (gids, data),
+                    crate::protocol::ReplyMsg::Bytes(bytes) => {
+                        comm::decode_from_slice(&bytes).expect("bad fetch payload")
+                    }
+                };
                 for (l, g) in gids.iter().enumerate() {
                     let src = seg.gather_indices(l * slab..(l + 1) * slab);
                     place(&mut out, g * slab, &src);

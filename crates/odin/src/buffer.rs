@@ -398,6 +398,9 @@ impl Wire for DType {
             DType::F64 => 2,
         });
     }
+    fn wire_size(&self) -> usize {
+        1
+    }
     fn decode(cur: &mut Cursor<'_>) -> Result<Self, CommError> {
         match u8::decode(cur)? {
             0 => Ok(DType::Bool),
@@ -423,6 +426,15 @@ impl Wire for Buffer {
             DType::I64 => Ok(Buffer::I64(Vec::decode(cur)?)),
             DType::F64 => Ok(Buffer::F64(Vec::decode(cur)?)),
         }
+    }
+    fn wire_size(&self) -> usize {
+        // dtype byte + length prefix + fixed-width elements (bools are
+        // one byte each on the wire).
+        let elem = match self {
+            Buffer::Bool(_) => 1,
+            Buffer::I64(_) | Buffer::F64(_) => 8,
+        };
+        1 + 8 + self.len() * elem
     }
 }
 
@@ -533,6 +545,7 @@ mod tests {
             Buffer::Bool(vec![true, false, true]),
         ] {
             let bytes = comm::encode_to_vec(&buf);
+            assert_eq!(buf.wire_size(), bytes.len());
             let back: Buffer = comm::decode_from_slice(&bytes).unwrap();
             assert_eq!(back, buf);
         }

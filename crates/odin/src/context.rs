@@ -24,7 +24,7 @@ use crate::buffer::{
     apply_binary, apply_binary_scalar, apply_unary, binary_result_dtype, binop_f64,
     unary_result_dtype, Buffer, DType,
 };
-use crate::protocol::{ArrayMeta, BinOp, Cmd, Dist, Fill, FusedOp, ReduceKind, UnaryOp};
+use crate::protocol::{ArrayMeta, BinOp, Cmd, Dist, Fill, FusedOp, ReduceKind, ReplyMsg, UnaryOp};
 use crate::slicing::{redistribute_worker, slice_worker};
 
 /// Signature of a registered local-mode function (the `@odin.local`
@@ -65,6 +65,11 @@ pub struct OdinConfig {
     /// worker before declaring it dead. A worker whose channels closed is
     /// detected within milliseconds regardless of this setting.
     pub reply_timeout: Option<Duration>,
+    /// Payload-size cutoff (encoded bytes) above which worker↔worker and
+    /// worker→master payloads move as zero-copy regions instead of wire
+    /// bytes. Forwarded to the worker communicator; `usize::MAX` forces
+    /// every payload onto the encode path.
+    pub zerocopy_threshold: usize,
 }
 
 impl Default for OdinConfig {
@@ -77,6 +82,7 @@ impl Default for OdinConfig {
             delivery: comm::Delivery::Raw,
             stall_timeout: None,
             reply_timeout: None,
+            zerocopy_threshold: comm::DEFAULT_ZEROCOPY_THRESHOLD,
         }
     }
 }
@@ -130,6 +136,13 @@ impl OdinConfig {
         self.reply_timeout = Some(timeout);
         self
     }
+
+    /// Set the zero-copy payload threshold (encoded bytes).
+    #[must_use]
+    pub fn with_zerocopy_threshold(mut self, bytes: usize) -> Self {
+        self.zerocopy_threshold = bytes;
+        self
+    }
 }
 
 /// Master-side instrumentation (the paper's §III-J bottleneck
@@ -172,13 +185,13 @@ struct ReplyEngine {
     /// Replies consumed from the channel per worker.
     arrived: Vec<u64>,
     /// Arrived but not yet claimed, keyed by `(worker, ticket)`.
-    buffered: HashMap<(usize, u64), Vec<u8>>,
+    buffered: HashMap<(usize, u64), ReplyMsg>,
     /// Tickets whose `Pending` was dropped before the reply arrived.
     abandoned: HashSet<(usize, u64)>,
 }
 
 /// Decoder applied to the raw replies when a [`Pending`] is waited.
-type Decode<T> = Box<dyn FnOnce(Vec<Vec<u8>>) -> T>;
+type Decode<T> = Box<dyn FnOnce(Vec<ReplyMsg>) -> T>;
 
 /// A reply future: the handle returned by pipelined dispatch. Dropping it
 /// abandons the reply (the engine discards it on arrival); [`Pending::wait`]
@@ -269,7 +282,7 @@ pub struct OdinContext {
     n_workers: usize,
     config: OdinConfig,
     to_workers: RefCell<Vec<Sender<ToWorker>>>,
-    from_workers: RefCell<Receiver<(usize, Vec<u8>)>>,
+    from_workers: RefCell<Receiver<(usize, ReplyMsg)>>,
     pool: RefCell<Option<comm::universe::Detached<()>>>,
     /// Workers whose command channel was found closed (thread exited).
     dead: RefCell<Vec<bool>>,
@@ -308,12 +321,12 @@ fn spawn_pool(
     fault: comm::FaultPlan,
 ) -> (
     Vec<Sender<ToWorker>>,
-    Receiver<(usize, Vec<u8>)>,
+    Receiver<(usize, ReplyMsg)>,
     comm::universe::Detached<()>,
 ) {
-    let (reply_tx, reply_rx) = channel::<(usize, Vec<u8>)>();
+    let (reply_tx, reply_rx) = channel::<(usize, ReplyMsg)>();
     let mut to_workers = Vec::with_capacity(config.n_workers);
-    type WorkerSeed = (Receiver<ToWorker>, Sender<(usize, Vec<u8>)>);
+    type WorkerSeed = (Receiver<ToWorker>, Sender<(usize, ReplyMsg)>);
     let mut seeds: Vec<Option<WorkerSeed>> = Vec::with_capacity(config.n_workers);
     for _ in 0..config.n_workers {
         let (tx, rx) = channel::<ToWorker>();
@@ -326,6 +339,7 @@ fn spawn_pool(
         stall_timeout: config.stall_timeout,
         fault,
         delivery: config.delivery,
+        zerocopy_threshold: config.zerocopy_threshold,
     };
     let pool = Universe::spawn(
         ucfg,
@@ -796,11 +810,13 @@ impl OdinContext {
 
     /// Account one reply pulled off the channel and assign its ticket.
     /// Returns `None` when the ticket was abandoned (reply discarded).
-    fn admit_arrival(&self, rank: usize, bytes: Vec<u8>) -> Option<((usize, u64), Vec<u8>)> {
+    fn admit_arrival(&self, rank: usize, msg: ReplyMsg) -> Option<((usize, u64), ReplyMsg)> {
         {
             let mut st = self.stats.borrow_mut();
             st.data_msgs += 1;
-            st.data_bytes += bytes.len() as u64;
+            // Encoded-equivalent size either way, so byte accounting does
+            // not depend on which payload arm the reply took.
+            st.data_bytes += msg.wire_len() as u64;
         }
         let mut eng = self.engine.borrow_mut();
         let t = eng.arrived[rank];
@@ -809,7 +825,7 @@ impl OdinContext {
         if eng.abandoned.remove(&key) {
             return None;
         }
-        Some((key, bytes))
+        Some((key, msg))
     }
 
     /// Block until the reply for `want` arrives, buffering any replies
@@ -818,9 +834,9 @@ impl OdinContext {
     /// [`PROBE_TICK`], and a live-but-silent worker trips
     /// [`OdinConfig::reply_timeout`] when one is set — either way the
     /// wait ends with a typed [`OdinError`], never a hang.
-    fn try_claim_ticket(&self, want: (usize, u64)) -> Result<Vec<u8>, OdinError> {
-        if let Some(bytes) = self.engine.borrow_mut().buffered.remove(&want) {
-            return Ok(bytes);
+    fn try_claim_ticket(&self, want: (usize, u64)) -> Result<ReplyMsg, OdinError> {
+        if let Some(msg) = self.engine.borrow_mut().buffered.remove(&want) {
+            return Ok(msg);
         }
         let t0 = Instant::now();
         loop {
@@ -838,12 +854,12 @@ impl OdinContext {
             };
             let received = self.from_workers.borrow().recv_timeout(tick);
             match received {
-                Ok((rank, bytes)) => {
-                    if let Some((key, bytes)) = self.admit_arrival(rank, bytes) {
+                Ok((rank, msg)) => {
+                    if let Some((key, msg)) = self.admit_arrival(rank, msg) {
                         if key == want {
-                            return Ok(bytes);
+                            return Ok(msg);
                         }
-                        self.engine.borrow_mut().buffered.insert(key, bytes);
+                        self.engine.borrow_mut().buffered.insert(key, msg);
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {
@@ -852,8 +868,8 @@ impl OdinContext {
                         // Drain stragglers in case the worker replied just
                         // before dying, then give up with a diagnostic.
                         self.poll_arrivals();
-                        if let Some(bytes) = self.engine.borrow_mut().buffered.remove(&want) {
-                            return Ok(bytes);
+                        if let Some(msg) = self.engine.borrow_mut().buffered.remove(&want) {
+                            return Ok(msg);
                         }
                         return Err(OdinError::WorkerDead {
                             worker: want.0,
@@ -871,9 +887,9 @@ impl OdinContext {
         loop {
             let received = self.from_workers.borrow().try_recv();
             match received {
-                Ok((rank, bytes)) => {
-                    if let Some((key, bytes)) = self.admit_arrival(rank, bytes) {
-                        self.engine.borrow_mut().buffered.insert(key, bytes);
+                Ok((rank, msg)) => {
+                    if let Some((key, msg)) = self.admit_arrival(rank, msg) {
+                        self.engine.borrow_mut().buffered.insert(key, msg);
                     }
                 }
                 Err(_) => break,
@@ -909,7 +925,7 @@ impl OdinContext {
         tickets: &[(usize, u64)],
         seq: u64,
         name: &'static str,
-    ) -> Vec<Vec<u8>> {
+    ) -> Vec<ReplyMsg> {
         self.try_await_tickets(tickets, seq, name)
             .unwrap_or_else(|e| panic!("odin reply wait failed: {e}"))
     }
@@ -921,16 +937,16 @@ impl OdinContext {
         tickets: &[(usize, u64)],
         seq: u64,
         name: &'static str,
-    ) -> Result<Vec<Vec<u8>>, OdinError> {
+    ) -> Result<Vec<ReplyMsg>, OdinError> {
         self.flush_open_batch();
         let timer = self.obs_timer();
         let mut out = Vec::with_capacity(tickets.len());
         let mut reply_bytes = 0u64;
         for (i, &key) in tickets.iter().enumerate() {
             match self.try_claim_ticket(key) {
-                Ok(bytes) => {
-                    reply_bytes += bytes.len() as u64;
-                    out.push(bytes);
+                Ok(msg) => {
+                    reply_bytes += msg.wire_len() as u64;
+                    out.push(msg);
                 }
                 Err(e) => {
                     // Abandon the unclaimed remainder so late replies from
@@ -955,7 +971,7 @@ impl OdinContext {
     }
 
     /// Reply future for one reply from every worker (worker order).
-    pub(crate) fn pending_all(&self, span_name: &'static str) -> Pending<'_, Vec<Vec<u8>>> {
+    pub(crate) fn pending_all(&self, span_name: &'static str) -> Pending<'_, Vec<ReplyMsg>> {
         let tickets = (0..self.n_workers).map(|w| self.issue_ticket(w)).collect();
         Pending {
             ctx: self,
@@ -975,7 +991,7 @@ impl OdinContext {
             seq: self.cmd_seq.get(),
             span_name,
             decode: Some(Box::new(|mut replies| {
-                replies.pop().expect("single reply present")
+                replies.pop().expect("single reply present").into_bytes()
             })),
         }
     }
@@ -989,7 +1005,7 @@ impl OdinContext {
             seq: self.cmd_seq.get(),
             span_name,
             decode: Some(Box::new(|mut replies| {
-                let bytes = replies.pop().expect("single reply present");
+                let bytes = replies.pop().expect("single reply present").into_bytes();
                 comm::decode_from_slice(&bytes).expect("bad reply encoding")
             })),
         }
@@ -998,7 +1014,7 @@ impl OdinContext {
     /// Broadcast a command and return a future for one reply per worker —
     /// the pipelined dispatch primitive: the master keeps issuing commands
     /// while replies are still in flight.
-    pub(crate) fn dispatch_all(&self, cmd: &Cmd) -> Pending<'_, Vec<Vec<u8>>> {
+    pub(crate) fn dispatch_all(&self, cmd: &Cmd) -> Pending<'_, Vec<ReplyMsg>> {
         self.send_cmd(cmd);
         self.pending_all("collect_replies")
     }
@@ -1041,9 +1057,15 @@ impl OdinContext {
         issued - arrived
     }
 
-    /// Receive one reply from each worker, returned in worker order.
+    /// Receive one reply from each worker, returned in worker order,
+    /// collapsed to encoded bytes (reduction-style replies are always on
+    /// the `Bytes` arm, so the collapse is free).
     pub(crate) fn collect_replies(&self) -> Vec<Vec<u8>> {
-        self.pending_all("collect_replies").wait()
+        self.pending_all("collect_replies")
+            .wait()
+            .into_iter()
+            .map(ReplyMsg::into_bytes)
+            .collect()
     }
 
     /// Drain `n` replies (used when several reply-bearing commands were
@@ -1269,7 +1291,7 @@ pub struct WorkerScope<'a> {
     pub comm: &'a Comm,
     arrays: &'a mut HashMap<u64, (ArrayMeta, Buffer)>,
     tables: &'a mut HashMap<u64, crate::table::TableSeg>,
-    reply: &'a Sender<(usize, Vec<u8>)>,
+    reply: &'a Sender<(usize, ReplyMsg)>,
 }
 
 impl<'a> WorkerScope<'a> {
@@ -1343,7 +1365,7 @@ impl<'a> WorkerScope<'a> {
     /// worker can act on, so the payload is silently discarded and the
     /// worker exits at its next command-channel receive.
     pub fn reply(&self, bytes: Vec<u8>) {
-        let _ = self.reply.send((self.rank(), bytes));
+        let _ = self.reply.send((self.rank(), ReplyMsg::Bytes(bytes)));
     }
 
     /// This worker's segment of a distributed table.
@@ -1557,7 +1579,7 @@ struct WorkerScratch {
     fused_stack: Vec<Vec<f64>>,
 }
 
-fn worker_main(comm: &mut Comm, rx: Receiver<ToWorker>, reply: Sender<(usize, Vec<u8>)>) {
+fn worker_main(comm: &mut Comm, rx: Receiver<ToWorker>, reply: Sender<(usize, ReplyMsg)>) {
     let mut arrays: HashMap<u64, (ArrayMeta, Buffer)> = HashMap::new();
     let mut tables: HashMap<u64, crate::table::TableSeg> = HashMap::new();
     let mut fns: HashMap<u64, LocalFn> = HashMap::new();
@@ -1623,7 +1645,7 @@ fn worker_main(comm: &mut Comm, rx: Receiver<ToWorker>, reply: Sender<(usize, Ve
 #[allow(clippy::too_many_arguments)]
 fn exec_cmd(
     comm: &Comm,
-    reply: &Sender<(usize, Vec<u8>)>,
+    reply: &Sender<(usize, ReplyMsg)>,
     arrays: &mut HashMap<u64, (ArrayMeta, Buffer)>,
     tables: &mut HashMap<u64, crate::table::TableSeg>,
     fns: &HashMap<u64, LocalFn>,
@@ -1780,13 +1802,27 @@ fn exec_cmd(
         Cmd::Fetch { a } => {
             let (meta, buf) = &arrays[&a];
             let map = meta.axis_map(p, rank);
-            // Field-by-field tuple encoding, wire-compatible with
-            // `encode_to_vec(&(gids, buffer))` but without cloning the
-            // whole segment first.
-            let mut payload = Vec::new();
-            map.my_gids().encode(&mut payload);
-            buf.encode(&mut payload);
-            let _ = reply.send((rank, payload));
+            let gids = map.my_gids();
+            // Segments at or above the zero-copy threshold move as typed
+            // regions (the Buffer clone is unavoidable here — the worker
+            // keeps its segment — but the encode/decode round-trip is
+            // not). Small segments take the classic wire path.
+            let msg_size = gids.wire_size() + buf.wire_size();
+            let msg = if msg_size >= comm.zerocopy_threshold() {
+                ReplyMsg::Segment {
+                    gids,
+                    data: buf.clone(),
+                }
+            } else {
+                // Field-by-field tuple encoding, wire-compatible with
+                // `encode_to_vec(&(gids, buffer))` but without cloning
+                // the whole segment first.
+                let mut payload = Vec::new();
+                gids.encode(&mut payload);
+                buf.encode(&mut payload);
+                ReplyMsg::Bytes(payload)
+            };
+            let _ = reply.send((rank, msg));
         }
         Cmd::CallLocal {
             fn_id,
@@ -1806,7 +1842,7 @@ fn exec_cmd(
             arrays.remove(&id);
         }
         Cmd::Ping => {
-            let _ = reply.send((rank, Vec::new()));
+            let _ = reply.send((rank, ReplyMsg::Bytes(Vec::new())));
         }
         Cmd::Shutdown => return false,
         Cmd::Select { out, cond, a, b } => {
@@ -1914,7 +1950,7 @@ fn exec_cmd(
                 }
             });
             if rank == 0 {
-                let _ = reply.send((rank, comm::encode_to_vec(&winner)));
+                let _ = reply.send((rank, ReplyMsg::Bytes(comm::encode_to_vec(&winner))));
             }
         }
         Cmd::Concat { out, a, b } => {
@@ -2048,7 +2084,7 @@ fn exec_cmd(
 #[allow(clippy::too_many_arguments)]
 fn exec_kernel(
     comm: &Comm,
-    reply: &Sender<(usize, Vec<u8>)>,
+    reply: &Sender<(usize, ReplyMsg)>,
     arrays: &mut HashMap<u64, (ArrayMeta, Buffer)>,
     kernels: &HashMap<u64, seamless::bytecode::Program>,
     scratch: &mut WorkerScratch,
@@ -2165,7 +2201,7 @@ fn exec_kernel(
             let kind = reduce.expect("acc implies reduce");
             let total = comm.allreduce(&local, |x: &f64, y: &f64| reduce_combine(kind, *x, *y));
             if comm.rank() == 0 {
-                let _ = reply.send((comm.rank(), comm::encode_to_vec(&total)));
+                let _ = reply.send((comm.rank(), ReplyMsg::Bytes(comm::encode_to_vec(&total))));
             }
         }
     }
@@ -2198,7 +2234,7 @@ fn reduce_element(kind: ReduceKind, x: f64) -> f64 {
 
 fn exec_reduce(
     comm: &Comm,
-    reply: &Sender<(usize, Vec<u8>)>,
+    reply: &Sender<(usize, ReplyMsg)>,
     arrays: &mut HashMap<u64, (ArrayMeta, Buffer)>,
     a: u64,
     kind: ReduceKind,
@@ -2217,7 +2253,7 @@ fn exec_reduce(
             comm.advance_compute(buf.len() as f64);
             let total = comm.allreduce(&acc, |x: &f64, y: &f64| reduce_combine(kind, *x, *y));
             if rank == 0 {
-                let _ = reply.send((rank, comm::encode_to_vec(&total)));
+                let _ = reply.send((rank, ReplyMsg::Bytes(comm::encode_to_vec(&total))));
             }
         }
         Some(0) => {

@@ -44,6 +44,6 @@ pub use error::{OdinError, RecoveryReport};
 pub use io::remove_saved;
 pub use kernel::Kernel;
 pub use lazy::Expr;
-pub use protocol::{ArrayMeta, BinOp, Dist, ReduceKind, UnaryOp};
+pub use protocol::{ArrayMeta, BinOp, Dist, ReduceKind, ReplyMsg, UnaryOp};
 pub use slicing::SliceSpec;
 pub use table::{DistTable, FieldType, FieldValue, Record, Schema, TableSeg};

@@ -24,8 +24,10 @@ const XCHG_TAG: comm::Tag = 0x2FFF_0002;
 /// nonblocking sends to every peer, run `local` (the local-copy phase of
 /// the caller) while the payloads are in flight, then drain incoming
 /// messages in arrival order. `incoming[peer]` is what `peer` sent here;
-/// the self entry is moved across without touching the network.
-fn exchange_overlapped<T: Wire>(
+/// the self entry is moved across without touching the network. Segment
+/// payloads at or above the comm's zero-copy threshold transfer as region
+/// handles (ownership move, no encode/decode round-trip).
+fn exchange_overlapped<T: Wire + Clone + Send + Sync + 'static>(
     comm: &Comm,
     mut outgoing: Vec<Vec<T>>,
     local: impl FnOnce(),
@@ -44,7 +46,7 @@ fn exchange_overlapped<T: Wire>(
         if peer == me {
             continue;
         }
-        sreqs.push(comm.isend(peer, XCHG_TAG, &msg).expect("exchange isend"));
+        sreqs.push(comm.isend_zc(peer, XCHG_TAG, msg).expect("exchange isend"));
     }
     local();
     let mut peers: Vec<usize> = (0..p).filter(|&peer| peer != me).collect();
@@ -58,8 +60,17 @@ fn exchange_overlapped<T: Wire>(
     while !rreqs.is_empty() {
         let (idx, done) = comm.waitany(&mut rreqs).expect("exchange wait");
         let peer = peers.remove(idx);
-        let (bytes, _) = done.expect("receive completion carries a payload");
-        incoming[peer] = comm::decode_from_slice(&bytes).expect("bad exchange payload");
+        let (payload, _) = done.expect("receive completion carries a payload");
+        incoming[peer] = match payload {
+            comm::Payload::Bytes(bytes) => {
+                let v = comm::decode_from_slice(&bytes).expect("bad exchange payload");
+                comm.put_buf(bytes);
+                v
+            }
+            comm::Payload::Region(region) => region
+                .take::<Vec<T>>()
+                .expect("exchange region payload is not Vec<T>"),
+        };
     }
     for req in sreqs {
         comm.wait(req).expect("exchange send wait");

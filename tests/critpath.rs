@@ -99,6 +99,52 @@ fn chaos_sweep_leaves_no_dangling_flow_edges() {
 }
 
 #[test]
+fn zerocopy_datapath_leaves_no_dangling_flow_edges() {
+    let _g = obs_lock();
+    // Threshold 1 puts every payload on the region arm, so the traced
+    // traffic is entirely region-handle messages; flow ids must thread
+    // through region envelopes exactly as through wire bytes, clean run
+    // and chaos sweep alike (retransmitted regions reuse the Arc copy
+    // and the original flow id).
+    for seed in [0u64, 42, 1009] {
+        let fault = if seed == 0 {
+            FaultPlan::none()
+        } else {
+            FaultPlan::messages(seed, 0.08, 0.05, 0.05, 0.04)
+        };
+        let cfg = UniverseConfig {
+            fault,
+            delivery: Delivery::Reliable,
+            stall_timeout: Some(Duration::from_secs(30)),
+            ..Default::default()
+        }
+        .with_zerocopy_threshold(1);
+        obs::reset();
+        obs::set_enabled(true);
+        let report = Universe::run_report(cfg, 4, |comm| {
+            let p = comm.size();
+            let outgoing: Vec<Vec<u64>> = (0..p)
+                .map(|d| vec![(comm.rank() * p + d) as u64; 128])
+                .collect();
+            let incoming = comm.alltoallv(outgoing);
+            comm.barrier();
+            incoming.iter().map(Vec::len).sum::<usize>() as f64
+        });
+        let pag = Pag::build();
+        obs::set_enabled(false);
+        assert!(
+            report.stats.iter().any(|s| s.zerocopy_msgs > 0),
+            "seed {seed}: no region payloads moved"
+        );
+        assert!(!pag.nodes.is_empty(), "seed {seed}: no spans recorded");
+        assert_eq!(
+            pag.orphan_consumers, 0,
+            "seed {seed}: region-handle receive with no producer edge"
+        );
+    }
+}
+
+#[test]
 fn categories_sum_bitwise_to_critical_path_length() {
     let _g = obs_lock();
     let pag = traced_run(6, UniverseConfig::default());

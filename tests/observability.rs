@@ -292,6 +292,68 @@ fn cache_and_pool_counters_reconcile_exactly_with_comm_stats() {
 }
 
 #[test]
+fn zerocopy_and_eviction_counters_reconcile_exactly_with_comm_stats() {
+    use hpc_framework::dlinalg::{CsrMatrix, DistVector};
+    use hpc_framework::dmap::{clear_plan_cache, DistMap};
+
+    let _g = obs_lock();
+    obs::reset();
+    obs::set_enabled(true);
+    let p = 4;
+    let n = 32;
+    // Threshold 1 forces every plan payload onto the region arm, so each
+    // rank's halo traffic exercises the zero-copy counters.
+    let cfg = UniverseConfig::default().with_zerocopy_threshold(1);
+    let report = Universe::run_report(cfg, p, move |comm| {
+        clear_plan_cache();
+        let row = move |g: usize| {
+            let mut row = vec![(g, 4.0)];
+            if g > 0 {
+                row.push((g - 1, -1.0));
+            }
+            if g + 1 < n {
+                row.push((g + 1, -1.0));
+            }
+            row.sort_unstable_by_key(|e| e.0);
+            row
+        };
+        let map = DistMap::block(n, comm.size(), comm.rank());
+        let a = CsrMatrix::from_row_fn(comm, map.clone(), map.clone(), row);
+        let x = DistVector::from_fn(map, |g| g as f64 + 1.0);
+        let y = a.matvec(comm, &x);
+        // Returning an oversized buffer to the pool must be refused and
+        // counted, not retained.
+        comm.put_buf(Vec::with_capacity(128 * 1024));
+        y.local()[0]
+    });
+    obs::set_enabled(false);
+
+    // The zero-copy and eviction counters increment CommStats and the
+    // registry at the same site, so the two views must agree exactly,
+    // per rank.
+    let g = obs::global();
+    for (rank, s) in report.stats.iter().enumerate() {
+        let r = rank.to_string();
+        let val = |name: &str| {
+            g.counter_value(&obs::registry::key(name, &[("rank", &r)]))
+                .unwrap_or(0)
+        };
+        assert_eq!(val("comm.zerocopy_msgs"), s.zerocopy_msgs, "rank {rank}");
+        assert_eq!(val("comm.zerocopy_bytes"), s.zerocopy_bytes, "rank {rank}");
+        assert_eq!(
+            val("pool.buffer_pool_evictions"),
+            s.buffer_pool_evictions,
+            "rank {rank}"
+        );
+        assert!(s.zerocopy_msgs > 0, "rank {rank} sent no region payloads");
+        assert!(
+            s.buffer_pool_evictions > 0,
+            "rank {rank} retained an oversized buffer"
+        );
+    }
+}
+
+#[test]
 fn odin_control_messages_stay_small_paper_claim() {
     let _g = obs_lock();
     obs::reset();

@@ -759,6 +759,155 @@ fn cached_plan_cg_is_bitwise_identical_cold_vs_warm_and_under_faults() {
     }
 }
 
+// ---- zero-copy datapath: bitwise parity with the encode path -----------------
+
+/// One representative run over the heavy movers: a CG solve (halo
+/// exchange inside every matvec), a block→cyclic redistribution, and an
+/// explicit halo gather. Returns per-rank `(x, history, redist, halo)`.
+#[allow(clippy::type_complexity)]
+fn zc_parity_case(
+    cfg: UniverseConfig,
+    p: usize,
+    n: usize,
+) -> (
+    Vec<(Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)>,
+    Vec<hpc_framework::comm::CommStats>,
+) {
+    use hpc_framework::dmap::{CommPlan, Directory};
+    let report = Universe::run_report(cfg, p, move |comm| {
+        clear_plan_cache();
+        let row = move |g: usize| {
+            let mut row = Vec::new();
+            if g > 0 {
+                row.push((g - 1, -1.0));
+            }
+            row.push((g, 3.0 + (g % 5) as f64));
+            if g + 1 < n {
+                row.push((g + 1, -1.0));
+            }
+            row
+        };
+        let map = DistMap::block(n, comm.size(), comm.rank());
+        let a = Csr::from_row_fn(comm, map.clone(), map.clone(), row);
+        let b = DistVector::from_fn(map.clone(), |g| ((g as f64) * 0.9).sin());
+        let mut x = DistVector::zeros(map.clone());
+        let st = cg(
+            comm,
+            &a,
+            &b,
+            &mut x,
+            &IdentityPrecond,
+            &KrylovConfig::default(),
+        );
+        assert!(st.converged, "parity CG must converge");
+
+        // block → cyclic redistribution
+        let dst = DistMap::cyclic(n, comm.size(), comm.rank());
+        let dir = Directory::build(comm, &map);
+        let plan = CommPlan::import(comm, &map, &dst, &dir);
+        let src_data: Vec<f64> = map.my_gids().iter().map(|&g| (g as f64) * 1.25).collect();
+        let redist = plan.execute_to_vec(comm, &src_data);
+
+        // explicit halo gather through the matrix's exchange plan
+        let halo = a.halo_gather(comm, x.local(), 0.0);
+
+        (x.local().to_vec(), st.history, redist, halo)
+    });
+    (report.results, report.stats)
+}
+
+/// The zero-copy region arm must be bitwise indistinguishable from the
+/// encode arm for CG, redistribution, and halo exchange — clean runs and
+/// a seeded chaos sweep alike (honors `HPC_FAULT_SEED`).
+#[test]
+fn zerocopy_and_encode_paths_are_bitwise_identical() {
+    let seed = std::env::var("HPC_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x2e9c0_u64);
+    let mut rng = SplitMix64::new(seed);
+    for case in 0..3 {
+        let p = 2 + rng.gen_index(3); // 2..=4 ranks
+        let n = 24 + rng.gen_index(25);
+        let fault = FaultPlan::messages(
+            rng.next_u64(),
+            0.02 + rng.gen_range_f64(0.0, 0.05),
+            rng.gen_range_f64(0.0, 0.04),
+            rng.gen_range_f64(0.0, 0.04),
+            rng.gen_range_f64(0.0, 0.03),
+        );
+        for chaos in [false, true] {
+            let base = if chaos {
+                reliable_chaos(fault)
+            } else {
+                UniverseConfig::default()
+            };
+            // threshold 1: every payload is a region; usize::MAX: every
+            // payload takes the classic encode path
+            let (zc, zc_stats) = zc_parity_case(base.with_zerocopy_threshold(1), p, n);
+            let (enc, enc_stats) = zc_parity_case(base.with_zerocopy_threshold(usize::MAX), p, n);
+            for (rank, (z, e)) in zc.iter().zip(&enc).enumerate() {
+                let tag = format!("case {case} chaos {chaos} rank {rank}");
+                assert_eq!(bits(&z.0), bits(&e.0), "{tag}: x diverged");
+                assert_eq!(bits(&z.1), bits(&e.1), "{tag}: history diverged");
+                assert_eq!(bits(&z.2), bits(&e.2), "{tag}: redistribute diverged");
+                assert_eq!(bits(&z.3), bits(&e.3), "{tag}: halo diverged");
+            }
+            // the two runs must actually have taken different arms
+            let zc_msgs: u64 = zc_stats.iter().map(|s| s.zerocopy_msgs).sum();
+            let enc_msgs: u64 = enc_stats.iter().map(|s| s.zerocopy_msgs).sum();
+            assert!(zc_msgs > 0, "case {case} chaos {chaos}: region arm unused");
+            assert_eq!(
+                enc_msgs, 0,
+                "case {case} chaos {chaos}: encode run sent regions"
+            );
+            // Fault-free, modeled cluster time must not depend on the
+            // arm. (Under chaos the timelines may differ by design:
+            // corruption triggers a retransmit on the wire path but is
+            // skipped-and-counted on the region path.)
+            if !chaos {
+                let zc_clock: Vec<u64> = zc_stats
+                    .iter()
+                    .map(|s| s.modeled_comm_s.to_bits())
+                    .collect();
+                let enc_clock: Vec<u64> = enc_stats
+                    .iter()
+                    .map(|s| s.modeled_comm_s.to_bits())
+                    .collect();
+                assert_eq!(
+                    zc_clock, enc_clock,
+                    "case {case}: modeled time diverged across arms"
+                );
+            }
+        }
+    }
+}
+
+/// ODIN end-to-end parity: the finite-difference example (slice segment
+/// exchange) plus a whole-array fetch (master-bound segment gather) must
+/// produce identical results whichever arm the payloads take.
+#[test]
+fn odin_slicing_and_fetch_are_identical_across_payload_arms() {
+    use hpc_framework::odin::OdinConfig;
+    let run = |threshold: usize| {
+        let ctx = OdinContext::new(
+            OdinConfig::default()
+                .with_n_workers(3)
+                .with_zerocopy_threshold(threshold),
+        );
+        let n = 257;
+        let y = ctx.linspace(0.0, 1.0, n).sin();
+        let dy = &y.slice1(1, None, 1) - &y.slice1(0, Some(-1), 1);
+        let cyc = dy.redistribute(Dist::Cyclic);
+        let (shape, buf) = cyc.fetch();
+        assert_eq!(shape, vec![n - 1]);
+        (0..buf.len()).map(|i| buf.get_f64(i)).collect::<Vec<f64>>()
+    };
+    let zc = run(1);
+    let enc = run(usize::MAX);
+    assert_eq!(bits(&zc), bits(&enc), "ODIN results diverged across arms");
+}
+
 // ---- seamless: VM must agree with the interpreter -----------------------------
 
 /// Random arithmetic source over one float parameter, depth-bounded.

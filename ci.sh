@@ -27,6 +27,8 @@ for seed in 42 1009 777216; do
   HPC_FAULT_SEED=$seed cargo test -q --offline --test failure_modes
   HPC_FAULT_SEED=$seed cargo test -q --offline --test kernel_plane
   HPC_FAULT_SEED=$seed cargo test -q --offline --test props zerocopy
+  HPC_FAULT_SEED=$seed cargo test -q --offline --test serve_plane
+  HPC_FAULT_SEED=$seed cargo test -q --offline --test observability zerocopy_region
 done
 
 echo "== E19 autotune gate (Auto vs fixed collectives, alloc counting)"
@@ -63,6 +65,17 @@ echo "== E22 zero-copy gate (region >= 5x encode on 8 MiB, bitwise parity)"
 cargo run --release --offline -p bench --bin e22_zerocopy -- --metrics-json \
   | tail -n 1 > BENCH_e22.json
 test -s BENCH_e22.json
+
+echo "== E23 serving-plane gate (open-loop overload + chaos, bitwise parity)"
+# Sweeps pool size x {clean, chaos} with thousands of sessions and a 2x
+# overload burst: no admitted job may fail (each completes bitwise-equal
+# to the fault-free oracle, is shed with a typed error, or expires at its
+# deadline), injected worker kills must be absorbed, every per-config
+# ledger must reconcile exactly, and overload must surface as counted
+# refusals/shedding (all asserted in the binary).
+cargo run --release --offline -p bench --bin e23_serve -- --metrics-json \
+  | tail -n 1 > BENCH_e23.json
+test -s BENCH_e23.json
 
 echo "== public API listing is current"
 cargo run --release --offline -p bench --bin api_listing -- --check

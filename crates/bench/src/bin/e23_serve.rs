@@ -1,0 +1,315 @@
+//! E23 — multi-tenant serving plane under open-loop load and chaos.
+//!
+//! A seeded open-loop traffic generator drives thousands of per-tenant
+//! sessions against one [`serve::ServePlane`]: heavy-tailed (Pareto)
+//! job sizes across all three job classes, mixed priorities, four
+//! tenants with unequal weights. The pool size is swept, clean and under
+//! chaos (an injected worker kill plus a delayed straggler rank on every
+//! pool, with the submission burst sized ~2x the plane's queue
+//! capacity). Hard gates, all asserted in the binary (ci.sh runs this):
+//!
+//! 1. **no admitted job fails** — clean or chaos, every ticket resolves
+//!    as completed, shed (typed, counted), or expired at its deadline;
+//! 2. **bitwise identity** — every completed result equals the
+//!    fault-free oracle at the pool size it ran on, bit for bit;
+//! 3. **absorption** — under chaos the injected kills are absorbed
+//!    (`recoveries >= 1`) and the ledger reconciles exactly;
+//! 4. **overload is counted** — the 2x burst must produce quota
+//!    refusals or shed work, never unbounded queues.
+//!
+//! Reported per (mode, pool size): p50/p99 completed latency and
+//! goodput (completed result elements per second), recorded as obs
+//! gauges so `--metrics-json` lands them in `BENCH_e23.json`.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use comm::FaultPlan;
+use obs::SplitMix64;
+use odin::OdinConfig;
+use serve::{
+    reference_result, JobOutcome, JobRequest, JobSpec, Priority, ServeConfig, ServeError,
+    ServePlane, TenantQuota,
+};
+
+/// Jobs per (mode, pool size) sweep point. Each submission opens a fresh
+/// per-tenant session, so one run exercises thousands of sessions.
+const JOBS: usize = 400;
+const TENANTS: [&str; 4] = ["aero", "biolab", "cfd", "devrel"];
+
+fn fault_seed() -> u64 {
+    std::env::var("HPC_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// FNV-1a over the f64 bit patterns (the E22 fingerprint idiom).
+fn bit_hash(v: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for x in v {
+        h ^= x.to_bits();
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Quantize a heavy-tailed draw to a small spec vocabulary so the
+/// bitwise oracle is memoizable: multiples of 16, clamped.
+fn quant(x: f64, cap: usize) -> usize {
+    ((x as usize / 16).max(1) * 16).min(cap)
+}
+
+/// One heavy-tailed job: Pareto-distributed size (many small, a fat tail
+/// of large), small seed pool, class-weighted toward cheap array work.
+fn draw_spec(rng: &mut SplitMix64) -> JobSpec {
+    let u = rng.next_f64().max(1e-6);
+    let seed = rng.gen_index(6) as u64;
+    match rng.gen_index(5) {
+        // alpha 1.4: mean exists, variance is fat — the classic shape
+        0..=2 => JobSpec::Array {
+            seed,
+            n: quant(48.0 * u.powf(-1.0 / 1.4), 4096),
+        },
+        3 => JobSpec::Kernel {
+            seed,
+            n: quant(48.0 * u.powf(-1.0 / 1.4), 4096),
+        },
+        _ => JobSpec::Solve {
+            seed,
+            n: quant(24.0 * u.powf(-1.0 / 2.0), 128),
+        },
+    }
+}
+
+struct SweepPoint {
+    p50_ms: f64,
+    p99_ms: f64,
+    goodput: f64,
+    completed: u64,
+    shed: u64,
+    expired: u64,
+    refused: u64,
+    recoveries: u64,
+}
+
+/// Spec → hashable key for the oracle memo table.
+fn spec_key(spec: &JobSpec, workers: usize) -> (u8, u64, usize, usize) {
+    match *spec {
+        JobSpec::Array { seed, n } => (0, seed, n, workers),
+        JobSpec::Kernel { seed, n } => (1, seed, n, workers),
+        JobSpec::Solve { seed, n } => (2, seed, n, workers),
+    }
+}
+
+fn run_sweep_point(
+    workers: usize,
+    chaos: bool,
+    seed: u64,
+    oracle: &mut HashMap<(u8, u64, usize, usize), u64>,
+) -> SweepPoint {
+    let fault = if chaos {
+        FaultPlan {
+            seed,
+            kill_rank: Some(workers / 2),
+            kill_after_ops: 40,
+            delay_rank: Some(workers - 1),
+            delay_p: 0.25,
+            delay_s: 5.0e-6,
+            ..FaultPlan::none()
+        }
+    } else {
+        FaultPlan::none()
+    };
+    let plane = ServePlane::new(ServeConfig {
+        n_pools: 2,
+        workers_per_pool: workers,
+        odin: OdinConfig {
+            fault,
+            stall_timeout: Some(Duration::from_secs(2)),
+            reply_timeout: Some(Duration::from_secs(2)),
+            ..OdinConfig::default()
+        },
+        // The burst below is ~2x this queue capacity: overload by design.
+        max_queued_total: JOBS / 4,
+        tenants: TENANTS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                (
+                    name.to_string(),
+                    TenantQuota {
+                        weight: 1.0 + i as f64,
+                        max_queued: JOBS / 8,
+                        max_inflight: 8,
+                    },
+                )
+            })
+            .collect(),
+        ..ServeConfig::default()
+    });
+
+    let mut rng = SplitMix64::new(seed ^ (workers as u64) << 8 ^ chaos as u64);
+    let prios = [Priority::Low, Priority::Normal, Priority::High];
+    let mut tickets = Vec::with_capacity(JOBS);
+    let mut refused = 0u64;
+    let t0 = Instant::now();
+    // Open-loop: submissions never wait on completions. Each job opens a
+    // fresh session for its tenant.
+    for i in 0..JOBS {
+        let spec = draw_spec(&mut rng);
+        let session = plane.session(TENANTS[i % TENANTS.len()]).unwrap();
+        match session.submit(JobRequest {
+            spec: spec.clone(),
+            priority: prios[rng.gen_index(3)],
+            budget: Duration::from_secs(20),
+        }) {
+            Ok(t) => tickets.push((spec, t)),
+            Err(ServeError::QuotaExceeded { .. }) => refused += 1, // backpressure
+            Err(other) => panic!("unexpected admission refusal: {other}"),
+        }
+    }
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut good_elems = 0u64;
+    let (mut shed, mut expired) = (0u64, 0u64);
+    for (spec, ticket) in tickets {
+        match ticket.wait() {
+            JobOutcome::Completed {
+                data,
+                workers: w,
+                queue_wait,
+                service,
+                ..
+            } => {
+                let want = *oracle
+                    .entry(spec_key(&spec, w))
+                    .or_insert_with(|| bit_hash(&reference_result(&spec, w)));
+                assert_eq!(
+                    bit_hash(&data),
+                    want,
+                    "served result diverged from the fault-free oracle \
+                     ({spec:?} at {w} workers, chaos={chaos})"
+                );
+                latencies_ms.push((queue_wait + service).as_secs_f64() * 1e3);
+                good_elems += data.len() as u64;
+            }
+            JobOutcome::Shed { .. } => shed += 1,
+            JobOutcome::Expired { .. } => expired += 1,
+            JobOutcome::Failed { error, .. } => {
+                panic!("admitted job failed (chaos={chaos}, {workers}w): {error}")
+            }
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = plane.shutdown();
+    assert!(stats.reconciles(), "ledger must reconcile: {stats:?}");
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.rejected_quota, refused);
+    if chaos {
+        assert!(
+            stats.recoveries >= 1,
+            "chaos run must absorb the injected kill: {stats:?}"
+        );
+    }
+    assert!(
+        stats.completed > 0,
+        "the plane must make progress under load: {stats:?}"
+    );
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        if latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_ms.len() - 1) as f64 * p).round() as usize;
+        latencies_ms[idx]
+    };
+    SweepPoint {
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        goodput: good_elems as f64 / wall,
+        completed: stats.completed,
+        shed,
+        expired,
+        refused,
+        recoveries: stats.recoveries,
+    }
+}
+
+fn record_gauges(mode: &str, workers: usize, pt: &SweepPoint) {
+    let w = workers.to_string();
+    let labels: &[(&str, &str)] = &[("mode", mode), ("workers", &w)];
+    let set = |name: &str, v: f64| {
+        obs::global()
+            .gauge(&obs::registry::key(name, labels))
+            .set(v);
+    };
+    set("e23.p50_ms", pt.p50_ms);
+    set("e23.p99_ms", pt.p99_ms);
+    set("e23.goodput_elems_per_s", pt.goodput);
+    set("e23.completed", pt.completed as f64);
+    set("e23.shed", pt.shed as f64);
+    set("e23.expired", pt.expired as f64);
+    set("e23.rejected_quota", pt.refused as f64);
+    set("e23.recoveries", pt.recoveries as f64);
+}
+
+fn main() {
+    let _obs = bench::obs_init();
+    bench::header(
+        "E23",
+        "multi-tenant serving plane: overload + chaos",
+        "admitted jobs never fail: they complete bitwise-identically, \
+         are shed with a typed error, or expire at their deadline",
+    );
+    // Absorbed worker kills unwind through catch_unwind on the pool
+    // drivers; silence those expected panic reports (unnamed worker
+    // threads and serve-pool drivers) but keep everything from the main
+    // thread — the gates below must stay loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let quiet = std::thread::current()
+            .name()
+            .is_none_or(|n| n.starts_with("serve-pool"));
+        if !quiet {
+            default_hook(info);
+        }
+    }));
+
+    let seed = fault_seed();
+    let mut oracle = HashMap::new();
+    println!(
+        "\n{JOBS} jobs/point, 4 tenants, heavy-tailed sizes, seed {seed}\n\
+         {:<8} {:>7} {:>10} {:>10} {:>12} {:>6} {:>6} {:>7} {:>8} {:>6}",
+        "mode", "workers", "p50", "p99", "goodput/s", "done", "shed", "expired", "refused", "recov"
+    );
+    for &workers in &[1usize, 2, 4] {
+        for chaos in [false, true] {
+            let mode = if chaos { "chaos" } else { "clean" };
+            let pt = run_sweep_point(workers, chaos, seed, &mut oracle);
+            record_gauges(mode, workers, &pt);
+            println!(
+                "{:<8} {:>7} {:>10} {:>10} {:>12.0} {:>6} {:>6} {:>7} {:>8} {:>6}",
+                mode,
+                workers,
+                format!("{:.1}ms", pt.p50_ms),
+                format!("{:.1}ms", pt.p99_ms),
+                pt.goodput,
+                pt.completed,
+                pt.shed,
+                pt.expired,
+                pt.refused,
+                pt.recoveries,
+            );
+            // The burst is ~2x queue capacity: overload must surface as
+            // *counted* degradation somewhere, never as unbounded queues.
+            assert!(
+                pt.refused + pt.shed + pt.expired > 0,
+                "a 2x burst must trip admission control or the shedder ({mode}, {workers}w)"
+            );
+        }
+    }
+    println!(
+        "\nOK: no admitted job failed; every completed result bitwise-equal \
+         to its fault-free oracle; chaos kills absorbed; ledgers reconcile."
+    );
+}

@@ -112,6 +112,8 @@ pub(crate) struct RankState {
     /// Encoded-equivalent size at or above which zero-copy send paths
     /// ship a region handle instead of encoding (from the config).
     pub(crate) zerocopy_threshold: usize,
+    /// Stamp + verify FNV digests on zero-copy regions (from the config).
+    pub(crate) region_integrity: bool,
     /// Flow-id domain for causal tracing (`obs::flow`), unique per rank
     /// state within the process so universes never collide.
     pub(crate) flow_domain: u64,
@@ -236,6 +238,7 @@ impl Comm {
                 unacked: RefCell::new(Vec::new()),
                 pool: RefCell::new(Vec::new()),
                 zerocopy_threshold: config.zerocopy_threshold,
+                region_integrity: config.region_integrity,
                 flow_domain: obs::flow::next_domain(),
                 flow_seq: Cell::new(0),
                 obs_handles: std::cell::OnceCell::new(),
@@ -420,6 +423,13 @@ impl Comm {
     /// config; see the [`crate::payload`] module).
     pub fn zerocopy_threshold(&self) -> usize {
         self.state.zerocopy_threshold
+    }
+
+    /// Whether zero-copy regions are stamped with (and verified against)
+    /// an FNV digest of their wire encoding (from the universe config;
+    /// see [`crate::UniverseConfig::region_integrity`]).
+    pub fn region_integrity(&self) -> bool {
+        self.state.region_integrity
     }
 
     /// Send an owned typed value, taking the zero-copy region arm when

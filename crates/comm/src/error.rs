@@ -32,6 +32,18 @@ pub enum CommError {
         queued: usize,
         /// Tags of the queued envelopes (capped at the first few).
         queued_tags: Vec<u32>,
+        /// Reliable-delivery envelopes this rank had sent but not yet
+        /// seen acked when the wait gave up — a nonzero count means the
+        /// stall may be self-inflicted (the peer is waiting on a message
+        /// this rank still owes a retransmit for). Always 0 in raw mode.
+        retx_in_flight: usize,
+        /// Sequence numbers of those unacked envelopes (capped at the
+        /// first few).
+        retx_seqs: Vec<u64>,
+        /// Milliseconds until the earliest pending retransmit fires its
+        /// next backoff retry (`Some(0)` = a retry is already overdue);
+        /// `None` when nothing is in flight.
+        retx_backoff_ms: Option<u64>,
     },
     /// A received payload failed checksum verification (injected
     /// bit-corruption surfaced in raw delivery mode).
@@ -69,6 +81,9 @@ impl fmt::Display for CommError {
                 waited_ms,
                 queued,
                 queued_tags,
+                retx_in_flight,
+                retx_seqs,
+                retx_backoff_ms,
             } => {
                 write!(
                     f,
@@ -79,10 +94,20 @@ impl fmt::Display for CommError {
                     None => write!(f, "any rank")?,
                 }
                 if *queued == 0 {
-                    write!(f, "; mailbox empty")
+                    write!(f, "; mailbox empty")?;
                 } else {
-                    write!(f, "; {queued} unmatched queued, tags {queued_tags:?}")
+                    write!(f, "; {queued} unmatched queued, tags {queued_tags:?}")?;
                 }
+                if *retx_in_flight > 0 {
+                    write!(
+                        f,
+                        "; {retx_in_flight} reliable sends unacked, seqs {retx_seqs:?}"
+                    )?;
+                    if let Some(ms) = retx_backoff_ms {
+                        write!(f, ", next retransmit in {ms} ms")?;
+                    }
+                }
+                Ok(())
             }
             CommError::Corrupt { rank, src, tag } => {
                 write!(
@@ -125,6 +150,9 @@ mod tests {
                 waited_ms: 250,
                 queued: 0,
                 queued_tags: vec![],
+                retx_in_flight: 0,
+                retx_seqs: vec![],
+                retx_backoff_ms: None,
             }
             .to_string(),
             "rank 3 stalled 250 ms waiting for tag 7 from rank 1; mailbox empty"
@@ -137,9 +165,28 @@ mod tests {
                 waited_ms: 10,
                 queued: 2,
                 queued_tags: vec![5, 9],
+                retx_in_flight: 0,
+                retx_seqs: vec![],
+                retx_backoff_ms: None,
             }
             .to_string(),
             "rank 0 stalled 10 ms waiting for tag 2 from any rank; 2 unmatched queued, tags [5, 9]"
+        );
+        assert_eq!(
+            CommError::Stalled {
+                rank: 2,
+                src: Some(0),
+                tag: 4,
+                waited_ms: 100,
+                queued: 0,
+                queued_tags: vec![],
+                retx_in_flight: 2,
+                retx_seqs: vec![11, 12],
+                retx_backoff_ms: Some(3),
+            }
+            .to_string(),
+            "rank 2 stalled 100 ms waiting for tag 4 from rank 0; mailbox empty; \
+             2 reliable sends unacked, seqs [11, 12], next retransmit in 3 ms"
         );
         assert_eq!(
             CommError::Corrupt {

@@ -42,6 +42,11 @@ pub struct Region {
     data: Arc<dyn Any + Send + Sync>,
     /// Exact size of this value's wire encoding, had it been encoded.
     wire_bytes: usize,
+    /// Optional FNV-1a digest of the value's wire encoding, stamped at
+    /// send time when [`UniverseConfig::region_integrity`](crate::UniverseConfig)
+    /// is on and re-verified at typed receives. `None` (the default)
+    /// skips verification entirely.
+    integrity: Option<u64>,
 }
 
 impl Region {
@@ -51,7 +56,21 @@ impl Region {
         Region {
             data: Arc::new(value),
             wire_bytes,
+            integrity: None,
         }
+    }
+
+    /// Stamp an FNV-1a digest of the value's wire encoding onto the
+    /// region (see [`Region::integrity`]).
+    #[must_use]
+    pub fn with_integrity(mut self, digest: u64) -> Region {
+        self.integrity = Some(digest);
+        self
+    }
+
+    /// The integrity digest stamped at send time, if any.
+    pub fn integrity(&self) -> Option<u64> {
+        self.integrity
     }
 
     /// The exact number of bytes this value would occupy on the wire —
@@ -80,6 +99,7 @@ impl Clone for Region {
         Region {
             data: Arc::clone(&self.data),
             wire_bytes: self.wire_bytes,
+            integrity: self.integrity,
         }
     }
 }

@@ -146,8 +146,25 @@ impl Comm {
             debug_assert_eq!(buf.len(), n, "wire_size disagrees with encode");
             self.isend_bytes_named(dest, tag, buf, "isend")
         } else {
-            self.isend_payload_named(dest, tag, Payload::Region(Region::new(value, n)), "isend")
+            let region = if self.region_integrity() {
+                // Opt-in: serialize once anyway, to stamp the region with
+                // a digest the typed receive re-derives and checks.
+                let digest = self.region_digest(&value);
+                Region::new(value, n).with_integrity(digest)
+            } else {
+                Region::new(value, n)
+            };
+            self.isend_payload_named(dest, tag, Payload::Region(region), "isend")
         }
+    }
+
+    /// FNV-1a over `value`'s wire encoding (the integrity-check digest).
+    fn region_digest<T: Wire>(&self, value: &T) -> u64 {
+        let mut buf = self.take_buf();
+        value.encode(&mut buf);
+        let digest = crate::fault::checksum(&buf);
+        self.put_buf(buf);
+        digest
     }
 
     pub(crate) fn isend_bytes_named(
@@ -326,12 +343,26 @@ impl Comm {
                 Ok((value, status))
             }
             Payload::Region(region) => {
+                let stamped = region.integrity();
                 let value = region.take::<T>().ok_or_else(|| {
                     CommError::Decode(format!(
                         "region payload is not a {}",
                         std::any::type_name::<T>()
                     ))
                 })?;
+                if let Some(expect) = stamped {
+                    self.state.stats.borrow_mut().region_integrity_checked += 1;
+                    if obs::enabled() {
+                        self.obs_fault_counter("comm.region_integrity_checked");
+                    }
+                    if self.region_digest(&value) != expect {
+                        return Err(CommError::Corrupt {
+                            rank: self.state.world_rank,
+                            src: self.global_rank_of(status.src),
+                            tag: status.tag,
+                        });
+                    }
+                }
                 Ok((value, status))
             }
         }
@@ -495,8 +526,13 @@ impl Comm {
 
     fn stalled(&self, src: Src, tag: Tag, waited: Duration) -> CommError {
         // Snapshot the unmatched mailbox: distinguishes "nothing ever
-        // arrived" from "messages arrived with the wrong tag/context".
+        // arrived" from "messages arrived with the wrong tag/context" —
+        // and the unacked reliable sends, which distinguish "the peer is
+        // silent" from "the peer may be waiting on a message this rank
+        // still owes a retransmit for".
         let pending = self.state.pending.borrow();
+        let unacked = self.state.unacked.borrow();
+        let now = Instant::now();
         CommError::Stalled {
             rank: self.state.world_rank,
             src: match src {
@@ -507,6 +543,12 @@ impl Comm {
             waited_ms: waited.as_millis() as u64,
             queued: pending.len(),
             queued_tags: pending.iter().take(8).map(|e| e.tag).collect(),
+            retx_in_flight: unacked.len(),
+            retx_seqs: unacked.iter().take(8).map(|r| r.seq).collect(),
+            retx_backoff_ms: unacked
+                .iter()
+                .map(|r| r.next_retry.saturating_duration_since(now).as_millis() as u64)
+                .min(),
         }
     }
 
@@ -847,6 +889,52 @@ mod tests {
         let model = NetworkModel::default();
         let wire = 2.0 * 100_008.0 * model.seconds_per_byte;
         assert!(report.stats[0].modeled_comm_s + report.stats[0].overlap_s >= wire);
+    }
+
+    #[test]
+    fn region_integrity_verifies_and_counts() {
+        let cfg = UniverseConfig::default()
+            .with_zerocopy_threshold(1)
+            .with_region_integrity(true);
+        let report = Universe::run_report(cfg, 2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_zc(1, 3, vec![1.25f64; 512]).unwrap();
+            } else {
+                let (v, _) = comm.recv_zc::<Vec<f64>>(Src::Rank(0), 3).unwrap();
+                assert_eq!(v, vec![1.25f64; 512]);
+            }
+        });
+        assert_eq!(report.stats[1].region_integrity_checked, 1);
+        assert_eq!(report.stats[0].zerocopy_msgs, 1);
+    }
+
+    #[test]
+    fn region_integrity_mismatch_surfaces_as_corrupt() {
+        // A deliberately wrong digest must surface as a typed Corrupt at
+        // the typed receive (this is what catches sender-side aliasing:
+        // the value no longer matches what was stamped at send time).
+        let cfg = UniverseConfig::default().with_region_integrity(true);
+        Universe::run_report(cfg, 2, |comm| {
+            if comm.rank() == 0 {
+                let v = vec![9u64; 64];
+                let n = v.wire_size();
+                let region = Region::new(v, n).with_integrity(0xbad);
+                let req = comm
+                    .isend_payload_named(1, 7, Payload::Region(region), "isend")
+                    .unwrap();
+                comm.wait(req).unwrap();
+            } else {
+                let err = comm.recv_zc::<Vec<u64>>(Src::Rank(0), 7).unwrap_err();
+                assert_eq!(
+                    err,
+                    CommError::Corrupt {
+                        rank: 1,
+                        src: 0,
+                        tag: 7
+                    }
+                );
+            }
+        });
     }
 
     #[test]

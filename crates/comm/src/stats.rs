@@ -63,6 +63,10 @@ pub struct CommStats {
     /// checksumming is wire-path-only, so a region has no byte image to
     /// flip (see the `payload` module docs). Never silently half-applied.
     pub corrupt_skipped_region: u64,
+    /// Region arrivals whose FNV integrity digest was re-derived and
+    /// verified at a typed receive (only counts when
+    /// [`UniverseConfig::region_integrity`](crate::UniverseConfig) is on).
+    pub region_integrity_checked: u64,
 }
 
 impl CommStats {
@@ -90,6 +94,7 @@ impl CommStats {
         self.zerocopy_msgs += other.zerocopy_msgs;
         self.zerocopy_bytes += other.zerocopy_bytes;
         self.corrupt_skipped_region += other.corrupt_skipped_region;
+        self.region_integrity_checked += other.region_integrity_checked;
     }
 
     /// Mean payload size of sent messages, or 0.0 if none were sent.
@@ -131,6 +136,7 @@ mod tests {
             zerocopy_msgs: 9,
             zerocopy_bytes: 900,
             corrupt_skipped_region: 2,
+            region_integrity_checked: 5,
         };
         let b = a;
         a.merge(&b);
@@ -156,6 +162,7 @@ mod tests {
         assert_eq!(a.zerocopy_msgs, 18);
         assert_eq!(a.zerocopy_bytes, 1800);
         assert_eq!(a.corrupt_skipped_region, 4);
+        assert_eq!(a.region_integrity_checked, 10);
     }
 
     #[test]

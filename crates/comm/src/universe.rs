@@ -24,6 +24,16 @@ pub struct UniverseConfig {
     /// arm-independent, so this only moves wall-clock cost; set it to
     /// `usize::MAX` to force the encode path everywhere (parity tests do).
     pub zerocopy_threshold: usize,
+    /// When `true`, typed zero-copy sends stamp each region with an
+    /// FNV-1a digest of the value's wire encoding and typed zero-copy
+    /// receives re-encode and verify it, surfacing a mismatch as
+    /// [`crate::CommError::Corrupt`]. Off by default: in-process region
+    /// handles cannot bit-rot in flight, so the check exists to catch
+    /// aliasing bugs (a sender mutating a value it still shares with an
+    /// in-flight retransmit copy) at the cost of re-serializing — it
+    /// deliberately trades away the zero-copy CPU win while keeping the
+    /// zero-copy allocation behavior.
+    pub region_integrity: bool,
     /// Wall-clock deadline for blocking receives and request waits; a
     /// rank blocked longer returns [`crate::CommError::Stalled`] with
     /// who/tag/src diagnostics instead of hanging forever. `None`
@@ -45,6 +55,7 @@ impl Default for UniverseConfig {
             model: NetworkModel::default(),
             algo: CollectiveAlgo::default(),
             zerocopy_threshold: crate::payload::DEFAULT_ZEROCOPY_THRESHOLD,
+            region_integrity: false,
             stall_timeout: None,
             fault: FaultPlan::default(),
             delivery: Delivery::default(),
@@ -72,6 +83,14 @@ impl UniverseConfig {
     #[must_use]
     pub fn with_zerocopy_threshold(mut self, bytes: usize) -> Self {
         self.zerocopy_threshold = bytes;
+        self
+    }
+
+    /// Enable (or disable) the FNV integrity check on zero-copy region
+    /// payloads. See [`UniverseConfig::region_integrity`].
+    #[must_use]
+    pub fn with_region_integrity(mut self, on: bool) -> Self {
+        self.region_integrity = on;
         self
     }
 

@@ -44,7 +44,7 @@ enum ToWorker {
 }
 
 /// Configuration of an ODIN context.
-#[derive(Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 pub struct OdinConfig {
     /// Number of workers.
     pub n_workers: usize,
@@ -70,6 +70,11 @@ pub struct OdinConfig {
     /// bytes. Forwarded to the worker communicator; `usize::MAX` forces
     /// every payload onto the encode path.
     pub zerocopy_threshold: usize,
+    /// Forwarded to the worker communicator: stamp zero-copy regions
+    /// with an FNV digest of their wire encoding and verify it at typed
+    /// receives (see [`comm::UniverseConfig::region_integrity`]). Off by
+    /// default.
+    pub region_integrity: bool,
 }
 
 impl Default for OdinConfig {
@@ -83,6 +88,7 @@ impl Default for OdinConfig {
             stall_timeout: None,
             reply_timeout: None,
             zerocopy_threshold: comm::DEFAULT_ZEROCOPY_THRESHOLD,
+            region_integrity: false,
         }
     }
 }
@@ -141,6 +147,13 @@ impl OdinConfig {
     #[must_use]
     pub fn with_zerocopy_threshold(mut self, bytes: usize) -> Self {
         self.zerocopy_threshold = bytes;
+        self
+    }
+
+    /// Enable the FNV integrity check on worker zero-copy regions.
+    #[must_use]
+    pub fn with_region_integrity(mut self, on: bool) -> Self {
+        self.region_integrity = on;
         self
     }
 }
@@ -271,9 +284,23 @@ pub struct OdinCheckpoint {
 }
 
 impl OdinCheckpoint {
+    /// A checkpoint covering no arrays. [`OdinContext::recover`] with an
+    /// empty checkpoint still respawns the pool and replays the local-fn
+    /// and kernel registries — the right input when every live array is
+    /// reconstructible from its job spec (the serving plane's case).
+    pub fn empty() -> Self {
+        OdinCheckpoint { arrays: Vec::new() }
+    }
+
     /// Ids covered by this checkpoint.
     pub fn array_ids(&self) -> Vec<u64> {
         self.arrays.iter().map(|&(id, ..)| id).collect()
+    }
+}
+
+impl Default for OdinCheckpoint {
+    fn default() -> Self {
+        Self::empty()
     }
 }
 
@@ -340,6 +367,7 @@ fn spawn_pool(
         fault,
         delivery: config.delivery,
         zerocopy_threshold: config.zerocopy_threshold,
+        region_integrity: config.region_integrity,
     };
     let pool = Universe::spawn(
         ucfg,
@@ -1244,6 +1272,31 @@ impl OdinContext {
             restored,
             lost,
         }
+    }
+
+    /// Resize the worker pool to `n_workers` and replay the checkpoint onto
+    /// it — the elastic-pool hook the serving plane uses to grow or shrink
+    /// capacity between jobs. Taking `&mut self` guarantees no `DistArray`
+    /// borrows (or pending replies) are live across the resize, so every
+    /// surviving array must come back through `ck`; anything else is
+    /// reported lost exactly as in [`Self::recover`]. Checkpoint replay
+    /// re-slices each array with the *new* worker count, so any size works.
+    pub fn resize(&mut self, n_workers: usize, ck: &OdinCheckpoint) -> RecoveryReport {
+        assert!(n_workers > 0, "a pool needs at least one worker");
+        self.n_workers = n_workers;
+        self.config.n_workers = n_workers;
+        // Re-dimension the per-worker books before recover() `.fill()`s
+        // them; stale entries from the old size would misindex.
+        *self.dead.borrow_mut() = vec![false; n_workers];
+        {
+            let mut eng = self.engine.borrow_mut();
+            eng.issued = vec![0; n_workers];
+            eng.arrived = vec![0; n_workers];
+            eng.buffered.clear();
+            eng.abandoned.clear();
+        }
+        *self.worker_done_seq.borrow_mut() = vec![0; n_workers];
+        self.recover(ck)
     }
 }
 
@@ -2555,6 +2608,37 @@ mod tests {
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| orphan.to_vec()));
         let msg = *r.unwrap_err().downcast::<String>().expect("string panic");
         assert!(msg.contains("lost"), "diagnostic names the loss: {msg}");
+    }
+
+    #[test]
+    fn resize_replays_checkpoint_at_new_worker_count() {
+        // Grow 2 -> 4, then shrink 4 -> 3: checkpoint replay re-slices at
+        // whatever size the pool lands on, bit-for-bit.
+        let mut ctx = OdinContext::with_workers(2);
+        let want: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        let (id, ck) = {
+            let x = ctx.linspace(1.0, 8.0, 8);
+            (x.id(), ctx.checkpoint(&[&x]))
+        }; // handle dropped: no borrows live across the &mut resize
+        let report = ctx.resize(4, &ck);
+        assert_eq!(report.respawned, 4);
+        assert_eq!(report.restored, vec![id]);
+        assert!(report.lost.is_empty());
+        assert_eq!(ctx.n_workers(), 4);
+        {
+            let x = crate::array::DistArray::from_id(&ctx, id);
+            assert_eq!(x.to_vec(), want, "resized pool must replay bitwise");
+            // the resized pool is fully live: new work still runs on it
+            let y = &x + &x;
+            assert_eq!(y.to_vec()[7], 16.0);
+            std::mem::forget(x); // keep id alive for the next resize
+        }
+        let report = ctx.resize(3, &ck);
+        assert_eq!(report.respawned, 3);
+        let x = crate::array::DistArray::from_id(&ctx, id);
+        assert_eq!(x.to_vec(), want);
+        assert!(ctx.health_check().is_ok());
+        std::mem::forget(x);
     }
 
     #[test]

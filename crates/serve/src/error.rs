@@ -1,0 +1,75 @@
+//! Typed admission errors.
+//!
+//! Admission control answers **synchronously**: a submission is either
+//! admitted (the caller holds a [`crate::JobTicket`]) or refused with one
+//! of these errors. Refusals are the backpressure signal at the plane's
+//! edge — a full tenant queue propagates here instead of growing an
+//! unbounded mailbox in the middle of the stack.
+
+/// Why a submission was refused at the admission edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The tenant's bounded queue is at its quota. Backpressure, not
+    /// failure: resubmit later or at a higher priority.
+    QuotaExceeded {
+        /// Tenant whose quota refused the job.
+        tenant: String,
+        /// Jobs currently queued for the tenant.
+        queued: usize,
+        /// The tenant's `max_queued` quota.
+        cap: usize,
+    },
+    /// The deadline budget is zero — the job could never complete.
+    ZeroBudget,
+    /// No tenant with this name was registered in the plane's config.
+    UnknownTenant {
+        /// The name that failed to resolve.
+        tenant: String,
+    },
+    /// The plane is shutting down; no further work is accepted.
+    Closed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QuotaExceeded {
+                tenant,
+                queued,
+                cap,
+            } => write!(
+                f,
+                "tenant `{tenant}` queue is full ({queued}/{cap} queued); backpressure — retry later"
+            ),
+            ServeError::ZeroBudget => write!(f, "deadline budget must be nonzero"),
+            ServeError::UnknownTenant { tenant } => {
+                write!(f, "no tenant named `{tenant}` is registered")
+            }
+            ServeError::Closed => write!(f, "serving plane is closed to new work"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_backpressure_signal() {
+        let e = ServeError::QuotaExceeded {
+            tenant: "acme".into(),
+            queued: 8,
+            cap: 8,
+        };
+        assert_eq!(
+            e.to_string(),
+            "tenant `acme` queue is full (8/8 queued); backpressure — retry later"
+        );
+        assert_eq!(
+            ServeError::Closed.to_string(),
+            "serving plane is closed to new work"
+        );
+    }
+}

@@ -23,6 +23,7 @@ pub use hpc_core;
 pub use obs;
 pub use odin;
 pub use seamless;
+pub use serve;
 pub use solvers;
 
 /// The most-used names from every layer, importable in one line:
@@ -30,8 +31,8 @@ pub use solvers;
 ///
 /// Covers distributed arrays and lazy expressions (ODIN), JIT kernels
 /// (Seamless), the communication substrate, the solver stack, the
-/// composition layer, and the unified [`hpc_core::Error`] /
-/// [`hpc_core::Result`] pair.
+/// composition layer, the multi-tenant serving plane, and the unified
+/// [`hpc_core::Error`] / [`hpc_core::Result`] pair.
 pub mod prelude {
     pub use comm::{Comm, CommError, NetworkModel, Universe, UniverseConfig};
     pub use dlinalg::{CsrMatrix, DistVector};
@@ -44,6 +45,12 @@ pub mod prelude {
         OdinContext, OdinError, Record, ReduceKind, Schema,
     };
     pub use seamless::{compile_kernel, jit, CompiledKernel, SeamlessError, Type, Value};
+    // serve::Session stays un-globbed (hpc_core::Session has the name);
+    // reach it as `serve::Session`.
+    pub use serve::{
+        JobOutcome, JobRequest, JobSpec, Priority, ServeConfig, ServeError, ServePlane, ServeStats,
+        TenantQuota,
+    };
     pub use solvers::{
         bicgstab, cg, gmres, newton_krylov, AmgPreconditioner, IdentityPrecond, JacobiPrecond,
         KrylovConfig, NewtonConfig, Preconditioner, SolveStatus, SolverError,

@@ -214,3 +214,80 @@ fn a_kernel_registers_once_and_invokes_stay_small() {
     );
     drop(live);
 }
+
+#[test]
+fn mid_batch_kill_is_absorbed_by_recover_without_recompiling() {
+    // The serving-plane failure shape (E23): a pool is killed *mid-batch*
+    // — while a stream of kernel evaluations is in flight over a
+    // checkpointed operand — and recover() must bring back both the
+    // kernel registry and the checkpointed array so the batch finishes
+    // through the SAME Kernel handle, bit-for-bit equal to a fault-free
+    // run. Swept over HPC_FAULT_SEED by ci.sh.
+    const SRC: &str = "def mix(a, b):\n    return a * a + b\n";
+    const BATCH: usize = 8;
+    const N: usize = 96;
+
+    // Fault-free twin: the bitwise reference for the whole batch.
+    let reference: Vec<Vec<u64>> = {
+        let ctx = OdinContext::with_workers(3);
+        let mix = ctx.compile_kernel(SRC, "mix").unwrap();
+        let w = ctx.linspace(0.25, 4.0, N);
+        (0..BATCH)
+            .map(|k| {
+                let x = ctx.random_dist(&[N], 900 + k as u64, Dist::Block);
+                bits(&mix.map(&[&x, &w]).to_vec())
+            })
+            .collect()
+    };
+
+    let ctx = OdinContext::new(OdinConfig {
+        n_workers: 3,
+        fault: FaultPlan {
+            seed: fault_seed(),
+            kill_rank: Some(1),
+            kill_after_ops: 25, // lands inside the batch, not before it
+            ..FaultPlan::none()
+        },
+        stall_timeout: Some(Duration::from_secs(5)),
+        reply_timeout: Some(Duration::from_secs(5)),
+        ..Default::default()
+    });
+    let mix = ctx.compile_kernel(SRC, "mix").unwrap();
+    let w = ctx.linspace(0.25, 4.0, N);
+    let ck = ctx.checkpoint(&[&w]);
+
+    let mut results: Vec<Vec<u64>> = Vec::with_capacity(BATCH);
+    let mut recoveries = 0u32;
+    for k in 0..BATCH {
+        loop {
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let x = ctx.random_dist(&[N], 900 + k as u64, Dist::Block);
+                mix.map(&[&x, &w]).to_vec()
+            }));
+            match attempt {
+                Ok(v) => {
+                    results.push(bits(&v));
+                    break;
+                }
+                Err(_) => {
+                    // The kill surfaced mid-evaluation. Heal the pool:
+                    // respawn + registry replay + checkpoint restore.
+                    assert!(ctx.health_check().is_err(), "panic without a dead pool");
+                    let report = ctx.recover(&ck);
+                    assert_eq!(report.respawned, 3);
+                    assert!(report.restored.contains(&w.id()), "w must be restored");
+                    recoveries += 1;
+                    assert!(recoveries < 4, "recover() must converge, not thrash");
+                }
+            }
+        }
+    }
+    assert!(
+        recoveries >= 1,
+        "the injected kill never landed mid-batch (seed {})",
+        fault_seed()
+    );
+    // Same Kernel handle, never recompiled, pool respawned underneath:
+    // the batch must not move by a single bit.
+    assert_eq!(results, reference);
+}

@@ -404,3 +404,82 @@ fn disabled_path_records_nothing() {
     assert_eq!(obs::global().counter_sum("odin."), 0);
     assert_eq!(obs::global().counter_sum("solver."), 0);
 }
+
+#[test]
+fn zerocopy_region_corrupt_skip_reconciles_exactly_with_comm_stats() {
+    // The PR 7 gap, closed: with every payload on the region arm and an
+    // aggressive seeded corrupt schedule, each skipped-and-counted
+    // corruption (regions have no wire image to flip) and each
+    // FNV-integrity verification must land in `CommStats` and the obs
+    // registry at the same site, per rank, exactly. Swept over
+    // HPC_FAULT_SEED by the ci.sh chaos pass.
+    let seed = std::env::var("HPC_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let _g = obs_lock();
+    obs::reset();
+    obs::set_enabled(true);
+    let p = 4;
+    let cfg = UniverseConfig {
+        stall_timeout: Some(std::time::Duration::from_secs(10)),
+        fault: FaultPlan::messages(seed, 0.0, 0.0, 0.0, 0.25),
+        delivery: Delivery::Reliable,
+        ..Default::default()
+    }
+    .with_zerocopy_threshold(1)
+    .with_region_integrity(true);
+    let report = Universe::run_report(cfg, p, |comm| {
+        // A zero-copy ring: every payload rides the region arm (threshold
+        // 1), so each Corrupt decision lands on a region and is skipped.
+        let rank = comm.rank();
+        let size = comm.size();
+        let mut acc = 0.0;
+        for round in 0..24u64 {
+            let v = vec![rank as f64 + round as f64 + 0.5; 64];
+            let sreq = comm
+                .isend_zc((rank + 1) % size, 40 + round as u32, v)
+                .unwrap();
+            let (got, _) = comm
+                .recv_zc::<Vec<f64>>(
+                    hpc_framework::comm::Src::Rank((rank + size - 1) % size),
+                    40 + round as u32,
+                )
+                .unwrap();
+            comm.wait(sreq).unwrap();
+            acc += got[0];
+        }
+        acc
+    });
+    obs::set_enabled(false);
+
+    let g = obs::global();
+    let (mut skipped, mut checked) = (0u64, 0u64);
+    for (rank, s) in report.stats.iter().enumerate() {
+        let r = rank.to_string();
+        let val = |name: &str| {
+            g.counter_value(&obs::registry::key(name, &[("rank", &r)]))
+                .unwrap_or(0)
+        };
+        assert_eq!(
+            val("comm.corrupt_skipped_region"),
+            s.corrupt_skipped_region,
+            "rank {rank}"
+        );
+        assert_eq!(
+            val("comm.region_integrity_checked"),
+            s.region_integrity_checked,
+            "rank {rank}"
+        );
+        skipped += s.corrupt_skipped_region;
+        checked += s.region_integrity_checked;
+    }
+    assert!(
+        skipped > 0,
+        "corrupt_p 0.25 over region payloads skipped nothing (seed {seed})"
+    );
+    assert!(checked > 0, "no typed receive verified a region digest");
+    // Ledger identity: the registry's cross-rank sums agree too.
+    assert_eq!(g.counter_sum("comm.corrupt_skipped_region"), skipped);
+    assert_eq!(g.counter_sum("comm.region_integrity_checked"), checked);
+}

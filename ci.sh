@@ -77,6 +77,19 @@ cargo run --release --offline -p bench --bin e23_serve -- --metrics-json \
   | tail -n 1 > BENCH_e23.json
 test -s BENCH_e23.json
 
+echo "== E24 whole-program gate (fusion/CSE/DSE/merged moves, bitwise parity)"
+# Asserts a traced multi-statement stencil and a CG-like program run
+# bitwise-identical to statement-at-a-time evaluation (clean and under
+# seeded chaos) with strictly fewer kernel launches and strictly fewer
+# ODIN ctrl/data messages, >= 1 merged redistribute and >= 1 CSE hit on
+# the stencil (all asserted in the binary).
+cargo run --release --offline -p bench --bin e24_program -- --metrics-json \
+  | tail -n 1 > BENCH_e24.json
+test -s BENCH_e24.json
+
+echo "== bench artifacts parse and carry their gate fields"
+cargo run --release --offline -p bench --bin bench_check
+
 echo "== public API listing is current"
 cargo run --release --offline -p bench --bin api_listing -- --check
 

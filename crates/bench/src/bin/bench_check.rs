@@ -1,0 +1,79 @@
+//! CI gate over the committed bench artifacts: every `BENCH_*.json` must
+//! be well-formed JSON, and each gated experiment's file must carry the
+//! counters its pass/fail judgment is based on. A bench that silently
+//! stops emitting its gate fields would otherwise keep "passing" while
+//! measuring nothing.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+/// Per-artifact gate fields: the metric keys the experiment's claims are
+/// judged on, which therefore must appear in the exported dump.
+const REQUIRED: &[(&str, &[&str])] = &[
+    (
+        "BENCH_e19.json",
+        &["comm.collectives{op=allreduce}", "pool.buffer_reuse"],
+    ),
+    (
+        "BENCH_e20.json",
+        &["odin.kernel.registered", "odin.kernel.cache_hit"],
+    ),
+    (
+        "BENCH_e21.json",
+        &["solver.iterations{solver=cg}", "comm.collectives"],
+    ),
+    (
+        "BENCH_e22.json",
+        &["comm.zerocopy_msgs{rank=0}", "comm.zerocopy_bytes"],
+    ),
+    ("BENCH_e23.json", &["serve.admitted", "serve.completed"]),
+    (
+        "BENCH_e24.json",
+        &[
+            "fusion.cse_hits",
+            "fusion.dse_eliminated",
+            "fusion.launches_saved",
+            "fusion.redistributes_merged",
+        ],
+    ),
+];
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let mut found = BTreeSet::new();
+    for entry in fs::read_dir(&dir).expect("readable artifact directory") {
+        let entry = entry.expect("readable directory entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text =
+            fs::read_to_string(entry.path()).unwrap_or_else(|e| panic!("{name}: unreadable: {e}"));
+        obs::json::validate(&text).unwrap_or_else(|e| panic!("{name}: invalid JSON: {e}"));
+        found.insert(name);
+    }
+    assert!(
+        !found.is_empty(),
+        "no BENCH_*.json artifacts found in {dir}"
+    );
+    for (name, keys) in REQUIRED {
+        assert!(
+            found.contains(*name),
+            "required artifact {name} is missing (found: {found:?})"
+        );
+        let text = fs::read_to_string(Path::new(&dir).join(name)).expect("just listed");
+        for key in *keys {
+            assert!(
+                text.contains(&format!("\"{key}")),
+                "{name} lost its gate field {key:?} — the bench no longer \
+                 measures what its pass/fail gate claims"
+            );
+        }
+    }
+    println!(
+        "bench_check: {} artifacts valid, {} gated files carry their gate fields",
+        found.len(),
+        REQUIRED.len()
+    );
+}

@@ -482,6 +482,18 @@ impl Comm {
         Ok((value, status))
     }
 
+    /// Drive reliability progress without receiving: drain the mailbox
+    /// (acking arrivals) and retransmit overdue unacked sends. Every
+    /// *blocked* receive already does this; an idle rank — e.g. a worker
+    /// parked at its command queue after finishing a collective whose
+    /// final copy to a peer was dropped — must call it periodically, or
+    /// that peer starves with no retransmit ever coming. No-op outside
+    /// reliable mode.
+    pub fn pump(&self) {
+        self.drain_mailbox();
+        self.pump_retransmits();
+    }
+
     /// Non-blocking check: is a matching message already available?
     /// Drains the mailbox into the pending queue without blocking.
     pub fn probe(&self, src: Src, tag: Tag) -> bool {

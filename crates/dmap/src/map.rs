@@ -360,6 +360,25 @@ impl DistMap {
             }
         }
     }
+
+    /// How many gids change owner between this map and `target` — the
+    /// element traffic a redistribute from `self` to `target` must move.
+    /// Both maps need a global owner view (structured maps); `None`
+    /// otherwise, or when the maps don't describe the same index space.
+    pub fn moved_count(&self, target: &DistMap) -> Option<usize> {
+        if self.n_global != target.n_global
+            || self.n_ranks != target.n_ranks
+            || !self.has_global_view()
+            || !target.has_global_view()
+        {
+            return None;
+        }
+        Some(
+            (0..self.n_global)
+                .filter(|&g| self.owner_of(g) != target.owner_of(g))
+                .count(),
+        )
+    }
 }
 
 /// Exact structural snapshot of a [`DistMap`] as seen from one rank —
@@ -446,6 +465,25 @@ mod tests {
                 check_bijection(&DistMap::block_cyclic(n, b, p, r));
             }
         }
+    }
+
+    #[test]
+    fn moved_count_measures_redistribute_traffic() {
+        // Identical maps move nothing; a block→cyclic reshuffle of 12
+        // elements over 3 ranks keeps exactly the gids whose block owner
+        // happens to equal their cyclic owner.
+        let block = DistMap::block(12, 3, 0);
+        let cyclic = DistMap::cyclic(12, 3, 0);
+        assert_eq!(block.moved_count(&DistMap::block(12, 3, 0)), Some(0));
+        let moved = block.moved_count(&cyclic).unwrap();
+        let stay = (0..12)
+            .filter(|&g| block.owner_of(g) == cyclic.owner_of(g))
+            .count();
+        assert_eq!(moved, 12 - stay);
+        assert!(moved > 0);
+        // Symmetric, and off for mismatched index spaces.
+        assert_eq!(cyclic.moved_count(&block), Some(moved));
+        assert_eq!(block.moved_count(&DistMap::block(13, 3, 0)), None);
     }
 
     #[test]

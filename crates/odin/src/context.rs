@@ -24,7 +24,9 @@ use crate::buffer::{
     apply_binary, apply_binary_scalar, apply_unary, binary_result_dtype, binop_f64,
     unary_result_dtype, Buffer, DType,
 };
-use crate::protocol::{ArrayMeta, BinOp, Cmd, Dist, Fill, FusedOp, ReduceKind, ReplyMsg, UnaryOp};
+use crate::protocol::{
+    ArrayMeta, BinOp, Cmd, Dist, Fill, FusedOp, KernelOut, ReduceKind, ReplyMsg, UnaryOp,
+};
 use crate::slicing::{redistribute_worker, slice_worker};
 
 /// Signature of a registered local-mode function (the `@odin.local`
@@ -680,6 +682,22 @@ impl OdinContext {
                 touch(*template);
                 for &id in inputs {
                     touch(id);
+                }
+            }
+            Cmd::EvalKernelMulti {
+                template,
+                inputs,
+                outs,
+                ..
+            } => {
+                touch(*template);
+                for &id in inputs {
+                    touch(id);
+                }
+                for o in outs {
+                    if let KernelOut::Array { id, .. } = o {
+                        touch(*id);
+                    }
                 }
             }
             Cmd::Ping | Cmd::Shutdown | Cmd::RegisterKernel { .. } => {}
@@ -1639,12 +1657,22 @@ fn worker_main(comm: &mut Comm, rx: Receiver<ToWorker>, reply: Sender<(usize, Re
     let mut kernels: HashMap<u64, seamless::bytecode::Program> = HashMap::new();
     let mut scratch = WorkerScratch::default();
     'outer: loop {
-        match rx.recv() {
-            Err(_) => break,
-            Ok(ToWorker::Register { id, f }) => {
+        // Idle-wait with a periodic reliability pump: a worker parked
+        // here can still owe retransmits for the final sends of its last
+        // collective (a peer may be blocked on one of them), and nothing
+        // else on this rank would ever resend. See `Comm::pump`.
+        let msg = loop {
+            match rx.recv_timeout(std::time::Duration::from_millis(10)) {
+                Ok(m) => break m,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => comm.pump(),
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break 'outer,
+            }
+        };
+        match msg {
+            ToWorker::Register { id, f } => {
                 fns.insert(id, f);
             }
-            Ok(ToWorker::Bytes { bytes, flow }) => {
+            ToWorker::Bytes { bytes, flow } => {
                 // Execution span consuming the dispatch's control flow:
                 // cross-clock-domain, so it annotates the trace (arrow
                 // from the master) without entering the critical path.
@@ -2121,6 +2149,17 @@ fn exec_cmd(
                 reduce,
             );
         }
+        Cmd::EvalKernelMulti {
+            kernel,
+            template,
+            inputs,
+            scalars,
+            outs,
+        } => {
+            exec_kernel_multi(
+                comm, reply, arrays, kernels, scratch, kernel, template, &inputs, &scalars, &outs,
+            );
+        }
     }
     true
 }
@@ -2257,6 +2296,188 @@ fn exec_kernel(
                 let _ = reply.send((comm.rank(), ReplyMsg::Bytes(comm::encode_to_vec(&total))));
             }
         }
+    }
+}
+
+/// Run a fused multi-statement kernel over this worker's segment and
+/// harvest several register rows in one pass: each [`KernelOut::Array`]
+/// materializes like [`exec_kernel`]'s map path (raw f64 rows collected
+/// per chunk, one final `astype`), each [`KernelOut::Reduce`] folds its
+/// row exactly like the fused reduce tail (sequential element-order local
+/// fold, one `allreduce` per reduction in `outs` order, rank-0 reply with
+/// the scalar vector). Scalar parameters arrive as resolved f64 values
+/// and are staged as constant chunk rows, so the bytecode sees them as
+/// ordinary float inputs.
+#[allow(clippy::too_many_arguments)]
+fn exec_kernel_multi(
+    comm: &Comm,
+    reply: &Sender<(usize, ReplyMsg)>,
+    arrays: &mut HashMap<u64, (ArrayMeta, Buffer)>,
+    kernels: &HashMap<u64, seamless::bytecode::Program>,
+    scratch: &mut WorkerScratch,
+    kernel: u64,
+    template: u64,
+    inputs: &[u64],
+    scalars: &[f64],
+    outs: &[KernelOut],
+) {
+    let program = kernels.get(&kernel).expect("unknown kernel");
+    let n_instrs = program.funcs.first().map_or(0, |f| f.instrs.len());
+    let vm = seamless::vm::Vm::new(program);
+    let t_meta = arrays[&template].0.clone();
+    let n = arrays[&template].1.len();
+    const CHUNK: usize = 4096;
+    let kernel_timer = if obs::enabled() {
+        Some(obs::span::span_start(comm.virtual_time()))
+    } else {
+        None
+    };
+    let out_regs: Vec<seamless::bytecode::Reg> = outs
+        .iter()
+        .map(|o| match o {
+            KernelOut::Array { reg, .. } | KernelOut::Reduce { reg, .. } => *reg,
+        })
+        .collect();
+    // Per-output state: raw f64 collectors for arrays, fold accumulators
+    // for reductions (identical start values to the single-out path).
+    let mut values: Vec<Vec<f64>> = outs
+        .iter()
+        .map(|o| match o {
+            KernelOut::Array { .. } => Vec::with_capacity(n),
+            KernelOut::Reduce { .. } => Vec::new(),
+        })
+        .collect();
+    let mut accs: Vec<f64> = outs
+        .iter()
+        .map(|o| match o {
+            KernelOut::Reduce { kind, .. } => reduce_identity(*kind),
+            KernelOut::Array { .. } => 0.0,
+        })
+        .collect();
+    let mut out_rows: Vec<Vec<f64>> = (0..outs.len())
+        .map(|_| {
+            let mut row = scratch.fused_pool.pop().unwrap_or_default();
+            row.clear();
+            row.resize(CHUNK.min(n.max(1)), 0.0);
+            row
+        })
+        .collect();
+    // Non-F64 inputs are staged into recycled chunk buffers; F64 inputs
+    // are borrowed directly from the segment. Scalar parameters become
+    // constant rows, filled once.
+    let mut staged: Vec<Option<Vec<f64>>> = Vec::with_capacity(inputs.len());
+    for &id in inputs {
+        let (m, b) = &arrays[&id];
+        debug_assert!(m.conformable(&t_meta), "kernel input not conformable");
+        staged.push(match b {
+            Buffer::F64(_) => None,
+            _ => {
+                let mut buf = scratch.fused_pool.pop().unwrap_or_default();
+                buf.clear();
+                Some(buf)
+            }
+        });
+    }
+    let scalar_rows: Vec<Vec<f64>> = scalars
+        .iter()
+        .map(|&v| {
+            let mut row = scratch.fused_pool.pop().unwrap_or_default();
+            row.clear();
+            row.resize(CHUNK.min(n.max(1)), v);
+            row
+        })
+        .collect();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + CHUNK).min(n);
+        let len = end - start;
+        for (k, &id) in inputs.iter().enumerate() {
+            if let Some(buf) = &mut staged[k] {
+                let b = &arrays[&id].1;
+                buf.clear();
+                buf.extend((start..end).map(|i| b.get_f64(i)));
+            }
+        }
+        let mut refs: Vec<&[f64]> = inputs
+            .iter()
+            .zip(&staged)
+            .map(|(&id, s)| match s {
+                Some(buf) => &buf[..],
+                None => match &arrays[&id].1 {
+                    Buffer::F64(v) => &v[start..end],
+                    _ => unreachable!("non-F64 inputs are staged"),
+                },
+            })
+            .collect();
+        refs.extend(scalar_rows.iter().map(|r| &r[..len]));
+        {
+            let mut row_refs: Vec<&mut [f64]> =
+                out_rows.iter_mut().map(|r| &mut r[..len]).collect();
+            vm.run_f64_multi_chunk(0, &refs, &out_regs, &mut row_refs)
+                .expect("fused kernel failed on a worker segment");
+        }
+        for (slot, o) in outs.iter().enumerate() {
+            match o {
+                KernelOut::Array { .. } => {
+                    values[slot].extend_from_slice(&out_rows[slot][..len]);
+                }
+                KernelOut::Reduce { kind, .. } => {
+                    let a = &mut accs[slot];
+                    for &v in &out_rows[slot][..len] {
+                        *a = reduce_combine(*kind, *a, reduce_element(*kind, v));
+                    }
+                }
+            }
+        }
+        start = end;
+    }
+    comm.advance_compute((n * n_instrs.max(1)) as f64);
+    if let Some(t) = kernel_timer {
+        t.finish_meta(
+            "odin",
+            "kernel",
+            comm.virtual_time(),
+            &[("n", n as f64), ("instrs", n_instrs as f64)],
+            obs::span::SpanMeta {
+                kind: obs::span::SpanKind::Kernel,
+                flow_out: 0,
+                flow_in: 0,
+            },
+        );
+    }
+    for s in staged.into_iter().flatten() {
+        scratch.fused_pool.push(s);
+    }
+    for row in scalar_rows {
+        scratch.fused_pool.push(row);
+    }
+    for row in out_rows {
+        scratch.fused_pool.push(row);
+    }
+    let mut totals: Vec<f64> = Vec::new();
+    for (slot, o) in outs.iter().enumerate() {
+        match o {
+            KernelOut::Array { id, dtype, .. } => {
+                let raw = std::mem::take(&mut values[slot]);
+                let result = Buffer::F64(raw).astype(*dtype);
+                let out_meta = ArrayMeta {
+                    dtype: *dtype,
+                    ..t_meta.clone()
+                };
+                arrays.insert(*id, (out_meta, result));
+            }
+            KernelOut::Reduce { kind, .. } => {
+                // Collective: runs on every rank even with an empty segment,
+                // one allreduce per reduction, in declaration order.
+                let total = comm.allreduce(&accs[slot], |x: &f64, y: &f64| {
+                    reduce_combine(*kind, *x, *y)
+                });
+                totals.push(total);
+            }
+        }
+    }
+    if !totals.is_empty() && comm.rank() == 0 {
+        let _ = reply.send((comm.rank(), ReplyMsg::Bytes(comm::encode_to_vec(&totals))));
     }
 }
 

@@ -178,12 +178,7 @@ impl<'x, 'c> Expr<'x, 'c> {
             }
         }
         let n = inputs.len();
-        let mut lw = Lowerer {
-            params,
-            instrs: Vec::new(),
-            n_f: n as Reg,
-            n_i: 0,
-        };
+        let mut lw = Lowerer::with_params(params, n);
         let ret = lw.go(self, aligned);
         lw.instrs.push(Instr::Ret(Some((RegFile::F, ret))));
         let f = CompiledFunc {
@@ -380,15 +375,37 @@ impl<'x, 'c> Expr<'x, 'c> {
 /// not the VM's Python-modulo `ModF`), and `x ** c` for small integral
 /// constants strength-reduces to [`Instr::PowIC`] just like the RPN
 /// interpreter does at runtime.
-struct Lowerer {
+pub(crate) struct Lowerer {
     /// Aligned leaf array id → F parameter register.
-    params: HashMap<u64, Reg>,
-    instrs: Vec<Instr>,
-    n_f: Reg,
-    n_i: Reg,
+    pub(crate) params: HashMap<u64, Reg>,
+    pub(crate) instrs: Vec<Instr>,
+    pub(crate) n_f: Reg,
+    pub(crate) n_i: Reg,
+}
+
+/// `x ** c` strength-reduction eligibility, shared by every lowering
+/// plane (RPN chunks, single-expression JIT, whole-program JIT): small
+/// integral exponents run as [`Instr::PowIC`].
+pub(crate) fn powic_exponent(c: f64) -> Option<i32> {
+    if c.fract() == 0.0 && c.abs() <= 8.0 {
+        Some(c as i32)
+    } else {
+        None
+    }
 }
 
 impl Lowerer {
+    /// Fresh lowering state with the first `n_params` F registers bound
+    /// to parameters (the caller owns the id → register map).
+    pub(crate) fn with_params(params: HashMap<u64, Reg>, n_params: usize) -> Self {
+        Lowerer {
+            params,
+            instrs: Vec::new(),
+            n_f: n_params as Reg,
+            n_i: 0,
+        }
+    }
+
     fn fresh_f(&mut self) -> Reg {
         let r = self.n_f;
         self.n_f += 1;
@@ -416,6 +433,126 @@ impl Lowerer {
         d
     }
 
+    /// Emit a broadcast constant; returns its F register.
+    pub(crate) fn emit_const(&mut self, v: f64) -> Reg {
+        let d = self.fresh_f();
+        self.instrs.push(Instr::ConstF(d, v));
+        d
+    }
+
+    /// Emit one unary op over `s`; returns the result's F register.
+    pub(crate) fn emit_unary(&mut self, op: UnaryOp, s: Reg) -> Reg {
+        use UnaryOp::*;
+        let m1 = |f: MathFn, lw: &mut Self| {
+            let d = lw.fresh_f();
+            lw.instrs.push(Instr::Math1(f, d, s));
+            d
+        };
+        match op {
+            Neg => {
+                let d = self.fresh_f();
+                self.instrs.push(Instr::NegF(d, s));
+                d
+            }
+            Abs => m1(MathFn::Abs, self),
+            Sin => m1(MathFn::Sin, self),
+            Cos => m1(MathFn::Cos, self),
+            Tan => m1(MathFn::Tan, self),
+            Exp => m1(MathFn::Exp, self),
+            Log => m1(MathFn::Log, self),
+            Sqrt => m1(MathFn::Sqrt, self),
+            Floor => m1(MathFn::Floor, self),
+            Ceil => m1(MathFn::Ceil, self),
+            Not => {
+                // f64::from(x == 0.0), like the RPN interpreter
+                let z = self.zero_f();
+                let i = self.fresh_i();
+                self.instrs.push(Instr::CmpF(Cmp::Eq, i, s, z));
+                self.bool_to_f(i)
+            }
+        }
+    }
+
+    /// Emit `a ** c` strength-reduced to [`Instr::PowIC`]; the caller
+    /// must have checked [`powic_exponent`].
+    pub(crate) fn emit_pow_const(&mut self, a: Reg, e: i32) -> Reg {
+        let d = self.fresh_f();
+        self.instrs.push(Instr::PowIC(d, a, e));
+        d
+    }
+
+    /// Emit one binary op over `a`, `b`; returns the result's F register.
+    pub(crate) fn emit_binary(&mut self, op: BinOp, a: Reg, b: Reg) -> Reg {
+        use BinOp::*;
+        let bin = |mk: fn(Reg, Reg, Reg) -> Instr, lw: &mut Self| {
+            let d = lw.fresh_f();
+            lw.instrs.push(mk(d, a, b));
+            d
+        };
+        let cmp = |c: Cmp, lw: &mut Self| {
+            let i = lw.fresh_i();
+            lw.instrs.push(Instr::CmpF(c, i, a, b));
+            lw.bool_to_f(i)
+        };
+        match op {
+            Add => bin(Instr::AddF, self),
+            Sub => bin(Instr::SubF, self),
+            Mul => bin(Instr::MulF, self),
+            Div => bin(Instr::DivF, self),
+            Pow => bin(Instr::PowF, self),
+            Mod => bin(Instr::RemF, self),
+            Max => bin(Instr::MaxF, self),
+            Min => bin(Instr::MinF, self),
+            Hypot => bin(|d, a, b| Instr::Math2(Math2Fn::Hypot, d, a, b), self),
+            Atan2 => bin(|d, a, b| Instr::Math2(Math2Fn::Atan2, d, a, b), self),
+            Eq => cmp(Cmp::Eq, self),
+            Ne => cmp(Cmp::Ne, self),
+            Lt => cmp(Cmp::Lt, self),
+            Le => cmp(Cmp::Le, self),
+            Gt => cmp(Cmp::Gt, self),
+            Ge => cmp(Cmp::Ge, self),
+            And | Or => {
+                // f64::from(x != 0.0 <op> y != 0.0)
+                let z = self.zero_f();
+                let ia = self.fresh_i();
+                self.instrs.push(Instr::CmpF(Cmp::Ne, ia, a, z));
+                let ib = self.fresh_i();
+                self.instrs.push(Instr::CmpF(Cmp::Ne, ib, b, z));
+                let id = self.fresh_i();
+                self.instrs.push(if matches!(op, And) {
+                    Instr::AndI(id, ia, ib)
+                } else {
+                    Instr::OrI(id, ia, ib)
+                });
+                self.bool_to_f(id)
+            }
+        }
+    }
+
+    /// Emit the value a consumer would observe if the register were
+    /// materialized as an array of `dtype` and then staged back as f64
+    /// for the next kernel — the whole-program plane uses this to fuse
+    /// *across* a statement whose dtype is not F64 while staying bitwise
+    /// identical to the materialize-then-stage route: `astype(I64)` is
+    /// `v as i64` and staging is `as f64` (FToI + IToF); `astype(Bool)`
+    /// stores `v != 0.0` and stages as 0.0/1.0 (CmpF-Ne + IToF).
+    pub(crate) fn emit_materialize_cast(&mut self, s: Reg, dtype: DType) -> Reg {
+        match dtype {
+            DType::F64 => s,
+            DType::I64 => {
+                let i = self.fresh_i();
+                self.instrs.push(Instr::FToI(i, s));
+                self.bool_to_f(i)
+            }
+            DType::Bool => {
+                let z = self.zero_f();
+                let i = self.fresh_i();
+                self.instrs.push(Instr::CmpF(Cmp::Ne, i, s, z));
+                self.bool_to_f(i)
+            }
+        }
+    }
+
     /// Lower one node; returns the F register holding its value.
     fn go(&mut self, e: &Expr<'_, '_>, aligned: &HashMap<u64, u64>) -> Reg {
         match e {
@@ -423,101 +560,24 @@ impl Lowerer {
                 let id = aligned.get(&a.id()).copied().unwrap_or_else(|| a.id());
                 self.params[&id]
             }
-            Expr::Scalar(v) => {
-                let d = self.fresh_f();
-                self.instrs.push(Instr::ConstF(d, *v));
-                d
-            }
+            Expr::Scalar(v) => self.emit_const(*v),
             Expr::Unary(op, e) => {
                 let s = self.go(e, aligned);
-                use UnaryOp::*;
-                let m1 = |f: MathFn, lw: &mut Self| {
-                    let d = lw.fresh_f();
-                    lw.instrs.push(Instr::Math1(f, d, s));
-                    d
-                };
-                match op {
-                    Neg => {
-                        let d = self.fresh_f();
-                        self.instrs.push(Instr::NegF(d, s));
-                        d
-                    }
-                    Abs => m1(MathFn::Abs, self),
-                    Sin => m1(MathFn::Sin, self),
-                    Cos => m1(MathFn::Cos, self),
-                    Tan => m1(MathFn::Tan, self),
-                    Exp => m1(MathFn::Exp, self),
-                    Log => m1(MathFn::Log, self),
-                    Sqrt => m1(MathFn::Sqrt, self),
-                    Floor => m1(MathFn::Floor, self),
-                    Ceil => m1(MathFn::Ceil, self),
-                    Not => {
-                        // f64::from(x == 0.0), like the RPN interpreter
-                        let z = self.zero_f();
-                        let i = self.fresh_i();
-                        self.instrs.push(Instr::CmpF(Cmp::Eq, i, s, z));
-                        self.bool_to_f(i)
-                    }
-                }
+                self.emit_unary(*op, s)
             }
             Expr::Binary(op, l, r) => {
                 // `x ** c` with a small integral constant exponent:
                 // strength-reduce to powi without materializing the rhs,
                 // exactly as the RPN plane does for uniform chunks.
                 if let (BinOp::Pow, Expr::Scalar(c)) = (op, r.as_ref()) {
-                    if c.fract() == 0.0 && c.abs() <= 8.0 {
+                    if let Some(e) = powic_exponent(*c) {
                         let a = self.go(l, aligned);
-                        let d = self.fresh_f();
-                        self.instrs.push(Instr::PowIC(d, a, *c as i32));
-                        return d;
+                        return self.emit_pow_const(a, e);
                     }
                 }
                 let a = self.go(l, aligned);
                 let b = self.go(r, aligned);
-                use BinOp::*;
-                let bin = |mk: fn(Reg, Reg, Reg) -> Instr, lw: &mut Self| {
-                    let d = lw.fresh_f();
-                    lw.instrs.push(mk(d, a, b));
-                    d
-                };
-                let cmp = |c: Cmp, lw: &mut Self| {
-                    let i = lw.fresh_i();
-                    lw.instrs.push(Instr::CmpF(c, i, a, b));
-                    lw.bool_to_f(i)
-                };
-                match op {
-                    Add => bin(Instr::AddF, self),
-                    Sub => bin(Instr::SubF, self),
-                    Mul => bin(Instr::MulF, self),
-                    Div => bin(Instr::DivF, self),
-                    Pow => bin(Instr::PowF, self),
-                    Mod => bin(Instr::RemF, self),
-                    Max => bin(Instr::MaxF, self),
-                    Min => bin(Instr::MinF, self),
-                    Hypot => bin(|d, a, b| Instr::Math2(Math2Fn::Hypot, d, a, b), self),
-                    Atan2 => bin(|d, a, b| Instr::Math2(Math2Fn::Atan2, d, a, b), self),
-                    Eq => cmp(Cmp::Eq, self),
-                    Ne => cmp(Cmp::Ne, self),
-                    Lt => cmp(Cmp::Lt, self),
-                    Le => cmp(Cmp::Le, self),
-                    Gt => cmp(Cmp::Gt, self),
-                    Ge => cmp(Cmp::Ge, self),
-                    And | Or => {
-                        // f64::from(x != 0.0 <op> y != 0.0)
-                        let z = self.zero_f();
-                        let ia = self.fresh_i();
-                        self.instrs.push(Instr::CmpF(Cmp::Ne, ia, a, z));
-                        let ib = self.fresh_i();
-                        self.instrs.push(Instr::CmpF(Cmp::Ne, ib, b, z));
-                        let id = self.fresh_i();
-                        self.instrs.push(if matches!(op, And) {
-                            Instr::AndI(id, ia, ib)
-                        } else {
-                            Instr::OrI(id, ia, ib)
-                        });
-                        self.bool_to_f(id)
-                    }
-                }
+                self.emit_binary(*op, a, b)
             }
         }
     }

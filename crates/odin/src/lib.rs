@@ -30,6 +30,7 @@ pub mod lazy;
 pub mod local;
 pub mod mapreduce;
 pub mod ops_ext;
+pub mod program;
 pub mod protocol;
 pub mod reduce;
 pub mod slicing;
@@ -44,6 +45,7 @@ pub use error::{OdinError, RecoveryReport};
 pub use io::remove_saved;
 pub use kernel::Kernel;
 pub use lazy::Expr;
-pub use protocol::{ArrayMeta, BinOp, Dist, ReduceKind, ReplyMsg, UnaryOp};
+pub use program::{PExpr, Program, ProgramRun, ProgramStats, Traced, TracedScalar};
+pub use protocol::{ArrayMeta, BinOp, Dist, KernelOut, ReduceKind, ReplyMsg, UnaryOp};
 pub use slicing::SliceSpec;
 pub use table::{DistTable, FieldType, FieldValue, Record, Schema, TableSeg};

@@ -12,7 +12,7 @@ use crate::slicing::SliceSpec;
 
 /// Distribution of the distributed axis (mirrors [`dmap::Distribution`]
 /// but is wire-encodable).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dist {
     /// Contiguous blocks.
     Block,
@@ -93,7 +93,7 @@ impl ArrayMeta {
 
 /// Unary elementwise operations (a representative subset of NumPy's
 /// unary ufuncs, which the paper says are "trivially parallelized").
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnaryOp {
     /// Negation.
     Neg,
@@ -120,7 +120,7 @@ pub enum UnaryOp {
 }
 
 /// Binary elementwise operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Addition.
     Add,
@@ -161,7 +161,7 @@ pub enum BinOp {
 }
 
 /// Whole-array reductions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReduceKind {
     /// Sum of elements.
     Sum,
@@ -471,6 +471,79 @@ pub enum Cmd {
         /// Fused reduction tail, if any.
         reduce: Option<ReduceKind>,
     },
+    /// Run a registered kernel once and harvest *several* register rows:
+    /// the whole-program optimizer (DESIGN §14) fuses a group of traced
+    /// statements into one function, so one launch can materialize many
+    /// arrays and fold many reductions. Workers reply with the reduction
+    /// scalars (rank 0, in `outs` order) iff any [`KernelOut::Reduce`]
+    /// is present.
+    EvalKernelMulti {
+        /// Registered kernel id.
+        kernel: u64,
+        /// Template array id (defines the shared output meta).
+        template: u64,
+        /// Input array ids, in kernel array-parameter order.
+        inputs: Vec<u64>,
+        /// Scalar parameter values (resolved reduction results), in
+        /// kernel scalar-parameter order after the array parameters.
+        scalars: Vec<f64>,
+        /// What to harvest from the evaluated register file.
+        outs: Vec<KernelOut>,
+    },
+}
+
+/// One harvested output of a fused multi-statement kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelOut {
+    /// Materialize a float-register row as a new distributed array.
+    Array {
+        /// Output array id.
+        id: u64,
+        /// Output dtype (workers astype the raw f64 row).
+        dtype: DType,
+        /// Float register holding the statement's root value.
+        reg: u16,
+    },
+    /// Fold a float-register row through a whole-array reduction.
+    Reduce {
+        /// Reduction kind.
+        kind: ReduceKind,
+        /// Float register holding the reduced expression's raw value.
+        reg: u16,
+    },
+}
+
+impl Wire for KernelOut {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            KernelOut::Array { id, dtype, reg } => {
+                buf.push(0);
+                id.encode(buf);
+                dtype.encode(buf);
+                reg.encode(buf);
+            }
+            KernelOut::Reduce { kind, reg } => {
+                buf.push(1);
+                kind.encode(buf);
+                reg.encode(buf);
+            }
+        }
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, CommError> {
+        match u8::decode(cur)? {
+            0 => Ok(KernelOut::Array {
+                id: u64::decode(cur)?,
+                dtype: DType::decode(cur)?,
+                reg: u16::decode(cur)?,
+            }),
+            1 => Ok(KernelOut::Reduce {
+                kind: ReduceKind::decode(cur)?,
+                reg: u16::decode(cur)?,
+            }),
+            b => Err(CommError::Decode(format!("bad KernelOut byte {b}"))),
+        }
+    }
 }
 
 // ---- Wire impls -----------------------------------------------------------
@@ -799,6 +872,20 @@ impl Wire for Cmd {
                 out_dtype.encode(buf);
                 reduce.encode(buf);
             }
+            Cmd::EvalKernelMulti {
+                kernel,
+                template,
+                inputs,
+                scalars,
+                outs,
+            } => {
+                buf.push(22);
+                kernel.encode(buf);
+                template.encode(buf);
+                inputs.encode(buf);
+                scalars.encode(buf);
+                outs.encode(buf);
+            }
         }
     }
 
@@ -907,6 +994,13 @@ impl Wire for Cmd {
                 inputs: Vec::decode(cur)?,
                 out_dtype: DType::decode(cur)?,
                 reduce: Option::<ReduceKind>::decode(cur)?,
+            }),
+            22 => Ok(Cmd::EvalKernelMulti {
+                kernel: u64::decode(cur)?,
+                template: u64::decode(cur)?,
+                inputs: Vec::decode(cur)?,
+                scalars: Vec::decode(cur)?,
+                outs: Vec::decode(cur)?,
             }),
             b => Err(CommError::Decode(format!("bad cmd byte {b}"))),
         }
@@ -1115,6 +1209,41 @@ mod tests {
             invoke.len() < 100,
             "kernel invoke too big: {} bytes",
             invoke.len()
+        );
+    }
+
+    #[test]
+    fn eval_kernel_multi_roundtrips_and_stays_small() {
+        // The whole-program launch command: several materialized arrays
+        // plus reduction tails out of one kernel run, still control-sized.
+        let cmd = Cmd::EvalKernelMulti {
+            kernel: 7,
+            template: u64::MAX - 3,
+            inputs: vec![10, 11, 12],
+            scalars: vec![0.5, -3.25],
+            outs: vec![
+                KernelOut::Array {
+                    id: 100,
+                    dtype: DType::F64,
+                    reg: 4,
+                },
+                KernelOut::Array {
+                    id: 101,
+                    dtype: DType::I64,
+                    reg: 9,
+                },
+                KernelOut::Reduce {
+                    kind: ReduceKind::Sum,
+                    reg: 6,
+                },
+            ],
+        };
+        let bytes = encode_to_vec(&cmd);
+        assert_eq!(decode_from_slice::<Cmd>(&bytes).unwrap(), cmd);
+        assert!(
+            bytes.len() < 128,
+            "multi-out invoke too big: {} bytes",
+            bytes.len()
         );
     }
 }

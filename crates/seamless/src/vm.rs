@@ -5,7 +5,7 @@
 //! which is where the order-of-magnitude win over the boxed interpreter
 //! comes from (experiment E7).
 
-use crate::bytecode::{Cmp, CompiledFunc, Instr, Program, RegFile};
+use crate::bytecode::{Cmp, CompiledFunc, Instr, Program, Reg, RegFile};
 use crate::export::CallOutput;
 use crate::types::Type;
 use crate::value::Value;
@@ -198,6 +198,98 @@ impl<'p> Vm<'p> {
         Ok(())
     }
 
+    /// Multi-output variant of [`Vm::run_f64_chunk`]: one pass over the
+    /// chunk evaluates the whole function, then the rows named by
+    /// `out_regs` (float-file registers) are copied into `outs` — so a
+    /// fused multi-statement kernel pays for its shared subexpressions
+    /// once instead of once per output. Register contents are identical
+    /// to the single-output path; only the read-out differs.
+    pub fn run_f64_multi_chunk(
+        &self,
+        func: usize,
+        inputs: &[&[f64]],
+        out_regs: &[Reg],
+        outs: &mut [&mut [f64]],
+    ) -> Result<(), SeamlessError> {
+        let f = &self.program.funcs[func];
+        if inputs.len() != f.params.len() {
+            return Err(SeamlessError::Runtime(format!(
+                "{} takes {} arguments, got {} input streams",
+                f.name,
+                f.params.len(),
+                inputs.len()
+            )));
+        }
+        if out_regs.len() != outs.len() {
+            return Err(SeamlessError::Runtime(format!(
+                "run_f64_multi_chunk: {} output registers but {} output chunks",
+                out_regs.len(),
+                outs.len()
+            )));
+        }
+        let len = outs.first().map_or(0, |o| o.len());
+        if outs.iter().any(|o| o.len() != len) {
+            return Err(SeamlessError::Runtime(
+                "run_f64_multi_chunk: output chunks differ in length".into(),
+            ));
+        }
+        for (k, &(file, _)) in f.params.iter().enumerate() {
+            if file != RegFile::F {
+                return Err(SeamlessError::Runtime(format!(
+                    "run_f64_multi_chunk: parameter {k} of {} is not a float scalar",
+                    f.name
+                )));
+            }
+            if inputs[k].len() < len {
+                return Err(SeamlessError::Runtime(format!(
+                    "run_f64_multi_chunk: input {k} shorter than the output chunk"
+                )));
+            }
+        }
+        for &r in out_regs {
+            if r as usize >= f.reg_counts[0] {
+                return Err(SeamlessError::Runtime(format!(
+                    "run_f64_multi_chunk: output register f{r} out of range for {}",
+                    f.name
+                )));
+            }
+        }
+        if len == 0 {
+            return Ok(());
+        }
+        if chunk_vectorizable(f) {
+            let stride = len + 8;
+            let mut lanes = self.lanes.borrow_mut();
+            let Lanes { f: fl, i: il } = &mut *lanes;
+            vector_pass(f, inputs, len, stride, fl, il);
+            for (&r, o) in out_regs.iter().zip(outs.iter_mut()) {
+                o.copy_from_slice(&fl[r as usize * stride..][..len]);
+            }
+            return Ok(());
+        }
+        // Fallback interpreter path: run the function per lane, then read
+        // the requested registers out of the frame. Registers are zeroed
+        // per lane so a branchy function can't leak state across lanes.
+        let mut frame = Frame {
+            f: vec![0.0; f.reg_counts[0]],
+            i: vec![0; f.reg_counts[1]],
+            af: vec![Vec::new(); f.reg_counts[2]],
+            ai: vec![Vec::new(); f.reg_counts[3]],
+        };
+        for lane in 0..len {
+            frame.f.fill(0.0);
+            frame.i.fill(0);
+            for (k, &(_, reg)) in f.params.iter().enumerate() {
+                frame.f[reg as usize] = inputs[k][lane];
+            }
+            self.exec(func, &mut frame)?;
+            for (&r, o) in out_regs.iter().zip(outs.iter_mut()) {
+                o[lane] = frame.f[r as usize];
+            }
+        }
+        Ok(())
+    }
+
     /// Register-vectorized execution of a straight-line scalar function:
     /// each register becomes a lane-major row and every instruction is
     /// one tight loop over the whole chunk — the same per-op shape as a
@@ -219,6 +311,37 @@ impl<'p> Vm<'p> {
         let stride = len + 8;
         let mut lanes = self.lanes.borrow_mut();
         let Lanes { f: fl, i: il } = &mut *lanes;
+        vector_pass(f, inputs, len, stride, fl, il);
+        match f.instrs[f.instrs.len() - 1] {
+            Instr::Ret(Some((RegFile::F, r))) => {
+                out.copy_from_slice(&fl[r as usize * stride..][..len])
+            }
+            Instr::Ret(Some((RegFile::I, r))) => {
+                let src = &il[r as usize * stride..][..len];
+                for (o, &x) in out.iter_mut().zip(src) {
+                    *o = x as f64;
+                }
+            }
+            ref other => {
+                unreachable!("vectorized function must end in a scalar Ret, got {other:?}")
+            }
+        }
+    }
+}
+
+/// Shared lane-major instruction pass for the vectorized chunk paths:
+/// stages the float parameters into register rows, then runs every
+/// instruction except the trailing `Ret`. Callers read whichever result
+/// rows they need out of `fl`/`il` afterwards.
+fn vector_pass(
+    f: &CompiledFunc,
+    inputs: &[&[f64]],
+    len: usize,
+    stride: usize,
+    fl: &mut Vec<f64>,
+    il: &mut Vec<i64>,
+) {
+    {
         fl.resize(f.reg_counts[0] * stride, 0.0);
         il.resize(f.reg_counts[1] * stride, 0);
         for (k, &(_, reg)) in f.params.iter().enumerate() {
@@ -367,22 +490,10 @@ impl<'p> Vm<'p> {
                 other => unreachable!("non-vectorizable instruction {other:?}"),
             }
         }
-        match f.instrs[f.instrs.len() - 1] {
-            Instr::Ret(Some((RegFile::F, r))) => {
-                out.copy_from_slice(&fl[r as usize * stride..][..len])
-            }
-            Instr::Ret(Some((RegFile::I, r))) => {
-                let src = &il[r as usize * stride..][..len];
-                for (o, &x) in out.iter_mut().zip(src) {
-                    *o = x as f64;
-                }
-            }
-            ref other => {
-                unreachable!("vectorized function must end in a scalar Ret, got {other:?}")
-            }
-        }
     }
+}
 
+impl<'p> Vm<'p> {
     fn exec(&self, func: usize, fr: &mut Frame) -> Result<RawRet, SeamlessError> {
         let code = &self.program.funcs[func].instrs;
         let mut pc = 0usize;
@@ -877,6 +988,82 @@ def f(x, y):
             .run_f64_chunk(0, &[&[1.0]], &mut [0.0])
             .unwrap_err();
         assert!(matches!(err, SeamlessError::Runtime(_)));
+    }
+
+    #[test]
+    fn run_f64_multi_chunk_reads_intermediate_registers() {
+        // Hand-built straight-line function: f2 = f0 + f1, f3 = f2 * f0.
+        // Reading {f2, f3} out of one multi-chunk pass must match what
+        // per-lane arithmetic says each register holds.
+        let func = CompiledFunc {
+            name: "multi".into(),
+            params: vec![(RegFile::F, 0), (RegFile::F, 1)],
+            param_types: vec![Type::Float, Type::Float],
+            ret: Type::Float,
+            reg_counts: [4, 0, 0, 0],
+            instrs: vec![
+                Instr::AddF(2, 0, 1),
+                Instr::MulF(3, 2, 0),
+                Instr::Ret(Some((RegFile::F, 3))),
+            ],
+        };
+        let p = Program {
+            funcs: vec![func],
+            externs: vec![],
+        };
+        let vm = Vm::new(&p);
+        let xs = [1.5, -2.0, 0.25, 7.0];
+        let ys = [0.5, 3.0, -1.25, 2.0];
+        let mut a = [0.0; 4];
+        let mut b = [0.0; 4];
+        vm.run_f64_multi_chunk(0, &[&xs, &ys], &[2, 3], &mut [&mut a, &mut b])
+            .unwrap();
+        for i in 0..4 {
+            assert_eq!(a[i].to_bits(), (xs[i] + ys[i]).to_bits());
+            assert_eq!(b[i].to_bits(), ((xs[i] + ys[i]) * xs[i]).to_bits());
+        }
+        // The Ret register row must agree with the single-output path.
+        let mut single = [0.0; 4];
+        vm.run_f64_chunk(0, &[&xs, &ys], &mut single).unwrap();
+        assert_eq!(b, single);
+        // Out-of-range output register is a runtime error, not UB.
+        let err = vm
+            .run_f64_multi_chunk(0, &[&xs, &ys], &[9], &mut [&mut a])
+            .unwrap_err();
+        assert!(matches!(err, SeamlessError::Runtime(_)));
+    }
+
+    #[test]
+    fn run_f64_multi_chunk_interpreter_fallback_matches() {
+        // A looping function is not chunk-vectorizable; the per-lane
+        // fallback must still read registers out correctly.
+        let src = "
+def f(x, y):
+    acc = x
+    i = 0
+    while i < 3:
+        acc = acc * 2.0 + y
+        i = i + 1
+    return acc
+";
+        let m = parse_module(src).unwrap();
+        let p = compile_program(&m, "f", &[Type::Float, Type::Float]).unwrap();
+        let vm = Vm::new(&p);
+        let xs = [1.0, 4.0, -2.5, 0.0];
+        let ys = [3.0, 1.0, -2.5, 7.25];
+        let ret_reg = match p.funcs[0].instrs.iter().rev().find_map(|i| match i {
+            Instr::Ret(Some((RegFile::F, r))) => Some(*r),
+            _ => None,
+        }) {
+            Some(r) => r,
+            None => return, // compiler changed Ret shape; nothing to probe
+        };
+        let mut multi = [0.0; 4];
+        vm.run_f64_multi_chunk(0, &[&xs, &ys], &[ret_reg], &mut [&mut multi])
+            .unwrap();
+        let mut single = [0.0; 4];
+        vm.run_f64_chunk(0, &[&xs, &ys], &mut single).unwrap();
+        assert_eq!(multi, single);
     }
 
     #[test]

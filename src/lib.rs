@@ -42,7 +42,8 @@ pub mod prelude {
     };
     pub use odin::{
         DType, Dist, DistArray, DistTable, Expr, FieldType, FieldValue, Kernel, OdinConfig,
-        OdinContext, OdinError, Record, ReduceKind, Schema,
+        OdinContext, OdinError, PExpr, Program, ProgramRun, ProgramStats, Record, ReduceKind,
+        Schema, Traced, TracedScalar,
     };
     pub use seamless::{compile_kernel, jit, CompiledKernel, SeamlessError, Type, Value};
     // serve::Session stays un-globbed (hpc_core::Session has the name);

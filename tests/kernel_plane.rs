@@ -291,3 +291,105 @@ fn mid_batch_kill_is_absorbed_by_recover_without_recompiling() {
     // the batch must not move by a single bit.
     assert_eq!(results, reference);
 }
+
+/// Fixed multi-statement traced program exercising the whole-program
+/// optimizer surface: CSE (shared `x·c`), a merged redistribute (the
+/// cyclic operand feeds two statements), a fused reduction, and a
+/// scalar-ref consumed by a later fused kernel.
+fn run_traced_probe(ctx: &OdinContext) -> (Vec<u64>, Vec<u64>, Vec<u64>, u64) {
+    let x = ctx.arange_f64(-1.0, 0.031, 120, Dist::Block);
+    let c = ctx.arange_f64(0.4, 0.011, 120, Dist::Cyclic);
+    let mut p = ctx.trace();
+    let (xl, cl) = (p.leaf(&x), p.leaf(&c));
+    let shared = xl.clone() * cl.clone();
+    let t1 = p.assign(shared.clone() + 1.0);
+    let t2 = p.assign(shared.abs().sqrt());
+    let s = p.sum(PExpr::from(t1) * PExpr::from(t2));
+    let t3 = p.assign(xl - cl * PExpr::from(s));
+    let mut run = p.run(&[t1, t2, t3]);
+    let st = run.stats();
+    assert!(st.cse_hits >= 1, "probe lost its CSE hit: {st:?}");
+    assert!(st.redistributes_merged >= 1, "probe lost its merge: {st:?}");
+    assert!(st.launches_saved >= 1, "probe lost its fusion: {st:?}");
+    (
+        bits(&run.array(t1).to_vec()),
+        bits(&run.array(t2).to_vec()),
+        bits(&run.array(t3).to_vec()),
+        run.scalar(s).to_bits(),
+    )
+}
+
+#[test]
+fn traced_program_is_deterministic_under_seeded_chaos() {
+    // Swept over HPC_FAULT_SEED by ci.sh: the optimized whole-program
+    // path (fused multi-output kernels, pooled redistributes, scalar
+    // reply tickets) must heal every chaos schedule bit-exactly.
+    let healthy = {
+        let ctx = OdinContext::with_workers(4);
+        run_traced_probe(&ctx)
+    };
+    let ctx = OdinContext::new(
+        OdinConfig::default()
+            .with_n_workers(4)
+            .with_fault(FaultPlan::messages(fault_seed(), 0.08, 0.04, 0.04, 0.03))
+            .with_delivery(Delivery::Reliable)
+            .with_stall_timeout(Duration::from_secs(10)),
+    );
+    assert_eq!(
+        run_traced_probe(&ctx),
+        healthy,
+        "chaos changed a traced-program result (seed {})",
+        fault_seed()
+    );
+}
+
+#[test]
+fn recover_replays_fused_program_kernels_into_the_new_pool() {
+    // Run a traced program (registering its fused multi-output kernels),
+    // kill a worker, recover from a checkpoint, and run the identical
+    // trace again: the master's kernel cache makes the second run skip
+    // registration, so it only works if recover() replayed the fused
+    // bytecode into the respawned pool — and the bits must not move.
+    let ctx = OdinContext::new(OdinConfig {
+        n_workers: 3,
+        fault: FaultPlan {
+            seed: fault_seed(),
+            kill_rank: Some(1),
+            kill_after_ops: 40,
+            ..FaultPlan::none()
+        },
+        stall_timeout: Some(Duration::from_secs(5)),
+        reply_timeout: Some(Duration::from_secs(5)),
+        ..Default::default()
+    });
+    let baseline = run_traced_probe(&ctx);
+    let anchor = ctx.linspace(0.0, 1.0, 30);
+    let ck = ctx.checkpoint(&[&anchor]);
+
+    let mut died = false;
+    for _ in 0..200 {
+        match ctx.try_barrier() {
+            Ok(()) => {}
+            Err(OdinError::WorkerDead { worker, .. }) => {
+                assert_eq!(worker, 1);
+                died = true;
+                break;
+            }
+            Err(other) => panic!("unexpected error while burning ops: {other:?}"),
+        }
+    }
+    assert!(
+        died,
+        "fault plan never killed rank 1 (seed {})",
+        fault_seed()
+    );
+    let report = ctx.recover(&ck);
+    assert_eq!(report.respawned, 3);
+
+    assert_eq!(
+        run_traced_probe(&ctx),
+        baseline,
+        "recovered pool changed a traced-program result (seed {})",
+        fault_seed()
+    );
+}

@@ -483,3 +483,42 @@ fn zerocopy_region_corrupt_skip_reconciles_exactly_with_comm_stats() {
     assert_eq!(g.counter_sum("comm.corrupt_skipped_region"), skipped);
     assert_eq!(g.counter_sum("comm.region_integrity_checked"), checked);
 }
+
+#[test]
+fn fusion_counters_reconcile_exactly_with_program_stats() {
+    let _g = obs_lock();
+    obs::reset();
+    obs::set_enabled(true);
+    let ctx = OdinContext::with_workers(3);
+    let x = ctx.arange_f64(0.0, 1.0, 48, hpc_framework::odin::Dist::Block);
+    let c = ctx.arange_f64(0.5, 0.25, 48, hpc_framework::odin::Dist::Cyclic);
+    let mut p = ctx.trace();
+    let (xl, cl) = (p.leaf(&x), p.leaf(&c));
+    // Repeated fragment (CSE), a dead store (DSE), the cyclic operand
+    // used by two statements (merged redistribute), and a fused tail.
+    let shared = xl.clone() * cl.clone();
+    let a = p.assign(shared.clone() + 1.0);
+    let _dead = p.assign(xl.clone() * 9.0);
+    let b = p.assign(shared * 2.0 + cl);
+    let _s = p.sum(hpc_framework::odin::PExpr::from(a) + hpc_framework::odin::PExpr::from(b));
+    let mut run = p.run(&[a, b]);
+    let (_aa, _bb) = (run.array(a), run.array(b));
+    let st = run.stats();
+    obs::set_enabled(false);
+
+    assert!(st.cse_hits >= 1, "{st:?}");
+    assert_eq!(st.dse_eliminated, 1, "{st:?}");
+    assert!(st.redistributes_merged >= 1, "{st:?}");
+    assert!(st.launches_saved >= 1, "{st:?}");
+    // Exact one-for-one mirror: each ProgramStats field equals its
+    // registry counter (one run() happened since reset, so no sums).
+    let g = obs::global();
+    for (key, want) in [
+        ("fusion.cse_hits", st.cse_hits),
+        ("fusion.dse_eliminated", st.dse_eliminated),
+        ("fusion.redistributes_merged", st.redistributes_merged),
+        ("fusion.launches_saved", st.launches_saved),
+    ] {
+        assert_eq!(g.counter_value(key), Some(want), "{key}");
+    }
+}

@@ -9,7 +9,7 @@ use obs::SplitMix64;
 
 use hpc_framework::comm::{decode_from_slice, encode_to_vec};
 use hpc_framework::dmap::DistMap;
-use hpc_framework::odin::{Dist, OdinContext, SliceSpec};
+use hpc_framework::odin::{Dist, OdinContext, PExpr, SliceSpec};
 use hpc_framework::seamless;
 
 // ---- wire codec -------------------------------------------------------------
@@ -998,4 +998,245 @@ fn vm_matches_interpreter_on_integer_loops() {
         let vv = k.call(vec![seamless::Value::Int(n)]).unwrap();
         assert_eq!(iv.ret, vv.ret);
     }
+}
+
+// ---- whole-program traces vs statement-at-a-time (DESIGN §14) ---------------
+
+/// Random expression plan interpretable both as a traced [`PExpr`] and as
+/// an eager [`Expr`] tree — the mirror pair the parity property runs on.
+enum PlanNode {
+    Leaf(usize),
+    Ref(usize),
+    Unary(u8, Box<PlanNode>),
+    Binary(u8, Box<PlanNode>, Box<PlanNode>),
+    /// Binary with an f64 literal on the right (the only scalar position
+    /// both builders share).
+    BinScalar(u8, Box<PlanNode>, f64),
+    Pow(Box<PlanNode>, f64),
+}
+
+/// Scalars stay F64-flavoured only through binary promotion with the F64
+/// leaves, so the whole program stays F64 end-to-end — the regime where
+/// fused, unfused, and traced execution are all bitwise-comparable.
+fn gen_scalar(rng: &mut SplitMix64) -> f64 {
+    match rng.gen_index(5) {
+        0 => 2.0,
+        1 => 3.0,
+        2 => 0.5,
+        3 => -1.25,
+        _ => 1.0 + rng.gen_index(100) as f64 / 64.0,
+    }
+}
+
+fn gen_plan(rng: &mut SplitMix64, depth: usize, n_leaves: usize, n_prev: usize) -> PlanNode {
+    let terminal = |rng: &mut SplitMix64| {
+        if n_prev > 0 && rng.gen_index(2) == 0 {
+            PlanNode::Ref(rng.gen_index(n_prev))
+        } else {
+            PlanNode::Leaf(rng.gen_index(n_leaves))
+        }
+    };
+    if depth == 0 {
+        return terminal(rng);
+    }
+    match rng.gen_index(8) {
+        0 | 1 => terminal(rng),
+        2 => PlanNode::Unary(
+            rng.gen_index(6) as u8,
+            Box::new(gen_plan(rng, depth - 1, n_leaves, n_prev)),
+        ),
+        3..=5 => PlanNode::Binary(
+            rng.gen_index(5) as u8,
+            Box::new(gen_plan(rng, depth - 1, n_leaves, n_prev)),
+            Box::new(gen_plan(rng, depth - 1, n_leaves, n_prev)),
+        ),
+        6 => PlanNode::BinScalar(
+            rng.gen_index(5) as u8,
+            Box::new(gen_plan(rng, depth - 1, n_leaves, n_prev)),
+            gen_scalar(rng),
+        ),
+        _ => {
+            let e = [2.0, 3.0, 0.5, -2.0, 1.7][rng.gen_index(5)];
+            PlanNode::Pow(Box::new(gen_plan(rng, depth - 1, n_leaves, n_prev)), e)
+        }
+    }
+}
+
+fn plan_to_pexpr<'x, 'c>(
+    plan: &PlanNode,
+    p: &mut hpc_framework::odin::Program<'x, 'c>,
+    leaves: &'x [hpc_framework::odin::DistArray<'c>],
+    prev: &[hpc_framework::odin::Traced],
+) -> PExpr {
+    match plan {
+        PlanNode::Leaf(i) => p.leaf(&leaves[*i]),
+        PlanNode::Ref(j) => PExpr::from(prev[*j]),
+        PlanNode::Unary(op, a) => {
+            let a = plan_to_pexpr(a, p, leaves, prev);
+            match op {
+                0 => a.sqrt(),
+                1 => a.sin(),
+                2 => a.cos(),
+                3 => a.exp(),
+                4 => a.abs(),
+                _ => a.floor(),
+            }
+        }
+        PlanNode::Binary(op, a, b) => {
+            let a = plan_to_pexpr(a, p, leaves, prev);
+            let b = plan_to_pexpr(b, p, leaves, prev);
+            match op {
+                0 => a + b,
+                1 => a - b,
+                2 => a * b,
+                3 => a / b,
+                _ => a % b,
+            }
+        }
+        PlanNode::BinScalar(op, a, s) => {
+            let a = plan_to_pexpr(a, p, leaves, prev);
+            match op {
+                0 => a + *s,
+                1 => a - *s,
+                2 => a * *s,
+                3 => a / *s,
+                _ => a % *s,
+            }
+        }
+        PlanNode::Pow(a, e) => plan_to_pexpr(a, p, leaves, prev).pow(*e),
+    }
+}
+
+fn plan_to_expr<'x, 'c>(
+    plan: &PlanNode,
+    leaves: &'x [hpc_framework::odin::DistArray<'c>],
+    prev: &'x [hpc_framework::odin::DistArray<'c>],
+) -> hpc_framework::odin::Expr<'x, 'c> {
+    use hpc_framework::odin::Expr;
+    match plan {
+        PlanNode::Leaf(i) => Expr::leaf(&leaves[*i]),
+        PlanNode::Ref(j) => Expr::leaf(&prev[*j]),
+        PlanNode::Unary(op, a) => {
+            let a = plan_to_expr(a, leaves, prev);
+            match op {
+                0 => a.sqrt(),
+                1 => a.sin(),
+                2 => a.cos(),
+                3 => a.exp(),
+                4 => a.abs(),
+                _ => a.floor(),
+            }
+        }
+        PlanNode::Binary(op, a, b) => {
+            let a = plan_to_expr(a, leaves, prev);
+            let b = plan_to_expr(b, leaves, prev);
+            match op {
+                0 => a + b,
+                1 => a - b,
+                2 => a * b,
+                3 => a / b,
+                _ => a % b,
+            }
+        }
+        PlanNode::BinScalar(op, a, s) => {
+            let a = plan_to_expr(a, leaves, prev);
+            match op {
+                0 => a + *s,
+                1 => a - *s,
+                2 => a * *s,
+                3 => a / *s,
+                _ => a % *s,
+            }
+        }
+        PlanNode::Pow(a, e) => plan_to_expr(a, leaves, prev).pow(*e),
+    }
+}
+
+#[test]
+fn traced_program_bitwise_matches_statement_at_a_time() {
+    use hpc_framework::odin::ReduceKind;
+    let mut rng = SplitMix64::new(0x7ace);
+    for case in 0..10 {
+        let workers = 1 + rng.gen_index(4);
+        let n = 1 + rng.gen_index(80);
+        let n_leaves = 2 + rng.gen_index(2);
+        let n_stmts = 3 + rng.gen_index(4);
+        let ctx = OdinContext::with_workers(workers);
+        let leaves: Vec<_> = (0..n_leaves)
+            .map(|i| ctx.random_dist(&[n], 100 + case as u64 * 7 + i as u64, arb_dist(&mut rng)))
+            .collect();
+        let stmt_plans: Vec<PlanNode> = (0..n_stmts)
+            .map(|i| gen_plan(&mut rng, 3, n_leaves, i))
+            .collect();
+        let kinds = [ReduceKind::Sum, ReduceKind::Max, ReduceKind::Min];
+        let reduce_plans: Vec<(PlanNode, ReduceKind)> = (0..1 + rng.gen_index(2))
+            .map(|_| {
+                (
+                    gen_plan(&mut rng, 2, n_leaves, n_stmts),
+                    kinds[rng.gen_index(3)],
+                )
+            })
+            .collect();
+
+        // Statement-at-a-time reference: every statement materializes,
+        // fused and unfused (their equality is itself an invariant).
+        let mut eager: Vec<hpc_framework::odin::DistArray> = Vec::new();
+        for plan in &stmt_plans {
+            let (fused, unfused) = {
+                let e = plan_to_expr(plan, &leaves, &eager);
+                (e.eval(), e.eval_unfused())
+            };
+            assert_eq!(
+                bitsv(&fused.to_vec()),
+                bitsv(&unfused.to_vec()),
+                "case {case}: eval vs eval_unfused drifted"
+            );
+            eager.push(fused);
+        }
+        let eager_reds: Vec<f64> = reduce_plans
+            .iter()
+            .map(|(plan, kind)| plan_to_expr(plan, &leaves, &eager).reduce(*kind))
+            .collect();
+
+        // Traced twin.
+        let mut p = ctx.trace();
+        let mut traced: Vec<hpc_framework::odin::Traced> = Vec::new();
+        for plan in &stmt_plans {
+            let e = plan_to_pexpr(plan, &mut p, &leaves, &traced);
+            traced.push(p.assign(e));
+        }
+        let traced_reds: Vec<hpc_framework::odin::TracedScalar> = reduce_plans
+            .iter()
+            .map(|(plan, kind)| {
+                let e = plan_to_pexpr(plan, &mut p, &leaves, &traced);
+                p.reduce(e, *kind)
+            })
+            .collect();
+        let mut run = p.run(&traced);
+        for (i, t) in traced.iter().enumerate() {
+            assert_eq!(
+                bitsv(&run.array(*t).to_vec()),
+                bitsv(&eager[i].to_vec()),
+                "case {case} stmt {i}: traced result drifted from Expr::eval"
+            );
+        }
+        for (i, s) in traced_reds.iter().enumerate() {
+            assert_eq!(
+                run.scalar(*s).to_bits(),
+                eager_reds[i].to_bits(),
+                "case {case} reduction {i}: traced scalar drifted"
+            );
+        }
+        // The optimizer must never do worse than the baseline it claims.
+        let st = run.stats();
+        assert!(st.kernel_launches <= st.baseline_launches, "{st:?}");
+        assert!(
+            st.redistributes_issued <= st.baseline_redistributes,
+            "{st:?}"
+        );
+    }
+}
+
+fn bitsv(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
 }

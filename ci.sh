@@ -12,12 +12,31 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== native kernel tier: C compiler detection"
+# The tiered kernel plane lowers straight-line bodies to C and compiles
+# them with the system compiler (DESIGN.md §15). Without one, every
+# kernel stays on the typed-register VM — pin the tier explicitly so the
+# whole gate runs (and passes) on a compiler-less machine.
+if command -v cc >/dev/null 2>&1 || command -v gcc >/dev/null 2>&1 \
+    || command -v clang >/dev/null 2>&1; then
+  echo "-- C compiler present: native tier armed where the parity probe passes"
+else
+  echo "-- no C compiler: pinning HPC_KERNEL_TIER=vm (VM fallback everywhere)"
+  export HPC_KERNEL_TIER=vm
+fi
+
 echo "== tier-1: build + test (offline)"
 cargo build --release --offline
 cargo test -q --offline
 
 echo "== tier-1 tests again with metrics recording on"
 HPC_METRICS=1 cargo test -q --offline
+
+echo "== kernel plane again with the native tier pinned off"
+# The VM fallback must stay a first-class execution path, not a
+# degraded one: the full kernel-plane suite (parity, chaos, recover)
+# re-runs with every kernel forced onto the typed-register VM.
+HPC_KERNEL_TIER=vm cargo test -q --offline --test kernel_plane
 
 echo "== chaos pass: seeded fault sweep"
 # Every fault decision is a pure function of HPC_FAULT_SEED, so each
@@ -86,6 +105,17 @@ echo "== E24 whole-program gate (fusion/CSE/DSE/merged moves, bitwise parity)"
 cargo run --release --offline -p bench --bin e24_program -- --metrics-json \
   | tail -n 1 > BENCH_e24.json
 test -s BENCH_e24.json
+
+echo "== E25 native-tier gate (cc codegen, parity probe, >=10x vs interpreter)"
+# Asserts the native, VM, and RPN tiers are bitwise-identical on the E20
+# 1e6-lane identity (arrays and fused reductions), that a fused
+# multi-output stencil group matches across tiers, that no parity probe
+# failed, and — when a C compiler is present — that the native tier is
+# >= 10x over the boxed interpreter; prints the compile-cost break-even
+# curve (all asserted in the binary).
+cargo run --release --offline -p bench --bin e25_native -- --metrics-json \
+  | tail -n 1 > BENCH_e25.json
+test -s BENCH_e25.json
 
 echo "== bench artifacts parse and carry their gate fields"
 cargo run --release --offline -p bench --bin bench_check

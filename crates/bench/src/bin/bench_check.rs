@@ -37,6 +37,14 @@ const REQUIRED: &[(&str, &[&str])] = &[
             "fusion.redistributes_merged",
         ],
     ),
+    (
+        "BENCH_e25.json",
+        &[
+            "odin.kernel.native_armed",
+            "odin.kernel.native_refused",
+            "odin.kernel.native_invokes",
+        ],
+    ),
 ];
 
 fn main() {

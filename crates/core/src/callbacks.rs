@@ -19,30 +19,48 @@ use solvers::{newton_krylov, NewtonConfig, NonlinearProblem, SolveStatus};
 /// array argument) to every worker's segment of a distributed array — the
 /// `@odin.local`-plus-`@jit` composition. Collective.
 ///
-/// Fails with [`crate::Error::Seamless`] when the kernel does not take a
-/// single float array.
+/// Float-array kernels (`[Type::ArrF]`) apply to F64 arrays, integer-array
+/// kernels (`[Type::ArrI]`) to I64 arrays. A kernel/array dtype mismatch
+/// is caught master-side and surfaces as a typed
+/// [`odin::OdinError::DtypeMismatch`] instead of panicking a worker; a
+/// kernel that does not take exactly one array fails with
+/// [`crate::Error::Seamless`].
 pub fn apply_kernel(
     ctx: &OdinContext,
     arr: &DistArray<'_>,
     kernel: &CompiledKernel,
 ) -> crate::Result<()> {
-    if kernel.arg_types() != [Type::ArrF] {
-        return Err(seamless::SeamlessError::Type(format!(
-            "apply_kernel needs `def f(a)` over one float array, got {:?}",
-            kernel.arg_types()
-        ))
-        .into());
+    let expected = match kernel.arg_types() {
+        [Type::ArrF] => odin::DType::F64,
+        [Type::ArrI] => odin::DType::I64,
+        other => {
+            return Err(seamless::SeamlessError::Type(format!(
+                "apply_kernel needs `def f(a)` over one float or integer array, got {other:?}"
+            ))
+            .into());
+        }
+    };
+    let found = arr.dtype();
+    if found != expected {
+        return Err(odin::OdinError::DtypeMismatch { expected, found }.into());
     }
     let kernel = Arc::new(kernel.clone());
-    ctx.run_spmd(&[arr], move |scope, args| {
-        let mut data = match scope.local_mut(args[0]) {
-            odin::Buffer::F64(v) => std::mem::take(v),
-            other => panic!("apply_kernel needs an f64 array, found {:?}", other.dtype()),
-        };
-        kernel
-            .apply_in_place(&mut data)
-            .expect("kernel failed on a worker segment");
-        *scope.local_mut(args[0]) = odin::Buffer::F64(data);
+    ctx.run_spmd(&[arr], move |scope, args| match scope.local_mut(args[0]) {
+        odin::Buffer::F64(v) => {
+            let mut data = std::mem::take(v);
+            kernel
+                .apply_in_place(&mut data)
+                .expect("kernel failed on a worker segment");
+            *scope.local_mut(args[0]) = odin::Buffer::F64(data);
+        }
+        odin::Buffer::I64(v) => {
+            let mut data = std::mem::take(v);
+            kernel
+                .apply_in_place_i64(&mut data)
+                .expect("kernel failed on a worker segment");
+            *scope.local_mut(args[0]) = odin::Buffer::I64(data);
+        }
+        other => unreachable!("dtype checked master-side, found {:?}", other.dtype()),
     });
     Ok(())
 }
@@ -183,6 +201,45 @@ def clamp01(a):
             .map(|g| (-2.0 + 0.5 * g as f64).clamp(0.0, 1.0))
             .collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn integer_kernel_applied_to_i64_array() {
+        let ctx = OdinContext::with_workers(3);
+        let src = "
+def double_odd(a):
+    for i in range(len(a)):
+        if a[i] % 2 == 1:
+            a[i] = a[i] * 2
+";
+        let kernel = seamless::compile_kernel(src, "double_odd", &[Type::ArrI]).unwrap();
+        let x = ctx.arange(9);
+        apply_kernel(&ctx, &x, &kernel).unwrap();
+        let got = x.to_vec_i64();
+        let expect: Vec<i64> = (0..9).map(|g| if g % 2 == 1 { g * 2 } else { g }).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn dtype_mismatch_is_a_typed_error_not_a_worker_panic() {
+        let ctx = OdinContext::with_workers(2);
+        let src = "
+def clamp01(a):
+    for i in range(len(a)):
+        a[i] = min(max(a[i], 0.0), 1.0)
+";
+        let kernel = seamless::compile_kernel(src, "clamp01", &[Type::ArrF]).unwrap();
+        let x = ctx.arange(6); // I64 array, float-array kernel
+        let err = apply_kernel(&ctx, &x, &kernel).unwrap_err();
+        match err {
+            crate::Error::Odin(odin::OdinError::DtypeMismatch { expected, found }) => {
+                assert_eq!(expected, odin::DType::F64);
+                assert_eq!(found, odin::DType::I64);
+            }
+            other => panic!("expected DtypeMismatch, got {other:?}"),
+        }
+        // The pool survives: the same array is still usable afterwards.
+        assert_eq!(x.to_vec_i64(), (0..6).collect::<Vec<i64>>());
     }
 
     #[test]

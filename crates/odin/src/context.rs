@@ -2143,21 +2143,39 @@ fn exec_cmd(
             inputs,
             out_dtype,
             reduce,
-        } => {
-            exec_kernel(
+            dtype,
+            native,
+        } => match dtype {
+            DType::F64 => exec_kernel(
                 comm, reply, arrays, kernels, scratch, out, kernel, template, &inputs, out_dtype,
-                reduce,
-            );
-        }
+                reduce, native,
+            ),
+            DType::I64 | DType::Bool => exec_kernel_int(
+                comm, reply, arrays, kernels, out, kernel, template, &inputs, out_dtype, reduce,
+                native,
+            ),
+        },
         Cmd::EvalKernelMulti {
             kernel,
             template,
             inputs,
             scalars,
             outs,
+            dtype,
+            native,
         } => {
             exec_kernel_multi(
-                comm, reply, arrays, kernels, scratch, kernel, template, &inputs, &scalars, &outs,
+                comm,
+                reply,
+                arrays,
+                kernels,
+                scratch,
+                kernel,
+                template,
+                &inputs,
+                &scalars,
+                &outs,
+                native && dtype == DType::F64,
             );
         }
     }
@@ -2173,6 +2191,12 @@ fn exec_cmd(
 /// mirrors `exec_reduce` with `axis: None` exactly — sequential
 /// element-order local fold, then one `allreduce`, then a rank-0 reply —
 /// so fused reductions are bitwise-identical to `map(...)` + `Reduce`.
+///
+/// With `native` set, the probed C monomorphization (DESIGN §15) replaces
+/// the chunked VM pass — one compiled call over the whole segment. The
+/// probe gate makes the tiers bitwise-interchangeable, and the modeled
+/// compute advance is tier-independent, so chaos/critical-path results do
+/// not depend on which tier ran.
 #[allow(clippy::too_many_arguments)]
 fn exec_kernel(
     comm: &Comm,
@@ -2186,6 +2210,7 @@ fn exec_kernel(
     inputs: &[u64],
     out_dtype: DType,
     reduce: Option<ReduceKind>,
+    native: bool,
 ) {
     let program = kernels.get(&kernel).expect("unknown kernel");
     let n_instrs = program.funcs.first().map_or(0, |f| f.instrs.len());
@@ -2208,34 +2233,32 @@ fn exec_kernel(
         Vec::new()
     };
     let mut acc = reduce.map(reduce_identity);
-    let mut out_chunk = scratch.fused_pool.pop().unwrap_or_default();
-    out_chunk.clear();
-    out_chunk.resize(CHUNK.min(n.max(1)), 0.0);
-    // Non-F64 inputs are staged into recycled chunk buffers; F64 inputs
-    // are borrowed directly from the segment, no copy.
-    let mut staged: Vec<Option<Vec<f64>>> = Vec::with_capacity(inputs.len());
-    for &id in inputs {
-        let (m, b) = &arrays[&id];
-        debug_assert!(m.conformable(&t_meta), "kernel input not conformable");
-        staged.push(match b {
-            Buffer::F64(_) => None,
-            _ => {
-                let mut buf = scratch.fused_pool.pop().unwrap_or_default();
-                buf.clear();
-                Some(buf)
-            }
-        });
-    }
-    let mut start = 0usize;
-    while start < n {
-        let end = (start + CHUNK).min(n);
-        let len = end - start;
-        for (k, &id) in inputs.iter().enumerate() {
-            if let Some(buf) = &mut staged[k] {
-                let b = &arrays[&id].1;
-                buf.clear();
-                buf.extend((start..end).map(|i| b.get_f64(i)));
-            }
+    // Native tier: the probed C monomorphization runs the whole segment
+    // in one call (no chunking — the compiled loop *is* the chunk loop).
+    // The cache was warmed master-side at build(), so this lookup never
+    // compiles on a worker; a cold cache (e.g. a replayed command after
+    // recover) compiles once and probes before use.
+    let native_fn = if native {
+        seamless::codegen::native_f64(program, None)
+    } else {
+        None
+    };
+    if let Some(nf) = native_fn {
+        // Inputs stage as full-length rows: F64 segments borrow in place,
+        // other dtypes widen into recycled scratch buffers.
+        let mut staged: Vec<Option<Vec<f64>>> = Vec::with_capacity(inputs.len());
+        for &id in inputs {
+            let (m, b) = &arrays[&id];
+            debug_assert!(m.conformable(&t_meta), "kernel input not conformable");
+            staged.push(match b {
+                Buffer::F64(_) => None,
+                _ => {
+                    let mut buf = scratch.fused_pool.pop().unwrap_or_default();
+                    buf.clear();
+                    buf.extend((0..n).map(|i| b.get_f64(i)));
+                    Some(buf)
+                }
+            });
         }
         let refs: Vec<&[f64]> = inputs
             .iter()
@@ -2243,24 +2266,97 @@ fn exec_kernel(
             .map(|(&id, s)| match s {
                 Some(buf) => &buf[..],
                 None => match &arrays[&id].1 {
-                    Buffer::F64(v) => &v[start..end],
+                    Buffer::F64(v) => &v[..n],
                     _ => unreachable!("non-F64 inputs are staged"),
                 },
             })
             .collect();
-        vm.run_f64_chunk(0, &refs, &mut out_chunk[..len])
-            .expect("kernel failed on a worker segment");
         match acc {
-            None => values.extend_from_slice(&out_chunk[..len]),
+            None => {
+                values.resize(n, 0.0);
+                nf.run(&refs, &mut [&mut values[..]], n);
+            }
             Some(ref mut a) => {
+                // Fold the native row in the same sequential element order
+                // as the chunked VM tail, so reductions stay bitwise equal.
+                let mut row = scratch.fused_pool.pop().unwrap_or_default();
+                row.clear();
+                row.resize(n, 0.0);
+                nf.run(&refs, &mut [&mut row[..]], n);
                 let kind = reduce.expect("acc implies reduce");
-                for &v in &out_chunk[..len] {
+                for &v in &row[..n] {
                     *a = reduce_combine(kind, *a, reduce_element(kind, v));
                 }
+                scratch.fused_pool.push(row);
             }
         }
-        start = end;
+        for s in staged.into_iter().flatten() {
+            scratch.fused_pool.push(s);
+        }
+        if obs::enabled() {
+            obs::global().counter("odin.kernel.native_invokes").add(1);
+        }
+    } else {
+        let mut out_chunk = scratch.fused_pool.pop().unwrap_or_default();
+        out_chunk.clear();
+        out_chunk.resize(CHUNK.min(n.max(1)), 0.0);
+        // Non-F64 inputs are staged into recycled chunk buffers; F64 inputs
+        // are borrowed directly from the segment, no copy.
+        let mut staged: Vec<Option<Vec<f64>>> = Vec::with_capacity(inputs.len());
+        for &id in inputs {
+            let (m, b) = &arrays[&id];
+            debug_assert!(m.conformable(&t_meta), "kernel input not conformable");
+            staged.push(match b {
+                Buffer::F64(_) => None,
+                _ => {
+                    let mut buf = scratch.fused_pool.pop().unwrap_or_default();
+                    buf.clear();
+                    Some(buf)
+                }
+            });
+        }
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + CHUNK).min(n);
+            let len = end - start;
+            for (k, &id) in inputs.iter().enumerate() {
+                if let Some(buf) = &mut staged[k] {
+                    let b = &arrays[&id].1;
+                    buf.clear();
+                    buf.extend((start..end).map(|i| b.get_f64(i)));
+                }
+            }
+            let refs: Vec<&[f64]> = inputs
+                .iter()
+                .zip(&staged)
+                .map(|(&id, s)| match s {
+                    Some(buf) => &buf[..],
+                    None => match &arrays[&id].1 {
+                        Buffer::F64(v) => &v[start..end],
+                        _ => unreachable!("non-F64 inputs are staged"),
+                    },
+                })
+                .collect();
+            vm.run_f64_chunk(0, &refs, &mut out_chunk[..len])
+                .expect("kernel failed on a worker segment");
+            match acc {
+                None => values.extend_from_slice(&out_chunk[..len]),
+                Some(ref mut a) => {
+                    let kind = reduce.expect("acc implies reduce");
+                    for &v in &out_chunk[..len] {
+                        *a = reduce_combine(kind, *a, reduce_element(kind, v));
+                    }
+                }
+            }
+            start = end;
+        }
+        for s in staged.into_iter().flatten() {
+            scratch.fused_pool.push(s);
+        }
+        scratch.fused_pool.push(out_chunk);
     }
+    // The modeled compute advance is tier-independent: chaos schedules and
+    // critical-path attributions must not depend on which tier executed.
     comm.advance_compute((n * n_instrs.max(1)) as f64);
     if let Some(t) = kernel_timer {
         t.finish_meta(
@@ -2275,10 +2371,6 @@ fn exec_kernel(
             },
         );
     }
-    for s in staged.into_iter().flatten() {
-        scratch.fused_pool.push(s);
-    }
-    scratch.fused_pool.push(out_chunk);
     match acc {
         None => {
             let result = Buffer::F64(values).astype(out_dtype);
@@ -2291,6 +2383,120 @@ fn exec_kernel(
         Some(local) => {
             // Collective: must run on every rank even with an empty segment.
             let kind = reduce.expect("acc implies reduce");
+            let total = comm.allreduce(&local, |x: &f64, y: &f64| reduce_combine(kind, *x, *y));
+            if comm.rank() == 0 {
+                let _ = reply.send((comm.rank(), ReplyMsg::Bytes(comm::encode_to_vec(&total))));
+            }
+        }
+    }
+}
+
+/// Integer-plane twin of [`exec_kernel`]: runs an I64- or Bool-dtype
+/// kernel monomorphization over this worker's segment without ever
+/// round-tripping through f64 compute. Inputs stage as full-length i64
+/// rows (`I64` segments borrow in place, bools widen to 0/1, floats
+/// truncate like `astype`), the body runs either through the probed
+/// native tier ([`seamless::codegen::native_i64`]) or one full-length
+/// [`seamless::vm::Vm::run_i64_chunk`] pass, and reductions fold the i64
+/// row widened per-element to f64 so collective tails share
+/// `reduce_combine` with the float plane.
+#[allow(clippy::too_many_arguments)]
+fn exec_kernel_int(
+    comm: &Comm,
+    reply: &Sender<(usize, ReplyMsg)>,
+    arrays: &mut HashMap<u64, (ArrayMeta, Buffer)>,
+    kernels: &HashMap<u64, seamless::bytecode::Program>,
+    out: u64,
+    kernel: u64,
+    template: u64,
+    inputs: &[u64],
+    out_dtype: DType,
+    reduce: Option<ReduceKind>,
+    native: bool,
+) {
+    let program = kernels.get(&kernel).expect("unknown kernel");
+    let n_instrs = program.funcs.first().map_or(0, |f| f.instrs.len());
+    let t_meta = arrays[&template].0.clone();
+    let n = arrays[&template].1.len();
+    let kernel_timer = if obs::enabled() {
+        Some(obs::span::span_start(comm.virtual_time()))
+    } else {
+        None
+    };
+    // Stage inputs as full-length i64 rows; I64 segments borrow in place.
+    let mut staged: Vec<Option<Vec<i64>>> = Vec::with_capacity(inputs.len());
+    for &id in inputs {
+        let (m, b) = &arrays[&id];
+        debug_assert!(m.conformable(&t_meta), "kernel input not conformable");
+        staged.push(match b {
+            Buffer::I64(_) => None,
+            _ => Some((0..n).map(|i| b.get_i64(i)).collect()),
+        });
+    }
+    let refs: Vec<&[i64]> = inputs
+        .iter()
+        .zip(&staged)
+        .map(|(&id, s)| match s {
+            Some(buf) => &buf[..],
+            None => match &arrays[&id].1 {
+                Buffer::I64(v) => &v[..n],
+                _ => unreachable!("non-I64 inputs are staged"),
+            },
+        })
+        .collect();
+    let mut values: Vec<i64> = vec![0; n];
+    let native_fn = if native {
+        seamless::codegen::native_i64(program)
+    } else {
+        None
+    };
+    if let Some(nf) = native_fn {
+        nf.run(&refs, &mut values, n);
+        if obs::enabled() {
+            obs::global().counter("odin.kernel.native_invokes").add(1);
+        }
+    } else if n > 0 {
+        let vm = seamless::vm::Vm::new(program);
+        vm.run_i64_chunk(0, &refs, &mut values)
+            .expect("integer kernel failed on a worker segment");
+    }
+    // Tier-independent modeled compute advance, same formula as the f64
+    // plane so dtype choice never perturbs chaos/critical-path timing.
+    comm.advance_compute((n * n_instrs.max(1)) as f64);
+    if let Some(t) = kernel_timer {
+        t.finish_meta(
+            "odin",
+            "kernel",
+            comm.virtual_time(),
+            &[("n", n as f64), ("instrs", n_instrs as f64)],
+            obs::span::SpanMeta {
+                kind: obs::span::SpanKind::Kernel,
+                flow_out: 0,
+                flow_in: 0,
+            },
+        );
+    }
+    match reduce {
+        None => {
+            let result = if out_dtype == DType::Bool {
+                Buffer::Bool(values.iter().map(|&v| v != 0).collect())
+            } else {
+                Buffer::I64(values).astype(out_dtype)
+            };
+            let out_meta = ArrayMeta {
+                dtype: out_dtype,
+                ..t_meta
+            };
+            arrays.insert(out, (out_meta, result));
+        }
+        Some(kind) => {
+            // Fold widened per-element to f64 so the collective tail is
+            // shared with the float plane (Sum/Prod/Min/Max/CountNonzero
+            // all round-trip exactly for the magnitudes tests exercise).
+            let mut local = reduce_identity(kind);
+            for &v in &values {
+                local = reduce_combine(kind, local, reduce_element(kind, v as f64));
+            }
             let total = comm.allreduce(&local, |x: &f64, y: &f64| reduce_combine(kind, *x, *y));
             if comm.rank() == 0 {
                 let _ = reply.send((comm.rank(), ReplyMsg::Bytes(comm::encode_to_vec(&total))));
@@ -2320,10 +2526,10 @@ fn exec_kernel_multi(
     inputs: &[u64],
     scalars: &[f64],
     outs: &[KernelOut],
+    native: bool,
 ) {
     let program = kernels.get(&kernel).expect("unknown kernel");
     let n_instrs = program.funcs.first().map_or(0, |f| f.instrs.len());
-    let vm = seamless::vm::Vm::new(program);
     let t_meta = arrays[&template].0.clone();
     let n = arrays[&template].1.len();
     const CHUNK: usize = 4096;
@@ -2354,82 +2560,179 @@ fn exec_kernel_multi(
             KernelOut::Array { .. } => 0.0,
         })
         .collect();
-    let mut out_rows: Vec<Vec<f64>> = (0..outs.len())
-        .map(|_| {
-            let mut row = scratch.fused_pool.pop().unwrap_or_default();
-            row.clear();
-            row.resize(CHUNK.min(n.max(1)), 0.0);
-            row
-        })
-        .collect();
-    // Non-F64 inputs are staged into recycled chunk buffers; F64 inputs
-    // are borrowed directly from the segment. Scalar parameters become
-    // constant rows, filled once.
-    let mut staged: Vec<Option<Vec<f64>>> = Vec::with_capacity(inputs.len());
-    for &id in inputs {
-        let (m, b) = &arrays[&id];
-        debug_assert!(m.conformable(&t_meta), "kernel input not conformable");
-        staged.push(match b {
-            Buffer::F64(_) => None,
-            _ => {
-                let mut buf = scratch.fused_pool.pop().unwrap_or_default();
-                buf.clear();
-                Some(buf)
-            }
-        });
-    }
-    let scalar_rows: Vec<Vec<f64>> = scalars
-        .iter()
-        .map(|&v| {
-            let mut row = scratch.fused_pool.pop().unwrap_or_default();
-            row.clear();
-            row.resize(CHUNK.min(n.max(1)), v);
-            row
-        })
-        .collect();
-    let mut start = 0usize;
-    while start < n {
-        let end = (start + CHUNK).min(n);
-        let len = end - start;
-        for (k, &id) in inputs.iter().enumerate() {
-            if let Some(buf) = &mut staged[k] {
-                let b = &arrays[&id].1;
-                buf.clear();
-                buf.extend((start..end).map(|i| b.get_f64(i)));
-            }
+    // Native tier: the probed multi-output monomorphization (out_regs are
+    // part of the cache key and the mangled symbol) runs the whole
+    // segment in one call, writing every harvested register row at once.
+    let native_fn = if native {
+        seamless::codegen::native_f64(program, Some(&out_regs))
+    } else {
+        None
+    };
+    if let Some(nf) = native_fn {
+        // Full-length staging: F64 segments borrow, others widen, scalar
+        // parameters become full constant rows.
+        let mut staged: Vec<Option<Vec<f64>>> = Vec::with_capacity(inputs.len());
+        for &id in inputs {
+            let (m, b) = &arrays[&id];
+            debug_assert!(m.conformable(&t_meta), "kernel input not conformable");
+            staged.push(match b {
+                Buffer::F64(_) => None,
+                _ => {
+                    let mut buf = scratch.fused_pool.pop().unwrap_or_default();
+                    buf.clear();
+                    buf.extend((0..n).map(|i| b.get_f64(i)));
+                    Some(buf)
+                }
+            });
         }
+        let scalar_rows: Vec<Vec<f64>> = scalars
+            .iter()
+            .map(|&v| {
+                let mut row = scratch.fused_pool.pop().unwrap_or_default();
+                row.clear();
+                row.resize(n, v);
+                row
+            })
+            .collect();
         let mut refs: Vec<&[f64]> = inputs
             .iter()
             .zip(&staged)
             .map(|(&id, s)| match s {
                 Some(buf) => &buf[..],
                 None => match &arrays[&id].1 {
-                    Buffer::F64(v) => &v[start..end],
+                    Buffer::F64(v) => &v[..n],
                     _ => unreachable!("non-F64 inputs are staged"),
                 },
             })
             .collect();
-        refs.extend(scalar_rows.iter().map(|r| &r[..len]));
+        refs.extend(scalar_rows.iter().map(|r| &r[..]));
+        let mut out_full: Vec<Vec<f64>> = (0..outs.len())
+            .map(|_| {
+                let mut row = scratch.fused_pool.pop().unwrap_or_default();
+                row.clear();
+                row.resize(n, 0.0);
+                row
+            })
+            .collect();
         {
-            let mut row_refs: Vec<&mut [f64]> =
-                out_rows.iter_mut().map(|r| &mut r[..len]).collect();
-            vm.run_f64_multi_chunk(0, &refs, &out_regs, &mut row_refs)
-                .expect("fused kernel failed on a worker segment");
+            let mut row_refs: Vec<&mut [f64]> = out_full.iter_mut().map(|r| &mut r[..]).collect();
+            nf.run(&refs, &mut row_refs, n);
         }
         for (slot, o) in outs.iter().enumerate() {
             match o {
                 KernelOut::Array { .. } => {
-                    values[slot].extend_from_slice(&out_rows[slot][..len]);
+                    // Move the native row straight into the result slot —
+                    // no chunk copy on the native tier.
+                    values[slot] = std::mem::take(&mut out_full[slot]);
                 }
                 KernelOut::Reduce { kind, .. } => {
                     let a = &mut accs[slot];
-                    for &v in &out_rows[slot][..len] {
+                    for &v in &out_full[slot][..n] {
                         *a = reduce_combine(*kind, *a, reduce_element(*kind, v));
                     }
                 }
             }
         }
-        start = end;
+        for s in staged.into_iter().flatten() {
+            scratch.fused_pool.push(s);
+        }
+        for row in scalar_rows {
+            scratch.fused_pool.push(row);
+        }
+        for row in out_full {
+            scratch.fused_pool.push(row);
+        }
+        if obs::enabled() {
+            obs::global().counter("odin.kernel.native_invokes").add(1);
+        }
+    } else {
+        let vm = seamless::vm::Vm::new(program);
+        let mut out_rows: Vec<Vec<f64>> = (0..outs.len())
+            .map(|_| {
+                let mut row = scratch.fused_pool.pop().unwrap_or_default();
+                row.clear();
+                row.resize(CHUNK.min(n.max(1)), 0.0);
+                row
+            })
+            .collect();
+        // Non-F64 inputs are staged into recycled chunk buffers; F64 inputs
+        // are borrowed directly from the segment. Scalar parameters become
+        // constant rows, filled once.
+        let mut staged: Vec<Option<Vec<f64>>> = Vec::with_capacity(inputs.len());
+        for &id in inputs {
+            let (m, b) = &arrays[&id];
+            debug_assert!(m.conformable(&t_meta), "kernel input not conformable");
+            staged.push(match b {
+                Buffer::F64(_) => None,
+                _ => {
+                    let mut buf = scratch.fused_pool.pop().unwrap_or_default();
+                    buf.clear();
+                    Some(buf)
+                }
+            });
+        }
+        let scalar_rows: Vec<Vec<f64>> = scalars
+            .iter()
+            .map(|&v| {
+                let mut row = scratch.fused_pool.pop().unwrap_or_default();
+                row.clear();
+                row.resize(CHUNK.min(n.max(1)), v);
+                row
+            })
+            .collect();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + CHUNK).min(n);
+            let len = end - start;
+            for (k, &id) in inputs.iter().enumerate() {
+                if let Some(buf) = &mut staged[k] {
+                    let b = &arrays[&id].1;
+                    buf.clear();
+                    buf.extend((start..end).map(|i| b.get_f64(i)));
+                }
+            }
+            let mut refs: Vec<&[f64]> = inputs
+                .iter()
+                .zip(&staged)
+                .map(|(&id, s)| match s {
+                    Some(buf) => &buf[..],
+                    None => match &arrays[&id].1 {
+                        Buffer::F64(v) => &v[start..end],
+                        _ => unreachable!("non-F64 inputs are staged"),
+                    },
+                })
+                .collect();
+            refs.extend(scalar_rows.iter().map(|r| &r[..len]));
+            {
+                let mut row_refs: Vec<&mut [f64]> =
+                    out_rows.iter_mut().map(|r| &mut r[..len]).collect();
+                vm.run_f64_multi_chunk(0, &refs, &out_regs, &mut row_refs)
+                    .expect("fused kernel failed on a worker segment");
+            }
+            for (slot, o) in outs.iter().enumerate() {
+                match o {
+                    KernelOut::Array { .. } => {
+                        values[slot].extend_from_slice(&out_rows[slot][..len]);
+                    }
+                    KernelOut::Reduce { kind, .. } => {
+                        let a = &mut accs[slot];
+                        for &v in &out_rows[slot][..len] {
+                            *a = reduce_combine(*kind, *a, reduce_element(*kind, v));
+                        }
+                    }
+                }
+            }
+            start = end;
+        }
+        for s in staged.into_iter().flatten() {
+            scratch.fused_pool.push(s);
+        }
+        for row in scalar_rows {
+            scratch.fused_pool.push(row);
+        }
+        for row in out_rows {
+            scratch.fused_pool.push(row);
+        }
     }
     comm.advance_compute((n * n_instrs.max(1)) as f64);
     if let Some(t) = kernel_timer {
@@ -2444,15 +2747,6 @@ fn exec_kernel_multi(
                 flow_in: 0,
             },
         );
-    }
-    for s in staged.into_iter().flatten() {
-        scratch.fused_pool.push(s);
-    }
-    for row in scalar_rows {
-        scratch.fused_pool.push(row);
-    }
-    for row in out_rows {
-        scratch.fused_pool.push(row);
     }
     let mut totals: Vec<f64> = Vec::new();
     for (slot, o) in outs.iter().enumerate() {

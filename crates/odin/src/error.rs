@@ -29,6 +29,15 @@ pub enum OdinError {
         /// Ids of the unrecoverable arrays.
         arrays: Vec<u64>,
     },
+    /// A kernel was applied to an array whose dtype it cannot accept
+    /// (e.g. a `def f(a)` float-array kernel over an I64 array). Caught
+    /// master-side before dispatch, so no worker panics.
+    DtypeMismatch {
+        /// Dtype the kernel's signature requires.
+        expected: crate::DType,
+        /// Dtype of the array it was applied to.
+        found: crate::DType,
+    },
 }
 
 impl std::fmt::Display for OdinError {
@@ -44,6 +53,11 @@ impl std::fmt::Display for OdinError {
                 f,
                 "segments of {} array(s) lost in pool respawn (ids {arrays:?})",
                 arrays.len()
+            ),
+            OdinError::DtypeMismatch { expected, found } => write!(
+                f,
+                "dtype mismatch: kernel expects a {expected:?} array, got {found:?} \
+                 (cast with astype or compile a {found:?} monomorphization)"
             ),
         }
     }

@@ -8,15 +8,27 @@
 //! ODIN compiles it on the master and registers it with the pool
 //! ([`Cmd::RegisterKernel`]); every [`Kernel::map`] /
 //! [`Kernel::map_reduce`] afterwards sends only array ids
-//! ([`Cmd::EvalKernel`]) and runs the unboxed VM fast path
-//! (`Vm::run_f64_chunk`) over each worker's segment.
+//! ([`Cmd::EvalKernel`]).
+//!
+//! Kernels are built through the dtype-generic [`KernelSpec`] builder:
+//! [`OdinContext::kernel`] names the source and entry function,
+//! [`KernelSpec::dtype`] picks the compute monomorphization (f64 by
+//! default; `I64`/`Bool` compile the parameters into the integer
+//! register file), and [`KernelSpec::tier`] picks the execution tier —
+//! the bytecode VM, or the native C-compiled chunk function that
+//! `seamless::codegen` arms after a bitwise-parity probe (DESIGN §15).
+//! [`OdinContext::compile_kernel`] remains as the f64/auto shorthand.
 //!
 //! ```
 //! use odin::context::OdinContext;
+//! use odin::kernel::Tier;
 //!
 //! let ctx = OdinContext::with_workers(3);
 //! let k = ctx
-//!     .compile_kernel("def wave(x, t):\n    return sin(x) * exp(-t)\n", "wave")
+//!     .kernel("def wave(x, t):\n    return sin(x) * exp(-t)\n", "wave")
+//!     .dtype(odin::DType::F64)
+//!     .tier(Tier::Auto)
+//!     .build()
 //!     .unwrap();
 //! let x = ctx.linspace(0.0, 1.0, 16);
 //! let t = ctx.full(&[16], 0.5, odin::protocol::Dist::Block);
@@ -31,77 +43,196 @@ use crate::protocol::{ArrayMeta, Cmd, ReduceKind};
 use seamless::bytecode::RegFile;
 use seamless::{SeamlessError, Type};
 
+/// Which execution tier a kernel runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Always interpret the bytecode on the VM chunk path.
+    Vm,
+    /// Ask for the C-compiled native chunk function. The native symbol is
+    /// only dispatched after it passes the bitwise-parity probe; bodies
+    /// the emitter cannot compile (loops, arrays) or machines without a
+    /// C compiler fall back to the VM — correctness never depends on the
+    /// tier.
+    Native,
+    /// Let the runtime decide (today: same arming attempt as `Native`).
+    /// This is the default.
+    Auto,
+}
+
+/// Builder for a dtype-generic kernel: source + entry name, then
+/// [`KernelSpec::dtype`] / [`KernelSpec::tier`], then
+/// [`KernelSpec::build`].
+pub struct KernelSpec<'c> {
+    ctx: &'c OdinContext,
+    src: String,
+    fname: String,
+    dtype: DType,
+    tier: Tier,
+}
+
 /// A Seamless function compiled to bytecode and registered on every
 /// worker of an [`OdinContext`] pool.
 ///
-/// Obtained from [`OdinContext::compile_kernel`] (pyish source) or
-/// implicitly by [`crate::lazy::Expr::eval`] (lowered expressions —
-/// both share the registration cache). The kernel's code shipped to the
-/// workers exactly once; each `map`/`map_reduce` invoke is a small
-/// fixed-size control message.
+/// Obtained from the [`KernelSpec`] builder ([`OdinContext::kernel`]),
+/// from the f64 shorthand [`OdinContext::compile_kernel`], or implicitly
+/// by [`crate::lazy::Expr::eval`] (lowered expressions — all share the
+/// registration cache). The kernel's code shipped to the workers exactly
+/// once; each `map`/`map_reduce` invoke is a small fixed-size control
+/// message.
 pub struct Kernel<'c> {
     ctx: &'c OdinContext,
     id: u64,
     name: String,
     arity: usize,
     ret: DType,
+    /// Compute dtype: the monomorphization workers execute.
+    dtype: DType,
+    /// Resolved tier after the arming attempt (never `Auto`).
+    tier: Tier,
 }
 
 impl OdinContext {
+    /// Start building a kernel from pyish source. `fname` names the entry
+    /// function inside `src`. Defaults: `DType::F64` compute,
+    /// [`Tier::Auto`].
+    pub fn kernel(&self, src: &str, fname: &str) -> KernelSpec<'_> {
+        KernelSpec {
+            ctx: self,
+            src: src.to_string(),
+            fname: fname.to_string(),
+            dtype: DType::F64,
+            tier: Tier::Auto,
+        }
+    }
+
     /// Compile a Seamless (pyish) function to bytecode and register it
-    /// with every worker. `fname` names the entry function inside `src`;
-    /// all of its parameters are compiled as scalar floats (the kernel
-    /// runs element-wise over array segments).
+    /// with every worker — the f64/auto shorthand for
+    /// `self.kernel(src, fname).build()`.
     ///
     /// Fails with a typed [`SeamlessError`] when the source does not
     /// parse or type-check, when the entry function is missing, or when
     /// it is not a scalar→scalar function (array parameters or an array
     /// return cannot run element-wise).
     pub fn compile_kernel(&self, src: &str, fname: &str) -> Result<Kernel<'_>, SeamlessError> {
+        self.kernel(src, fname).build()
+    }
+}
+
+impl<'c> KernelSpec<'c> {
+    /// Compute dtype of the monomorphization: `F64` (default) compiles
+    /// scalar-float parameters and stages f64 rows; `I64` and `Bool`
+    /// compile integer/bool parameters and stage i64 rows (bools as
+    /// 0/1), so integer kernels never round-trip through floats.
+    pub fn dtype(mut self, dtype: DType) -> Self {
+        self.dtype = dtype;
+        self
+    }
+
+    /// Execution tier request (default [`Tier::Auto`]).
+    pub fn tier(mut self, tier: Tier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Parse, type-check, and compile the entry function for the chosen
+    /// dtype, register the bytecode with every worker, and (unless
+    /// [`Tier::Vm`] was requested) try to arm the native tier — compile
+    /// the C monomorphization and run the bitwise-parity probe. The
+    /// returned kernel's [`Kernel::tier`] reports what actually armed.
+    pub fn build(self) -> Result<Kernel<'c>, SeamlessError> {
+        let KernelSpec {
+            ctx,
+            src,
+            fname,
+            dtype,
+            tier,
+        } = self;
         let timer = if obs::enabled() {
             Some(obs::span::span_start(obs::span::wall_now_s()))
         } else {
             None
         };
-        let module = seamless::parser::parse_module(src)?;
-        let def = module.function(fname).ok_or_else(|| {
+        let module = seamless::parser::parse_module(&src)?;
+        let def = module.function(&fname).ok_or_else(|| {
             SeamlessError::Type(format!("no function named `{fname}` in kernel source"))
         })?;
         let arity = def.params.len();
+        let param_type = match dtype {
+            DType::F64 => Type::Float,
+            DType::I64 => Type::Int,
+            DType::Bool => Type::Bool,
+        };
         let program =
-            seamless::compile::compile_program(&module, fname, &vec![Type::Float; arity])?;
+            seamless::compile::compile_program(&module, &fname, &vec![param_type; arity])?;
         let entry = &program.funcs[0];
-        if entry.params.iter().any(|(file, _)| *file != RegFile::F) {
+        let want_file = match dtype {
+            DType::F64 => RegFile::F,
+            DType::I64 | DType::Bool => RegFile::I,
+        };
+        if entry.params.iter().any(|(file, _)| *file != want_file) {
             return Err(SeamlessError::Type(format!(
                 "kernel `{fname}` must take scalar parameters only"
             )));
         }
-        let ret = match entry.ret {
-            Type::Float => DType::F64,
-            Type::Int => DType::I64,
-            Type::Bool => DType::Bool,
-            ref t => {
+        let ret = match (dtype, &entry.ret) {
+            (_, Type::Float) if dtype != DType::F64 => {
+                return Err(SeamlessError::Type(format!(
+                    "kernel `{fname}` returns a float but was compiled for {dtype:?} \
+                     compute — build it with .dtype(DType::F64)"
+                )))
+            }
+            (_, Type::Float) => DType::F64,
+            (_, Type::Int) => DType::I64,
+            (_, Type::Bool) => DType::Bool,
+            (_, t) => {
                 return Err(SeamlessError::Type(format!(
                     "kernel `{fname}` must return a scalar, not {t:?}"
                 )))
             }
         };
+        // Arm the native tier before the program moves into the registry.
+        // Master and workers are threads of one process, so this warm
+        // populates the same codegen cache the workers will hit.
+        let native = match tier {
+            Tier::Vm => false,
+            Tier::Native | Tier::Auto => {
+                let armed = match dtype {
+                    DType::F64 => seamless::codegen::native_f64(&program, None).is_some(),
+                    DType::I64 | DType::Bool => seamless::codegen::native_i64(&program).is_some(),
+                };
+                if obs::enabled() {
+                    let key = if armed {
+                        "odin.kernel.native_armed"
+                    } else {
+                        "odin.kernel.native_refused"
+                    };
+                    obs::global().counter(key).add(1);
+                }
+                armed
+            }
+        };
         let n_instrs: usize = program.funcs.iter().map(|f| f.instrs.len()).sum();
-        let id = self.register_kernel_program(program);
+        let id = ctx.register_kernel_program(program);
         if let Some(timer) = timer {
             timer.finish(
                 "odin",
                 "compile_kernel",
                 obs::span::wall_now_s(),
-                &[("arity", arity as f64), ("instrs", n_instrs as f64)],
+                &[
+                    ("arity", arity as f64),
+                    ("instrs", n_instrs as f64),
+                    ("native", f64::from(u8::from(native))),
+                ],
             );
         }
         Ok(Kernel {
-            ctx: self,
+            ctx,
             id,
-            name: fname.to_string(),
+            name: fname,
             arity,
             ret,
+            dtype,
+            tier: if native { Tier::Native } else { Tier::Vm },
         })
     }
 }
@@ -120,6 +251,18 @@ impl<'c> Kernel<'c> {
     /// Number of array arguments `map` expects.
     pub fn arity(&self) -> usize {
         self.arity
+    }
+
+    /// Compute dtype this kernel was monomorphized for.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// The tier that actually armed: [`Tier::Native`] iff the C
+    /// monomorphization compiled and passed the bitwise-parity probe,
+    /// otherwise [`Tier::Vm`]. Never [`Tier::Auto`].
+    pub fn tier(&self) -> Tier {
+        self.tier
     }
 
     /// Align `args` to the first argument's distribution (redistributing
@@ -164,6 +307,8 @@ impl<'c> Kernel<'c> {
             inputs,
             out_dtype: self.ret,
             reduce: None,
+            dtype: self.dtype,
+            native: self.tier == Tier::Native,
         });
         let out_meta = ArrayMeta {
             dtype: self.ret,
@@ -186,6 +331,8 @@ impl<'c> Kernel<'c> {
             inputs,
             out_dtype: DType::F64,
             reduce: Some(kind),
+            dtype: self.dtype,
+            native: self.tier == Tier::Native,
         });
         let v = pending.wait();
         drop(temps);
@@ -195,6 +342,8 @@ impl<'c> Kernel<'c> {
 
 #[cfg(test)]
 mod tests {
+    use super::Tier;
+    use crate::buffer::DType;
     use crate::context::OdinContext;
     use crate::protocol::{Dist, ReduceKind};
 
@@ -205,6 +354,7 @@ mod tests {
             .compile_kernel("def f(x, y):\n    return hypot(x, y)\n", "f")
             .unwrap();
         assert_eq!(k.arity(), 2);
+        assert_eq!(k.dtype(), DType::F64);
         let x = ctx.linspace(0.0, 2.0, 21);
         let y = ctx.linspace(1.0, 3.0, 21);
         let r = k.map(&[&x, &y]);
@@ -221,6 +371,8 @@ mod tests {
         let ctx = OdinContext::with_workers(2);
         let src = "def clip(x, lo, hi):\n    if x < lo:\n        return lo\n    if x > hi:\n        return hi\n    return x\n";
         let k = ctx.compile_kernel(src, "clip").unwrap();
+        // a branchy body is outside the native emitter's class
+        assert_eq!(k.tier(), Tier::Vm);
         let x = ctx.linspace(-2.0, 2.0, 17);
         let lo = ctx.full(&[17], -1.0, Dist::Block);
         let hi = ctx.full(&[17], 1.0, Dist::Block);
@@ -290,6 +442,12 @@ mod tests {
         assert!(ctx
             .compile_kernel("def f(n):\n    return zeros(int(n))\n", "f")
             .is_err());
+        // float-returning body cannot be monomorphized for i64 compute
+        assert!(ctx
+            .kernel("def f(x):\n    return x * 0.5\n", "f")
+            .dtype(DType::I64)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -302,5 +460,38 @@ mod tests {
         let r = k.map(&[&x]);
         assert_eq!(r.dtype(), crate::buffer::DType::I64);
         assert_eq!(r.to_vec_i64(), vec![1, 3, 5, 7, 9, 11]);
+    }
+
+    #[test]
+    fn i64_monomorphization_computes_in_integers() {
+        let ctx = OdinContext::with_workers(2);
+        // for i64 compute, x stays an integer register end to end —
+        // (x * x + 1) over i64 inputs, no float round-trip
+        let k = ctx
+            .kernel("def f(x):\n    return x * x + 1\n", "f")
+            .dtype(DType::I64)
+            .build()
+            .unwrap();
+        assert_eq!(k.dtype(), DType::I64);
+        let x = ctx.arange(7);
+        let r = k.map(&[&x]);
+        assert_eq!(r.dtype(), DType::I64);
+        assert_eq!(r.to_vec_i64(), vec![1, 2, 5, 10, 17, 26, 37]);
+    }
+
+    #[test]
+    fn vm_tier_request_is_honored() {
+        let ctx = OdinContext::with_workers(2);
+        let k = ctx
+            .kernel("def f(x):\n    return x + 1.0\n", "f")
+            .tier(Tier::Vm)
+            .build()
+            .unwrap();
+        assert_eq!(k.tier(), Tier::Vm);
+        let x = ctx.linspace(0.0, 1.0, 9);
+        let r = k.map(&[&x]).to_vec();
+        for (i, v) in x.to_vec().into_iter().enumerate() {
+            assert_eq!(r[i].to_bits(), (v + 1.0).to_bits());
+        }
     }
 }

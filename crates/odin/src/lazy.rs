@@ -225,6 +225,12 @@ impl<'x, 'c> Expr<'x, 'c> {
             inputs,
             out_dtype,
             reduce: None,
+            // Lowered expressions compute in f64 regardless of out_dtype;
+            // workers may tier up to the probed native body when one is
+            // available (first worker to arrive compiles, the rest hit
+            // the process-global cache).
+            dtype: DType::F64,
+            native: true,
         });
         let out_meta = ArrayMeta {
             dtype: out_dtype,
@@ -285,6 +291,8 @@ impl<'x, 'c> Expr<'x, 'c> {
             inputs,
             out_dtype: DType::F64,
             reduce: Some(kind),
+            dtype: DType::F64,
+            native: true,
         });
         let v = pending.wait();
         drop(temps);

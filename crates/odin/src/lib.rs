@@ -43,7 +43,7 @@ pub use context::{
 };
 pub use error::{OdinError, RecoveryReport};
 pub use io::remove_saved;
-pub use kernel::Kernel;
+pub use kernel::{Kernel, KernelSpec, Tier};
 pub use lazy::Expr;
 pub use program::{PExpr, Program, ProgramRun, ProgramStats, Traced, TracedScalar};
 pub use protocol::{ArrayMeta, BinOp, Dist, KernelOut, ReduceKind, ReplyMsg, UnaryOp};

@@ -843,6 +843,11 @@ impl<'x, 'c> Program<'x, 'c> {
                         inputs: input_ids,
                         scalars,
                         outs,
+                        // Fused groups compute in f64; workers tier up to
+                        // the probed native multi-output body when the
+                        // compile plane is available.
+                        dtype: DType::F64,
+                        native: true,
                     };
                     kernel_launches += 1;
                     if reduce_stmts.is_empty() {

@@ -470,6 +470,13 @@ pub enum Cmd {
         out_dtype: DType,
         /// Fused reduction tail, if any.
         reduce: Option<ReduceKind>,
+        /// Compute dtype — which monomorphization runs: `F64` stages f64
+        /// rows through `run_f64_chunk`, `I64`/`Bool` stage i64 rows
+        /// through `run_i64_chunk`. Independent of `out_dtype`.
+        dtype: DType,
+        /// Whether the worker may dispatch the probed native tier for
+        /// this invoke (`false` pins the VM, e.g. `Tier::Vm` kernels).
+        native: bool,
     },
     /// Run a registered kernel once and harvest *several* register rows:
     /// the whole-program optimizer (DESIGN §14) fuses a group of traced
@@ -489,6 +496,11 @@ pub enum Cmd {
         scalars: Vec<f64>,
         /// What to harvest from the evaluated register file.
         outs: Vec<KernelOut>,
+        /// Compute dtype of the fused body (traces are f64 today, but
+        /// the tag keeps the two kernel commands symmetric on the wire).
+        dtype: DType,
+        /// Whether the worker may dispatch the probed native tier.
+        native: bool,
     },
 }
 
@@ -863,6 +875,8 @@ impl Wire for Cmd {
                 inputs,
                 out_dtype,
                 reduce,
+                dtype,
+                native,
             } => {
                 buf.push(21);
                 out.encode(buf);
@@ -871,6 +885,8 @@ impl Wire for Cmd {
                 inputs.encode(buf);
                 out_dtype.encode(buf);
                 reduce.encode(buf);
+                dtype.encode(buf);
+                native.encode(buf);
             }
             Cmd::EvalKernelMulti {
                 kernel,
@@ -878,6 +894,8 @@ impl Wire for Cmd {
                 inputs,
                 scalars,
                 outs,
+                dtype,
+                native,
             } => {
                 buf.push(22);
                 kernel.encode(buf);
@@ -885,6 +903,8 @@ impl Wire for Cmd {
                 inputs.encode(buf);
                 scalars.encode(buf);
                 outs.encode(buf);
+                dtype.encode(buf);
+                native.encode(buf);
             }
         }
     }
@@ -994,6 +1014,8 @@ impl Wire for Cmd {
                 inputs: Vec::decode(cur)?,
                 out_dtype: DType::decode(cur)?,
                 reduce: Option::<ReduceKind>::decode(cur)?,
+                dtype: DType::decode(cur)?,
+                native: bool::decode(cur)?,
             }),
             22 => Ok(Cmd::EvalKernelMulti {
                 kernel: u64::decode(cur)?,
@@ -1001,6 +1023,8 @@ impl Wire for Cmd {
                 inputs: Vec::decode(cur)?,
                 scalars: Vec::decode(cur)?,
                 outs: Vec::decode(cur)?,
+                dtype: DType::decode(cur)?,
+                native: bool::decode(cur)?,
             }),
             b => Err(CommError::Decode(format!("bad cmd byte {b}"))),
         }
@@ -1142,6 +1166,18 @@ mod tests {
                 inputs: vec![7, 8],
                 out_dtype: DType::F64,
                 reduce: Some(ReduceKind::Sum),
+                dtype: DType::F64,
+                native: true,
+            },
+            Cmd::EvalKernel {
+                out: 23,
+                kernel: 2,
+                template: 7,
+                inputs: vec![7],
+                out_dtype: DType::Bool,
+                reduce: None,
+                dtype: DType::I64,
+                native: false,
             },
         ];
         for cmd in cmds {
@@ -1204,6 +1240,8 @@ mod tests {
             inputs: vec![1, 2, 3],
             out_dtype: DType::F64,
             reduce: Some(ReduceKind::Sum),
+            dtype: DType::F64,
+            native: true,
         });
         assert!(
             invoke.len() < 100,
@@ -1237,6 +1275,8 @@ mod tests {
                     reg: 6,
                 },
             ],
+            dtype: DType::F64,
+            native: true,
         };
         let bytes = encode_to_vec(&cmd);
         assert_eq!(decode_from_slice::<Cmd>(&bytes).unwrap(), cmd);

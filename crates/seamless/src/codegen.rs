@@ -1,0 +1,951 @@
+//! Tiered native kernel codegen: lower typed-register bytecode to C,
+//! compile it with the system compiler through the CModule plane
+//! ([`crate::cmodule::compile_and_load`]), and hand back a chunk function
+//! the kernel dispatcher can swap in for the VM.
+//!
+//! This is the missing compiled half of the paper's §IV claim — "export
+//! Python-defined algorithms to statically-typed host code". The tier
+//! discipline mirrors the E20 gating rules:
+//!
+//! 1. every kernel runs on the VM immediately (tier 0 — always correct);
+//! 2. a straight-line, infallible, scalar body is *monomorphized* per
+//!    (kernel, dtype) into a C chunk function
+//!    `void name$dtype$hash(const double* const* in, double* const* out,
+//!    size_t n)` and compiled once per process;
+//! 3. the native symbol is swapped in **only after a bitwise-parity
+//!    probe** against the VM on seeded inputs at several widths. Any
+//!    mismatch, compile failure, or unsupported opcode refuses the
+//!    program permanently (per process) and execution stays on the VM.
+//!
+//! Parity is engineered, not hoped for: constants are emitted as exact
+//! bit patterns, `powi` uses the VM's inline expansions for small
+//! exponents and `__powidf2`'s multiply order otherwise, float→int casts
+//! saturate exactly like Rust `as`, integer arithmetic wraps via unsigned
+//! casts, and the build passes `-ffp-contract=off` so the C compiler
+//! cannot fuse multiply-adds the interpreter keeps separate. The probe
+//! then catches anything this reasoning missed.
+//!
+//! The cache is process-global on purpose: ODIN ranks are threads in one
+//! process, so a pool respawn (`recover()`) re-arms the native tier with
+//! zero recompiles — the replayed `RegisterKernel` hits the same entry.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::bytecode::{Cmp, CompiledFunc, Instr, Math2Fn, MathFn, Program, Reg, RegFile};
+use crate::cmodule;
+use crate::vm::Vm;
+
+/// ABI of a compiled f64 chunk function: `in` points at one full-length
+/// row per kernel parameter, `out` at one row per output register, `n` is
+/// the lane count.
+pub type NativeF64 = unsafe extern "C" fn(*const *const f64, *const *mut f64, usize);
+/// The `i64` twin (bools travel as 0/1).
+pub type NativeI64 = unsafe extern "C" fn(*const *const i64, *const *mut i64, usize);
+
+/// A probed, cached native f64 chunk function plus its arity, wrapped so
+/// callers get slice-checked dispatch instead of raw pointers.
+#[derive(Clone, Copy)]
+pub struct NativeF64Fn {
+    f: NativeF64,
+    n_in: usize,
+    n_out: usize,
+}
+
+impl NativeF64Fn {
+    /// Run the native body over `n` lanes. Panics (like a slice index
+    /// would) if arity or lengths don't line up — callers stage
+    /// full-length rows.
+    pub fn run(&self, inputs: &[&[f64]], outs: &mut [&mut [f64]], n: usize) {
+        assert_eq!(inputs.len(), self.n_in, "native kernel input arity");
+        assert_eq!(outs.len(), self.n_out, "native kernel output arity");
+        assert!(
+            inputs.iter().all(|r| r.len() >= n),
+            "native input rows too short"
+        );
+        assert!(
+            outs.iter().all(|r| r.len() >= n),
+            "native output rows too short"
+        );
+        if n == 0 {
+            return;
+        }
+        let in_ptrs: Vec<*const f64> = inputs.iter().map(|r| r.as_ptr()).collect();
+        let out_ptrs: Vec<*mut f64> = outs.iter_mut().map(|r| r.as_mut_ptr()).collect();
+        // SAFETY: the symbol was compiled for exactly n_in/n_out rows, the
+        // rows are ≥ n lanes long, and the parity probe exercised this
+        // pointer protocol before the function was ever published.
+        unsafe { (self.f)(in_ptrs.as_ptr(), out_ptrs.as_ptr(), n) }
+    }
+}
+
+/// A probed, cached native i64 chunk function (single output).
+#[derive(Clone, Copy)]
+pub struct NativeI64Fn {
+    f: NativeI64,
+    n_in: usize,
+}
+
+impl NativeI64Fn {
+    /// Run over `n` lanes into one output row.
+    pub fn run(&self, inputs: &[&[i64]], out: &mut [i64], n: usize) {
+        assert_eq!(inputs.len(), self.n_in, "native kernel input arity");
+        assert!(
+            inputs.iter().all(|r| r.len() >= n),
+            "native input rows too short"
+        );
+        assert!(out.len() >= n, "native output row too short");
+        if n == 0 {
+            return;
+        }
+        let in_ptrs: Vec<*const i64> = inputs.iter().map(|r| r.as_ptr()).collect();
+        let out_ptr: [*mut i64; 1] = [out.as_mut_ptr()];
+        // SAFETY: as in NativeF64Fn::run.
+        unsafe { (self.f)(in_ptrs.as_ptr(), out_ptr.as_ptr(), n) }
+    }
+}
+
+// fn pointers are Send + Sync, so entries can live in a global map.
+#[derive(Clone, Copy)]
+enum Entry {
+    F64(NativeF64Fn),
+    I64(NativeI64Fn),
+    /// Compile failed, probe failed, or the body is not native-compilable:
+    /// never try again this process.
+    Refused,
+}
+
+/// Which monomorphization a cache key names.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Key {
+    program_hash: u64,
+    /// 0 = f64 scalar-return, 1 = f64 multi-output, 2 = i64 scalar-return.
+    abi: u8,
+    out_regs: Vec<Reg>,
+}
+
+fn cache() -> &'static Mutex<HashMap<Key, Entry>> {
+    static CACHE: OnceLock<Mutex<HashMap<Key, Entry>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+static COMPILED: AtomicU64 = AtomicU64::new(0);
+static REFUSED: AtomicU64 = AtomicU64::new(0);
+static PROBE_FAILED: AtomicU64 = AtomicU64::new(0);
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-lifetime codegen counters (monotonic; tests take relative
+/// snapshots because the whole suite shares one process).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CodegenStats {
+    /// Monomorphizations compiled, probed, and published.
+    pub compiled: u64,
+    /// Programs refused (unsupported opcode, no compiler, cc failure).
+    pub refused: u64,
+    /// Programs that compiled but failed the bitwise parity probe (these
+    /// are also counted in `refused`).
+    pub probe_failed: u64,
+    /// Cache hits: an already-published (or already-refused) entry was
+    /// reused without touching the compiler.
+    pub cache_hits: u64,
+}
+
+/// Read the counters.
+pub fn stats() -> CodegenStats {
+    CodegenStats {
+        compiled: COMPILED.load(Ordering::Relaxed),
+        refused: REFUSED.load(Ordering::Relaxed),
+        probe_failed: PROBE_FAILED.load(Ordering::Relaxed),
+        cache_hits: CACHE_HITS.load(Ordering::Relaxed),
+    }
+}
+
+/// `HPC_KERNEL_TIER=vm` pins every kernel to the VM tier — the CI
+/// fallback for machines without a C compiler, and the A/B switch the
+/// benches use. Read per call (tests in one process flip it).
+pub fn vm_forced() -> bool {
+    std::env::var("HPC_KERNEL_TIER")
+        .map(|v| v == "vm")
+        .unwrap_or(false)
+}
+
+/// Whether the native tier can arm at all on this machine right now.
+pub fn native_available() -> bool {
+    !vm_forced() && cmodule::system_cc().is_some()
+}
+
+/// A compiled function's body with the compiler's trailing `Ret(None)`
+/// epilogue stripped: `compile_program` appends one after every function
+/// body, so real kernels end `[…, Ret(Some(r)), Ret(None)]`. The strip is
+/// only observable when the remaining tail is a scalar `Ret` — and the
+/// whitelist below admits no jumps, so the stripped instructions were
+/// unreachable.
+fn effective_instrs(f: &CompiledFunc) -> &[Instr] {
+    let mut n = f.instrs.len();
+    while n > 1 && matches!(f.instrs[n - 1], Instr::Ret(None)) {
+        n -= 1;
+    }
+    &f.instrs[..n]
+}
+
+/// Instruction classes the C emitter handles: straight-line, infallible,
+/// scalar-only bodies ending in a scalar `Ret` — the same class as the
+/// VM's vectorized chunk path, minus its register-ordering requirement
+/// (C locals don't alias rows).
+pub fn native_compilable(program: &Program) -> bool {
+    if !program.externs.is_empty() || program.funcs.is_empty() {
+        return false;
+    }
+    let f = &program.funcs[0];
+    let instrs = effective_instrs(f);
+    let n = instrs.len();
+    if n == 0
+        || !matches!(
+            instrs[n - 1],
+            Instr::Ret(Some((RegFile::F | RegFile::I, _)))
+        )
+    {
+        return false;
+    }
+    instrs[..n - 1].iter().all(|ins| {
+        matches!(
+            ins,
+            Instr::ConstF(..)
+                | Instr::ConstI(..)
+                | Instr::MovF(..)
+                | Instr::MovI(..)
+                | Instr::IToF(..)
+                | Instr::FToI(..)
+                | Instr::AddF(..)
+                | Instr::SubF(..)
+                | Instr::MulF(..)
+                | Instr::DivF(..)
+                | Instr::ModF(..)
+                | Instr::PowF(..)
+                | Instr::NegF(..)
+                | Instr::AddI(..)
+                | Instr::SubI(..)
+                | Instr::MulI(..)
+                | Instr::NegI(..)
+                | Instr::CmpF(..)
+                | Instr::CmpI(..)
+                | Instr::AndI(..)
+                | Instr::OrI(..)
+                | Instr::NotI(..)
+                | Instr::Math1(..)
+                | Instr::Math2(..)
+                | Instr::PowIC(..)
+                | Instr::RemF(..)
+                | Instr::AbsI(..)
+                | Instr::MinF(..)
+                | Instr::MaxF(..)
+                | Instr::MinI(..)
+                | Instr::MaxI(..)
+        )
+    })
+}
+
+fn program_hash(program: &Program) -> u64 {
+    // Wire encoding is exact (f64 travels as bits), so distinct programs
+    // get distinct byte strings. Externs are refused before this runs.
+    let bytes = comm::encode_to_vec(program);
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    bytes.hash(&mut h);
+    h.finish()
+}
+
+/// `identity$f64$1a2b3c4d`-style symbol mangling: source name (sanitized
+/// to C identifier characters — `$` is accepted by gcc/clang on ELF),
+/// dtype tag, program hash.
+fn mangle(name: &str, dtype: &str, hash: u64, out_regs: &[Reg]) -> String {
+    let mut base: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if base.is_empty() || base.starts_with(|c: char| c.is_ascii_digit()) {
+        base.insert(0, 'k');
+    }
+    if out_regs.is_empty() {
+        format!("{base}${dtype}${hash:016x}")
+    } else {
+        format!("{base}${dtype}x{}${hash:016x}", out_regs.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// C emission
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Abi {
+    /// f64 rows in, one f64 row out of the trailing `Ret`.
+    F64Ret,
+    /// f64 rows in, one f64 row per listed output register.
+    F64Multi,
+    /// i64 rows in, one i64 row out of the trailing `Ret`.
+    I64Ret,
+}
+
+impl Abi {
+    fn tag(self) -> u8 {
+        match self {
+            Abi::F64Ret => 0,
+            Abi::F64Multi => 1,
+            Abi::I64Ret => 2,
+        }
+    }
+}
+
+const C_PRELUDE: &str = r#"#include <math.h>
+#include <stddef.h>
+#include <string.h>
+typedef long long sl_i64;
+typedef unsigned long long sl_u64;
+/* exact f64 constants: bit pattern in, double out */
+static double sl_db(sl_u64 u) { double d; memcpy(&d, &u, 8); return d; }
+/* float -> int with Rust `as` semantics: saturate, NaN -> 0 */
+static sl_i64 sl_f2i(double x) {
+    if (x != x) return 0;
+    if (x >= 9223372036854775808.0) return 9223372036854775807LL;
+    if (x < -9223372036854775808.0) return -9223372036854775807LL - 1;
+    return (sl_i64)x;
+}
+/* __powidf2's exact multiply order (also LLVM's inline powi expansion) */
+static double sl_powi(double a, sl_i64 b) {
+    int recip = b < 0;
+    double r = 1.0;
+    while (1) {
+        if (b & 1) r *= a;
+        b /= 2;
+        if (b == 0) break;
+        a *= a;
+    }
+    return recip ? 1.0 / r : r;
+}
+"#;
+
+fn cmp_op(c: Cmp) -> &'static str {
+    match c {
+        Cmp::Eq => "==",
+        Cmp::Ne => "!=",
+        Cmp::Lt => "<",
+        Cmp::Le => "<=",
+        Cmp::Gt => ">",
+        Cmp::Ge => ">=",
+    }
+}
+
+fn math1_fn(m: MathFn) -> &'static str {
+    match m {
+        MathFn::Sqrt => "sqrt",
+        MathFn::Sin => "sin",
+        MathFn::Cos => "cos",
+        MathFn::Tan => "tan",
+        MathFn::Exp => "exp",
+        MathFn::Log => "log",
+        MathFn::Abs => "fabs",
+        MathFn::Floor => "floor",
+        MathFn::Ceil => "ceil",
+    }
+}
+
+fn math2_fn(m: Math2Fn) -> &'static str {
+    match m {
+        Math2Fn::Hypot => "hypot",
+        Math2Fn::Atan2 => "atan2",
+    }
+}
+
+fn const_i64(v: i64) -> String {
+    if v == i64::MIN {
+        // the literal 9223372036854775808 has no signed type in C
+        "(-9223372036854775807LL - 1)".to_string()
+    } else {
+        format!("{v}LL")
+    }
+}
+
+/// One C statement per instruction. Every emission mirrors the exact
+/// operation (and operand order) of the VM's `exec`/`vector_pass` arms —
+/// see module docs for the parity rules.
+fn emit_instr(ins: &Instr) -> Option<String> {
+    Some(match ins {
+        Instr::ConstF(d, v) => format!("f{d} = sl_db(0x{:016x}ULL); /* {v:?} */", v.to_bits()),
+        Instr::ConstI(d, v) => format!("i{d} = {};", const_i64(*v)),
+        Instr::MovF(d, s) => format!("f{d} = f{s};"),
+        Instr::MovI(d, s) => format!("i{d} = i{s};"),
+        Instr::IToF(d, s) => format!("f{d} = (double)i{s};"),
+        Instr::FToI(d, s) => format!("i{d} = sl_f2i(f{s});"),
+        Instr::AddF(d, a, b) => format!("f{d} = f{a} + f{b};"),
+        Instr::SubF(d, a, b) => format!("f{d} = f{a} - f{b};"),
+        Instr::MulF(d, a, b) => format!("f{d} = f{a} * f{b};"),
+        Instr::DivF(d, a, b) => format!("f{d} = f{a} / f{b};"),
+        Instr::ModF(d, a, b) => format!("f{d} = f{a} - f{b} * floor(f{a} / f{b});"),
+        Instr::PowF(d, a, b) => format!("f{d} = pow(f{a}, f{b});"),
+        Instr::NegF(d, s) => format!("f{d} = -f{s};"),
+        Instr::AddI(d, a, b) => format!("i{d} = (sl_i64)((sl_u64)i{a} + (sl_u64)i{b});"),
+        Instr::SubI(d, a, b) => format!("i{d} = (sl_i64)((sl_u64)i{a} - (sl_u64)i{b});"),
+        Instr::MulI(d, a, b) => format!("i{d} = (sl_i64)((sl_u64)i{a} * (sl_u64)i{b});"),
+        Instr::NegI(d, s) => format!("i{d} = (sl_i64)(0ULL - (sl_u64)i{s});"),
+        Instr::AbsI(d, s) => {
+            format!("i{d} = i{s} < 0 ? (sl_i64)(0ULL - (sl_u64)i{s}) : i{s};")
+        }
+        Instr::CmpF(c, d, a, b) => format!("i{d} = (sl_i64)(f{a} {} f{b});", cmp_op(*c)),
+        Instr::CmpI(c, d, a, b) => format!("i{d} = (sl_i64)(i{a} {} i{b});", cmp_op(*c)),
+        Instr::AndI(d, a, b) => format!("i{d} = (sl_i64)(i{a} != 0 && i{b} != 0);"),
+        Instr::OrI(d, a, b) => format!("i{d} = (sl_i64)(i{a} != 0 || i{b} != 0);"),
+        Instr::NotI(d, s) => format!("i{d} = (sl_i64)(i{s} == 0);"),
+        Instr::Math1(m, d, s) => format!("f{d} = {}(f{s});", math1_fn(*m)),
+        Instr::Math2(m, d, a, b) => format!("f{d} = {}(f{a}, f{b});", math2_fn(*m)),
+        // the VM's exact inline expansions for the exponents its
+        // vectorized path strength-reduces; __powidf2 order otherwise
+        Instr::PowIC(d, a, e) => match *e {
+            0 => format!("f{d} = 1.0;"),
+            1 => format!("f{d} = f{a};"),
+            2 => format!("f{d} = f{a} * f{a};"),
+            3 => format!("f{d} = f{a} * (f{a} * f{a});"),
+            4 => format!("{{ double t = f{a} * f{a}; f{d} = t * t; }}"),
+            -1 => format!("f{d} = 1.0 / f{a};"),
+            -2 => format!("f{d} = 1.0 / (f{a} * f{a});"),
+            e => format!("f{d} = sl_powi(f{a}, {e}LL);"),
+        },
+        Instr::RemF(d, a, b) => format!("f{d} = fmod(f{a}, f{b});"),
+        Instr::MinF(d, a, b) => format!("f{d} = fmin(f{a}, f{b});"),
+        Instr::MaxF(d, a, b) => format!("f{d} = fmax(f{a}, f{b});"),
+        Instr::MinI(d, a, b) => format!("i{d} = i{a} < i{b} ? i{a} : i{b};"),
+        Instr::MaxI(d, a, b) => format!("i{d} = i{a} > i{b} ? i{a} : i{b};"),
+        _ => return None,
+    })
+}
+
+/// Emit the full translation unit for one monomorphization. Returns
+/// `None` when any instruction falls outside the emitter's class.
+fn emit_c(f: &CompiledFunc, symbol: &str, abi: Abi, out_regs: &[Reg]) -> Option<String> {
+    let (in_ty, out_ty) = match abi {
+        Abi::I64Ret => ("sl_i64", "sl_i64"),
+        _ => ("double", "double"),
+    };
+    let mut src = String::with_capacity(2048 + 64 * f.instrs.len());
+    src.push_str(C_PRELUDE);
+    src.push_str(&format!(
+        "void {symbol}(const {in_ty}* const* in, {out_ty}* const* out, size_t n) {{\n"
+    ));
+    src.push_str("    for (size_t lane = 0; lane < n; ++lane) {\n");
+    // registers zero-initialized per lane, matching the VM's fallback
+    // frame discipline (and the vectorized path's zeroed rows)
+    for r in 0..f.reg_counts[0] {
+        src.push_str(&format!("        double f{r} = 0.0;\n"));
+    }
+    for r in 0..f.reg_counts[1] {
+        src.push_str(&format!("        sl_i64 i{r} = 0;\n"));
+    }
+    for (k, &(file, reg)) in f.params.iter().enumerate() {
+        match (abi, file) {
+            (Abi::I64Ret, RegFile::I) => {
+                src.push_str(&format!("        i{reg} = in[{k}][lane];\n"))
+            }
+            (Abi::F64Ret | Abi::F64Multi, RegFile::F) => {
+                src.push_str(&format!("        f{reg} = in[{k}][lane];\n"))
+            }
+            _ => return None,
+        }
+    }
+    let instrs = effective_instrs(f);
+    let n = instrs.len();
+    for ins in &instrs[..n - 1] {
+        src.push_str("        ");
+        src.push_str(&emit_instr(ins)?);
+        src.push('\n');
+    }
+    match (abi, &instrs[n - 1]) {
+        (Abi::F64Ret, Instr::Ret(Some((RegFile::F, r)))) => {
+            src.push_str(&format!("        out[0][lane] = f{r};\n"));
+        }
+        (Abi::F64Ret, Instr::Ret(Some((RegFile::I, r)))) => {
+            // integer returns widen to f64, as in run_f64_chunk
+            src.push_str(&format!("        out[0][lane] = (double)i{r};\n"));
+        }
+        (Abi::I64Ret, Instr::Ret(Some((RegFile::I, r)))) => {
+            src.push_str(&format!("        out[0][lane] = i{r};\n"));
+        }
+        (Abi::F64Multi, Instr::Ret(_)) => {
+            for (j, r) in out_regs.iter().enumerate() {
+                src.push_str(&format!("        out[{j}][lane] = f{r};\n"));
+            }
+        }
+        _ => return None,
+    }
+    src.push_str("    }\n}\n");
+    Some(src)
+}
+
+// ---------------------------------------------------------------------------
+// Parity probe
+// ---------------------------------------------------------------------------
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Probe widths: every width 1–8 (the satellite parity matrix) plus one
+/// chunk big enough to push the VM onto its vectorized path.
+const PROBE_WIDTHS: &[usize] = &[1, 2, 3, 4, 5, 6, 7, 8, 256];
+
+fn probe_f64_inputs(arity: usize, width: usize, seed: u64) -> Vec<Vec<f64>> {
+    const FIXED: &[f64] = &[0.0, 1.0, -1.0, 0.5, -2.0, 3.25, 0.125, -0.75];
+    let mut state = seed;
+    (0..arity)
+        .map(|k| {
+            (0..width)
+                .map(|lane| {
+                    if lane < FIXED.len() && (lane + k) % 3 != 2 {
+                        FIXED[(lane + k) % FIXED.len()]
+                    } else {
+                        let u = splitmix(&mut state);
+                        let x = (u >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+                        (x - 0.5) * 8.0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn probe_i64_inputs(arity: usize, width: usize, seed: u64) -> Vec<Vec<i64>> {
+    const FIXED: &[i64] = &[0, 1, -1, 2, -3, 5, -8, 13];
+    let mut state = seed;
+    (0..arity)
+        .map(|k| {
+            (0..width)
+                .map(|lane| {
+                    if lane < FIXED.len() && (lane + k) % 3 != 2 {
+                        FIXED[(lane + k) % FIXED.len()]
+                    } else {
+                        (splitmix(&mut state) as i64) % 1000
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn probe_f64(program: &Program, nf: NativeF64Fn, out_regs: &[Reg], seed: u64) -> bool {
+    let arity = program.funcs[0].params.len();
+    let vm = Vm::new(program);
+    for &w in PROBE_WIDTHS {
+        let rows = probe_f64_inputs(arity, w, seed ^ w as u64);
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        if out_regs.is_empty() {
+            let mut vm_out = vec![0.0f64; w];
+            if vm.run_f64_chunk(0, &refs, &mut vm_out).is_err() {
+                return false;
+            }
+            let mut native_out = vec![0.0f64; w];
+            nf.run(&refs, &mut [&mut native_out[..]], w);
+            if vm_out
+                .iter()
+                .zip(&native_out)
+                .any(|(a, b)| a.to_bits() != b.to_bits())
+            {
+                return false;
+            }
+        } else {
+            let mut vm_rows = vec![vec![0.0f64; w]; out_regs.len()];
+            {
+                let mut vm_outs: Vec<&mut [f64]> =
+                    vm_rows.iter_mut().map(|r| r.as_mut_slice()).collect();
+                if vm
+                    .run_f64_multi_chunk(0, &refs, out_regs, &mut vm_outs)
+                    .is_err()
+                {
+                    return false;
+                }
+            }
+            let mut native_rows = vec![vec![0.0f64; w]; out_regs.len()];
+            {
+                let mut native_outs: Vec<&mut [f64]> =
+                    native_rows.iter_mut().map(|r| r.as_mut_slice()).collect();
+                nf.run(&refs, &mut native_outs, w);
+            }
+            for (vr, nr) in vm_rows.iter().zip(&native_rows) {
+                if vr.iter().zip(nr).any(|(a, b)| a.to_bits() != b.to_bits()) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn probe_i64(program: &Program, nf: NativeI64Fn, seed: u64) -> bool {
+    let arity = program.funcs[0].params.len();
+    let vm = Vm::new(program);
+    for &w in PROBE_WIDTHS {
+        let rows = probe_i64_inputs(arity, w, seed ^ w as u64);
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut vm_out = vec![0i64; w];
+        if vm.run_i64_chunk(0, &refs, &mut vm_out).is_err() {
+            return false;
+        }
+        let mut native_out = vec![0i64; w];
+        nf.run(&refs, &mut native_out, w);
+        if vm_out != native_out {
+            return false;
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Public tier entry points
+// ---------------------------------------------------------------------------
+
+fn refuse(key: Key) {
+    REFUSED.fetch_add(1, Ordering::Relaxed);
+    cache().lock().unwrap().insert(key, Entry::Refused);
+}
+
+/// Fetch (compiling on first use) the native f64 monomorphization of a
+/// program. `out_regs: None` compiles the scalar-return ABI used by
+/// `EvalKernel`; `Some(regs)` compiles the multi-output ABI used by fused
+/// trace groups (`EvalKernelMulti`), dumping the listed F registers.
+///
+/// Returns `None` — and the caller stays on the VM — when the tier is
+/// pinned off (`HPC_KERNEL_TIER=vm`), no C compiler exists, the body
+/// falls outside the emitter's class, the compile fails, or the bitwise
+/// parity probe fails. All but the first two are cached as permanent
+/// refusals.
+pub fn native_f64(program: &Program, out_regs: Option<&[Reg]>) -> Option<NativeF64Fn> {
+    if vm_forced() || cmodule::system_cc().is_none() {
+        return None;
+    }
+    if !native_compilable(program) {
+        return None;
+    }
+    let f = &program.funcs[0];
+    if f.params.iter().any(|&(file, _)| file != RegFile::F) {
+        return None;
+    }
+    let (abi, regs) = match out_regs {
+        None => (Abi::F64Ret, Vec::new()),
+        Some(rs) => {
+            if rs.is_empty() || rs.iter().any(|&r| r as usize >= f.reg_counts[0]) {
+                return None;
+            }
+            (Abi::F64Multi, rs.to_vec())
+        }
+    };
+    let hash = program_hash(program);
+    let key = Key {
+        program_hash: hash,
+        abi: abi.tag(),
+        out_regs: regs.clone(),
+    };
+    if let Some(entry) = cache().lock().unwrap().get(&key) {
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return match entry {
+            Entry::F64(nf) => Some(*nf),
+            _ => None,
+        };
+    }
+    let symbol = mangle(&f.name, "f64", hash, &regs);
+    let Some(c_src) = emit_c(f, &symbol, abi, &regs) else {
+        refuse(key);
+        return None;
+    };
+    let addr = match cmodule::compile_and_load(&c_src, &symbol) {
+        Ok(a) => a,
+        Err(_) => {
+            refuse(key);
+            return None;
+        }
+    };
+    // SAFETY: the symbol was just emitted with exactly this signature.
+    let raw: NativeF64 = unsafe { std::mem::transmute(addr) };
+    let nf = NativeF64Fn {
+        f: raw,
+        n_in: f.params.len(),
+        n_out: if regs.is_empty() { 1 } else { regs.len() },
+    };
+    if !probe_f64(program, nf, &regs, hash) {
+        PROBE_FAILED.fetch_add(1, Ordering::Relaxed);
+        refuse(key);
+        return None;
+    }
+    COMPILED.fetch_add(1, Ordering::Relaxed);
+    cache().lock().unwrap().insert(key, Entry::F64(nf));
+    Some(nf)
+}
+
+/// Fetch (compiling on first use) the native i64 monomorphization: i64
+/// rows in, one i64 row out. Bool kernels ride this ABI as 0/1. Same
+/// refusal semantics as [`native_f64`].
+pub fn native_i64(program: &Program) -> Option<NativeI64Fn> {
+    if vm_forced() || cmodule::system_cc().is_none() {
+        return None;
+    }
+    if !native_compilable(program) {
+        return None;
+    }
+    let f = &program.funcs[0];
+    if f.params.iter().any(|&(file, _)| file != RegFile::I) {
+        return None;
+    }
+    if !matches!(
+        effective_instrs(f).last(),
+        Some(Instr::Ret(Some((RegFile::I, _))))
+    ) {
+        return None;
+    }
+    let hash = program_hash(program);
+    let key = Key {
+        program_hash: hash,
+        abi: Abi::I64Ret.tag(),
+        out_regs: Vec::new(),
+    };
+    if let Some(entry) = cache().lock().unwrap().get(&key) {
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return match entry {
+            Entry::I64(nf) => Some(*nf),
+            _ => None,
+        };
+    }
+    let symbol = mangle(&f.name, "i64", hash, &[]);
+    let Some(c_src) = emit_c(f, &symbol, Abi::I64Ret, &[]) else {
+        refuse(key);
+        return None;
+    };
+    let addr = match cmodule::compile_and_load(&c_src, &symbol) {
+        Ok(a) => a,
+        Err(_) => {
+            refuse(key);
+            return None;
+        }
+    };
+    // SAFETY: the symbol was just emitted with exactly this signature.
+    let raw: NativeI64 = unsafe { std::mem::transmute(addr) };
+    let nf = NativeI64Fn {
+        f: raw,
+        n_in: f.params.len(),
+    };
+    if !probe_i64(program, nf, hash) {
+        PROBE_FAILED.fetch_add(1, Ordering::Relaxed);
+        refuse(key);
+        return None;
+    }
+    COMPILED.fetch_add(1, Ordering::Relaxed);
+    cache().lock().unwrap().insert(key, Entry::I64(nf));
+    Some(nf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+
+    // HPC_KERNEL_TIER is process-global; serialize every test that reads
+    // or writes it so the env-flip test can't race the probe tests.
+    fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn f64_program(instrs: Vec<Instr>, arity: usize, n_f: usize, n_i: usize) -> Program {
+        Program {
+            funcs: vec![CompiledFunc {
+                name: "probe".into(),
+                params: (0..arity).map(|k| (RegFile::F, k as Reg)).collect(),
+                param_types: vec![Type::Float; arity],
+                ret: Type::Float,
+                reg_counts: [n_f, n_i, 0, 0],
+                instrs,
+            }],
+            externs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn straight_line_bodies_are_compilable() {
+        let p = f64_program(
+            vec![Instr::MulF(1, 0, 0), Instr::Ret(Some((RegFile::F, 1)))],
+            1,
+            2,
+            0,
+        );
+        assert!(native_compilable(&p));
+    }
+
+    #[test]
+    fn loops_and_arrays_are_refused() {
+        let p = f64_program(
+            vec![Instr::Jump(0), Instr::Ret(Some((RegFile::F, 0)))],
+            1,
+            1,
+            0,
+        );
+        assert!(!native_compilable(&p));
+        let q = Program {
+            funcs: vec![CompiledFunc {
+                name: "arr".into(),
+                params: vec![(RegFile::AF, 0)],
+                param_types: vec![Type::ArrF],
+                ret: Type::ArrF,
+                reg_counts: [0, 0, 1, 0],
+                instrs: vec![Instr::Ret(Some((RegFile::AF, 0)))],
+            }],
+            externs: Vec::new(),
+        };
+        assert!(!native_compilable(&q));
+    }
+
+    #[test]
+    fn mangling_is_c_safe_and_dtype_tagged() {
+        let s = mangle("weird name!", "f64", 0xABCD, &[]);
+        assert!(s.starts_with("weird_name_$f64$"));
+        let m = mangle("stencil", "f64", 1, &[3, 5]);
+        assert!(m.contains("$f64x2$"));
+    }
+
+    #[test]
+    fn native_matches_vm_bitwise_on_a_nontrivial_body() {
+        let _g = env_lock();
+        if !native_available() {
+            return; // bare machine: VM-only fallback
+        }
+        // f1 = x*x; f2 = sin(f1); f3 = f2 / x; i0 = (f3 < x); f4 = i0 -> f
+        let p = f64_program(
+            vec![
+                Instr::MulF(1, 0, 0),
+                Instr::Math1(MathFn::Sin, 2, 1),
+                Instr::DivF(3, 2, 0),
+                Instr::CmpF(Cmp::Lt, 0, 3, 0),
+                Instr::PowIC(4, 3, 3),
+                Instr::AddF(5, 4, 3),
+                Instr::Ret(Some((RegFile::F, 5))),
+            ],
+            1,
+            6,
+            1,
+        );
+        let before = stats();
+        let nf = native_f64(&p, None).expect("body compiles and passes the probe");
+        assert_eq!(stats().compiled, before.compiled + 1);
+        // the probe already checked widths 1..=8 and 256; spot-check again
+        let xs: Vec<f64> = (0..37).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let mut native_out = vec![0.0; xs.len()];
+        nf.run(&[&xs], &mut [&mut native_out[..]], xs.len());
+        let vm = Vm::new(&p);
+        let mut vm_out = vec![0.0; xs.len()];
+        vm.run_f64_chunk(0, &[&xs], &mut vm_out).unwrap();
+        for (a, b) in vm_out.iter().zip(&native_out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // second fetch is a cache hit, not a recompile
+        let hits = stats().cache_hits;
+        let _ = native_f64(&p, None).unwrap();
+        assert_eq!(stats().cache_hits, hits + 1);
+        assert_eq!(stats().compiled, before.compiled + 1);
+    }
+
+    #[test]
+    fn i64_native_matches_vm() {
+        let _g = env_lock();
+        if !native_available() {
+            return;
+        }
+        // wrapping mul + abs + min: i1 = x*x; i2 = |y - i1|; ret min(i2, x)
+        let p = Program {
+            funcs: vec![CompiledFunc {
+                name: "imix".into(),
+                params: vec![(RegFile::I, 0), (RegFile::I, 1)],
+                param_types: vec![Type::Int; 2],
+                ret: Type::Int,
+                reg_counts: [0, 5, 0, 0],
+                instrs: vec![
+                    Instr::MulI(2, 0, 0),
+                    Instr::SubI(3, 1, 2),
+                    Instr::AbsI(3, 3),
+                    Instr::MinI(4, 3, 0),
+                    Instr::Ret(Some((RegFile::I, 4))),
+                ],
+            }],
+            externs: Vec::new(),
+        };
+        let nf = native_i64(&p).expect("i64 body compiles");
+        let xs: Vec<i64> = (-20..20).collect();
+        let ys: Vec<i64> = (0..40).map(|i| i * 7 - 100).collect();
+        let mut native_out = vec![0i64; xs.len()];
+        nf.run(&[&xs, &ys], &mut native_out, xs.len());
+        let vm = Vm::new(&p);
+        let mut vm_out = vec![0i64; xs.len()];
+        vm.run_i64_chunk(0, &[&xs, &ys], &mut vm_out).unwrap();
+        assert_eq!(vm_out, native_out);
+    }
+
+    #[test]
+    fn vm_forced_pins_the_tier_off() {
+        let _g = env_lock();
+        let p = f64_program(
+            vec![Instr::MulF(1, 0, 0), Instr::Ret(Some((RegFile::F, 1)))],
+            1,
+            2,
+            0,
+        );
+        std::env::set_var("HPC_KERNEL_TIER", "vm");
+        assert!(native_f64(&p, None).is_none());
+        assert!(!native_available());
+        std::env::remove_var("HPC_KERNEL_TIER");
+    }
+
+    #[test]
+    fn multi_output_abi_matches_vm_rows() {
+        let _g = env_lock();
+        if !native_available() {
+            return;
+        }
+        // two outputs from one body: f1 = x + x, f2 = x * f1
+        let p = f64_program(
+            vec![
+                Instr::AddF(1, 0, 0),
+                Instr::MulF(2, 0, 1),
+                Instr::Ret(Some((RegFile::F, 2))),
+            ],
+            1,
+            3,
+            0,
+        );
+        let nf = native_f64(&p, Some(&[1, 2])).expect("multi body compiles");
+        let xs: Vec<f64> = (0..19).map(|i| i as f64 * 0.5 - 4.0).collect();
+        let mut n1 = vec![0.0; xs.len()];
+        let mut n2 = vec![0.0; xs.len()];
+        nf.run(&[&xs], &mut [&mut n1[..], &mut n2[..]], xs.len());
+        let vm = Vm::new(&p);
+        let mut v1 = vec![0.0; xs.len()];
+        let mut v2 = vec![0.0; xs.len()];
+        {
+            let mut outs: Vec<&mut [f64]> = vec![&mut v1[..], &mut v2[..]];
+            vm.run_f64_multi_chunk(0, &[&xs], &[1, 2], &mut outs)
+                .unwrap();
+        }
+        assert_eq!(
+            v1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            n1.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            v2.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            n2.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

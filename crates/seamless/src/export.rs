@@ -88,6 +88,23 @@ impl CompiledKernel {
             )),
         }
     }
+
+    /// Integer twin of [`CompiledKernel::apply_in_place`]: apply the
+    /// kernel in place to an i64 slice (`kernel(arr)` mutating
+    /// semantics) — the node-level shape for I64 distributed arrays.
+    pub fn apply_in_place_i64(&self, data: &mut Vec<i64>) -> Result<Value, SeamlessError> {
+        let buf = std::mem::take(data);
+        let out = self.call(vec![Value::ArrI(buf)])?;
+        match out.args.into_iter().next() {
+            Some(Value::ArrI(v)) => {
+                *data = v;
+                Ok(out.ret)
+            }
+            _ => Err(SeamlessError::Runtime(
+                "kernel lost its array argument".into(),
+            )),
+        }
+    }
 }
 
 /// Statically compile `fname` from `src` for the given argument types

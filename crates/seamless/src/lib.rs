@@ -38,6 +38,7 @@
 pub mod ast;
 pub mod bytecode;
 pub mod cmodule;
+pub mod codegen;
 pub mod compile;
 pub mod export;
 pub mod interp;

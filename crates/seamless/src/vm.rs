@@ -198,6 +198,70 @@ impl<'p> Vm<'p> {
         Ok(())
     }
 
+    /// Integer twin of [`Vm::run_f64_chunk`]: run function `func` once per
+    /// lane over `i64` input streams, writing the integer return into
+    /// `out[lane]`. This is the execution path for `i64`/`bool` kernel
+    /// specializations (params compiled into the `I` register file, bools
+    /// as 0/1), and the bitwise reference the native `i64` tier is probed
+    /// against. Registers are zeroed per lane — exactly what the emitted C
+    /// does — so straight-line bodies cannot leak state across lanes.
+    ///
+    /// Every parameter must live in the `I` register file and the function
+    /// must return an integer scalar (`Int` or `Bool`); float returns are
+    /// errors (use the f64 chunk path for those).
+    pub fn run_i64_chunk(
+        &self,
+        func: usize,
+        inputs: &[&[i64]],
+        out: &mut [i64],
+    ) -> Result<(), SeamlessError> {
+        let f = &self.program.funcs[func];
+        if inputs.len() != f.params.len() {
+            return Err(SeamlessError::Runtime(format!(
+                "{} takes {} arguments, got {} input streams",
+                f.name,
+                f.params.len(),
+                inputs.len()
+            )));
+        }
+        for (k, &(file, _)) in f.params.iter().enumerate() {
+            if file != RegFile::I {
+                return Err(SeamlessError::Runtime(format!(
+                    "run_i64_chunk: parameter {k} of {} is not an integer scalar",
+                    f.name
+                )));
+            }
+            if inputs[k].len() < out.len() {
+                return Err(SeamlessError::Runtime(format!(
+                    "run_i64_chunk: input {k} shorter than the output chunk"
+                )));
+            }
+        }
+        let mut frame = Frame {
+            f: vec![0.0; f.reg_counts[0]],
+            i: vec![0; f.reg_counts[1]],
+            af: vec![Vec::new(); f.reg_counts[2]],
+            ai: vec![Vec::new(); f.reg_counts[3]],
+        };
+        for lane in 0..out.len() {
+            frame.f.fill(0.0);
+            frame.i.fill(0);
+            for (k, &(_, reg)) in f.params.iter().enumerate() {
+                frame.i[reg as usize] = inputs[k][lane];
+            }
+            out[lane] = match self.exec(func, &mut frame)? {
+                RawRet::I(v) => v,
+                _ => {
+                    return Err(SeamlessError::Runtime(format!(
+                        "run_i64_chunk: {} must return an integer scalar",
+                        f.name
+                    )))
+                }
+            };
+        }
+        Ok(())
+    }
+
     /// Multi-output variant of [`Vm::run_f64_chunk`]: one pass over the
     /// chunk evaluates the whole function, then the rows named by
     /// `out_regs` (float-file registers) are copied into `outs` — so a

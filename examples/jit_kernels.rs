@@ -112,12 +112,25 @@ def newton_sqrt(x: float):
     // message, executed unboxed over each worker's segment.
     println!("\n== distributed kernel plane ==");
     let ctx = OdinContext::with_workers(4);
+    // The KernelSpec builder picks the compute dtype and execution tier;
+    // Tier::Auto arms the probed native C monomorphization when a system
+    // C compiler is present and falls back to the typed-register VM
+    // otherwise (`ctx.compile_kernel(src, name)` is shorthand for the
+    // defaults: f64, Auto).
     let decay = ctx
-        .compile_kernel(
+        .kernel(
             "def decay(v, t):\n    return v * exp(-t) + hypot(v, t) * 0.01\n",
             "decay",
         )
+        .dtype(DType::F64)
+        .tier(Tier::Auto)
+        .build()
         .unwrap();
+    println!(
+        "decay kernel armed on tier {:?} (dtype {:?})",
+        decay.tier(),
+        decay.dtype()
+    );
     let v = ctx.linspace(0.0, 4.0, 100_000);
     let t = ctx.linspace(0.0, 1.0, 100_000);
     let _warm = decay.map(&[&v, &t]);
@@ -134,6 +147,25 @@ def newton_sqrt(x: float):
     let total = decay.map_reduce(&[&v, &t], ReduceKind::Sum);
     assert_eq!(total.to_bits(), mapped.sum().to_bits());
     println!("fused map_reduce sum = {total:.4} (bitwise-identical to map().sum())");
+
+    // dtype-generic kernels: the same source monomorphizes per dtype.
+    // An I64 build computes in integers end to end (no f64 round-trip).
+    let sq1 = ctx
+        .kernel("def sq1(v):\n    return v * v + 1\n", "sq1")
+        .dtype(DType::I64)
+        .build()
+        .unwrap();
+    let idx = ctx.arange(8);
+    let sq = sq1.map(&[&idx]);
+    println!(
+        "i64 monomorphization (tier {:?}): sq1(arange(8)) = {:?}",
+        sq1.tier(),
+        sq.to_vec_i64()
+    );
+    assert_eq!(
+        sq.to_vec_i64(),
+        (0..8).map(|g| g * g + 1).collect::<Vec<i64>>()
+    );
 
     // lazy expressions ride the same plane: Expr::eval lowers to
     // bytecode, registers once, and reuses the kernel across evals

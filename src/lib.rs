@@ -41,9 +41,9 @@ pub mod prelude {
         PyishReaction, Result, Session, SolveMethod,
     };
     pub use odin::{
-        DType, Dist, DistArray, DistTable, Expr, FieldType, FieldValue, Kernel, OdinConfig,
-        OdinContext, OdinError, PExpr, Program, ProgramRun, ProgramStats, Record, ReduceKind,
-        Schema, Traced, TracedScalar,
+        DType, Dist, DistArray, DistTable, Expr, FieldType, FieldValue, Kernel, KernelSpec,
+        OdinConfig, OdinContext, OdinError, PExpr, Program, ProgramRun, ProgramStats, Record,
+        ReduceKind, Schema, Tier, Traced, TracedScalar,
     };
     pub use seamless::{compile_kernel, jit, CompiledKernel, SeamlessError, Type, Value};
     // serve::Session stays un-globbed (hpc_core::Session has the name);

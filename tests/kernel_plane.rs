@@ -8,6 +8,22 @@ use std::time::Duration;
 use hpc_framework::comm::{Delivery, FaultPlan};
 use hpc_framework::odin::OdinError;
 use hpc_framework::prelude::*;
+use hpc_framework::seamless::codegen;
+
+/// The codegen compile counters are process-global and every test in this
+/// binary may trigger first-use native compiles. Tests that only *use*
+/// kernels take a read guard; the test that asserts on
+/// [`codegen::stats`] deltas takes the write guard so no concurrent
+/// first-compile can land inside its measurement window.
+static CODEGEN_STATS: std::sync::RwLock<()> = std::sync::RwLock::new(());
+
+fn stats_read() -> std::sync::RwLockReadGuard<'static, ()> {
+    CODEGEN_STATS.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn stats_write() -> std::sync::RwLockWriteGuard<'static, ()> {
+    CODEGEN_STATS.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Chaos seed, overridable per CI pass: `HPC_FAULT_SEED=43 cargo test …`.
 fn fault_seed() -> u64 {
@@ -31,6 +47,7 @@ fn probe_expr<'x, 'c>(x: &'x DistArray<'c>, y: &'x DistArray<'c>) -> Expr<'x, 'c
 
 #[test]
 fn jitted_matches_interpreted_at_every_pool_width() {
+    let _g = stats_read();
     // Same data, same expression, 1–8 ranks: the jitted bytecode result
     // must equal the interpreted RPN result bit for bit, and both must be
     // independent of the pool width.
@@ -64,6 +81,7 @@ fn jitted_matches_interpreted_at_every_pool_width() {
 
 #[test]
 fn compiled_kernels_match_a_host_reference_at_every_width() {
+    let _g = stats_read();
     let src = "def wave(a, b):\n    return hypot(a, b) * exp(0.0 - a)\n";
     let mut reference: Option<Vec<u64>> = None;
     for workers in 1..=8usize {
@@ -92,6 +110,7 @@ fn compiled_kernels_match_a_host_reference_at_every_width() {
 
 #[test]
 fn kernel_plane_is_deterministic_under_seeded_chaos() {
+    let _g = stats_read();
     // The ci.sh chaos sweep reruns this under several HPC_FAULT_SEED
     // values. Worker↔worker traffic (the fused-reduce allreduce) is
     // dropped/duplicated/corrupted/delayed per the seed; reliable
@@ -129,6 +148,7 @@ fn kernel_plane_is_deterministic_under_seeded_chaos() {
 
 #[test]
 fn recover_replays_registered_kernels_into_the_new_pool() {
+    let _g = stats_read();
     // Kill a worker mid-run, recover from a checkpoint, and invoke the
     // *same* Kernel handle again: recover() must have re-registered the
     // bytecode on the fresh pool (code ships once per pool, so the new
@@ -188,6 +208,7 @@ fn recover_replays_registered_kernels_into_the_new_pool() {
 
 #[test]
 fn a_kernel_registers_once_and_invokes_stay_small() {
+    let _g = stats_read();
     // Integration-level check of the wire contract: after the first use,
     // re-invoking a kernel (or re-evaluating a structurally identical
     // Expr) broadcasts one sub-100-byte EvalKernel and nothing else.
@@ -217,6 +238,7 @@ fn a_kernel_registers_once_and_invokes_stay_small() {
 
 #[test]
 fn mid_batch_kill_is_absorbed_by_recover_without_recompiling() {
+    let _g = stats_read();
     // The serving-plane failure shape (E23): a pool is killed *mid-batch*
     // — while a stream of kernel evaluations is in flight over a
     // checkpointed operand — and recover() must bring back both the
@@ -292,6 +314,183 @@ fn mid_batch_kill_is_absorbed_by_recover_without_recompiling() {
     assert_eq!(results, reference);
 }
 
+/// Straight-line f64 body covering the native emitter's surface: unary
+/// math, Math2, min, abs, division-free chains. Every lane stays finite.
+const F64_BODY: &str =
+    "def body(a, b):\n    return sqrt(abs(a * 2.0 + sin(b)) + 1.0) * exp(a * 0.25) + min(a, b) * 0.125\n";
+
+#[test]
+fn native_and_vm_tiers_match_bitwise_at_widths_1_to_8_across_dtypes() {
+    let _g = stats_read();
+    // The satellite parity matrix: at every pool width 1–8, the armed
+    // native monomorphization must agree with the Tier::Vm build bit for
+    // bit — for f64, i64, and bool compute. On machines without a C
+    // compiler (or under HPC_KERNEL_TIER=vm) both builds resolve to the
+    // VM and the matrix still holds trivially.
+    for workers in 1..=8usize {
+        let ctx = OdinContext::with_workers(workers);
+
+        // f64 plane
+        let auto = ctx.kernel(F64_BODY, "body").build().unwrap();
+        let vm = ctx.kernel(F64_BODY, "body").tier(Tier::Vm).build().unwrap();
+        if codegen::native_available() {
+            assert_eq!(auto.tier(), Tier::Native, "f64 native failed to arm");
+        }
+        let a = ctx.linspace(-2.0, 3.0, 67);
+        let b = ctx.linspace(0.1, 4.0, 67);
+        assert_eq!(
+            bits(&auto.map(&[&a, &b]).to_vec()),
+            bits(&vm.map(&[&a, &b]).to_vec()),
+            "f64 tiers diverged at {workers} workers"
+        );
+        let fused_n = auto.map_reduce(&[&a, &b], ReduceKind::Sum);
+        let fused_v = vm.map_reduce(&[&a, &b], ReduceKind::Sum);
+        assert_eq!(
+            fused_n.to_bits(),
+            fused_v.to_bits(),
+            "f64 fused reduce diverged at {workers} workers"
+        );
+
+        // i64 plane
+        let isrc = "def ibody(a, b):\n    return a * a - b * 3 + min(a, b)\n";
+        let iauto = ctx.kernel(isrc, "ibody").dtype(DType::I64).build().unwrap();
+        let ivm = ctx
+            .kernel(isrc, "ibody")
+            .dtype(DType::I64)
+            .tier(Tier::Vm)
+            .build()
+            .unwrap();
+        if codegen::native_available() {
+            assert_eq!(iauto.tier(), Tier::Native, "i64 native failed to arm");
+        }
+        let xi = ctx.arange(67);
+        let yi = ctx.arange(67);
+        assert_eq!(
+            iauto.map(&[&xi, &yi]).to_vec_i64(),
+            ivm.map(&[&xi, &yi]).to_vec_i64(),
+            "i64 tiers diverged at {workers} workers"
+        );
+
+        // bool plane (i64 ABI with 0/1 rows)
+        let bsrc = "def same(a, b):\n    return a == b\n";
+        let bauto = ctx.kernel(bsrc, "same").dtype(DType::Bool).build().unwrap();
+        let bvm = ctx
+            .kernel(bsrc, "same")
+            .dtype(DType::Bool)
+            .tier(Tier::Vm)
+            .build()
+            .unwrap();
+        let xb = ctx.arange(41).astype(DType::Bool);
+        let yb = ctx.arange(41).gt(&ctx.arange(41)).astype(DType::Bool);
+        assert_eq!(
+            bauto.map(&[&xb, &yb]).to_vec_i64(),
+            bvm.map(&[&xb, &yb]).to_vec_i64(),
+            "bool tiers diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn native_tier_is_deterministic_under_seeded_chaos() {
+    let _g = stats_read();
+    // Swept over HPC_FAULT_SEED by ci.sh: chaos on the control/collective
+    // plane must not perturb native-tier results, and the native chaos run
+    // must equal the healthy Tier::Vm run bit for bit (tiers are
+    // interchangeable even under faults).
+    let healthy_vm = {
+        let ctx = OdinContext::with_workers(4);
+        let k = ctx.kernel(F64_BODY, "body").tier(Tier::Vm).build().unwrap();
+        let a = ctx.linspace(-1.5, 2.5, 311);
+        let b = ctx.linspace(0.2, 3.0, 311);
+        let arr = bits(&k.map(&[&a, &b]).to_vec());
+        let sum = k.map_reduce(&[&a, &b], ReduceKind::Sum).to_bits();
+        (arr, sum)
+    };
+    let ctx = OdinContext::new(
+        OdinConfig::default()
+            .with_n_workers(4)
+            .with_fault(FaultPlan::messages(fault_seed(), 0.08, 0.04, 0.04, 0.03))
+            .with_delivery(Delivery::Reliable)
+            .with_stall_timeout(Duration::from_secs(10)),
+    );
+    let k = ctx.kernel(F64_BODY, "body").build().unwrap();
+    let a = ctx.linspace(-1.5, 2.5, 311);
+    let b = ctx.linspace(0.2, 3.0, 311);
+    assert_eq!(
+        bits(&k.map(&[&a, &b]).to_vec()),
+        healthy_vm.0,
+        "native tier under chaos diverged from the healthy VM run (seed {})",
+        fault_seed()
+    );
+    assert_eq!(
+        k.map_reduce(&[&a, &b], ReduceKind::Sum).to_bits(),
+        healthy_vm.1,
+        "native fused reduce under chaos diverged (seed {})",
+        fault_seed()
+    );
+}
+
+#[test]
+fn native_tier_rearms_after_recover_without_recompiling() {
+    let _g = stats_write();
+    // Kill a worker mid-run, recover(), and invoke the same Kernel handle:
+    // the native symbol must still dispatch (the codegen cache is
+    // process-global — ranks are threads — so the respawned pool re-arms
+    // with ZERO new compiles) and the bits must not move.
+    let ctx = OdinContext::new(OdinConfig {
+        n_workers: 3,
+        fault: FaultPlan {
+            seed: fault_seed(),
+            kill_rank: Some(1),
+            kill_after_ops: 40,
+            ..FaultPlan::none()
+        },
+        stall_timeout: Some(Duration::from_secs(5)),
+        reply_timeout: Some(Duration::from_secs(5)),
+        ..Default::default()
+    });
+    let k = ctx.kernel(F64_BODY, "body").build().unwrap();
+    if codegen::native_available() {
+        assert_eq!(k.tier(), Tier::Native, "native failed to arm");
+    }
+    let a = ctx.linspace(-2.0, 2.0, 97);
+    let b = ctx.linspace(0.5, 1.5, 97);
+    let baseline = bits(&k.map(&[&a, &b]).to_vec());
+    let ck = ctx.checkpoint(&[&a, &b]);
+    let compiled_before = codegen::stats().compiled;
+
+    let mut died = false;
+    for _ in 0..200 {
+        match ctx.try_barrier() {
+            Ok(()) => {}
+            Err(OdinError::WorkerDead { worker, .. }) => {
+                assert_eq!(worker, 1);
+                died = true;
+                break;
+            }
+            Err(other) => panic!("unexpected error while burning ops: {other:?}"),
+        }
+    }
+    assert!(
+        died,
+        "fault plan never killed rank 1 (seed {})",
+        fault_seed()
+    );
+
+    let report = ctx.recover(&ck);
+    assert_eq!(report.respawned, 3);
+    assert!(report.restored.contains(&a.id()));
+
+    // Same handle, new pool: bitwise-identical, and not one new compile —
+    // the respawned workers hit the warm cache.
+    assert_eq!(bits(&k.map(&[&a, &b]).to_vec()), baseline);
+    assert_eq!(
+        codegen::stats().compiled,
+        compiled_before,
+        "recover() should re-arm from the cache, not recompile"
+    );
+}
+
 /// Fixed multi-statement traced program exercising the whole-program
 /// optimizer surface: CSE (shared `x·c`), a merged redistribute (the
 /// cyclic operand feeds two statements), a fused reduction, and a
@@ -321,6 +520,7 @@ fn run_traced_probe(ctx: &OdinContext) -> (Vec<u64>, Vec<u64>, Vec<u64>, u64) {
 
 #[test]
 fn traced_program_is_deterministic_under_seeded_chaos() {
+    let _g = stats_read();
     // Swept over HPC_FAULT_SEED by ci.sh: the optimized whole-program
     // path (fused multi-output kernels, pooled redistributes, scalar
     // reply tickets) must heal every chaos schedule bit-exactly.
@@ -345,6 +545,7 @@ fn traced_program_is_deterministic_under_seeded_chaos() {
 
 #[test]
 fn recover_replays_fused_program_kernels_into_the_new_pool() {
+    let _g = stats_read();
     // Run a traced program (registering its fused multi-output kernels),
     // kill a worker, recover from a checkpoint, and run the identical
     // trace again: the master's kernel cache makes the second run skip
